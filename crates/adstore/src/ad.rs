@@ -1,0 +1,104 @@
+//! The ad unit.
+
+use std::fmt;
+
+use adcast_text::SparseVector;
+
+use crate::targeting::Targeting;
+
+/// Dense identifier of an ad (stable for the life of the store; ids are
+/// never reused even after campaign removal).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AdId(pub u32);
+
+impl AdId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for AdId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ad{}", self.0)
+    }
+}
+
+impl fmt::Display for AdId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An advertisement: a weighted keyword vector, a bid, and targeting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ad {
+    /// Store-assigned id.
+    pub id: AdId,
+    /// Weighted, L2-normalized keyword vector in the shared term space.
+    pub vector: SparseVector,
+    /// Advertiser bid per impression. Combined with relevance by the
+    /// scoring policy; must be positive and finite.
+    pub bid: f32,
+    /// Location/time targeting predicates.
+    pub targeting: Targeting,
+    /// Ground-truth topic (evaluation only; engines never read this).
+    pub topic_hint: Option<usize>,
+}
+
+impl Ad {
+    /// Validate invariants (non-empty vector, sane bid). The store calls
+    /// this on insert.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vector.is_empty() {
+            return Err(format!("{:?}: empty keyword vector", self.id));
+        }
+        if !(self.bid.is_finite() && self.bid > 0.0) {
+            return Err(format!("{:?}: invalid bid {}", self.id, self.bid));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcast_text::dictionary::TermId;
+
+    fn ad(bid: f32, terms: &[(u32, f32)]) -> Ad {
+        Ad {
+            id: AdId(1),
+            vector: SparseVector::from_pairs(terms.iter().map(|&(t, w)| (TermId(t), w))),
+            bid,
+            targeting: Targeting::everywhere(),
+            topic_hint: None,
+        }
+    }
+
+    #[test]
+    fn valid_ad_passes() {
+        assert!(ad(1.0, &[(0, 0.5)]).validate().is_ok());
+    }
+
+    #[test]
+    fn empty_vector_rejected() {
+        let err = ad(1.0, &[]).validate().unwrap_err();
+        assert!(err.contains("empty"));
+    }
+
+    #[test]
+    fn bad_bids_rejected() {
+        assert!(ad(0.0, &[(0, 0.5)]).validate().is_err());
+        assert!(ad(-1.0, &[(0, 0.5)]).validate().is_err());
+        assert!(ad(f32::NAN, &[(0, 0.5)]).validate().is_err());
+        assert!(ad(f32::INFINITY, &[(0, 0.5)]).validate().is_err());
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(format!("{:?}", AdId(4)), "ad4");
+        assert_eq!(format!("{}", AdId(4)), "4");
+        assert_eq!(AdId(4).index(), 4);
+    }
+}

@@ -1,0 +1,208 @@
+//! Generalized second-price (GSP) auctions with quality scores.
+//!
+//! The recommendation engines produce a relevance-ranked candidate list;
+//! real platforms then run an auction over it to decide placement and
+//! price. This module implements the standard GSP with quality scores:
+//!
+//! * each candidate has a `bid` (advertiser's willingness to pay per
+//!   click/impression) and a `quality` (here: context relevance),
+//! * candidates are ranked by `bid × quality`,
+//! * the winner of slot *i* pays the minimum bid that would have kept
+//!   its position: `price_i = bid_{i+1} · quality_{i+1} / quality_i`
+//!   (clamped to the reserve from below and the own bid from above),
+//! * candidates below the reserve price are excluded.
+//!
+//! With a single slot this degenerates to the classic second-price
+//! (Vickrey) auction.
+
+use crate::ad::AdId;
+
+/// A candidate entering the auction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuctionBid {
+    /// The ad.
+    pub ad: AdId,
+    /// Advertiser bid (> 0).
+    pub bid: f32,
+    /// Quality score (> 0); context relevance in `adcast`.
+    pub quality: f32,
+}
+
+impl AuctionBid {
+    /// The ranking score `bid × quality`.
+    pub fn rank(&self) -> f32 {
+        self.bid * self.quality
+    }
+}
+
+/// One slot's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotAward {
+    /// The winning ad.
+    pub ad: AdId,
+    /// Slot position (0 = top).
+    pub position: usize,
+    /// GSP price charged on engagement.
+    pub price: f32,
+}
+
+/// Auction configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AuctionConfig {
+    /// Number of slots to fill.
+    pub slots: usize,
+    /// Reserve price: the minimum charge, and the minimum *effective bid*
+    /// to participate.
+    pub reserve: f32,
+}
+
+impl Default for AuctionConfig {
+    fn default() -> Self {
+        AuctionConfig { slots: 1, reserve: 0.01 }
+    }
+}
+
+/// Run a GSP auction. Returns at most `config.slots` awards, best slot
+/// first. Deterministic: ties in rank break by lower [`AdId`].
+pub fn run_gsp(mut candidates: Vec<AuctionBid>, config: &AuctionConfig) -> Vec<SlotAward> {
+    assert!(config.reserve >= 0.0, "negative reserve");
+    candidates.retain(|c| {
+        c.bid.is_finite()
+            && c.quality.is_finite()
+            && c.quality > 0.0
+            && c.bid >= config.reserve
+    });
+    candidates.sort_by(|a, b| {
+        b.rank()
+            .total_cmp(&a.rank())
+            .then_with(|| a.ad.cmp(&b.ad))
+    });
+    let mut awards = Vec::with_capacity(config.slots.min(candidates.len()));
+    for (position, winner) in candidates.iter().take(config.slots).enumerate() {
+        // The runner-up for this slot is the next candidate overall.
+        let price = match candidates.get(position + 1) {
+            Some(next) => (next.rank() / winner.quality).max(config.reserve),
+            None => config.reserve,
+        };
+        // GSP never charges above the winner's own bid.
+        let price = price.min(winner.bid);
+        awards.push(SlotAward { ad: winner.ad, position, price });
+    }
+    awards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid(ad: u32, bid: f32, quality: f32) -> AuctionBid {
+        AuctionBid { ad: AdId(ad), bid, quality }
+    }
+
+    #[test]
+    fn single_slot_is_second_price() {
+        let awards = run_gsp(
+            vec![bid(0, 2.0, 1.0), bid(1, 1.5, 1.0), bid(2, 1.0, 1.0)],
+            &AuctionConfig { slots: 1, reserve: 0.0 },
+        );
+        assert_eq!(awards.len(), 1);
+        assert_eq!(awards[0].ad, AdId(0));
+        assert!((awards[0].price - 1.5).abs() < 1e-6, "winner pays runner-up's bid");
+    }
+
+    #[test]
+    fn quality_can_beat_raw_bid() {
+        let awards = run_gsp(
+            vec![bid(0, 3.0, 0.1), bid(1, 1.0, 0.9)],
+            &AuctionConfig { slots: 1, reserve: 0.0 },
+        );
+        assert_eq!(awards[0].ad, AdId(1), "rank 0.9 beats rank 0.3");
+        // Price: runner-up rank / winner quality = 0.3 / 0.9.
+        assert!((awards[0].price - 0.3 / 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multi_slot_descending_prices_by_rank() {
+        let awards = run_gsp(
+            vec![bid(0, 4.0, 1.0), bid(1, 3.0, 1.0), bid(2, 2.0, 1.0), bid(3, 1.0, 1.0)],
+            &AuctionConfig { slots: 3, reserve: 0.0 },
+        );
+        assert_eq!(awards.len(), 3);
+        assert_eq!(
+            awards.iter().map(|a| a.ad).collect::<Vec<_>>(),
+            vec![AdId(0), AdId(1), AdId(2)]
+        );
+        assert_eq!(awards.iter().map(|a| a.position).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!((awards[0].price - 3.0).abs() < 1e-6);
+        assert!((awards[1].price - 2.0).abs() < 1e-6);
+        assert!((awards[2].price - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn price_never_exceeds_own_bid() {
+        // Runner-up with huge quality would imply a price above the
+        // winner's bid; GSP clamps.
+        let awards = run_gsp(
+            vec![bid(0, 1.0, 1.0), bid(1, 0.9, 50.0)],
+            &AuctionConfig { slots: 2, reserve: 0.0 },
+        );
+        assert_eq!(awards[0].ad, AdId(1));
+        for a in &awards {
+            let own_bid = if a.ad == AdId(0) { 1.0 } else { 0.9 };
+            assert!(a.price <= own_bid + 1e-6, "{a:?} exceeds own bid");
+        }
+    }
+
+    #[test]
+    fn reserve_filters_and_floors() {
+        let awards = run_gsp(
+            vec![bid(0, 2.0, 1.0), bid(1, 0.05, 1.0)],
+            &AuctionConfig { slots: 2, reserve: 0.5 },
+        );
+        assert_eq!(awards.len(), 1, "below-reserve bid excluded");
+        assert!((awards[0].price - 0.5).abs() < 1e-6, "sole winner pays the reserve");
+    }
+
+    #[test]
+    fn last_winner_pays_reserve() {
+        let awards = run_gsp(
+            vec![bid(0, 2.0, 1.0), bid(1, 1.0, 1.0)],
+            &AuctionConfig { slots: 2, reserve: 0.25 },
+        );
+        assert_eq!(awards.len(), 2);
+        assert!((awards[1].price - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ties_break_by_ad_id() {
+        let awards = run_gsp(
+            vec![bid(7, 1.0, 1.0), bid(3, 1.0, 1.0)],
+            &AuctionConfig { slots: 1, reserve: 0.0 },
+        );
+        assert_eq!(awards[0].ad, AdId(3));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(run_gsp(vec![], &AuctionConfig::default()).is_empty());
+        let awards = run_gsp(
+            vec![bid(0, f32::NAN, 1.0), bid(1, 1.0, 0.0)],
+            &AuctionConfig { slots: 2, reserve: 0.0 },
+        );
+        assert!(awards.is_empty(), "NaN bids and zero quality are dropped");
+        let none =
+            run_gsp(vec![bid(0, 1.0, 1.0)], &AuctionConfig { slots: 0, reserve: 0.0 });
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn truthful_bidding_sanity() {
+        // Raising your bid never raises the price of the slot you already
+        // won (a well-known GSP property for a fixed slot).
+        let base = vec![bid(0, 2.0, 1.0), bid(1, 1.0, 1.0)];
+        let raised = vec![bid(0, 5.0, 1.0), bid(1, 1.0, 1.0)];
+        let p_base = run_gsp(base, &AuctionConfig { slots: 1, reserve: 0.0 })[0].price;
+        let p_raised = run_gsp(raised, &AuctionConfig { slots: 1, reserve: 0.0 })[0].price;
+        assert!((p_base - p_raised).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,142 @@
+//! Campaign budgets.
+//!
+//! Budgets use integer micro-currency units internally so spend tracking
+//! is exact (no float drift over millions of impressions).
+
+/// A campaign budget with exact spend tracking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Budget {
+    total_micros: u64,
+    spent_micros: u64,
+}
+
+impl Budget {
+    /// A budget of `total` currency units.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite totals.
+    pub fn new(total: f64) -> Self {
+        assert!(total.is_finite() && total >= 0.0, "invalid budget {total}");
+        Budget { total_micros: (total * 1e6).round() as u64, spent_micros: 0 }
+    }
+
+    /// An effectively unlimited budget.
+    pub fn unlimited() -> Self {
+        Budget { total_micros: u64::MAX, spent_micros: 0 }
+    }
+
+    /// Charge `amount`; returns `false` (charging nothing) when remaining
+    /// funds are insufficient.
+    pub fn try_charge(&mut self, amount: f64) -> bool {
+        assert!(amount.is_finite() && amount >= 0.0, "invalid charge {amount}");
+        let micros = (amount * 1e6).round() as u64;
+        if self.spent_micros.saturating_add(micros) > self.total_micros {
+            return false;
+        }
+        self.spent_micros += micros;
+        true
+    }
+
+    /// Remaining funds in currency units.
+    pub fn remaining(&self) -> f64 {
+        (self.total_micros - self.spent_micros) as f64 / 1e6
+    }
+
+    /// Spent so far in currency units.
+    pub fn spent(&self) -> f64 {
+        self.spent_micros as f64 / 1e6
+    }
+
+    /// Can this budget not cover even a minimal charge?
+    pub fn is_exhausted(&self) -> bool {
+        self.spent_micros >= self.total_micros
+    }
+
+    /// Fraction spent, in `[0, 1]` (0 for unlimited budgets).
+    pub fn utilization(&self) -> f64 {
+        if self.total_micros == 0 {
+            1.0
+        } else if self.total_micros == u64::MAX {
+            0.0
+        } else {
+            self.spent_micros as f64 / self.total_micros as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_until_exhausted() {
+        let mut b = Budget::new(1.0);
+        assert!(b.try_charge(0.4));
+        assert!(b.try_charge(0.4));
+        assert!(!b.try_charge(0.4), "third charge exceeds the budget");
+        assert!((b.spent() - 0.8).abs() < 1e-9);
+        assert!((b.remaining() - 0.2).abs() < 1e-9);
+        assert!(!b.is_exhausted());
+        assert!(b.try_charge(0.2));
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn rejected_charge_spends_nothing() {
+        let mut b = Budget::new(0.5);
+        assert!(!b.try_charge(1.0));
+        assert_eq!(b.spent(), 0.0);
+    }
+
+    #[test]
+    fn exact_integer_accounting() {
+        let mut b = Budget::new(1.0);
+        for _ in 0..1_000_000 {
+            assert!(b.try_charge(0.000_001));
+        }
+        assert!(b.is_exhausted(), "1e6 micro-charges exactly drain 1.0");
+        assert!(!b.try_charge(0.000_001));
+    }
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let mut b = Budget::unlimited();
+        assert!(b.try_charge(1e12));
+        assert!(!b.is_exhausted());
+        assert_eq!(b.utilization(), 0.0);
+    }
+
+    #[test]
+    fn zero_budget_is_born_exhausted() {
+        let b = Budget::new(0.0);
+        assert!(b.is_exhausted());
+        assert_eq!(b.utilization(), 1.0);
+    }
+
+    #[test]
+    fn free_charges_always_succeed() {
+        let mut b = Budget::new(0.0);
+        assert!(b.try_charge(0.0));
+    }
+
+    #[test]
+    fn utilization_midway() {
+        let mut b = Budget::new(2.0);
+        b.try_charge(0.5);
+        assert!((b.utilization() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid budget")]
+    fn negative_budget_panics() {
+        let _ = Budget::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid charge")]
+    fn nan_charge_panics() {
+        let mut b = Budget::new(1.0);
+        let _ = b.try_charge(f64::NAN);
+    }
+}

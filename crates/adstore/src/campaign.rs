@@ -1,0 +1,168 @@
+//! Campaign lifecycle: an ad with a budget and a state machine.
+
+use crate::ad::Ad;
+use crate::budget::Budget;
+
+/// Campaign lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignState {
+    /// Eligible for serving.
+    Active,
+    /// Temporarily withheld by the advertiser; can resume.
+    Paused,
+    /// Budget drained; terminal.
+    Exhausted,
+    /// Removed by the advertiser; terminal.
+    Removed,
+}
+
+impl CampaignState {
+    /// Terminal states cannot transition anywhere.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, CampaignState::Exhausted | CampaignState::Removed)
+    }
+}
+
+/// An ad campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// The ad creative.
+    pub ad: Ad,
+    /// Spend tracking.
+    pub budget: Budget,
+    /// Lifecycle state.
+    state: CampaignState,
+    /// Impressions served.
+    pub impressions: u64,
+}
+
+impl Campaign {
+    /// A fresh active campaign.
+    pub fn new(ad: Ad, budget: Budget) -> Self {
+        let state =
+            if budget.is_exhausted() { CampaignState::Exhausted } else { CampaignState::Active };
+        Campaign { ad, budget, state, impressions: 0 }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> CampaignState {
+        self.state
+    }
+
+    /// Is the campaign eligible for serving?
+    pub fn is_active(&self) -> bool {
+        self.state == CampaignState::Active
+    }
+
+    /// Record one impression charged at `cost`. Returns the new state —
+    /// [`CampaignState::Exhausted`] when this impression drained the
+    /// budget or the charge could not be covered.
+    pub fn record_impression(&mut self, cost: f64) -> CampaignState {
+        debug_assert!(self.is_active(), "impressions only on active campaigns");
+        if self.budget.try_charge(cost) {
+            self.impressions += 1;
+            if self.budget.is_exhausted() {
+                self.state = CampaignState::Exhausted;
+            }
+        } else {
+            self.state = CampaignState::Exhausted;
+        }
+        self.state
+    }
+
+    /// Pause an active campaign. Returns whether the transition happened.
+    pub fn pause(&mut self) -> bool {
+        if self.state == CampaignState::Active {
+            self.state = CampaignState::Paused;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resume a paused campaign.
+    pub fn resume(&mut self) -> bool {
+        if self.state == CampaignState::Paused {
+            self.state = CampaignState::Active;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove the campaign (terminal).
+    pub fn remove(&mut self) {
+        if !self.state.is_terminal() {
+            self.state = CampaignState::Removed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ad::AdId;
+    use crate::targeting::Targeting;
+    use adcast_text::dictionary::TermId;
+    use adcast_text::SparseVector;
+
+    fn ad() -> Ad {
+        Ad {
+            id: AdId(0),
+            vector: SparseVector::from_pairs([(TermId(0), 1.0)]),
+            bid: 1.0,
+            targeting: Targeting::everywhere(),
+            topic_hint: None,
+        }
+    }
+
+    #[test]
+    fn impressions_drain_budget() {
+        let mut c = Campaign::new(ad(), Budget::new(0.25));
+        assert!(c.is_active());
+        assert_eq!(c.record_impression(0.1), CampaignState::Active);
+        assert_eq!(c.record_impression(0.1), CampaignState::Active);
+        // Third charge does not fit: exhausted without charging.
+        assert_eq!(c.record_impression(0.1), CampaignState::Exhausted);
+        assert_eq!(c.impressions, 2);
+        assert!(!c.is_active());
+    }
+
+    #[test]
+    fn exact_drain_also_exhausts() {
+        let mut c = Campaign::new(ad(), Budget::new(0.2));
+        assert_eq!(c.record_impression(0.2), CampaignState::Exhausted);
+        assert_eq!(c.impressions, 1, "the draining impression still served");
+    }
+
+    #[test]
+    fn pause_resume_cycle() {
+        let mut c = Campaign::new(ad(), Budget::unlimited());
+        assert!(c.pause());
+        assert!(!c.is_active());
+        assert!(!c.pause(), "double pause is a no-op");
+        assert!(c.resume());
+        assert!(c.is_active());
+        assert!(!c.resume());
+    }
+
+    #[test]
+    fn terminal_states_stick() {
+        let mut c = Campaign::new(ad(), Budget::unlimited());
+        c.remove();
+        assert_eq!(c.state(), CampaignState::Removed);
+        assert!(!c.pause());
+        assert!(!c.resume());
+        c.remove();
+        assert_eq!(c.state(), CampaignState::Removed);
+        assert!(CampaignState::Removed.is_terminal());
+        assert!(CampaignState::Exhausted.is_terminal());
+        assert!(!CampaignState::Active.is_terminal());
+    }
+
+    #[test]
+    fn zero_budget_campaign_starts_exhausted() {
+        let c = Campaign::new(ad(), Budget::new(0.0));
+        assert_eq!(c.state(), CampaignState::Exhausted);
+    }
+}

@@ -1,0 +1,208 @@
+//! Click modelling and click-through-rate tracking.
+//!
+//! Two halves:
+//!
+//! * [`ClickModel`] — the *simulated user*: a position-bias × relevance
+//!   examination model used by the engagement experiments (the standard
+//!   substitution for real click logs, DESIGN.md §5),
+//! * [`CtrTracker`] — the *platform side*: per-campaign impression/click
+//!   counting with Bayesian smoothing, so cold campaigns neither report
+//!   0% nor 100% CTR off a handful of events.
+
+use rand::Rng;
+
+/// Position-bias click model: `P(click at pos) = bias(pos) · sat(relevance)`.
+#[derive(Debug, Clone)]
+pub struct ClickModel {
+    /// Examination probability per slot position (top first). Positions
+    /// beyond the table reuse the last entry.
+    position_bias: Vec<f64>,
+    /// Relevance saturation scale: `sat(r) = r / (r + scale)`.
+    relevance_scale: f64,
+}
+
+impl Default for ClickModel {
+    fn default() -> Self {
+        // Classic cascade-flavoured bias: the top slot is examined ~3×
+        // more than the third.
+        ClickModel { position_bias: vec![0.65, 0.35, 0.22, 0.15, 0.10], relevance_scale: 0.3 }
+    }
+}
+
+impl ClickModel {
+    /// Custom model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty bias tables or out-of-range probabilities.
+    pub fn new(position_bias: Vec<f64>, relevance_scale: f64) -> Self {
+        assert!(!position_bias.is_empty(), "need at least one position");
+        assert!(
+            position_bias.iter().all(|p| (0.0..=1.0).contains(p)),
+            "biases must be probabilities"
+        );
+        assert!(relevance_scale > 0.0, "relevance scale must be positive");
+        ClickModel { position_bias, relevance_scale }
+    }
+
+    /// The click probability of an ad with `relevance` shown at `position`.
+    pub fn click_probability(&self, position: usize, relevance: f32) -> f64 {
+        let bias = *self
+            .position_bias
+            .get(position)
+            .or(self.position_bias.last())
+            .expect("bias table non-empty");
+        let r = f64::from(relevance.max(0.0));
+        bias * (r / (r + self.relevance_scale))
+    }
+
+    /// Simulate one impression.
+    pub fn simulate<R: Rng + ?Sized>(
+        &self,
+        position: usize,
+        relevance: f32,
+        rng: &mut R,
+    ) -> bool {
+        rng.gen_bool(self.click_probability(position, relevance).clamp(0.0, 1.0))
+    }
+}
+
+/// Per-campaign CTR statistics with Beta(α, β) smoothing.
+#[derive(Debug, Clone)]
+pub struct CtrTracker {
+    impressions: u64,
+    clicks: u64,
+    alpha: f64,
+    beta: f64,
+}
+
+impl Default for CtrTracker {
+    fn default() -> Self {
+        // Prior: 5% CTR with the strength of ~20 observations.
+        CtrTracker::new(1.0, 19.0)
+    }
+}
+
+impl CtrTracker {
+    /// Tracker with a `Beta(alpha, beta)` prior.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive prior parameters.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && beta > 0.0, "prior parameters must be positive");
+        CtrTracker { impressions: 0, clicks: 0, alpha, beta }
+    }
+
+    /// Record one impression (and whether it was clicked).
+    pub fn record(&mut self, clicked: bool) {
+        self.impressions += 1;
+        if clicked {
+            self.clicks += 1;
+        }
+    }
+
+    /// Raw impressions.
+    pub fn impressions(&self) -> u64 {
+        self.impressions
+    }
+
+    /// Raw clicks.
+    pub fn clicks(&self) -> u64 {
+        self.clicks
+    }
+
+    /// The smoothed CTR estimate `(clicks + α) / (impressions + α + β)`.
+    pub fn smoothed_ctr(&self) -> f64 {
+        (self.clicks as f64 + self.alpha) / (self.impressions as f64 + self.alpha + self.beta)
+    }
+
+    /// The raw empirical CTR (0 when no impressions).
+    pub fn raw_ctr(&self) -> f64 {
+        if self.impressions == 0 {
+            0.0
+        } else {
+            self.clicks as f64 / self.impressions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn click_probability_monotone_in_relevance() {
+        let m = ClickModel::default();
+        let mut prev = -1.0;
+        for r in [0.0f32, 0.1, 0.3, 0.6, 1.0] {
+            let p = m.click_probability(0, r);
+            assert!(p >= prev, "not monotone at {r}");
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+        assert_eq!(m.click_probability(0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn position_bias_decreases() {
+        let m = ClickModel::default();
+        let mut prev = f64::INFINITY;
+        for pos in 0..5 {
+            let p = m.click_probability(pos, 0.8);
+            assert!(p < prev, "bias must fall with position");
+            prev = p;
+        }
+        // Deep positions reuse the tail bias.
+        assert_eq!(m.click_probability(50, 0.8), m.click_probability(4, 0.8));
+    }
+
+    #[test]
+    fn simulation_matches_probability() {
+        let m = ClickModel::default();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let p = m.click_probability(0, 0.5);
+        const N: usize = 20_000;
+        let clicks = (0..N).filter(|_| m.simulate(0, 0.5, &mut rng)).count();
+        let emp = clicks as f64 / N as f64;
+        assert!((emp - p).abs() < 0.02, "empirical {emp} vs model {p}");
+    }
+
+    #[test]
+    fn tracker_smoothing_converges() {
+        let mut t = CtrTracker::default();
+        // Cold start: smoothed CTR equals the prior mean.
+        assert!((t.smoothed_ctr() - 0.05).abs() < 1e-9);
+        assert_eq!(t.raw_ctr(), 0.0);
+        // Feed a true 20% CTR stream; smoothed estimate approaches it.
+        for i in 0..1000 {
+            t.record(i % 5 == 0);
+        }
+        assert_eq!(t.impressions(), 1000);
+        assert_eq!(t.clicks(), 200);
+        assert!((t.smoothed_ctr() - 0.2).abs() < 0.01);
+        assert!((t.raw_ctr() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smoothing_shields_small_samples() {
+        let mut t = CtrTracker::default();
+        t.record(true); // 1 impression, 1 click
+        assert_eq!(t.raw_ctr(), 1.0);
+        assert!(t.smoothed_ctr() < 0.15, "one click must not read as 100% CTR");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn bad_prior_panics() {
+        let _ = CtrTracker::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn bad_bias_panics() {
+        let _ = ClickModel::new(vec![1.5], 0.3);
+    }
+}

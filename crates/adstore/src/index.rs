@@ -1,0 +1,248 @@
+//! Inverted index over ad keyword vectors.
+//!
+//! For every term the index keeps the posting list of `(ad, weight)`
+//! pairs, sorted by ad id, plus the **maximum weight** in the list. The
+//! max-weights are the upper-bound metadata that powers both baselines and
+//! the incremental engine:
+//!
+//! * WAND-style re-evaluation bounds a candidate's score by
+//!   `Σ_term ctx_weight(term) · max_weight(term)`,
+//! * the incremental engine screens buffer promotions: an untouched ad's
+//!   score can only have increased by `Σ_{t ∈ Δ⁺} Δ(t) · max_weight(t)`.
+//!
+//! Removals are tombstone-free: the posting list is compacted immediately
+//! (campaign churn is orders of magnitude rarer than scoring), and the max
+//! weight is recomputed on the spot.
+
+use std::collections::HashMap;
+
+use adcast_text::dictionary::TermId;
+use adcast_text::SparseVector;
+
+use crate::ad::AdId;
+
+/// One entry in a posting list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posting {
+    /// The ad containing the term.
+    pub ad: AdId,
+    /// The ad vector's weight for the term.
+    pub weight: f32,
+}
+
+#[derive(Debug, Default, Clone)]
+struct TermPostings {
+    /// Sorted by ad id.
+    list: Vec<Posting>,
+    /// `max(list.weight)`; 0.0 when empty.
+    max_weight: f32,
+}
+
+impl TermPostings {
+    fn recompute_max(&mut self) {
+        self.max_weight = self.list.iter().map(|p| p.weight).fold(0.0, f32::max);
+    }
+}
+
+/// The inverted index over ads.
+#[derive(Debug, Default, Clone)]
+pub struct AdIndex {
+    postings: HashMap<TermId, TermPostings>,
+    num_ads: usize,
+    num_postings: usize,
+}
+
+impl AdIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        AdIndex::default()
+    }
+
+    /// Index `ad`'s vector. The caller guarantees the id is not already
+    /// present (the store enforces this).
+    pub fn insert(&mut self, ad: AdId, vector: &SparseVector) {
+        for (term, weight) in vector.iter() {
+            let tp = self.postings.entry(term).or_default();
+            let pos = tp.list.partition_point(|p| p.ad < ad);
+            debug_assert!(
+                pos >= tp.list.len() || tp.list[pos].ad != ad,
+                "ad {ad:?} already indexed under {term:?}"
+            );
+            tp.list.insert(pos, Posting { ad, weight });
+            if weight > tp.max_weight {
+                tp.max_weight = weight;
+            }
+            self.num_postings += 1;
+        }
+        self.num_ads += 1;
+    }
+
+    /// Remove `ad`'s postings (vector must be the one it was inserted
+    /// with). Returns the number of postings removed.
+    pub fn remove(&mut self, ad: AdId, vector: &SparseVector) -> usize {
+        let mut removed = 0;
+        for (term, _) in vector.iter() {
+            if let Some(tp) = self.postings.get_mut(&term) {
+                if let Ok(pos) = tp.list.binary_search_by_key(&ad, |p| p.ad) {
+                    let gone = tp.list.remove(pos);
+                    removed += 1;
+                    self.num_postings -= 1;
+                    // Only a departing maximum forces a rescan.
+                    if gone.weight >= tp.max_weight {
+                        tp.recompute_max();
+                    }
+                }
+                if tp.list.is_empty() {
+                    self.postings.remove(&term);
+                }
+            }
+        }
+        if removed > 0 {
+            self.num_ads -= 1;
+        }
+        removed
+    }
+
+    /// The posting list for `term` (sorted by ad id; empty slice if the
+    /// term is unknown).
+    pub fn postings(&self, term: TermId) -> &[Posting] {
+        self.postings.get(&term).map_or(&[], |tp| tp.list.as_slice())
+    }
+
+    /// The maximum term weight across ads containing `term`.
+    pub fn max_weight(&self, term: TermId) -> f32 {
+        self.postings.get(&term).map_or(0.0, |tp| tp.max_weight)
+    }
+
+    /// Upper bound on `vector · ad_vector` over **all** indexed ads:
+    /// `Σ_t |v(t)| · max_weight(t)`.
+    pub fn score_upper_bound(&self, vector: &SparseVector) -> f32 {
+        vector.iter().map(|(t, w)| w.abs() * self.max_weight(t)).sum()
+    }
+
+    /// Number of indexed ads.
+    pub fn num_ads(&self) -> usize {
+        self.num_ads
+    }
+
+    /// Total postings across all terms.
+    pub fn num_postings(&self) -> usize {
+        self.num_postings
+    }
+
+    /// Number of distinct terms with non-empty posting lists.
+    pub fn num_terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Approximate resident bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.postings.capacity()
+                * (std::mem::size_of::<TermId>() + std::mem::size_of::<TermPostings>())
+            + self
+                .postings
+                .values()
+                .map(|tp| tp.list.capacity() * std::mem::size_of::<Posting>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)))
+    }
+
+    #[test]
+    fn insert_builds_sorted_postings() {
+        let mut idx = AdIndex::new();
+        idx.insert(AdId(2), &v(&[(1, 0.5), (2, 0.3)]));
+        idx.insert(AdId(0), &v(&[(1, 0.9)]));
+        idx.insert(AdId(1), &v(&[(2, 0.7)]));
+        let p1 = idx.postings(TermId(1));
+        assert_eq!(p1.len(), 2);
+        assert_eq!(p1[0].ad, AdId(0));
+        assert_eq!(p1[1].ad, AdId(2));
+        assert_eq!(idx.max_weight(TermId(1)), 0.9);
+        assert_eq!(idx.max_weight(TermId(2)), 0.7);
+        assert_eq!(idx.num_ads(), 3);
+        assert_eq!(idx.num_postings(), 4);
+        assert_eq!(idx.num_terms(), 2);
+    }
+
+    #[test]
+    fn unknown_term_is_empty() {
+        let idx = AdIndex::new();
+        assert!(idx.postings(TermId(9)).is_empty());
+        assert_eq!(idx.max_weight(TermId(9)), 0.0);
+    }
+
+    #[test]
+    fn remove_compacts_and_fixes_max() {
+        let mut idx = AdIndex::new();
+        let va = v(&[(1, 0.9), (2, 0.2)]);
+        let vb = v(&[(1, 0.5)]);
+        idx.insert(AdId(0), &va);
+        idx.insert(AdId(1), &vb);
+        assert_eq!(idx.remove(AdId(0), &va), 2);
+        assert_eq!(idx.max_weight(TermId(1)), 0.5, "max recomputed after top removal");
+        assert!(idx.postings(TermId(2)).is_empty(), "empty lists are dropped");
+        assert_eq!(idx.num_ads(), 1);
+        assert_eq!(idx.num_postings(), 1);
+    }
+
+    #[test]
+    fn remove_nonmax_keeps_max() {
+        let mut idx = AdIndex::new();
+        idx.insert(AdId(0), &v(&[(1, 0.9)]));
+        idx.insert(AdId(1), &v(&[(1, 0.5)]));
+        idx.remove(AdId(1), &v(&[(1, 0.5)]));
+        assert_eq!(idx.max_weight(TermId(1)), 0.9);
+    }
+
+    #[test]
+    fn remove_absent_ad_is_noop() {
+        let mut idx = AdIndex::new();
+        idx.insert(AdId(0), &v(&[(1, 0.9)]));
+        assert_eq!(idx.remove(AdId(5), &v(&[(1, 0.9)])), 0);
+        assert_eq!(idx.num_ads(), 1);
+    }
+
+    #[test]
+    fn upper_bound_dominates_every_ad() {
+        let mut idx = AdIndex::new();
+        let ads = [v(&[(1, 0.8), (3, 0.6)]), v(&[(1, 0.4), (2, 0.9)]), v(&[(3, 0.99)])];
+        for (i, a) in ads.iter().enumerate() {
+            idx.insert(AdId(i as u32), a);
+        }
+        let ctx = v(&[(1, 0.5), (2, 0.5), (3, 0.5)]);
+        let ub = idx.score_upper_bound(&ctx);
+        for a in &ads {
+            assert!(ub >= ctx.dot(a) - 1e-6, "ub {ub} < dot {}", ctx.dot(a));
+        }
+    }
+
+    #[test]
+    fn reinsert_after_remove() {
+        let mut idx = AdIndex::new();
+        let va = v(&[(1, 0.9)]);
+        idx.insert(AdId(0), &va);
+        idx.remove(AdId(0), &va);
+        idx.insert(AdId(0), &v(&[(1, 0.3)]));
+        assert_eq!(idx.max_weight(TermId(1)), 0.3);
+        assert_eq!(idx.num_ads(), 1);
+    }
+
+    #[test]
+    fn memory_grows_with_postings() {
+        let mut idx = AdIndex::new();
+        let before = idx.memory_bytes();
+        for i in 0..50 {
+            idx.insert(AdId(i), &v(&[(i, 0.5), (i + 1, 0.5)]));
+        }
+        assert!(idx.memory_bytes() > before);
+    }
+}

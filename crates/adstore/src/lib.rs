@@ -1,0 +1,36 @@
+//! # adcast-ads — advertisement substrate for `adcast`
+//!
+//! Everything on the advertiser side of the system:
+//!
+//! * [`ad`] — the ad unit: keyword vector + bid,
+//! * [`targeting`] — location / time-slot predicates,
+//! * [`budget`] — campaign budgets with spend tracking,
+//! * [`campaign`] — ad + budget + lifecycle state,
+//! * [`index`] — the inverted index over ad terms, with per-term maximum
+//!   weights (the upper-bound metadata that WAND-style pruning and the
+//!   incremental engine's promotion screening both rely on),
+//! * [`store`] — the campaign table keeping index and lifecycle consistent
+//!   under churn (insert / pause / resume / budget exhaustion),
+//! * [`auction`] — generalized second-price auctions with quality scores,
+//! * [`ctr`] — position-bias click simulation and smoothed CTR tracking,
+//! * [`pacing`] — multiplicative-feedback budget pacing.
+
+pub mod ad;
+pub mod auction;
+pub mod budget;
+pub mod ctr;
+pub mod campaign;
+pub mod index;
+pub mod pacing;
+pub mod store;
+pub mod targeting;
+
+pub use ad::{Ad, AdId};
+pub use auction::{run_gsp, AuctionBid, AuctionConfig, SlotAward};
+pub use budget::Budget;
+pub use ctr::{ClickModel, CtrTracker};
+pub use campaign::{Campaign, CampaignState};
+pub use index::{AdIndex, Posting};
+pub use pacing::PacingController;
+pub use store::{AdStore, AdSubmission};
+pub use targeting::Targeting;

@@ -1,0 +1,293 @@
+//! The campaign table.
+//!
+//! Owns every campaign and keeps the inverted index consistent with
+//! campaign lifecycle: only **active** campaigns are indexed, so the
+//! engines can treat "in the index" as "eligible (modulo targeting)".
+
+use adcast_text::SparseVector;
+
+use crate::ad::{Ad, AdId};
+use crate::budget::Budget;
+use crate::campaign::{Campaign, CampaignState};
+use crate::index::AdIndex;
+use crate::targeting::Targeting;
+
+/// The store of campaigns plus the live inverted index.
+#[derive(Debug, Default)]
+pub struct AdStore {
+    campaigns: Vec<Campaign>,
+    index: AdIndex,
+    active: usize,
+    /// Bumped whenever an ad is *added* to the index (submit / resume).
+    /// Engines use this to detect that their certified bounds no longer
+    /// cover the whole index and lazily refresh. Removals don't bump it:
+    /// a vanished ad can only lower scores, never invalidate a top-k
+    /// upper bound (stale entries are filtered at serve time).
+    index_epoch: u64,
+}
+
+/// Ingredients for a new campaign (the store assigns the [`AdId`]).
+#[derive(Debug, Clone)]
+pub struct AdSubmission {
+    /// Weighted, L2-normalized keyword vector.
+    pub vector: SparseVector,
+    /// Bid per impression (> 0).
+    pub bid: f32,
+    /// Targeting predicates.
+    pub targeting: Targeting,
+    /// Campaign budget.
+    pub budget: Budget,
+    /// Ground-truth topic (evaluation only).
+    pub topic_hint: Option<usize>,
+}
+
+impl AdStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        AdStore::default()
+    }
+
+    /// Submit a campaign; returns its assigned id.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the ad fails validation.
+    pub fn submit(&mut self, submission: AdSubmission) -> Result<AdId, String> {
+        let id = AdId(u32::try_from(self.campaigns.len()).expect("too many campaigns"));
+        let ad = Ad {
+            id,
+            vector: submission.vector,
+            bid: submission.bid,
+            targeting: submission.targeting,
+            topic_hint: submission.topic_hint,
+        };
+        ad.validate()?;
+        let campaign = Campaign::new(ad, submission.budget);
+        if campaign.is_active() {
+            self.index.insert(id, &campaign.ad.vector);
+            self.active += 1;
+            self.index_epoch += 1;
+        }
+        self.campaigns.push(campaign);
+        Ok(id)
+    }
+
+    /// The campaign for `id`.
+    pub fn campaign(&self, id: AdId) -> Option<&Campaign> {
+        self.campaigns.get(id.index())
+    }
+
+    /// The ad for `id` (active or not).
+    pub fn ad(&self, id: AdId) -> Option<&Ad> {
+        self.campaigns.get(id.index()).map(|c| &c.ad)
+    }
+
+    /// The live inverted index (active campaigns only).
+    pub fn index(&self) -> &AdIndex {
+        &self.index
+    }
+
+    /// The index epoch: bumped on every index *addition* (submit/resume).
+    pub fn index_epoch(&self) -> u64 {
+        self.index_epoch
+    }
+
+    /// Iterate over active campaigns.
+    pub fn active_campaigns(&self) -> impl Iterator<Item = &Campaign> + '_ {
+        self.campaigns.iter().filter(|c| c.is_active())
+    }
+
+    /// Number of active campaigns.
+    pub fn num_active(&self) -> usize {
+        self.active
+    }
+
+    /// Total campaigns ever submitted.
+    pub fn num_total(&self) -> usize {
+        self.campaigns.len()
+    }
+
+    /// Record a served impression charged at `cost`. If the charge drains
+    /// the budget the campaign is de-indexed. Returns the resulting state,
+    /// or `None` for unknown/inactive ads.
+    pub fn record_impression(&mut self, id: AdId, cost: f64) -> Option<CampaignState> {
+        let campaign = self.campaigns.get_mut(id.index())?;
+        if !campaign.is_active() {
+            return None;
+        }
+        let state = campaign.record_impression(cost);
+        if state == CampaignState::Exhausted {
+            self.index.remove(id, &campaign.ad.vector);
+            self.active -= 1;
+        }
+        Some(state)
+    }
+
+    /// Pause an active campaign (de-indexes it).
+    pub fn pause(&mut self, id: AdId) -> bool {
+        let Some(campaign) = self.campaigns.get_mut(id.index()) else {
+            return false;
+        };
+        if campaign.pause() {
+            self.index.remove(id, &campaign.ad.vector);
+            self.active -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resume a paused campaign (re-indexes it).
+    pub fn resume(&mut self, id: AdId) -> bool {
+        let Some(campaign) = self.campaigns.get_mut(id.index()) else {
+            return false;
+        };
+        if campaign.resume() {
+            self.index.insert(id, &campaign.ad.vector);
+            self.active += 1;
+            self.index_epoch += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove a campaign permanently (de-indexes if needed).
+    pub fn remove(&mut self, id: AdId) -> bool {
+        let Some(campaign) = self.campaigns.get_mut(id.index()) else {
+            return false;
+        };
+        let was_active = campaign.is_active();
+        if campaign.state().is_terminal() && !was_active {
+            return false;
+        }
+        campaign.remove();
+        if was_active {
+            self.index.remove(id, &campaign.ad.vector);
+            self.active -= 1;
+        }
+        true
+    }
+
+    /// Approximate resident bytes (campaign vectors + index).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .campaigns
+                .iter()
+                .map(|c| std::mem::size_of::<Campaign>() + c.ad.vector.memory_bytes())
+                .sum::<usize>()
+            + self.index.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcast_text::dictionary::TermId;
+
+    fn submission(terms: &[(u32, f32)], budget: f64) -> AdSubmission {
+        AdSubmission {
+            vector: SparseVector::from_pairs(terms.iter().map(|&(t, w)| (TermId(t), w))),
+            bid: 1.0,
+            targeting: Targeting::everywhere(),
+            budget: Budget::new(budget),
+            topic_hint: None,
+        }
+    }
+
+    #[test]
+    fn submit_assigns_sequential_ids_and_indexes() {
+        let mut s = AdStore::new();
+        let a = s.submit(submission(&[(1, 0.5)], 10.0)).unwrap();
+        let b = s.submit(submission(&[(1, 0.9)], 10.0)).unwrap();
+        assert_eq!(a, AdId(0));
+        assert_eq!(b, AdId(1));
+        assert_eq!(s.num_active(), 2);
+        assert_eq!(s.index().postings(TermId(1)).len(), 2);
+        assert_eq!(s.index().max_weight(TermId(1)), 0.9);
+    }
+
+    #[test]
+    fn invalid_submission_rejected_without_side_effects() {
+        let mut s = AdStore::new();
+        assert!(s.submit(submission(&[], 10.0)).is_err());
+        assert_eq!(s.num_total(), 0);
+        assert_eq!(s.index().num_ads(), 0);
+    }
+
+    #[test]
+    fn exhaustion_deindexes() {
+        let mut s = AdStore::new();
+        let id = s.submit(submission(&[(1, 0.5)], 0.1)).unwrap();
+        assert_eq!(s.record_impression(id, 0.1), Some(CampaignState::Exhausted));
+        assert_eq!(s.num_active(), 0);
+        assert!(s.index().postings(TermId(1)).is_empty());
+        // Further impressions are refused.
+        assert_eq!(s.record_impression(id, 0.1), None);
+    }
+
+    #[test]
+    fn pause_resume_reindexes() {
+        let mut s = AdStore::new();
+        let id = s.submit(submission(&[(2, 0.7)], 10.0)).unwrap();
+        assert!(s.pause(id));
+        assert_eq!(s.num_active(), 0);
+        assert!(s.index().postings(TermId(2)).is_empty());
+        assert!(!s.pause(id), "double pause refused");
+        assert!(s.resume(id));
+        assert_eq!(s.num_active(), 1);
+        assert_eq!(s.index().postings(TermId(2)).len(), 1);
+    }
+
+    #[test]
+    fn remove_is_terminal() {
+        let mut s = AdStore::new();
+        let id = s.submit(submission(&[(2, 0.7)], 10.0)).unwrap();
+        assert!(s.remove(id));
+        assert_eq!(s.num_active(), 0);
+        assert!(!s.resume(id));
+        assert!(!s.remove(id), "second remove is a no-op");
+        assert_eq!(s.campaign(id).unwrap().state(), CampaignState::Removed);
+    }
+
+    #[test]
+    fn zero_budget_submission_not_indexed() {
+        let mut s = AdStore::new();
+        let id = s.submit(submission(&[(3, 0.5)], 0.0)).unwrap();
+        assert_eq!(s.num_active(), 0);
+        assert_eq!(s.campaign(id).unwrap().state(), CampaignState::Exhausted);
+        assert!(s.index().postings(TermId(3)).is_empty());
+    }
+
+    #[test]
+    fn unknown_ids_handled() {
+        let mut s = AdStore::new();
+        assert!(s.ad(AdId(7)).is_none());
+        assert!(!s.pause(AdId(7)));
+        assert!(!s.resume(AdId(7)));
+        assert!(!s.remove(AdId(7)));
+        assert_eq!(s.record_impression(AdId(7), 0.1), None);
+    }
+
+    #[test]
+    fn active_campaigns_iterator() {
+        let mut s = AdStore::new();
+        let a = s.submit(submission(&[(1, 0.5)], 10.0)).unwrap();
+        let b = s.submit(submission(&[(2, 0.5)], 10.0)).unwrap();
+        s.pause(a);
+        let active: Vec<_> = s.active_campaigns().map(|c| c.ad.id).collect();
+        assert_eq!(active, vec![b]);
+        assert_eq!(s.num_total(), 2);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let mut s = AdStore::new();
+        let before = s.memory_bytes();
+        for i in 0..20 {
+            s.submit(submission(&[(i, 0.5)], 1.0)).unwrap();
+        }
+        assert!(s.memory_bytes() > before);
+    }
+}

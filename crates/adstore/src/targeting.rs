@@ -1,0 +1,141 @@
+//! Ad targeting predicates.
+//!
+//! An ad may restrict where (location cells) and when (time-of-day slots)
+//! it is eligible. Empty restriction = match everything. Targeting is a
+//! *hard filter* applied before scoring — the context-aware ranking then
+//! orders the eligible ads.
+
+use adcast_stream::clock::Timestamp;
+use adcast_stream::event::{LocationId, TimeSlot};
+use adcast_stream::geo::GeoGrid;
+
+/// Location and time-slot restrictions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Targeting {
+    /// Eligible cells (sorted); empty = everywhere.
+    locations: Vec<LocationId>,
+    /// Eligible slots; empty = always.
+    slots: Vec<TimeSlot>,
+}
+
+impl Targeting {
+    /// No restrictions.
+    pub fn everywhere() -> Self {
+        Targeting::default()
+    }
+
+    /// Restrict to the given cells.
+    pub fn in_locations(mut self, locations: impl IntoIterator<Item = LocationId>) -> Self {
+        self.locations = locations.into_iter().collect();
+        self.locations.sort_unstable();
+        self.locations.dedup();
+        self
+    }
+
+    /// Restrict to every cell within `radius` of `center` on `grid`
+    /// (geo-radius campaigns; see [`adcast_stream::geo`]).
+    pub fn within_radius(self, grid: &GeoGrid, center: LocationId, radius: f64) -> Self {
+        let cells = grid.cells_within(center, radius);
+        self.in_locations(cells)
+    }
+
+    /// Restrict to the given time slots.
+    pub fn in_slots(mut self, slots: impl IntoIterator<Item = TimeSlot>) -> Self {
+        self.slots = slots.into_iter().collect();
+        self.slots.dedup();
+        self
+    }
+
+    /// The location restriction (empty = everywhere).
+    pub fn locations(&self) -> &[LocationId] {
+        &self.locations
+    }
+
+    /// The slot restriction (empty = always).
+    pub fn slots(&self) -> &[TimeSlot] {
+        &self.slots
+    }
+
+    /// Does the predicate accept a user at `location` at time `ts`?
+    pub fn matches(&self, location: LocationId, ts: Timestamp) -> bool {
+        self.matches_location(location) && self.matches_time(ts)
+    }
+
+    /// Location half of the predicate.
+    pub fn matches_location(&self, location: LocationId) -> bool {
+        self.locations.is_empty() || self.locations.binary_search(&location).is_ok()
+    }
+
+    /// Time half of the predicate.
+    pub fn matches_time(&self, ts: Timestamp) -> bool {
+        self.slots.is_empty() || self.slots.contains(&TimeSlot::of(ts))
+    }
+
+    /// Is this predicate unrestricted?
+    pub fn is_everywhere(&self) -> bool {
+        self.locations.is_empty() && self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_hour(h: u64) -> Timestamp {
+        Timestamp(h * 3600 * 1_000_000)
+    }
+
+    #[test]
+    fn everywhere_matches_all() {
+        let t = Targeting::everywhere();
+        assert!(t.is_everywhere());
+        assert!(t.matches(LocationId(0), at_hour(3)));
+        assert!(t.matches(LocationId(999), at_hour(15)));
+    }
+
+    #[test]
+    fn location_restriction() {
+        let t = Targeting::everywhere().in_locations([LocationId(3), LocationId(1)]);
+        assert!(t.matches_location(LocationId(1)));
+        assert!(t.matches_location(LocationId(3)));
+        assert!(!t.matches_location(LocationId(2)));
+        assert_eq!(t.locations(), &[LocationId(1), LocationId(3)], "sorted");
+    }
+
+    #[test]
+    fn slot_restriction() {
+        let t = Targeting::everywhere().in_slots([TimeSlot::Morning]);
+        assert!(t.matches_time(at_hour(9)));
+        assert!(!t.matches_time(at_hour(15)));
+        assert!(!t.matches_time(at_hour(23)));
+    }
+
+    #[test]
+    fn combined_restriction_is_conjunction() {
+        let t = Targeting::everywhere()
+            .in_locations([LocationId(5)])
+            .in_slots([TimeSlot::Afternoon]);
+        assert!(t.matches(LocationId(5), at_hour(15)));
+        assert!(!t.matches(LocationId(5), at_hour(9)), "right place, wrong time");
+        assert!(!t.matches(LocationId(4), at_hour(15)), "right time, wrong place");
+        assert!(!t.is_everywhere());
+    }
+
+    #[test]
+    fn radius_targeting_matches_nearby_cells() {
+        let grid = GeoGrid::new(10, 10);
+        let center = grid.cell(5, 5);
+        let t = Targeting::everywhere().within_radius(&grid, center, 2.0);
+        assert!(t.matches_location(center));
+        assert!(t.matches_location(grid.cell(5, 7)), "distance 2 is inclusive");
+        assert!(!t.matches_location(grid.cell(5, 8)), "distance 3 excluded");
+        assert!(!t.matches_location(grid.cell(8, 8)));
+        assert_eq!(t.locations().len(), 13);
+    }
+
+    #[test]
+    fn duplicate_restrictions_dedup() {
+        let t = Targeting::everywhere().in_locations([LocationId(1), LocationId(1)]);
+        assert_eq!(t.locations().len(), 1);
+    }
+}

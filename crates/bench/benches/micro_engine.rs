@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks: per-feed-delta cost of each engine, and
+//! per-recommendation cost — the microscopic version of E2/E3.
+
+use adcast_core::runner::EngineKind;
+use adcast_core::{Simulation, SimulationConfig};
+use adcast_graph::UserId;
+use adcast_stream::generator::WorkloadConfig;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn sim_for(kind: EngineKind) -> Simulation {
+    let mut sim = Simulation::build(SimulationConfig {
+        workload: WorkloadConfig { num_users: 1_000, ..WorkloadConfig::default() },
+        num_ads: 5_000,
+        engine_kind: kind,
+        ..SimulationConfig::default()
+    });
+    sim.run(3_000); // warm windows
+    sim
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_update_per_message");
+    group.sample_size(30);
+    for (kind, name) in [
+        (EngineKind::FullScan, "full-scan"),
+        (EngineKind::IndexScan, "index-scan"),
+        (EngineKind::Incremental, "incremental"),
+    ] {
+        let mut sim = sim_for(kind);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |bench, _| {
+            bench.iter(|| {
+                let (msg, touched) = sim.step();
+                black_box((msg.id, touched))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_recommend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_recommend_top10");
+    group.sample_size(30);
+    for (kind, name) in [
+        (EngineKind::FullScan, "full-scan"),
+        (EngineKind::IndexScan, "index-scan"),
+        (EngineKind::Incremental, "incremental"),
+    ] {
+        let mut sim = sim_for(kind);
+        let mut u = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |bench, _| {
+            bench.iter(|| {
+                u = (u + 1) % 1_000;
+                black_box(sim.recommend(UserId(u), 10).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update, bench_recommend);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks: sparse-vector kernels (the engines' inner
+//! loops).
+
+use adcast_text::dictionary::TermId;
+use adcast_text::SparseVector;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_vector(rng: &mut SmallRng, terms: usize, vocab: u32) -> SparseVector {
+    SparseVector::from_pairs(
+        (0..terms).map(|_| (TermId(rng.gen_range(0..vocab)), rng.gen_range(0.01f32..1.0))),
+    )
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_dot");
+    let mut rng = SmallRng::seed_from_u64(1);
+    for &size in &[8usize, 64, 512] {
+        let a = random_vector(&mut rng, size, 10_000);
+        let b = random_vector(&mut rng, size, 10_000);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            bench.iter(|| black_box(a.dot(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_axpy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_axpy");
+    let mut rng = SmallRng::seed_from_u64(2);
+    for &size in &[8usize, 64, 512] {
+        let base = random_vector(&mut rng, size, 10_000);
+        let delta = random_vector(&mut rng, 12, 10_000);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            bench.iter(|| {
+                let mut v = base.clone();
+                v.axpy(black_box(0.5), &delta);
+                black_box(v.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ad_side_lookup(c: &mut Criterion) {
+    // The incremental engine's promotion kernel: small-ad × large-context.
+    let mut rng = SmallRng::seed_from_u64(3);
+    let ctx = random_vector(&mut rng, 300, 10_000);
+    let ad = random_vector(&mut rng, 8, 10_000);
+    c.bench_function("ad_side_dot_8x300", |bench| {
+        bench.iter(|| {
+            let s: f32 = ad.iter().map(|(t, w)| w * ctx.get(t)).sum();
+            black_box(s)
+        });
+    });
+}
+
+criterion_group!(benches, bench_dot, bench_axpy, bench_ad_side_lookup);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks: the text pipeline (tokenize → stem →
+//! weigh) on tweet-sized documents.
+
+use adcast_text::pipeline::TextPipeline;
+use adcast_text::stemmer::Stemmer;
+use adcast_text::tokenizer::Tokenizer;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const TWEET: &str = "The nation's best volleyball returns tomorrow night! Here's how our \
+                     coaches think the CW women's teams stack up #volleyball #SportsNight";
+
+fn bench_tokenize(c: &mut Criterion) {
+    let tokenizer = Tokenizer::default();
+    c.bench_function("tokenize_tweet", |bench| {
+        bench.iter(|| black_box(tokenizer.tokenize(TWEET).len()));
+    });
+}
+
+fn bench_stem(c: &mut Criterion) {
+    let mut stemmer = Stemmer::new();
+    let words = ["volleyball", "returns", "tomorrow", "coaches", "generalizations"];
+    c.bench_function("porter_stem_5_words", |bench| {
+        bench.iter(|| {
+            let mut total = 0usize;
+            for w in words {
+                total += stemmer.stem(w).len();
+            }
+            black_box(total)
+        });
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut pipeline = TextPipeline::standard();
+    // Pre-warm the dictionary so we measure the steady state.
+    for _ in 0..10 {
+        pipeline.index_document(TWEET);
+    }
+    c.bench_function("pipeline_analyze_tweet", |bench| {
+        bench.iter(|| black_box(pipeline.analyze(TWEET).len()));
+    });
+}
+
+criterion_group!(benches, bench_tokenize, bench_stem, bench_pipeline);
+criterion_main!(benches);

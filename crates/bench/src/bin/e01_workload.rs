@@ -1,0 +1,69 @@
+//! E1 (Table 1): workload and dataset statistics.
+//!
+//! Characterizes the synthetic substitute for the Twitter trace: users,
+//! follower-graph skew, message/term statistics, ad-corpus statistics.
+//! Paper shape to reproduce: a heavy-tailed follower distribution (max ≫
+//! mean, Gini ≥ 0.5) and Zipfian author activity — the properties the
+//! hybrid delivery and the incremental engine exploit.
+
+use adcast_bench::{fmt, fmt_u, Report, Scale};
+use adcast_core::runner::EngineKind;
+use adcast_core::{Simulation, SimulationConfig};
+use adcast_graph::stats::{degree_histogram, followee_stats, follower_stats};
+use adcast_stream::generator::WorkloadConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let num_users = scale.pick(2_000, 20_000);
+    let messages = scale.pick(8_000, 100_000);
+    let num_ads = scale.pick(2_000, 20_000);
+
+    let mut sim = Simulation::build(SimulationConfig {
+        workload: WorkloadConfig { num_users, ..WorkloadConfig::default() },
+        num_ads,
+        engine_kind: EngineKind::Incremental,
+        ..SimulationConfig::default()
+    });
+    sim.run(messages);
+
+    let mut report = Report::new("E1", "workload statistics", vec!["statistic", "value"]);
+    let g = sim.graph();
+    report.row(vec!["users".into(), fmt_u(g.num_users() as u64)]);
+    report.row(vec!["follow edges".into(), fmt_u(g.num_edges() as u64)]);
+    let fin = follower_stats(g);
+    report.row(vec!["followers mean".into(), fmt(fin.mean)]);
+    report.row(vec!["followers median".into(), fmt_u(fin.median as u64)]);
+    report.row(vec!["followers p99".into(), fmt_u(fin.p99 as u64)]);
+    report.row(vec!["followers max".into(), fmt_u(fin.max as u64)]);
+    report.row(vec!["followers gini".into(), fmt(fin.gini)]);
+    let fout = followee_stats(g);
+    report.row(vec!["followees mean".into(), fmt(fout.mean)]);
+    report.row(vec!["messages".into(), fmt_u(sim.messages_processed())]);
+    let dict = sim.generator().dictionary();
+    report.row(vec!["vocabulary".into(), fmt_u(dict.len() as u64)]);
+    report.row(vec!["ads".into(), fmt_u(sim.store().num_total() as u64)]);
+    report.row(vec![
+        "ad postings".into(),
+        fmt_u(sim.store().index().num_postings() as u64),
+    ]);
+    report.row(vec![
+        "indexed ad terms".into(),
+        fmt_u(sim.store().index().num_terms() as u64),
+    ]);
+    use adcast_feed::FeedDelivery;
+    let deliv = sim.delivery().stats();
+    report.row(vec!["feed deliveries".into(), fmt_u(deliv.push_deliveries)]);
+    report.row(vec!["mean fan-out".into(), fmt(deliv.avg_fanout())]);
+    report.finish();
+
+    // Follower histogram as a second table (the log-log degree figure).
+    let mut hist_report =
+        Report::new("E1b", "follower-count histogram (log2 buckets)", vec![
+            "bucket_min", "users",
+        ]);
+    let hist = degree_histogram(g.users().map(|u| g.in_degree(u)));
+    for (i, count) in hist.iter().enumerate() {
+        hist_report.row(vec![fmt_u(1u64 << i), fmt_u(*count as u64)]);
+    }
+    hist_report.finish();
+}

@@ -1,0 +1,47 @@
+//! E3 (Figure): per-event latency percentiles vs. k (results per slot).
+//!
+//! Paper shape: baselines' latency grows with k only mildly (top-k heap)
+//! but sits orders of magnitude above the incremental engine's; the
+//! incremental engine's latency grows gently with k through buffer size
+//! (capacity = headroom·k).
+
+use adcast_bench::{drive_continuous, fmt, Report, Scale, ENGINES};
+use adcast_core::{EngineConfig, Simulation, SimulationConfig};
+use adcast_stream::generator::WorkloadConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ks: &[usize] = &[1, 5, 10, 20, 50];
+    let messages = scale.pick(1_200, 10_000);
+    let num_ads = scale.pick(4_000, 30_000);
+    let num_users = scale.pick(1_000, 5_000);
+
+    let mut report = Report::new(
+        "E3",
+        "event latency vs k",
+        vec!["k", "engine", "p50_us", "p95_us", "p99_us", "mean_us"],
+    );
+    for &k in ks {
+        for (kind, name) in ENGINES {
+            let mut sim = Simulation::build(SimulationConfig {
+                workload: WorkloadConfig { num_users, ..WorkloadConfig::default() },
+                num_ads,
+                engine_kind: kind,
+                engine: EngineConfig { k, ..EngineConfig::default() },
+                ..SimulationConfig::default()
+            });
+            sim.run(messages / 4);
+            let budget = if name == "full-scan" { (messages / 8).max(200) } else { messages };
+            let (_, hist, _) = drive_continuous(&mut sim, budget, k, 1);
+            report.row(vec![
+                k.to_string(),
+                name.to_string(),
+                fmt(hist.p50() as f64 / 1000.0),
+                fmt(hist.p95() as f64 / 1000.0),
+                fmt(hist.p99() as f64 / 1000.0),
+                fmt(hist.mean() / 1000.0),
+            ]);
+        }
+    }
+    report.finish();
+}

@@ -1,0 +1,56 @@
+//! E4 (Figure): throughput vs feed-window size W.
+//!
+//! Paper shape: the index-scan baseline degrades roughly linearly in W
+//! (the context accumulates more distinct terms → longer TAAT); the
+//! incremental engine is W-insensitive (per-update cost depends on the
+//! *delta*, i.e. two messages, not the window).
+
+use adcast_bench::{drive_continuous, fmt, Report, Scale};
+use adcast_core::runner::EngineKind;
+use adcast_core::{EngineConfig, Simulation, SimulationConfig};
+use adcast_feed::WindowConfig;
+use adcast_stream::generator::WorkloadConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let windows: &[usize] = &[8, 16, 32, 64, 128, 256];
+    let messages = scale.pick(1_200, 10_000);
+    let num_ads = scale.pick(3_000, 20_000);
+    let num_users = scale.pick(1_000, 5_000);
+
+    let mut report = Report::new(
+        "E4",
+        "throughput vs window size",
+        vec!["window", "engine", "events_per_sec", "ctx_terms_mean"],
+    );
+    for &w in windows {
+        for (kind, name) in
+            [(EngineKind::IndexScan, "index-scan"), (EngineKind::Incremental, "incremental")]
+        {
+            let mut sim = Simulation::build(SimulationConfig {
+                workload: WorkloadConfig { num_users, ..WorkloadConfig::default() },
+                num_ads,
+                engine_kind: kind,
+                engine: EngineConfig { window: WindowConfig::count(w), ..EngineConfig::default() },
+                ..SimulationConfig::default()
+            });
+            // Warm enough to fill windows of this size.
+            sim.run((messages / 2).max(w * 50));
+            let (rate, _, _) = drive_continuous(&mut sim, messages, 10, 1);
+            // Context size proxy: average window fill across users.
+            let filled: usize = sim
+                .graph()
+                .users()
+                .map(|u| sim.delivery().store().window(u).len())
+                .sum();
+            let mean_fill = filled as f64 / sim.graph().num_users() as f64;
+            report.row(vec![
+                w.to_string(),
+                name.to_string(),
+                fmt(rate),
+                fmt(mean_fill),
+            ]);
+        }
+    }
+    report.finish();
+}

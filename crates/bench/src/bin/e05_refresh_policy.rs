@@ -1,0 +1,91 @@
+//! E5 (Figure): the staleness/throughput trade-off of lazy refreshing.
+//!
+//! Sweeps the `Budgeted` slack. Paper shape: refresh counts fall steeply
+//! with slack while ranking quality (nDCG vs the exact baseline)
+//! declines only gently — the knee justifies the default policy choice.
+
+use std::collections::HashMap;
+
+use adcast_bench::{fmt, fmt_u, Report, Scale};
+use adcast_core::runner::EngineKind;
+use adcast_core::{EngineConfig, RefreshPolicy, Simulation, SimulationConfig};
+use adcast_graph::UserId;
+use adcast_metrics::ranking::ndcg;
+use adcast_stream::generator::WorkloadConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let slacks: &[Option<f32>] =
+        &[None, Some(0.1), Some(0.25), Some(0.5), Some(1.0), Some(2.0), Some(5.0)];
+    let messages = scale.pick(3_000, 25_000);
+    let num_ads = scale.pick(2_000, 15_000);
+    let num_users = scale.pick(800, 4_000);
+    let probe_users = scale.pick(150, 800);
+
+    let mut report = Report::new(
+        "E5",
+        "refresh policy: slack vs refreshes and ranking quality",
+        vec!["slack", "refreshes", "refresh_per_delta", "ndcg_vs_exact", "postings_per_delta"],
+    );
+
+    // Exact reference rankings come from the index-scan baseline.
+    let build = |policy: RefreshPolicy, kind: EngineKind| {
+        Simulation::build(SimulationConfig {
+            workload: WorkloadConfig { num_users, ..WorkloadConfig::default() },
+            num_ads,
+            engine_kind: kind,
+            // The refresh policy only matters when certification actually
+            // fires: disable the score cache and shrink the buffer so the
+            // bound machinery is load-bearing (the cached configuration is
+            // ablated in E9).
+            engine: EngineConfig {
+                refresh: policy,
+                cache_capacity: 0,
+                buffer_headroom: 2,
+                ..EngineConfig::default()
+            },
+            ..SimulationConfig::default()
+        })
+    };
+    let mut exact = build(RefreshPolicy::Eager, EngineKind::IndexScan);
+    exact.run(messages);
+    let mut reference: HashMap<UserId, Vec<(adcast_ads::AdId, f64)>> = HashMap::new();
+    for u in 0..probe_users {
+        let user = UserId(u as u32);
+        let recs = exact.recommend(user, 10);
+        reference
+            .insert(user, recs.iter().map(|r| (r.ad, r.score as f64)).collect());
+    }
+
+    for &slack in slacks {
+        let policy = match slack {
+            None => RefreshPolicy::Eager,
+            Some(s) => RefreshPolicy::Budgeted { slack: s },
+        };
+        let mut sim = build(policy, EngineKind::Incremental);
+        sim.run(messages);
+        let mut ndcg_sum = 0.0;
+        let mut ndcg_n = 0usize;
+        for u in 0..probe_users {
+            let user = UserId(u as u32);
+            let Some(ref_list) = reference.get(&user) else { continue };
+            if ref_list.is_empty() {
+                continue;
+            }
+            let gains: HashMap<adcast_ads::AdId, f64> = ref_list.iter().copied().collect();
+            let got: Vec<adcast_ads::AdId> =
+                sim.recommend(user, 10).iter().map(|r| r.ad).collect();
+            ndcg_sum += ndcg(&got, &gains, 10);
+            ndcg_n += 1;
+        }
+        let stats = sim.engine().stats();
+        report.row(vec![
+            slack.map_or("eager".to_string(), |s| fmt(s as f64)),
+            fmt_u(stats.refreshes),
+            fmt(stats.refreshes as f64 / stats.deltas.max(1) as f64),
+            fmt(ndcg_sum / ndcg_n.max(1) as f64),
+            fmt(stats.postings_scanned as f64 / stats.deltas.max(1) as f64),
+        ]);
+    }
+    report.finish();
+}

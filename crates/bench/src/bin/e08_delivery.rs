@@ -1,0 +1,83 @@
+//! E8 (Figure): feed-delivery strategy comparison — push vs pull vs
+//! hybrid across the celebrity threshold.
+//!
+//! Paper shape: push pays enormous write amplification on celebrity posts
+//! (fan-out = followers); pull pays merge work on every read; the hybrid
+//! curve interpolates, with total cost minimized at a moderate threshold.
+
+use adcast_bench::{fmt, fmt_u, Report, Scale};
+use adcast_feed::{FeedDelivery, HybridDelivery, PullDelivery, PushDelivery, WindowConfig};
+use adcast_graph::{generators, UserId};
+use adcast_stream::generator::{WorkloadConfig, WorkloadGenerator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let num_users = scale.pick(3_000, 30_000);
+    let messages = scale.pick(20_000, 200_000);
+    let reads = scale.pick(20_000, 200_000);
+    let window = WindowConfig::count(32);
+
+    let mut rng = SmallRng::seed_from_u64(0xE08);
+    let graph = generators::preferential_attachment(num_users, 20, &mut rng);
+    let mut generator = WorkloadGenerator::with_poisson(
+        WorkloadConfig { num_users, ..WorkloadConfig::default() },
+        200.0,
+    );
+    let stream: Vec<_> = (0..messages).map(|_| generator.next_message()).collect();
+    // Read workload: uniformly random readers interleaved with the stream.
+    let mut read_rng = SmallRng::seed_from_u64(0xBEEF);
+    let readers: Vec<UserId> = (0..reads)
+        .map(|_| UserId(rand::Rng::gen_range(&mut read_rng, 0..num_users)))
+        .collect();
+
+    let mut report = Report::new(
+        "E8",
+        "feed delivery strategies: write/read cost and wall time",
+        vec![
+            "strategy",
+            "threshold",
+            "write_work",
+            "read_work_per_read",
+            "outbox_appends",
+            "wall_ms",
+        ],
+    );
+
+    let mut run = |name: String, threshold: String, delivery: &mut dyn FeedDelivery| {
+        let started = Instant::now();
+        let per_read = readers.len() / stream.len().max(1);
+        let mut reader_iter = readers.iter();
+        for msg in &stream {
+            delivery.post(&graph, msg.clone());
+            for _ in 0..per_read.max(1) {
+                if let Some(&u) = reader_iter.next() {
+                    delivery.read(&graph, u);
+                }
+            }
+        }
+        let wall = started.elapsed().as_millis();
+        let stats = delivery.stats();
+        report.row(vec![
+            name,
+            threshold,
+            fmt_u(stats.write_work()),
+            fmt(stats.avg_read_work()),
+            fmt_u(stats.outbox_appends),
+            fmt_u(wall as u64),
+        ]);
+    };
+
+    run("push".into(), "-".into(), &mut PushDelivery::new(num_users, window));
+    run("pull".into(), "-".into(), &mut PullDelivery::new(num_users, window));
+    for threshold in [8usize, 32, 128, 512, 2048] {
+        run(
+            "hybrid".into(),
+            threshold.to_string(),
+            &mut HybridDelivery::new(num_users, window, threshold),
+        );
+    }
+    report.finish();
+}

@@ -1,0 +1,79 @@
+//! E9 (Table): ablation of the incremental engine's design choices.
+//!
+//! Rows knock out one mechanism at a time (DESIGN.md §7):
+//!   1. max-weight promotion screening off,
+//!   2. buffer headroom ∈ {1, 2, 4, 8},
+//!   3. recency decay off,
+//!   4. lazy refresh (slack 0.5) vs eager.
+//!
+//! Paper shape: screening removes most exact dots; headroom trades memory
+//! for refresh rate with a knee at 2–4; decay costs little; lazy refresh
+//! trims the residual refreshes.
+
+use adcast_bench::{drive_continuous, fmt, fmt_u, Report, Scale};
+use adcast_core::runner::EngineKind;
+use adcast_core::{EngineConfig, RefreshPolicy, Simulation, SimulationConfig};
+use adcast_stream::generator::WorkloadConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let messages = scale.pick(2_000, 20_000);
+    let num_ads = scale.pick(4_000, 20_000);
+    let num_users = scale.pick(1_000, 5_000);
+
+    let mut report = Report::new(
+        "E9",
+        "incremental-engine ablation",
+        vec![
+            "variant",
+            "events_per_sec",
+            "refresh_per_delta",
+            "exact_dots_per_delta",
+            "screened_per_delta",
+            "postings_per_delta",
+        ],
+    );
+
+    let variants: Vec<(String, EngineConfig)> = vec![
+        ("baseline (screen, headroom 4, eager)".into(), EngineConfig::default()),
+        ("no screening".into(), EngineConfig { screening: false, ..Default::default() }),
+        ("headroom 1".into(), EngineConfig { buffer_headroom: 1, ..Default::default() }),
+        ("headroom 2".into(), EngineConfig { buffer_headroom: 2, ..Default::default() }),
+        ("headroom 8".into(), EngineConfig { buffer_headroom: 8, ..Default::default() }),
+        ("no decay".into(), EngineConfig { half_life: None, ..Default::default() }),
+        (
+            "lazy refresh (slack 0.5)".into(),
+            EngineConfig { refresh: RefreshPolicy::Budgeted { slack: 0.5 }, ..Default::default() },
+        ),
+        ("no score cache".into(), EngineConfig { cache_capacity: 0, ..Default::default() }),
+        (
+            "score cache 1024".into(),
+            EngineConfig { cache_capacity: 1024, ..Default::default() },
+        ),
+    ];
+
+    for (name, engine) in variants {
+        let mut sim = Simulation::build(SimulationConfig {
+            workload: WorkloadConfig { num_users, ..WorkloadConfig::default() },
+            num_ads,
+            engine_kind: EngineKind::Incremental,
+            engine,
+            ..SimulationConfig::default()
+        });
+        sim.run(messages / 4);
+        let warm = sim.engine().stats().clone();
+        let (rate, _, _) = drive_continuous(&mut sim, messages, 10, 1);
+        let stats = sim.engine().stats();
+        let deltas = (stats.deltas - warm.deltas).max(1);
+        report.row(vec![
+            name,
+            fmt(rate),
+            fmt((stats.refreshes - warm.refreshes) as f64 / deltas as f64),
+            fmt((stats.ads_scored - warm.ads_scored) as f64 / deltas as f64),
+            fmt((stats.screened_out - warm.screened_out) as f64 / deltas as f64),
+            fmt((stats.postings_scanned - warm.postings_scanned) as f64 / deltas as f64),
+        ]);
+    }
+    report.finish();
+    let _ = fmt_u(0);
+}

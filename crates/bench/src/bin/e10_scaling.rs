@@ -1,0 +1,88 @@
+//! E10 (Figure): scalability — shard count and user count.
+//!
+//! Paper shape: near-linear speedup with shards up to the core count
+//! (per-user state is embarrassingly partitionable), and throughput
+//! roughly flat in the number of users at fixed arrival rate (work follows
+//! messages × fan-out, not the user table).
+
+use adcast_bench::{fmt, Report, Scale};
+use adcast_core::driver::ShardedDriver;
+use adcast_core::EngineConfig;
+use adcast_feed::{FeedDelivery, PushDelivery};
+use adcast_graph::generators;
+use adcast_stream::generator::{WorkloadConfig, WorkloadGenerator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let num_users = scale.pick(4_000, 20_000);
+    let messages = scale.pick(10_000, 80_000);
+    let num_ads = scale.pick(5_000, 30_000);
+    let batch_size = 1_000usize;
+
+    // Shared workload: pre-materialize the delta stream once.
+    let mut rng = SmallRng::seed_from_u64(0xE10);
+    let graph = generators::preferential_attachment(num_users, 20, &mut rng);
+    let mut generator = WorkloadGenerator::with_poisson(
+        WorkloadConfig { num_users, ..WorkloadConfig::default() },
+        200.0,
+    );
+    let mut store = adcast_ads::AdStore::new();
+    for _ in 0..num_ads {
+        let seed = generator.next_ad();
+        store
+            .submit(adcast_ads::AdSubmission {
+                vector: seed.vector,
+                bid: 1.0,
+                targeting: adcast_ads::Targeting::everywhere(),
+                budget: adcast_ads::Budget::unlimited(),
+                topic_hint: Some(seed.topic),
+            })
+            .expect("valid ad");
+    }
+    let mut delivery = PushDelivery::new(num_users, EngineConfig::default().window);
+    let mut batches: Vec<Vec<_>> = Vec::new();
+    let mut current = Vec::new();
+    for _ in 0..messages {
+        let msg = generator.next_message();
+        current.extend(delivery.post(&graph, msg));
+        if current.len() >= batch_size {
+            batches.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    let total_deltas: usize = batches.iter().map(|b| b.len()).sum();
+
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut report = Report::new(
+        "E10",
+        "scalability: deltas/sec vs shard count",
+        vec!["shards", "deltas_per_sec", "speedup", "refresh_per_delta"],
+    );
+    let mut base_rate = None::<f64>;
+    for shards in [1usize, 2, 4, 8, 16] {
+        if shards > available * 2 {
+            break;
+        }
+        let mut driver = ShardedDriver::new(num_users, shards, EngineConfig::default());
+        let started = Instant::now();
+        for batch in &batches {
+            driver.process_batch(&store, batch.clone());
+        }
+        let secs = started.elapsed().as_secs_f64();
+        let rate = total_deltas as f64 / secs.max(1e-9);
+        let base = *base_rate.get_or_insert(rate);
+        let stats = driver.stats();
+        report.row(vec![
+            shards.to_string(),
+            fmt(rate),
+            fmt(rate / base),
+            fmt(stats.refreshes as f64 / stats.deltas.max(1) as f64),
+        ]);
+    }
+    report.finish();
+}

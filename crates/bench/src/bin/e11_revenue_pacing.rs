@@ -1,0 +1,132 @@
+//! E11 (Figure/Table): the ad market — revenue, CTR by position, and
+//! budget pacing.
+//!
+//! Two identical platforms run the same stream and serving pressure; in
+//! one, campaigns are paced over the flight, in the other they serve
+//! greedily. Paper-class shape: greedy campaigns spend most of their
+//! budget in the first quarter of the flight and go dark; paced spend
+//! tracks the linear schedule, and the top slot's CTR clearly exceeds the
+//! second slot's (position bias).
+
+use adcast_bench::{fmt, fmt_u, Report, Scale};
+use adcast_core::market::AdMarket;
+use adcast_core::runner::EngineKind;
+use adcast_core::{Simulation, SimulationConfig};
+use adcast_graph::UserId;
+use adcast_stream::clock::Timestamp;
+use adcast_stream::generator::WorkloadConfig;
+use adcast_ads::PacingController;
+
+struct Quartiles {
+    spend_at: [f64; 4],
+}
+
+fn run(paced: bool, waves: usize, users_per_wave: u32, seed: u64) -> (Quartiles, AdMarket, f64) {
+    let config = SimulationConfig {
+        workload: WorkloadConfig { seed, num_users: users_per_wave, ..WorkloadConfig::tiny() },
+        num_ads: 40,
+        ad_budget: Some(10.0),
+        bid_range: (0.5, 1.5),
+        targeted_ad_fraction: 0.0,
+        engine_kind: EngineKind::Incremental,
+        ..SimulationConfig::tiny()
+    };
+    let mut sim = Simulation::build(config);
+    let mut market = AdMarket::standard(seed ^ 0xA0C710);
+
+    // Estimate the flight length in simulated time: waves × wave stream.
+    let msgs_per_wave = 400usize;
+    let flight_end = Timestamp::from_secs(
+        ((waves * msgs_per_wave) as f64 / 100.0/* msg rate */ * 1.25) as u64 + 1,
+    );
+    if paced {
+        for &(ad, _) in sim.ad_topics() {
+            market.set_pacing(ad, PacingController::new(Timestamp::EPOCH, flight_end, 10.0));
+        }
+    }
+
+    let mut quartiles = Quartiles { spend_at: [0.0; 4] };
+    for wave in 0..waves {
+        sim.run(msgs_per_wave);
+        let now = sim.now();
+        for u in 0..users_per_wave {
+            let recs = sim.recommend(UserId(u), 4);
+            let store = sim.store_mut();
+            market.serve(store, &recs, now);
+            for ad in market.take_exhausted() {
+                sim.engine_mut().on_campaign_removed(ad);
+            }
+            // Controllers adjust continuously, like a production pacing
+            // loop (every few hundred milliseconds of serving).
+            if u % 20 == 0 {
+                market.adjust_pacing(now);
+            }
+        }
+        market.adjust_pacing(sim.now());
+        // Record spend at quartile boundaries.
+        let q = (wave + 1) * 4 / waves;
+        if q >= 1 && (wave + 1) * 4 % waves < 4 {
+            let total_spend: f64 = sim
+                .ad_topics()
+                .iter()
+                .filter_map(|&(ad, _)| sim.store().campaign(ad))
+                .map(|c| c.budget.spent())
+                .sum();
+            quartiles.spend_at[(q - 1).min(3)] = total_spend;
+        }
+    }
+    let total_budget = 10.0 * sim.ad_topics().len() as f64;
+    (quartiles, market, total_budget)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let waves = scale.pick(16, 48);
+    let users = scale.pick(150, 600);
+
+    let mut report = Report::new(
+        "E11",
+        "revenue and budget pacing: greedy vs paced",
+        vec![
+            "strategy",
+            "spend_25pct",
+            "spend_50pct",
+            "spend_75pct",
+            "spend_100pct",
+            "revenue",
+            "impressions",
+            "overall_ctr",
+        ],
+    );
+    for paced in [false, true] {
+        let (q, market, total_budget) = run(paced, waves, users, 0xE11);
+        report.row(vec![
+            if paced { "paced" } else { "greedy" }.into(),
+            fmt(q.spend_at[0] / total_budget),
+            fmt(q.spend_at[1] / total_budget),
+            fmt(q.spend_at[2] / total_budget),
+            fmt(q.spend_at[3] / total_budget),
+            fmt(market.revenue()),
+            fmt_u(market.impressions()),
+            fmt(market.overall_ctr()),
+        ]);
+    }
+    report.finish();
+
+    // CTR by slot position (position bias), measured on a greedy run.
+    let (_, market, _) = run(false, waves, users, 0xE11 + 1);
+    let mut pos_report = Report::new(
+        "E11b",
+        "click-through rate by slot position",
+        vec!["position", "impressions", "clicks", "ctr"],
+    );
+    for (pos, &(imps, clicks)) in market.position_stats().iter().enumerate() {
+        pos_report.row(vec![
+            pos.to_string(),
+            fmt_u(imps),
+            fmt_u(clicks),
+            fmt(if imps > 0 { clicks as f64 / imps as f64 } else { 0.0 }),
+        ]);
+    }
+    pos_report.finish();
+}

@@ -1,0 +1,243 @@
+//! # adcast-bench — the experiment harness
+//!
+//! One binary per table/figure of the evaluation (`EXPERIMENTS.md` maps
+//! experiment ids to binaries). Every binary:
+//!
+//! 1. reads the scale from `ADCAST_SCALE` (`quick` | `paper`, default
+//!    `quick`) so CI smoke-runs stay fast while `paper` reproduces the
+//!    published shapes,
+//! 2. prints an aligned text table to stdout,
+//! 3. writes the same rows as CSV under `results/`.
+//!
+//! This `lib` holds the shared plumbing: scale handling, table/CSV
+//! emission, and the continuous-serving measurement loop used by several
+//! experiments.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use adcast_core::runner::EngineKind;
+use adcast_core::{Simulation, SimulationConfig};
+use adcast_graph::UserId;
+use adcast_metrics::LatencyHistogram;
+
+/// Experiment scale, from the `ADCAST_SCALE` env var.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds per experiment: CI smoke scale.
+    Quick,
+    /// Minutes per experiment: reproduces the published shapes.
+    Paper,
+}
+
+impl Scale {
+    /// Read from the environment (default [`Scale::Quick`]).
+    pub fn from_env() -> Self {
+        match std::env::var("ADCAST_SCALE").as_deref() {
+            Ok("paper") | Ok("PAPER") | Ok("full") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Pick `quick` or `paper` value by scale.
+    pub fn pick<T>(self, quick: T, paper: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// An experiment report: aligned stdout table + CSV artifact.
+pub struct Report {
+    id: &'static str,
+    title: &'static str,
+    columns: Vec<&'static str>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Start a report for experiment `id` (e.g. `"E2"`).
+    pub fn new(id: &'static str, title: &'static str, columns: Vec<&'static str>) -> Self {
+        println!("== {id}: {title} ==");
+        Report { id, title, columns, rows: Vec::new() }
+    }
+
+    /// Append one row (values are stringified in column order) and echo it
+    /// to stdout immediately so long sweeps show progress.
+    pub fn row(&mut self, values: Vec<String>) {
+        assert_eq!(values.len(), self.columns.len(), "row arity mismatch");
+        if self.rows.is_empty() {
+            self.print_header();
+        }
+        let widths = self.widths();
+        let line: Vec<String> = values
+            .iter()
+            .zip(&widths)
+            .map(|(v, w)| format!("{v:>width$}", width = w))
+            .collect();
+        println!("{}", line.join("  "));
+        self.rows.push(values);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        self.columns.iter().map(|c| c.len().max(12)).collect()
+    }
+
+    fn print_header(&self) {
+        let widths = self.widths();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>width$}", width = w))
+            .collect();
+        println!("{}", header.join("  "));
+    }
+
+    /// Write `results/<id>.csv` and print the path.
+    pub fn finish(self) {
+        let dir = results_dir();
+        fs::create_dir_all(&dir).expect("create results dir");
+        let path = dir.join(format!("{}.csv", self.id.to_lowercase()));
+        let mut file = fs::File::create(&path).expect("create csv");
+        writeln!(file, "# {}: {}", self.id, self.title).unwrap();
+        writeln!(file, "{}", self.columns.join(",")).unwrap();
+        for row in &self.rows {
+            writeln!(file, "{}", row.join(",")).unwrap();
+        }
+        println!("→ wrote {}\n", path.display());
+    }
+}
+
+fn results_dir() -> PathBuf {
+    // Walk up from the crate dir to the workspace root's results/.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(|p| p.parent()).map(|p| p.join("results")).unwrap_or_else(|| {
+        PathBuf::from("results")
+    })
+}
+
+/// Format a float with engineering-friendly precision.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Format a count.
+pub fn fmt_u(v: u64) -> String {
+    v.to_string()
+}
+
+/// The continuous-serving measurement: stream `messages` messages through
+/// the simulation; after each message, serve the affected followers.
+/// Returns `(events/sec, per-event latency histogram, serves)`.
+///
+/// "Event" = one message fan-out processed end-to-end (all follower feed
+/// deltas + all follower serves), which is the unit the throughput figures
+/// report.
+pub fn drive_continuous(
+    sim: &mut Simulation,
+    messages: usize,
+    k: usize,
+    serve_every: usize,
+) -> (f64, LatencyHistogram, u64) {
+    drive_continuous_capped(sim, messages, k, serve_every, usize::MAX)
+}
+
+/// [`drive_continuous`] with an explicit cap on serves per event (the
+/// default is uncapped: in the continuous model every affected follower's
+/// list must be brought current).
+pub fn drive_continuous_capped(
+    sim: &mut Simulation,
+    messages: usize,
+    k: usize,
+    serve_every: usize,
+    serve_cap: usize,
+) -> (f64, LatencyHistogram, u64) {
+    let mut hist = LatencyHistogram::new();
+    let mut serves = 0u64;
+    let started = Instant::now();
+    for i in 0..messages {
+        let t0 = Instant::now();
+        let (msg, _) = sim.step();
+        if serve_every > 0 && i % serve_every == 0 {
+            let followers: Vec<UserId> =
+                sim.graph().followers(msg.author).iter().copied().take(serve_cap).collect();
+            for u in followers {
+                sim.recommend(u, k);
+                serves += 1;
+            }
+        }
+        hist.record_duration(t0.elapsed());
+    }
+    let secs = started.elapsed().as_secs_f64();
+    (messages as f64 / secs.max(1e-9), hist, serves)
+}
+
+/// Build a simulation with shared experiment defaults.
+pub fn standard_sim(kind: EngineKind, mutate: impl FnOnce(&mut SimulationConfig)) -> Simulation {
+    let mut config = SimulationConfig::default();
+    config.engine_kind = kind;
+    mutate(&mut config);
+    Simulation::build(config)
+}
+
+/// All three engines with display names, for comparison sweeps.
+pub const ENGINES: [(EngineKind, &str); 3] = [
+    (EngineKind::FullScan, "full-scan"),
+    (EngineKind::IndexScan, "index-scan"),
+    (EngineKind::Incremental, "incremental"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Paper.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.1234), "0.123");
+        assert_eq!(fmt(12.34), "12.3");
+        assert_eq!(fmt(1234.5), "1234");  // round-half-to-even
+    }
+
+    #[test]
+    fn drive_continuous_smoke() {
+        let mut sim = standard_sim(EngineKind::Incremental, |c| {
+            c.workload = adcast_stream::generator::WorkloadConfig::tiny();
+            c.num_ads = 20;
+        });
+        let (rate, hist, serves) = drive_continuous(&mut sim, 50, 2, 1);
+        assert!(rate > 0.0);
+        assert_eq!(hist.count(), 50);
+        assert!(serves > 0);
+    }
+
+    #[test]
+    fn report_writes_csv() {
+        let mut r = Report::new("E0", "smoke", vec!["a", "b"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.finish();
+        let path = super::results_dir().join("e0.csv");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.contains("a,b"));
+        assert!(contents.contains("1,2"));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,286 @@
+//! Per-user context accumulators.
+//!
+//! The context of user `u` at time `t` is the recency-weighted sum of the
+//! term vectors in `u`'s feed window. It is stored in **forward-decay
+//! scale** (see [`adcast_stream::decay`]): each message contributes
+//! `g(t_m) · v_m` where `g` grows with time, so arrivals and evictions are
+//! pure sparse-vector additions and no stored weight ever needs rescaling
+//! — until the exponent nears `f64` range, at which point the accumulator
+//! is renormalized and the caller is told the factor so it can rescale any
+//! derived state (the incremental engine's buffered scores).
+
+use adcast_feed::FeedDelta;
+use adcast_stream::clock::{Duration, Timestamp};
+use adcast_stream::decay::ForwardDecay;
+use adcast_stream::event::Message;
+use adcast_text::SparseVector;
+
+/// What a context update did, as seen by derived state.
+#[derive(Debug, Clone, Default)]
+pub struct ContextUpdate {
+    /// If present, all forward-scale state derived from this context must
+    /// be multiplied by this factor (a landmark rebase happened).
+    pub rescale: Option<f64>,
+    /// The forward-scale change to the context vector
+    /// (`new_ctx = rescale·old_ctx + delta`).
+    pub delta: SparseVector,
+}
+
+impl ContextUpdate {
+    /// True when nothing changed at all.
+    pub fn is_empty(&self) -> bool {
+        self.rescale.is_none() && self.delta.is_empty()
+    }
+}
+
+/// A user's forward-decayed context accumulator.
+#[derive(Debug, Clone)]
+pub struct UserContext {
+    decay: ForwardDecay,
+    /// Σ g(t_m)·v_m over the current window, forward scale.
+    acc: SparseVector,
+    /// Time of the latest applied message (for normalizer queries).
+    last_ts: Timestamp,
+}
+
+impl UserContext {
+    /// An empty context with the given recency half-life (`None` = no
+    /// decay).
+    pub fn new(half_life: Option<Duration>) -> Self {
+        let decay = match half_life {
+            Some(h) => ForwardDecay::from_half_life(h),
+            None => ForwardDecay::disabled(),
+        };
+        UserContext { decay, acc: SparseVector::new(), last_ts: Timestamp::EPOCH }
+    }
+
+    /// The raw forward-scale accumulator.
+    pub fn raw(&self) -> &SparseVector {
+        &self.acc
+    }
+
+    /// Number of non-zero context terms.
+    pub fn len(&self) -> usize {
+        self.acc.len()
+    }
+
+    /// Is the context empty?
+    pub fn is_empty(&self) -> bool {
+        self.acc.is_empty()
+    }
+
+    /// Timestamp of the newest message applied.
+    pub fn last_ts(&self) -> Timestamp {
+        self.last_ts
+    }
+
+    /// The divisor converting forward-scale dots into true decayed dots at
+    /// time `t`.
+    pub fn normalizer(&self, t: Timestamp) -> f64 {
+        self.decay.normalizer(t)
+    }
+
+    /// Apply a feed delta. Returns the forward-scale change plus any
+    /// rescale factor derived state must apply **first**.
+    pub fn apply(&mut self, delta: &FeedDelta) -> ContextUpdate {
+        let mut update = ContextUpdate::default();
+        // Rebase before inserting if the incoming timestamp would push the
+        // exponent over the safe range.
+        if let Some(m) = &delta.entered {
+            if self.decay.needs_rebase(m.ts) {
+                let factor = 1.0 / self.decay.normalizer(m.ts);
+                self.acc.scale(factor as f32);
+                self.decay.rebase(m.ts);
+                update.rescale = Some(factor);
+            }
+        }
+        let mut change = SparseVector::new();
+        if let Some(m) = &delta.entered {
+            let g = self.decay.weight(m.ts) as f32;
+            change.axpy(g, &m.vector);
+            self.last_ts = self.last_ts.max(m.ts);
+        }
+        for evicted in &delta.evicted {
+            let g = self.decay.weight(evicted.ts) as f32;
+            change.axpy(-g, &evicted.vector);
+        }
+        self.acc.axpy(1.0, &change);
+        update.delta = change;
+        update
+    }
+
+    /// The true (decay-normalized) context vector at time `t` — O(terms);
+    /// used by the full-scan baseline and for inspection, never on the
+    /// incremental hot path.
+    pub fn materialize(&self, t: Timestamp) -> SparseVector {
+        let mut v = self.acc.clone();
+        v.scale((1.0 / self.normalizer(t)) as f32);
+        v
+    }
+
+    /// Rebuild the accumulator from a full window snapshot (used by
+    /// recovery paths and tests to validate the incremental path).
+    pub fn rebuild<'a>(&mut self, window: impl Iterator<Item = &'a Message>) {
+        self.acc.clear();
+        for m in window {
+            if self.decay.needs_rebase(m.ts) {
+                let factor = 1.0 / self.decay.normalizer(m.ts);
+                self.acc.scale(factor as f32);
+                self.decay.rebase(m.ts);
+            }
+            let g = self.decay.weight(m.ts) as f32;
+            self.acc.axpy(g, &m.vector);
+            self.last_ts = self.last_ts.max(m.ts);
+        }
+    }
+
+    /// Approximate resident bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.acc.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcast_graph::UserId;
+    use adcast_stream::event::{LocationId, MessageId, SharedMessage};
+    use adcast_text::dictionary::TermId;
+    use std::sync::Arc;
+
+    fn msg(id: u64, secs: u64, terms: &[(u32, f32)]) -> SharedMessage {
+        Arc::new(Message {
+            id: MessageId(id),
+            author: UserId(0),
+            ts: Timestamp::from_secs(secs),
+            location: LocationId(0),
+            vector: SparseVector::from_pairs(terms.iter().map(|&(t, w)| (TermId(t), w))),
+        })
+    }
+
+    fn enter(m: SharedMessage) -> FeedDelta {
+        FeedDelta { entered: Some(m), evicted: vec![] }
+    }
+
+    #[test]
+    fn no_decay_accumulates_plainly() {
+        let mut ctx = UserContext::new(None);
+        ctx.apply(&enter(msg(0, 0, &[(1, 1.0)])));
+        ctx.apply(&enter(msg(1, 100, &[(1, 0.5), (2, 1.0)])));
+        assert_eq!(ctx.raw().get(TermId(1)), 1.5);
+        assert_eq!(ctx.raw().get(TermId(2)), 1.0);
+        assert_eq!(ctx.normalizer(Timestamp::from_secs(100)), 1.0);
+    }
+
+    #[test]
+    fn eviction_cancels_exactly() {
+        let mut ctx = UserContext::new(None);
+        let m = msg(0, 0, &[(1, 1.0), (2, 0.5)]);
+        ctx.apply(&enter(m.clone()));
+        ctx.apply(&FeedDelta { entered: None, evicted: vec![m] });
+        assert!(ctx.is_empty(), "entering then evicting must cancel: {:?}", ctx.raw());
+    }
+
+    #[test]
+    fn decay_prefers_recent_messages() {
+        let mut ctx = UserContext::new(Some(Duration::from_secs(100)));
+        ctx.apply(&enter(msg(0, 0, &[(1, 1.0)])));
+        ctx.apply(&enter(msg(1, 100, &[(2, 1.0)])));
+        let now = Timestamp::from_secs(100);
+        let v = ctx.materialize(now);
+        let old_w = v.get(TermId(1));
+        let new_w = v.get(TermId(2));
+        assert!((new_w - 1.0).abs() < 1e-5, "fresh message has weight 1, got {new_w}");
+        assert!((old_w - 0.5).abs() < 1e-5, "one half-life halves the weight, got {old_w}");
+    }
+
+    #[test]
+    fn materialized_matches_bruteforce_with_decay() {
+        let half = Duration::from_secs(50);
+        let mut ctx = UserContext::new(Some(half));
+        let messages = [
+            msg(0, 10, &[(1, 0.8), (2, 0.2)]),
+            msg(1, 30, &[(2, 1.0)]),
+            msg(2, 55, &[(1, 0.4), (3, 0.6)]),
+        ];
+        for m in &messages {
+            ctx.apply(&enter(m.clone()));
+        }
+        let now = Timestamp::from_secs(60);
+        let got = ctx.materialize(now);
+        // Brute force: Σ 2^(-(now-ts)/half) · v.
+        for t in [1u32, 2, 3] {
+            let expect: f32 = messages
+                .iter()
+                .map(|m| {
+                    let age = now.as_secs_f64() - m.ts.as_secs_f64();
+                    (0.5f64.powf(age / 50.0) as f32) * m.vector.get(TermId(t))
+                })
+                .sum();
+            assert!((got.get(TermId(t)) - expect).abs() < 1e-4, "term {t}");
+        }
+    }
+
+    #[test]
+    fn rebase_reports_rescale_and_preserves_semantics() {
+        // Aggressive decay so the rebase threshold trips quickly.
+        let mut ctx = UserContext::new(Some(Duration::from_micros(100_000)));
+        ctx.apply(&enter(msg(0, 0, &[(1, 1.0)])));
+        // ~60/ln2 half-lives later the exponent exceeds the limit.
+        let far = 20; // seconds; λ≈6.93/s → exponent ≈ 138 > 60
+        let update = ctx.apply(&enter(msg(1, far, &[(2, 1.0)])));
+        let factor = update.rescale.expect("rebase must be reported");
+        assert!(factor < 1e-10, "rescale shrinks forward weights, got {factor}");
+        // Semantics preserved: the fresh message has relative weight 1.
+        let v = ctx.materialize(Timestamp::from_secs(far));
+        assert!((v.get(TermId(2)) - 1.0).abs() < 1e-4);
+        // And the old message has decayed to essentially nothing.
+        assert!(v.get(TermId(1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn update_delta_reconstructs_context() {
+        let mut ctx = UserContext::new(Some(Duration::from_secs(100)));
+        let mut shadow = SparseVector::new();
+        for i in 0..20u64 {
+            let m = msg(i, i * 10, &[((i % 5) as u32, 1.0)]);
+            let evict = if i >= 3 { Some(msg(i - 3, (i - 3) * 10, &[(((i - 3) % 5) as u32, 1.0)])) } else { None };
+            let delta = FeedDelta { entered: Some(m), evicted: evict.into_iter().collect() };
+            let update = ctx.apply(&delta);
+            if let Some(r) = update.rescale {
+                shadow.scale(r as f32);
+            }
+            shadow.axpy(1.0, &update.delta);
+        }
+        // Shadow state driven only by ContextUpdate equals the context.
+        assert_eq!(shadow.len(), ctx.raw().len());
+        for (t, w) in ctx.raw().iter() {
+            let rel = (shadow.get(t) - w).abs() / w.abs().max(1e-12);
+            assert!(rel < 1e-4, "term {t:?}: shadow {} vs ctx {w}", shadow.get(t));
+        }
+    }
+
+    #[test]
+    fn rebuild_matches_incremental() {
+        let mut inc = UserContext::new(Some(Duration::from_secs(100)));
+        let msgs: Vec<_> = (0..10u64).map(|i| msg(i, i * 7, &[((i % 3) as u32, 0.7)])).collect();
+        for m in &msgs {
+            inc.apply(&enter(m.clone()));
+        }
+        let mut rebuilt = UserContext::new(Some(Duration::from_secs(100)));
+        rebuilt.rebuild(msgs.iter().map(|m| m.as_ref()));
+        let now = Timestamp::from_secs(100);
+        let (a, b) = (inc.materialize(now), rebuilt.materialize(now));
+        for (t, w) in a.iter() {
+            assert!((b.get(t) - w).abs() < 1e-4, "term {t:?}");
+        }
+        assert_eq!(inc.last_ts(), rebuilt.last_ts());
+    }
+
+    #[test]
+    fn empty_delta_is_empty_update() {
+        let mut ctx = UserContext::new(None);
+        let u = ctx.apply(&FeedDelta::default());
+        assert!(u.is_empty());
+    }
+}

@@ -1,0 +1,246 @@
+//! Sharded multi-threaded driver (the E10 scalability experiment).
+//!
+//! Users are partitioned across shards by id; each shard owns a private
+//! engine instance, so no engine state is ever shared between threads —
+//! the only shared structure is the read-only [`AdStore`] borrow. Feed
+//! deltas are fanned to shards over crossbeam channels and processed by a
+//! scoped worker per shard.
+//!
+//! This mirrors how a production deployment scales the algorithm: the
+//! per-user state is embarrassingly partitionable, and the ad index is
+//! read-mostly (campaign churn is orders of magnitude rarer than feed
+//! updates and is applied between processing waves).
+
+use adcast_ads::AdStore;
+use adcast_feed::FeedDelta;
+use adcast_graph::UserId;
+use adcast_stream::clock::Timestamp;
+use adcast_stream::event::LocationId;
+use crossbeam::channel;
+
+use crate::config::EngineConfig;
+use crate::engine::{EngineStats, IncrementalEngine, Recommendation, RecommendationEngine};
+
+/// A sharded pool of incremental engines.
+pub struct ShardedDriver {
+    shards: Vec<IncrementalEngine>,
+    num_users: u32,
+}
+
+impl ShardedDriver {
+    /// Create `num_shards` engines over `num_users` users.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_shards == 0` or the configuration is invalid.
+    pub fn new(num_users: u32, num_shards: usize, config: EngineConfig) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        // Each shard allocates state for all user ids (simple and uniform);
+        // only its residents are ever touched, so the overhead is one
+        // empty context per foreign user.
+        let shards =
+            (0..num_shards).map(|_| IncrementalEngine::new(num_users, config.clone())).collect();
+        ShardedDriver { shards, num_users }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `user`.
+    pub fn shard_of(&self, user: UserId) -> usize {
+        user.index() % self.shards.len()
+    }
+
+    /// Process a batch of feed deltas in parallel across shards.
+    /// Returns when every delta has been applied.
+    pub fn process_batch(&mut self, store: &AdStore, deltas: Vec<(UserId, FeedDelta)>) {
+        let num_shards = self.shards.len();
+        if num_shards == 1 {
+            let engine = &mut self.shards[0];
+            for (user, delta) in &deltas {
+                engine.on_feed_delta(store, *user, delta);
+            }
+            return;
+        }
+        let mut senders = Vec::with_capacity(num_shards);
+        let mut receivers = Vec::with_capacity(num_shards);
+        for _ in 0..num_shards {
+            let (tx, rx) = channel::unbounded::<(UserId, FeedDelta)>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        for (user, delta) in deltas {
+            let shard = user.index() % num_shards;
+            senders[shard].send((user, delta)).expect("receiver alive");
+        }
+        drop(senders);
+        std::thread::scope(|scope| {
+            for (engine, rx) in self.shards.iter_mut().zip(receivers) {
+                scope.spawn(move || {
+                    for (user, delta) in rx {
+                        engine.on_feed_delta(store, user, &delta);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Serve a recommendation from the owning shard.
+    pub fn recommend(
+        &mut self,
+        store: &AdStore,
+        user: UserId,
+        now: Timestamp,
+        location: LocationId,
+        k: usize,
+    ) -> Vec<Recommendation> {
+        let shard = self.shard_of(user);
+        self.shards[shard].recommend(store, user, now, location, k)
+    }
+
+    /// Aggregate work counters across shards.
+    pub fn stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for s in &self.shards {
+            let st = s.stats();
+            total.deltas += st.deltas;
+            total.postings_scanned += st.postings_scanned;
+            total.ads_scored += st.ads_scored;
+            total.screened_out += st.screened_out;
+            total.promotions += st.promotions;
+            total.refreshes += st.refreshes;
+            total.fallbacks += st.fallbacks;
+            total.recommends += st.recommends;
+            total.rebases += st.rebases;
+        }
+        total
+    }
+
+    /// Total users.
+    pub fn num_users(&self) -> u32 {
+        self.num_users
+    }
+
+    /// Approximate resident bytes across shards.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.memory_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcast_ads::{AdSubmission, Budget, Targeting};
+    use adcast_stream::event::{Message, MessageId};
+    use adcast_text::dictionary::TermId;
+    use adcast_text::SparseVector;
+    use std::sync::Arc;
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)))
+    }
+
+    fn store() -> AdStore {
+        let mut s = AdStore::new();
+        for t in 0..8u32 {
+            s.submit(AdSubmission {
+                vector: v(&[(t, 1.0)]),
+                bid: 1.0,
+                targeting: Targeting::everywhere(),
+                budget: Budget::unlimited(),
+                topic_hint: None,
+            })
+            .unwrap();
+        }
+        s
+    }
+
+    fn deltas(n: u64, users: u32) -> Vec<(UserId, FeedDelta)> {
+        (0..n)
+            .map(|i| {
+                let user = UserId((i % users as u64) as u32);
+                let msg = Arc::new(Message {
+                    id: MessageId(i),
+                    author: UserId(0),
+                    ts: Timestamp::from_secs(i),
+                    location: LocationId(0),
+                    vector: v(&[((i % 8) as u32, 1.0)]),
+                });
+                (user, FeedDelta { entered: Some(msg), evicted: vec![] })
+            })
+            .collect()
+    }
+
+    fn cfg() -> EngineConfig {
+        EngineConfig { k: 2, half_life: None, ..Default::default() }
+    }
+
+    #[test]
+    fn single_shard_matches_direct_engine() {
+        let s = store();
+        let mut driver = ShardedDriver::new(4, 1, cfg());
+        let mut direct = IncrementalEngine::new(4, cfg());
+        let batch = deltas(40, 4);
+        for (u, d) in &batch {
+            direct.on_feed_delta(&s, *u, d);
+        }
+        driver.process_batch(&s, batch);
+        for u in 0..4u32 {
+            let now = Timestamp::from_secs(100);
+            let a = driver.recommend(&s, UserId(u), now, LocationId(0), 2);
+            let b = direct.recommend(&s, UserId(u), now, LocationId(0), 2);
+            assert_eq!(
+                a.iter().map(|r| r.ad).collect::<Vec<_>>(),
+                b.iter().map(|r| r.ad).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_shard_matches_single_shard() {
+        let s = store();
+        let mut one = ShardedDriver::new(8, 1, cfg());
+        let mut four = ShardedDriver::new(8, 4, cfg());
+        let batch = deltas(80, 8);
+        one.process_batch(&s, batch.clone());
+        four.process_batch(&s, batch);
+        let now = Timestamp::from_secs(100);
+        for u in 0..8u32 {
+            let a = one.recommend(&s, UserId(u), now, LocationId(0), 2);
+            let b = four.recommend(&s, UserId(u), now, LocationId(0), 2);
+            assert_eq!(
+                a.iter().map(|r| r.ad).collect::<Vec<_>>(),
+                b.iter().map(|r| r.ad).collect::<Vec<_>>(),
+                "user {u}"
+            );
+        }
+        assert_eq!(one.stats().deltas, four.stats().deltas);
+    }
+
+    #[test]
+    fn shard_routing_is_stable() {
+        let driver = ShardedDriver::new(16, 4, cfg());
+        for u in 0..16u32 {
+            assert_eq!(driver.shard_of(UserId(u)), (u % 4) as usize);
+        }
+        assert_eq!(driver.num_shards(), 4);
+        assert_eq!(driver.num_users(), 16);
+        assert!(driver.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let s = store();
+        let mut driver = ShardedDriver::new(4, 2, cfg());
+        driver.process_batch(&s, vec![]);
+        assert_eq!(driver.stats().deltas, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardedDriver::new(4, 0, cfg());
+    }
+}

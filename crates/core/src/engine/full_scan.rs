@@ -1,0 +1,205 @@
+//! Baseline 1: score **every** active ad on every request.
+
+use adcast_ads::AdStore;
+use adcast_feed::FeedDelta;
+use adcast_graph::UserId;
+use adcast_stream::clock::Timestamp;
+use adcast_stream::event::LocationId;
+
+use crate::config::EngineConfig;
+use crate::context::UserContext;
+use crate::engine::{EngineStats, Recommendation, RecommendationEngine};
+use crate::topk::{top_k, Scored};
+
+/// The exhaustive baseline. Exact by construction; O(|A|) per request.
+#[derive(Debug)]
+pub struct FullScanEngine {
+    config: EngineConfig,
+    contexts: Vec<UserContext>,
+    stats: EngineStats,
+}
+
+impl FullScanEngine {
+    /// One context per user.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration.
+    pub fn new(num_users: u32, config: EngineConfig) -> Self {
+        config.validate().expect("invalid engine config");
+        FullScanEngine {
+            contexts: (0..num_users).map(|_| UserContext::new(config.half_life)).collect(),
+            config,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Read access to a user's context (tests / inspection).
+    pub fn context(&self, user: UserId) -> &UserContext {
+        &self.contexts[user.index()]
+    }
+}
+
+impl RecommendationEngine for FullScanEngine {
+    fn on_feed_delta(&mut self, _store: &AdStore, user: UserId, delta: &FeedDelta) {
+        self.stats.deltas += 1;
+        let update = self.contexts[user.index()].apply(delta);
+        if update.rescale.is_some() {
+            self.stats.rebases += 1;
+        }
+    }
+
+    fn recommend(
+        &mut self,
+        store: &AdStore,
+        user: UserId,
+        now: Timestamp,
+        location: LocationId,
+        k: usize,
+    ) -> Vec<Recommendation> {
+        self.stats.recommends += 1;
+        let ctx = &self.contexts[user.index()];
+        let true_ctx = ctx.materialize(now);
+        let policy = self.config.scoring;
+        let mut scored = Vec::new();
+        for campaign in store.active_campaigns() {
+            if !campaign.ad.targeting.matches(location, now) {
+                continue;
+            }
+            self.stats.ads_scored += 1;
+            let relevance = true_ctx.dot(&campaign.ad.vector);
+            // Sub-threshold ads are never served (consistent across all
+            // engines; see EngineConfig::min_relevance).
+            if relevance <= self.config.min_relevance {
+                continue;
+            }
+            scored.push((campaign.ad.id, relevance, policy.rank(relevance, campaign.ad.bid)));
+        }
+        let top = top_k(scored.iter().map(|&(ad, _, rank)| Scored { ad, score: rank }), k);
+        top.into_iter()
+            .map(|s| {
+                let relevance = scored
+                    .iter()
+                    .find(|&&(ad, _, _)| ad == s.ad)
+                    .map(|&(_, rel, _)| rel)
+                    .expect("top-k item came from scored");
+                Recommendation { ad: s.ad, score: s.score, relevance }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "full-scan"
+    }
+
+    fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.contexts.iter().map(|c| c.memory_bytes()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcast_ads::{AdSubmission, Budget, Targeting};
+    use adcast_stream::event::{Message, MessageId, TimeSlot};
+    use adcast_text::dictionary::TermId;
+    use adcast_text::SparseVector;
+    use std::sync::Arc;
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)))
+    }
+
+    fn store_with_ads() -> AdStore {
+        let mut s = AdStore::new();
+        // ad0: term 1; ad1: term 2; ad2: term 1+2, afternoon-only.
+        for (vec, targeting) in [
+            (v(&[(1, 1.0)]), Targeting::everywhere()),
+            (v(&[(2, 1.0)]), Targeting::everywhere()),
+            (
+                v(&[(1, 0.7), (2, 0.7)]),
+                Targeting::everywhere().in_slots([TimeSlot::Afternoon]),
+            ),
+        ] {
+            s.submit(AdSubmission {
+                vector: vec,
+                bid: 1.0,
+                targeting,
+                budget: Budget::unlimited(),
+                topic_hint: None,
+            })
+            .unwrap();
+        }
+        s
+    }
+
+    fn feed(engine: &mut FullScanEngine, store: &AdStore, terms: &[(u32, f32)], secs: u64) {
+        let m = Arc::new(Message {
+            id: MessageId(secs),
+            author: UserId(0),
+            ts: Timestamp::from_secs(secs),
+            location: LocationId(0),
+            vector: v(terms),
+        });
+        engine.on_feed_delta(store, UserId(0), &FeedDelta { entered: Some(m), evicted: vec![] });
+    }
+
+    fn afternoon() -> Timestamp {
+        Timestamp::from_secs(15 * 3600)
+    }
+
+    fn morning() -> Timestamp {
+        Timestamp::from_secs(9 * 3600)
+    }
+
+    #[test]
+    fn ranks_by_context_overlap() {
+        let store = store_with_ads();
+        let mut e = FullScanEngine::new(1, EngineConfig { half_life: None, ..Default::default() });
+        feed(&mut e, &store, &[(1, 1.0)], 10);
+        let recs = e.recommend(&store, UserId(0), morning(), LocationId(0), 2);
+        assert_eq!(recs[0].ad, adcast_ads::AdId(0), "term-1 ad wins on a term-1 context");
+        assert!(recs[0].score > 0.0);
+        assert!((recs[0].score - recs[0].relevance).abs() < 1e-6, "λ=1: score == relevance");
+    }
+
+    #[test]
+    fn targeting_filters_by_slot() {
+        let store = store_with_ads();
+        let mut e = FullScanEngine::new(1, EngineConfig { half_life: None, ..Default::default() });
+        feed(&mut e, &store, &[(1, 1.0), (2, 1.0)], 10);
+        let morning_recs = e.recommend(&store, UserId(0), morning(), LocationId(0), 3);
+        assert!(
+            morning_recs.iter().all(|r| r.ad != adcast_ads::AdId(2)),
+            "afternoon-only ad must not serve in the morning"
+        );
+        let noon_recs = e.recommend(&store, UserId(0), afternoon(), LocationId(0), 3);
+        assert_eq!(noon_recs[0].ad, adcast_ads::AdId(2), "blended ad wins when eligible");
+    }
+
+    #[test]
+    fn empty_context_serves_nothing() {
+        let store = store_with_ads();
+        let mut e = FullScanEngine::new(1, EngineConfig::default());
+        let recs = e.recommend(&store, UserId(0), morning(), LocationId(0), 2);
+        assert!(recs.is_empty(), "zero-relevance ads are never served");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let store = store_with_ads();
+        let mut e = FullScanEngine::new(1, EngineConfig { half_life: None, ..Default::default() });
+        feed(&mut e, &store, &[(1, 1.0)], 10);
+        e.recommend(&store, UserId(0), morning(), LocationId(0), 2);
+        assert_eq!(e.stats().deltas, 1);
+        assert_eq!(e.stats().recommends, 1);
+        assert_eq!(e.stats().ads_scored, 2, "morning: the slot-targeted ad is filtered first");
+        assert!(e.memory_bytes() > 0);
+        assert_eq!(e.name(), "full-scan");
+    }
+}

@@ -1,0 +1,875 @@
+//! **The system**: incremental per-user top-k maintenance.
+//!
+//! ## State per user
+//!
+//! * a forward-decayed [`UserContext`],
+//! * a [`CandidateBuffer`] holding *exact* forward-scale relevance dots
+//!   for up to `headroom · k` ads,
+//! * an `outside_bound`: a certified upper bound on the forward-scale
+//!   relevance of **every ad not in the buffer**.
+//!
+//! ## Per feed delta (the hot path)
+//!
+//! 1. apply the delta to the context; if a decay rebase fired, rescale the
+//!    buffer and the bound by the same factor;
+//! 2. walk the posting lists of only the **changed terms**: buffered ads
+//!    get their dots nudged exactly; outside ads touched by *positive*
+//!    weight accumulate their potential gain in a scratch map;
+//! 3. raise `outside_bound` by `Σ Δ⁺(t) · max_weight(t)` (index metadata);
+//! 4. **promotion screening**: an outside ad is worth an exact dot only if
+//!    `bound_before + its_gain` could beat the buffer's worst entry;
+//!    survivors get an exact ad-side dot and are inserted (evictions raise
+//!    the bound to the evicted ad's exact dot);
+//! 5. **certification**: if the bound now exceeds the k-th buffered rank
+//!    (modulo the refresh policy's slack), re-establish exactness with one
+//!    TAAT refresh for this user only.
+//!
+//! With `RefreshPolicy::Eager` the served top-k is provably identical to
+//! the baselines' (the equivalence tests exercise this); `Budgeted` trades
+//! bounded staleness for fewer refreshes.
+
+use std::collections::HashMap;
+
+use adcast_ads::{AdId, AdStore};
+use adcast_feed::FeedDelta;
+use adcast_graph::UserId;
+use adcast_stream::clock::Timestamp;
+use adcast_stream::event::LocationId;
+
+use crate::config::EngineConfig;
+use crate::context::UserContext;
+use crate::engine::{dot_ad_side, EngineStats, Recommendation, RecommendationEngine};
+use crate::skyband::{CandidateBuffer, ScoreCache};
+use crate::topk::{top_k, Scored};
+
+#[derive(Debug)]
+struct UserState {
+    ctx: UserContext,
+    buffer: CandidateBuffer,
+    /// Score cache: exact-when-written, drift-high forward relevances of
+    /// candidates that did not make the buffer (see
+    /// `EngineConfig::cache_capacity`).
+    cache: ScoreCache,
+    /// Upper bound on every *cached* ad's relevance (ratchets up on cache
+    /// writes, resets at refresh).
+    ceiling: f32,
+    /// Upper bound (forward scale) on any ad that is neither buffered nor
+    /// cached.
+    outside_bound: f32,
+    /// The store's index epoch when this buffer was last certified. Ads
+    /// submitted or resumed after that are not covered by the bound, so a
+    /// stale epoch forces a refresh on the next touch.
+    index_epoch: u64,
+}
+
+/// The incremental engine.
+#[derive(Debug)]
+pub struct IncrementalEngine {
+    config: EngineConfig,
+    users: Vec<UserState>,
+    stats: EngineStats,
+    /// Scratch: potential relevance gains of outside ads in this delta.
+    gains: HashMap<AdId, f32>,
+    /// Scratch for refresh TAAT.
+    taat: HashMap<AdId, f32>,
+}
+
+impl IncrementalEngine {
+    /// One state per user.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration.
+    pub fn new(num_users: u32, config: EngineConfig) -> Self {
+        config.validate().expect("invalid engine config");
+        let capacity = config.buffer_capacity();
+        IncrementalEngine {
+            users: (0..num_users)
+                .map(|_| UserState {
+                    ctx: UserContext::new(config.half_life),
+                    buffer: CandidateBuffer::new(capacity),
+                    cache: ScoreCache::new(config.cache_capacity),
+                    ceiling: 0.0,
+                    outside_bound: 0.0,
+                    index_epoch: 0,
+                })
+                .collect(),
+            config,
+            stats: EngineStats::default(),
+            gains: HashMap::new(),
+            taat: HashMap::new(),
+        }
+    }
+
+    /// Read access to a user's context (tests / inspection).
+    pub fn context(&self, user: UserId) -> &UserContext {
+        &self.users[user.index()].ctx
+    }
+
+    /// The ranking function over (ad, forward relevance). λ = 1 avoids the
+    /// bid lookup entirely.
+    #[inline]
+    fn rank_of(&self, store: &AdStore, ad: AdId, relevance: f32) -> f32 {
+        if self.config.scoring.lambda >= 1.0 {
+            relevance
+        } else {
+            let bid = store.ad(ad).map_or(1.0, |a| a.bid);
+            self.config.scoring.rank(relevance.max(0.0), bid)
+        }
+    }
+
+    /// The combined relevance bound over every non-buffered ad of `user`:
+    /// cached ads are below the ceiling, everything else below the
+    /// unknown-ad bound.
+    fn outside_rel_bound(&self, user: UserId) -> f32 {
+        let st = &self.users[user.index()];
+        st.ceiling.max(st.outside_bound)
+    }
+
+    /// Upper bound on the *rank* of any outside ad, from the relevance
+    /// bound and the maximum active bid.
+    fn outside_rank_bound(&self, store: &AdStore, relevance_bound: f32) -> f32 {
+        if self.config.scoring.lambda >= 1.0 {
+            relevance_bound
+        } else {
+            let max_bid =
+                store.active_campaigns().map(|c| c.ad.bid).fold(0.0f32, f32::max).max(1e-9);
+            self.config.scoring.rank(relevance_bound.max(0.0), max_bid)
+        }
+    }
+
+    /// One-user exact TAAT re-evaluation: refill the buffer with the
+    /// top-capacity ads by rank and reset the outside bound.
+    fn refresh(&mut self, store: &AdStore, user: UserId) {
+        self.stats.refreshes += 1;
+        let index = store.index();
+        self.taat.clear();
+        {
+            let st = &self.users[user.index()];
+            for (term, weight) in st.ctx.raw().iter() {
+                let postings = index.postings(term);
+                self.stats.postings_scanned += postings.len() as u64;
+                for p in postings {
+                    *self.taat.entry(p.ad).or_insert(0.0) += weight * p.weight;
+                }
+            }
+        }
+        self.stats.ads_scored += self.taat.len() as u64;
+        // Order candidates by rank, best first.
+        let mut candidates: Vec<(AdId, f32, f32)> = self
+            .taat
+            .iter()
+            .map(|(&ad, &rel)| (ad, rel, self.rank_of(store, ad, rel)))
+            .collect();
+        candidates.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        let capacity = self.config.buffer_capacity();
+        let cache_capacity = self.config.cache_capacity;
+        let st = &mut self.users[user.index()];
+        st.buffer.clear();
+        st.cache.clear();
+        for &(ad, rel, _) in candidates.iter().take(capacity) {
+            st.buffer.insert(ad, rel, |_, r| r);
+        }
+        // The next `cache_capacity` candidates are memoized with their
+        // exact dots; the ceiling covers them (max non-admitted relevance
+        // — relevance, not rank, because the bounds track relevance; rank
+        // bounding happens at certification time).
+        st.ceiling = candidates.get(capacity).map_or(0.0, |&(_, rel, _)| rel);
+        for &(ad, rel, _) in candidates.iter().skip(capacity).take(cache_capacity) {
+            if rel > 0.0 {
+                st.cache.insert(ad, rel);
+            }
+        }
+        // Ads beyond the cache are unknown; bound them by the best
+        // relevance among them.
+        st.outside_bound = candidates
+            .iter()
+            .skip(capacity + cache_capacity)
+            .map(|&(_, rel, _)| rel)
+            .fold(0.0f32, f32::max);
+        st.index_epoch = store.index_epoch();
+    }
+
+    /// Serve a targeted query by exact TAAT without touching buffers
+    /// (used when the buffer cannot certify a targeted top-k).
+    fn fallback_query(
+        &mut self,
+        store: &AdStore,
+        user: UserId,
+        now: Timestamp,
+        location: LocationId,
+        k: usize,
+    ) -> Vec<Recommendation> {
+        self.stats.fallbacks += 1;
+        let index = store.index();
+        self.taat.clear();
+        let st = &self.users[user.index()];
+        for (term, weight) in st.ctx.raw().iter() {
+            let postings = index.postings(term);
+            self.stats.postings_scanned += postings.len() as u64;
+            for p in postings {
+                *self.taat.entry(p.ad).or_insert(0.0) += weight * p.weight;
+            }
+        }
+        self.stats.ads_scored += self.taat.len() as u64;
+        let policy = self.config.scoring;
+        let min_fwd = self.config.min_relevance * st.ctx.normalizer(now) as f32;
+        let candidates = self.taat.iter().filter_map(|(&ad, &fwd)| {
+            if fwd <= min_fwd {
+                return None;
+            }
+            let a = store.ad(ad).expect("indexed ads exist");
+            if !a.targeting.matches(location, now) {
+                return None;
+            }
+            Some(Scored { ad, score: policy.rank(fwd, a.bid) })
+        });
+        let top = top_k(candidates, k);
+        let normalizer = st.ctx.normalizer(now) as f32;
+        let rank_scale = normalizer.powf(policy.lambda);
+        top.into_iter()
+            .map(|s| Recommendation {
+                ad: s.ad,
+                score: s.score / rank_scale,
+                relevance: self.taat[&s.ad] / normalizer,
+            })
+            .collect()
+    }
+
+    /// Certification check; refreshes when the buffered top-k can no
+    /// longer be proven fresh enough under the refresh policy.
+    fn certify(&mut self, store: &AdStore, user: UserId) {
+        if self.users[user.index()].index_epoch != store.index_epoch() {
+            self.refresh(store, user);
+            return;
+        }
+        let (kth, outside) = {
+            let st = &self.users[user.index()];
+            let kth = st
+                .buffer
+                .kth_rank(self.config.k, |ad, rel| self.rank_of(store, ad, rel));
+            (kth, self.outside_rank_bound(store, self.outside_rel_bound(user)))
+        };
+        let needs = match kth {
+            // Fewer than k buffered: refresh unless the outside world is
+            // provably empty of candidates (bound 0 means every ad with
+            // any context overlap is already buffered).
+            None => outside > 0.0,
+            Some(kth) => self.config.refresh.should_refresh(kth, outside),
+        };
+        if needs {
+            self.refresh(store, user);
+        }
+    }
+}
+
+impl RecommendationEngine for IncrementalEngine {
+    fn on_feed_delta(&mut self, store: &AdStore, user: UserId, delta: &FeedDelta) {
+        self.stats.deltas += 1;
+        let index = store.index();
+
+        // 1. Context update (+ rebase propagation).
+        let update = self.users[user.index()].ctx.apply(delta);
+        if let Some(factor) = update.rescale {
+            self.stats.rebases += 1;
+            let st = &mut self.users[user.index()];
+            st.buffer.scale_all(factor as f32);
+            st.cache.scale_all(factor as f32);
+            st.ceiling *= factor as f32;
+            st.outside_bound *= factor as f32;
+        }
+        if update.delta.is_empty() {
+            return;
+        }
+
+        // 2./3. Walk changed terms' postings.
+        //
+        // Positive changed terms walk their full posting lists (that is
+        // how candidates are discovered). Buffered ads are nudged exactly.
+        // Cached ads are nudged too, but only upward: negative deltas skip
+        // the cache, so cached values are *drift-high upper bounds* that
+        // are exact when written and re-verified on promotion. Never-seen
+        // ads accumulate their potential gain for the screening pass.
+        // Negative terms touch nothing outside the buffer — the buffered
+        // ads' own small vectors are probed directly, far cheaper than a
+        // second postings walk.
+        self.gains.clear();
+        let bound_before = self.users[user.index()].outside_bound;
+        let mut promote: Vec<AdId> = Vec::new();
+        {
+            let worst_rel_hint = {
+                let st = &self.users[user.index()];
+                if st.buffer.is_full() {
+                    st.buffer.min_rank(|a, r| self.rank_of(store, a, r))
+                } else {
+                    f32::NEG_INFINITY
+                }
+            };
+            let st = &mut self.users[user.index()];
+            let mut has_negative = false;
+            for (term, dw) in update.delta.iter() {
+                if dw <= 0.0 {
+                    has_negative = true;
+                    continue;
+                }
+                let postings = index.postings(term);
+                self.stats.postings_scanned += postings.len() as u64;
+                for p in postings {
+                    if st.buffer.contains(p.ad) {
+                        st.buffer.nudge(p.ad, dw * p.weight);
+                    } else if let Some(cached) = st.cache.get(p.ad) {
+                        let updated = cached + dw * p.weight;
+                        st.cache.nudge(p.ad, dw * p.weight);
+                        let trigger = if self.config.scoring.lambda >= 1.0 {
+                            updated
+                        } else {
+                            f32::INFINITY // conservative for λ < 1
+                        };
+                        if trigger > worst_rel_hint {
+                            // Crossed the buffer's worst rank: queue for
+                            // exact verification. The ceiling is
+                            // deliberately NOT raised here — verification
+                            // writes back a verified value; ratcheting on
+                            // unverified drift would force spurious
+                            // refreshes.
+                            if !promote.contains(&p.ad) {
+                                promote.push(p.ad);
+                            }
+                        } else {
+                            st.ceiling = st.ceiling.max(updated);
+                        }
+                    } else {
+                        *self.gains.entry(p.ad).or_insert(0.0) += dw * p.weight;
+                    }
+                }
+            }
+            if has_negative {
+                let buffered: Vec<AdId> = st.buffer.iter().map(|(ad, _)| ad).collect();
+                for ad in buffered {
+                    let Some(a) = store.ad(ad) else { continue };
+                    let mut nudge = 0.0f32;
+                    for (term, dw) in update.delta.iter() {
+                        if dw < 0.0 {
+                            nudge += dw * a.vector.get(term);
+                        }
+                    }
+                    if nudge != 0.0 {
+                        st.buffer.nudge(ad, nudge);
+                    }
+                }
+            }
+        }
+
+        // 4a. Cache promotions: verify with an exact dot (cached values
+        // may have drifted high), then either enter the buffer or write
+        // the corrected exact value back to the cache.
+        let mut worst: Option<f32> = {
+            let st = &self.users[user.index()];
+            if st.buffer.is_full() {
+                Some(st.buffer.min_rank(|a, r| self.rank_of(store, a, r)))
+            } else {
+                None
+            }
+        };
+        let mut new_bound = bound_before;
+        for ad in promote {
+            let (rel, rank) = {
+                let st = &self.users[user.index()];
+                let Some(a) = store.ad(ad) else { continue };
+                self.stats.ads_scored += 1;
+                let rel = dot_ad_side(st.ctx.raw(), &a.vector);
+                (rel, self.rank_of(store, ad, rel))
+            };
+            let admit = match worst {
+                None => rel > 0.0,
+                Some(w) => rank > w,
+            };
+            let st = &mut self.users[user.index()];
+            if admit {
+                self.stats.promotions += 1;
+                st.cache.remove(ad);
+                let rank_fn = |a: AdId, r: f32| {
+                    if self.config.scoring.lambda >= 1.0 {
+                        r
+                    } else {
+                        let bid = store.ad(a).map_or(1.0, |c| c.bid);
+                        self.config.scoring.rank(r.max(0.0), bid)
+                    }
+                };
+                if let Some((evicted, evicted_rel)) = st.buffer.insert(ad, rel, rank_fn) {
+                    // The evicted exact value moves to the cache; the
+                    // ceiling is raised to keep covering it.
+                    st.ceiling = st.ceiling.max(evicted_rel);
+                    if evicted_rel > 0.0 {
+                        if let Some(swept) = st.cache.insert(evicted, evicted_rel) {
+                            st.outside_bound = st.outside_bound.max(swept);
+                        }
+                    }
+                }
+                worst = if st.buffer.is_full() {
+                    let st = &self.users[user.index()];
+                    Some(st.buffer.min_rank(|a, r| self.rank_of(store, a, r)))
+                } else {
+                    None
+                };
+            } else {
+                // Write back the corrected exact value so this ad stops
+                // re-triggering verification.
+                st.ceiling = st.ceiling.max(rel);
+                if let Some(swept) = st.cache.insert(ad, rel) {
+                    st.outside_bound = st.outside_bound.max(swept);
+                }
+            }
+        }
+
+        // 4b. Unknown-ad promotions, gated by max-weight screening. The
+        // unknown bound is re-derived through the loop: untouched unknown
+        // ads keep `bound_before`; screened ads are bounded by
+        // `bound_before + gain`; exactly-computed ads move to the cache
+        // (or buffer) and leave the unknown set entirely.
+        if !self.gains.is_empty() {
+            let gains: Vec<(AdId, f32)> = self.gains.drain().collect();
+            for (ad, gain) in gains {
+                if self.config.screening {
+                    if let Some(w) = worst {
+                        let ub = self.outside_rank_bound(store, bound_before + gain);
+                        if ub <= w {
+                            self.stats.screened_out += 1;
+                            new_bound = new_bound.max(bound_before + gain);
+                            continue;
+                        }
+                    }
+                }
+                self.stats.ads_scored += 1;
+                let (rel, rank) = {
+                    let st = &self.users[user.index()];
+                    let ad_vec = match store.ad(ad) {
+                        Some(a) => &a.vector,
+                        None => continue,
+                    };
+                    let rel = dot_ad_side(st.ctx.raw(), ad_vec);
+                    (rel, self.rank_of(store, ad, rel))
+                };
+                let admit = match worst {
+                    None => rel > 0.0,
+                    Some(w) => rank > w,
+                };
+                let st = &mut self.users[user.index()];
+                if admit {
+                    self.stats.promotions += 1;
+                    let rank_fn = |a: AdId, r: f32| {
+                        if self.config.scoring.lambda >= 1.0 {
+                            r
+                        } else {
+                            let bid = store.ad(a).map_or(1.0, |c| c.bid);
+                            self.config.scoring.rank(r.max(0.0), bid)
+                        }
+                    };
+                    if let Some((evicted, evicted_rel)) = st.buffer.insert(ad, rel, rank_fn) {
+                        st.ceiling = st.ceiling.max(evicted_rel);
+                        if evicted_rel > 0.0 {
+                            if let Some(swept) = st.cache.insert(evicted, evicted_rel) {
+                                st.outside_bound = st.outside_bound.max(swept);
+                            }
+                        }
+                    }
+                    worst = if st.buffer.is_full() {
+                        let st = &self.users[user.index()];
+                        Some(st.buffer.min_rank(|a, r| self.rank_of(store, a, r)))
+                    } else {
+                        None
+                    };
+                } else if rel > 0.0 {
+                    // Known exactly now: memoize and cover with the
+                    // ceiling instead of the unknown bound. A zero-capacity
+                    // cache rejects the insert and the value falls through
+                    // to the unknown bound.
+                    st.ceiling = st.ceiling.max(rel);
+                    if let Some(swept) = st.cache.insert(ad, rel) {
+                        new_bound = new_bound.max(swept);
+                    }
+                } else {
+                    new_bound = new_bound.max(rel);
+                }
+            }
+        }
+        self.users[user.index()].outside_bound = new_bound;
+
+        // 5. Certification.
+        self.certify(store, user);
+    }
+
+    fn recommend(
+        &mut self,
+        store: &AdStore,
+        user: UserId,
+        now: Timestamp,
+        location: LocationId,
+        k: usize,
+    ) -> Vec<Recommendation> {
+        self.stats.recommends += 1;
+        if self.users[user.index()].index_epoch != store.index_epoch() {
+            self.refresh(store, user);
+        }
+        // Re-certify at serve time (covers the k > config.k case too).
+        let serving_k = k.max(self.config.k);
+        let (kth, outside) = {
+            let st = &self.users[user.index()];
+            (
+                st.buffer.kth_rank(serving_k, |ad, rel| self.rank_of(store, ad, rel)),
+                self.outside_rank_bound(store, self.outside_rel_bound(user)),
+            )
+        };
+        let uncertified = match kth {
+            None => outside > 0.0,
+            Some(kth) => self.config.refresh.should_refresh(kth, outside),
+        };
+        if uncertified {
+            self.refresh(store, user);
+        }
+
+        // Collect eligible buffered candidates.
+        let policy = self.config.scoring;
+        let (eligible, filtered_any, outside_rel, normalizer) = {
+            let st = &self.users[user.index()];
+            let mut eligible: Vec<(AdId, f32, f32)> = Vec::with_capacity(st.buffer.len());
+            let mut filtered_any = false;
+            let min_fwd = self.config.min_relevance * st.ctx.normalizer(now) as f32;
+            for (ad, rel) in st.buffer.iter() {
+                if rel <= min_fwd {
+                    continue;
+                }
+                let Some(campaign) = store.campaign(ad) else {
+                    filtered_any = true;
+                    continue;
+                };
+                if !campaign.is_active() || !campaign.ad.targeting.matches(location, now) {
+                    filtered_any = true;
+                    continue;
+                }
+                eligible.push((ad, rel, policy.rank(rel, campaign.ad.bid)));
+            }
+            (
+                eligible,
+                filtered_any,
+                st.ceiling.max(st.outside_bound),
+                st.ctx.normalizer(now) as f32,
+            )
+        };
+        // If filtering removed candidates and we cannot certify that the
+        // remaining k-th eligible beats every outside ad, answer the query
+        // exactly via a targeted TAAT instead.
+        if filtered_any {
+            let mut ranks: Vec<f32> = eligible.iter().map(|&(_, _, r)| r).collect();
+            ranks.sort_by(|a, b| b.total_cmp(a));
+            let kth_eligible = ranks.get(k.saturating_sub(1)).copied();
+            let outside = self.outside_rank_bound(store, outside_rel);
+            let certified = match kth_eligible {
+                Some(kth) => !self.config.refresh.should_refresh(kth, outside),
+                None => outside <= 0.0,
+            };
+            if !certified {
+                return self.fallback_query(store, user, now, location, k);
+            }
+        }
+
+        let top = top_k(eligible.iter().map(|&(ad, _, rank)| Scored { ad, score: rank }), k);
+        let rank_scale = normalizer.powf(policy.lambda);
+        top.into_iter()
+            .map(|s| {
+                let rel = eligible
+                    .iter()
+                    .find(|&&(ad, _, _)| ad == s.ad)
+                    .map(|&(_, rel, _)| rel)
+                    .expect("top-k item came from eligible");
+                Recommendation { ad: s.ad, score: s.score / rank_scale, relevance: rel / normalizer }
+            })
+            .collect()
+    }
+
+    fn on_campaign_removed(&mut self, ad: AdId) {
+        // Purge the ad from every buffer; bounds are unaffected (a removed
+        // ad cannot outrank anything).
+        for st in &mut self.users {
+            st.buffer.remove(ad);
+            st.cache.remove(ad);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "incremental"
+    }
+
+    fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .users
+                .iter()
+                .map(|st| {
+                    st.ctx.memory_bytes() + st.buffer.memory_bytes() + st.cache.memory_bytes() + 8
+                })
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RefreshPolicy;
+    use adcast_ads::{AdSubmission, Budget, Targeting};
+    use adcast_stream::event::{Message, MessageId};
+    use adcast_text::dictionary::TermId;
+    use adcast_text::SparseVector;
+    use std::sync::Arc;
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)))
+    }
+
+    fn store_with(vectors: &[&[(u32, f32)]]) -> AdStore {
+        let mut s = AdStore::new();
+        for vec in vectors {
+            s.submit(AdSubmission {
+                vector: v(vec),
+                bid: 1.0,
+                targeting: Targeting::everywhere(),
+                budget: Budget::unlimited(),
+                topic_hint: None,
+            })
+            .unwrap();
+        }
+        s
+    }
+
+    fn delta(terms: &[(u32, f32)], secs: u64, evicted: Vec<Arc<Message>>) -> FeedDelta {
+        FeedDelta {
+            entered: Some(Arc::new(Message {
+                id: MessageId(secs),
+                author: UserId(0),
+                ts: Timestamp::from_secs(secs),
+                location: LocationId(0),
+                vector: v(terms),
+            })),
+            evicted,
+        }
+    }
+
+    fn cfg(k: usize) -> EngineConfig {
+        EngineConfig { k, half_life: None, ..Default::default() }
+    }
+
+    #[test]
+    fn serves_relevant_ads_after_updates() {
+        let store = store_with(&[&[(1, 1.0)], &[(2, 1.0)], &[(3, 1.0)]]);
+        let mut e = IncrementalEngine::new(1, cfg(2));
+        e.on_feed_delta(&store, UserId(0), &delta(&[(1, 0.9), (2, 0.4)], 1, vec![]));
+        let recs = e.recommend(&store, UserId(0), Timestamp::from_secs(2), LocationId(0), 2);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].ad, AdId(0));
+        assert_eq!(recs[1].ad, AdId(1));
+        assert!(recs[0].relevance > recs[1].relevance);
+    }
+
+    #[test]
+    fn matches_index_scan_over_a_stream() {
+        use crate::engine::IndexScanEngine;
+        let store = store_with(&[
+            &[(1, 0.9), (2, 0.3)],
+            &[(2, 1.0)],
+            &[(3, 0.8), (1, 0.4)],
+            &[(4, 1.0)],
+            &[(1, 0.2), (4, 0.7)],
+        ]);
+        let mut inc = IncrementalEngine::new(1, cfg(2));
+        let mut idx = IndexScanEngine::new(1, cfg(2));
+        // Sliding window of 3 messages, deterministic term pattern.
+        let mut window: Vec<Arc<Message>> = Vec::new();
+        for i in 0..40u64 {
+            let terms = [((i % 5) as u32, 0.5 + (i % 3) as f32 * 0.2)];
+            let evicted = if window.len() >= 3 { vec![window.remove(0)] } else { vec![] };
+            let d = delta(&terms, i + 1, evicted);
+            window.push(d.entered.clone().unwrap());
+            inc.on_feed_delta(&store, UserId(0), &d);
+            idx.on_feed_delta(&store, UserId(0), &d);
+            let now = Timestamp::from_secs(i + 1);
+            let a = inc.recommend(&store, UserId(0), now, LocationId(0), 2);
+            let b = idx.recommend(&store, UserId(0), now, LocationId(0), 2);
+            let ids_a: Vec<_> = a.iter().map(|r| r.ad).collect();
+            let ids_b: Vec<_> = b.iter().map(|r| r.ad).collect();
+            assert_eq!(ids_a, ids_b, "step {i}");
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x.score - y.score).abs() < 1e-4, "step {i}: {x:?} vs {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_of_messages_demotes_ads() {
+        let store = store_with(&[&[(1, 1.0)], &[(2, 1.0)]]);
+        let mut e = IncrementalEngine::new(1, cfg(1));
+        let d1 = delta(&[(1, 1.0)], 1, vec![]);
+        let m1 = d1.entered.clone().unwrap();
+        e.on_feed_delta(&store, UserId(0), &d1);
+        let recs = e.recommend(&store, UserId(0), Timestamp::from_secs(1), LocationId(0), 1);
+        assert_eq!(recs[0].ad, AdId(0));
+        // Message about term 1 leaves; term 2 message arrives.
+        e.on_feed_delta(&store, UserId(0), &delta(&[(2, 1.0)], 2, vec![m1]));
+        let recs = e.recommend(&store, UserId(0), Timestamp::from_secs(2), LocationId(0), 1);
+        assert_eq!(recs[0].ad, AdId(1), "after the slide, ad 1 is the only match");
+    }
+
+    #[test]
+    fn screening_counts_and_never_changes_results() {
+        let mk = |screening: bool| {
+            let mut store = AdStore::new();
+            // Weights vary per ad so no two ads tie exactly: ties at the
+            // k-th position are resolved by id, but refresh timing differs
+            // between the two engines and float associativity would make
+            // "equal" scores differ by ULPs.
+            for t in 0..30u32 {
+                store
+                    .submit(AdSubmission {
+                        vector: v(&[
+                            (t % 6, 0.55 + 0.01 * t as f32),
+                            (6 + t % 4, 0.8 - 0.005 * t as f32),
+                        ]),
+                        bid: 1.0,
+                        targeting: Targeting::everywhere(),
+                        budget: Budget::unlimited(),
+                        topic_hint: None,
+                    })
+                    .unwrap();
+            }
+            let config =
+                EngineConfig { screening, k: 3, buffer_headroom: 2, half_life: None, ..Default::default() };
+            (store, IncrementalEngine::new(1, config))
+        };
+        let (store_a, mut with) = mk(true);
+        let (store_b, mut without) = mk(false);
+        let mut window: Vec<Arc<Message>> = Vec::new();
+        for i in 0..60u64 {
+            let terms = [((i % 6) as u32, 0.7f32), ((6 + (i / 2) % 4) as u32, 0.3)];
+            let evicted = if window.len() >= 4 { vec![window.remove(0)] } else { vec![] };
+            let d = delta(&terms, i + 1, evicted);
+            window.push(d.entered.clone().unwrap());
+            with.on_feed_delta(&store_a, UserId(0), &d);
+            without.on_feed_delta(&store_b, UserId(0), &d);
+            let now = Timestamp::from_secs(i + 1);
+            let a = with.recommend(&store_a, UserId(0), now, LocationId(0), 3);
+            let b = without.recommend(&store_b, UserId(0), now, LocationId(0), 3);
+            let ids_a: Vec<_> = a.iter().map(|r| r.ad).collect();
+            let ids_b: Vec<_> = b.iter().map(|r| r.ad).collect();
+            assert_eq!(ids_a, ids_b, "step {i}: screening changed results");
+        }
+        assert!(with.stats().screened_out > 0, "screening should fire on this workload");
+        assert_eq!(without.stats().screened_out, 0);
+        assert!(
+            with.stats().ads_scored <= without.stats().ads_scored,
+            "screening must not increase exact dots"
+        );
+    }
+
+    #[test]
+    fn budgeted_policy_refreshes_less() {
+        // Workload engineered so the outside bound genuinely inflates:
+        // two outside ads are nudged on *alternating* events, so the
+        // shared bound (max-gain per event) grows twice as fast as either
+        // ad's true relevance. Eager certification eventually trips;
+        // a large slack budget never does.
+        let build = |refresh| {
+            let store = store_with(&[
+                &[(0, 1.0)],            // the buffered champion
+                &[(1, 0.02), (2, 0.98)], // slow-gaining outsider A
+                &[(3, 0.02), (4, 0.98)], // slow-gaining outsider B
+            ]);
+            let config = EngineConfig {
+                k: 1,
+                buffer_headroom: 1,
+                refresh,
+                half_life: None,
+                ..Default::default()
+            };
+            (store, IncrementalEngine::new(1, config))
+        };
+        let (store_e, mut eager) = build(RefreshPolicy::Eager);
+        let (store_l, mut lazy) = build(RefreshPolicy::Budgeted { slack: 10.0 });
+        // Champion context: one strong and one weak message on term 0.
+        let strong = delta(&[(0, 0.9)], 1, vec![]);
+        let strong_msg = strong.entered.clone().unwrap();
+        let weak = delta(&[(0, 0.1)], 2, vec![]);
+        for e in [&strong, &weak] {
+            eager.on_feed_delta(&store_e, UserId(0), e);
+            lazy.on_feed_delta(&store_l, UserId(0), e);
+        }
+        // Alternating screened events inflate the outside bound toward the
+        // champion's relevance (it saturates just below the k-th rank).
+        for i in 0..300u64 {
+            let term = if i % 2 == 0 { 1 } else { 3 };
+            let d = delta(&[(term, 0.25)], i + 3, vec![]);
+            eager.on_feed_delta(&store_e, UserId(0), &d);
+            lazy.on_feed_delta(&store_l, UserId(0), &d);
+        }
+        // Now the strong champion message leaves the window: the k-th rank
+        // collapses to 0.1 while the stale outside bound stays high. Eager
+        // must refresh; a slack of 10 tolerates it (bound ≤ 11 × 0.1).
+        let slide = delta(&[(5, 0.01)], 400, vec![strong_msg]);
+        eager.on_feed_delta(&store_e, UserId(0), &slide);
+        lazy.on_feed_delta(&store_l, UserId(0), &slide);
+        assert!(eager.stats().refreshes >= 1, "eager never tripped: workload broken");
+        assert!(
+            lazy.stats().refreshes < eager.stats().refreshes,
+            "lazy {} vs eager {}",
+            lazy.stats().refreshes,
+            eager.stats().refreshes
+        );
+    }
+
+    #[test]
+    fn campaign_removal_purges_buffers() {
+        let store = store_with(&[&[(1, 1.0)], &[(1, 0.8)]]);
+        let mut e = IncrementalEngine::new(1, cfg(2));
+        e.on_feed_delta(&store, UserId(0), &delta(&[(1, 1.0)], 1, vec![]));
+        let recs = e.recommend(&store, UserId(0), Timestamp::from_secs(1), LocationId(0), 2);
+        assert_eq!(recs.len(), 2);
+        let mut store = store;
+        store.remove(AdId(0));
+        e.on_campaign_removed(AdId(0));
+        let recs = e.recommend(&store, UserId(0), Timestamp::from_secs(2), LocationId(0), 2);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].ad, AdId(1));
+    }
+
+    #[test]
+    fn paused_campaigns_filtered_at_serve() {
+        let store = store_with(&[&[(1, 1.0)], &[(1, 0.8)]]);
+        let mut e = IncrementalEngine::new(1, cfg(1));
+        e.on_feed_delta(&store, UserId(0), &delta(&[(1, 1.0)], 1, vec![]));
+        let mut store = store;
+        store.pause(AdId(0));
+        let recs = e.recommend(&store, UserId(0), Timestamp::from_secs(2), LocationId(0), 1);
+        assert_eq!(recs[0].ad, AdId(1), "paused top ad must not serve");
+    }
+
+    #[test]
+    fn empty_feed_serves_nothing() {
+        let store = store_with(&[&[(1, 1.0)]]);
+        let mut e = IncrementalEngine::new(1, cfg(2));
+        let recs = e.recommend(&store, UserId(0), Timestamp::from_secs(1), LocationId(0), 2);
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn stats_and_name() {
+        let store = store_with(&[&[(1, 1.0)]]);
+        let mut e = IncrementalEngine::new(1, cfg(1));
+        e.on_feed_delta(&store, UserId(0), &delta(&[(1, 1.0)], 1, vec![]));
+        assert_eq!(e.stats().deltas, 1);
+        assert!(e.stats().postings_scanned > 0);
+        assert_eq!(e.name(), "incremental");
+        assert!(e.memory_bytes() > 0);
+    }
+}

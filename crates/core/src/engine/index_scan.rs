@@ -1,0 +1,233 @@
+//! Baseline 2: exact term-at-a-time re-evaluation over the ad inverted
+//! index on every request.
+//!
+//! Only ads sharing at least one term with the context can score non-zero,
+//! so the request cost is Σ posting-list lengths of the context's terms —
+//! much cheaper than a full scan on sparse vocabularies, but still paid in
+//! full on *every* request even when the context barely changed. That
+//! redundancy is exactly what the incremental engine removes.
+
+use std::collections::HashMap;
+
+use adcast_ads::{AdId, AdStore};
+use adcast_feed::FeedDelta;
+use adcast_graph::UserId;
+use adcast_stream::clock::Timestamp;
+use adcast_stream::event::LocationId;
+
+use crate::config::EngineConfig;
+use crate::context::UserContext;
+use crate::engine::{EngineStats, Recommendation, RecommendationEngine};
+use crate::topk::{top_k, Scored};
+
+/// The index-re-evaluation baseline.
+#[derive(Debug)]
+pub struct IndexScanEngine {
+    config: EngineConfig,
+    contexts: Vec<UserContext>,
+    stats: EngineStats,
+    scratch: HashMap<AdId, f32>,
+}
+
+impl IndexScanEngine {
+    /// One context per user.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration.
+    pub fn new(num_users: u32, config: EngineConfig) -> Self {
+        config.validate().expect("invalid engine config");
+        IndexScanEngine {
+            contexts: (0..num_users).map(|_| UserContext::new(config.half_life)).collect(),
+            config,
+            stats: EngineStats::default(),
+            scratch: HashMap::new(),
+        }
+    }
+
+    /// Read access to a user's context.
+    pub fn context(&self, user: UserId) -> &UserContext {
+        &self.contexts[user.index()]
+    }
+}
+
+impl RecommendationEngine for IndexScanEngine {
+    fn on_feed_delta(&mut self, _store: &AdStore, user: UserId, delta: &FeedDelta) {
+        self.stats.deltas += 1;
+        let update = self.contexts[user.index()].apply(delta);
+        if update.rescale.is_some() {
+            self.stats.rebases += 1;
+        }
+    }
+
+    fn recommend(
+        &mut self,
+        store: &AdStore,
+        user: UserId,
+        now: Timestamp,
+        location: LocationId,
+        k: usize,
+    ) -> Vec<Recommendation> {
+        self.stats.recommends += 1;
+        let ctx = &self.contexts[user.index()];
+        let index = store.index();
+        // Term-at-a-time accumulation over the forward-scale context:
+        // forward scale is fine because the normalizer is identical for
+        // every candidate of this user at this instant.
+        self.scratch.clear();
+        for (term, weight) in ctx.raw().iter() {
+            let postings = index.postings(term);
+            self.stats.postings_scanned += postings.len() as u64;
+            for p in postings {
+                *self.scratch.entry(p.ad).or_insert(0.0) += weight * p.weight;
+            }
+        }
+        self.stats.ads_scored += self.scratch.len() as u64;
+        let policy = self.config.scoring;
+        let normalizer = ctx.normalizer(now) as f32;
+        // The serving threshold lives in true scale; compare forward-scale
+        // accumulations against its forward equivalent.
+        let min_fwd = self.config.min_relevance * normalizer;
+        let candidates = self.scratch.iter().filter_map(|(&ad, &fwd)| {
+            // Cancellation in the decayed context also leaves tiny (even
+            // negative) residues; the threshold removes them.
+            if fwd <= min_fwd {
+                return None;
+            }
+            let campaign = store.ad(ad).expect("indexed ads exist");
+            if !campaign.targeting.matches(location, now) {
+                return None;
+            }
+            Some(Scored { ad, score: policy.rank(fwd, campaign.bid) })
+        });
+        let top = top_k(candidates, k);
+        // Convert forward-scale ranks to true scale for reporting.
+        let rank_scale = normalizer.powf(policy.lambda);
+        top.into_iter()
+            .map(|s| Recommendation {
+                ad: s.ad,
+                score: s.score / rank_scale,
+                relevance: self.scratch[&s.ad] / normalizer,
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "index-scan"
+    }
+
+    fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.contexts.iter().map(|c| c.memory_bytes()).sum::<usize>()
+            + self.scratch.capacity() * (std::mem::size_of::<(AdId, f32)>() + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcast_ads::{AdSubmission, Budget, Targeting};
+    use adcast_stream::event::{Message, MessageId};
+    use adcast_text::dictionary::TermId;
+    use adcast_text::SparseVector;
+    use std::sync::Arc;
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)))
+    }
+
+    fn store_with_ads() -> AdStore {
+        let mut s = AdStore::new();
+        for (vec, bid) in [
+            (v(&[(1, 1.0)]), 1.0),
+            (v(&[(2, 1.0)]), 1.0),
+            (v(&[(1, 0.7), (2, 0.7)]), 1.0),
+            (v(&[(9, 1.0)]), 1.0),
+        ] {
+            s.submit(AdSubmission {
+                vector: vec,
+                bid,
+                targeting: Targeting::everywhere(),
+                budget: Budget::unlimited(),
+                topic_hint: None,
+            })
+            .unwrap();
+        }
+        s
+    }
+
+    fn feed(e: &mut IndexScanEngine, s: &AdStore, terms: &[(u32, f32)], secs: u64) {
+        let m = Arc::new(Message {
+            id: MessageId(secs),
+            author: UserId(0),
+            ts: Timestamp::from_secs(secs),
+            location: LocationId(0),
+            vector: v(terms),
+        });
+        e.on_feed_delta(s, UserId(0), &FeedDelta { entered: Some(m), evicted: vec![] });
+    }
+
+    #[test]
+    fn only_overlapping_ads_are_candidates() {
+        let store = store_with_ads();
+        let mut e = IndexScanEngine::new(1, EngineConfig { half_life: None, ..Default::default() });
+        feed(&mut e, &store, &[(1, 1.0)], 5);
+        let recs = e.recommend(&store, UserId(0), Timestamp::from_secs(10), LocationId(0), 10);
+        // Ads 0 and 2 share term 1; ads 1 and 3 do not overlap.
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].ad, adcast_ads::AdId(0));
+        assert_eq!(e.stats().ads_scored, 2);
+    }
+
+    #[test]
+    fn matches_full_scan_scores() {
+        use crate::engine::FullScanEngine;
+        let store = store_with_ads();
+        let cfg = EngineConfig { half_life: None, ..Default::default() };
+        let mut idx = IndexScanEngine::new(1, cfg.clone());
+        let mut full = FullScanEngine::new(1, cfg);
+        for (terms, secs) in [(vec![(1u32, 0.8f32), (2, 0.6)], 5u64), (vec![(2, 1.0)], 6)] {
+            feed(&mut idx, &store, &terms, secs);
+            let m = Arc::new(Message {
+                id: MessageId(secs),
+                author: UserId(0),
+                ts: Timestamp::from_secs(secs),
+                location: LocationId(0),
+                vector: v(&terms),
+            });
+            full.on_feed_delta(&store, UserId(0), &FeedDelta { entered: Some(m), evicted: vec![] });
+        }
+        let now = Timestamp::from_secs(10);
+        let a = idx.recommend(&store, UserId(0), now, LocationId(0), 3);
+        let b = full.recommend(&store, UserId(0), now, LocationId(0), 3);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.ad, y.ad);
+            assert!((x.score - y.score).abs() < 1e-5, "{x:?} vs {y:?}");
+            assert!((x.relevance - y.relevance).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn empty_context_returns_empty() {
+        let store = store_with_ads();
+        let mut e = IndexScanEngine::new(1, EngineConfig::default());
+        let recs = e.recommend(&store, UserId(0), Timestamp::from_secs(1), LocationId(0), 5);
+        assert!(recs.is_empty(), "no overlap candidates on an empty context");
+    }
+
+    #[test]
+    fn postings_counted() {
+        let store = store_with_ads();
+        let mut e = IndexScanEngine::new(1, EngineConfig { half_life: None, ..Default::default() });
+        feed(&mut e, &store, &[(1, 1.0), (2, 1.0)], 5);
+        e.recommend(&store, UserId(0), Timestamp::from_secs(10), LocationId(0), 3);
+        // term 1 → ads {0,2}; term 2 → ads {1,2}.
+        assert_eq!(e.stats().postings_scanned, 4);
+        assert_eq!(e.name(), "index-scan");
+    }
+}

@@ -1,0 +1,115 @@
+//! The recommendation engines.
+//!
+//! All three engines implement [`RecommendationEngine`] so the harness,
+//! examples, and equivalence tests drive them interchangeably:
+//!
+//! | engine | update cost | query cost | exact? |
+//! |---|---|---|---|
+//! | [`FullScanEngine`] | O(Δ) context only | O(|A| · terms) | yes |
+//! | [`IndexScanEngine`] | O(Δ) context only | O(postings of context terms) | yes |
+//! | [`IncrementalEngine`] | O(postings of Δ terms) | O(buffer) | yes (Eager) / bounded staleness (Budgeted) |
+
+mod full_scan;
+mod incremental;
+mod index_scan;
+
+pub use full_scan::FullScanEngine;
+pub use incremental::IncrementalEngine;
+pub use index_scan::IndexScanEngine;
+
+use adcast_ads::{AdId, AdStore};
+use adcast_feed::FeedDelta;
+use adcast_graph::UserId;
+use adcast_stream::clock::Timestamp;
+use adcast_stream::event::LocationId;
+use adcast_text::SparseVector;
+
+/// One recommended ad.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recommendation {
+    /// The ad.
+    pub ad: AdId,
+    /// Blended ranking score in true (decay-normalized) scale.
+    pub score: f32,
+    /// Pure textual relevance (decayed dot product) in true scale.
+    pub relevance: f32,
+}
+
+/// Work counters common to every engine. All counters are cumulative.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Feed deltas processed.
+    pub deltas: u64,
+    /// Posting-list entries walked.
+    pub postings_scanned: u64,
+    /// Candidate score computations (full-scan dots, TAAT accumulations
+    /// finalized, incremental exact dots).
+    pub ads_scored: u64,
+    /// Outside ads skipped by max-weight screening (incremental only).
+    pub screened_out: u64,
+    /// Buffer promotions (incremental only).
+    pub promotions: u64,
+    /// Buffer refreshes (incremental only).
+    pub refreshes: u64,
+    /// Targeted-query fallbacks (incremental only).
+    pub fallbacks: u64,
+    /// Recommendation requests served.
+    pub recommends: u64,
+    /// Forward-decay landmark rebases.
+    pub rebases: u64,
+}
+
+/// A continuous context-aware ad recommendation engine.
+pub trait RecommendationEngine {
+    /// Ingest one user's feed change (message entered / messages evicted).
+    fn on_feed_delta(&mut self, store: &AdStore, user: UserId, delta: &FeedDelta);
+
+    /// Serve the top-`k` eligible ads for `user` at `now` / `location`.
+    /// Results are sorted best-first with deterministic ties (ad id).
+    fn recommend(
+        &mut self,
+        store: &AdStore,
+        user: UserId,
+        now: Timestamp,
+        location: LocationId,
+        k: usize,
+    ) -> Vec<Recommendation>;
+
+    /// Notify the engine that a campaign left the store (pause / removal /
+    /// exhaustion), so cached state can be purged.
+    fn on_campaign_removed(&mut self, _ad: AdId) {}
+
+    /// Engine name for experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Work counters.
+    fn stats(&self) -> &EngineStats;
+
+    /// Approximate resident bytes of engine state.
+    fn memory_bytes(&self) -> usize;
+}
+
+/// Dot product computed from the (small) ad side: Σ ad(t) · ctx(t).
+/// O(|ad| · log |ctx|) — the incremental engine's promotion kernel.
+pub(crate) fn dot_ad_side(ctx: &SparseVector, ad: &SparseVector) -> f32 {
+    ad.iter().map(|(t, w)| w * ctx.get(t)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcast_text::dictionary::TermId;
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)))
+    }
+
+    #[test]
+    fn dot_ad_side_matches_merge_join() {
+        let ctx = v(&[(1, 0.5), (3, 0.25), (7, 1.0)]);
+        let ad = v(&[(3, 0.8), (7, 0.2), (9, 1.0)]);
+        assert!((dot_ad_side(&ctx, &ad) - ctx.dot(&ad)).abs() < 1e-6);
+        assert_eq!(dot_ad_side(&SparseVector::new(), &ad), 0.0);
+        assert_eq!(dot_ad_side(&ctx, &SparseVector::new()), 0.0);
+    }
+}

@@ -1,0 +1,357 @@
+//! The ad market: auction, engagement, and billing on top of the engines.
+//!
+//! The engines answer *"which ads fit this user's context right now"*;
+//! the market decides *placement, price, and payment*:
+//!
+//! 1. engine recommendations become [`AuctionBid`]s (bid from the
+//!    campaign, quality = context relevance),
+//! 2. campaigns behind their pacing schedule are throttled out,
+//! 3. a GSP auction assigns slots and prices,
+//! 4. a position-bias click model simulates engagement,
+//! 5. clicks are billed at the GSP price (CPC), budgets drain, CTR
+//!    trackers update, exhausted campaigns leave the index.
+
+use std::collections::HashMap;
+
+use adcast_ads::{
+    run_gsp, AdId, AdStore, AuctionBid, AuctionConfig, CampaignState, ClickModel, CtrTracker,
+    PacingController,
+};
+use adcast_stream::clock::Timestamp;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::engine::Recommendation;
+
+/// One served slot, after auction and engagement simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServedImpression {
+    /// The ad shown.
+    pub ad: AdId,
+    /// Slot position (0 = top).
+    pub position: usize,
+    /// GSP price (billed only on click).
+    pub price: f32,
+    /// Did the simulated user click?
+    pub clicked: bool,
+}
+
+/// The market state: auction config, click model, per-campaign trackers
+/// and pacing controllers.
+#[derive(Debug)]
+pub struct AdMarket {
+    auction: AuctionConfig,
+    click_model: ClickModel,
+    trackers: HashMap<AdId, CtrTracker>,
+    pacing: HashMap<AdId, PacingController>,
+    rng: SmallRng,
+    revenue: f64,
+    impressions: u64,
+    clicks: u64,
+    exhausted: Vec<AdId>,
+    /// Per-slot (impressions, clicks), index = position.
+    position_stats: Vec<(u64, u64)>,
+}
+
+impl AdMarket {
+    /// A market with the given auction shape and click model.
+    pub fn new(auction: AuctionConfig, click_model: ClickModel, seed: u64) -> Self {
+        AdMarket {
+            auction,
+            click_model,
+            trackers: HashMap::new(),
+            pacing: HashMap::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            revenue: 0.0,
+            impressions: 0,
+            clicks: 0,
+            exhausted: Vec::new(),
+            position_stats: Vec::new(),
+        }
+    }
+
+    /// Default market: 2 slots, default click model.
+    pub fn standard(seed: u64) -> Self {
+        AdMarket::new(
+            AuctionConfig { slots: 2, reserve: 0.01 },
+            ClickModel::default(),
+            seed,
+        )
+    }
+
+    /// Attach a pacing controller to a campaign.
+    pub fn set_pacing(&mut self, ad: AdId, controller: PacingController) {
+        self.pacing.insert(ad, controller);
+    }
+
+    /// Serve one user's slate: auction over the engine's recommendations,
+    /// simulate engagement, bill clicks (CPC at the GSP price).
+    pub fn serve(
+        &mut self,
+        store: &mut AdStore,
+        recommendations: &[Recommendation],
+        now: Timestamp,
+    ) -> Vec<ServedImpression> {
+        // 1./2. Candidates, pacing-throttled.
+        let mut candidates = Vec::with_capacity(recommendations.len());
+        for rec in recommendations {
+            let Some(campaign) = store.campaign(rec.ad) else { continue };
+            if !campaign.is_active() {
+                continue;
+            }
+            if let Some(p) = self.pacing.get(&rec.ad) {
+                if p.is_done(now) || !p.should_serve(&mut self.rng) {
+                    continue;
+                }
+            }
+            candidates.push(AuctionBid {
+                ad: rec.ad,
+                bid: campaign.ad.bid,
+                quality: rec.relevance.max(0.0),
+            });
+        }
+        // 3. Auction.
+        let awards = run_gsp(candidates, &self.auction);
+        // 4./5. Engagement + billing.
+        let mut served = Vec::with_capacity(awards.len());
+        for award in awards {
+            let relevance = recommendations
+                .iter()
+                .find(|r| r.ad == award.ad)
+                .map_or(0.0, |r| r.relevance);
+            let clicked =
+                self.click_model.simulate(award.position, relevance, &mut self.rng);
+            self.impressions += 1;
+            if self.position_stats.len() <= award.position {
+                self.position_stats.resize(award.position + 1, (0, 0));
+            }
+            self.position_stats[award.position].0 += 1;
+            if clicked {
+                self.position_stats[award.position].1 += 1;
+            }
+            self.trackers.entry(award.ad).or_default().record(clicked);
+            if clicked {
+                self.clicks += 1;
+                let charged = store.record_impression(award.ad, f64::from(award.price));
+                if charged.is_some() {
+                    self.revenue += f64::from(award.price);
+                    if let Some(p) = self.pacing.get_mut(&award.ad) {
+                        p.record_spend(f64::from(award.price));
+                    }
+                }
+                if charged == Some(CampaignState::Exhausted) {
+                    // The store has already de-indexed the campaign; the
+                    // caller drains these to purge engine state.
+                    self.exhausted.push(award.ad);
+                }
+            }
+            served.push(ServedImpression {
+                ad: award.ad,
+                position: award.position,
+                price: award.price,
+                clicked,
+            });
+        }
+        served
+    }
+
+    /// Drain the campaigns exhausted since the last call (callers forward
+    /// these to `RecommendationEngine::on_campaign_removed`).
+    pub fn take_exhausted(&mut self) -> Vec<AdId> {
+        std::mem::take(&mut self.exhausted)
+    }
+
+    /// Adjust all pacing controllers toward their schedules.
+    pub fn adjust_pacing(&mut self, now: Timestamp) {
+        for p in self.pacing.values_mut() {
+            p.adjust(now);
+        }
+    }
+
+    /// CTR tracker for a campaign, if it has served.
+    pub fn tracker(&self, ad: AdId) -> Option<&CtrTracker> {
+        self.trackers.get(&ad)
+    }
+
+    /// The pacing controller for a campaign, if attached.
+    pub fn pacing(&self, ad: AdId) -> Option<&PacingController> {
+        self.pacing.get(&ad)
+    }
+
+    /// Total platform revenue (billed clicks).
+    pub fn revenue(&self) -> f64 {
+        self.revenue
+    }
+
+    /// Impressions served.
+    pub fn impressions(&self) -> u64 {
+        self.impressions
+    }
+
+    /// Clicks simulated.
+    pub fn clicks(&self) -> u64 {
+        self.clicks
+    }
+
+    /// Per-position `(impressions, clicks)` counters, index = slot.
+    pub fn position_stats(&self) -> &[(u64, u64)] {
+        &self.position_stats
+    }
+
+    /// Platform-wide empirical CTR.
+    pub fn overall_ctr(&self) -> f64 {
+        if self.impressions == 0 {
+            0.0
+        } else {
+            self.clicks as f64 / self.impressions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcast_ads::{AdSubmission, Budget, Targeting};
+    use adcast_text::dictionary::TermId;
+    use adcast_text::SparseVector;
+
+    fn store_with_bids(bids: &[f32]) -> AdStore {
+        let mut s = AdStore::new();
+        for (i, &bid) in bids.iter().enumerate() {
+            s.submit(AdSubmission {
+                vector: SparseVector::from_pairs([(TermId(i as u32), 1.0)]),
+                bid,
+                targeting: Targeting::everywhere(),
+                budget: Budget::unlimited(),
+                topic_hint: None,
+            })
+            .unwrap();
+        }
+        s
+    }
+
+    fn rec(ad: u32, relevance: f32) -> Recommendation {
+        Recommendation { ad: AdId(ad), score: relevance, relevance }
+    }
+
+    #[test]
+    fn serve_runs_auction_and_orders_slots() {
+        let mut store = store_with_bids(&[1.0, 1.0, 1.0]);
+        let mut market = AdMarket::standard(1);
+        let served = market.serve(
+            &mut store,
+            &[rec(0, 0.9), rec(1, 0.5), rec(2, 0.3)],
+            Timestamp::from_secs(1),
+        );
+        assert_eq!(served.len(), 2);
+        assert_eq!(served[0].ad, AdId(0));
+        assert_eq!(served[0].position, 0);
+        assert_eq!(served[1].ad, AdId(1));
+        assert!(served[0].price <= 1.0 + 1e-6);
+        assert_eq!(market.impressions(), 2);
+    }
+
+    #[test]
+    fn clicks_bill_and_accumulate_revenue() {
+        let mut store = store_with_bids(&[1.0, 1.0]);
+        let mut market = AdMarket::standard(2);
+        let mut total_clicks = 0u64;
+        for _ in 0..500 {
+            let served =
+                market.serve(&mut store, &[rec(0, 0.9), rec(1, 0.8)], Timestamp::from_secs(1));
+            total_clicks += served.iter().filter(|s| s.clicked).count() as u64;
+        }
+        assert_eq!(market.clicks(), total_clicks);
+        assert!(total_clicks > 50, "a 0.9-relevance top slot should click often");
+        assert!(market.revenue() > 0.0);
+        let spent = store.campaign(AdId(0)).unwrap().budget.spent()
+            + store.campaign(AdId(1)).unwrap().budget.spent();
+        // Budgets round charges to micro-currency units; allow that drift.
+        assert!(
+            (market.revenue() - spent).abs() < 1e-2,
+            "revenue {} != advertiser spend {spent}",
+            market.revenue()
+        );
+        let t = market.tracker(AdId(0)).expect("served");
+        assert_eq!(t.impressions(), 500);
+    }
+
+    #[test]
+    fn position_zero_clicks_more() {
+        let mut store = store_with_bids(&[1.0, 1.0]);
+        let mut market = AdMarket::standard(3);
+        let (mut top, mut second) = (0u64, 0u64);
+        for _ in 0..3000 {
+            for s in market.serve(
+                &mut store,
+                &[rec(0, 0.7), rec(1, 0.7)],
+                Timestamp::from_secs(1),
+            ) {
+                if s.clicked {
+                    if s.position == 0 {
+                        top += 1;
+                    } else {
+                        second += 1;
+                    }
+                }
+            }
+        }
+        assert!(top > second, "position bias: top {top} vs second {second}");
+    }
+
+    #[test]
+    fn pacing_throttles_serving() {
+        let mut store = store_with_bids(&[1.0]);
+        let mut market = AdMarket::standard(4);
+        let mut pacing = PacingController::new(
+            Timestamp::from_secs(0),
+            Timestamp::from_secs(1000),
+            10.0,
+        );
+        // Pretend the campaign is massively ahead of schedule.
+        pacing.record_spend(9.9);
+        for _ in 0..50 {
+            pacing.adjust(Timestamp::from_secs(1));
+        }
+        market.set_pacing(AdId(0), pacing);
+        let mut served = 0;
+        for _ in 0..1000 {
+            served += market.serve(&mut store, &[rec(0, 0.9)], Timestamp::from_secs(1)).len();
+        }
+        assert!(served < 100, "throttled campaign served {served}/1000");
+    }
+
+    #[test]
+    fn exhausted_campaigns_stop_serving() {
+        let mut store = AdStore::new();
+        store
+            .submit(AdSubmission {
+                vector: SparseVector::from_pairs([(TermId(0), 1.0)]),
+                bid: 1.0,
+                targeting: Targeting::everywhere(),
+                budget: Budget::new(0.05),
+                topic_hint: None,
+            })
+            .unwrap();
+        let mut market = AdMarket::standard(5);
+        for _ in 0..200 {
+            market.serve(&mut store, &[rec(0, 0.95)], Timestamp::from_secs(1));
+        }
+        assert_eq!(
+            store.campaign(AdId(0)).unwrap().state(),
+            CampaignState::Exhausted,
+            "clicks at ~reserve prices must eventually drain a tiny budget"
+        );
+        let before = market.impressions();
+        market.serve(&mut store, &[rec(0, 0.95)], Timestamp::from_secs(2));
+        assert_eq!(market.impressions(), before, "inactive campaigns never enter the auction");
+    }
+
+    #[test]
+    fn empty_recommendations_serve_nothing() {
+        let mut store = store_with_bids(&[1.0]);
+        let mut market = AdMarket::standard(6);
+        assert!(market.serve(&mut store, &[], Timestamp::from_secs(1)).is_empty());
+        assert_eq!(market.overall_ctr(), 0.0);
+    }
+}

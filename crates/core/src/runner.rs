@@ -1,0 +1,373 @@
+//! Single-threaded simulation glue: workload generator → social graph →
+//! push feed delivery → ad store → engine.
+//!
+//! Everything the examples, the integration tests, and the benchmark
+//! harness need to stand up an end-to-end system in a few lines:
+//!
+//! ```
+//! use adcast_core::{Simulation, SimulationConfig};
+//!
+//! let mut sim = Simulation::build(SimulationConfig::tiny());
+//! sim.run(200); // stream 200 messages through feeds and the engine
+//! let user = sim.any_active_user().expect("someone got messages");
+//! let recs = sim.recommend(user, 3);
+//! assert!(recs.len() <= 3);
+//! ```
+
+use adcast_ads::{AdId, AdStore, AdSubmission, Budget, Targeting};
+use adcast_feed::{FeedDelivery, PushDelivery, WindowConfig};
+use adcast_graph::{generators, SocialGraph, UserId};
+use adcast_stream::clock::Timestamp;
+use adcast_stream::event::{LocationId, SharedMessage};
+use adcast_stream::generator::{AdSeed, WorkloadConfig, WorkloadGenerator};
+use adcast_stream::topics::TopicId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::EngineConfig;
+use crate::engine::{
+    FullScanEngine, IncrementalEngine, IndexScanEngine, Recommendation, RecommendationEngine,
+};
+
+/// Which engine a simulation drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// [`FullScanEngine`].
+    FullScan,
+    /// [`IndexScanEngine`].
+    IndexScan,
+    /// [`IncrementalEngine`].
+    Incremental,
+}
+
+/// End-to-end simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// Workload generator settings (users, topics, vocabulary, seed).
+    pub workload: WorkloadConfig,
+    /// Engine settings (k, window, decay, buffers).
+    pub engine: EngineConfig,
+    /// Which engine to instantiate.
+    pub engine_kind: EngineKind,
+    /// Number of ad campaigns to submit at setup.
+    pub num_ads: usize,
+    /// Followees per user in the generated graph.
+    pub followees_per_user: usize,
+    /// Mean message arrival rate (messages/simulated second, Poisson).
+    pub message_rate: f64,
+    /// Fraction of ads that carry location+slot targeting.
+    pub targeted_ad_fraction: f64,
+    /// Bid range (uniform); bids only matter for λ < 1 scoring.
+    pub bid_range: (f32, f32),
+    /// Per-campaign budget (`None` = unlimited).
+    pub ad_budget: Option<f64>,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            workload: WorkloadConfig::default(),
+            engine: EngineConfig::default(),
+            engine_kind: EngineKind::Incremental,
+            num_ads: 1000,
+            followees_per_user: 20,
+            message_rate: 100.0,
+            targeted_ad_fraction: 0.3,
+            bid_range: (0.5, 2.0),
+            ad_budget: None,
+        }
+    }
+}
+
+impl SimulationConfig {
+    /// A fast configuration for tests and doc examples.
+    pub fn tiny() -> Self {
+        SimulationConfig {
+            workload: WorkloadConfig::tiny(),
+            engine: EngineConfig { k: 3, window: WindowConfig::count(8), ..Default::default() },
+            num_ads: 30,
+            followees_per_user: 5,
+            ..Default::default()
+        }
+    }
+}
+
+/// A running end-to-end simulation.
+pub struct Simulation {
+    config: SimulationConfig,
+    graph: SocialGraph,
+    generator: WorkloadGenerator,
+    delivery: PushDelivery,
+    store: AdStore,
+    engine: Box<dyn RecommendationEngine>,
+    /// Topic of each submitted ad (evaluation ground truth).
+    ad_topics: Vec<(AdId, TopicId)>,
+    messages_processed: u64,
+}
+
+impl Simulation {
+    /// Build the whole stack: graph, generator, ads, feeds, engine.
+    pub fn build(config: SimulationConfig) -> Self {
+        let num_users = config.workload.num_users;
+        let mut graph_rng = SmallRng::seed_from_u64(config.workload.seed ^ 0x6742_11AA);
+        let graph = generators::preferential_attachment(
+            num_users,
+            config.followees_per_user,
+            &mut graph_rng,
+        );
+        let mut generator =
+            WorkloadGenerator::with_poisson(config.workload.clone(), config.message_rate);
+        let mut store = AdStore::new();
+        let mut bid_rng = SmallRng::seed_from_u64(config.workload.seed ^ 0x00AD_B1D5);
+        let mut ad_topics = Vec::with_capacity(config.num_ads);
+        for _ in 0..config.num_ads {
+            let seed: AdSeed = generator.next_ad();
+            let targeting = if bid_rng.gen_bool(config.targeted_ad_fraction) {
+                Targeting::everywhere().in_locations([seed.location]).in_slots([seed.slot])
+            } else {
+                Targeting::everywhere()
+            };
+            let bid = bid_rng.gen_range(config.bid_range.0..=config.bid_range.1);
+            let budget = match config.ad_budget {
+                Some(b) => Budget::new(b),
+                None => Budget::unlimited(),
+            };
+            let id = store
+                .submit(AdSubmission {
+                    vector: seed.vector,
+                    bid,
+                    targeting,
+                    budget,
+                    topic_hint: Some(seed.topic),
+                })
+                .expect("generated ads are valid");
+            ad_topics.push((id, seed.topic));
+        }
+        let engine: Box<dyn RecommendationEngine> = match config.engine_kind {
+            EngineKind::FullScan => Box::new(FullScanEngine::new(num_users, config.engine.clone())),
+            EngineKind::IndexScan => {
+                Box::new(IndexScanEngine::new(num_users, config.engine.clone()))
+            }
+            EngineKind::Incremental => {
+                Box::new(IncrementalEngine::new(num_users, config.engine.clone()))
+            }
+        };
+        let delivery = PushDelivery::new(num_users, config.engine.window);
+        Simulation {
+            graph,
+            generator,
+            delivery,
+            store,
+            engine,
+            ad_topics,
+            messages_processed: 0,
+            config,
+        }
+    }
+
+    /// Generate and process one message end-to-end. Returns the message
+    /// and how many follower feeds it touched.
+    pub fn step(&mut self) -> (SharedMessage, usize) {
+        let msg = self.generator.next_message();
+        let deltas = self.delivery.post(&self.graph, msg.clone());
+        let touched = deltas.len();
+        for (user, delta) in &deltas {
+            self.engine.on_feed_delta(&self.store, *user, delta);
+        }
+        self.messages_processed += 1;
+        (msg, touched)
+    }
+
+    /// Stream `n` messages.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Serve the top-`k` ads for `user` at the current simulated time and
+    /// the user's home location.
+    pub fn recommend(&mut self, user: UserId, k: usize) -> Vec<Recommendation> {
+        let now = self.generator.now();
+        let location = self.generator.home_location(user);
+        self.engine.recommend(&self.store, user, now, location, k)
+    }
+
+    /// Serve at an explicit probe time and location (time-slot studies).
+    /// `now` must not precede the stream's current time.
+    pub fn recommend_at(
+        &mut self,
+        user: UserId,
+        now: Timestamp,
+        location: LocationId,
+        k: usize,
+    ) -> Vec<Recommendation> {
+        self.engine.recommend(&self.store, user, now, location, k)
+    }
+
+    /// Serve and charge: recommendations are recorded as impressions at
+    /// cost = bid (first-price for simplicity); exhausted campaigns are
+    /// de-indexed and purged from engine state.
+    pub fn recommend_and_charge(&mut self, user: UserId, k: usize) -> Vec<Recommendation> {
+        let recs = self.recommend(user, k);
+        for r in &recs {
+            let cost = self.store.ad(r.ad).map_or(0.0, |a| a.bid as f64);
+            if let Some(state) = self.store.record_impression(r.ad, cost) {
+                if !matches!(state, adcast_ads::CampaignState::Active) {
+                    self.engine.on_campaign_removed(r.ad);
+                }
+            }
+        }
+        recs
+    }
+
+    /// Some user whose feed is non-empty (deterministic: lowest id).
+    pub fn any_active_user(&self) -> Option<UserId> {
+        self.graph
+            .users()
+            .find(|&u| !self.delivery.store().window(u).is_empty())
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Timestamp {
+        self.generator.now()
+    }
+
+    /// Messages streamed so far.
+    pub fn messages_processed(&self) -> u64 {
+        self.messages_processed
+    }
+
+    /// The ground-truth topic of each submitted ad.
+    pub fn ad_topics(&self) -> &[(AdId, TopicId)] {
+        &self.ad_topics
+    }
+
+    /// Users whose ground-truth profile includes `topic` — the relevant
+    /// set for effectiveness metrics.
+    pub fn users_interested_in(&self, topic: TopicId) -> Vec<UserId> {
+        self.graph
+            .users()
+            .filter(|&u| self.generator.profile(u).interested_in(topic))
+            .collect()
+    }
+
+    /// Accessors for the parts.
+    pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    /// The workload generator (ground truth lives here).
+    pub fn generator(&self) -> &WorkloadGenerator {
+        &self.generator
+    }
+
+    /// The ad store.
+    pub fn store(&self) -> &AdStore {
+        &self.store
+    }
+
+    /// Mutable ad store access (campaign churn experiments).
+    pub fn store_mut(&mut self) -> &mut AdStore {
+        &mut self.store
+    }
+
+    /// The engine.
+    pub fn engine(&self) -> &dyn RecommendationEngine {
+        self.engine.as_ref()
+    }
+
+    /// Mutable engine access.
+    pub fn engine_mut(&mut self) -> &mut dyn RecommendationEngine {
+        self.engine.as_mut()
+    }
+
+    /// The feed delivery (cost counters).
+    pub fn delivery(&self) -> &PushDelivery {
+        &self.delivery
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_tiny_run() {
+        let mut sim = Simulation::build(SimulationConfig::tiny());
+        sim.run(100);
+        assert_eq!(sim.messages_processed(), 100);
+        let user = sim.any_active_user().expect("feeds received messages");
+        let recs = sim.recommend(user, 3);
+        assert!(recs.len() <= 3);
+        for r in &recs {
+            assert!(r.score > 0.0);
+            assert!(sim.store().ad(r.ad).is_some());
+        }
+    }
+
+    #[test]
+    fn engines_are_swappable() {
+        for kind in [EngineKind::FullScan, EngineKind::IndexScan, EngineKind::Incremental] {
+            let cfg = SimulationConfig { engine_kind: kind, ..SimulationConfig::tiny() };
+            let mut sim = Simulation::build(cfg);
+            sim.run(50);
+            let user = sim.any_active_user().unwrap();
+            let _ = sim.recommend(user, 3);
+            assert!(sim.engine().stats().deltas > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let build = || {
+            let mut sim = Simulation::build(SimulationConfig::tiny());
+            sim.run(80);
+            let user = sim.any_active_user().unwrap();
+            sim.recommend(user, 3)
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.ad, y.ad);
+            assert_eq!(x.score, y.score);
+        }
+    }
+
+    #[test]
+    fn budgets_exhaust_under_charging() {
+        let cfg = SimulationConfig {
+            ad_budget: Some(1.0),
+            bid_range: (1.0, 1.0),
+            ..SimulationConfig::tiny()
+        };
+        let mut sim = Simulation::build(cfg);
+        sim.run(150);
+        let active_before = sim.store().num_active();
+        // Charge impressions until some campaigns drain.
+        for _ in 0..20 {
+            let users: Vec<UserId> = sim.graph().users().collect();
+            for u in users {
+                sim.recommend_and_charge(u, 3);
+            }
+        }
+        assert!(
+            sim.store().num_active() < active_before,
+            "charging at bid=budget must exhaust campaigns"
+        );
+    }
+
+    #[test]
+    fn ground_truth_accessors() {
+        let sim = Simulation::build(SimulationConfig::tiny());
+        assert_eq!(sim.ad_topics().len(), 30);
+        let (_, topic) = sim.ad_topics()[0];
+        let interested = sim.users_interested_in(topic);
+        assert!(interested.len() < sim.graph().num_users() + 1);
+    }
+}

@@ -1,0 +1,423 @@
+//! The incremental engine's per-user candidate buffer.
+//!
+//! Holds exact forward-scale relevance dots for up to `capacity` ads —
+//! a superset of the top-k (capacity = headroom·k). Updates are O(1);
+//! order statistics (min, k-th) are O(|buffer|) scans, which is fine
+//! because buffers are tens of entries.
+//!
+//! The buffer stores *relevance* (forward dots); ranking scores (which may
+//! blend bids) are computed by the engine from these relevances, so the
+//! buffer itself stays policy-agnostic. Order statistics used for
+//! certification take a rank function from the caller.
+
+use std::collections::HashMap;
+
+use adcast_ads::AdId;
+
+/// A bounded map `AdId → forward-scale relevance`.
+#[derive(Debug, Clone)]
+pub struct CandidateBuffer {
+    scores: HashMap<AdId, f32>,
+    capacity: usize,
+}
+
+impl CandidateBuffer {
+    /// An empty buffer retaining at most `capacity` ads.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        CandidateBuffer { scores: HashMap::with_capacity(capacity + 1), capacity }
+    }
+
+    /// Number of buffered ads.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Is the buffer at capacity?
+    pub fn is_full(&self) -> bool {
+        self.scores.len() >= self.capacity
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The buffered relevance of `ad`, if present.
+    pub fn get(&self, ad: AdId) -> Option<f32> {
+        self.scores.get(&ad).copied()
+    }
+
+    /// Is `ad` buffered?
+    pub fn contains(&self, ad: AdId) -> bool {
+        self.scores.contains_key(&ad)
+    }
+
+    /// Add `delta` to a buffered ad's relevance. No-op when absent.
+    pub fn nudge(&mut self, ad: AdId, delta: f32) {
+        if let Some(s) = self.scores.get_mut(&ad) {
+            *s += delta;
+        }
+    }
+
+    /// Insert or overwrite `ad`'s exact relevance, evicting the worst
+    /// (lowest rank, ties by higher ad id) entry if over capacity.
+    /// Returns the evicted `(ad, relevance)`, if any — callers use the
+    /// relevance to keep their outside bounds sound.
+    pub fn insert(
+        &mut self,
+        ad: AdId,
+        relevance: f32,
+        rank: impl Fn(AdId, f32) -> f32,
+    ) -> Option<(AdId, f32)> {
+        self.scores.insert(ad, relevance);
+        if self.scores.len() <= self.capacity {
+            return None;
+        }
+        let worst = self
+            .scores
+            .iter()
+            .min_by(|a, b| {
+                rank(*a.0, *a.1)
+                    .total_cmp(&rank(*b.0, *b.1))
+                    .then_with(|| b.0.cmp(a.0))
+            })
+            .map(|(&id, _)| id)
+            .expect("buffer over capacity implies non-empty");
+        let rel = self.scores.remove(&worst).expect("worst came from the map");
+        Some((worst, rel))
+    }
+
+    /// Remove `ad` (campaign churn), returning its relevance if present.
+    pub fn remove(&mut self, ad: AdId) -> Option<f32> {
+        self.scores.remove(&ad)
+    }
+
+    /// Multiply every relevance by `factor` (context rebase).
+    pub fn scale_all(&mut self, factor: f32) {
+        for s in self.scores.values_mut() {
+            *s *= factor;
+        }
+    }
+
+    /// The `k`-th best rank value (the certification threshold τ);
+    /// `None` when fewer than `k` ads are buffered.
+    pub fn kth_rank(&self, k: usize, rank: impl Fn(AdId, f32) -> f32) -> Option<f32> {
+        if self.scores.len() < k || k == 0 {
+            return None;
+        }
+        let mut ranks: Vec<f32> = self.scores.iter().map(|(&id, &s)| rank(id, s)).collect();
+        ranks.sort_by(|a, b| b.total_cmp(a));
+        Some(ranks[k - 1])
+    }
+
+    /// The minimum rank value currently buffered (0.0 when empty).
+    pub fn min_rank(&self, rank: impl Fn(AdId, f32) -> f32) -> f32 {
+        self.scores
+            .iter()
+            .map(|(&id, &s)| rank(id, s))
+            .fold(f32::INFINITY, f32::min)
+            .min(f32::INFINITY)
+            .pipe_finite()
+    }
+
+    /// Iterate over `(ad, relevance)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (AdId, f32)> + '_ {
+        self.scores.iter().map(|(&id, &s)| (id, s))
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.scores.clear();
+    }
+
+    /// Approximate resident bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.scores.capacity() * (std::mem::size_of::<(AdId, f32)>() + 8)
+    }
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f32;
+}
+
+impl PipeFinite for f32 {
+    /// Map the empty-fold sentinel (+∞) to 0.0.
+    fn pipe_finite(self) -> f32 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_relevance(_: AdId, s: f32) -> f32 {
+        s
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut b = CandidateBuffer::new(4);
+        assert!(b.insert(AdId(1), 0.5, by_relevance).is_none());
+        assert_eq!(b.get(AdId(1)), Some(0.5));
+        assert!(b.contains(AdId(1)));
+        assert!(!b.contains(AdId(2)));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn eviction_drops_worst() {
+        let mut b = CandidateBuffer::new(2);
+        b.insert(AdId(0), 0.9, by_relevance);
+        b.insert(AdId(1), 0.1, by_relevance);
+        let evicted = b.insert(AdId(2), 0.5, by_relevance);
+        assert_eq!(evicted, Some((AdId(1), 0.1)));
+        assert!(b.contains(AdId(0)) && b.contains(AdId(2)));
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn eviction_tie_drops_higher_id() {
+        let mut b = CandidateBuffer::new(2);
+        b.insert(AdId(3), 0.5, by_relevance);
+        b.insert(AdId(1), 0.5, by_relevance);
+        let evicted = b.insert(AdId(2), 0.9, by_relevance);
+        assert_eq!(evicted, Some((AdId(3), 0.5)), "ties evict the higher ad id");
+    }
+
+    #[test]
+    fn nudge_only_touches_present() {
+        let mut b = CandidateBuffer::new(4);
+        b.insert(AdId(1), 0.5, by_relevance);
+        b.nudge(AdId(1), 0.25);
+        b.nudge(AdId(9), 1.0);
+        assert_eq!(b.get(AdId(1)), Some(0.75));
+        assert!(!b.contains(AdId(9)));
+    }
+
+    #[test]
+    fn kth_rank_thresholds() {
+        let mut b = CandidateBuffer::new(8);
+        for (i, s) in [0.9, 0.7, 0.5, 0.3].iter().enumerate() {
+            b.insert(AdId(i as u32), *s, by_relevance);
+        }
+        assert_eq!(b.kth_rank(1, by_relevance), Some(0.9));
+        assert_eq!(b.kth_rank(3, by_relevance), Some(0.5));
+        assert_eq!(b.kth_rank(4, by_relevance), Some(0.3));
+        assert_eq!(b.kth_rank(5, by_relevance), None, "not enough entries");
+        assert_eq!(b.kth_rank(0, by_relevance), None);
+    }
+
+    #[test]
+    fn min_rank_and_empty() {
+        let mut b = CandidateBuffer::new(4);
+        assert_eq!(b.min_rank(by_relevance), 0.0);
+        b.insert(AdId(0), 0.4, by_relevance);
+        b.insert(AdId(1), 0.2, by_relevance);
+        assert_eq!(b.min_rank(by_relevance), 0.2);
+    }
+
+    #[test]
+    fn scale_all_rescales() {
+        let mut b = CandidateBuffer::new(4);
+        b.insert(AdId(0), 0.4, by_relevance);
+        b.insert(AdId(1), 0.8, by_relevance);
+        b.scale_all(0.5);
+        assert_eq!(b.get(AdId(0)), Some(0.2));
+        assert_eq!(b.get(AdId(1)), Some(0.4));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut b = CandidateBuffer::new(4);
+        b.insert(AdId(0), 0.4, by_relevance);
+        assert_eq!(b.remove(AdId(0)), Some(0.4));
+        assert_eq!(b.remove(AdId(0)), None);
+        b.insert(AdId(1), 0.4, by_relevance);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn rank_function_can_differ_from_relevance() {
+        // Rank = relevance × bid, with ad 0 carrying a huge bid.
+        let bid = |ad: AdId| if ad == AdId(0) { 10.0 } else { 1.0 };
+        let rank = |ad: AdId, s: f32| s * bid(ad);
+        let mut b = CandidateBuffer::new(2);
+        b.insert(AdId(0), 0.1, rank); // rank 1.0
+        b.insert(AdId(1), 0.5, rank); // rank 0.5
+        let evicted = b.insert(AdId(2), 0.6, rank); // rank 0.6
+        assert_eq!(evicted, Some((AdId(1), 0.5)), "lowest rank (not relevance) evicted");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = CandidateBuffer::new(0);
+    }
+}
+
+/// The incremental engine's per-user **score cache**: a bounded memo of
+/// upper-bound relevances for candidates that did not make the buffer.
+///
+/// Unlike [`CandidateBuffer`] it is built for high churn: eviction drops
+/// the lower half of entries in one `O(n)` pass, amortizing to `O(1)` per
+/// insert, and reports the maximum evicted value so the caller can fold
+/// it into its unknown-ad bound.
+#[derive(Debug, Clone)]
+pub struct ScoreCache {
+    map: HashMap<AdId, f32>,
+    capacity: usize,
+}
+
+impl ScoreCache {
+    /// An empty cache retaining at most `capacity` ads (`capacity == 0`
+    /// disables the cache: every insert is rejected and reported back).
+    pub fn new(capacity: usize) -> Self {
+        // Grow on demand: most users never touch more than a fraction of
+        // the capacity, and pre-allocating per user dominates engine memory.
+        ScoreCache { map: HashMap::new(), capacity }
+    }
+
+    /// Number of cached ads.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The cached upper bound for `ad`, if present.
+    pub fn get(&self, ad: AdId) -> Option<f32> {
+        self.map.get(&ad).copied()
+    }
+
+    /// Add `delta` to a cached ad's bound. No-op when absent.
+    pub fn nudge(&mut self, ad: AdId, delta: f32) {
+        if let Some(v) = self.map.get_mut(&ad) {
+            *v += delta;
+        }
+    }
+
+    /// Insert or overwrite `ad`'s bound. Returns the maximum evicted
+    /// value when an eviction sweep ran (the caller must keep covering
+    /// the evicted ads with its unknown-ad bound).
+    pub fn insert(&mut self, ad: AdId, value: f32) -> Option<f32> {
+        if self.capacity == 0 {
+            return Some(value);
+        }
+        self.map.insert(ad, value);
+        if self.map.len() <= self.capacity {
+            return None;
+        }
+        // Drop the lower half in one pass (amortized O(1) per insert).
+        let mut values: Vec<f32> = self.map.values().copied().collect();
+        let mid = values.len() / 2;
+        let (_, median, _) =
+            values.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+        let threshold = *median;
+        let mut evicted_max = f32::NEG_INFINITY;
+        self.map.retain(|_, v| {
+            if *v > threshold {
+                true
+            } else {
+                evicted_max = evicted_max.max(*v);
+                false
+            }
+        });
+        Some(evicted_max)
+    }
+
+    /// Remove `ad` (campaign churn).
+    pub fn remove(&mut self, ad: AdId) -> Option<f32> {
+        self.map.remove(&ad)
+    }
+
+    /// Multiply every bound by `factor` (context rebase).
+    pub fn scale_all(&mut self, factor: f32) {
+        for v in self.map.values_mut() {
+            *v *= factor;
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Approximate resident bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.map.capacity() * (std::mem::size_of::<(AdId, f32)>() + 8)
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_nudge_remove() {
+        let mut c = ScoreCache::new(8);
+        assert!(c.insert(AdId(1), 0.5).is_none());
+        assert_eq!(c.get(AdId(1)), Some(0.5));
+        c.nudge(AdId(1), 0.25);
+        c.nudge(AdId(9), 1.0);
+        assert_eq!(c.get(AdId(1)), Some(0.75));
+        assert_eq!(c.remove(AdId(1)), Some(0.75));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn eviction_drops_lower_half_and_reports_max() {
+        let mut c = ScoreCache::new(4);
+        for i in 0..4u32 {
+            assert!(c.insert(AdId(i), i as f32).is_none());
+        }
+        let evicted = c.insert(AdId(4), 4.0).expect("sweep runs");
+        // Median of {0,1,2,3,4} is 2; entries ≤ 2 evicted, max evicted 2.
+        assert_eq!(evicted, 2.0);
+        assert_eq!(c.len(), 2);
+        assert!(c.get(AdId(3)).is_some() && c.get(AdId(4)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut c = ScoreCache::new(0);
+        assert_eq!(c.insert(AdId(1), 0.7), Some(0.7));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn scale_all_applies() {
+        let mut c = ScoreCache::new(4);
+        c.insert(AdId(0), 2.0);
+        c.scale_all(0.25);
+        assert_eq!(c.get(AdId(0)), Some(0.5));
+    }
+
+    #[test]
+    fn high_churn_keeps_hot_entries() {
+        let mut c = ScoreCache::new(64);
+        // A hot entry with a high bound must survive storms of cold inserts.
+        c.insert(AdId(999_999), 100.0);
+        for i in 0..10_000u32 {
+            c.insert(AdId(i), 0.01);
+        }
+        assert_eq!(c.get(AdId(999_999)), Some(100.0));
+        assert!(c.len() <= 64);
+    }
+}

@@ -1,0 +1,220 @@
+//! Hybrid push/pull delivery (Silberstein et al., "Feeding Frenzy",
+//! SIGMOD 2010 style).
+//!
+//! Producers with more than `celebrity_threshold` followers are handled
+//! pull-side (their posts land in an outbox; O(1) per post no matter how
+//! many followers). Everyone else pushes. Reads take the materialized push
+//! window and merge in the celebrity outboxes of the followees.
+//!
+//! This caps write amplification at `threshold` per post while keeping
+//! read-side merge work bounded by the (small) number of celebrities a
+//! user follows — the classic sweet spot the E8 experiment sweeps.
+
+use std::collections::VecDeque;
+
+use adcast_graph::{SocialGraph, UserId};
+use adcast_stream::event::SharedMessage;
+
+use crate::stats::DeliveryStats;
+use crate::store::FeedStore;
+use crate::window::{FeedDelta, WindowConfig};
+use crate::FeedDelivery;
+
+/// Hybrid push/pull delivery.
+#[derive(Debug)]
+pub struct HybridDelivery {
+    store: FeedStore,
+    outboxes: Vec<VecDeque<SharedMessage>>,
+    window: WindowConfig,
+    celebrity_threshold: usize,
+    stats: DeliveryStats,
+}
+
+impl HybridDelivery {
+    /// Create with the given celebrity threshold (in followers).
+    pub fn new(num_users: u32, window: WindowConfig, celebrity_threshold: usize) -> Self {
+        HybridDelivery {
+            store: FeedStore::new(num_users, window),
+            outboxes: (0..num_users).map(|_| VecDeque::new()).collect(),
+            window,
+            celebrity_threshold,
+            stats: DeliveryStats::default(),
+        }
+    }
+
+    /// Is `u` handled pull-side?
+    pub fn is_celebrity(&self, graph: &SocialGraph, u: UserId) -> bool {
+        graph.in_degree(u) > self.celebrity_threshold
+    }
+
+    /// The celebrity threshold.
+    pub fn celebrity_threshold(&self) -> usize {
+        self.celebrity_threshold
+    }
+
+    /// Approximate resident bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.store.memory_bytes()
+            + self
+                .outboxes
+                .iter()
+                .map(|o| o.capacity() * std::mem::size_of::<SharedMessage>())
+                .sum::<usize>()
+    }
+}
+
+impl FeedDelivery for HybridDelivery {
+    fn post(&mut self, graph: &SocialGraph, msg: SharedMessage) -> Vec<(UserId, FeedDelta)> {
+        self.stats.posts += 1;
+        if self.is_celebrity(graph, msg.author) {
+            self.stats.outbox_appends += 1;
+            let outbox = &mut self.outboxes[msg.author.index()];
+            outbox.push_back(msg);
+            while outbox.len() > self.window.capacity {
+                outbox.pop_front();
+            }
+            Vec::new()
+        } else {
+            let followers = graph.followers(msg.author);
+            let mut out = Vec::with_capacity(followers.len() + 1);
+            for &f in followers {
+                self.stats.push_deliveries += 1;
+                out.push((f, self.store.deliver(f, msg.clone())));
+            }
+            self.stats.push_deliveries += 1;
+            out.push((msg.author, self.store.deliver(msg.author, msg.clone())));
+            out
+        }
+    }
+
+    fn read(&mut self, graph: &SocialGraph, user: UserId) -> Vec<SharedMessage> {
+        self.stats.reads += 1;
+        let mut merged: Vec<SharedMessage> = self.store.window(user).snapshot();
+        for &followee in graph.followees(user) {
+            if graph.in_degree(followee) > self.celebrity_threshold {
+                for m in &self.outboxes[followee.index()] {
+                    self.stats.merge_examined += 1;
+                    merged.push(m.clone());
+                }
+            }
+        }
+        merged.sort_by_key(|m| (m.ts, m.id));
+        let keep = self.window.capacity.min(merged.len());
+        merged.split_off(merged.len() - keep)
+    }
+
+    fn stats(&self) -> &DeliveryStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcast_graph::GraphBuilder;
+    use adcast_stream::clock::Timestamp;
+    use adcast_stream::event::{LocationId, Message, MessageId};
+    use adcast_text::SparseVector;
+    use std::sync::Arc;
+
+    /// User 0 is a celebrity (3 followers), user 1 is not (1 follower).
+    fn graph() -> SocialGraph {
+        let mut b = GraphBuilder::new(5);
+        for u in [2, 3, 4] {
+            b.follow(UserId(u), UserId(0));
+        }
+        b.follow(UserId(2), UserId(1));
+        b.build()
+    }
+
+    fn msg(id: u64, author: u32, secs: u64) -> SharedMessage {
+        Arc::new(Message {
+            id: MessageId(id),
+            author: UserId(author),
+            ts: Timestamp::from_secs(secs),
+            location: LocationId(0),
+            vector: SparseVector::new(),
+        })
+    }
+
+    #[test]
+    fn celebrity_posts_go_pull_side() {
+        let g = graph();
+        let mut d = HybridDelivery::new(5, WindowConfig::count(10), 2);
+        assert!(d.is_celebrity(&g, UserId(0)));
+        assert!(!d.is_celebrity(&g, UserId(1)));
+        let deltas = d.post(&g, msg(0, 0, 1));
+        assert!(deltas.is_empty(), "celebrity post is an outbox append");
+        assert_eq!(d.stats().outbox_appends, 1);
+        assert_eq!(d.stats().push_deliveries, 0);
+    }
+
+    #[test]
+    fn normal_posts_push() {
+        let g = graph();
+        let mut d = HybridDelivery::new(5, WindowConfig::count(10), 2);
+        let deltas = d.post(&g, msg(0, 1, 1));
+        // follower 2 + self.
+        assert_eq!(deltas.len(), 2);
+        assert_eq!(d.stats().push_deliveries, 2);
+    }
+
+    #[test]
+    fn reads_merge_both_sides_in_order() {
+        let g = graph();
+        let mut d = HybridDelivery::new(5, WindowConfig::count(10), 2);
+        d.post(&g, msg(0, 1, 1)); // pushed to user 2
+        d.post(&g, msg(1, 0, 2)); // celebrity outbox
+        d.post(&g, msg(2, 1, 3)); // pushed
+        let feed = d.read(&g, UserId(2));
+        let ids: Vec<_> = feed.iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, [0, 1, 2]);
+        assert_eq!(d.stats().merge_examined, 1, "only the celebrity outbox is merged");
+    }
+
+    #[test]
+    fn non_follower_sees_no_celebrity_posts() {
+        let g = graph();
+        let mut d = HybridDelivery::new(5, WindowConfig::count(10), 2);
+        d.post(&g, msg(0, 0, 1));
+        // User 1 does not follow the celebrity.
+        assert!(d.read(&g, UserId(1)).is_empty());
+    }
+
+    #[test]
+    fn threshold_zero_degenerates_to_pull_for_anyone_with_followers() {
+        let g = graph();
+        let mut d = HybridDelivery::new(5, WindowConfig::count(10), 0);
+        assert!(d.is_celebrity(&g, UserId(1)));
+        let deltas = d.post(&g, msg(0, 1, 1));
+        assert!(deltas.is_empty());
+        let feed = d.read(&g, UserId(2));
+        assert_eq!(feed.len(), 1);
+    }
+
+    #[test]
+    fn huge_threshold_degenerates_to_push() {
+        let g = graph();
+        let mut d = HybridDelivery::new(5, WindowConfig::count(10), 1000);
+        let deltas = d.post(&g, msg(0, 0, 1));
+        assert_eq!(deltas.len(), 4, "3 followers + self");
+        assert_eq!(d.stats().outbox_appends, 0);
+    }
+
+    #[test]
+    fn window_cap_respected_across_sides() {
+        let g = graph();
+        let mut d = HybridDelivery::new(5, WindowConfig::count(2), 2);
+        d.post(&g, msg(0, 1, 1));
+        d.post(&g, msg(1, 0, 2));
+        d.post(&g, msg(2, 1, 3));
+        d.post(&g, msg(3, 0, 4));
+        let feed = d.read(&g, UserId(2));
+        let ids: Vec<_> = feed.iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, [2, 3]);
+    }
+}

@@ -1,0 +1,50 @@
+//! # adcast-feed — news-feed delivery substrate for `adcast`
+//!
+//! Models how posted messages reach follower feeds, and what a "feed" is:
+//!
+//! * [`window`] — a per-user sliding window over delivered messages
+//!   (count-capped, optionally time-bounded). Window slides produce
+//!   [`window::FeedDelta`]s, the currency the incremental engine consumes,
+//! * [`store`] — the per-user window table,
+//! * [`push`] — fan-out-on-write delivery (every post is materialized into
+//!   every follower's window immediately),
+//! * [`pull`] — fan-out-on-read (posts go to the author's outbox; feeds are
+//!   assembled by merging followee outboxes at read time),
+//! * [`hybrid`] — the Silberstein-style split: high-degree producers are
+//!   handled pull-side, everyone else pushes. The threshold is the E8
+//!   experiment's sweep parameter,
+//! * [`stats`] — delivery cost accounting (writes, reads, merge work).
+
+pub mod hybrid;
+pub mod pull;
+pub mod push;
+pub mod stats;
+pub mod store;
+pub mod window;
+
+pub use hybrid::HybridDelivery;
+pub use pull::PullDelivery;
+pub use push::PushDelivery;
+pub use stats::DeliveryStats;
+pub use store::FeedStore;
+pub use window::{FeedDelta, FeedWindow, WindowConfig};
+
+use adcast_graph::{SocialGraph, UserId};
+use adcast_stream::event::SharedMessage;
+
+/// A feed-delivery strategy: how posts reach follower feeds.
+pub trait FeedDelivery {
+    /// Ingest a post, returning `(user, delta)` for every follower whose
+    /// *materialized* window changed right now. Pull-side deliveries return
+    /// nothing here — their cost is paid in [`FeedDelivery::read`].
+    fn post(&mut self, graph: &SocialGraph, msg: SharedMessage) -> Vec<(UserId, FeedDelta)>;
+
+    /// Assemble `user`'s current feed, oldest message first.
+    fn read(&mut self, graph: &SocialGraph, user: UserId) -> Vec<SharedMessage>;
+
+    /// Cost counters accumulated so far.
+    fn stats(&self) -> &DeliveryStats;
+
+    /// Human-readable strategy name (for experiment output).
+    fn name(&self) -> &'static str;
+}

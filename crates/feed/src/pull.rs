@@ -1,0 +1,195 @@
+//! Fan-out-on-read delivery.
+//!
+//! Posts cost O(1): they are appended to the author's **outbox** (a
+//! bounded recent-posts list). Reads assemble the feed on demand by
+//! merging the outboxes of every followee and keeping the most recent
+//! `window` messages — O(Σ followee outbox sizes) per read.
+
+use std::collections::VecDeque;
+
+use adcast_graph::{SocialGraph, UserId};
+use adcast_stream::event::SharedMessage;
+
+use crate::stats::DeliveryStats;
+use crate::window::{FeedDelta, WindowConfig};
+use crate::FeedDelivery;
+
+/// Pull (fan-out-on-read) delivery.
+#[derive(Debug)]
+pub struct PullDelivery {
+    outboxes: Vec<VecDeque<SharedMessage>>,
+    window: WindowConfig,
+    /// Outbox retention: keep this many recent posts per author. Must be
+    /// ≥ window capacity for exact feeds; defaults to exactly that.
+    outbox_cap: usize,
+    stats: DeliveryStats,
+    include_self: bool,
+}
+
+impl PullDelivery {
+    /// Create with per-author outboxes sized to the window capacity.
+    pub fn new(num_users: u32, window: WindowConfig) -> Self {
+        PullDelivery {
+            outboxes: (0..num_users).map(|_| VecDeque::new()).collect(),
+            outbox_cap: window.capacity,
+            window,
+            stats: DeliveryStats::default(),
+            include_self: true,
+        }
+    }
+
+    /// Exclude the reader's own posts from assembled feeds.
+    pub fn without_self_delivery(mut self) -> Self {
+        self.include_self = false;
+        self
+    }
+
+    /// The author's outbox contents (oldest first).
+    pub fn outbox(&self, author: UserId) -> impl Iterator<Item = &SharedMessage> + '_ {
+        self.outboxes[author.index()].iter()
+    }
+
+    /// Approximate resident bytes of the outbox structures.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .outboxes
+                .iter()
+                .map(|o| o.capacity() * std::mem::size_of::<SharedMessage>())
+                .sum::<usize>()
+    }
+}
+
+impl FeedDelivery for PullDelivery {
+    fn post(&mut self, _graph: &SocialGraph, msg: SharedMessage) -> Vec<(UserId, FeedDelta)> {
+        self.stats.posts += 1;
+        self.stats.outbox_appends += 1;
+        let outbox = &mut self.outboxes[msg.author.index()];
+        outbox.push_back(msg);
+        while outbox.len() > self.outbox_cap {
+            outbox.pop_front();
+        }
+        Vec::new()
+    }
+
+    fn read(&mut self, graph: &SocialGraph, user: UserId) -> Vec<SharedMessage> {
+        self.stats.reads += 1;
+        let mut merged: Vec<SharedMessage> = Vec::new();
+        let pull_from = |author: UserId, stats: &mut DeliveryStats, merged: &mut Vec<SharedMessage>| {
+            for m in &self.outboxes[author.index()] {
+                stats.merge_examined += 1;
+                merged.push(m.clone());
+            }
+        };
+        for &followee in graph.followees(user) {
+            pull_from(followee, &mut self.stats, &mut merged);
+        }
+        if self.include_self {
+            pull_from(user, &mut self.stats, &mut merged);
+        }
+        // Sort by (ts, id) for a deterministic total order, keep the most
+        // recent `capacity`, return oldest-first.
+        merged.sort_by_key(|m| (m.ts, m.id));
+        let keep = self.window.capacity.min(merged.len());
+        merged.split_off(merged.len() - keep)
+    }
+
+    fn stats(&self) -> &DeliveryStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "pull"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcast_graph::GraphBuilder;
+    use adcast_stream::clock::Timestamp;
+    use adcast_stream::event::{LocationId, Message, MessageId};
+    use adcast_text::SparseVector;
+    use std::sync::Arc;
+
+    fn graph() -> SocialGraph {
+        let mut b = GraphBuilder::new(4);
+        b.follow(UserId(0), UserId(1));
+        b.follow(UserId(0), UserId(2));
+        b.build()
+    }
+
+    fn msg(id: u64, author: u32, secs: u64) -> SharedMessage {
+        Arc::new(Message {
+            id: MessageId(id),
+            author: UserId(author),
+            ts: Timestamp::from_secs(secs),
+            location: LocationId(0),
+            vector: SparseVector::new(),
+        })
+    }
+
+    #[test]
+    fn post_is_cheap_read_merges() {
+        let g = graph();
+        let mut d = PullDelivery::new(4, WindowConfig::count(10)).without_self_delivery();
+        assert!(d.post(&g, msg(0, 1, 1)).is_empty(), "pull posts return no deltas");
+        d.post(&g, msg(1, 2, 2));
+        d.post(&g, msg(2, 1, 3));
+        let feed = d.read(&g, UserId(0));
+        let ids: Vec<_> = feed.iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, [0, 1, 2], "merged feed in time order");
+        assert_eq!(d.stats().merge_examined, 3);
+        assert_eq!(d.stats().outbox_appends, 3);
+    }
+
+    #[test]
+    fn window_capacity_limits_feed() {
+        let g = graph();
+        let mut d = PullDelivery::new(4, WindowConfig::count(2)).without_self_delivery();
+        for i in 0..5 {
+            d.post(&g, msg(i, 1, i));
+        }
+        let feed = d.read(&g, UserId(0));
+        let ids: Vec<_> = feed.iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, [3, 4], "only the most recent W survive");
+    }
+
+    #[test]
+    fn outbox_bounded() {
+        let g = graph();
+        let mut d = PullDelivery::new(4, WindowConfig::count(3));
+        for i in 0..10 {
+            d.post(&g, msg(i, 1, i));
+        }
+        assert_eq!(d.outbox(UserId(1)).count(), 3);
+    }
+
+    #[test]
+    fn self_posts_included_by_default() {
+        let g = graph();
+        let mut d = PullDelivery::new(4, WindowConfig::count(10));
+        d.post(&g, msg(0, 0, 1));
+        let feed = d.read(&g, UserId(0));
+        assert_eq!(feed.len(), 1);
+    }
+
+    #[test]
+    fn non_followee_posts_invisible() {
+        let g = graph();
+        let mut d = PullDelivery::new(4, WindowConfig::count(10)).without_self_delivery();
+        d.post(&g, msg(0, 3, 1));
+        assert!(d.read(&g, UserId(0)).is_empty());
+    }
+
+    #[test]
+    fn ties_broken_by_message_id() {
+        let g = graph();
+        let mut d = PullDelivery::new(4, WindowConfig::count(10)).without_self_delivery();
+        d.post(&g, msg(5, 1, 7));
+        d.post(&g, msg(3, 2, 7));
+        let feed = d.read(&g, UserId(0));
+        let ids: Vec<_> = feed.iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, [3, 5]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Fan-out-on-write delivery.
+//!
+//! Every post is immediately inserted into every follower's materialized
+//! window. Post cost is O(followers); reads are O(window). This is the
+//! strategy the continuous engines are built on, because it surfaces a
+//! [`FeedDelta`] per affected user at exactly the moment the context
+//! changes.
+
+use adcast_graph::{SocialGraph, UserId};
+use adcast_stream::event::SharedMessage;
+
+use crate::stats::DeliveryStats;
+use crate::store::FeedStore;
+use crate::window::{FeedDelta, WindowConfig};
+use crate::FeedDelivery;
+
+/// Push (fan-out-on-write) delivery over a [`FeedStore`].
+#[derive(Debug)]
+pub struct PushDelivery {
+    store: FeedStore,
+    stats: DeliveryStats,
+    /// Deliver the author's own posts into their own feed too?
+    /// (Twitter shows you your own tweets; default true.)
+    self_delivery: bool,
+}
+
+impl PushDelivery {
+    /// Create with one window per user.
+    pub fn new(num_users: u32, window: WindowConfig) -> Self {
+        PushDelivery { store: FeedStore::new(num_users, window), stats: DeliveryStats::default(), self_delivery: true }
+    }
+
+    /// Disable delivery of an author's posts to their own feed.
+    pub fn without_self_delivery(mut self) -> Self {
+        self.self_delivery = false;
+        self
+    }
+
+    /// The underlying store (window inspection).
+    pub fn store(&self) -> &FeedStore {
+        &self.store
+    }
+
+    /// Approximate resident bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.store.memory_bytes()
+    }
+}
+
+impl FeedDelivery for PushDelivery {
+    fn post(&mut self, graph: &SocialGraph, msg: SharedMessage) -> Vec<(UserId, FeedDelta)> {
+        self.stats.posts += 1;
+        let followers = graph.followers(msg.author);
+        let mut out = Vec::with_capacity(followers.len() + 1);
+        for &f in followers {
+            let delta = self.store.deliver(f, msg.clone());
+            self.stats.push_deliveries += 1;
+            out.push((f, delta));
+        }
+        if self.self_delivery {
+            let delta = self.store.deliver(msg.author, msg.clone());
+            self.stats.push_deliveries += 1;
+            out.push((msg.author, delta));
+        }
+        out
+    }
+
+    fn read(&mut self, _graph: &SocialGraph, user: UserId) -> Vec<SharedMessage> {
+        self.stats.reads += 1;
+        self.store.window(user).snapshot()
+    }
+
+    fn stats(&self) -> &DeliveryStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "push"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcast_graph::GraphBuilder;
+    use adcast_stream::clock::Timestamp;
+    use adcast_stream::event::{LocationId, Message, MessageId};
+    use adcast_text::SparseVector;
+    use std::sync::Arc;
+
+    fn graph() -> SocialGraph {
+        // 1 and 2 follow 0.
+        let mut b = GraphBuilder::new(3);
+        b.follow(UserId(1), UserId(0));
+        b.follow(UserId(2), UserId(0));
+        b.build()
+    }
+
+    fn msg(id: u64, author: u32, secs: u64) -> SharedMessage {
+        Arc::new(Message {
+            id: MessageId(id),
+            author: UserId(author),
+            ts: Timestamp::from_secs(secs),
+            location: LocationId(0),
+            vector: SparseVector::new(),
+        })
+    }
+
+    #[test]
+    fn post_reaches_followers_and_self() {
+        let g = graph();
+        let mut d = PushDelivery::new(3, WindowConfig::count(4));
+        let deltas = d.post(&g, msg(0, 0, 1));
+        let users: Vec<_> = deltas.iter().map(|(u, _)| u.0).collect();
+        assert_eq!(users, [1, 2, 0]);
+        assert_eq!(d.stats().posts, 1);
+        assert_eq!(d.stats().push_deliveries, 3);
+        assert_eq!(d.read(&g, UserId(1)).len(), 1);
+    }
+
+    #[test]
+    fn without_self_delivery() {
+        let g = graph();
+        let mut d = PushDelivery::new(3, WindowConfig::count(4)).without_self_delivery();
+        let deltas = d.post(&g, msg(0, 0, 1));
+        assert_eq!(deltas.len(), 2);
+        assert!(d.read(&g, UserId(0)).is_empty());
+    }
+
+    #[test]
+    fn non_followers_unaffected() {
+        let g = graph();
+        let mut d = PushDelivery::new(3, WindowConfig::count(4)).without_self_delivery();
+        d.post(&g, msg(0, 1, 1)); // user 1 has no followers
+        assert!(d.read(&g, UserId(0)).is_empty());
+        assert!(d.read(&g, UserId(2)).is_empty());
+    }
+
+    #[test]
+    fn reads_are_oldest_first() {
+        let g = graph();
+        let mut d = PushDelivery::new(3, WindowConfig::count(4));
+        d.post(&g, msg(0, 0, 1));
+        d.post(&g, msg(1, 0, 2));
+        let feed = d.read(&g, UserId(1));
+        assert_eq!(feed[0].id, MessageId(0));
+        assert_eq!(feed[1].id, MessageId(1));
+        assert_eq!(d.stats().reads, 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Delivery cost accounting.
+
+/// Cost counters for a feed-delivery strategy. All counters are cumulative
+/// over the lifetime of the strategy instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Posts ingested.
+    pub posts: u64,
+    /// Per-follower window insertions performed at post time (push work).
+    pub push_deliveries: u64,
+    /// Feed reads served.
+    pub reads: u64,
+    /// Messages examined during read-time merges (pull work).
+    pub merge_examined: u64,
+    /// Posts routed to an outbox instead of being pushed (pull/hybrid).
+    pub outbox_appends: u64,
+}
+
+impl DeliveryStats {
+    /// Average push fan-out per post.
+    pub fn avg_fanout(&self) -> f64 {
+        if self.posts == 0 {
+            0.0
+        } else {
+            self.push_deliveries as f64 / self.posts as f64
+        }
+    }
+
+    /// Average merge work per read.
+    pub fn avg_read_work(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.merge_examined as f64 / self.reads as f64
+        }
+    }
+
+    /// Total write-side work (push insertions + outbox appends).
+    pub fn write_work(&self) -> u64 {
+        self.push_deliveries + self.outbox_appends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_handle_zero_denominators() {
+        let s = DeliveryStats::default();
+        assert_eq!(s.avg_fanout(), 0.0);
+        assert_eq!(s.avg_read_work(), 0.0);
+        assert_eq!(s.write_work(), 0);
+    }
+
+    #[test]
+    fn averages_compute() {
+        let s = DeliveryStats {
+            posts: 4,
+            push_deliveries: 12,
+            reads: 2,
+            merge_examined: 10,
+            outbox_appends: 3,
+        };
+        assert_eq!(s.avg_fanout(), 3.0);
+        assert_eq!(s.avg_read_work(), 5.0);
+        assert_eq!(s.write_work(), 15);
+    }
+}

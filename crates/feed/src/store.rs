@@ -1,0 +1,116 @@
+//! The per-user feed-window table.
+
+use adcast_graph::UserId;
+use adcast_stream::clock::Timestamp;
+use adcast_stream::event::SharedMessage;
+
+use crate::window::{FeedDelta, FeedWindow, WindowConfig};
+
+/// A dense table of per-user [`FeedWindow`]s.
+#[derive(Debug, Clone)]
+pub struct FeedStore {
+    config: WindowConfig,
+    windows: Vec<FeedWindow>,
+}
+
+impl FeedStore {
+    /// One window per user, all with the same shape.
+    pub fn new(num_users: u32, config: WindowConfig) -> Self {
+        FeedStore {
+            config,
+            windows: (0..num_users).map(|_| FeedWindow::new(config)).collect(),
+        }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The window configuration.
+    pub fn config(&self) -> WindowConfig {
+        self.config
+    }
+
+    /// Deliver `msg` into `user`'s window.
+    pub fn deliver(&mut self, user: UserId, msg: SharedMessage) -> FeedDelta {
+        self.windows[user.index()].insert(msg)
+    }
+
+    /// Expire stale messages from `user`'s window at `now`.
+    pub fn expire(&mut self, user: UserId, now: Timestamp) -> FeedDelta {
+        self.windows[user.index()].expire(now)
+    }
+
+    /// Read access to a user's window.
+    pub fn window(&self, user: UserId) -> &FeedWindow {
+        &self.windows[user.index()]
+    }
+
+    /// Total messages currently materialized across all windows (counts
+    /// duplicates: one message in k windows counts k times).
+    pub fn total_entries(&self) -> usize {
+        self.windows.iter().map(|w| w.len()).sum()
+    }
+
+    /// Approximate resident bytes of the window structures.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.windows.iter().map(|w| w.memory_bytes()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcast_stream::event::{LocationId, Message, MessageId};
+    use adcast_text::SparseVector;
+    use std::sync::Arc;
+
+    fn msg(id: u64, secs: u64) -> SharedMessage {
+        Arc::new(Message {
+            id: MessageId(id),
+            author: UserId(9),
+            ts: Timestamp::from_secs(secs),
+            location: LocationId(0),
+            vector: SparseVector::new(),
+        })
+    }
+
+    #[test]
+    fn windows_are_independent() {
+        let mut s = FeedStore::new(3, WindowConfig::count(2));
+        s.deliver(UserId(0), msg(0, 0));
+        s.deliver(UserId(0), msg(1, 1));
+        s.deliver(UserId(1), msg(1, 1));
+        assert_eq!(s.window(UserId(0)).len(), 2);
+        assert_eq!(s.window(UserId(1)).len(), 1);
+        assert_eq!(s.window(UserId(2)).len(), 0);
+        assert_eq!(s.total_entries(), 3);
+    }
+
+    #[test]
+    fn deliver_returns_evictions() {
+        let mut s = FeedStore::new(1, WindowConfig::count(1));
+        s.deliver(UserId(0), msg(0, 0));
+        let d = s.deliver(UserId(0), msg(1, 1));
+        assert_eq!(d.evicted.len(), 1);
+    }
+
+    #[test]
+    fn shared_messages_are_not_copied() {
+        let mut s = FeedStore::new(2, WindowConfig::count(4));
+        let m = msg(7, 0);
+        s.deliver(UserId(0), m.clone());
+        s.deliver(UserId(1), m.clone());
+        // 1 local + 2 windows.
+        assert_eq!(Arc::strong_count(&m), 3);
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let s = FeedStore::new(10, WindowConfig::count(8));
+        assert!(s.memory_bytes() > 0);
+        assert_eq!(s.num_users(), 10);
+    }
+}

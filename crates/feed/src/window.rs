@@ -1,0 +1,246 @@
+//! Per-user sliding feed windows.
+//!
+//! A user's *context* is defined over the most recent `capacity` messages
+//! in their feed, optionally further bounded by a time horizon. Every
+//! insertion yields a [`FeedDelta`] — the entered message plus everything
+//! evicted — which is exactly the information the incremental engine needs
+//! to update a context without rescanning the window.
+
+use std::collections::VecDeque;
+
+use adcast_stream::clock::{Duration, Timestamp};
+use adcast_stream::event::SharedMessage;
+
+/// Window shape.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowConfig {
+    /// Maximum number of messages retained.
+    pub capacity: usize,
+    /// Optional time horizon: messages older than `now − horizon` are
+    /// evicted even when the window is not full.
+    pub horizon: Option<Duration>,
+}
+
+impl WindowConfig {
+    /// A count-only window.
+    pub fn count(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        WindowConfig { capacity, horizon: None }
+    }
+
+    /// A count + time window.
+    pub fn count_and_time(capacity: usize, horizon: Duration) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        assert!(horizon > Duration::ZERO, "horizon must be positive");
+        WindowConfig { capacity, horizon: Some(horizon) }
+    }
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig::count(32)
+    }
+}
+
+/// What changed in one window slide.
+#[derive(Debug, Clone, Default)]
+pub struct FeedDelta {
+    /// The message that entered (absent for pure-expiry ticks).
+    pub entered: Option<SharedMessage>,
+    /// Messages evicted, oldest first.
+    pub evicted: Vec<SharedMessage>,
+}
+
+impl FeedDelta {
+    /// Did anything change?
+    pub fn is_empty(&self) -> bool {
+        self.entered.is_none() && self.evicted.is_empty()
+    }
+}
+
+/// One user's sliding window, oldest message at the front.
+#[derive(Debug, Clone)]
+pub struct FeedWindow {
+    config: WindowConfig,
+    messages: VecDeque<SharedMessage>,
+}
+
+impl FeedWindow {
+    /// An empty window.
+    pub fn new(config: WindowConfig) -> Self {
+        FeedWindow { config, messages: VecDeque::with_capacity(config.capacity.min(1024)) }
+    }
+
+    /// The window configuration.
+    pub fn config(&self) -> WindowConfig {
+        self.config
+    }
+
+    /// Messages currently in the window, oldest first.
+    pub fn messages(&self) -> impl Iterator<Item = &SharedMessage> + '_ {
+        self.messages.iter()
+    }
+
+    /// Number of messages in the window.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Insert a message (its timestamp must be ≥ every message already in
+    /// the window; feed delivery is in timestamp order by construction).
+    /// Returns the delta: the message itself plus any evictions.
+    pub fn insert(&mut self, msg: SharedMessage) -> FeedDelta {
+        debug_assert!(
+            self.messages.back().map_or(true, |m| m.ts <= msg.ts),
+            "feed insertions must be time-ordered"
+        );
+        let mut evicted = Vec::new();
+        self.messages.push_back(msg.clone());
+        while self.messages.len() > self.config.capacity {
+            evicted.push(self.messages.pop_front().expect("len > capacity ≥ 1"));
+        }
+        if let Some(h) = self.config.horizon {
+            let cutoff = msg.ts.since(Timestamp::EPOCH).micros().saturating_sub(h.micros());
+            while let Some(front) = self.messages.front() {
+                if front.ts.micros() < cutoff && self.messages.len() > 1 {
+                    evicted.push(self.messages.pop_front().expect("front exists"));
+                } else {
+                    break;
+                }
+            }
+        }
+        FeedDelta { entered: Some(msg), evicted }
+    }
+
+    /// Evict messages older than `now − horizon` without inserting.
+    /// No-op for count-only windows.
+    pub fn expire(&mut self, now: Timestamp) -> FeedDelta {
+        let Some(h) = self.config.horizon else {
+            return FeedDelta::default();
+        };
+        let cutoff = now.micros().saturating_sub(h.micros());
+        let mut evicted = Vec::new();
+        while let Some(front) = self.messages.front() {
+            if front.ts.micros() < cutoff {
+                evicted.push(self.messages.pop_front().expect("front exists"));
+            } else {
+                break;
+            }
+        }
+        FeedDelta { entered: None, evicted }
+    }
+
+    /// Snapshot of the window contents, oldest first.
+    pub fn snapshot(&self) -> Vec<SharedMessage> {
+        self.messages.iter().cloned().collect()
+    }
+
+    /// Approximate resident bytes (window structure only; message bodies
+    /// are shared and counted once globally).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.messages.capacity() * std::mem::size_of::<SharedMessage>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcast_graph::UserId;
+    use adcast_stream::event::{LocationId, Message, MessageId};
+    use adcast_text::SparseVector;
+    use std::sync::Arc;
+
+    fn msg(id: u64, secs: u64) -> SharedMessage {
+        Arc::new(Message {
+            id: MessageId(id),
+            author: UserId(0),
+            ts: Timestamp::from_secs(secs),
+            location: LocationId(0),
+            vector: SparseVector::new(),
+        })
+    }
+
+    #[test]
+    fn count_window_evicts_oldest() {
+        let mut w = FeedWindow::new(WindowConfig::count(3));
+        for i in 0..3 {
+            let d = w.insert(msg(i, i));
+            assert!(d.evicted.is_empty());
+        }
+        let d = w.insert(msg(3, 3));
+        assert_eq!(d.entered.as_ref().unwrap().id, MessageId(3));
+        assert_eq!(d.evicted.len(), 1);
+        assert_eq!(d.evicted[0].id, MessageId(0));
+        assert_eq!(w.len(), 3);
+        let ids: Vec<_> = w.messages().map(|m| m.id.0).collect();
+        assert_eq!(ids, [1, 2, 3]);
+    }
+
+    #[test]
+    fn time_horizon_evicts_stale() {
+        let mut w =
+            FeedWindow::new(WindowConfig::count_and_time(10, Duration::from_secs(5)));
+        w.insert(msg(0, 0));
+        w.insert(msg(1, 2));
+        let d = w.insert(msg(2, 7)); // cutoff 2: evicts ts<2 → msg 0
+        assert_eq!(d.evicted.len(), 1);
+        assert_eq!(d.evicted[0].id, MessageId(0));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn newest_message_never_self_evicts() {
+        let mut w = FeedWindow::new(WindowConfig::count_and_time(10, Duration::from_secs(1)));
+        w.insert(msg(0, 0));
+        let d = w.insert(msg(1, 100));
+        assert_eq!(d.evicted.len(), 1);
+        assert_eq!(w.len(), 1, "the fresh message survives its own horizon check");
+    }
+
+    #[test]
+    fn expire_without_insert() {
+        let mut w = FeedWindow::new(WindowConfig::count_and_time(10, Duration::from_secs(5)));
+        w.insert(msg(0, 0));
+        w.insert(msg(1, 3));
+        let d = w.expire(Timestamp::from_secs(6));
+        assert!(d.entered.is_none());
+        assert_eq!(d.evicted.len(), 1);
+        assert_eq!(w.len(), 1);
+        // Count-only windows never expire.
+        let mut cw = FeedWindow::new(WindowConfig::count(2));
+        cw.insert(msg(0, 0));
+        assert!(cw.expire(Timestamp::from_secs(1000)).is_empty());
+        assert_eq!(cw.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_matches_iteration() {
+        let mut w = FeedWindow::new(WindowConfig::count(5));
+        for i in 0..4 {
+            w.insert(msg(i, i));
+        }
+        let snap = w.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap[0].id, MessageId(0));
+        assert_eq!(snap[3].id, MessageId(3));
+    }
+
+    #[test]
+    fn delta_is_empty_helper() {
+        assert!(FeedDelta::default().is_empty());
+        let mut w = FeedWindow::new(WindowConfig::count(1));
+        assert!(!w.insert(msg(0, 0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = WindowConfig::count(0);
+    }
+}

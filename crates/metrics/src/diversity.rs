@@ -1,0 +1,150 @@
+//! Rank-quality and slate-quality metrics beyond precision/recall:
+//! MRR, MAP, intra-list diversity, and catalog coverage.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use adcast_text::SparseVector;
+
+/// Mean reciprocal rank: the average of `1 / rank-of-first-relevant-item`
+/// over queries (0 for queries with no relevant item retrieved).
+pub fn mean_reciprocal_rank<T: Eq + Hash>(queries: &[(Vec<T>, HashSet<T>)]) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = queries
+        .iter()
+        .map(|(ranking, relevant)| {
+            ranking
+                .iter()
+                .position(|item| relevant.contains(item))
+                .map_or(0.0, |pos| 1.0 / (pos + 1) as f64)
+        })
+        .sum();
+    total / queries.len() as f64
+}
+
+/// Average precision of one ranking against a relevant set
+/// (AP = mean of precision@i over the positions of relevant items).
+pub fn average_precision<T: Eq + Hash>(ranking: &[T], relevant: &HashSet<T>) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, item) in ranking.iter().enumerate() {
+        if relevant.contains(item) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / relevant.len() as f64
+}
+
+/// Mean average precision over queries.
+pub fn mean_average_precision<T: Eq + Hash>(queries: &[(Vec<T>, HashSet<T>)]) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    queries.iter().map(|(r, rel)| average_precision(r, rel)).sum::<f64>()
+        / queries.len() as f64
+}
+
+/// Intra-list diversity of a served slate: the mean pairwise *cosine
+/// distance* (1 − cosine similarity) of the item vectors. 0 = identical
+/// items, → 1 = orthogonal items. Slates with fewer than two items score
+/// 1.0 (vacuously diverse).
+pub fn intra_list_diversity(slate: &[&SparseVector]) -> f64 {
+    if slate.len() < 2 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..slate.len() {
+        for j in (i + 1)..slate.len() {
+            sum += 1.0 - f64::from(slate[i].cosine(slate[j]));
+            pairs += 1;
+        }
+    }
+    sum / pairs as f64
+}
+
+/// Catalog coverage: the fraction of the catalog that appears in at least
+/// one served slate.
+pub fn catalog_coverage<T: Eq + Hash>(served: impl IntoIterator<Item = T>, catalog: usize) -> f64 {
+    if catalog == 0 {
+        return 0.0;
+    }
+    let distinct: HashSet<T> = served.into_iter().collect();
+    (distinct.len() as f64 / catalog as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcast_text::dictionary::TermId;
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)))
+    }
+
+    #[test]
+    fn mrr_cases() {
+        let queries = vec![
+            (vec![1, 2, 3], HashSet::from([1])),    // rank 1 → 1.0
+            (vec![1, 2, 3], HashSet::from([3])),    // rank 3 → 1/3
+            (vec![1, 2, 3], HashSet::from([9])),    // miss  → 0
+        ];
+        let mrr = mean_reciprocal_rank(&queries);
+        assert!((mrr - (1.0 + 1.0 / 3.0) / 3.0).abs() < 1e-12);
+        assert_eq!(mean_reciprocal_rank::<u32>(&[]), 0.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_and_partial() {
+        let rel = HashSet::from([1, 2]);
+        assert!((average_precision(&[1, 2, 3], &rel) - 1.0).abs() < 1e-12);
+        // Relevant at positions 1 and 3: (1/1 + 2/3) / 2.
+        let ap = average_precision(&[1, 9, 2], &rel);
+        assert!((ap - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+        assert_eq!(average_precision(&[9, 8], &rel), 0.0);
+        assert_eq!(average_precision::<u32>(&[1], &HashSet::new()), 0.0);
+    }
+
+    #[test]
+    fn map_averages() {
+        let queries = vec![
+            (vec![1], HashSet::from([1])),
+            (vec![2], HashSet::from([1])),
+        ];
+        assert!((mean_average_precision(&queries) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diversity_extremes() {
+        let a = v(&[(1, 1.0)]);
+        let b = v(&[(2, 1.0)]);
+        assert!((intra_list_diversity(&[&a, &b]) - 1.0).abs() < 1e-6, "orthogonal = 1");
+        assert!(intra_list_diversity(&[&a, &a]) < 1e-6, "identical = 0");
+        assert_eq!(intra_list_diversity(&[&a]), 1.0, "singleton vacuously diverse");
+        assert_eq!(intra_list_diversity(&[]), 1.0);
+    }
+
+    #[test]
+    fn diversity_mixed_slate() {
+        let a = v(&[(1, 1.0)]);
+        let b = v(&[(1, 1.0)]);
+        let c = v(&[(2, 1.0)]);
+        // Pairs: (a,b)=0, (a,c)=1, (b,c)=1 → 2/3.
+        let d = intra_list_diversity(&[&a, &b, &c]);
+        assert!((d - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn coverage_counts_distinct() {
+        assert!((catalog_coverage([1, 1, 2, 3], 10) - 0.3).abs() < 1e-12);
+        assert_eq!(catalog_coverage::<u32>([], 10), 0.0);
+        assert_eq!(catalog_coverage([1], 0), 0.0);
+        assert_eq!(catalog_coverage([1, 2], 2), 1.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Log-bucketed latency histogram.
+//!
+//! An HdrHistogram-style structure built from scratch: values (nanoseconds)
+//! are bucketed at ~4.5% relative precision (16 sub-buckets per power of
+//! two), giving O(1) record, tiny memory, and percentile queries with
+//! bounded relative error — exactly what the latency experiments need.
+
+/// Sub-buckets per power of two (higher = finer percentiles).
+const SUBBUCKETS: usize = 16;
+/// Number of powers of two covered (2^0 .. 2^63 ns ≈ 292 years).
+const POWERS: usize = 64;
+
+/// A latency histogram over `u64` nanosecond values.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    if value < SUBBUCKETS as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros() as usize;
+    // The top SUBBUCKETS.ilog2() bits below the MSB select the sub-bucket.
+    let shift = msb - SUBBUCKETS.trailing_zeros() as usize;
+    let sub = ((value >> shift) as usize) & (SUBBUCKETS - 1);
+    // Power p contributes SUBBUCKETS buckets starting at p*SUBBUCKETS.
+    msb * SUBBUCKETS + sub
+}
+
+/// Lower edge of a bucket (inverse of [`bucket_of`] up to precision).
+fn bucket_floor(bucket: usize) -> u64 {
+    if bucket < SUBBUCKETS {
+        return bucket as u64;
+    }
+    let msb = bucket / SUBBUCKETS;
+    let sub = bucket % SUBBUCKETS;
+    let shift = msb - SUBBUCKETS.trailing_zeros() as usize;
+    ((1usize << SUBBUCKETS.trailing_zeros()) as u64 | sub as u64) << shift
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; POWERS * SUBBUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value (nanoseconds).
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Record a `std::time::Duration`.
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact minimum (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q ∈ [0,1]`, within the bucket precision
+    /// (≈4.5% relative error). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Clamp to the exact extremes for the edge quantiles.
+                return bucket_floor(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Shorthand percentiles.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Reset to empty.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_precision() {
+        for v in [0u64, 1, 5, 15, 16, 17, 100, 1000, 123_456, 10_000_000_000] {
+            let floor = bucket_floor(bucket_of(v));
+            assert!(floor <= v, "floor {floor} > value {v}");
+            // Relative error bounded by 1/SUBBUCKETS.
+            assert!(
+                (v - floor) as f64 <= v as f64 / SUBBUCKETS as f64 + 1.0,
+                "bucket too coarse for {v}: floor {floor}"
+            );
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotone() {
+        let mut prev = 0;
+        for v in 1..100_000u64 {
+            let b = bucket_of(v);
+            assert!(b >= prev, "bucket_of not monotone at {v}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn exact_stats() {
+        let mut h = LatencyHistogram::new();
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 30);
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_on_uniform_data() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs .. 1ms
+        }
+        let p50 = h.p50();
+        assert!((450_000..=550_000).contains(&p50), "p50 {p50}");
+        let p99 = h.p99();
+        assert!((930_000..=1_000_000).contains(&p99), "p99 {p99}");
+        assert_eq!(h.quantile(0.0), h.min());
+        assert_eq!(h.quantile(1.0).max(h.p99()), h.quantile(1.0).max(h.p99()));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(100);
+        b.record(200);
+        b.record(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.max(), 300);
+        assert!((a.mean() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn record_duration_works() {
+        let mut h = LatencyHistogram::new();
+        h.record_duration(std::time::Duration::from_micros(5));
+        assert_eq!(h.count(), 1);
+        assert!(h.min() >= 4_900 && h.min() <= 5_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_quantile_panics() {
+        let h = LatencyHistogram::new();
+        let _ = h.quantile(1.5);
+    }
+}

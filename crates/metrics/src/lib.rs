@@ -1,0 +1,22 @@
+//! # adcast-metrics — evaluation substrate for `adcast`
+//!
+//! * [`ranking`] — set metrics (precision / recall / F-score, Jaccard) and
+//!   rank metrics (nDCG, Kendall tau) used by the effectiveness and
+//!   approximation-quality experiments,
+//! * [`diversity`] — MRR, MAP, intra-list diversity, catalog coverage,
+//! * [`histogram`] — log-bucketed latency histograms with percentile
+//!   queries (an HdrHistogram-style structure built from scratch),
+//! * [`throughput`] — wall-clock throughput meters for the harness,
+//! * [`memory`] — a tiny trait for the substrates' `memory_bytes`
+//!   self-reports plus a formatter.
+
+pub mod diversity;
+pub mod histogram;
+pub mod memory;
+pub mod ranking;
+pub mod throughput;
+
+pub use diversity::{average_precision, catalog_coverage, intra_list_diversity, mean_average_precision, mean_reciprocal_rank};
+pub use histogram::LatencyHistogram;
+pub use ranking::{f_score, ndcg, precision_recall, RankedList};
+pub use throughput::ThroughputMeter;

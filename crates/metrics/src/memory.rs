@@ -1,0 +1,55 @@
+//! Memory-footprint reporting helpers.
+//!
+//! The substrates self-report approximate resident bytes via
+//! `memory_bytes()` methods; this module provides the shared trait and a
+//! human-readable formatter for the E6 experiment output.
+
+/// Types that can estimate their resident memory.
+pub trait MemoryFootprint {
+    /// Approximate resident bytes (structure + owned heap allocations).
+    fn memory_bytes(&self) -> usize;
+}
+
+/// Format a byte count as a human-readable string (`1.50 MiB`).
+pub fn format_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_units() {
+        assert_eq!(format_bytes(0), "0 B");
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KiB");
+        assert_eq!(format_bytes(1_572_864), "1.50 MiB");
+        assert_eq!(format_bytes(3 * 1024 * 1024 * 1024), "3.00 GiB");
+    }
+
+    struct Fake(usize);
+    impl MemoryFootprint for Fake {
+        fn memory_bytes(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let objects: Vec<Box<dyn MemoryFootprint>> = vec![Box::new(Fake(10)), Box::new(Fake(20))];
+        let total: usize = objects.iter().map(|o| o.memory_bytes()).sum();
+        assert_eq!(total, 30);
+    }
+}

@@ -1,0 +1,190 @@
+//! Set-overlap and ranking-quality metrics.
+//!
+//! These are the measures the evaluation (EXPERIMENTS.md) reports:
+//! precision / recall / F-score against ground-truth interest sets (the
+//! paper evaluates F-score across thresholds and time slots), and nDCG /
+//! Kendall tau for comparing an engine's ranking against the exact one.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Precision and recall of `retrieved` against `relevant`.
+///
+/// Conventions for degenerate cases: empty `retrieved` has precision 0
+/// unless `relevant` is also empty; empty `relevant` has recall 1 (there
+/// was nothing to find) and precision 0 unless `retrieved` is empty too.
+pub fn precision_recall<T: Eq + Hash>(retrieved: &[T], relevant: &[T]) -> (f64, f64) {
+    if retrieved.is_empty() && relevant.is_empty() {
+        return (1.0, 1.0);
+    }
+    let relevant_set: HashSet<&T> = relevant.iter().collect();
+    let hits = retrieved.iter().filter(|r| relevant_set.contains(r)).count() as f64;
+    let precision = if retrieved.is_empty() { 0.0 } else { hits / retrieved.len() as f64 };
+    let recall = if relevant.is_empty() { 1.0 } else { hits / relevant.len() as f64 };
+    (precision, recall)
+}
+
+/// The harmonic-mean F-score of `retrieved` against `relevant`
+/// (paper Eq. 7–9).
+pub fn f_score<T: Eq + Hash>(retrieved: &[T], relevant: &[T]) -> f64 {
+    let (p, r) = precision_recall(retrieved, relevant);
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Jaccard similarity of the two sets.
+pub fn jaccard<T: Eq + Hash>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: HashSet<&T> = a.iter().collect();
+    let sb: HashSet<&T> = b.iter().collect();
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+/// A ranked list with graded relevance, for [`ndcg`].
+pub type RankedList<T> = Vec<(T, f64)>;
+
+/// Normalized discounted cumulative gain of `ranking` (items in rank
+/// order) given `gains` (item → graded relevance), cut off at `k`.
+///
+/// Items missing from `gains` contribute 0. Returns 1.0 when `gains` has
+/// no positive entries (any ranking is vacuously ideal).
+pub fn ndcg<T: Eq + Hash + Clone>(
+    ranking: &[T],
+    gains: &std::collections::HashMap<T, f64>,
+    k: usize,
+) -> f64 {
+    let dcg: f64 = ranking
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, item)| gains.get(item).copied().unwrap_or(0.0) / ((i + 2) as f64).log2())
+        .sum();
+    let mut ideal: Vec<f64> = gains.values().copied().filter(|&g| g > 0.0).collect();
+    ideal.sort_by(|a, b| b.total_cmp(a));
+    let idcg: f64 =
+        ideal.iter().take(k).enumerate().map(|(i, g)| g / ((i + 2) as f64).log2()).sum();
+    if idcg == 0.0 {
+        1.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Kendall tau-a rank correlation between two total orders given as item
+/// lists (highest rank first). Items must be the same set in both lists.
+/// Returns a value in `[−1, 1]`; 1 = identical order.
+pub fn kendall_tau<T: Eq + Hash + Clone>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rankings must cover the same items");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let pos_b: std::collections::HashMap<&T, usize> =
+        b.iter().enumerate().map(|(i, x)| (x, i)).collect();
+    assert_eq!(pos_b.len(), n, "rankings must cover the same distinct items");
+    let ranks: Vec<usize> = a
+        .iter()
+        .map(|x| *pos_b.get(x).expect("item missing from second ranking"))
+        .collect();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if ranks[i] < ranks[j] {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    (concordant - discordant) as f64 / (n * (n - 1) / 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn precision_recall_basic() {
+        let (p, r) = precision_recall(&[1, 2, 3, 4], &[2, 4, 6]);
+        assert!((p - 0.5).abs() < 1e-12);
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_degenerate() {
+        assert_eq!(precision_recall::<u32>(&[], &[]), (1.0, 1.0));
+        assert_eq!(precision_recall(&[], &[1]), (0.0, 0.0));
+        assert_eq!(precision_recall(&[1], &[]), (0.0, 1.0));
+    }
+
+    #[test]
+    fn f_score_matches_formula() {
+        let f = f_score(&[1, 2, 3, 4], &[2, 4, 6]);
+        let (p, r) = (0.5, 2.0 / 3.0);
+        assert!((f - 2.0 * p * r / (p + r)).abs() < 1e-12);
+        assert_eq!(f_score(&[1], &[2]), 0.0);
+        assert_eq!(f_score(&[1, 2], &[1, 2]), 1.0);
+    }
+
+    #[test]
+    fn jaccard_cases() {
+        assert_eq!(jaccard::<u32>(&[], &[]), 1.0);
+        assert_eq!(jaccard(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(jaccard(&[1], &[2]), 0.0);
+        assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_perfect_and_reversed() {
+        let gains: HashMap<u32, f64> = [(1, 3.0), (2, 2.0), (3, 1.0)].into();
+        assert!((ndcg(&[1, 2, 3], &gains, 3) - 1.0).abs() < 1e-12);
+        let rev = ndcg(&[3, 2, 1], &gains, 3);
+        assert!(rev < 1.0 && rev > 0.5);
+        // Unknown items score zero gain.
+        let with_junk = ndcg(&[9, 1, 2], &gains, 3);
+        assert!(with_junk < 1.0);
+    }
+
+    #[test]
+    fn ndcg_cutoff() {
+        let gains: HashMap<u32, f64> = [(1, 1.0), (2, 1.0)].into();
+        // At k=1, ranking [2,1] is still ideal (equal gains).
+        assert!((ndcg(&[2, 1], &gains, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_empty_gains() {
+        let gains: HashMap<u32, f64> = HashMap::new();
+        assert_eq!(ndcg(&[1, 2], &gains, 2), 1.0);
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        assert_eq!(kendall_tau(&[1, 2, 3, 4], &[1, 2, 3, 4]), 1.0);
+        assert_eq!(kendall_tau(&[1, 2, 3, 4], &[4, 3, 2, 1]), -1.0);
+        assert_eq!(kendall_tau::<u32>(&[], &[]), 1.0);
+        assert_eq!(kendall_tau(&[7], &[7]), 1.0);
+    }
+
+    #[test]
+    fn kendall_tau_partial() {
+        // One adjacent swap in 3 items: 2 concordant, 1 discordant → 1/3.
+        let tau = kendall_tau(&[1, 2, 3], &[2, 1, 3]);
+        assert!((tau - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn kendall_tau_length_mismatch_panics() {
+        let _ = kendall_tau(&[1, 2], &[1]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Wall-clock throughput measurement for the experiment harness.
+
+use std::time::{Duration, Instant};
+
+/// Counts operations against wall time.
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    started: Instant,
+    ops: u64,
+    /// Set by [`ThroughputMeter::stop`]; `None` while running.
+    elapsed: Option<Duration>,
+}
+
+impl Default for ThroughputMeter {
+    fn default() -> Self {
+        ThroughputMeter::start()
+    }
+}
+
+impl ThroughputMeter {
+    /// Start measuring now.
+    pub fn start() -> Self {
+        ThroughputMeter { started: Instant::now(), ops: 0, elapsed: None }
+    }
+
+    /// Record `n` completed operations.
+    pub fn add(&mut self, n: u64) {
+        self.ops += n;
+    }
+
+    /// Record one completed operation.
+    pub fn tick(&mut self) {
+        self.ops += 1;
+    }
+
+    /// Operations recorded.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Freeze the elapsed time (idempotent).
+    pub fn stop(&mut self) {
+        if self.elapsed.is_none() {
+            self.elapsed = Some(self.started.elapsed());
+        }
+    }
+
+    /// Elapsed wall time (running total until [`ThroughputMeter::stop`]).
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed.unwrap_or_else(|| self.started.elapsed())
+    }
+
+    /// Operations per second (0 when no time has passed).
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+
+    /// Mean latency per op in nanoseconds (0 when no ops).
+    pub fn mean_ns_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.elapsed().as_nanos() as f64 / self.ops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_ops() {
+        let mut m = ThroughputMeter::start();
+        m.tick();
+        m.add(9);
+        assert_eq!(m.ops(), 10);
+    }
+
+    #[test]
+    fn rates_are_positive_after_work() {
+        let mut m = ThroughputMeter::start();
+        for _ in 0..1000 {
+            m.tick();
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        m.stop();
+        assert!(m.ops_per_sec() > 0.0);
+        assert!(m.mean_ns_per_op() > 0.0);
+        let frozen = m.elapsed();
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(m.elapsed(), frozen, "stop freezes elapsed");
+    }
+
+    #[test]
+    fn zero_ops_zero_rates() {
+        let m = ThroughputMeter::start();
+        assert_eq!(m.mean_ns_per_op(), 0.0);
+    }
+}

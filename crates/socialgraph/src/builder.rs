@@ -1,0 +1,99 @@
+//! Mutable edge-list builder for [`SocialGraph`].
+
+use std::collections::HashSet;
+
+use crate::graph::{SocialGraph, UserId};
+
+/// Accumulates follow edges, rejecting self-loops and duplicates, then
+/// freezes into a CSR [`SocialGraph`].
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_users: u32,
+    edges: Vec<(UserId, UserId)>,
+    seen: HashSet<(UserId, UserId)>,
+}
+
+impl GraphBuilder {
+    /// A builder over `num_users` users (`UserId(0)..UserId(num_users)`).
+    pub fn new(num_users: u32) -> Self {
+        GraphBuilder { num_users, edges: Vec::new(), seen: HashSet::new() }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> u32 {
+        self.num_users
+    }
+
+    /// Number of accepted edges so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add the follow edge `u → v` (u follows v).
+    ///
+    /// Returns `false` (and does nothing) for self-loops, duplicates, or
+    /// out-of-range ids.
+    pub fn follow(&mut self, u: UserId, v: UserId) -> bool {
+        if u == v || u.0 >= self.num_users || v.0 >= self.num_users {
+            return false;
+        }
+        if !self.seen.insert((u, v)) {
+            return false;
+        }
+        self.edges.push((u, v));
+        true
+    }
+
+    /// Does the builder already contain `u → v`?
+    pub fn contains(&self, u: UserId, v: UserId) -> bool {
+        self.seen.contains(&(u, v))
+    }
+
+    /// Freeze into an immutable [`SocialGraph`].
+    pub fn build(self) -> SocialGraph {
+        SocialGraph::from_edges(self.num_users, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loops_and_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.follow(UserId(0), UserId(1)));
+        assert!(!b.follow(UserId(0), UserId(1)), "duplicate rejected");
+        assert!(!b.follow(UserId(1), UserId(1)), "self-loop rejected");
+        assert!(b.follow(UserId(1), UserId(0)), "reverse edge is distinct");
+        assert_eq!(b.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        assert!(!b.follow(UserId(0), UserId(2)));
+        assert!(!b.follow(UserId(5), UserId(0)));
+        assert_eq!(b.num_edges(), 0);
+    }
+
+    #[test]
+    fn contains_reflects_inserts() {
+        let mut b = GraphBuilder::new(2);
+        assert!(!b.contains(UserId(0), UserId(1)));
+        b.follow(UserId(0), UserId(1));
+        assert!(b.contains(UserId(0), UserId(1)));
+        assert!(!b.contains(UserId(1), UserId(0)));
+    }
+
+    #[test]
+    fn build_roundtrip() {
+        let mut b = GraphBuilder::new(5);
+        for v in 1..5 {
+            b.follow(UserId(0), UserId(v));
+        }
+        let g = b.build();
+        assert_eq!(g.out_degree(UserId(0)), 4);
+        assert_eq!(g.in_degree(UserId(0)), 0);
+    }
+}

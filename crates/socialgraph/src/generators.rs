@@ -1,0 +1,213 @@
+//! Synthetic social-graph generators.
+//!
+//! These stand in for the Twitter follower graph (DESIGN.md §5). The key
+//! structural property the feed substrate and engines care about is the
+//! heavy-tailed in-degree distribution (celebrities with millions of
+//! followers drive the push/pull trade-off), which preferential attachment
+//! reproduces. The other generators exist for controlled experiments:
+//! Erdős–Rényi for a no-skew control, cliques for community structure.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::graph::{SocialGraph, UserId};
+
+/// Generate a preferential-attachment ("rich get richer") follow graph.
+///
+/// Users join in id order; each new user follows `edges_per_user` existing
+/// users chosen proportionally to their current in-degree (plus-one
+/// smoothing). The resulting in-degree distribution is power-law with
+/// exponent ≈ 3 (Barabási–Albert), matching the celebrity skew of real
+/// follower graphs.
+pub fn preferential_attachment<R: Rng + ?Sized>(
+    num_users: u32,
+    edges_per_user: usize,
+    rng: &mut R,
+) -> SocialGraph {
+    let mut builder = GraphBuilder::new(num_users);
+    // Repeated-target list: user v appears once per in-edge plus once
+    // flat, so sampling uniformly from it is degree-proportional sampling.
+    let mut targets: Vec<UserId> = Vec::new();
+    for u in 0..num_users {
+        let user = UserId(u);
+        if u > 0 {
+            let want = edges_per_user.min(u as usize);
+            let mut added = 0usize;
+            let mut attempts = 0usize;
+            while added < want && attempts < want * 20 {
+                attempts += 1;
+                let v = if targets.is_empty() || rng.gen_bool(0.2) {
+                    // Smoothing: sometimes pick uniformly so early users
+                    // don't monopolize everything.
+                    UserId(rng.gen_range(0..u))
+                } else {
+                    *targets.choose(rng).expect("targets not empty")
+                };
+                if builder.follow(user, v) {
+                    targets.push(v);
+                    added += 1;
+                }
+            }
+        }
+        targets.push(user);
+    }
+    builder.build()
+}
+
+/// Generate an Erdős–Rényi-style graph where every user follows
+/// `edges_per_user` uniformly random distinct others.
+pub fn uniform_random<R: Rng + ?Sized>(
+    num_users: u32,
+    edges_per_user: usize,
+    rng: &mut R,
+) -> SocialGraph {
+    let mut builder = GraphBuilder::new(num_users);
+    if num_users > 1 {
+        for u in 0..num_users {
+            let want = edges_per_user.min(num_users as usize - 1);
+            let mut added = 0;
+            let mut attempts = 0;
+            while added < want && attempts < want * 20 {
+                attempts += 1;
+                let v = UserId(rng.gen_range(0..num_users));
+                if builder.follow(UserId(u), v) {
+                    added += 1;
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Generate `num_communities` equal-size mutually-following cliques, with
+/// `bridge_edges` random cross-community follows layered on top.
+///
+/// Used by the community-targeting example and the accuracy experiments,
+/// where ground-truth interest groups must align with graph structure.
+pub fn community_cliques<R: Rng + ?Sized>(
+    num_users: u32,
+    num_communities: u32,
+    bridge_edges: usize,
+    rng: &mut R,
+) -> SocialGraph {
+    assert!(num_communities > 0, "need at least one community");
+    let mut builder = GraphBuilder::new(num_users);
+    let size = (num_users / num_communities).max(1);
+    for u in 0..num_users {
+        let community = (u / size).min(num_communities - 1);
+        let start = community * size;
+        let end = if community == num_communities - 1 { num_users } else { start + size };
+        for v in start..end {
+            if v != u {
+                builder.follow(UserId(u), UserId(v));
+            }
+        }
+    }
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < bridge_edges && attempts < bridge_edges * 50 + 50 {
+        attempts += 1;
+        let u = rng.gen_range(0..num_users);
+        let v = rng.gen_range(0..num_users);
+        let cu = (u / size).min(num_communities - 1);
+        let cv = (v / size).min(num_communities - 1);
+        if cu != cv && builder.follow(UserId(u), UserId(v)) {
+            added += 1;
+        }
+    }
+    builder.build()
+}
+
+/// Which community a user belongs to under [`community_cliques`] layout.
+pub fn community_of(user: UserId, num_users: u32, num_communities: u32) -> u32 {
+    let size = (num_users / num_communities).max(1);
+    (user.0 / size).min(num_communities - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preferential_attachment_basic_shape() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = preferential_attachment(500, 5, &mut rng);
+        assert_eq!(g.num_users(), 500);
+        // Every non-seed user got close to 5 followees.
+        let avg_out: f64 =
+            g.users().map(|u| g.out_degree(u) as f64).sum::<f64>() / g.num_users() as f64;
+        assert!(avg_out > 3.0, "avg out-degree {avg_out} too low");
+        // Skew: the max in-degree should far exceed the average.
+        let max_in = g.users().map(|u| g.in_degree(u)).max().unwrap();
+        let avg_in = g.num_edges() as f64 / g.num_users() as f64;
+        assert!(
+            max_in as f64 > 4.0 * avg_in,
+            "expected heavy tail: max {max_in} vs avg {avg_in}"
+        );
+    }
+
+    #[test]
+    fn uniform_random_no_heavy_tail() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = uniform_random(500, 5, &mut rng);
+        let max_in = g.users().map(|u| g.in_degree(u)).max().unwrap();
+        // Binomial(500, 5/500): max should stay modest.
+        assert!(max_in < 25, "uniform graph grew a hub: {max_in}");
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let g1 = preferential_attachment(100, 3, &mut SmallRng::seed_from_u64(9));
+        let g2 = preferential_attachment(100, 3, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        for u in g1.users() {
+            assert_eq!(g1.followees(u), g2.followees(u));
+        }
+    }
+
+    #[test]
+    fn cliques_are_complete_within() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = community_cliques(20, 4, 0, &mut rng);
+        // community size 5, each user follows the other 4.
+        for u in g.users() {
+            assert_eq!(g.out_degree(u), 4, "user {u:?}");
+        }
+        assert!(g.follows(UserId(0), UserId(4)));
+        assert!(!g.follows(UserId(0), UserId(5)), "no cross-community edge");
+    }
+
+    #[test]
+    fn bridges_cross_communities() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = community_cliques(20, 4, 10, &mut rng);
+        let crossing = g
+            .users()
+            .flat_map(|u| g.followees(u).iter().map(move |&v| (u, v)))
+            .filter(|&(u, v)| community_of(u, 20, 4) != community_of(v, 20, 4))
+            .count();
+        assert_eq!(crossing, 10);
+    }
+
+    #[test]
+    fn community_of_maps_ranges() {
+        assert_eq!(community_of(UserId(0), 20, 4), 0);
+        assert_eq!(community_of(UserId(4), 20, 4), 0);
+        assert_eq!(community_of(UserId(5), 20, 4), 1);
+        assert_eq!(community_of(UserId(19), 20, 4), 3);
+        // Remainder users fold into the last community.
+        assert_eq!(community_of(UserId(21), 22, 4), 3);
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_panic() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(preferential_attachment(1, 5, &mut rng).num_edges(), 0);
+        assert_eq!(uniform_random(1, 5, &mut rng).num_edges(), 0);
+        assert_eq!(uniform_random(0, 5, &mut rng).num_users(), 0);
+        assert_eq!(community_cliques(1, 1, 0, &mut rng).num_edges(), 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Immutable CSR-layout directed social graph.
+//!
+//! Edge direction convention: an edge `u → v` means **u follows v**.
+//! Message dissemination therefore flows *against* the edges: a message by
+//! `v` is delivered to `v`'s followers, i.e. the in-neighborhood of `v`.
+//!
+//! Both adjacency directions are materialized because the feed substrate
+//! needs them at different moments: push delivery enumerates followers
+//! (in-edges), pull assembly enumerates followees (out-edges).
+
+use std::fmt;
+
+/// Dense identifier of a user.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UserId(pub u32);
+
+impl UserId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Immutable directed graph in compressed-sparse-row layout, with both
+/// directions materialized.
+#[derive(Debug, Clone)]
+pub struct SocialGraph {
+    // out-edges: u follows these users.
+    out_offsets: Vec<u32>,
+    out_edges: Vec<UserId>,
+    // in-edges: these users follow u.
+    in_offsets: Vec<u32>,
+    in_edges: Vec<UserId>,
+}
+
+impl SocialGraph {
+    /// Build from a de-duplicated, self-loop-free edge list.
+    /// Used by [`crate::builder::GraphBuilder::build`]; prefer the builder.
+    pub(crate) fn from_edges(num_users: u32, edges: &[(UserId, UserId)]) -> Self {
+        let n = num_users as usize;
+        let mut out_counts = vec![0u32; n];
+        let mut in_counts = vec![0u32; n];
+        for &(u, v) in edges {
+            out_counts[u.index()] += 1;
+            in_counts[v.index()] += 1;
+        }
+        let out_offsets = prefix_sum(&out_counts);
+        let in_offsets = prefix_sum(&in_counts);
+        let mut out_edges = vec![UserId(0); edges.len()];
+        let mut in_edges = vec![UserId(0); edges.len()];
+        let mut out_cursor = out_offsets.clone();
+        let mut in_cursor = in_offsets.clone();
+        for &(u, v) in edges {
+            out_edges[out_cursor[u.index()] as usize] = v;
+            out_cursor[u.index()] += 1;
+            in_edges[in_cursor[v.index()] as usize] = u;
+            in_cursor[v.index()] += 1;
+        }
+        // Sorted neighbor lists make contains() a binary search and give
+        // deterministic iteration order downstream.
+        for u in 0..n {
+            let (s, e) = (out_offsets[u] as usize, out_offsets[u + 1] as usize);
+            out_edges[s..e].sort_unstable();
+            let (s, e) = (in_offsets[u] as usize, in_offsets[u + 1] as usize);
+            in_edges[s..e].sort_unstable();
+        }
+        SocialGraph { out_offsets, out_edges, in_offsets, in_edges }
+    }
+
+    /// Number of users (nodes).
+    pub fn num_users(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of follow edges.
+    pub fn num_edges(&self) -> usize {
+        self.out_edges.len()
+    }
+
+    /// All users, in id order.
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        (0..self.num_users() as u32).map(UserId)
+    }
+
+    /// The users that `u` follows (sorted).
+    pub fn followees(&self, u: UserId) -> &[UserId] {
+        let (s, e) = (self.out_offsets[u.index()] as usize, self.out_offsets[u.index() + 1] as usize);
+        &self.out_edges[s..e]
+    }
+
+    /// The users following `u` (sorted) — the fan-out set for `u`'s messages.
+    pub fn followers(&self, u: UserId) -> &[UserId] {
+        let (s, e) = (self.in_offsets[u.index()] as usize, self.in_offsets[u.index() + 1] as usize);
+        &self.in_edges[s..e]
+    }
+
+    /// Out-degree (number of followees).
+    pub fn out_degree(&self, u: UserId) -> usize {
+        self.followees(u).len()
+    }
+
+    /// In-degree (number of followers).
+    pub fn in_degree(&self, u: UserId) -> usize {
+        self.followers(u).len()
+    }
+
+    /// Does `u` follow `v`? O(log out_degree(u)).
+    pub fn follows(&self, u: UserId, v: UserId) -> bool {
+        self.followees(u).binary_search(&v).is_ok()
+    }
+
+    /// Approximate resident bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + (self.out_offsets.capacity() + self.in_offsets.capacity()) * 4
+            + (self.out_edges.capacity() + self.in_edges.capacity()) * std::mem::size_of::<UserId>()
+    }
+}
+
+fn prefix_sum(counts: &[u32]) -> Vec<u32> {
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0u32;
+    offsets.push(0);
+    for &c in counts {
+        acc += c;
+        offsets.push(acc);
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn toy() -> SocialGraph {
+        // 0 follows 1,2; 1 follows 2; 3 isolated.
+        let mut b = GraphBuilder::new(4);
+        b.follow(UserId(0), UserId(1));
+        b.follow(UserId(0), UserId(2));
+        b.follow(UserId(1), UserId(2));
+        b.build()
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = toy();
+        assert_eq!(g.num_users(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.followees(UserId(0)), &[UserId(1), UserId(2)]);
+        assert_eq!(g.followers(UserId(2)), &[UserId(0), UserId(1)]);
+        assert_eq!(g.out_degree(UserId(3)), 0);
+        assert_eq!(g.in_degree(UserId(3)), 0);
+        assert_eq!(g.in_degree(UserId(2)), 2);
+    }
+
+    #[test]
+    fn follows_lookup() {
+        let g = toy();
+        assert!(g.follows(UserId(0), UserId(1)));
+        assert!(!g.follows(UserId(1), UserId(0)), "follow edges are directed");
+        assert!(!g.follows(UserId(3), UserId(0)));
+    }
+
+    #[test]
+    fn users_iterator() {
+        let g = toy();
+        let users: Vec<_> = g.users().collect();
+        assert_eq!(users, vec![UserId(0), UserId(1), UserId(2), UserId(3)]);
+    }
+
+    #[test]
+    fn edge_direction_consistency() {
+        let g = toy();
+        for u in g.users() {
+            for &v in g.followees(u) {
+                assert!(g.followers(v).contains(&u), "{u:?}→{v:?} missing reverse");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_users(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn userid_formats() {
+        assert_eq!(format!("{:?}", UserId(3)), "u3");
+        assert_eq!(format!("{}", UserId(3)), "3");
+    }
+}

@@ -1,0 +1,25 @@
+//! # adcast-graph — social-graph substrate for `adcast`
+//!
+//! A compact follower graph plus the synthetic generators used to stand in
+//! for the Twitter social graph (see `DESIGN.md` §5 "Substitutions"):
+//!
+//! * [`graph`] — immutable CSR-layout directed graph with both out-edges
+//!   (followees) and in-edges (followers),
+//! * [`builder`] — mutable edge-list builder that freezes into a
+//!   [`graph::SocialGraph`],
+//! * [`generators`] — preferential-attachment (power-law in-degree),
+//!   Erdős–Rényi, and ring-of-cliques community generators,
+//! * [`zipf`] — an exact finite-support Zipf sampler (no `rand_distr`
+//!   offline, so it is built from scratch on top of `rand`),
+//! * [`stats`] — degree distributions and skew summaries for the
+//!   workload-statistics experiment (E1).
+
+pub mod builder;
+pub mod generators;
+pub mod graph;
+pub mod stats;
+pub mod zipf;
+
+pub use builder::GraphBuilder;
+pub use graph::{SocialGraph, UserId};
+pub use zipf::ZipfSampler;

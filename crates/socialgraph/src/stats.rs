@@ -1,0 +1,130 @@
+//! Degree statistics for the workload-characterization experiment (E1).
+
+use crate::graph::SocialGraph;
+
+/// Summary statistics of a degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// 99th percentile degree.
+    pub p99: usize,
+    /// Gini coefficient of the degree distribution (0 = perfectly equal,
+    /// → 1 = all mass on one node). Follower graphs sit around 0.6–0.8.
+    pub gini: f64,
+}
+
+impl DegreeStats {
+    /// Compute from a list of degrees.
+    pub fn from_degrees(mut degrees: Vec<usize>) -> Self {
+        if degrees.is_empty() {
+            return DegreeStats { min: 0, max: 0, mean: 0.0, median: 0, p99: 0, gini: 0.0 };
+        }
+        degrees.sort_unstable();
+        let n = degrees.len();
+        let total: usize = degrees.iter().sum();
+        let mean = total as f64 / n as f64;
+        let median = degrees[n / 2];
+        let p99 = degrees[((n as f64 * 0.99) as usize).min(n - 1)];
+        // Gini via the sorted-rank formula: G = (2·Σ i·x_i)/(n·Σ x_i) − (n+1)/n.
+        let gini = if total == 0 {
+            0.0
+        } else {
+            let weighted: f64 =
+                degrees.iter().enumerate().map(|(i, &d)| (i + 1) as f64 * d as f64).sum();
+            (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+        };
+        DegreeStats { min: degrees[0], max: degrees[n - 1], mean, median, p99, gini }
+    }
+}
+
+/// In-degree (follower-count) statistics of a graph.
+pub fn follower_stats(g: &SocialGraph) -> DegreeStats {
+    DegreeStats::from_degrees(g.users().map(|u| g.in_degree(u)).collect())
+}
+
+/// Out-degree (followee-count) statistics of a graph.
+pub fn followee_stats(g: &SocialGraph) -> DegreeStats {
+    DegreeStats::from_degrees(g.users().map(|u| g.out_degree(u)).collect())
+}
+
+/// Histogram of degrees in log₂ buckets: entry `i` counts nodes with degree
+/// in `[2^i, 2^(i+1))`; entry 0 also counts degree-0 and degree-1 nodes.
+pub fn degree_histogram(degrees: impl Iterator<Item = usize>) -> Vec<usize> {
+    let mut buckets: Vec<usize> = Vec::new();
+    for d in degrees {
+        let b = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros() - 1) as usize };
+        if b >= buckets.len() {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::graph::UserId;
+
+    #[test]
+    fn stats_on_known_distribution() {
+        let s = DegreeStats::from_degrees(vec![0, 0, 0, 0, 10]);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 10);
+        assert!((s.mean - 2.0).abs() < 1e-9);
+        assert_eq!(s.median, 0);
+        assert_eq!(s.p99, 10);
+        // All mass on one of five nodes: gini = 2*5*10/(5*10) - 6/5 = 0.8.
+        assert!((s.gini - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gini_zero_for_equal_degrees() {
+        let s = DegreeStats::from_degrees(vec![3; 10]);
+        assert!(s.gini.abs() < 1e-9);
+        assert_eq!(s.median, 3);
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let s = DegreeStats::from_degrees(vec![]);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn graph_stats_directions() {
+        let mut b = GraphBuilder::new(3);
+        b.follow(UserId(0), UserId(2));
+        b.follow(UserId(1), UserId(2));
+        let g = b.build();
+        let followers = follower_stats(&g);
+        assert_eq!(followers.max, 2, "user 2 has two followers");
+        let followees = followee_stats(&g);
+        assert_eq!(followees.max, 1);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = degree_histogram([0, 1, 1, 2, 3, 4, 7, 8, 1000].into_iter());
+        assert_eq!(h[0], 3); // 0,1,1
+        assert_eq!(h[1], 2); // 2,3
+        assert_eq!(h[2], 2); // 4,7
+        assert_eq!(h[3], 1); // 8
+        assert_eq!(h[9], 1); // 1000 in [512,1024)
+        assert_eq!(h.iter().sum::<usize>(), 9);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        assert!(degree_histogram(std::iter::empty()).is_empty());
+    }
+}

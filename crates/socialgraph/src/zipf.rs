@@ -1,0 +1,158 @@
+//! Exact finite-support Zipf sampling.
+//!
+//! The workload generators need Zipf-distributed choices everywhere (author
+//! activity, topic popularity, term draws). No `rand_distr` is available
+//! offline, so this module implements an exact sampler: the (truncated)
+//! Zipf CDF is precomputed once and each draw is a binary search —
+//! `O(log n)` per sample, numerically exact for any skew `s ≥ 0`.
+
+use rand::Rng;
+
+/// Sampler over ranks `0..n` with probability `P(k) ∝ 1 / (k+1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Create a sampler over `n` ranks with exponent `s`.
+    ///
+    /// `s = 0` degenerates to the uniform distribution; `s ≈ 1` matches
+    /// classic word-frequency/user-activity skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "invalid Zipf exponent {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("n > 0");
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point drift at the top end.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw a rank in `0..len()`. Rank 0 is the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// The probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(100, 1.0);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = ZipfSampler::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-9, "pmf({k}) = {}", z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn skew_orders_ranks() {
+        let z = ZipfSampler::new(50, 1.2);
+        for k in 1..50 {
+            assert!(z.pmf(k) < z.pmf(k - 1), "pmf must be strictly decreasing");
+        }
+    }
+
+    #[test]
+    fn samples_in_range_and_skewed() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut head = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let k = z.sample(&mut rng);
+            assert!(k < 1000);
+            if k < 10 {
+                head += 1;
+            }
+        }
+        // Under Zipf(1.0, n=1000) the top-10 ranks carry ~39% of the mass.
+        let frac = head as f64 / N as f64;
+        assert!((0.3..0.5).contains(&frac), "head mass {frac} outside expectation");
+    }
+
+    #[test]
+    fn empirical_matches_pmf_for_small_support() {
+        let z = ZipfSampler::new(5, 1.5);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = [0usize; 5];
+        const N: usize = 100_000;
+        for _ in 0..N {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in 0..5 {
+            let emp = counts[k] as f64 / N as f64;
+            assert!((emp - z.pmf(k)).abs() < 0.01, "rank {k}: emp {emp} vs pmf {}", z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn single_rank_support() {
+        let z = ZipfSampler::new(1, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.pmf(0), 1.0);
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Zipf exponent")]
+    fn negative_exponent_panics() {
+        let _ = ZipfSampler::new(10, -1.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Arrival processes: how simulated posting times are spaced.
+//!
+//! The throughput experiments drive the engines at controlled rates; the
+//! robustness experiments need bursts. Three processes cover it:
+//!
+//! * [`ArrivalProcess::Uniform`] — deterministic spacing (rate control),
+//! * [`ArrivalProcess::Poisson`] — exponential inter-arrivals (the
+//!   standard open-system model),
+//! * [`ArrivalProcess::Bursty`] — a two-state Markov-modulated Poisson
+//!   process alternating calm and burst phases (models flash crowds, the
+//!   regime where lazy refresh earns its keep).
+
+use rand::Rng;
+
+use crate::clock::Duration;
+
+/// An arrival process generating inter-arrival gaps.
+#[derive(Debug, Clone)]
+pub enum ArrivalProcess {
+    /// Exactly `1/rate` seconds between events.
+    Uniform {
+        /// Events per simulated second.
+        rate: f64,
+    },
+    /// Exponential inter-arrivals with mean `1/rate`.
+    Poisson {
+        /// Events per simulated second.
+        rate: f64,
+    },
+    /// Markov-modulated Poisson: calm rate vs. burst rate, with geometric
+    /// phase lengths.
+    Bursty {
+        /// Rate in the calm phase (events/s).
+        calm_rate: f64,
+        /// Rate in the burst phase (events/s).
+        burst_rate: f64,
+        /// Probability of switching phase after each event.
+        switch_prob: f64,
+        /// Currently bursting?
+        bursting: bool,
+    },
+}
+
+impl ArrivalProcess {
+    /// A uniform process at `rate` events/second.
+    pub fn uniform(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "invalid rate {rate}");
+        ArrivalProcess::Uniform { rate }
+    }
+
+    /// A Poisson process at `rate` events/second.
+    pub fn poisson(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "invalid rate {rate}");
+        ArrivalProcess::Poisson { rate }
+    }
+
+    /// A bursty process alternating `calm_rate` and `burst_rate`.
+    pub fn bursty(calm_rate: f64, burst_rate: f64, switch_prob: f64) -> Self {
+        assert!(calm_rate > 0.0 && burst_rate > 0.0, "rates must be positive");
+        assert!((0.0..=1.0).contains(&switch_prob), "switch_prob out of range");
+        ArrivalProcess::Bursty { calm_rate, burst_rate, switch_prob, bursting: false }
+    }
+
+    /// The long-run average rate (events/s).
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Uniform { rate } | ArrivalProcess::Poisson { rate } => rate,
+            // Symmetric switching spends half the time in each phase; the
+            // long-run event rate is the time-average of the phase rates.
+            ArrivalProcess::Bursty { calm_rate, burst_rate, .. } => {
+                (calm_rate + burst_rate) / 2.0
+            }
+        }
+    }
+
+    /// Draw the gap to the next event.
+    pub fn next_gap<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Duration {
+        match self {
+            ArrivalProcess::Uniform { rate } => Duration::from_micros((1e6 / *rate) as u64),
+            ArrivalProcess::Poisson { rate } => exponential_gap(*rate, rng),
+            ArrivalProcess::Bursty { calm_rate, burst_rate, switch_prob, bursting } => {
+                let rate = if *bursting { *burst_rate } else { *calm_rate };
+                if rng.gen_bool(*switch_prob) {
+                    *bursting = !*bursting;
+                }
+                exponential_gap(rate, rng)
+            }
+        }
+    }
+}
+
+/// Draw `Exp(rate)` via inverse CDF, clamped to ≥ 1 µs so simulated time
+/// always advances.
+fn exponential_gap<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> Duration {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let secs = -u.ln() / rate;
+    Duration::from_micros(((secs * 1e6) as u64).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_spacing_is_exact() {
+        let mut p = ArrivalProcess::uniform(100.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..5 {
+            assert_eq!(p.next_gap(&mut rng), Duration::from_micros(10_000));
+        }
+    }
+
+    #[test]
+    fn poisson_mean_matches_rate() {
+        let mut p = ArrivalProcess::poisson(50.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        const N: usize = 50_000;
+        let total: f64 = (0..N).map(|_| p.next_gap(&mut rng).as_secs_f64()).sum();
+        let mean = total / N as f64;
+        assert!((mean - 0.02).abs() < 0.002, "mean gap {mean} vs expected 0.02");
+    }
+
+    #[test]
+    fn poisson_gaps_are_variable() {
+        let mut p = ArrivalProcess::poisson(10.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let gaps: Vec<u64> = (0..100).map(|_| p.next_gap(&mut rng).micros()).collect();
+        let distinct: std::collections::HashSet<_> = gaps.iter().collect();
+        assert!(distinct.len() > 50, "exponential gaps should rarely repeat");
+        assert!(gaps.iter().all(|&g| g >= 1));
+    }
+
+    #[test]
+    fn bursty_switches_phases() {
+        let mut p = ArrivalProcess::bursty(10.0, 1000.0, 0.2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        // Collect gaps; the mixture should contain both long (~0.1s) and
+        // short (~1ms) gaps.
+        let gaps: Vec<f64> = (0..2000).map(|_| p.next_gap(&mut rng).as_secs_f64()).collect();
+        let long = gaps.iter().filter(|&&g| g > 0.03).count();
+        let short = gaps.iter().filter(|&&g| g < 0.003).count();
+        assert!(long > 100, "calm phase gaps missing ({long})");
+        assert!(short > 100, "burst phase gaps missing ({short})");
+    }
+
+    #[test]
+    fn mean_rates() {
+        assert_eq!(ArrivalProcess::uniform(5.0).mean_rate(), 5.0);
+        assert_eq!(ArrivalProcess::poisson(5.0).mean_rate(), 5.0);
+        assert_eq!(ArrivalProcess::bursty(10.0, 30.0, 0.1).mean_rate(), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn zero_rate_panics() {
+        let _ = ArrivalProcess::poisson(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "switch_prob out of range")]
+    fn bad_switch_prob_panics() {
+        let _ = ArrivalProcess::bursty(1.0, 2.0, 1.5);
+    }
+}

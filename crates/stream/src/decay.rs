@@ -1,0 +1,211 @@
+//! Exponential **forward decay** (Cormode, Shkapenyuk, Srivastava, Xu,
+//! "Forward decay: a practical time decay model for streaming systems",
+//! ICDE 2009).
+//!
+//! The engines weigh feed messages by recency: a message posted at time
+//! `t_m` observed at time `t` should have relative weight
+//! `exp(−λ·(t − t_m))`. Implemented naïvely (backward decay), every
+//! accumulated score would need rescaling by `exp(−λ·Δt)` on each arrival —
+//! a full pass over all state.
+//!
+//! Forward decay instead fixes a **landmark** `L` and assigns each arrival
+//! the *static* weight `g(t_m) = exp(λ·(t_m − L))`. Accumulated sums
+//! `Σ g(t_m)·x_m` are then correct up to the *normalizer* `g(t) =
+//! exp(λ·(t − L))`, a single per-user scalar — so arrivals are O(1) and no
+//! stored state ever changes retroactively.
+//!
+//! The only hazard is numeric: `g(t)` grows without bound. [`ForwardDecay`]
+//! tracks the current exponent and tells callers when to **renormalize**
+//! (divide all stored weights by `g(t)` and move the landmark forward),
+//! which happens every `exponent_limit / λ` simulated seconds — rare, and
+//! the cost amortizes to nothing.
+
+use crate::clock::{Duration, Timestamp};
+
+/// Forward-decay weight generator with landmark management.
+#[derive(Debug, Clone)]
+pub struct ForwardDecay {
+    /// Decay rate λ in 1/second. Zero disables decay (all weights 1).
+    lambda: f64,
+    /// Current landmark.
+    landmark: Timestamp,
+    /// Renormalization threshold on the exponent λ·(t−L); `e^60 ≈ 1e26`
+    /// stays comfortably inside `f64` while leaving headroom for ratios.
+    exponent_limit: f64,
+}
+
+impl ForwardDecay {
+    /// Create with rate `lambda` (per simulated second) and landmark at the
+    /// epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or non-finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda >= 0.0 && lambda.is_finite(), "invalid decay rate {lambda}");
+        ForwardDecay { lambda, landmark: Timestamp::EPOCH, exponent_limit: 60.0 }
+    }
+
+    /// Create from a half-life: the weight of a message halves every
+    /// `half_life` of simulated time.
+    pub fn from_half_life(half_life: Duration) -> Self {
+        let secs = half_life.as_secs_f64();
+        assert!(secs > 0.0, "half-life must be positive");
+        ForwardDecay::new(std::f64::consts::LN_2 / secs)
+    }
+
+    /// No decay at all: every weight is exactly 1 and renormalization never
+    /// triggers.
+    pub fn disabled() -> Self {
+        ForwardDecay::new(0.0)
+    }
+
+    /// The decay rate λ (1/s).
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The current landmark.
+    pub fn landmark(&self) -> Timestamp {
+        self.landmark
+    }
+
+    /// The forward weight `g(t) = exp(λ·(t − L))` of an event at `t`.
+    ///
+    /// Events before the landmark get weights < 1; this only happens
+    /// transiently right after a renormalization and is harmless.
+    pub fn weight(&self, t: Timestamp) -> f64 {
+        if self.lambda == 0.0 {
+            return 1.0;
+        }
+        let dt = t.as_secs_f64() - self.landmark.as_secs_f64();
+        (self.lambda * dt).exp()
+    }
+
+    /// The normalizer at observation time `t` (same formula as
+    /// [`ForwardDecay::weight`] — the *ratio* `weight(t_m)/weight(t)` is the
+    /// backward-decay weight `exp(−λ(t−t_m))`).
+    pub fn normalizer(&self, t: Timestamp) -> f64 {
+        self.weight(t)
+    }
+
+    /// The effective (backward) relative weight of an event at `t_m`
+    /// observed at `t ≥ t_m`.
+    pub fn relative_weight(&self, event: Timestamp, now: Timestamp) -> f64 {
+        if self.lambda == 0.0 {
+            return 1.0;
+        }
+        let dt = now.as_secs_f64() - event.as_secs_f64();
+        (-self.lambda * dt).exp()
+    }
+
+    /// Should stored forward weights be renormalized at time `t`?
+    ///
+    /// When this returns true, the caller divides all stored forward-decay
+    /// sums by [`ForwardDecay::normalizer`]`(t)` and then calls
+    /// [`ForwardDecay::rebase`]`(t)`.
+    pub fn needs_rebase(&self, t: Timestamp) -> bool {
+        if self.lambda == 0.0 {
+            return false;
+        }
+        let dt = t.as_secs_f64() - self.landmark.as_secs_f64();
+        self.lambda * dt > self.exponent_limit
+    }
+
+    /// Move the landmark to `t`. Stored sums must already have been divided
+    /// by the old `normalizer(t)`.
+    pub fn rebase(&mut self, t: Timestamp) {
+        debug_assert!(t >= self.landmark, "landmark must move forward");
+        self.landmark = t;
+    }
+
+    /// Lower the rebase threshold (useful in tests).
+    pub fn set_exponent_limit(&mut self, limit: f64) {
+        assert!(limit > 0.0);
+        self.exponent_limit = limit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_grows_forward() {
+        let d = ForwardDecay::new(0.1);
+        let w0 = d.weight(Timestamp::from_secs(0));
+        let w10 = d.weight(Timestamp::from_secs(10));
+        assert!((w0 - 1.0).abs() < 1e-12);
+        assert!((w10 - (1.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_equals_backward_decay() {
+        let d = ForwardDecay::new(0.25);
+        let event = Timestamp::from_secs(40);
+        let now = Timestamp::from_secs(50);
+        let via_ratio = d.weight(event) / d.weight(now);
+        let direct = d.relative_weight(event, now);
+        assert!((via_ratio - direct).abs() < 1e-9);
+        assert!((direct - (-2.5f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_life_semantics() {
+        let d = ForwardDecay::from_half_life(Duration::from_secs(100));
+        let w = d.relative_weight(Timestamp::from_secs(0), Timestamp::from_secs(100));
+        assert!((w - 0.5).abs() < 1e-9);
+        let w2 = d.relative_weight(Timestamp::from_secs(0), Timestamp::from_secs(200));
+        assert!((w2 - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_decay_is_flat() {
+        let d = ForwardDecay::disabled();
+        assert_eq!(d.weight(Timestamp::from_secs(1_000_000)), 1.0);
+        assert_eq!(d.relative_weight(Timestamp::EPOCH, Timestamp::from_secs(999)), 1.0);
+        assert!(!d.needs_rebase(Timestamp::from_secs(u32::MAX as u64)));
+    }
+
+    #[test]
+    fn rebase_cycle_preserves_relative_weights() {
+        let mut d = ForwardDecay::new(1.0);
+        d.set_exponent_limit(5.0);
+        let t_event = Timestamp::from_secs(3);
+        let raw = d.weight(t_event);
+
+        let t_check = Timestamp::from_secs(6);
+        assert!(d.needs_rebase(t_check));
+        // Renormalize: stored weight divided by normalizer, landmark moves.
+        let stored = raw / d.normalizer(t_check);
+        d.rebase(t_check);
+        assert!(!d.needs_rebase(t_check));
+
+        // After rebasing, stored/new-normalizer still equals the backward
+        // weight relative to any later time.
+        let t_later = Timestamp::from_secs(8);
+        let effective = stored / d.normalizer(t_later) * 1.0;
+        let expect = (-(8.0_f64 - 3.0)).exp();
+        assert!((effective - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn needs_rebase_threshold() {
+        let mut d = ForwardDecay::new(2.0);
+        d.set_exponent_limit(10.0);
+        assert!(!d.needs_rebase(Timestamp::from_secs(5))); // exponent 10, not >
+        assert!(d.needs_rebase(Timestamp::from_secs(6))); // exponent 12
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid decay rate")]
+    fn negative_lambda_panics() {
+        let _ = ForwardDecay::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "half-life must be positive")]
+    fn zero_half_life_panics() {
+        let _ = ForwardDecay::from_half_life(Duration::ZERO);
+    }
+}

@@ -1,0 +1,158 @@
+//! Stream event model: messages and the ids they carry.
+
+use std::fmt;
+use std::sync::Arc;
+
+use adcast_graph::UserId;
+use adcast_text::SparseVector;
+
+use crate::clock::Timestamp;
+
+/// Dense identifier of a message, assigned in stream order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MessageId(pub u64);
+
+impl fmt::Debug for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of a geographic cell (city / neighbourhood granularity).
+///
+/// The location model is a flat cell grid: real systems geo-hash
+/// coordinates into cells; the generator assigns users home cells
+/// directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocationId(pub u16);
+
+impl fmt::Debug for LocationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loc{}", self.0)
+    }
+}
+
+impl fmt::Display for LocationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Coarse time-of-day slot used by ad targeting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeSlot {
+    /// 05:00–13:00 — the paper-style first evaluation slot.
+    Morning,
+    /// 13:01–20:00 — the second evaluation slot.
+    Afternoon,
+    /// 20:01–04:59.
+    Night,
+}
+
+impl TimeSlot {
+    /// Slot of a timestamp, folding simulated time onto a 24h day.
+    pub fn of(t: Timestamp) -> TimeSlot {
+        let secs_of_day = (t.micros() / 1_000_000) % 86_400;
+        let hour = secs_of_day / 3_600;
+        let minute = (secs_of_day % 3_600) / 60;
+        match (hour, minute) {
+            (5..=12, _) => TimeSlot::Morning,
+            (13, 0) => TimeSlot::Morning,
+            (13..=19, _) => TimeSlot::Afternoon,
+            (20, 0) => TimeSlot::Afternoon,
+            _ => TimeSlot::Night,
+        }
+    }
+
+    /// All slots, in day order.
+    pub const ALL: [TimeSlot; 3] = [TimeSlot::Morning, TimeSlot::Afternoon, TimeSlot::Night];
+}
+
+/// A single microblog message after text analysis.
+///
+/// Messages are shared by `Arc` across every follower feed they fan out
+/// to, so the (potentially large) term vector is stored once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Stream-order id.
+    pub id: MessageId,
+    /// Author.
+    pub author: UserId,
+    /// Posting time.
+    pub ts: Timestamp,
+    /// Where the author was when posting.
+    pub location: LocationId,
+    /// Weighted term vector (L2-normalized by the pipeline).
+    pub vector: SparseVector,
+}
+
+/// A message behind an `Arc`, as circulated through feeds.
+pub type SharedMessage = Arc<Message>;
+
+/// An event on the platform stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A user posted a message (fan out to followers).
+    Post(SharedMessage),
+}
+
+impl Event {
+    /// The event's timestamp.
+    pub fn ts(&self) -> Timestamp {
+        match self {
+            Event::Post(m) => m.ts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcast_text::dictionary::TermId;
+
+    fn at(h: u64, m: u64) -> Timestamp {
+        Timestamp((h * 3600 + m * 60) * 1_000_000)
+    }
+
+    #[test]
+    fn time_slots_match_paper_boundaries() {
+        assert_eq!(TimeSlot::of(at(5, 0)), TimeSlot::Morning);
+        assert_eq!(TimeSlot::of(at(12, 59)), TimeSlot::Morning);
+        assert_eq!(TimeSlot::of(at(13, 0)), TimeSlot::Morning, "13:00 closes the first slot");
+        assert_eq!(TimeSlot::of(at(13, 1)), TimeSlot::Afternoon);
+        assert_eq!(TimeSlot::of(at(19, 59)), TimeSlot::Afternoon);
+        assert_eq!(TimeSlot::of(at(20, 0)), TimeSlot::Afternoon, "20:00 closes the second slot");
+        assert_eq!(TimeSlot::of(at(20, 1)), TimeSlot::Night);
+        assert_eq!(TimeSlot::of(at(4, 59)), TimeSlot::Night);
+        assert_eq!(TimeSlot::of(at(0, 0)), TimeSlot::Night);
+    }
+
+    #[test]
+    fn slots_fold_over_days() {
+        let day = Duration::from_secs(86_400);
+        use crate::clock::Duration;
+        assert_eq!(TimeSlot::of(at(6, 0) + day), TimeSlot::Morning);
+        assert_eq!(TimeSlot::of(at(15, 0) + day + day), TimeSlot::Afternoon);
+    }
+
+    #[test]
+    fn event_ts_passthrough() {
+        let msg = Arc::new(Message {
+            id: MessageId(1),
+            author: UserId(2),
+            ts: Timestamp::from_secs(42),
+            location: LocationId(3),
+            vector: SparseVector::from_pairs([(TermId(0), 1.0)]),
+        });
+        let e = Event::Post(msg.clone());
+        assert_eq!(e.ts(), Timestamp::from_secs(42));
+        assert_eq!(format!("{:?}", msg.id), "m1");
+        assert_eq!(format!("{:?}", msg.location), "loc3");
+    }
+}

@@ -1,0 +1,436 @@
+//! The end-to-end synthetic workload generator.
+//!
+//! Produces the three artifacts every experiment needs, all over one shared
+//! dictionary so message and ad vectors live in the same term space:
+//!
+//! 1. a timestamped **message stream** (authors Zipf-active, content drawn
+//!    from the author's ground-truth topic mixture, locations from a home
+//!    cell with occasional travel),
+//! 2. **ad seeds** — term vectors focused on a chosen topic plus targeting
+//!    hints (location, time slot),
+//! 3. the **ground truth** itself (per-user interest profiles and home
+//!    cells) for the effectiveness experiments.
+//!
+//! IDF statistics are frozen after a calibration phase so that message
+//! weights do not drift as the stream lengthens (see
+//! [`WorkloadConfig::idf_calibration_docs`]).
+
+use std::sync::Arc;
+
+use adcast_graph::{UserId, ZipfSampler};
+use adcast_text::dictionary::{Dictionary, TermId};
+use adcast_text::tfidf::WeightingConfig;
+use adcast_text::SparseVector;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::arrival::ArrivalProcess;
+use crate::clock::{Timestamp, VirtualClock};
+use crate::event::{LocationId, Message, MessageId, SharedMessage, TimeSlot};
+use crate::topics::{TopicId, TopicModel, TopicModelConfig, UserProfile};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of users posting (and receiving) messages.
+    pub num_users: u32,
+    /// Number of geographic cells.
+    pub num_locations: u16,
+    /// Terms per message, drawn uniformly from this inclusive range
+    /// (tweets average ~10 content terms after stop-word removal).
+    pub terms_per_message: (usize, usize),
+    /// Terms per ad keyword list.
+    pub terms_per_ad: (usize, usize),
+    /// Topic-model parameters.
+    pub topic_model: TopicModelConfig,
+    /// Zipf exponent of author activity (who posts).
+    pub author_skew: f64,
+    /// Probability a message is posted away from the author's home cell.
+    pub mobility: f64,
+    /// Number of calibration documents used to freeze IDF statistics.
+    pub idf_calibration_docs: usize,
+    /// Master seed; every run with the same config is bit-identical.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            num_users: 1000,
+            num_locations: 29, // matches the paper-scale case study
+            terms_per_message: (6, 14),
+            terms_per_ad: (4, 10),
+            topic_model: TopicModelConfig::default(),
+            author_skew: 1.0,
+            mobility: 0.1,
+            idf_calibration_docs: 2000,
+            seed: 0xAD5EED,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A small configuration for unit tests (fast to instantiate).
+    pub fn tiny() -> Self {
+        WorkloadConfig {
+            num_users: 20,
+            num_locations: 5,
+            topic_model: TopicModelConfig {
+                vocabulary: 500,
+                num_topics: 5,
+                core_terms_per_topic: 40,
+                topics_per_user: 2,
+                ..TopicModelConfig::default()
+            },
+            idf_calibration_docs: 200,
+            ..WorkloadConfig::default()
+        }
+    }
+}
+
+/// An ad blueprint produced by the generator; the ad store turns it into a
+/// live campaign.
+#[derive(Debug, Clone)]
+pub struct AdSeed {
+    /// The topic the ad is about (ground truth for effectiveness metrics).
+    pub topic: TopicId,
+    /// Weighted, L2-normalized term vector in the shared dictionary space.
+    pub vector: SparseVector,
+    /// Suggested location targeting (a popular cell for the topic).
+    pub location: LocationId,
+    /// Suggested time-slot targeting.
+    pub slot: TimeSlot,
+}
+
+/// The workload generator. One instance drives one experiment run.
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    config: WorkloadConfig,
+    rng: SmallRng,
+    model: TopicModel,
+    dictionary: Dictionary,
+    term_ids: Vec<TermId>,
+    weighting: WeightingConfig,
+    profiles: Vec<UserProfile>,
+    home: Vec<LocationId>,
+    author_sampler: ZipfSampler,
+    author_by_rank: Vec<UserId>,
+    clock: VirtualClock,
+    arrival: ArrivalProcess,
+    next_id: u64,
+}
+
+impl WorkloadGenerator {
+    /// Build a generator (instantiates the topic model, interns the whole
+    /// vocabulary, assigns user profiles/home cells, and calibrates IDF).
+    pub fn new(config: WorkloadConfig, arrival: ArrivalProcess) -> Self {
+        assert!(config.num_users > 0, "need at least one user");
+        assert!(config.num_locations > 0, "need at least one location");
+        assert!(
+            config.terms_per_message.0 >= 1
+                && config.terms_per_message.0 <= config.terms_per_message.1,
+            "bad terms_per_message range"
+        );
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let model = TopicModel::new(config.topic_model.clone());
+
+        // Intern the entire vocabulary once: rank -> TermId.
+        let mut dictionary = Dictionary::new();
+        let term_ids: Vec<TermId> = (0..config.topic_model.vocabulary)
+            .map(|rank| dictionary.intern(&TopicModel::term_string(rank)))
+            .collect();
+
+        // Ground truth per user.
+        let profiles: Vec<UserProfile> =
+            (0..config.num_users).map(|_| model.sample_user_profile(&mut rng)).collect();
+        let home: Vec<LocationId> = (0..config.num_users)
+            .map(|_| LocationId(rng.gen_range(0..config.num_locations)))
+            .collect();
+
+        // Activity ranks decoupled from user ids by a shuffle.
+        let mut author_by_rank: Vec<UserId> = (0..config.num_users).map(UserId).collect();
+        author_by_rank.shuffle(&mut rng);
+        let author_sampler = ZipfSampler::new(config.num_users as usize, config.author_skew);
+
+        let mut gen = WorkloadGenerator {
+            author_sampler,
+            author_by_rank,
+            model,
+            dictionary,
+            term_ids,
+            weighting: WeightingConfig::standard(),
+            profiles,
+            home,
+            clock: VirtualClock::new(),
+            arrival,
+            next_id: 0,
+            rng,
+            config,
+        };
+        gen.calibrate_idf();
+        gen
+    }
+
+    /// Convenience: Poisson arrivals at `rate` messages/second.
+    pub fn with_poisson(config: WorkloadConfig, rate: f64) -> Self {
+        WorkloadGenerator::new(config, ArrivalProcess::poisson(rate))
+    }
+
+    fn calibrate_idf(&mut self) {
+        for _ in 0..self.config.idf_calibration_docs {
+            let topic = self.model.sample_topic(&mut self.rng);
+            let bag = self.draw_term_bag(topic, self.config.terms_per_message);
+            let distinct: Vec<TermId> = {
+                let mut d: Vec<TermId> = bag.iter().map(|&(t, _)| t).collect();
+                d.sort_unstable();
+                d.dedup();
+                d
+            };
+            self.dictionary.record_document(distinct);
+        }
+    }
+
+    fn draw_term_bag(&mut self, topic: TopicId, range: (usize, usize)) -> Vec<(TermId, u32)> {
+        let n = self.rng.gen_range(range.0..=range.1);
+        let mut counts: Vec<(TermId, u32)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let rank = self.model.sample_term(topic, &mut self.rng);
+            let id = self.term_ids[rank];
+            match counts.iter_mut().find(|(t, _)| *t == id) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((id, 1)),
+            }
+        }
+        counts
+    }
+
+    /// The shared dictionary (message and ad vectors live in its space).
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// The topic model.
+    pub fn model(&self) -> &TopicModel {
+        &self.model
+    }
+
+    /// Ground-truth interest profile of `u`.
+    pub fn profile(&self, u: UserId) -> &UserProfile {
+        &self.profiles[u.index()]
+    }
+
+    /// Ground-truth home cell of `u`.
+    pub fn home_location(&self, u: UserId) -> LocationId {
+        self.home[u.index()]
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// Number of messages generated so far.
+    pub fn messages_generated(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Generate the next message: advances the clock by the arrival
+    /// process, picks a Zipf-active author, a topic from their profile,
+    /// and a location near home.
+    pub fn next_message(&mut self) -> SharedMessage {
+        let gap = self.arrival.next_gap(&mut self.rng);
+        let ts = self.clock.advance(gap);
+        let rank = self.author_sampler.sample(&mut self.rng);
+        let author = self.author_by_rank[rank];
+        self.message_from(author, ts)
+    }
+
+    /// Generate a message by a specific author at a specific time (used by
+    /// tests and the trace tooling).
+    pub fn message_from(&mut self, author: UserId, ts: Timestamp) -> SharedMessage {
+        let topic = self.profiles[author.index()].sample_topic(&mut self.rng);
+        let bag = self.draw_term_bag(topic, self.config.terms_per_message);
+        let vector = self.weighting.weigh(bag, &self.dictionary);
+        let location = if self.rng.gen_bool(self.config.mobility) {
+            LocationId(self.rng.gen_range(0..self.config.num_locations))
+        } else {
+            self.home[author.index()]
+        };
+        let id = MessageId(self.next_id);
+        self.next_id += 1;
+        Arc::new(Message { id, author, ts, location, vector })
+    }
+
+    /// Generate an ad seed about a random (popularity-weighted) topic.
+    pub fn next_ad(&mut self) -> AdSeed {
+        let topic = self.model.sample_topic(&mut self.rng);
+        self.ad_about(topic)
+    }
+
+    /// Generate an ad seed about `topic`.
+    pub fn ad_about(&mut self, topic: TopicId) -> AdSeed {
+        // Ads are more on-message than tweets: draw only core terms by
+        // sampling with an elevated focus (resample background draws once).
+        let bag = self.draw_term_bag(topic, self.config.terms_per_ad);
+        let vector = self.weighting.weigh(bag, &self.dictionary);
+        // Target the home cell most common among users interested in the
+        // topic — cheap argmax over the ground truth.
+        let mut cell_votes = vec![0u32; self.config.num_locations as usize];
+        for (i, p) in self.profiles.iter().enumerate() {
+            if p.interested_in(topic) {
+                cell_votes[self.home[i].0 as usize] += 1;
+            }
+        }
+        let best = cell_votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, votes)| *votes)
+            .map(|(cell, _)| cell as u16)
+            .unwrap_or(0);
+        let slot = match topic % 3 {
+            0 => TimeSlot::Morning,
+            1 => TimeSlot::Afternoon,
+            _ => TimeSlot::Night,
+        };
+        AdSeed { topic, vector, location: LocationId(best), slot }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen() -> WorkloadGenerator {
+        WorkloadGenerator::with_poisson(WorkloadConfig::tiny(), 100.0)
+    }
+
+    #[test]
+    fn messages_advance_time_and_ids() {
+        let mut g = gen();
+        let m1 = g.next_message();
+        let m2 = g.next_message();
+        assert!(m2.ts > m1.ts);
+        assert_eq!(m1.id, MessageId(0));
+        assert_eq!(m2.id, MessageId(1));
+        assert_eq!(g.messages_generated(), 2);
+    }
+
+    #[test]
+    fn vectors_are_normalized_and_in_dictionary() {
+        let mut g = gen();
+        for _ in 0..20 {
+            let m = g.next_message();
+            assert!(!m.vector.is_empty());
+            assert!((m.vector.norm() - 1.0).abs() < 1e-4);
+            for (t, _) in m.vector.iter() {
+                assert!(g.dictionary().term(t).is_some(), "unknown term {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = gen();
+        let mut b = gen();
+        for _ in 0..10 {
+            let (ma, mb) = (a.next_message(), b.next_message());
+            assert_eq!(ma.id, mb.id);
+            assert_eq!(ma.author, mb.author);
+            assert_eq!(ma.ts, mb.ts);
+            assert_eq!(ma.vector, mb.vector);
+            assert_eq!(ma.location, mb.location);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = gen();
+        let cfg = WorkloadConfig { seed: 99, ..WorkloadConfig::tiny() };
+        let mut b = WorkloadGenerator::with_poisson(cfg, 100.0);
+        let (ma, mb) = (a.next_message(), b.next_message());
+        assert!(ma.author != mb.author || ma.vector != mb.vector || ma.ts != mb.ts);
+    }
+
+    #[test]
+    fn authors_follow_activity_skew() {
+        let mut g = gen();
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..2000 {
+            let m = g.next_message();
+            *counts.entry(m.author).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        let mean = 2000.0 / 20.0;
+        assert!(max as f64 > 2.0 * mean, "no activity skew: max {max} mean {mean}");
+    }
+
+    #[test]
+    fn messages_mostly_from_home() {
+        let mut g = gen();
+        let mut at_home = 0;
+        const N: usize = 500;
+        for _ in 0..N {
+            let m = g.next_message();
+            if m.location == g.home_location(m.author) {
+                at_home += 1;
+            }
+        }
+        // mobility = 0.1; travel can still land on the home cell.
+        assert!(at_home as f64 / N as f64 > 0.85, "home fraction {at_home}/{N}");
+    }
+
+    #[test]
+    fn ads_overlap_their_topic_messages() {
+        let mut g = gen();
+        let ad = g.ad_about(2);
+        // A message forced onto topic 2 should overlap the ad far more than
+        // a message on a different topic (averaged over draws).
+        let mut same = 0.0;
+        let mut other = 0.0;
+        for i in 0..40 {
+            let u = UserId(i % 20);
+            let bag_same = g.draw_term_bag(2, (8, 12));
+            let v_same = g.weighting.weigh(bag_same, &g.dictionary);
+            let bag_other = g.draw_term_bag(4, (8, 12));
+            let v_other = g.weighting.weigh(bag_other, &g.dictionary);
+            same += ad.vector.dot(&v_same);
+            other += ad.vector.dot(&v_other);
+            let _ = u;
+        }
+        assert!(same > 2.0 * other, "topic separation too weak: {same} vs {other}");
+    }
+
+    #[test]
+    fn ad_targets_topic_heavy_cell() {
+        let mut g = gen();
+        let ad = g.ad_about(0);
+        assert!(ad.location.0 < g.config().num_locations);
+        assert_eq!(ad.topic, 0);
+        assert!(!ad.vector.is_empty());
+    }
+
+    #[test]
+    fn idf_is_frozen_after_construction() {
+        let mut g = gen();
+        let docs_before = g.dictionary().num_docs();
+        let _ = g.next_message();
+        let _ = g.next_ad();
+        assert_eq!(g.dictionary().num_docs(), docs_before, "stats must not drift");
+    }
+
+    #[test]
+    fn profiles_cover_all_users() {
+        let g = gen();
+        for u in 0..20 {
+            let p = g.profile(UserId(u));
+            assert!(!p.topics.is_empty());
+            assert!(g.home_location(UserId(u)).0 < 5);
+        }
+    }
+}

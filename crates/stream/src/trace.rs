@@ -1,0 +1,286 @@
+//! Message-trace record and replay.
+//!
+//! Experiments are replayable two ways: regenerate from the seed, or write
+//! the materialized stream to a compact binary trace and replay it later
+//! (useful for cross-engine comparisons on *identical* inputs without
+//! re-running the generator, and for persisting interesting workloads).
+//!
+//! The codec is hand-rolled on the `bytes` crate (no serde format crates
+//! are available offline). Layout, all little-endian:
+//!
+//! ```text
+//! header:  magic "ADCT" | version u16 | reserved u16
+//! record:  id u64 | author u32 | ts u64 | location u16
+//!        | nterms u16 | nterms × (term u32, weight f32)
+//! ```
+
+use std::sync::Arc;
+
+use adcast_graph::UserId;
+use adcast_text::dictionary::TermId;
+use adcast_text::SparseVector;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::clock::Timestamp;
+use crate::event::{LocationId, Message, MessageId, SharedMessage};
+
+const MAGIC: &[u8; 4] = b"ADCT";
+const VERSION: u16 = 1;
+
+/// Decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The trace does not start with the `ADCT` magic.
+    BadMagic,
+    /// The trace was written by an incompatible version.
+    BadVersion(u16),
+    /// The trace ends mid-record.
+    Truncated,
+    /// A record contains an invalid payload (e.g. non-finite weight).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not an adcast trace (bad magic)"),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Truncated => write!(f, "trace truncated mid-record"),
+            TraceError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Serializes messages into an in-memory trace buffer.
+#[derive(Debug)]
+pub struct TraceWriter {
+    buf: BytesMut,
+    count: u64,
+}
+
+impl Default for TraceWriter {
+    fn default() -> Self {
+        TraceWriter::new()
+    }
+}
+
+impl TraceWriter {
+    /// Start a new trace (writes the header).
+    pub fn new() -> Self {
+        let mut buf = BytesMut::with_capacity(4096);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u16_le(0);
+        TraceWriter { buf, count: 0 }
+    }
+
+    /// Append one message.
+    pub fn write(&mut self, m: &Message) {
+        let n = u16::try_from(m.vector.len()).expect("vector larger than u16::MAX terms");
+        self.buf.put_u64_le(m.id.0);
+        self.buf.put_u32_le(m.author.0);
+        self.buf.put_u64_le(m.ts.micros());
+        self.buf.put_u16_le(m.location.0);
+        self.buf.put_u16_le(n);
+        for (t, w) in m.vector.iter() {
+            self.buf.put_u32_le(t.0);
+            self.buf.put_f32_le(w);
+        }
+        self.count += 1;
+    }
+
+    /// Messages written so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Bytes written so far (header included).
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Finish, returning the immutable trace bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Streaming decoder over trace bytes.
+#[derive(Debug)]
+pub struct TraceReader {
+    data: Bytes,
+}
+
+impl TraceReader {
+    /// Validate the header and position after it.
+    pub fn new(mut data: Bytes) -> Result<Self, TraceError> {
+        if data.remaining() < 8 {
+            return Err(TraceError::BadMagic);
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = data.get_u16_le();
+        if version != VERSION {
+            return Err(TraceError::BadVersion(version));
+        }
+        let _reserved = data.get_u16_le();
+        Ok(TraceReader { data })
+    }
+
+    /// Decode the next message, `Ok(None)` at a clean end of trace.
+    pub fn next_message(&mut self) -> Result<Option<SharedMessage>, TraceError> {
+        if !self.data.has_remaining() {
+            return Ok(None);
+        }
+        const FIXED: usize = 8 + 4 + 8 + 2 + 2;
+        if self.data.remaining() < FIXED {
+            return Err(TraceError::Truncated);
+        }
+        let id = MessageId(self.data.get_u64_le());
+        let author = UserId(self.data.get_u32_le());
+        let ts = Timestamp(self.data.get_u64_le());
+        let location = LocationId(self.data.get_u16_le());
+        let n = self.data.get_u16_le() as usize;
+        if self.data.remaining() < n * 8 {
+            return Err(TraceError::Truncated);
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = TermId(self.data.get_u32_le());
+            let w = self.data.get_f32_le();
+            if !w.is_finite() || w == 0.0 {
+                return Err(TraceError::Corrupt("zero or non-finite weight"));
+            }
+            entries.push((t, w));
+        }
+        if entries.windows(2).any(|p| p[0].0 >= p[1].0) {
+            return Err(TraceError::Corrupt("terms not strictly sorted"));
+        }
+        let vector = SparseVector::from_sorted(entries);
+        Ok(Some(Arc::new(Message { id, author, ts, location, vector })))
+    }
+
+    /// Decode the whole remaining trace.
+    pub fn read_all(&mut self) -> Result<Vec<SharedMessage>, TraceError> {
+        let mut out = Vec::new();
+        while let Some(m) = self.next_message()? {
+            out.push(m);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{WorkloadConfig, WorkloadGenerator};
+
+    fn sample_messages(n: usize) -> Vec<SharedMessage> {
+        let mut g = WorkloadGenerator::with_poisson(WorkloadConfig::tiny(), 50.0);
+        (0..n).map(|_| g.next_message()).collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let msgs = sample_messages(25);
+        let mut w = TraceWriter::new();
+        for m in &msgs {
+            w.write(m);
+        }
+        assert_eq!(w.count(), 25);
+        let bytes = w.finish();
+        let mut r = TraceReader::new(bytes).unwrap();
+        let decoded = r.read_all().unwrap();
+        assert_eq!(decoded.len(), msgs.len());
+        for (a, b) in msgs.iter().zip(&decoded) {
+            assert_eq!(**a, **b);
+        }
+    }
+
+    #[test]
+    fn empty_trace_roundtrip() {
+        let bytes = TraceWriter::new().finish();
+        let mut r = TraceReader::new(bytes).unwrap();
+        assert_eq!(r.read_all().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = TraceReader::new(Bytes::from_static(b"NOPE0000")).unwrap_err();
+        assert_eq!(err, TraceError::BadMagic);
+        let err = TraceReader::new(Bytes::from_static(b"AD")).unwrap_err();
+        assert_eq!(err, TraceError::BadMagic);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(99);
+        buf.put_u16_le(0);
+        let err = TraceReader::new(buf.freeze()).unwrap_err();
+        assert_eq!(err, TraceError::BadVersion(99));
+    }
+
+    #[test]
+    fn truncated_record_detected() {
+        let msgs = sample_messages(2);
+        let mut w = TraceWriter::new();
+        for m in &msgs {
+            w.write(m);
+        }
+        let bytes = w.finish();
+        let cut = bytes.slice(0..bytes.len() - 3);
+        let mut r = TraceReader::new(cut).unwrap();
+        let res = r.read_all();
+        assert_eq!(res.unwrap_err(), TraceError::Truncated);
+    }
+
+    #[test]
+    fn corrupt_weight_detected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u16_le(0);
+        buf.put_u64_le(0); // id
+        buf.put_u32_le(0); // author
+        buf.put_u64_le(0); // ts
+        buf.put_u16_le(0); // location
+        buf.put_u16_le(1); // one term
+        buf.put_u32_le(7);
+        buf.put_f32_le(f32::NAN);
+        let mut r = TraceReader::new(buf.freeze()).unwrap();
+        assert!(matches!(r.next_message(), Err(TraceError::Corrupt(_))));
+    }
+
+    #[test]
+    fn unsorted_terms_detected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u16_le(0);
+        buf.put_u64_le(0);
+        buf.put_u32_le(0);
+        buf.put_u64_le(0);
+        buf.put_u16_le(0);
+        buf.put_u16_le(2);
+        buf.put_u32_le(9);
+        buf.put_f32_le(1.0);
+        buf.put_u32_le(3);
+        buf.put_f32_le(1.0);
+        let mut r = TraceReader::new(buf.freeze()).unwrap();
+        assert!(matches!(r.next_message(), Err(TraceError::Corrupt(_))));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(TraceError::BadMagic.to_string().contains("magic"));
+        assert!(TraceError::BadVersion(9).to_string().contains('9'));
+        assert!(TraceError::Truncated.to_string().contains("truncated"));
+    }
+}

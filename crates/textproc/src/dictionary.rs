@@ -1,0 +1,194 @@
+//! Term interning and corpus statistics.
+//!
+//! Every distinct processed term (post normalization, stop-word filtering,
+//! and stemming) is assigned a dense [`TermId`]. The recommendation engines
+//! never touch strings on their hot paths — only `TermId`s — which keeps
+//! sparse vectors compact and posting lists cache-friendly.
+//!
+//! The dictionary also tracks **document frequencies** (how many documents
+//! contain each term), which feed the IDF weighting in [`crate::tfidf`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier of an interned term.
+///
+/// `u32` keeps sparse-vector entries at 8 bytes; 4 billion distinct terms is
+/// far beyond any social-media vocabulary.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A growable term dictionary with document-frequency statistics.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    by_term: HashMap<Box<str>, TermId>,
+    terms: Vec<Box<str>>,
+    doc_freq: Vec<u32>,
+    num_docs: u64,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Intern `term`, returning its id (allocating a new id on first sight).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("vocabulary exceeds u32 ids"));
+        let boxed: Box<str> = Box::from(term);
+        self.by_term.insert(boxed.clone(), id);
+        self.terms.push(boxed);
+        self.doc_freq.push(0);
+        id
+    }
+
+    /// Look up a term without interning.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The text of a term id, if in range.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id.index()).map(|s| s.as_ref())
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Record that one more document has been observed, containing the
+    /// given *distinct* term ids (the caller de-duplicates; see
+    /// [`crate::pipeline::TextPipeline`]).
+    pub fn record_document<I: IntoIterator<Item = TermId>>(&mut self, distinct_terms: I) {
+        self.num_docs += 1;
+        for id in distinct_terms {
+            if let Some(df) = self.doc_freq.get_mut(id.index()) {
+                *df += 1;
+            }
+        }
+    }
+
+    /// Document frequency of a term (documents containing it).
+    pub fn doc_freq(&self, id: TermId) -> u32 {
+        self.doc_freq.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// Total number of documents recorded.
+    pub fn num_docs(&self) -> u64 {
+        self.num_docs
+    }
+
+    /// Iterate over `(TermId, term, doc_freq)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str, u32)> + '_ {
+        self.terms.iter().enumerate().map(|(i, t)| {
+            let id = TermId(i as u32);
+            (id, t.as_ref(), self.doc_freq[i])
+        })
+    }
+
+    /// Approximate resident bytes (for the memory experiments).
+    pub fn memory_bytes(&self) -> usize {
+        let strings: usize = self.terms.iter().map(|t| t.len()).sum();
+        // Each term is stored twice (map key + vec) plus map/vec overhead.
+        2 * strings
+            + self.terms.len() * (2 * std::mem::size_of::<Box<str>>() + std::mem::size_of::<u32>())
+            + self.by_term.capacity() * std::mem::size_of::<(Box<str>, TermId)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("run");
+        let b = d.intern("shoe");
+        assert_eq!(d.intern("run"), a);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_reversible() {
+        let mut d = Dictionary::new();
+        for (i, w) in ["a", "b", "c"].iter().enumerate() {
+            let id = d.intern(w);
+            assert_eq!(id, TermId(i as u32));
+            assert_eq!(d.term(id), Some(*w));
+        }
+        assert_eq!(d.term(TermId(99)), None);
+        assert_eq!(d.get("b"), Some(TermId(1)));
+        assert_eq!(d.get("zzz"), None);
+    }
+
+    #[test]
+    fn document_frequencies_accumulate() {
+        let mut d = Dictionary::new();
+        let run = d.intern("run");
+        let shoe = d.intern("shoe");
+        d.record_document([run, shoe]);
+        d.record_document([run]);
+        assert_eq!(d.doc_freq(run), 2);
+        assert_eq!(d.doc_freq(shoe), 1);
+        assert_eq!(d.num_docs(), 2);
+        assert_eq!(d.doc_freq(TermId(42)), 0);
+    }
+
+    #[test]
+    fn iter_yields_all_terms() {
+        let mut d = Dictionary::new();
+        let a = d.intern("alpha");
+        d.record_document([a]);
+        d.intern("beta");
+        let rows: Vec<_> = d.iter().map(|(id, t, df)| (id.0, t.to_string(), df)).collect();
+        assert_eq!(rows, vec![(0, "alpha".into(), 1), (1, "beta".into(), 0)]);
+    }
+
+    #[test]
+    fn memory_estimate_grows() {
+        let mut d = Dictionary::new();
+        let before = d.memory_bytes();
+        for i in 0..100 {
+            d.intern(&format!("term{i}"));
+        }
+        assert!(d.memory_bytes() > before);
+    }
+
+    #[test]
+    fn termid_formats() {
+        assert_eq!(format!("{:?}", TermId(7)), "t7");
+        assert_eq!(format!("{}", TermId(7)), "7");
+    }
+}

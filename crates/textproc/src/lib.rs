@@ -1,0 +1,44 @@
+//! # adcast-text — text-processing substrate for `adcast`
+//!
+//! Everything needed to turn raw microblog text (tweets, ad copy) into the
+//! weighted sparse term vectors consumed by the recommendation engines:
+//!
+//! * [`normalize`] — lossy ASCII-folding normalization tuned for social text,
+//! * [`tokenizer`] — tweet-aware tokenization (mentions, hashtags, URLs),
+//! * [`stopwords`] — embedded English stop-word list with user extensions,
+//! * [`stemmer`] — a from-scratch Porter stemmer,
+//! * [`dictionary`] — term interning and corpus document-frequency statistics,
+//! * [`ngrams`] — bigram phrase features and PMI collocation statistics,
+//! * [`tfidf`] — TF and IDF weighting schemes (including BM25 saturation),
+//! * [`sparse`] — sorted sparse vectors with the kernel operations used by
+//!   the scoring engines (dot, cosine, axpy-style merges, deltas),
+//! * [`pipeline`] — the end-to-end analyzer gluing the stages together.
+//!
+//! The crate is dependency-free (std only) because no NLP crates are
+//! available in the offline registry; see `DESIGN.md` §2.
+//!
+//! ## Example
+//!
+//! ```
+//! use adcast_text::pipeline::TextPipeline;
+//!
+//! let mut pipeline = TextPipeline::standard();
+//! let vector = pipeline.index_document("Running shoes and RUNNING gear! #running");
+//! // "and" is a stop word; "running"/"RUNNING"/#running stem to "run".
+//! assert_eq!(vector.len(), 3); // run, shoe, gear
+//! ```
+
+pub mod dictionary;
+pub mod ngrams;
+pub mod normalize;
+pub mod pipeline;
+pub mod sparse;
+pub mod stemmer;
+pub mod stopwords;
+pub mod tfidf;
+pub mod tokenizer;
+
+pub use dictionary::{Dictionary, TermId};
+pub use pipeline::{PipelineConfig, TextPipeline};
+pub use sparse::SparseVector;
+pub use tfidf::{IdfScheme, TfScheme, WeightingConfig};

@@ -1,0 +1,166 @@
+//! Bigram (phrase) features.
+//!
+//! Bag-of-words matching misses phrases: "running shoes" and "shoes …
+//! running a marathon" look identical. The pipeline can optionally emit
+//! **bigram terms** (`run▪shoe`) alongside unigrams so phrase-faithful
+//! ads outrank incidental co-occurrence.
+//!
+//! [`BigramCounter`] additionally tracks corpus-level collocation
+//! statistics (PMI — pointwise mutual information), which the workload
+//! tooling uses to report the strongest phrases in a corpus.
+
+use std::collections::HashMap;
+
+/// The separator joining the two stems of a bigram term. Chosen outside
+/// the tokenizer's alphabet so bigrams can never collide with unigrams.
+pub const BIGRAM_JOINER: char = '\u{25AA}'; // ▪
+
+/// Build the bigram term for two stems.
+pub fn bigram_term(a: &str, b: &str) -> String {
+    let mut s = String::with_capacity(a.len() + b.len() + BIGRAM_JOINER.len_utf8());
+    s.push_str(a);
+    s.push(BIGRAM_JOINER);
+    s.push_str(b);
+    s
+}
+
+/// Is this term a bigram produced by [`bigram_term`]?
+pub fn is_bigram(term: &str) -> bool {
+    term.contains(BIGRAM_JOINER)
+}
+
+/// Corpus-level bigram statistics with PMI scoring.
+#[derive(Debug, Default, Clone)]
+pub struct BigramCounter {
+    unigrams: HashMap<Box<str>, u64>,
+    bigrams: HashMap<(Box<str>, Box<str>), u64>,
+    total_tokens: u64,
+    total_pairs: u64,
+}
+
+impl BigramCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        BigramCounter::default()
+    }
+
+    /// Feed one document's token sequence (stems, in order).
+    pub fn observe<S: AsRef<str>>(&mut self, tokens: &[S]) {
+        for t in tokens {
+            *self.unigrams.entry(Box::from(t.as_ref())).or_insert(0) += 1;
+            self.total_tokens += 1;
+        }
+        for pair in tokens.windows(2) {
+            let key = (Box::from(pair[0].as_ref()), Box::from(pair[1].as_ref()));
+            *self.bigrams.entry(key).or_insert(0) += 1;
+            self.total_pairs += 1;
+        }
+    }
+
+    /// Number of distinct bigrams seen.
+    pub fn distinct_bigrams(&self) -> usize {
+        self.bigrams.len()
+    }
+
+    /// Pointwise mutual information of a pair:
+    /// `log2( P(a,b) / (P(a)·P(b)) )`; `None` when unseen.
+    pub fn pmi(&self, a: &str, b: &str) -> Option<f64> {
+        let pair = *self.bigrams.get(&(Box::from(a), Box::from(b)))?;
+        let ua = *self.unigrams.get(a)? as f64;
+        let ub = *self.unigrams.get(b)? as f64;
+        if self.total_pairs == 0 || self.total_tokens == 0 {
+            return None;
+        }
+        let p_pair = pair as f64 / self.total_pairs as f64;
+        let p_a = ua / self.total_tokens as f64;
+        let p_b = ub / self.total_tokens as f64;
+        Some((p_pair / (p_a * p_b)).log2())
+    }
+
+    /// The `n` strongest collocations with at least `min_count`
+    /// occurrences, sorted by PMI descending (ties by count, then
+    /// lexicographic for determinism).
+    pub fn top_collocations(&self, n: usize, min_count: u64) -> Vec<(String, String, f64)> {
+        let mut scored: Vec<(String, String, f64, u64)> = self
+            .bigrams
+            .iter()
+            .filter(|(_, &c)| c >= min_count)
+            .filter_map(|((a, b), &c)| {
+                self.pmi(a, b).map(|pmi| (a.to_string(), b.to_string(), pmi, c))
+            })
+            .collect();
+        scored.sort_by(|x, y| {
+            y.2.total_cmp(&x.2)
+                .then(y.3.cmp(&x.3))
+                .then_with(|| (&x.0, &x.1).cmp(&(&y.0, &y.1)))
+        });
+        scored.truncate(n);
+        scored.into_iter().map(|(a, b, pmi, _)| (a, b, pmi)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigram_terms_never_collide_with_unigrams() {
+        let t = bigram_term("run", "shoe");
+        assert!(is_bigram(&t));
+        assert!(!is_bigram("runshoe"));
+        assert_ne!(t, "runshoe");
+        assert_eq!(t, format!("run{BIGRAM_JOINER}shoe"));
+    }
+
+    #[test]
+    fn counter_tracks_pairs() {
+        let mut c = BigramCounter::new();
+        c.observe(&["a", "b", "c"]);
+        c.observe(&["a", "b"]);
+        assert_eq!(c.distinct_bigrams(), 2); // (a,b), (b,c)
+        assert!(c.pmi("a", "b").is_some());
+        assert!(c.pmi("c", "a").is_none(), "never adjacent");
+        assert!(c.pmi("z", "q").is_none());
+    }
+
+    #[test]
+    fn pmi_separates_collocations_from_chance() {
+        let mut c = BigramCounter::new();
+        // "hot dog" always together; "the" everywhere.
+        for _ in 0..50 {
+            c.observe(&["the", "hot", "dog", "the", "cat"]);
+        }
+        for _ in 0..50 {
+            c.observe(&["the", "dog", "the", "bird"]);
+        }
+        let hot_dog = c.pmi("hot", "dog").expect("seen");
+        let the_dog = c.pmi("the", "dog").expect("seen");
+        assert!(
+            hot_dog > the_dog,
+            "true collocation ({hot_dog:.2}) must out-score chance ({the_dog:.2})"
+        );
+    }
+
+    #[test]
+    fn top_collocations_sorted_and_filtered() {
+        let mut c = BigramCounter::new();
+        for _ in 0..20 {
+            c.observe(&["new", "york", "city"]);
+        }
+        c.observe(&["rare", "pair"]);
+        let top = c.top_collocations(10, 2);
+        assert!(!top.is_empty());
+        assert!(top.iter().all(|(a, b, _)| !(a == "rare" && b == "pair")), "min_count filters");
+        for w in top.windows(2) {
+            assert!(w[0].2 >= w[1].2, "sorted by PMI");
+        }
+    }
+
+    #[test]
+    fn empty_counter_is_sane() {
+        let c = BigramCounter::new();
+        assert_eq!(c.distinct_bigrams(), 0);
+        assert!(c.top_collocations(5, 1).is_empty());
+        assert!(c.pmi("a", "b").is_none());
+    }
+}

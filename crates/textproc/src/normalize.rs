@@ -1,0 +1,162 @@
+//! Lossy text normalization tuned for social-media text.
+//!
+//! The normalizer lowercases, folds a practical subset of Latin-1 /
+//! Latin-Extended-A accented characters to ASCII, collapses typographic
+//! punctuation (curly quotes, dashes, ellipses) to their ASCII forms, and
+//! squeezes repeated letters ("soooo" → "soo") which is a common social-text
+//! trick that dramatically reduces vocabulary blow-up on informal text.
+//!
+//! Normalization is *lossy by design*: the output feeds a bag-of-words
+//! recommender, not a renderer.
+
+/// Fold one character to zero or more ASCII characters.
+///
+/// Returns `None` when the character passes through unchanged (already
+/// lowercase ASCII) so callers can avoid allocation in the common case.
+fn fold_char(c: char) -> Fold {
+    if c.is_ascii_lowercase() || c.is_ascii_digit() {
+        return Fold::Keep;
+    }
+    if c.is_ascii_uppercase() {
+        return Fold::One(c.to_ascii_lowercase());
+    }
+    match c {
+        // Latin-1 + Latin Extended-A vowels.
+        'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' | 'ā' | 'ă' | 'ą' | 'À' | 'Á' | 'Â' | 'Ã' | 'Ä'
+        | 'Å' | 'Ā' | 'Ă' | 'Ą' => Fold::One('a'),
+        'è' | 'é' | 'ê' | 'ë' | 'ē' | 'ĕ' | 'ė' | 'ę' | 'ě' | 'È' | 'É' | 'Ê' | 'Ë' | 'Ē'
+        | 'Ĕ' | 'Ė' | 'Ę' | 'Ě' => Fold::One('e'),
+        'ì' | 'í' | 'î' | 'ï' | 'ĩ' | 'ī' | 'ĭ' | 'į' | 'ı' | 'Ì' | 'Í' | 'Î' | 'Ï' | 'Ĩ'
+        | 'Ī' | 'Ĭ' | 'Į' | 'İ' => Fold::One('i'),
+        'ò' | 'ó' | 'ô' | 'õ' | 'ö' | 'ø' | 'ō' | 'ŏ' | 'ő' | 'Ò' | 'Ó' | 'Ô' | 'Õ' | 'Ö'
+        | 'Ø' | 'Ō' | 'Ŏ' | 'Ő' => Fold::One('o'),
+        'ù' | 'ú' | 'û' | 'ü' | 'ũ' | 'ū' | 'ŭ' | 'ů' | 'ű' | 'ų' | 'Ù' | 'Ú' | 'Û' | 'Ü'
+        | 'Ũ' | 'Ū' | 'Ŭ' | 'Ů' | 'Ű' | 'Ų' => Fold::One('u'),
+        'ý' | 'ÿ' | 'Ý' | 'Ÿ' => Fold::One('y'),
+        // Consonants.
+        'ç' | 'ć' | 'ĉ' | 'ċ' | 'č' | 'Ç' | 'Ć' | 'Ĉ' | 'Ċ' | 'Č' => Fold::One('c'),
+        'ñ' | 'ń' | 'ņ' | 'ň' | 'Ñ' | 'Ń' | 'Ņ' | 'Ň' => Fold::One('n'),
+        'š' | 'ś' | 'ŝ' | 'ş' | 'Š' | 'Ś' | 'Ŝ' | 'Ş' => Fold::One('s'),
+        'ž' | 'ź' | 'ż' | 'Ž' | 'Ź' | 'Ż' => Fold::One('z'),
+        'ğ' | 'ĝ' | 'ġ' | 'ģ' | 'Ğ' | 'Ĝ' | 'Ġ' | 'Ģ' => Fold::One('g'),
+        'ł' | 'ĺ' | 'ļ' | 'ľ' | 'Ł' | 'Ĺ' | 'Ļ' | 'Ľ' => Fold::One('l'),
+        'ř' | 'ŕ' | 'ŗ' | 'Ř' | 'Ŕ' | 'Ŗ' => Fold::One('r'),
+        'ť' | 'ţ' | 'Ť' | 'Ţ' => Fold::One('t'),
+        'ď' | 'Ď' | 'đ' | 'Đ' => Fold::One('d'),
+        'ß' => Fold::Two('s', 's'),
+        'æ' | 'Æ' => Fold::Two('a', 'e'),
+        'œ' | 'Œ' => Fold::Two('o', 'e'),
+        // Typographic punctuation to ASCII.
+        '\u{2018}' | '\u{2019}' | '\u{201A}' | '\u{2032}' => Fold::One('\''),
+        '\u{201C}' | '\u{201D}' | '\u{201E}' | '\u{2033}' => Fold::One('"'),
+        '\u{2013}' | '\u{2014}' | '\u{2015}' | '\u{2212}' => Fold::One('-'),
+        '\u{2026}' => Fold::One('.'),
+        '\u{00A0}' | '\u{2009}' | '\u{200A}' | '\u{2002}' | '\u{2003}' => Fold::One(' '),
+        // Everything else passes through; the tokenizer decides what is a
+        // word character. Emoji and CJK survive here and form their own
+        // tokens downstream.
+        _ => Fold::Keep,
+    }
+}
+
+enum Fold {
+    Keep,
+    One(char),
+    Two(char, char),
+}
+
+/// Normalize `input` into `out` (cleared first).
+///
+/// Reusing the output buffer keeps the hot tokenization path allocation-free;
+/// see the perf notes in `DESIGN.md`.
+pub fn normalize_into(input: &str, out: &mut String) {
+    out.clear();
+    out.reserve(input.len());
+    // Squeeze runs of 3+ identical letters down to 2 ("sooooo" -> "soo").
+    let mut prev: Option<char> = None;
+    let mut run = 0usize;
+    let mut push = |c: char, out: &mut String| {
+        if Some(c) == prev && c.is_ascii_alphabetic() {
+            run += 1;
+            if run >= 2 {
+                return;
+            }
+        } else {
+            prev = Some(c);
+            run = 0;
+        }
+        out.push(c);
+    };
+    for c in input.chars() {
+        match fold_char(c) {
+            Fold::Keep => push(c, out),
+            Fold::One(a) => push(a, out),
+            Fold::Two(a, b) => {
+                push(a, out);
+                push(b, out);
+            }
+        }
+    }
+}
+
+/// Convenience wrapper around [`normalize_into`] that allocates.
+pub fn normalize(input: &str) -> String {
+    let mut out = String::new();
+    normalize_into(input, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_ascii() {
+        assert_eq!(normalize("HeLLo World"), "hello world");
+    }
+
+    #[test]
+    fn folds_accents() {
+        assert_eq!(normalize("Café Zürich"), "cafe zurich");
+        assert_eq!(normalize("naïve façade"), "naive facade");
+    }
+
+    #[test]
+    fn folds_ligatures_and_sharp_s() {
+        assert_eq!(normalize("straße"), "strasse");
+        assert_eq!(normalize("Œuvre"), "oeuvre");
+        assert_eq!(normalize("Ærø"), "aero");
+    }
+
+    #[test]
+    fn folds_typographic_punctuation() {
+        assert_eq!(normalize("it\u{2019}s \u{201C}fine\u{201D}"), "it's \"fine\"");
+        assert_eq!(normalize("a\u{2014}b"), "a-b");
+    }
+
+    #[test]
+    fn squeezes_letter_runs() {
+        assert_eq!(normalize("soooooo gooood"), "soo good");
+        // Runs of exactly two are preserved (legitimate double letters).
+        assert_eq!(normalize("bookkeeper"), "bookkeeper");
+        // Digits are never squeezed.
+        assert_eq!(normalize("10000"), "10000");
+    }
+
+    #[test]
+    fn passes_through_unknown_scripts() {
+        assert_eq!(normalize("日本語 ok"), "日本語 ok");
+    }
+
+    #[test]
+    fn normalize_into_reuses_buffer() {
+        let mut buf = String::from("stale contents");
+        normalize_into("New", &mut buf);
+        assert_eq!(buf, "new");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(normalize(""), "");
+    }
+}

@@ -1,0 +1,414 @@
+//! Sorted sparse vectors — the workhorse representation of messages, ads,
+//! and user contexts.
+//!
+//! A [`SparseVector`] stores `(TermId, f32)` entries sorted by term id with
+//! no duplicates and no explicit zeros. All kernel operations used by the
+//! scoring engines live here: dot products (merge-join), cosine similarity,
+//! scaled accumulation (`axpy`), deltas, and top-component extraction.
+//!
+//! Invariants (checked by `debug_assert!` and enforced by every
+//! constructor):
+//!
+//! 1. entries sorted strictly by `TermId`,
+//! 2. no entry has weight exactly `0.0` or a non-finite weight,
+//! 3. the cached L2 norm is `None` or consistent with the entries.
+
+use crate::dictionary::TermId;
+
+/// A sorted sparse vector over interned terms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVector {
+    entries: Vec<(TermId, f32)>,
+}
+
+impl SparseVector {
+    /// The empty vector.
+    pub fn new() -> Self {
+        SparseVector::default()
+    }
+
+    /// Build from unsorted `(term, weight)` pairs, combining duplicate
+    /// terms by summation and dropping zero/non-finite results.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (TermId, f32)>) -> Self {
+        let mut entries: Vec<(TermId, f32)> = pairs.into_iter().collect();
+        entries.sort_unstable_by_key(|&(t, _)| t);
+        let mut out: Vec<(TermId, f32)> = Vec::with_capacity(entries.len());
+        for (t, w) in entries {
+            match out.last_mut() {
+                Some((lt, lw)) if *lt == t => *lw += w,
+                _ => out.push((t, w)),
+            }
+        }
+        out.retain(|&(_, w)| w != 0.0 && w.is_finite());
+        let v = SparseVector { entries: out };
+        v.debug_check();
+        v
+    }
+
+    /// Build from entries already sorted, unique, and non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the invariants are violated.
+    pub fn from_sorted(entries: Vec<(TermId, f32)>) -> Self {
+        let v = SparseVector { entries };
+        v.debug_check();
+        v
+    }
+
+    fn debug_check(&self) {
+        debug_assert!(
+            self.entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be strictly sorted by term id"
+        );
+        debug_assert!(
+            self.entries.iter().all(|&(_, w)| w != 0.0 && w.is_finite()),
+            "weights must be finite and non-zero"
+        );
+    }
+
+    /// Number of non-zero entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The sorted entries.
+    pub fn entries(&self) -> &[(TermId, f32)] {
+        &self.entries
+    }
+
+    /// Iterate over `(TermId, weight)`.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, f32)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The weight of `term`, or 0.0 if absent. O(log n).
+    pub fn get(&self, term: TermId) -> f32 {
+        match self.entries.binary_search_by_key(&term, |&(t, _)| t) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Set the weight of `term` (removing the entry when `weight == 0.0`).
+    pub fn set(&mut self, term: TermId, weight: f32) {
+        match self.entries.binary_search_by_key(&term, |&(t, _)| t) {
+            Ok(i) => {
+                if weight == 0.0 {
+                    self.entries.remove(i);
+                } else {
+                    self.entries[i].1 = weight;
+                }
+            }
+            Err(i) => {
+                if weight != 0.0 {
+                    self.entries.insert(i, (term, weight));
+                }
+            }
+        }
+    }
+
+    /// Add `delta` to the weight of `term`.
+    pub fn add(&mut self, term: TermId, delta: f32) {
+        match self.entries.binary_search_by_key(&term, |&(t, _)| t) {
+            Ok(i) => {
+                let w = self.entries[i].1 + delta;
+                // Treat tiny residues as exact zeros so repeated add/remove
+                // cycles cannot leak entries.
+                if w.abs() < 1e-12 {
+                    self.entries.remove(i);
+                } else {
+                    self.entries[i].1 = w;
+                }
+            }
+            Err(i) => {
+                if delta != 0.0 {
+                    self.entries.insert(i, (term, delta));
+                }
+            }
+        }
+    }
+
+    /// `self += alpha * other` via a single merge pass.
+    pub fn axpy(&mut self, alpha: f32, other: &SparseVector) {
+        if alpha == 0.0 || other.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let mut a = self.entries.iter().copied().peekable();
+        let mut b = other.entries.iter().copied().peekable();
+        loop {
+            match (a.peek().copied(), b.peek().copied()) {
+                (Some((ta, wa)), Some((tb, wb))) => {
+                    if ta < tb {
+                        merged.push((ta, wa));
+                        a.next();
+                    } else if tb < ta {
+                        merged.push((tb, alpha * wb));
+                        b.next();
+                    } else {
+                        let w = wa + alpha * wb;
+                        if w.abs() >= 1e-12 {
+                            merged.push((ta, w));
+                        }
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(e), None) => {
+                    merged.push(e);
+                    a.next();
+                }
+                (None, Some((tb, wb))) => {
+                    merged.push((tb, alpha * wb));
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        // `alpha * w` can underflow to zero for extreme scales; keep the
+        // no-explicit-zeros invariant airtight.
+        merged.retain(|&(_, w)| w != 0.0 && w.is_finite());
+        self.entries = merged;
+        self.debug_check();
+    }
+
+    /// Dot product via merge join. O(|self| + |other|).
+    pub fn dot(&self, other: &SparseVector) -> f32 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let (a, b) = (&self.entries, &other.entries);
+        let mut acc = 0.0f32;
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += a[i].1 * b[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.entries.iter().map(|&(_, w)| (w as f64) * (w as f64)).sum::<f64>().sqrt() as f32
+    }
+
+    /// Cosine similarity in `[−1, 1]`; 0.0 when either vector is empty.
+    pub fn cosine(&self, other: &SparseVector) -> f32 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.dot(other) / denom
+    }
+
+    /// Scale every weight by `alpha` (removing all entries when `alpha == 0`).
+    pub fn scale(&mut self, alpha: f32) {
+        if alpha == 0.0 {
+            self.entries.clear();
+            return;
+        }
+        for (_, w) in &mut self.entries {
+            *w *= alpha;
+        }
+    }
+
+    /// `self − other` as a new vector (used for window-slide deltas).
+    pub fn delta_from(&self, other: &SparseVector) -> SparseVector {
+        let mut out = self.clone();
+        out.axpy(-1.0, other);
+        out
+    }
+
+    /// L1 norm (sum of absolute weights).
+    pub fn l1(&self) -> f32 {
+        self.entries.iter().map(|&(_, w)| w.abs()).sum()
+    }
+
+    /// The `n` largest-weight components, sorted descending by weight.
+    pub fn top_components(&self, n: usize) -> Vec<(TermId, f32)> {
+        let mut v: Vec<_> = self.entries.clone();
+        v.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Normalize to unit L2 norm (no-op for the empty vector).
+    pub fn normalized(&self) -> SparseVector {
+        let n = self.norm();
+        if n == 0.0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.scale(1.0 / n);
+        out
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Approximate resident bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.entries.capacity() * std::mem::size_of::<(TermId, f32)>()
+    }
+}
+
+impl FromIterator<(TermId, f32)> for SparseVector {
+    fn from_iter<I: IntoIterator<Item = (TermId, f32)>>(iter: I) -> Self {
+        SparseVector::from_pairs(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a SparseVector {
+    type Item = (TermId, f32);
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, (TermId, f32)>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)))
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_merges() {
+        let a = v(&[(3, 1.0), (1, 2.0), (3, 0.5)]);
+        assert_eq!(a.entries(), &[(TermId(1), 2.0), (TermId(3), 1.5)]);
+    }
+
+    #[test]
+    fn from_pairs_drops_zeros_and_nonfinite() {
+        let a = SparseVector::from_pairs([
+            (TermId(0), 0.0),
+            (TermId(1), f32::NAN),
+            (TermId(2), f32::INFINITY),
+            (TermId(3), 1.0),
+            (TermId(4), -1.0),
+            (TermId(4), 1.0), // cancels to zero
+        ]);
+        assert_eq!(a.entries(), &[(TermId(3), 1.0)]);
+    }
+
+    #[test]
+    fn get_set_add() {
+        let mut a = v(&[(1, 1.0), (5, 2.0)]);
+        assert_eq!(a.get(TermId(1)), 1.0);
+        assert_eq!(a.get(TermId(2)), 0.0);
+        a.set(TermId(2), 3.0);
+        assert_eq!(a.get(TermId(2)), 3.0);
+        a.set(TermId(2), 0.0);
+        assert_eq!(a.get(TermId(2)), 0.0);
+        assert_eq!(a.len(), 2);
+        a.add(TermId(5), -2.0);
+        assert_eq!(a.len(), 1, "exact cancellation removes the entry");
+        a.add(TermId(9), 0.0);
+        assert_eq!(a.len(), 1, "zero delta on absent term is a no-op");
+    }
+
+    #[test]
+    fn dot_merge_join() {
+        let a = v(&[(1, 1.0), (2, 2.0), (4, 3.0)]);
+        let b = v(&[(2, 5.0), (3, 7.0), (4, 1.0)]);
+        assert_eq!(a.dot(&b), 2.0 * 5.0 + 3.0 * 1.0);
+        assert_eq!(b.dot(&a), a.dot(&b));
+        assert_eq!(a.dot(&SparseVector::new()), 0.0);
+    }
+
+    #[test]
+    fn cosine_bounds_and_identity() {
+        let a = v(&[(1, 3.0), (2, 4.0)]);
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-6);
+        let b = v(&[(3, 1.0)]);
+        assert_eq!(a.cosine(&b), 0.0, "disjoint supports are orthogonal");
+        assert_eq!(a.cosine(&SparseVector::new()), 0.0);
+    }
+
+    #[test]
+    fn axpy_merges_and_cancels() {
+        let mut a = v(&[(1, 1.0), (2, 2.0)]);
+        let b = v(&[(2, 2.0), (3, 3.0)]);
+        a.axpy(-1.0, &b);
+        assert_eq!(a.entries(), &[(TermId(1), 1.0), (TermId(3), -3.0)]);
+        a.axpy(0.0, &b);
+        assert_eq!(a.len(), 2, "alpha=0 is a no-op");
+    }
+
+    #[test]
+    fn axpy_equivalent_to_elementwise() {
+        let mut a = v(&[(1, 1.0), (4, 2.0), (9, -1.5)]);
+        let b = v(&[(1, 0.5), (2, 1.0), (9, 3.0)]);
+        let mut elementwise = a.clone();
+        for (t, w) in b.iter() {
+            elementwise.add(t, 2.5 * w);
+        }
+        a.axpy(2.5, &b);
+        assert_eq!(a.entries().len(), elementwise.entries().len());
+        for (x, y) in a.iter().zip(elementwise.iter()) {
+            assert_eq!(x.0, y.0);
+            assert!((x.1 - y.1).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn norm_and_l1() {
+        let a = v(&[(1, 3.0), (2, -4.0)]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+        assert!((a.l1() - 7.0).abs() < 1e-6);
+        assert_eq!(SparseVector::new().norm(), 0.0);
+    }
+
+    #[test]
+    fn scale_and_normalized() {
+        let mut a = v(&[(1, 3.0), (2, 4.0)]);
+        a.scale(2.0);
+        assert_eq!(a.get(TermId(1)), 6.0);
+        let unit = a.normalized();
+        assert!((unit.norm() - 1.0).abs() < 1e-6);
+        a.scale(0.0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn delta_from() {
+        let new = v(&[(1, 2.0), (2, 1.0)]);
+        let old = v(&[(2, 1.0), (3, 4.0)]);
+        let d = new.delta_from(&old);
+        assert_eq!(d.entries(), &[(TermId(1), 2.0), (TermId(3), -4.0)]);
+    }
+
+    #[test]
+    fn top_components_ordering() {
+        let a = v(&[(1, 0.5), (2, 2.0), (3, 1.0), (4, 2.0)]);
+        let top = a.top_components(3);
+        // Ties broken by term id for determinism.
+        assert_eq!(top, vec![(TermId(2), 2.0), (TermId(4), 2.0), (TermId(3), 1.0)]);
+        assert_eq!(a.top_components(0), vec![]);
+        assert_eq!(a.top_components(10).len(), 4);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let a: SparseVector = [(TermId(2), 1.0), (TermId(1), 1.0)].into_iter().collect();
+        assert_eq!(a.entries()[0].0, TermId(1));
+        let round: Vec<_> = (&a).into_iter().collect();
+        assert_eq!(round.len(), 2);
+    }
+}

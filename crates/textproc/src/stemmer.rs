@@ -1,0 +1,456 @@
+//! A from-scratch implementation of the classic Porter stemming algorithm
+//! (M. F. Porter, "An algorithm for suffix stripping", 1980).
+//!
+//! Works on lowercase ASCII words; words containing non-ASCII characters
+//! are returned unchanged (the tokenizer already folded most Latin accents
+//! to ASCII, so in practice only non-Latin scripts pass through).
+//!
+//! The implementation follows the original paper's step structure (1a, 1b,
+//! 1b-cleanup, 1c, 2, 3, 4, 5a, 5b) plus the widely-adopted `logi → log`
+//! revision to step 2.
+
+/// Stems `word` in place inside a reusable buffer and returns the stem as
+/// a `&str` borrow of that buffer.
+///
+/// The stateless convenience entry point is [`stem`].
+#[derive(Debug, Default, Clone)]
+pub struct Stemmer {
+    buf: Vec<u8>,
+}
+
+/// Stem a single word, allocating a fresh `String`.
+pub fn stem(word: &str) -> String {
+    let mut s = Stemmer::default();
+    s.stem(word).to_string()
+}
+
+impl Stemmer {
+    /// Create a stemmer with an empty internal buffer.
+    pub fn new() -> Self {
+        Stemmer::default()
+    }
+
+    /// Stem `word`, returning a borrow of the internal buffer.
+    pub fn stem(&mut self, word: &str) -> &str {
+        if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+            // Too short to stem, or not a plain lowercase ASCII word
+            // (apostrophes, digits, other scripts): leave unchanged.
+            self.buf.clear();
+            self.buf.extend_from_slice(word.as_bytes());
+            return std::str::from_utf8(&self.buf).expect("input was valid UTF-8");
+        }
+        self.buf.clear();
+        self.buf.extend_from_slice(word.as_bytes());
+        self.step_1a();
+        self.step_1b();
+        self.step_1c();
+        self.step_2();
+        self.step_3();
+        self.step_4();
+        self.step_5a();
+        self.step_5b();
+        std::str::from_utf8(&self.buf).expect("stemming preserves ASCII")
+    }
+
+    // --- Porter machinery -------------------------------------------------
+
+    /// Is the letter at `i` a consonant (per Porter's definition)?
+    fn is_consonant(&self, i: usize) -> bool {
+        match self.buf[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => i == 0 || !self.is_consonant(i - 1),
+            _ => true,
+        }
+    }
+
+    /// The *measure* m of `buf[..end]`: the number of VC sequences in the
+    /// form [C](VC)^m[V].
+    fn measure(&self, end: usize) -> usize {
+        let mut m = 0;
+        let mut i = 0;
+        // Skip initial consonants.
+        while i < end && self.is_consonant(i) {
+            i += 1;
+        }
+        loop {
+            // Skip vowels.
+            while i < end && !self.is_consonant(i) {
+                i += 1;
+            }
+            if i >= end {
+                return m;
+            }
+            // Skip consonants — a full VC sequence has now been seen.
+            while i < end && self.is_consonant(i) {
+                i += 1;
+            }
+            m += 1;
+        }
+    }
+
+    /// Does `buf[..end]` contain a vowel?
+    fn has_vowel(&self, end: usize) -> bool {
+        (0..end).any(|i| !self.is_consonant(i))
+    }
+
+    /// Does `buf[..end]` end with a double consonant?
+    fn ends_double_consonant(&self, end: usize) -> bool {
+        end >= 2 && self.buf[end - 1] == self.buf[end - 2] && self.is_consonant(end - 1)
+    }
+
+    /// Does `buf[..end]` end consonant-vowel-consonant, where the final
+    /// consonant is not w, x, or y? (Porter's `*o` condition.)
+    fn ends_cvc(&self, end: usize) -> bool {
+        if end < 3 {
+            return false;
+        }
+        self.is_consonant(end - 3)
+            && !self.is_consonant(end - 2)
+            && self.is_consonant(end - 1)
+            && !matches!(self.buf[end - 1], b'w' | b'x' | b'y')
+    }
+
+    fn ends_with(&self, suffix: &str) -> bool {
+        self.buf.ends_with(suffix.as_bytes())
+    }
+
+    /// Length of the stem if `suffix` were removed.
+    fn stem_len(&self, suffix: &str) -> usize {
+        self.buf.len() - suffix.len()
+    }
+
+    /// Replace a trailing `suffix` with `replacement` unconditionally.
+    fn set_suffix(&mut self, suffix: &str, replacement: &str) {
+        let at = self.stem_len(suffix);
+        self.buf.truncate(at);
+        self.buf.extend_from_slice(replacement.as_bytes());
+    }
+
+    /// If the word ends with `suffix` and the remaining stem has measure
+    /// greater than `min_m`, replace the suffix. Returns true when the
+    /// suffix *matched* (even if the measure condition failed), so rule
+    /// lists can stop at the first matching suffix as Porter specifies.
+    fn replace_if_m(&mut self, suffix: &str, replacement: &str, min_m: usize) -> bool {
+        if !self.ends_with(suffix) {
+            return false;
+        }
+        let at = self.stem_len(suffix);
+        if self.measure(at) > min_m {
+            self.set_suffix(suffix, replacement);
+        }
+        true
+    }
+
+    // --- Steps -------------------------------------------------------------
+
+    fn step_1a(&mut self) {
+        if self.ends_with("sses") {
+            self.set_suffix("sses", "ss");
+        } else if self.ends_with("ies") {
+            self.set_suffix("ies", "i");
+        } else if self.ends_with("ss") {
+            // keep
+        } else if self.ends_with("s") {
+            self.set_suffix("s", "");
+        }
+    }
+
+    fn step_1b(&mut self) {
+        if self.ends_with("eed") {
+            if self.measure(self.stem_len("eed")) > 0 {
+                self.set_suffix("eed", "ee");
+            }
+            return;
+        }
+        let removed = if self.ends_with("ed") && self.has_vowel(self.stem_len("ed")) {
+            self.set_suffix("ed", "");
+            true
+        } else if self.ends_with("ing") && self.has_vowel(self.stem_len("ing")) {
+            self.set_suffix("ing", "");
+            true
+        } else {
+            false
+        };
+        if !removed {
+            return;
+        }
+        // Cleanup after removing -ed / -ing.
+        if self.ends_with("at") {
+            self.set_suffix("at", "ate");
+        } else if self.ends_with("bl") {
+            self.set_suffix("bl", "ble");
+        } else if self.ends_with("iz") {
+            self.set_suffix("iz", "ize");
+        } else if self.ends_double_consonant(self.buf.len())
+            && !matches!(self.buf[self.buf.len() - 1], b'l' | b's' | b'z')
+        {
+            self.buf.pop();
+        } else if self.measure(self.buf.len()) == 1 && self.ends_cvc(self.buf.len()) {
+            self.buf.push(b'e');
+        }
+    }
+
+    fn step_1c(&mut self) {
+        if self.ends_with("y") && self.has_vowel(self.stem_len("y")) {
+            let at = self.buf.len() - 1;
+            self.buf[at] = b'i';
+        }
+    }
+
+    fn step_2(&mut self) {
+        // (m > 0) suffix replacements; first match wins.
+        const RULES: &[(&str, &str)] = &[
+            ("ational", "ate"),
+            ("tional", "tion"),
+            ("enci", "ence"),
+            ("anci", "ance"),
+            ("izer", "ize"),
+            ("abli", "able"),
+            ("alli", "al"),
+            ("entli", "ent"),
+            ("eli", "e"),
+            ("ousli", "ous"),
+            ("ization", "ize"),
+            ("ation", "ate"),
+            ("ator", "ate"),
+            ("alism", "al"),
+            ("iveness", "ive"),
+            ("fulness", "ful"),
+            ("ousness", "ous"),
+            ("aliti", "al"),
+            ("iviti", "ive"),
+            ("biliti", "ble"),
+            ("logi", "log"),
+        ];
+        for (suffix, replacement) in RULES {
+            if self.replace_if_m(suffix, replacement, 0) {
+                return;
+            }
+        }
+    }
+
+    fn step_3(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("icate", "ic"),
+            ("ative", ""),
+            ("alize", "al"),
+            ("iciti", "ic"),
+            ("ical", "ic"),
+            ("ful", ""),
+            ("ness", ""),
+        ];
+        for (suffix, replacement) in RULES {
+            if self.replace_if_m(suffix, replacement, 0) {
+                return;
+            }
+        }
+    }
+
+    fn step_4(&mut self) {
+        const RULES: &[&str] = &[
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
+            "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+        ];
+        for suffix in RULES {
+            if self.ends_with(suffix) {
+                let at = self.stem_len(suffix);
+                if self.measure(at) > 1 {
+                    // -ion only deletes after s or t.
+                    if *suffix == "ion" && !matches!(self.buf.get(at.wrapping_sub(1)), Some(b's') | Some(b't')) {
+                        return;
+                    }
+                    self.buf.truncate(at);
+                }
+                return;
+            }
+        }
+    }
+
+    fn step_5a(&mut self) {
+        if self.ends_with("e") {
+            let at = self.stem_len("e");
+            let m = self.measure(at);
+            if m > 1 || (m == 1 && !self.ends_cvc(at)) {
+                self.buf.truncate(at);
+            }
+        }
+    }
+
+    fn step_5b(&mut self) {
+        let len = self.buf.len();
+        if len >= 2
+            && self.buf[len - 1] == b'l'
+            && self.ends_double_consonant(len)
+            && self.measure(len) > 1
+        {
+            self.buf.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(pairs: &[(&str, &str)]) {
+        let mut s = Stemmer::new();
+        for (input, expected) in pairs {
+            assert_eq!(s.stem(input), *expected, "stem({input:?})");
+        }
+    }
+
+    #[test]
+    fn step_1a_examples() {
+        check(&[
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+        ]);
+    }
+
+    #[test]
+    fn step_1b_examples() {
+        check(&[
+            ("feed", "feed"),
+            ("agreed", "agre"), // agree -> step 5a drops the final e
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+        ]);
+    }
+
+    #[test]
+    fn step_1c_examples() {
+        check(&[("happy", "happi"), ("sky", "sky")]);
+    }
+
+    #[test]
+    fn step_2_examples() {
+        check(&[
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+        ]);
+    }
+
+    #[test]
+    fn step_3_examples() {
+        check(&[
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+        ]);
+    }
+
+    #[test]
+    fn step_4_examples() {
+        check(&[
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+        ]);
+    }
+
+    #[test]
+    fn step_5_examples() {
+        check(&[
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ]);
+    }
+
+    #[test]
+    fn social_text_words() {
+        check(&[
+            ("running", "run"),
+            ("shoes", "shoe"),
+            ("volleyball", "volleybal"),
+            ("discounts", "discount"),
+            ("advertising", "advertis"),
+            ("recommendations", "recommend"),
+        ]);
+    }
+
+    #[test]
+    fn short_and_nonascii_unchanged() {
+        check(&[("ab", "ab"), ("a", "a"), ("", "")]);
+        let mut s = Stemmer::new();
+        assert_eq!(s.stem("日本語"), "日本語");
+        assert_eq!(s.stem("don't"), "don't");
+        assert_eq!(s.stem("abc123"), "abc123");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_samples() {
+        let words = [
+            "relational", "hopefulness", "running", "flies", "happiness", "generalizations",
+            "oscillators", "ties", "agreement",
+        ];
+        let mut s = Stemmer::new();
+        for w in words {
+            let once = s.stem(w).to_string();
+            let twice = stem(&once);
+            assert_eq!(once, twice, "stem not idempotent for {w}");
+        }
+    }
+
+    #[test]
+    fn buffer_reuse_is_safe() {
+        let mut s = Stemmer::new();
+        assert_eq!(s.stem("generalizations"), "gener");
+        assert_eq!(s.stem("cat"), "cat");
+        assert_eq!(s.stem("running"), "run");
+    }
+}

@@ -1,0 +1,163 @@
+//! Stop-word filtering.
+//!
+//! Ships an embedded English stop-word list (a superset of the classic
+//! SMART/Snowball lists trimmed to terms that actually occur in social
+//! text) plus room for caller extensions — e.g. platform boilerplate like
+//! "rt" (retweet) which is included by default.
+
+use std::collections::HashSet;
+
+/// The embedded default English stop words.
+///
+/// Kept sorted for readability; membership is via hash set at runtime.
+pub const DEFAULT_STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "ago", "ain", "all", "also", "am", "an",
+    "and", "any", "are", "aren", "as", "at", "back", "be", "because", "been", "before", "being",
+    "below", "between", "both", "but", "by", "came", "can", "cannot", "come", "could", "couldn",
+    "did", "didn", "do", "does", "doesn", "doing", "don", "done", "down", "during", "each",
+    "either", "else", "even", "ever", "every", "few", "for", "from", "further", "get", "gets",
+    "getting", "go", "goes", "going", "gone", "got", "had", "hadn", "has", "hasn", "have",
+    "haven", "having", "he", "her", "here", "hers", "herself", "him", "himself", "his", "how",
+    "i", "if", "in", "into", "is", "isn", "it", "its", "itself", "just", "let", "like", "ll",
+    "made", "make", "makes", "many", "may", "maybe", "me", "might", "mine", "more", "most",
+    "much", "must", "mustn", "my", "myself", "need", "needn", "neither", "never", "new", "no",
+    "nor", "not", "now", "of", "off", "oh", "ok", "okay", "on", "once", "only", "onto", "or",
+    "other", "our", "ours", "ourselves", "out", "over", "own", "per", "please", "put", "rather",
+    "re", "really", "rt", "said", "same", "say", "says", "see", "seen", "shall", "shan", "she",
+    "should", "shouldn", "since", "so", "some", "somehow", "something", "sometimes", "soon",
+    "still", "such", "take", "takes", "than", "that", "the", "their", "theirs", "them",
+    "themselves", "then", "there", "these", "they", "this", "those", "though", "through", "thru",
+    "thus", "to", "today", "together", "too", "took", "toward", "towards", "under", "until",
+    "unto", "up", "upon", "us", "use", "used", "uses", "using", "ve", "very", "via", "want",
+    "wants", "was", "wasn", "way", "we", "well", "went", "were", "weren", "what", "whatever",
+    "when", "whenever", "where", "whether", "which", "while", "who", "whole", "whom", "whose",
+    "why", "will", "with", "within", "without", "won", "would", "wouldn", "yes", "yet", "you",
+    "your", "yours", "yourself", "yourselves",
+];
+
+/// A stop-word set: embedded defaults plus caller extensions.
+#[derive(Debug, Clone)]
+pub struct StopWords {
+    set: HashSet<Box<str>>,
+}
+
+impl Default for StopWords {
+    fn default() -> Self {
+        StopWords::english()
+    }
+}
+
+impl StopWords {
+    /// The default English set.
+    pub fn english() -> Self {
+        let set = DEFAULT_STOPWORDS.iter().map(|w| Box::from(*w)).collect();
+        StopWords { set }
+    }
+
+    /// An empty set (no filtering).
+    pub fn none() -> Self {
+        StopWords { set: HashSet::new() }
+    }
+
+    /// Build from an explicit word list.
+    pub fn from_words<I, S>(words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let set = words.into_iter().map(|w| Box::from(w.as_ref())).collect();
+        StopWords { set }
+    }
+
+    /// Add a word (expected lowercase; stored as given).
+    pub fn insert(&mut self, word: &str) {
+        self.set.insert(Box::from(word));
+    }
+
+    /// Remove a word, returning whether it was present.
+    pub fn remove(&mut self, word: &str) -> bool {
+        self.set.remove(word)
+    }
+
+    /// Is `word` a stop word? Contractions that survived tokenization with
+    /// an inner apostrophe are checked against their head ("don't" → "don").
+    pub fn contains(&self, word: &str) -> bool {
+        if self.set.contains(word) {
+            return true;
+        }
+        match word.split_once('\'') {
+            Some((head, _)) => self.set.contains(head),
+            None => false,
+        }
+    }
+
+    /// Number of words in the set.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_contains_common_words() {
+        let sw = StopWords::default();
+        for w in ["the", "and", "rt", "is"] {
+            assert!(sw.contains(w), "{w} should be a stop word");
+        }
+        assert!(!sw.contains("volleyball"));
+    }
+
+    #[test]
+    fn contractions_match_head() {
+        let sw = StopWords::default();
+        assert!(sw.contains("don't"));
+        assert!(sw.contains("won't"));
+        assert!(sw.contains("it's"));
+        assert!(!sw.contains("o'clock"));
+    }
+
+    #[test]
+    fn insert_and_remove() {
+        let mut sw = StopWords::none();
+        assert!(!sw.contains("brand"));
+        sw.insert("brand");
+        assert!(sw.contains("brand"));
+        assert!(sw.remove("brand"));
+        assert!(!sw.contains("brand"));
+        assert!(!sw.remove("brand"));
+    }
+
+    #[test]
+    fn from_words_builder() {
+        let sw = StopWords::from_words(["foo", "bar"]);
+        assert_eq!(sw.len(), 2);
+        assert!(sw.contains("foo"));
+        assert!(!sw.contains("the"));
+    }
+
+    #[test]
+    fn no_duplicates_in_embedded_list() {
+        let mut seen = std::collections::HashSet::new();
+        for w in DEFAULT_STOPWORDS {
+            assert!(seen.insert(*w), "duplicate stop word: {w}");
+        }
+    }
+
+    #[test]
+    fn embedded_list_is_sorted_lowercase() {
+        for w in DEFAULT_STOPWORDS {
+            assert_eq!(w.to_lowercase(), **w);
+        }
+        let mut sorted = DEFAULT_STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, DEFAULT_STOPWORDS);
+    }
+}

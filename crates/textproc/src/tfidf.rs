@@ -1,0 +1,208 @@
+//! Term-frequency / inverse-document-frequency weighting schemes.
+//!
+//! The paper-class systems weigh message and ad terms with TF-IDF variants;
+//! we provide the standard menu so the benchmark harness can ablate the
+//! choice:
+//!
+//! * TF: raw counts, log-scaled (`1 + ln tf`), boolean, and BM25-style
+//!   saturation (`tf·(k1+1) / (tf + k1)` with no length normalization —
+//!   microblog documents are near-constant length),
+//! * IDF: none, plain (`ln(N/df)`), and smoothed (`ln(1 + (N − df + 0.5) /
+//!   (df + 0.5))`, the BM25 form, always positive).
+
+use crate::dictionary::{Dictionary, TermId};
+use crate::sparse::SparseVector;
+
+/// Term-frequency scaling scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TfScheme {
+    /// Raw occurrence count.
+    Raw,
+    /// `1 + ln(tf)` — the default; damps spammy repetition.
+    #[default]
+    Log,
+    /// 1.0 for any occurrence.
+    Boolean,
+    /// BM25 saturation with `k1 = 1.2`.
+    Bm25,
+}
+
+impl TfScheme {
+    /// Apply the scheme to a raw count (`count >= 1`).
+    pub fn apply(self, count: u32) -> f32 {
+        let tf = count as f32;
+        match self {
+            TfScheme::Raw => tf,
+            TfScheme::Log => 1.0 + tf.ln(),
+            TfScheme::Boolean => 1.0,
+            TfScheme::Bm25 => {
+                const K1: f32 = 1.2;
+                tf * (K1 + 1.0) / (tf + K1)
+            }
+        }
+    }
+}
+
+/// Inverse-document-frequency scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IdfScheme {
+    /// No IDF (weight 1.0 for every term).
+    None,
+    /// `ln(N / df)`, clamped at 0 for `df > N` pathologies.
+    Plain,
+    /// The BM25 smoothed form, strictly positive.
+    #[default]
+    Smooth,
+}
+
+impl IdfScheme {
+    /// IDF value for a term with document frequency `df` out of `n` docs.
+    ///
+    /// Unseen terms (`df == 0`) get the maximum weight for the corpus,
+    /// which is what a recommender wants: novel terms are discriminative.
+    pub fn apply(self, df: u32, n: u64) -> f32 {
+        match self {
+            IdfScheme::None => 1.0,
+            IdfScheme::Plain => {
+                if n == 0 {
+                    return 1.0;
+                }
+                let df = df.max(1) as f64;
+                ((n as f64 / df).ln().max(0.0)) as f32
+            }
+            IdfScheme::Smooth => {
+                if n == 0 {
+                    return 1.0;
+                }
+                let df = df as f64;
+                let n = n as f64;
+                ((1.0 + (n - df + 0.5) / (df + 0.5)).ln()) as f32
+            }
+        }
+    }
+}
+
+/// Combined weighting configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightingConfig {
+    /// Term-frequency scheme.
+    pub tf: TfScheme,
+    /// Inverse-document-frequency scheme.
+    pub idf: IdfScheme,
+    /// L2-normalize the resulting vector (recommended: makes dot products
+    /// directly comparable across documents of different lengths).
+    pub l2_normalize: bool,
+}
+
+impl WeightingConfig {
+    /// The configuration used throughout the evaluation: log TF, smooth
+    /// IDF, L2-normalized.
+    pub fn standard() -> Self {
+        WeightingConfig { tf: TfScheme::Log, idf: IdfScheme::Smooth, l2_normalize: true }
+    }
+
+    /// Weigh a bag of `(term, count)` pairs against corpus statistics.
+    pub fn weigh(
+        &self,
+        counts: impl IntoIterator<Item = (TermId, u32)>,
+        dictionary: &Dictionary,
+    ) -> SparseVector {
+        let n = dictionary.num_docs();
+        let v = SparseVector::from_pairs(counts.into_iter().map(|(t, c)| {
+            let w = self.tf.apply(c) * self.idf.apply(dictionary.doc_freq(t), n);
+            (t, w)
+        }));
+        if self.l2_normalize {
+            v.normalized()
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tf_raw_and_boolean() {
+        assert_eq!(TfScheme::Raw.apply(3), 3.0);
+        assert_eq!(TfScheme::Boolean.apply(3), 1.0);
+        assert_eq!(TfScheme::Boolean.apply(1), 1.0);
+    }
+
+    #[test]
+    fn tf_log_damps() {
+        assert_eq!(TfScheme::Log.apply(1), 1.0);
+        let w10 = TfScheme::Log.apply(10);
+        assert!(w10 > 1.0 && w10 < 10.0);
+    }
+
+    #[test]
+    fn tf_bm25_saturates() {
+        let w1 = TfScheme::Bm25.apply(1);
+        let w100 = TfScheme::Bm25.apply(100);
+        assert!(w1 < w100);
+        assert!(w100 < 2.2, "BM25 tf is bounded by k1+1");
+    }
+
+    #[test]
+    fn idf_none_is_unity() {
+        assert_eq!(IdfScheme::None.apply(5, 100), 1.0);
+    }
+
+    #[test]
+    fn idf_plain_monotone_decreasing_in_df() {
+        let rare = IdfScheme::Plain.apply(1, 1000);
+        let common = IdfScheme::Plain.apply(900, 1000);
+        assert!(rare > common);
+        assert!(common >= 0.0);
+        // Degenerate corpora fall back to 1.0.
+        assert_eq!(IdfScheme::Plain.apply(0, 0), 1.0);
+    }
+
+    #[test]
+    fn idf_smooth_positive_and_monotone() {
+        let n = 1000;
+        let mut prev = f32::INFINITY;
+        for df in [0, 1, 10, 100, 999] {
+            let w = IdfScheme::Smooth.apply(df, n);
+            assert!(w > 0.0, "smooth idf must stay positive (df={df})");
+            assert!(w < prev, "smooth idf must decrease with df");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn weigh_produces_normalized_vector() {
+        let mut d = Dictionary::new();
+        let a = d.intern("run");
+        let b = d.intern("shoe");
+        d.record_document([a, b]);
+        d.record_document([a]);
+        let v = WeightingConfig::standard().weigh([(a, 2), (b, 1)], &d);
+        assert_eq!(v.len(), 2);
+        assert!((v.norm() - 1.0).abs() < 1e-6);
+        // "shoe" is rarer than "run", so even with lower tf it gets a
+        // relatively higher idf boost.
+        let idf_a = IdfScheme::Smooth.apply(d.doc_freq(a), d.num_docs());
+        let idf_b = IdfScheme::Smooth.apply(d.doc_freq(b), d.num_docs());
+        assert!(idf_b > idf_a);
+    }
+
+    #[test]
+    fn weigh_unnormalized() {
+        let mut d = Dictionary::new();
+        let a = d.intern("x");
+        let cfg = WeightingConfig { tf: TfScheme::Raw, idf: IdfScheme::None, l2_normalize: false };
+        let v = cfg.weigh([(a, 3)], &d);
+        assert_eq!(v.get(a), 3.0);
+    }
+
+    #[test]
+    fn weigh_empty_bag() {
+        let d = Dictionary::new();
+        let v = WeightingConfig::standard().weigh([], &d);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,437 @@
+//! Tweet-aware tokenizer.
+//!
+//! Splits normalized text (see [`crate::normalize`]) into tokens while
+//! understanding the conventions of microblog text:
+//!
+//! * `@mentions` become [`TokenKind::Mention`] tokens (handle without `@`),
+//! * `#hashtags` become [`TokenKind::Hashtag`] tokens and are additionally
+//!   split on camel-case boundaries of the *original* text when requested
+//!   (`#FlashSaleToday` → `flash`, `sale`, `today`),
+//! * URLs (`http://…`, `https://…`, `www.…`) become [`TokenKind::Url`]
+//!   tokens reduced to their registrable host,
+//! * plain words keep inner apostrophes (`don't`) and inner hyphens
+//!   (`state-of-the-art` splits; `e-commerce` splits) — we split on hyphens
+//!   because bag-of-words recall matters more than phrase fidelity here,
+//! * standalone numbers are kept as [`TokenKind::Number`].
+//!
+//! The tokenizer works on `&str` and yields borrowed slices wherever
+//! possible; hashtag camel-case splitting is the only allocating path.
+
+/// The lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// A plain word.
+    Word,
+    /// A `#hashtag` (text excludes the `#`).
+    Hashtag,
+    /// A `@mention` (text excludes the `@`).
+    Mention,
+    /// A URL, reduced to its host.
+    Url,
+    /// A numeric literal (possibly with `.`/`,` separators).
+    Number,
+}
+
+/// A token produced by [`Tokenizer::tokenize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token text (already normalized, `#`/`@` sigils stripped).
+    pub text: std::borrow::Cow<'a, str>,
+    /// Lexical class.
+    pub kind: TokenKind,
+}
+
+impl<'a> Token<'a> {
+    fn borrowed(text: &'a str, kind: TokenKind) -> Self {
+        Token { text: std::borrow::Cow::Borrowed(text), kind }
+    }
+
+    fn owned(text: String, kind: TokenKind) -> Self {
+        Token { text: std::borrow::Cow::Owned(text), kind }
+    }
+}
+
+/// Tokenizer configuration.
+#[derive(Debug, Clone)]
+pub struct TokenizerConfig {
+    /// Emit mention tokens (otherwise they are dropped).
+    pub keep_mentions: bool,
+    /// Emit URL host tokens (otherwise URLs are dropped).
+    pub keep_urls: bool,
+    /// Emit number tokens (otherwise numbers are dropped).
+    pub keep_numbers: bool,
+    /// Split hashtags on camel-case/digit boundaries in addition to the
+    /// whole-tag token.
+    pub split_hashtags: bool,
+    /// Minimum token length in characters; shorter tokens are dropped
+    /// (single letters are almost always noise in social text).
+    pub min_token_len: usize,
+    /// Maximum token length; longer tokens are truncated at a char boundary
+    /// (guards the dictionary against adversarial blobs).
+    pub max_token_len: usize,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        TokenizerConfig {
+            keep_mentions: true,
+            keep_urls: false,
+            keep_numbers: false,
+            split_hashtags: true,
+            min_token_len: 2,
+            max_token_len: 40,
+        }
+    }
+}
+
+/// The tweet-aware tokenizer. Cheap to construct; stateless between calls.
+#[derive(Debug, Clone, Default)]
+pub struct Tokenizer {
+    config: TokenizerConfig,
+}
+
+impl Tokenizer {
+    /// Create a tokenizer with the given configuration.
+    pub fn new(config: TokenizerConfig) -> Self {
+        Tokenizer { config }
+    }
+
+    /// Access the active configuration.
+    pub fn config(&self) -> &TokenizerConfig {
+        &self.config
+    }
+
+    /// Tokenize `input`, pushing tokens into `out` (not cleared, so callers
+    /// can accumulate multiple fields of a document into one token list).
+    pub fn tokenize_into<'a>(&self, input: &'a str, out: &mut Vec<Token<'a>>) {
+        let bytes = input.as_bytes();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let rest = &input[i..];
+            let c = rest.chars().next().expect("i is a char boundary");
+
+            // URL recognition must run before word recognition because
+            // "http" is otherwise a word.
+            if c == 'h' || c == 'w' {
+                if let Some((host, len)) = match_url(rest) {
+                    if self.config.keep_urls {
+                        self.push_checked(Token::borrowed(host, TokenKind::Url), out);
+                    }
+                    i += len;
+                    continue;
+                }
+            }
+
+            match c {
+                '@' => {
+                    let start = i + 1;
+                    let end = scan_while(input, start, is_handle_char);
+                    if end > start {
+                        if self.config.keep_mentions {
+                            self.push_checked(
+                                Token::borrowed(&input[start..end], TokenKind::Mention),
+                                out,
+                            );
+                        }
+                        i = end;
+                    } else {
+                        i += c.len_utf8();
+                    }
+                }
+                '#' => {
+                    let start = i + 1;
+                    let end = scan_while(input, start, is_tag_char);
+                    if end > start {
+                        let tag = &input[start..end];
+                        self.push_checked(Token::borrowed(tag, TokenKind::Hashtag), out);
+                        if self.config.split_hashtags {
+                            for part in split_camel(tag) {
+                                // Skip the degenerate case where the split
+                                // reproduces the whole tag.
+                                if part.len() < tag.len() {
+                                    self.push_checked(
+                                        Token::owned(part.to_string(), TokenKind::Word),
+                                        out,
+                                    );
+                                }
+                            }
+                        }
+                        i = end;
+                    } else {
+                        i += c.len_utf8();
+                    }
+                }
+                _ if c.is_ascii_digit() => {
+                    let end = scan_while(input, i, |ch| {
+                        ch.is_ascii_digit() || ch == '.' || ch == ',' || ch == '%'
+                    });
+                    if self.config.keep_numbers {
+                        let text = input[i..end].trim_end_matches(['.', ',']);
+                        self.push_checked(Token::borrowed(text, TokenKind::Number), out);
+                    }
+                    i = end;
+                }
+                _ if is_word_char(c) => {
+                    let end = scan_while(input, i, |ch| {
+                        is_word_char(ch) || ch == '\'' || ch == '\u{2019}'
+                    });
+                    let word = input[i..end].trim_matches(['\'', '\u{2019}']);
+                    if !word.is_empty() && !word.chars().all(|ch| ch.is_ascii_digit()) {
+                        self.push_checked(Token::borrowed(word, TokenKind::Word), out);
+                    }
+                    i = end;
+                }
+                _ => {
+                    i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Tokenize into a fresh vector.
+    pub fn tokenize<'a>(&self, input: &'a str) -> Vec<Token<'a>> {
+        let mut out = Vec::new();
+        self.tokenize_into(input, &mut out);
+        out
+    }
+
+    fn push_checked<'a>(&self, mut token: Token<'a>, out: &mut Vec<Token<'a>>) {
+        let nchars = token.text.chars().count();
+        if nchars < self.config.min_token_len {
+            return;
+        }
+        if nchars > self.config.max_token_len {
+            let cut = token
+                .text
+                .char_indices()
+                .nth(self.config.max_token_len)
+                .map(|(b, _)| b)
+                .unwrap_or(token.text.len());
+            token.text = std::borrow::Cow::Owned(token.text[..cut].to_string());
+        }
+        out.push(token);
+    }
+}
+
+/// Advance from byte offset `start` while `pred` holds; returns the end
+/// byte offset (always a char boundary).
+fn scan_while(s: &str, start: usize, pred: impl Fn(char) -> bool) -> usize {
+    let mut end = start;
+    for c in s[start..].chars() {
+        if !pred(c) {
+            break;
+        }
+        end += c.len_utf8();
+    }
+    end
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric()
+}
+
+fn is_handle_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn is_tag_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Recognize a URL at the start of `s`; returns `(host, matched_len)`.
+fn match_url(s: &str) -> Option<(&str, usize)> {
+    let after_scheme = if let Some(rest) = s.strip_prefix("http://") {
+        (&s[7..], rest)
+    } else if let Some(rest) = s.strip_prefix("https://") {
+        (&s[8..], rest)
+    } else if s.starts_with("www.") {
+        (s, s)
+    } else {
+        return None;
+    }
+    .0;
+
+    let host_end = scan_while(after_scheme, 0, |c| {
+        c.is_ascii_alphanumeric() || c == '.' || c == '-'
+    });
+    if host_end == 0 {
+        return None;
+    }
+    let host = &after_scheme[..host_end];
+    if !host.contains('.') {
+        return None;
+    }
+    // Consume the rest of the URL (path/query) up to whitespace.
+    let tail_end = scan_while(after_scheme, host_end, |c| !c.is_whitespace());
+    let scheme_len = s.len() - after_scheme.len();
+    let host = host.strip_prefix("www.").unwrap_or(host);
+    Some((host, scheme_len + tail_end))
+}
+
+/// Split an identifier-like string on camel-case and letter/digit
+/// boundaries: `FlashSaleToday` → `["flashsaletoday"… ]` parts in lowercase.
+///
+/// The input is expected to be *pre-normalization* case-preserving text, so
+/// this helper is careful to lowercase its output itself.
+pub fn split_camel(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut prev: Option<char> = None;
+    for c in s.chars() {
+        let boundary = match prev {
+            None => false,
+            Some(p) => {
+                (p.is_lowercase() && c.is_uppercase())
+                    || (p.is_alphabetic() && c.is_ascii_digit())
+                    || (p.is_ascii_digit() && c.is_alphabetic())
+                    || c == '_'
+            }
+        };
+        if boundary && !cur.is_empty() {
+            parts.push(std::mem::take(&mut cur));
+        }
+        if c != '_' {
+            cur.extend(c.to_lowercase());
+        }
+        prev = Some(c);
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(input: &str) -> Vec<String> {
+        Tokenizer::default()
+            .tokenize(input)
+            .into_iter()
+            .map(|t| t.text.into_owned())
+            .collect()
+    }
+
+    #[test]
+    fn splits_plain_words() {
+        assert_eq!(words("the quick brown fox"), ["the", "quick", "brown", "fox"]);
+    }
+
+    #[test]
+    fn keeps_inner_apostrophes() {
+        assert_eq!(words("don't stop"), ["don't", "stop"]);
+        // Leading/trailing quotes stripped.
+        assert_eq!(words("'quoted'"), ["quoted"]);
+    }
+
+    #[test]
+    fn handles_mentions() {
+        let toks = Tokenizer::default().tokenize("hi @alice_99!");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].kind, TokenKind::Mention);
+        assert_eq!(toks[1].text, "alice_99");
+    }
+
+    #[test]
+    fn drops_mentions_when_configured() {
+        let cfg = TokenizerConfig { keep_mentions: false, ..Default::default() };
+        let toks = Tokenizer::new(cfg).tokenize("hi @alice");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].text, "hi");
+    }
+
+    #[test]
+    fn hashtag_whole_and_camel_parts() {
+        let toks = Tokenizer::default().tokenize("#FlashSaleToday");
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_ref()).collect();
+        assert_eq!(texts, ["FlashSaleToday", "flash", "sale", "today"]);
+        assert_eq!(toks[0].kind, TokenKind::Hashtag);
+        assert_eq!(toks[1].kind, TokenKind::Word);
+    }
+
+    #[test]
+    fn simple_hashtag_not_duplicated() {
+        // A lowercase tag has a single camel part equal to the whole tag,
+        // which must not be emitted twice.
+        let toks = Tokenizer::default().tokenize("#sale");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].text, "sale");
+    }
+
+    #[test]
+    fn urls_reduced_to_host() {
+        let cfg = TokenizerConfig { keep_urls: true, ..Default::default() };
+        let toks = Tokenizer::new(cfg).tokenize("see https://www.example.com/a/b?q=1 now");
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_ref()).collect();
+        assert_eq!(texts, ["see", "example.com", "now"]);
+        assert_eq!(toks[1].kind, TokenKind::Url);
+    }
+
+    #[test]
+    fn urls_dropped_by_default() {
+        assert_eq!(words("see https://example.com/x now"), ["see", "now"]);
+    }
+
+    #[test]
+    fn bare_www_url() {
+        let cfg = TokenizerConfig { keep_urls: true, ..Default::default() };
+        let toks = Tokenizer::new(cfg).tokenize("www.shop.example.org/deal");
+        assert_eq!(toks[0].text, "shop.example.org");
+    }
+
+    #[test]
+    fn http_word_is_not_a_url() {
+        assert_eq!(words("http is a protocol"), ["http", "is", "protocol"]);
+    }
+
+    #[test]
+    fn numbers_dropped_by_default_kept_on_request() {
+        assert_eq!(words("save 50% on 2 items"), ["save", "on", "items"]);
+        let cfg = TokenizerConfig { keep_numbers: true, ..Default::default() };
+        let toks = Tokenizer::new(cfg).tokenize("save 50% now");
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_ref()).collect();
+        assert_eq!(texts, ["save", "50%", "now"]);
+    }
+
+    #[test]
+    fn min_length_filter() {
+        assert_eq!(words("a b cd"), ["cd"]);
+    }
+
+    #[test]
+    fn max_length_truncation() {
+        let long = "x".repeat(100);
+        let toks = Tokenizer::default().tokenize(&long);
+        assert_eq!(toks[0].text.chars().count(), 40);
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        assert_eq!(words("crème brûlée"), ["crème", "brûlée"]);
+    }
+
+    #[test]
+    fn split_camel_cases() {
+        assert_eq!(split_camel("FlashSale"), ["flash", "sale"]);
+        assert_eq!(split_camel("iPhone15Pro"), ["i", "phone", "15", "pro"]);
+        assert_eq!(split_camel("snake_case_tag"), ["snake", "case", "tag"]);
+        assert_eq!(split_camel("lower"), ["lower"]);
+        assert_eq!(split_camel(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn tokenize_into_accumulates() {
+        let tok = Tokenizer::default();
+        let mut out = Vec::new();
+        tok.tokenize_into("first part", &mut out);
+        tok.tokenize_into("second part", &mut out);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(words("").is_empty());
+        assert!(words("!!! ... ???").is_empty());
+    }
+}

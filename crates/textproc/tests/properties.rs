@@ -1,0 +1,143 @@
+//! Property-based tests for the text substrate invariants.
+
+use adcast_text::dictionary::TermId;
+use adcast_text::sparse::SparseVector;
+use adcast_text::stemmer::stem;
+use adcast_text::tokenizer::{Tokenizer, TokenizerConfig};
+use adcast_text::normalize::normalize;
+use adcast_text::pipeline::TextPipeline;
+use proptest::prelude::*;
+
+fn arb_pairs() -> impl Strategy<Value = Vec<(u32, f32)>> {
+    proptest::collection::vec((0u32..64, -10.0f32..10.0), 0..32)
+}
+
+fn sv(pairs: &[(u32, f32)]) -> SparseVector {
+    SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)))
+}
+
+proptest! {
+    #[test]
+    fn sparse_invariants_hold(pairs in arb_pairs()) {
+        let v = sv(&pairs);
+        let entries = v.entries();
+        for w in entries.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "sorted, unique");
+        }
+        for &(_, w) in entries {
+            prop_assert!(w != 0.0 && w.is_finite());
+        }
+    }
+
+    #[test]
+    fn dot_is_commutative(a in arb_pairs(), b in arb_pairs()) {
+        let (a, b) = (sv(&a), sv(&b));
+        let ab = a.dot(&b);
+        let ba = b.dot(&a);
+        prop_assert!((ab - ba).abs() <= 1e-4 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn dot_matches_bruteforce(a in arb_pairs(), b in arb_pairs()) {
+        let (a, b) = (sv(&a), sv(&b));
+        let brute: f32 = a.iter().map(|(t, w)| w * b.get(t)).sum();
+        prop_assert!((a.dot(&b) - brute).abs() <= 1e-3);
+    }
+
+    #[test]
+    fn cosine_is_bounded(a in arb_pairs(), b in arb_pairs()) {
+        let c = sv(&a).cosine(&sv(&b));
+        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&c), "cosine {c} out of range");
+    }
+
+    #[test]
+    fn axpy_matches_pointwise(a in arb_pairs(), b in arb_pairs(), alpha in -4.0f32..4.0) {
+        let (mut a_vec, b_vec) = (sv(&a), sv(&b));
+        let expect: Vec<f32> = (0..64)
+            .map(|t| a_vec.get(TermId(t)) + alpha * b_vec.get(TermId(t)))
+            .collect();
+        a_vec.axpy(alpha, &b_vec);
+        for t in 0..64u32 {
+            let got = a_vec.get(TermId(t));
+            prop_assert!(
+                (got - expect[t as usize]).abs() <= 1e-3,
+                "term {t}: got {got}, expect {}", expect[t as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn delta_plus_old_recovers_new(a in arb_pairs(), b in arb_pairs()) {
+        let (new, old) = (sv(&a), sv(&b));
+        let mut rebuilt = old.clone();
+        rebuilt.axpy(1.0, &new.delta_from(&old));
+        for t in 0..64u32 {
+            prop_assert!((rebuilt.get(TermId(t)) - new.get(TermId(t))).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn normalized_has_unit_norm(a in arb_pairs()) {
+        let v = sv(&a);
+        prop_assume!(!v.is_empty());
+        prop_assert!((v.normalized().norm() - 1.0).abs() < 1e-4);
+    }
+
+    // Note: Porter stemming is famously NOT idempotent (e.g. a final -y
+    // exposed by step 5a turns into -i on a second pass), so we assert the
+    // weaker property that iterated stemming reaches a fixed point fast.
+    #[test]
+    fn stemmer_converges_quickly(word in "[a-z]{1,20}") {
+        let mut cur = word.clone();
+        for _ in 0..3 {
+            let next = stem(&cur);
+            if next == cur {
+                return Ok(());
+            }
+            cur = next;
+        }
+        prop_assert_eq!(stem(&cur), cur.clone(), "no fixed point within 3 iterations from {}", word);
+    }
+
+    #[test]
+    fn stemmer_never_grows_much(word in "[a-z]{3,24}") {
+        // Porter can grow a word by at most one char (e.g. "at" -> "ate"
+        // restoration after -ing removal), never more.
+        let s = stem(&word);
+        prop_assert!(s.len() <= word.len() + 1);
+        prop_assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn normalize_is_idempotent(text in "\\PC{0,80}") {
+        let once = normalize(&text);
+        prop_assert_eq!(normalize(&once), once);
+    }
+
+    #[test]
+    fn tokenizer_never_panics_and_respects_lengths(text in "\\PC{0,200}") {
+        let cfg = TokenizerConfig { keep_urls: true, keep_numbers: true, ..Default::default() };
+        let min = cfg.min_token_len;
+        let max = cfg.max_token_len;
+        for tok in Tokenizer::new(cfg).tokenize(&text) {
+            let n = tok.text.chars().count();
+            prop_assert!(n >= min && n <= max, "token {:?} length {n}", tok.text);
+        }
+    }
+
+    #[test]
+    fn pipeline_vectors_are_normalized(text in "\\PC{0,120}") {
+        let mut p = TextPipeline::standard();
+        let v = p.index_document(&text);
+        if !v.is_empty() {
+            prop_assert!((v.norm() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn pipeline_deterministic(text in "\\PC{0,120}") {
+        let mut p1 = TextPipeline::standard();
+        let mut p2 = TextPipeline::standard();
+        prop_assert_eq!(p1.index_document(&text), p2.index_document(&text));
+    }
+}

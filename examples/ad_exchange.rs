@@ -1,0 +1,87 @@
+//! Ad exchange: the full monetization loop on top of the engine.
+//!
+//! Engine recommendations → GSP auction (quality-weighted second price) →
+//! position-bias click simulation → CPC billing → budget pacing. Shows
+//! slot prices, per-campaign CTR, and how pacing spreads spend across a
+//! flight.
+//!
+//! ```text
+//! cargo run --release --example ad_exchange
+//! ```
+
+use adcast::ads::PacingController;
+use adcast::core::market::AdMarket;
+use adcast::core::{Simulation, SimulationConfig};
+use adcast::graph::UserId;
+use adcast::stream::generator::WorkloadConfig;
+use adcast::stream::Timestamp;
+
+fn main() {
+    let config = SimulationConfig {
+        workload: WorkloadConfig { num_users: 400, ..WorkloadConfig::default() },
+        num_ads: 25,
+        ad_budget: Some(15.0),
+        bid_range: (0.5, 2.0),
+        targeted_ad_fraction: 0.0,
+        ..SimulationConfig::default()
+    };
+    let mut sim = Simulation::build(config);
+    let mut market = AdMarket::standard(7);
+
+    // Pace every campaign over a ~3-minute flight.
+    let flight_end = Timestamp::from_secs(200);
+    for &(ad, _) in sim.ad_topics() {
+        market.set_pacing(ad, PacingController::new(Timestamp::from_secs(0), flight_end, 15.0));
+    }
+
+    println!("running the exchange: 12 serving waves …\n");
+    for wave in 0..12 {
+        sim.run(1_500);
+        let now = sim.now();
+        for u in (0..400u32).step_by(2) {
+            let recs = sim.recommend(UserId(u), 4);
+            market.serve(sim.store_mut(), &recs, now);
+            for ad in market.take_exhausted() {
+                println!("  [wave {wave}] {ad:?} exhausted its budget");
+                sim.engine_mut().on_campaign_removed(ad);
+            }
+            if u % 20 == 0 {
+                market.adjust_pacing(now);
+            }
+        }
+    }
+
+    println!("\n── exchange report ──");
+    println!(
+        "impressions {}   clicks {}   platform CTR {:.3}   revenue {:.2}",
+        market.impressions(),
+        market.clicks(),
+        market.overall_ctr(),
+        market.revenue()
+    );
+    println!("\nCTR by slot:");
+    for (pos, &(imps, clicks)) in market.position_stats().iter().enumerate() {
+        println!(
+            "  slot {pos}: {imps} impressions, {clicks} clicks, ctr {:.3}",
+            if imps > 0 { clicks as f64 / imps as f64 } else { 0.0 }
+        );
+    }
+    println!("\ntop campaigns by spend:");
+    let mut rows: Vec<_> = sim
+        .ad_topics()
+        .iter()
+        .filter_map(|&(ad, topic)| {
+            let c = sim.store().campaign(ad)?;
+            let ctr = market.tracker(ad).map_or(0.0, |t| t.smoothed_ctr());
+            Some((ad, topic, c.budget.spent(), c.impressions, ctr))
+        })
+        .collect();
+    rows.sort_by(|a, b| b.2.total_cmp(&a.2));
+    println!(
+        "  {:<6} {:<8} {:>8} {:>12} {:>10}",
+        "ad", "topic", "spent", "impressions", "ctr"
+    );
+    for (ad, topic, spent, imps, ctr) in rows.iter().take(8) {
+        println!("  {:<6} topic{:<4} {spent:>8.2} {imps:>12} {ctr:>10.3}", format!("{ad:?}"), topic);
+    }
+}

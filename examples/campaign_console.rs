@@ -1,0 +1,94 @@
+//! Campaign console: the advertiser's view.
+//!
+//! Submits a slate of campaigns with budgets and targeting, drives organic
+//! traffic plus serving, and prints a spend report; then demonstrates
+//! pause / resume / removal flowing through to what users see.
+//!
+//! ```text
+//! cargo run --release --example campaign_console
+//! ```
+
+use adcast::ads::CampaignState;
+use adcast::core::{Simulation, SimulationConfig};
+use adcast::graph::UserId;
+use adcast::stream::generator::WorkloadConfig;
+
+fn main() {
+    let config = SimulationConfig {
+        workload: WorkloadConfig { num_users: 300, ..WorkloadConfig::default() },
+        num_ads: 12,
+        ad_budget: Some(40.0),
+        bid_range: (0.5, 2.0),
+        targeted_ad_fraction: 0.5,
+        ..SimulationConfig::default()
+    };
+    let mut sim = Simulation::build(config);
+
+    println!("streaming traffic and serving ads …\n");
+    let users: Vec<UserId> = sim.graph().users().collect();
+    for wave in 0..10 {
+        sim.run(800);
+        for &u in users.iter().step_by(3) {
+            sim.recommend_and_charge(u, 2);
+        }
+        if wave == 4 {
+            // Mid-flight intervention: pause the top spender.
+            if let Some(top) = top_spender(&sim) {
+                println!(">>> pausing top spender {top:?} mid-flight\n");
+                sim.store_mut().pause(top);
+                sim.engine_mut().on_campaign_removed(top);
+            }
+        }
+    }
+
+    // Resume anything paused for the final report period.
+    let paused: Vec<_> = sim
+        .ad_topics()
+        .iter()
+        .map(|&(ad, _)| ad)
+        .filter(|&ad| sim.store().campaign(ad).map(|c| c.state()) == Some(CampaignState::Paused))
+        .collect();
+    for ad in paused {
+        println!(">>> resuming {ad:?}");
+        sim.store_mut().resume(ad);
+    }
+    sim.run(500);
+
+    println!("\n── campaign report ──");
+    println!(
+        "{:<6} {:>8} {:>12} {:>10} {:>10}  {}",
+        "ad", "bid", "impressions", "spent", "left", "state"
+    );
+    for &(ad, topic) in sim.ad_topics() {
+        let c = sim.store().campaign(ad).expect("campaign exists");
+        println!(
+            "{:<6} {:>8.2} {:>12} {:>10.2} {:>10.2}  {:?} (topic{topic})",
+            format!("{ad:?}"),
+            c.ad.bid,
+            c.impressions,
+            c.budget.spent(),
+            c.budget.remaining(),
+            c.state()
+        );
+    }
+    let total_spend: f64 =
+        sim.ad_topics().iter().filter_map(|&(ad, _)| sim.store().campaign(ad)).map(|c| c.budget.spent()).sum();
+    println!("\ntotal platform revenue: {total_spend:.2}");
+    println!(
+        "active campaigns: {}/{}",
+        sim.store().num_active(),
+        sim.store().num_total()
+    );
+}
+
+fn top_spender(sim: &Simulation) -> Option<adcast::ads::AdId> {
+    sim.ad_topics()
+        .iter()
+        .map(|&(ad, _)| ad)
+        .filter(|&ad| sim.store().campaign(ad).is_some_and(|c| c.is_active()))
+        .max_by(|&a, &b| {
+            let sa = sim.store().campaign(a).map_or(0.0, |c| c.budget.spent());
+            let sb = sim.store().campaign(b).map_or(0.0, |c| c.budget.spent());
+            sa.total_cmp(&sb)
+        })
+}

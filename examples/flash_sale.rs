@@ -1,0 +1,90 @@
+//! Flash sale: a bursty stream and a time-boxed campaign.
+//!
+//! A flash-crowd event (modeled by the bursty Markov-modulated arrival
+//! process) floods feeds with chatter about one topic. A retailer runs a
+//! budget-capped flash-sale campaign on that topic. This example shows:
+//!
+//! * the incremental engine absorbing a burst (watch refreshes stay rare),
+//! * budget pacing: the campaign drains and is automatically de-indexed,
+//! * recommendations shifting back to evergreen ads once the sale dies.
+//!
+//! ```text
+//! cargo run --release --example flash_sale
+//! ```
+
+use adcast::ads::{Budget, CampaignState};
+use adcast::core::{Simulation, SimulationConfig};
+use adcast::graph::UserId;
+use adcast::stream::generator::WorkloadConfig;
+
+fn main() {
+    // Platform with modest defaults but a finite per-campaign budget.
+    let config = SimulationConfig {
+        workload: WorkloadConfig { num_users: 500, ..WorkloadConfig::default() },
+        num_ads: 200,
+        ad_budget: Some(25.0),
+        bid_range: (1.0, 1.0),
+        ..SimulationConfig::default()
+    };
+    let mut sim = Simulation::build(config);
+
+    println!("── phase 1: normal traffic ──");
+    sim.run(3_000);
+    let users: Vec<UserId> = sim.graph().users().take(50).collect();
+    serve_wave(&mut sim, &users, "steady state");
+
+    println!("\n── phase 2: flash crowd (heavy serving pressure) ──");
+    sim.run(3_000);
+    // Every impression is charged; budgets start draining.
+    for _ in 0..12 {
+        for &u in &users {
+            sim.recommend_and_charge(u, 2);
+        }
+    }
+    let exhausted = sim
+        .ad_topics()
+        .iter()
+        .filter(|&&(ad, _)| {
+            sim.store().campaign(ad).map(|c| c.state()) == Some(CampaignState::Exhausted)
+        })
+        .count();
+    println!(
+        "{exhausted} campaigns exhausted their {} budget during the rush",
+        Budget::new(25.0).remaining()
+    );
+    serve_wave(&mut sim, &users, "during the rush");
+
+    println!("\n── phase 3: after the rush ──");
+    sim.run(2_000);
+    serve_wave(&mut sim, &users, "after the rush");
+
+    let stats = sim.engine().stats();
+    println!(
+        "\nengine: {} deltas, {} refreshes ({:.4} per delta), {} fallbacks",
+        stats.deltas,
+        stats.refreshes,
+        stats.refreshes as f64 / stats.deltas.max(1) as f64,
+        stats.fallbacks
+    );
+    println!(
+        "store: {}/{} campaigns still active",
+        sim.store().num_active(),
+        sim.store().num_total()
+    );
+}
+
+fn serve_wave(sim: &mut Simulation, users: &[UserId], label: &str) {
+    let mut served = 0usize;
+    let mut sum_rel = 0.0f64;
+    for &u in users {
+        for rec in sim.recommend(u, 2) {
+            served += 1;
+            sum_rel += rec.relevance as f64;
+        }
+    }
+    println!(
+        "{label}: served {served} impressions across {} users (mean relevance {:.4})",
+        users.len(),
+        if served > 0 { sum_rel / served as f64 } else { 0.0 }
+    );
+}

@@ -1,0 +1,165 @@
+//! Promoted feed: the paper's motivating scenario on **real text**.
+//!
+//! Five users (Tom, Luke, Anna, Sam, Lia — the companion case study's
+//! cast) tweet across a morning/afternoon/evening day in three city
+//! districts. Two advertisers register campaigns ("Adidas volleyball
+//! gear", "Downtown coffee happy hour"). As the feed streams, the engine
+//! weaves the right sponsored post into each user's timeline.
+//!
+//! Everything here goes through the *text* pipeline — tokenizer, stop
+//! words, Porter stemmer, TF-IDF — not the synthetic generator.
+//!
+//! ```text
+//! cargo run --release --example promoted_feed
+//! ```
+
+use std::sync::Arc;
+
+use adcast::ads::{AdStore, AdSubmission, Budget, Targeting};
+use adcast::core::{EngineConfig, IncrementalEngine, RecommendationEngine};
+use adcast::feed::{FeedDelivery, PushDelivery, WindowConfig};
+use adcast::graph::{GraphBuilder, UserId};
+use adcast::stream::event::{LocationId, Message, MessageId, TimeSlot};
+use adcast::stream::{Duration, Timestamp};
+use adcast::text::pipeline::TextPipeline;
+
+const USERS: [&str; 5] = ["Tom", "Luke", "Anna", "Sam", "Lia"];
+
+fn at(hour: u64, minute: u64) -> Timestamp {
+    Timestamp((hour * 3600 + minute * 60) * 1_000_000)
+}
+
+fn main() {
+    // --- Social graph: everyone follows everyone (a small friend group).
+    let mut builder = GraphBuilder::new(5);
+    for a in 0..5u32 {
+        for b in 0..5u32 {
+            builder.follow(UserId(a), UserId(b));
+        }
+    }
+    let graph = builder.build();
+
+    // --- Text pipeline shared by tweets and ad copy.
+    let mut pipeline = TextPipeline::standard();
+
+    // --- The day's tweets: (author, hh:mm, district, text).
+    let tweets: &[(usize, (u64, u64), u16, &str)] = &[
+        (0, (8, 05), 0, "The nation's best volleyball returns tonight, can't wait!"),
+        (1, (8, 30), 1, "Morning espresso downtown before the volleyball match #coffee"),
+        (3, (9, 10), 0, "New running shoes day! Training for the city marathon."),
+        (2, (9, 45), 2, "Gallery opening this weekend, modern art all day"),
+        (4, (10, 20), 1, "Best coffee roaster downtown, hands down #espresso"),
+        (0, (14, 00), 0, "Volleyball practice was brutal, need new knee pads and shoes"),
+        (1, (14, 30), 1, "Afternoon slump. More coffee. Always more coffee."),
+        (3, (15, 00), 0, "Marathon training week 6: tempo runs and recovery shakes"),
+        (2, (18, 00), 2, "Sketching at the cafe, art fuels everything"),
+        (4, (19, 30), 1, "Evening cappuccino and people-watching downtown"),
+    ];
+
+    // Index the corpus so IDF statistics are meaningful.
+    for (_, _, _, text) in tweets {
+        pipeline.index_document(text);
+    }
+
+    // --- Ad campaigns (keyword lists through the same pipeline).
+    let mut store = AdStore::new();
+    let sports_vec =
+        pipeline.analyze_keywords(&["volleyball", "shoes", "gear", "training", "sport"]);
+    let coffee_vec =
+        pipeline.analyze_keywords(&["coffee", "espresso", "cappuccino", "downtown", "roaster"]);
+    let ad_sports = store
+        .submit(AdSubmission {
+            vector: sports_vec,
+            bid: 1.0,
+            targeting: Targeting::everywhere(), // brand campaign, city-wide
+            budget: Budget::unlimited(),
+            topic_hint: None,
+        })
+        .expect("valid ad");
+    let ad_coffee = store
+        .submit(AdSubmission {
+            vector: coffee_vec,
+            bid: 1.0,
+            // Happy hour: downtown district (1), afternoon slot only.
+            targeting: Targeting::everywhere()
+                .in_locations([LocationId(1)])
+                .in_slots([TimeSlot::Afternoon]),
+            budget: Budget::unlimited(),
+            topic_hint: None,
+        })
+        .expect("valid ad");
+    let ad_name = |id| {
+        if id == ad_sports {
+            "Adidas volleyball gear"
+        } else if id == ad_coffee {
+            "Downtown coffee happy hour"
+        } else {
+            "?"
+        }
+    };
+
+    // --- Feed delivery + engine.
+    let window = WindowConfig::count_and_time(8, Duration::from_secs(12 * 3600));
+    let engine_config = EngineConfig {
+        k: 1,
+        window,
+        half_life: Some(Duration::from_secs(4 * 3600)),
+        ..Default::default()
+    };
+    let mut delivery = PushDelivery::new(5, window);
+    let mut engine = IncrementalEngine::new(5, engine_config);
+
+    // --- Stream the day.
+    println!("─── streaming the day's tweets ───");
+    for (i, &(author, (h, m), district, text)) in tweets.iter().enumerate() {
+        let msg = Arc::new(Message {
+            id: MessageId(i as u64),
+            author: UserId(author as u32),
+            ts: at(h, m),
+            location: LocationId(district),
+            vector: pipeline.analyze(text),
+        });
+        println!("[{h:02}:{m:02}] @{:<4} ({:?}): {text}", USERS[author], msg.location);
+        for (user, delta) in delivery.post(&graph, msg.clone()) {
+            engine.on_feed_delta(&store, user, &delta);
+        }
+    }
+
+    // --- Serve each user's promoted slot in the afternoon, downtown vs home.
+    println!("\n─── promoted slots at 15:30 ───");
+    let now = at(15, 30);
+    for (i, name) in USERS.iter().enumerate() {
+        let user = UserId(i as u32);
+        // Tom & Sam are in district 0; Luke & Lia downtown (1); Anna in 2.
+        let location = LocationId(match i {
+            1 | 4 => 1,
+            2 => 2,
+            _ => 0,
+        });
+        let recs = engine.recommend(&store, user, now, location, 1);
+        match recs.first() {
+            Some(rec) => println!(
+                "@{name:<4} at {:?} → SPONSORED: {} (relevance {:.3})",
+                location,
+                ad_name(rec.ad),
+                rec.relevance
+            ),
+            None => println!("@{name:<4} at {location:?} → no eligible ad"),
+        }
+    }
+
+    // --- Same users at 21:00: the happy-hour ad is out of its slot.
+    println!("\n─── promoted slots at 21:00 (happy hour over) ───");
+    let now = at(21, 0);
+    for (i, name) in USERS.iter().enumerate() {
+        let user = UserId(i as u32);
+        let location = LocationId(if i == 1 || i == 4 { 1 } else { 0 });
+        let recs = engine.recommend(&store, user, now, location, 1);
+        match recs.first() {
+            Some(rec) => println!("@{name:<4} → SPONSORED: {}", ad_name(rec.ad)),
+            None => println!("@{name:<4} → no eligible ad"),
+        }
+    }
+    println!("\nfeed stats: {:?}", delivery.stats());
+    println!("engine stats: {:?}", engine.stats());
+}

@@ -1,0 +1,58 @@
+//! Quickstart: stand up the whole platform on synthetic data and serve
+//! context-aware ads for a few users.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use adcast::core::{Simulation, SimulationConfig};
+use adcast::graph::UserId;
+
+fn main() {
+    // A small but realistic setup: 1 000 users, 1 000 ad campaigns,
+    // preferential-attachment follower graph, incremental engine.
+    let config = SimulationConfig::default();
+    println!(
+        "building platform: {} users, {} ads, {} followees/user …",
+        config.workload.num_users, config.num_ads, config.followees_per_user
+    );
+    let mut sim = Simulation::build(config);
+
+    println!("streaming 5 000 messages through feeds …");
+    sim.run(5_000);
+
+    let stats = sim.engine().stats();
+    println!(
+        "engine processed {} feed deltas ({} posting entries walked, {} refreshes)\n",
+        stats.deltas, stats.postings_scanned, stats.refreshes
+    );
+
+    // Serve ads for the five most-followed users (the likeliest readers).
+    let mut users: Vec<UserId> = sim.graph().users().collect();
+    users.sort_by_key(|&u| std::cmp::Reverse(sim.graph().in_degree(u)));
+    for &user in users.iter().take(5) {
+        let profile = sim.generator().profile(user);
+        let topics: Vec<String> =
+            profile.topics.iter().map(|(t, w)| format!("topic{t}:{w:.2}")).collect();
+        println!("user {user} (interests: {})", topics.join(", "));
+        let recs = sim.recommend(user, 3);
+        if recs.is_empty() {
+            println!("  (no relevant ads yet — feed is cold)");
+        }
+        for (i, rec) in recs.iter().enumerate() {
+            let topic = sim
+                .store()
+                .ad(rec.ad)
+                .and_then(|a| a.topic_hint)
+                .map_or("?".to_string(), |t| format!("topic{t}"));
+            println!(
+                "  #{} {:?} about {:<8}  relevance={:.4}  score={:.4}",
+                i + 1,
+                rec.ad,
+                topic,
+                rec.relevance,
+                rec.score
+            );
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # adcast — context-aware advertisement recommendation for high-speed
+//! social news feeding
+//!
+//! A from-scratch Rust reproduction of the system described in
+//! *"Context-aware advertisement recommendation for high-speed social news
+//! feeding"* (Li, Zhang, Lan, Tan — ICDE 2016): continuous per-user top-k
+//! ad selection driven by the user's news-feed reading context, maintained
+//! incrementally at feed speed. See `DESIGN.md` for the reconstruction
+//! notes and `EXPERIMENTS.md` for the evaluation suite.
+//!
+//! This crate is the facade: it re-exports the whole stack.
+//!
+//! | layer | crate | re-export |
+//! |---|---|---|
+//! | text processing | `adcast-text` | [`text`] |
+//! | social graph | `adcast-graph` | [`graph`] |
+//! | message stream | `adcast-stream` | [`stream`] |
+//! | feed delivery | `adcast-feed` | [`feed`] |
+//! | ad campaigns | `adcast-ads` | [`ads`] |
+//! | engines (the contribution) | `adcast-core` | [`core`] |
+//! | evaluation metrics | `adcast-metrics` | [`metrics`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adcast::core::{Simulation, SimulationConfig};
+//!
+//! // Stand up a full synthetic platform: users, follower graph, ad
+//! // campaigns, push feed delivery, and the incremental engine.
+//! let mut sim = Simulation::build(SimulationConfig::tiny());
+//! sim.run(300); // stream 300 messages
+//!
+//! let user = sim.any_active_user().expect("feeds are non-empty");
+//! for rec in sim.recommend(user, 3) {
+//!     println!("{:?} score={:.4}", rec.ad, rec.score);
+//! }
+//! ```
+//!
+//! For real text instead of the synthetic generator, start from
+//! [`text::TextPipeline`] and build [`stream::Message`]s yourself — the
+//! `promoted_feed` example walks through it.
+
+pub use adcast_ads as ads;
+pub use adcast_core as core;
+pub use adcast_feed as feed;
+pub use adcast_graph as graph;
+pub use adcast_metrics as metrics;
+pub use adcast_stream as stream;
+pub use adcast_text as text;
+
+/// Crate version, for experiment provenance lines.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_nonempty() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

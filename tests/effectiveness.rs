@@ -1,0 +1,97 @@
+//! Effectiveness against ground truth: the engines must find the users
+//! the workload generator *made* interested in each ad's topic.
+//!
+//! Mirrors the paper-class effectiveness study (precision/recall/F-score
+//! of the recommended-user sets vs. editorially-judged relevant sets; here
+//! the generator's interest profiles are the judgments).
+
+use adcast::core::{Simulation, SimulationConfig};
+use adcast::graph::UserId;
+use adcast::metrics::ranking::{f_score, precision_recall};
+use adcast::stream::generator::WorkloadConfig;
+use std::collections::HashMap;
+
+/// For every ad, collect the users to whom the engine served it, then
+/// score those sets against the ground-truth interested sets.
+fn run_effectiveness(seed: u64) -> (f64, f64, f64) {
+    let config = SimulationConfig {
+        workload: WorkloadConfig { seed, num_users: 120, ..WorkloadConfig::tiny() },
+        num_ads: 60,
+        targeted_ad_fraction: 0.0, // effectiveness is about content match
+        ..SimulationConfig::tiny()
+    };
+    let mut sim = Simulation::build(config);
+    sim.run(6_000);
+
+    let mut served: HashMap<adcast::ads::AdId, Vec<UserId>> = HashMap::new();
+    for u in 0..120u32 {
+        for rec in sim.recommend(UserId(u), 3) {
+            served.entry(rec.ad).or_default().push(UserId(u));
+        }
+    }
+    let mut sum_p = 0.0;
+    let mut sum_r = 0.0;
+    let mut sum_f = 0.0;
+    let mut n = 0usize;
+    for &(ad, topic) in sim.ad_topics() {
+        let Some(retrieved) = served.get(&ad) else { continue };
+        let relevant = sim.users_interested_in(topic);
+        if relevant.is_empty() {
+            continue;
+        }
+        let (p, r) = precision_recall(retrieved, &relevant);
+        sum_p += p;
+        sum_r += r;
+        sum_f += f_score(retrieved, &relevant);
+        n += 1;
+    }
+    assert!(n >= 10, "too few ads were ever served ({n})");
+    (sum_p / n as f64, sum_r / n as f64, sum_f / n as f64)
+}
+
+#[test]
+fn precision_beats_random_assignment_by_a_wide_margin() {
+    let (precision, _recall, f) = run_effectiveness(11);
+    // Random serving precision ≈ fraction of interested users ≈
+    // topics_per_user / num_topics = 2/5 = 0.4 under the tiny model.
+    assert!(
+        precision > 0.6,
+        "mean precision {precision:.3} should clearly beat the 0.4 random baseline"
+    );
+    assert!(f > 0.0);
+}
+
+#[test]
+fn served_users_are_mostly_interested() {
+    let config = SimulationConfig {
+        workload: WorkloadConfig { seed: 5, num_users: 100, ..WorkloadConfig::tiny() },
+        num_ads: 40,
+        targeted_ad_fraction: 0.0,
+        ..SimulationConfig::tiny()
+    };
+    let mut sim = Simulation::build(config);
+    sim.run(5_000);
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for u in 0..100u32 {
+        let profile_topics: Vec<usize> =
+            sim.generator().profile(UserId(u)).topics.iter().map(|&(t, _)| t).collect();
+        for rec in sim.recommend(UserId(u), 1) {
+            total += 1;
+            let topic = sim.store().ad(rec.ad).and_then(|a| a.topic_hint).unwrap();
+            if profile_topics.contains(&topic) {
+                hits += 1;
+            }
+        }
+    }
+    assert!(total > 50, "most users should be servable after 5k messages");
+    let hit_rate = hits as f64 / total as f64;
+    assert!(hit_rate > 0.55, "top-1 ad topic matches user interest only {hit_rate:.3}");
+}
+
+#[test]
+fn effectiveness_is_stable_across_seeds() {
+    let (p1, _, _) = run_effectiveness(21);
+    let (p2, _, _) = run_effectiveness(22);
+    assert!((p1 - p2).abs() < 0.3, "precision varies wildly across seeds: {p1:.3} vs {p2:.3}");
+}

@@ -1,0 +1,152 @@
+//! End-to-end scenario on real text: the case-study cast (Tom, Luke,
+//! Anna, Sam, Lia) tweeting across a day, with targeted campaigns.
+//!
+//! This is the promoted_feed example hardened into assertions — it pins
+//! down the full pipeline: tokenizer → stemmer → TF-IDF → feeds →
+//! incremental engine → targeting.
+
+use std::sync::Arc;
+
+use adcast::ads::{AdId, AdStore, AdSubmission, Budget, Targeting};
+use adcast::core::{EngineConfig, IncrementalEngine, RecommendationEngine};
+use adcast::feed::{FeedDelivery, PushDelivery, WindowConfig};
+use adcast::graph::{GraphBuilder, UserId};
+use adcast::stream::event::{LocationId, Message, MessageId, TimeSlot};
+use adcast::stream::{Duration, Timestamp};
+use adcast::text::pipeline::TextPipeline;
+
+fn at(hour: u64, minute: u64) -> Timestamp {
+    Timestamp((hour * 3600 + minute * 60) * 1_000_000)
+}
+
+struct Scenario {
+    store: AdStore,
+    engine: IncrementalEngine,
+    ad_sports: AdId,
+    ad_coffee: AdId,
+}
+
+fn build() -> Scenario {
+    let mut builder = GraphBuilder::new(5);
+    for a in 0..5u32 {
+        for b in 0..5u32 {
+            builder.follow(UserId(a), UserId(b));
+        }
+    }
+    let graph = builder.build();
+    let mut pipeline = TextPipeline::standard();
+
+    let tweets: &[(u32, (u64, u64), u16, &str)] = &[
+        (0, (8, 5), 0, "The nation's best volleyball returns tonight, can't wait!"),
+        (1, (8, 30), 1, "Morning espresso downtown before the volleyball match #coffee"),
+        (3, (9, 10), 0, "New running shoes day! Training for the city marathon."),
+        (2, (9, 45), 2, "Gallery opening this weekend, modern art all day"),
+        (4, (10, 20), 1, "Best coffee roaster downtown, hands down #espresso"),
+        (0, (14, 0), 0, "Volleyball practice was brutal, need new knee pads and shoes"),
+        (1, (14, 30), 1, "Afternoon slump. More coffee. Always more coffee."),
+        (4, (19, 30), 1, "Evening cappuccino and people-watching downtown"),
+    ];
+    for (_, _, _, text) in tweets {
+        pipeline.index_document(text);
+    }
+
+    let mut store = AdStore::new();
+    let ad_sports = store
+        .submit(AdSubmission {
+            vector: pipeline.analyze_keywords(&["volleyball", "shoes", "gear", "training"]),
+            bid: 1.0,
+            targeting: Targeting::everywhere(),
+            budget: Budget::unlimited(),
+            topic_hint: None,
+        })
+        .unwrap();
+    let ad_coffee = store
+        .submit(AdSubmission {
+            vector: pipeline.analyze_keywords(&["coffee", "espresso", "cappuccino", "downtown"]),
+            bid: 1.0,
+            targeting: Targeting::everywhere()
+                .in_locations([LocationId(1)])
+                .in_slots([TimeSlot::Afternoon]),
+            budget: Budget::unlimited(),
+            topic_hint: None,
+        })
+        .unwrap();
+
+    let window = WindowConfig::count_and_time(8, Duration::from_secs(12 * 3600));
+    let mut delivery = PushDelivery::new(5, window);
+    let mut engine = IncrementalEngine::new(
+        5,
+        EngineConfig {
+            k: 1,
+            window,
+            half_life: Some(Duration::from_secs(4 * 3600)),
+            ..Default::default()
+        },
+    );
+    for (i, &(author, (h, m), district, text)) in tweets.iter().enumerate() {
+        let msg = Arc::new(Message {
+            id: MessageId(i as u64),
+            author: UserId(author),
+            ts: at(h, m),
+            location: LocationId(district),
+            vector: pipeline.analyze(text),
+        });
+        for (user, delta) in delivery.post(&graph, msg) {
+            engine.on_feed_delta(&store, user, &delta);
+        }
+    }
+    Scenario { store, engine, ad_sports, ad_coffee }
+}
+
+#[test]
+fn coffee_ad_wins_downtown_in_the_afternoon() {
+    let mut s = build();
+    let recs = s.engine.recommend(&s.store, UserId(1), at(15, 30), LocationId(1), 1);
+    assert_eq!(recs.first().map(|r| r.ad), Some(s.ad_coffee));
+}
+
+#[test]
+fn coffee_ad_is_ineligible_outside_its_slot() {
+    let mut s = build();
+    // Same user, same place, 21:00: happy hour over → sports ad instead.
+    let recs = s.engine.recommend(&s.store, UserId(1), at(21, 0), LocationId(1), 1);
+    assert_eq!(recs.first().map(|r| r.ad), Some(s.ad_sports));
+}
+
+#[test]
+fn coffee_ad_is_ineligible_outside_its_district() {
+    let mut s = build();
+    let recs = s.engine.recommend(&s.store, UserId(1), at(15, 30), LocationId(0), 1);
+    assert_eq!(recs.first().map(|r| r.ad), Some(s.ad_sports));
+}
+
+#[test]
+fn sports_context_beats_coffee_everywhere() {
+    let mut s = build();
+    // Tom's feed is shared (everyone follows everyone) but outside the
+    // coffee slot the sports ad wins for everyone.
+    for u in 0..5u32 {
+        let recs = s.engine.recommend(&s.store, UserId(u), at(11, 0), LocationId(0), 1);
+        assert_eq!(recs.first().map(|r| r.ad), Some(s.ad_sports), "user {u} mid-morning");
+    }
+}
+
+#[test]
+fn both_ads_rank_when_both_eligible() {
+    let mut s = build();
+    let recs = s.engine.recommend(&s.store, UserId(2), at(15, 30), LocationId(1), 2);
+    assert_eq!(recs.len(), 2);
+    assert!(recs[0].score >= recs[1].score);
+    let ids: Vec<_> = recs.iter().map(|r| r.ad).collect();
+    assert!(ids.contains(&s.ad_sports) && ids.contains(&s.ad_coffee));
+}
+
+#[test]
+fn stemming_connects_ad_keywords_to_tweet_text() {
+    // "running"/"training" in tweets vs "training" keyword etc. — verify
+    // the relevance is non-zero purely through stemmed overlap.
+    let mut s = build();
+    let recs = s.engine.recommend(&s.store, UserId(3), at(11, 0), LocationId(0), 1);
+    let rec = recs.first().expect("some ad serves");
+    assert!(rec.relevance > 0.0);
+}

@@ -1,0 +1,166 @@
+//! Cross-engine equivalence: the headline correctness claim.
+//!
+//! On identical workloads (same seed → bit-identical streams), the
+//! incremental engine with `RefreshPolicy::Eager` must serve exactly the
+//! same top-k as the two exact baselines, for every user, at every probe
+//! point — including under location/time targeting.
+
+use adcast::core::runner::EngineKind;
+use adcast::core::{Simulation, SimulationConfig};
+use adcast::graph::UserId;
+use adcast::stream::generator::WorkloadConfig;
+
+fn build(kind: EngineKind, seed: u64) -> Simulation {
+    let config = SimulationConfig {
+        workload: WorkloadConfig { seed, num_users: 60, ..WorkloadConfig::tiny() },
+        num_ads: 120,
+        engine_kind: kind,
+        ..SimulationConfig::tiny()
+    };
+    Simulation::build(config)
+}
+
+fn ids(recs: &[adcast::core::Recommendation]) -> Vec<adcast::ads::AdId> {
+    recs.iter().map(|r| r.ad).collect()
+}
+
+#[test]
+fn all_engines_agree_over_a_long_stream() {
+    for seed in [1u64, 42, 20260707] {
+        let mut incremental = build(EngineKind::Incremental, seed);
+        let mut index_scan = build(EngineKind::IndexScan, seed);
+        let mut full_scan = build(EngineKind::FullScan, seed);
+        for wave in 0..8 {
+            incremental.run(250);
+            index_scan.run(250);
+            full_scan.run(250);
+            for u in 0..60u32 {
+                let user = UserId(u);
+                let a = incremental.recommend(user, 3);
+                let b = index_scan.recommend(user, 3);
+                let c = full_scan.recommend(user, 3);
+                assert_eq!(ids(&a), ids(&b), "seed {seed} wave {wave} user {u}: inc vs idx");
+                assert_eq!(ids(&b), ids(&c), "seed {seed} wave {wave} user {u}: idx vs full");
+                for (x, y) in a.iter().zip(&b) {
+                    assert!(
+                        (x.score - y.score).abs() <= 1e-4 * (1.0 + y.score.abs()),
+                        "seed {seed} user {u}: score {x:?} vs {y:?}"
+                    );
+                    assert!(
+                        (x.relevance - y.relevance).abs() <= 1e-4 * (1.0 + y.relevance.abs()),
+                        "seed {seed} user {u}: relevance {x:?} vs {y:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_work_undercuts_baseline_in_continuous_model() {
+    // The paper's serving model is *continuous*: after every feed update,
+    // the affected users' promoted slots must be current. The baseline
+    // pays a full TAAT re-evaluation per affected user per message; the
+    // incremental engine pays a Δ-terms posting walk per update plus rare
+    // refreshes. Under a realistic window (32 messages) the posting-walk
+    // totals must come out well below the baseline's.
+    use adcast::core::EngineConfig;
+    use adcast::feed::WindowConfig;
+
+    let build = |kind| {
+        let config = SimulationConfig {
+            workload: WorkloadConfig { seed: 7, num_users: 60, ..WorkloadConfig::tiny() },
+            num_ads: 120,
+            engine_kind: kind,
+            engine: EngineConfig { k: 3, window: WindowConfig::count(32), ..Default::default() },
+            ..SimulationConfig::tiny()
+        };
+        Simulation::build(config)
+    };
+    let mut incremental = build(EngineKind::Incremental);
+    let mut index_scan = build(EngineKind::IndexScan);
+    // Warm the windows first so contexts are full-size.
+    incremental.run(2000);
+    index_scan.run(2000);
+    let inc_warm = incremental.engine().stats().postings_scanned;
+    let idx_warm = index_scan.engine().stats().postings_scanned;
+    // Continuous phase: every message, every affected user served.
+    for _ in 0..300 {
+        let (msg_a, _) = incremental.step();
+        let (msg_b, _) = index_scan.step();
+        assert_eq!(msg_a.id, msg_b.id);
+        let affected: Vec<UserId> =
+            incremental.graph().followers(msg_a.author).to_vec();
+        for &u in &affected {
+            incremental.recommend(u, 3);
+            index_scan.recommend(u, 3);
+        }
+    }
+    let inc = incremental.engine().stats().postings_scanned - inc_warm;
+    let idx = index_scan.engine().stats().postings_scanned - idx_warm;
+    assert!(
+        (inc as f64) < 0.7 * idx as f64,
+        "incremental postings {inc} should clearly undercut baseline {idx}"
+    );
+    let stats = incremental.engine().stats();
+    assert!(
+        stats.refreshes < stats.deltas / 10,
+        "refreshes must stay rare: {} of {}",
+        stats.refreshes,
+        stats.deltas
+    );
+}
+
+#[test]
+fn sharded_driver_matches_simulation_engine() {
+    use adcast::core::driver::ShardedDriver;
+    use adcast::core::EngineConfig;
+    use adcast::feed::{FeedDelivery, PushDelivery};
+
+    let seed = 99u64;
+    let mut reference = build(EngineKind::Incremental, seed);
+    // Rebuild the identical stream manually and push it through a 4-shard
+    // driver.
+    let config = SimulationConfig {
+        workload: WorkloadConfig { seed, num_users: 60, ..WorkloadConfig::tiny() },
+        num_ads: 120,
+        engine_kind: EngineKind::Incremental,
+        ..SimulationConfig::tiny()
+    };
+    let mut twin = Simulation::build(config.clone());
+    let engine_cfg: EngineConfig = config.engine.clone();
+    let mut driver = ShardedDriver::new(60, 4, engine_cfg);
+    let mut delivery = PushDelivery::new(60, config.engine.window);
+
+    // Drive both for the same 1 000 messages.
+    reference.run(1000);
+    let mut batch = Vec::new();
+    for _ in 0..1000 {
+        let (msg, _) = {
+            // twin.step() would feed its own engine; instead generate via
+            // its generator and deliver manually.
+            let msg = twin_next(&mut twin);
+            (msg, 0)
+        };
+        batch.extend(delivery.post(twin.graph(), msg));
+    }
+    driver.process_batch(twin.store(), batch);
+
+    let now = twin.now();
+    for u in 0..60u32 {
+        let user = UserId(u);
+        let loc = twin.generator().home_location(user);
+        let a = reference.recommend(user, 3);
+        let b = driver.recommend(twin.store(), user, now, loc, 3);
+        assert_eq!(ids(&a), ids(&b), "user {u}");
+    }
+}
+
+/// Pull the next generated message out of a simulation without feeding its
+/// internal engine (the sharded driver is the engine under test).
+fn twin_next(sim: &mut Simulation) -> adcast::stream::event::SharedMessage {
+    // Simulation::step feeds its own engine too, which is fine — we simply
+    // ignore that engine and only reuse the generator/graph/store.
+    let (msg, _) = sim.step();
+    msg
+}

@@ -1,0 +1,132 @@
+//! The monetization loop end-to-end: engine → auction → clicks → billing
+//! → pacing → campaign exhaustion → engine purge.
+
+use adcast::ads::PacingController;
+use adcast::core::market::AdMarket;
+use adcast::core::{Simulation, SimulationConfig};
+use adcast::graph::UserId;
+use adcast::stream::generator::WorkloadConfig;
+use adcast::stream::Timestamp;
+
+fn sim(seed: u64, budget: Option<f64>) -> Simulation {
+    Simulation::build(SimulationConfig {
+        workload: WorkloadConfig { seed, num_users: 80, ..WorkloadConfig::tiny() },
+        num_ads: 30,
+        ad_budget: budget,
+        bid_range: (0.5, 1.5),
+        targeted_ad_fraction: 0.0,
+        ..SimulationConfig::tiny()
+    })
+}
+
+#[test]
+fn revenue_equals_spend_and_trackers_are_consistent() {
+    let mut sim = sim(1, None);
+    let mut market = AdMarket::standard(1);
+    sim.run(1500);
+    for _ in 0..10 {
+        sim.run(200);
+        let now = sim.now();
+        for u in 0..80u32 {
+            let recs = sim.recommend(UserId(u), 3);
+            market.serve(sim.store_mut(), &recs, now);
+        }
+    }
+    assert!(market.impressions() > 200, "market must have served");
+    // Revenue equals total advertiser spend (micro-rounding tolerance).
+    let spend: f64 = sim
+        .ad_topics()
+        .iter()
+        .filter_map(|&(ad, _)| sim.store().campaign(ad))
+        .map(|c| c.budget.spent())
+        .sum();
+    assert!((market.revenue() - spend).abs() < 0.01, "{} vs {spend}", market.revenue());
+    // Tracker totals match the market totals.
+    let tracker_imps: u64 = sim
+        .ad_topics()
+        .iter()
+        .filter_map(|&(ad, _)| market.tracker(ad))
+        .map(|t| t.impressions())
+        .sum();
+    let tracker_clicks: u64 = sim
+        .ad_topics()
+        .iter()
+        .filter_map(|&(ad, _)| market.tracker(ad))
+        .map(|t| t.clicks())
+        .sum();
+    assert_eq!(tracker_imps, market.impressions());
+    assert_eq!(tracker_clicks, market.clicks());
+    // Position stats sum to the impression count, and the top slot gets
+    // at least as many impressions as any lower slot.
+    let stats = market.position_stats();
+    assert_eq!(stats.iter().map(|s| s.0).sum::<u64>(), market.impressions());
+    assert!(stats[0].0 >= stats.last().unwrap().0);
+}
+
+#[test]
+fn exhausted_campaigns_are_purged_and_never_reappear() {
+    let mut sim = sim(2, Some(1.0));
+    let mut market = AdMarket::standard(2);
+    sim.run(1500);
+    let mut exhausted_seen = Vec::new();
+    for _ in 0..20 {
+        sim.run(100);
+        let now = sim.now();
+        for u in 0..80u32 {
+            let recs = sim.recommend(UserId(u), 3);
+            for r in &recs {
+                assert!(
+                    !exhausted_seen.contains(&r.ad),
+                    "exhausted ad {:?} recommended again",
+                    r.ad
+                );
+            }
+            market.serve(sim.store_mut(), &recs, now);
+            for ad in market.take_exhausted() {
+                sim.engine_mut().on_campaign_removed(ad);
+                exhausted_seen.push(ad);
+            }
+        }
+    }
+    assert!(!exhausted_seen.is_empty(), "tiny budgets must exhaust under this load");
+}
+
+#[test]
+fn pacing_defers_spend_relative_to_greedy() {
+    let run = |paced: bool| -> f64 {
+        let mut sim = sim(3, Some(8.0));
+        let mut market = AdMarket::standard(3);
+        if paced {
+            for &(ad, _) in sim.ad_topics() {
+                market.set_pacing(
+                    ad,
+                    PacingController::new(Timestamp::from_secs(0), Timestamp::from_secs(600), 8.0),
+                );
+            }
+        }
+        sim.run(1000);
+        // One quarter of the flight's serving pressure.
+        for _ in 0..4 {
+            sim.run(100);
+            let now = sim.now();
+            for u in 0..80u32 {
+                let recs = sim.recommend(UserId(u), 3);
+                market.serve(sim.store_mut(), &recs, now);
+                if u % 10 == 0 {
+                    market.adjust_pacing(now);
+                }
+            }
+        }
+        sim.ad_topics()
+            .iter()
+            .filter_map(|&(ad, _)| sim.store().campaign(ad))
+            .map(|c| c.budget.spent())
+            .sum()
+    };
+    let greedy_spend = run(false);
+    let paced_spend = run(true);
+    assert!(
+        paced_spend < 0.7 * greedy_spend,
+        "pacing must defer early spend: paced {paced_spend} vs greedy {greedy_spend}"
+    );
+}
