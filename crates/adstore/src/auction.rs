@@ -58,7 +58,10 @@ pub struct AuctionConfig {
 
 impl Default for AuctionConfig {
     fn default() -> Self {
-        AuctionConfig { slots: 1, reserve: 0.01 }
+        AuctionConfig {
+            slots: 1,
+            reserve: 0.01,
+        }
     }
 }
 
@@ -67,16 +70,9 @@ impl Default for AuctionConfig {
 pub fn run_gsp(mut candidates: Vec<AuctionBid>, config: &AuctionConfig) -> Vec<SlotAward> {
     assert!(config.reserve >= 0.0, "negative reserve");
     candidates.retain(|c| {
-        c.bid.is_finite()
-            && c.quality.is_finite()
-            && c.quality > 0.0
-            && c.bid >= config.reserve
+        c.bid.is_finite() && c.quality.is_finite() && c.quality > 0.0 && c.bid >= config.reserve
     });
-    candidates.sort_by(|a, b| {
-        b.rank()
-            .total_cmp(&a.rank())
-            .then_with(|| a.ad.cmp(&b.ad))
-    });
+    candidates.sort_by(|a, b| b.rank().total_cmp(&a.rank()).then_with(|| a.ad.cmp(&b.ad)));
     let mut awards = Vec::with_capacity(config.slots.min(candidates.len()));
     for (position, winner) in candidates.iter().take(config.slots).enumerate() {
         // The runner-up for this slot is the next candidate overall.
@@ -86,7 +82,11 @@ pub fn run_gsp(mut candidates: Vec<AuctionBid>, config: &AuctionConfig) -> Vec<S
         };
         // GSP never charges above the winner's own bid.
         let price = price.min(winner.bid);
-        awards.push(SlotAward { ad: winner.ad, position, price });
+        awards.push(SlotAward {
+            ad: winner.ad,
+            position,
+            price,
+        });
     }
     awards
 }
@@ -96,25 +96,38 @@ mod tests {
     use super::*;
 
     fn bid(ad: u32, bid: f32, quality: f32) -> AuctionBid {
-        AuctionBid { ad: AdId(ad), bid, quality }
+        AuctionBid {
+            ad: AdId(ad),
+            bid,
+            quality,
+        }
     }
 
     #[test]
     fn single_slot_is_second_price() {
         let awards = run_gsp(
             vec![bid(0, 2.0, 1.0), bid(1, 1.5, 1.0), bid(2, 1.0, 1.0)],
-            &AuctionConfig { slots: 1, reserve: 0.0 },
+            &AuctionConfig {
+                slots: 1,
+                reserve: 0.0,
+            },
         );
         assert_eq!(awards.len(), 1);
         assert_eq!(awards[0].ad, AdId(0));
-        assert!((awards[0].price - 1.5).abs() < 1e-6, "winner pays runner-up's bid");
+        assert!(
+            (awards[0].price - 1.5).abs() < 1e-6,
+            "winner pays runner-up's bid"
+        );
     }
 
     #[test]
     fn quality_can_beat_raw_bid() {
         let awards = run_gsp(
             vec![bid(0, 3.0, 0.1), bid(1, 1.0, 0.9)],
-            &AuctionConfig { slots: 1, reserve: 0.0 },
+            &AuctionConfig {
+                slots: 1,
+                reserve: 0.0,
+            },
         );
         assert_eq!(awards[0].ad, AdId(1), "rank 0.9 beats rank 0.3");
         // Price: runner-up rank / winner quality = 0.3 / 0.9.
@@ -124,15 +137,26 @@ mod tests {
     #[test]
     fn multi_slot_descending_prices_by_rank() {
         let awards = run_gsp(
-            vec![bid(0, 4.0, 1.0), bid(1, 3.0, 1.0), bid(2, 2.0, 1.0), bid(3, 1.0, 1.0)],
-            &AuctionConfig { slots: 3, reserve: 0.0 },
+            vec![
+                bid(0, 4.0, 1.0),
+                bid(1, 3.0, 1.0),
+                bid(2, 2.0, 1.0),
+                bid(3, 1.0, 1.0),
+            ],
+            &AuctionConfig {
+                slots: 3,
+                reserve: 0.0,
+            },
         );
         assert_eq!(awards.len(), 3);
         assert_eq!(
             awards.iter().map(|a| a.ad).collect::<Vec<_>>(),
             vec![AdId(0), AdId(1), AdId(2)]
         );
-        assert_eq!(awards.iter().map(|a| a.position).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            awards.iter().map(|a| a.position).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert!((awards[0].price - 3.0).abs() < 1e-6);
         assert!((awards[1].price - 2.0).abs() < 1e-6);
         assert!((awards[2].price - 1.0).abs() < 1e-6);
@@ -144,7 +168,10 @@ mod tests {
         // winner's bid; GSP clamps.
         let awards = run_gsp(
             vec![bid(0, 1.0, 1.0), bid(1, 0.9, 50.0)],
-            &AuctionConfig { slots: 2, reserve: 0.0 },
+            &AuctionConfig {
+                slots: 2,
+                reserve: 0.0,
+            },
         );
         assert_eq!(awards[0].ad, AdId(1));
         for a in &awards {
@@ -157,17 +184,26 @@ mod tests {
     fn reserve_filters_and_floors() {
         let awards = run_gsp(
             vec![bid(0, 2.0, 1.0), bid(1, 0.05, 1.0)],
-            &AuctionConfig { slots: 2, reserve: 0.5 },
+            &AuctionConfig {
+                slots: 2,
+                reserve: 0.5,
+            },
         );
         assert_eq!(awards.len(), 1, "below-reserve bid excluded");
-        assert!((awards[0].price - 0.5).abs() < 1e-6, "sole winner pays the reserve");
+        assert!(
+            (awards[0].price - 0.5).abs() < 1e-6,
+            "sole winner pays the reserve"
+        );
     }
 
     #[test]
     fn last_winner_pays_reserve() {
         let awards = run_gsp(
             vec![bid(0, 2.0, 1.0), bid(1, 1.0, 1.0)],
-            &AuctionConfig { slots: 2, reserve: 0.25 },
+            &AuctionConfig {
+                slots: 2,
+                reserve: 0.25,
+            },
         );
         assert_eq!(awards.len(), 2);
         assert!((awards[1].price - 0.25).abs() < 1e-6);
@@ -177,7 +213,10 @@ mod tests {
     fn ties_break_by_ad_id() {
         let awards = run_gsp(
             vec![bid(7, 1.0, 1.0), bid(3, 1.0, 1.0)],
-            &AuctionConfig { slots: 1, reserve: 0.0 },
+            &AuctionConfig {
+                slots: 1,
+                reserve: 0.0,
+            },
         );
         assert_eq!(awards[0].ad, AdId(3));
     }
@@ -187,11 +226,19 @@ mod tests {
         assert!(run_gsp(vec![], &AuctionConfig::default()).is_empty());
         let awards = run_gsp(
             vec![bid(0, f32::NAN, 1.0), bid(1, 1.0, 0.0)],
-            &AuctionConfig { slots: 2, reserve: 0.0 },
+            &AuctionConfig {
+                slots: 2,
+                reserve: 0.0,
+            },
         );
         assert!(awards.is_empty(), "NaN bids and zero quality are dropped");
-        let none =
-            run_gsp(vec![bid(0, 1.0, 1.0)], &AuctionConfig { slots: 0, reserve: 0.0 });
+        let none = run_gsp(
+            vec![bid(0, 1.0, 1.0)],
+            &AuctionConfig {
+                slots: 0,
+                reserve: 0.0,
+            },
+        );
         assert!(none.is_empty());
     }
 
@@ -201,8 +248,22 @@ mod tests {
         // won (a well-known GSP property for a fixed slot).
         let base = vec![bid(0, 2.0, 1.0), bid(1, 1.0, 1.0)];
         let raised = vec![bid(0, 5.0, 1.0), bid(1, 1.0, 1.0)];
-        let p_base = run_gsp(base, &AuctionConfig { slots: 1, reserve: 0.0 })[0].price;
-        let p_raised = run_gsp(raised, &AuctionConfig { slots: 1, reserve: 0.0 })[0].price;
+        let p_base = run_gsp(
+            base,
+            &AuctionConfig {
+                slots: 1,
+                reserve: 0.0,
+            },
+        )[0]
+        .price;
+        let p_raised = run_gsp(
+            raised,
+            &AuctionConfig {
+                slots: 1,
+                reserve: 0.0,
+            },
+        )[0]
+        .price;
         assert!((p_base - p_raised).abs() < 1e-6);
     }
 }

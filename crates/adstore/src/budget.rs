@@ -18,18 +18,27 @@ impl Budget {
     /// Panics on negative or non-finite totals.
     pub fn new(total: f64) -> Self {
         assert!(total.is_finite() && total >= 0.0, "invalid budget {total}");
-        Budget { total_micros: (total * 1e6).round() as u64, spent_micros: 0 }
+        Budget {
+            total_micros: (total * 1e6).round() as u64,
+            spent_micros: 0,
+        }
     }
 
     /// An effectively unlimited budget.
     pub fn unlimited() -> Self {
-        Budget { total_micros: u64::MAX, spent_micros: 0 }
+        Budget {
+            total_micros: u64::MAX,
+            spent_micros: 0,
+        }
     }
 
     /// Charge `amount`; returns `false` (charging nothing) when remaining
     /// funds are insufficient.
     pub fn try_charge(&mut self, amount: f64) -> bool {
-        assert!(amount.is_finite() && amount >= 0.0, "invalid charge {amount}");
+        assert!(
+            amount.is_finite() && amount >= 0.0,
+            "invalid charge {amount}"
+        );
         let micros = (amount * 1e6).round() as u64;
         if self.spent_micros.saturating_add(micros) > self.total_micros {
             return false;

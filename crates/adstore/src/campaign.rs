@@ -39,9 +39,17 @@ pub struct Campaign {
 impl Campaign {
     /// A fresh active campaign.
     pub fn new(ad: Ad, budget: Budget) -> Self {
-        let state =
-            if budget.is_exhausted() { CampaignState::Exhausted } else { CampaignState::Active };
-        Campaign { ad, budget, state, impressions: 0 }
+        let state = if budget.is_exhausted() {
+            CampaignState::Exhausted
+        } else {
+            CampaignState::Active
+        };
+        Campaign {
+            ad,
+            budget,
+            state,
+            impressions: 0,
+        }
     }
 
     /// Current state.

@@ -25,7 +25,10 @@ impl Default for ClickModel {
     fn default() -> Self {
         // Classic cascade-flavoured bias: the top slot is examined ~3×
         // more than the third.
-        ClickModel { position_bias: vec![0.65, 0.35, 0.22, 0.15, 0.10], relevance_scale: 0.3 }
+        ClickModel {
+            position_bias: vec![0.65, 0.35, 0.22, 0.15, 0.10],
+            relevance_scale: 0.3,
+        }
     }
 }
 
@@ -42,7 +45,10 @@ impl ClickModel {
             "biases must be probabilities"
         );
         assert!(relevance_scale > 0.0, "relevance scale must be positive");
-        ClickModel { position_bias, relevance_scale }
+        ClickModel {
+            position_bias,
+            relevance_scale,
+        }
     }
 
     /// The click probability of an ad with `relevance` shown at `position`.
@@ -57,12 +63,7 @@ impl ClickModel {
     }
 
     /// Simulate one impression.
-    pub fn simulate<R: Rng + ?Sized>(
-        &self,
-        position: usize,
-        relevance: f32,
-        rng: &mut R,
-    ) -> bool {
+    pub fn simulate<R: Rng + ?Sized>(&self, position: usize, relevance: f32, rng: &mut R) -> bool {
         rng.gen_bool(self.click_probability(position, relevance).clamp(0.0, 1.0))
     }
 }
@@ -90,8 +91,16 @@ impl CtrTracker {
     ///
     /// Panics on non-positive prior parameters.
     pub fn new(alpha: f64, beta: f64) -> Self {
-        assert!(alpha > 0.0 && beta > 0.0, "prior parameters must be positive");
-        CtrTracker { impressions: 0, clicks: 0, alpha, beta }
+        assert!(
+            alpha > 0.0 && beta > 0.0,
+            "prior parameters must be positive"
+        );
+        CtrTracker {
+            impressions: 0,
+            clicks: 0,
+            alpha,
+            beta,
+        }
     }
 
     /// Record one impression (and whether it was clicked).
@@ -191,7 +200,10 @@ mod tests {
         let mut t = CtrTracker::default();
         t.record(true); // 1 impression, 1 click
         assert_eq!(t.raw_ctr(), 1.0);
-        assert!(t.smoothed_ctr() < 0.15, "one click must not read as 100% CTR");
+        assert!(
+            t.smoothed_ctr() < 0.15,
+            "one click must not read as 100% CTR"
+        );
     }
 
     #[test]

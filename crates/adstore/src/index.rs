@@ -106,7 +106,9 @@ impl AdIndex {
     /// The posting list for `term` (sorted by ad id; empty slice if the
     /// term is unknown).
     pub fn postings(&self, term: TermId) -> &[Posting] {
-        self.postings.get(&term).map_or(&[], |tp| tp.list.as_slice())
+        self.postings
+            .get(&term)
+            .map_or(&[], |tp| tp.list.as_slice())
     }
 
     /// The maximum term weight across ads containing `term`.
@@ -117,7 +119,10 @@ impl AdIndex {
     /// Upper bound on `vector · ad_vector` over **all** indexed ads:
     /// `Σ_t |v(t)| · max_weight(t)`.
     pub fn score_upper_bound(&self, vector: &SparseVector) -> f32 {
-        vector.iter().map(|(t, w)| w.abs() * self.max_weight(t)).sum()
+        vector
+            .iter()
+            .map(|(t, w)| w.abs() * self.max_weight(t))
+            .sum()
     }
 
     /// Number of indexed ads.
@@ -188,8 +193,15 @@ mod tests {
         idx.insert(AdId(0), &va);
         idx.insert(AdId(1), &vb);
         assert_eq!(idx.remove(AdId(0), &va), 2);
-        assert_eq!(idx.max_weight(TermId(1)), 0.5, "max recomputed after top removal");
-        assert!(idx.postings(TermId(2)).is_empty(), "empty lists are dropped");
+        assert_eq!(
+            idx.max_weight(TermId(1)),
+            0.5,
+            "max recomputed after top removal"
+        );
+        assert!(
+            idx.postings(TermId(2)).is_empty(),
+            "empty lists are dropped"
+        );
         assert_eq!(idx.num_ads(), 1);
         assert_eq!(idx.num_postings(), 1);
     }
@@ -214,7 +226,11 @@ mod tests {
     #[test]
     fn upper_bound_dominates_every_ad() {
         let mut idx = AdIndex::new();
-        let ads = [v(&[(1, 0.8), (3, 0.6)]), v(&[(1, 0.4), (2, 0.9)]), v(&[(3, 0.99)])];
+        let ads = [
+            v(&[(1, 0.8), (3, 0.6)]),
+            v(&[(1, 0.4), (2, 0.9)]),
+            v(&[(3, 0.99)]),
+        ];
         for (i, a) in ads.iter().enumerate() {
             idx.insert(AdId(i as u32), a);
         }

@@ -18,8 +18,8 @@
 pub mod ad;
 pub mod auction;
 pub mod budget;
-pub mod ctr;
 pub mod campaign;
+pub mod ctr;
 pub mod index;
 pub mod pacing;
 pub mod store;
@@ -28,8 +28,8 @@ pub mod targeting;
 pub use ad::{Ad, AdId};
 pub use auction::{run_gsp, AuctionBid, AuctionConfig, SlotAward};
 pub use budget::Budget;
-pub use ctr::{ClickModel, CtrTracker};
 pub use campaign::{Campaign, CampaignState};
+pub use ctr::{ClickModel, CtrTracker};
 pub use index::{AdIndex, Posting};
 pub use pacing::PacingController;
 pub use store::{AdStore, AdSubmission};

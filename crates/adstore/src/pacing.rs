@@ -34,7 +34,10 @@ impl PacingController {
     /// Panics when the flight is empty or the budget is not positive.
     pub fn new(start: Timestamp, end: Timestamp, total_budget: f64) -> Self {
         assert!(end > start, "flight must have positive length");
-        assert!(total_budget > 0.0 && total_budget.is_finite(), "invalid budget");
+        assert!(
+            total_budget > 0.0 && total_budget.is_finite(),
+            "invalid budget"
+        );
         PacingController {
             flight_start: start,
             flight_end: end,
@@ -124,12 +127,19 @@ mod tests {
         for _ in 0..10 {
             p.adjust(Timestamp::from_secs(10));
         }
-        assert!(p.throttle() < 0.5, "must throttle down when ahead: {}", p.throttle());
+        assert!(
+            p.throttle() < 0.5,
+            "must throttle down when ahead: {}",
+            p.throttle()
+        );
         // Later the schedule catches up; throttle recovers.
         for _ in 0..30 {
             p.adjust(Timestamp::from_secs(90));
         }
-        assert!((p.throttle() - 1.0).abs() < 1e-6, "recovers when behind schedule");
+        assert!(
+            (p.throttle() - 1.0).abs() < 1e-6,
+            "recovers when behind schedule"
+        );
     }
 
     #[test]
@@ -153,7 +163,11 @@ mod tests {
         const N: usize = 10_000;
         let served = (0..N).filter(|_| p.should_serve(&mut rng)).count();
         let frac = served as f64 / N as f64;
-        assert!((frac - p.throttle()).abs() < 0.02, "{frac} vs {}", p.throttle());
+        assert!(
+            (frac - p.throttle()).abs() < 0.02,
+            "{frac} vs {}",
+            p.throttle()
+        );
     }
 
     #[test]
@@ -168,8 +182,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive length")]
     fn empty_flight_panics() {
-        let _ =
-            PacingController::new(Timestamp::from_secs(5), Timestamp::from_secs(5), 1.0);
+        let _ = PacingController::new(Timestamp::from_secs(5), Timestamp::from_secs(5), 1.0);
     }
 
     #[test]
@@ -184,7 +197,7 @@ mod tests {
         let mut greedy_half = None;
         for tick in 0..1000u64 {
             let now = Timestamp(tick * 100_000); // 0.1s ticks
-            // 5 opportunities per tick, each costing 0.5.
+                                                 // 5 opportunities per tick, each costing 0.5.
             for _ in 0..5 {
                 if greedy_spent < 100.0 {
                     greedy_spent += 0.5;
@@ -203,7 +216,13 @@ mod tests {
         }
         let g = greedy_half.expect("greedy reaches half").as_secs_f64();
         let p = paced_half.expect("paced reaches half").as_secs_f64();
-        assert!(p > 3.0 * g, "pacing must defer spend: paced {p}s vs greedy {g}s");
-        assert!((40.0..=60.0).contains(&p), "paced half-spend near half-flight, got {p}s");
+        assert!(
+            p > 3.0 * g,
+            "pacing must defer spend: paced {p}s vs greedy {g}s"
+        );
+        assert!(
+            (40.0..=60.0).contains(&p),
+            "paced half-spend near half-flight, got {p}s"
+        );
     }
 }

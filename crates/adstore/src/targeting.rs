@@ -116,8 +116,14 @@ mod tests {
             .in_locations([LocationId(5)])
             .in_slots([TimeSlot::Afternoon]);
         assert!(t.matches(LocationId(5), at_hour(15)));
-        assert!(!t.matches(LocationId(5), at_hour(9)), "right place, wrong time");
-        assert!(!t.matches(LocationId(4), at_hour(15)), "right time, wrong place");
+        assert!(
+            !t.matches(LocationId(5), at_hour(9)),
+            "right place, wrong time"
+        );
+        assert!(
+            !t.matches(LocationId(4), at_hour(15)),
+            "right time, wrong place"
+        );
         assert!(!t.is_everywhere());
     }
 
@@ -127,7 +133,10 @@ mod tests {
         let center = grid.cell(5, 5);
         let t = Targeting::everywhere().within_radius(&grid, center, 2.0);
         assert!(t.matches_location(center));
-        assert!(t.matches_location(grid.cell(5, 7)), "distance 2 is inclusive");
+        assert!(
+            t.matches_location(grid.cell(5, 7)),
+            "distance 2 is inclusive"
+        );
         assert!(!t.matches_location(grid.cell(5, 8)), "distance 3 excluded");
         assert!(!t.matches_location(grid.cell(8, 8)));
         assert_eq!(t.locations().len(), 13);

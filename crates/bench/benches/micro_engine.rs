@@ -1,15 +1,28 @@
 //! Criterion micro-benchmarks: per-feed-delta cost of each engine, and
 //! per-recommendation cost — the microscopic version of E2/E3.
 
+use std::sync::Arc;
+
+use adcast_ads::{AdStore, AdSubmission, Budget, Targeting};
 use adcast_core::runner::EngineKind;
-use adcast_core::{Simulation, SimulationConfig};
+use adcast_core::{
+    EngineConfig, IncrementalEngine, RecommendationEngine, Simulation, SimulationConfig,
+};
+use adcast_feed::FeedDelta;
 use adcast_graph::UserId;
+use adcast_stream::clock::Timestamp;
+use adcast_stream::event::{LocationId, Message, MessageId};
 use adcast_stream::generator::WorkloadConfig;
+use adcast_text::dictionary::TermId;
+use adcast_text::SparseVector;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn sim_for(kind: EngineKind) -> Simulation {
     let mut sim = Simulation::build(SimulationConfig {
-        workload: WorkloadConfig { num_users: 1_000, ..WorkloadConfig::default() },
+        workload: WorkloadConfig {
+            num_users: 1_000,
+            ..WorkloadConfig::default()
+        },
         num_ads: 5_000,
         engine_kind: kind,
         ..SimulationConfig::default()
@@ -57,5 +70,80 @@ fn bench_recommend(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_update, bench_recommend);
+/// Steady-state delta cost in isolation: a pre-materialized sliding-window
+/// stream replayed through a warmed incremental engine — no generator or
+/// simulation overhead, and (with warm scratch capacities) no heap
+/// allocations per iteration. This is the kernel the zero-alloc test pins.
+fn bench_steady_state_delta(c: &mut Criterion) {
+    let mut store = AdStore::new();
+    for i in 0..2_000u32 {
+        store
+            .submit(AdSubmission {
+                vector: SparseVector::from_pairs([
+                    (TermId(i % 96), 0.5 + 0.01 * (i % 40) as f32),
+                    (TermId(96 + i % 32), 0.3),
+                ]),
+                bid: 1.0,
+                targeting: Targeting::everywhere(),
+                budget: Budget::unlimited(),
+                topic_hint: None,
+            })
+            .unwrap();
+    }
+    let mut engine = IncrementalEngine::new(
+        1,
+        EngineConfig {
+            k: 10,
+            half_life: None,
+            ..Default::default()
+        },
+    );
+
+    // One cyclic sliding-window stream, replayed forever.
+    let mut live: Vec<Arc<Message>> = Vec::new();
+    let deltas: Vec<FeedDelta> = (0..4_096u64)
+        .map(|i| {
+            let msg = Arc::new(Message {
+                id: MessageId(i),
+                author: UserId(0),
+                ts: Timestamp::from_secs(i + 1),
+                location: LocationId(0),
+                vector: SparseVector::from_pairs([
+                    (TermId((i % 96) as u32), 0.7),
+                    (TermId(96 + (i % 32) as u32), 0.2),
+                ]),
+            });
+            let evicted = if live.len() >= 8 {
+                vec![live.remove(0)]
+            } else {
+                vec![]
+            };
+            live.push(msg.clone());
+            FeedDelta {
+                entered: Some(msg),
+                evicted,
+            }
+        })
+        .collect();
+    for d in &deltas {
+        engine.on_feed_delta(&store, UserId(0), d); // warm all scratch
+    }
+
+    let mut i = 0usize;
+    c.bench_function("incremental_steady_state_delta", |bench| {
+        bench.iter(|| {
+            // Skip the window-filling prefix so every delta has an eviction.
+            i = 8 + (i + 1) % (deltas.len() - 8);
+            engine.on_feed_delta(&store, UserId(0), &deltas[i]);
+            black_box(engine.stats().deltas)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_update,
+    bench_recommend,
+    bench_steady_state_delta
+);
 criterion_main!(benches);

@@ -24,26 +24,33 @@ fn bench_posting_walk(c: &mut Criterion) {
     let mut group = c.benchmark_group("index_posting_walk");
     for &num_ads in &[1_000u32, 10_000, 100_000] {
         let index = build_index(num_ads, 20_000, 8);
-        group.bench_with_input(BenchmarkId::from_parameter(num_ads), &num_ads, |bench, _| {
-            let mut term = 0u32;
-            bench.iter(|| {
-                term = (term + 17) % 20_000;
-                let mut acc = 0.0f32;
-                for p in index.postings(TermId(term)) {
-                    acc += p.weight;
-                }
-                black_box(acc)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(num_ads),
+            &num_ads,
+            |bench, _| {
+                let mut term = 0u32;
+                bench.iter(|| {
+                    term = (term + 17) % 20_000;
+                    let mut acc = 0.0f32;
+                    for p in index.postings(TermId(term)) {
+                        acc += p.weight;
+                    }
+                    black_box(acc)
+                });
+            },
+        );
     }
     group.finish();
 }
 
 fn bench_insert_remove(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(10);
-    let vector = SparseVector::from_pairs(
-        (0..8).map(|_| (TermId(rng.gen_range(0..20_000u32)), rng.gen_range(0.05f32..1.0))),
-    );
+    let vector = SparseVector::from_pairs((0..8).map(|_| {
+        (
+            TermId(rng.gen_range(0..20_000u32)),
+            rng.gen_range(0.05f32..1.0),
+        )
+    }));
     c.bench_function("index_insert_remove_8terms", |bench| {
         let mut index = build_index(10_000, 20_000, 8);
         bench.iter(|| {
@@ -56,13 +63,21 @@ fn bench_insert_remove(c: &mut Criterion) {
 fn bench_upper_bound(c: &mut Criterion) {
     let index = build_index(10_000, 20_000, 8);
     let mut rng = SmallRng::seed_from_u64(11);
-    let ctx = SparseVector::from_pairs(
-        (0..200).map(|_| (TermId(rng.gen_range(0..20_000u32)), rng.gen_range(0.05f32..1.0))),
-    );
+    let ctx = SparseVector::from_pairs((0..200).map(|_| {
+        (
+            TermId(rng.gen_range(0..20_000u32)),
+            rng.gen_range(0.05f32..1.0),
+        )
+    }));
     c.bench_function("index_score_upper_bound_200terms", |bench| {
         bench.iter(|| black_box(index.score_upper_bound(&ctx)));
     });
 }
 
-criterion_group!(benches, bench_posting_walk, bench_insert_remove, bench_upper_bound);
+criterion_group!(
+    benches,
+    bench_posting_walk,
+    bench_insert_remove,
+    bench_upper_bound
+);
 criterion_main!(benches);

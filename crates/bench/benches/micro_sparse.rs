@@ -54,7 +54,49 @@ fn bench_ad_side_lookup(c: &mut Criterion) {
             black_box(s)
         });
     });
+    // The same product through the skew-aware dispatch (lands on the
+    // galloping merge-join): the replacement for per-term `get` probes.
+    c.bench_function("ad_side_dot_8x300_dispatch", |bench| {
+        bench.iter(|| black_box(ad.dot(&ctx)));
+    });
 }
 
-criterion_group!(benches, bench_dot, bench_axpy, bench_ad_side_lookup);
+fn bench_dot_skewed(c: &mut Criterion) {
+    // Skewed operand lengths — the posting-driven rescoring shape (ads
+    // hold ~10 terms, contexts hundreds). Compares the straight
+    // merge-join against the galloping kernel and the public dispatch at
+    // several skew ratios; the dispatch should track the better of the
+    // two on both ends.
+    let mut group = c.benchmark_group("sparse_dot_skewed");
+    let mut rng = SmallRng::seed_from_u64(4);
+    for &(small, large) in &[
+        (8usize, 64usize),
+        (8, 256),
+        (8, 1024),
+        (16, 1024),
+        (64, 128),
+    ] {
+        let label = format!("{small}x{large}");
+        let a = random_vector(&mut rng, small, 50_000);
+        let b = random_vector(&mut rng, large, 50_000);
+        group.bench_function(BenchmarkId::new("merge", &label), |bench| {
+            bench.iter(|| black_box(a.dot_merge(&b)));
+        });
+        group.bench_function(BenchmarkId::new("gallop", &label), |bench| {
+            bench.iter(|| black_box(a.dot_gallop(&b)));
+        });
+        group.bench_function(BenchmarkId::new("dispatch", &label), |bench| {
+            bench.iter(|| black_box(a.dot(&b)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dot,
+    bench_axpy,
+    bench_ad_side_lookup,
+    bench_dot_skewed
+);
 criterion_main!(benches);

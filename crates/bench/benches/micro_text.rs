@@ -18,7 +18,13 @@ fn bench_tokenize(c: &mut Criterion) {
 
 fn bench_stem(c: &mut Criterion) {
     let mut stemmer = Stemmer::new();
-    let words = ["volleyball", "returns", "tomorrow", "coaches", "generalizations"];
+    let words = [
+        "volleyball",
+        "returns",
+        "tomorrow",
+        "coaches",
+        "generalizations",
+    ];
     c.bench_function("porter_stem_5_words", |bench| {
         bench.iter(|| {
             let mut total = 0usize;

@@ -19,7 +19,10 @@ fn main() {
     let num_ads = scale.pick(2_000, 20_000);
 
     let mut sim = Simulation::build(SimulationConfig {
-        workload: WorkloadConfig { num_users, ..WorkloadConfig::default() },
+        workload: WorkloadConfig {
+            num_users,
+            ..WorkloadConfig::default()
+        },
         num_ads,
         engine_kind: EngineKind::Incremental,
         ..SimulationConfig::default()
@@ -57,10 +60,11 @@ fn main() {
     report.finish();
 
     // Follower histogram as a second table (the log-log degree figure).
-    let mut hist_report =
-        Report::new("E1b", "follower-count histogram (log2 buckets)", vec![
-            "bucket_min", "users",
-        ]);
+    let mut hist_report = Report::new(
+        "E1b",
+        "follower-count histogram (log2 buckets)",
+        vec!["bucket_min", "users"],
+    );
     let hist = degree_histogram(g.users().map(|u| g.in_degree(u)));
     for (i, count) in hist.iter().enumerate() {
         hist_report.row(vec![fmt_u(1u64 << i), fmt_u(*count as u64)]);

@@ -23,12 +23,21 @@ fn main() {
     let mut report = Report::new(
         "E2",
         "throughput vs number of ads (events/s, continuous serving)",
-        vec!["ads", "engine", "events_per_sec", "p99_event_us", "postings_per_event"],
+        vec![
+            "ads",
+            "engine",
+            "events_per_sec",
+            "p99_event_us",
+            "postings_per_event",
+        ],
     );
     for &num_ads in ad_counts {
         for (kind, name) in ENGINES {
             let mut sim = Simulation::build(SimulationConfig {
-                workload: WorkloadConfig { num_users, ..WorkloadConfig::default() },
+                workload: WorkloadConfig {
+                    num_users,
+                    ..WorkloadConfig::default()
+                },
                 num_ads,
                 engine_kind: kind,
                 ..SimulationConfig::default()
@@ -38,7 +47,11 @@ fn main() {
             // large |A| (it is orders of magnitude slower; rates are
             // unaffected by the budget).
             sim.run(messages / 4);
-            let budget = if name == "full-scan" { (messages / 8).max(200) } else { messages };
+            let budget = if name == "full-scan" {
+                (messages / 8).max(200)
+            } else {
+                messages
+            };
             let warm_postings = sim.engine().stats().postings_scanned;
             let (rate, hist, _) = drive_continuous(&mut sim, budget, 10, 1);
             let postings = sim.engine().stats().postings_scanned - warm_postings;

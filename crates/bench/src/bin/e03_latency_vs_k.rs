@@ -24,14 +24,24 @@ fn main() {
     for &k in ks {
         for (kind, name) in ENGINES {
             let mut sim = Simulation::build(SimulationConfig {
-                workload: WorkloadConfig { num_users, ..WorkloadConfig::default() },
+                workload: WorkloadConfig {
+                    num_users,
+                    ..WorkloadConfig::default()
+                },
                 num_ads,
                 engine_kind: kind,
-                engine: EngineConfig { k, ..EngineConfig::default() },
+                engine: EngineConfig {
+                    k,
+                    ..EngineConfig::default()
+                },
                 ..SimulationConfig::default()
             });
             sim.run(messages / 4);
-            let budget = if name == "full-scan" { (messages / 8).max(200) } else { messages };
+            let budget = if name == "full-scan" {
+                (messages / 8).max(200)
+            } else {
+                messages
+            };
             let (_, hist, _) = drive_continuous(&mut sim, budget, k, 1);
             report.row(vec![
                 k.to_string(),

@@ -24,14 +24,21 @@ fn main() {
         vec!["window", "engine", "events_per_sec", "ctx_terms_mean"],
     );
     for &w in windows {
-        for (kind, name) in
-            [(EngineKind::IndexScan, "index-scan"), (EngineKind::Incremental, "incremental")]
-        {
+        for (kind, name) in [
+            (EngineKind::IndexScan, "index-scan"),
+            (EngineKind::Incremental, "incremental"),
+        ] {
             let mut sim = Simulation::build(SimulationConfig {
-                workload: WorkloadConfig { num_users, ..WorkloadConfig::default() },
+                workload: WorkloadConfig {
+                    num_users,
+                    ..WorkloadConfig::default()
+                },
                 num_ads,
                 engine_kind: kind,
-                engine: EngineConfig { window: WindowConfig::count(w), ..EngineConfig::default() },
+                engine: EngineConfig {
+                    window: WindowConfig::count(w),
+                    ..EngineConfig::default()
+                },
                 ..SimulationConfig::default()
             });
             // Warm enough to fill windows of this size.

@@ -15,8 +15,15 @@ use adcast_stream::generator::WorkloadConfig;
 
 fn main() {
     let scale = Scale::from_env();
-    let slacks: &[Option<f32>] =
-        &[None, Some(0.1), Some(0.25), Some(0.5), Some(1.0), Some(2.0), Some(5.0)];
+    let slacks: &[Option<f32>] = &[
+        None,
+        Some(0.1),
+        Some(0.25),
+        Some(0.5),
+        Some(1.0),
+        Some(2.0),
+        Some(5.0),
+    ];
     let messages = scale.pick(3_000, 25_000);
     let num_ads = scale.pick(2_000, 15_000);
     let num_users = scale.pick(800, 4_000);
@@ -25,13 +32,22 @@ fn main() {
     let mut report = Report::new(
         "E5",
         "refresh policy: slack vs refreshes and ranking quality",
-        vec!["slack", "refreshes", "refresh_per_delta", "ndcg_vs_exact", "postings_per_delta"],
+        vec![
+            "slack",
+            "refreshes",
+            "refresh_per_delta",
+            "ndcg_vs_exact",
+            "postings_per_delta",
+        ],
     );
 
     // Exact reference rankings come from the index-scan baseline.
     let build = |policy: RefreshPolicy, kind: EngineKind| {
         Simulation::build(SimulationConfig {
-            workload: WorkloadConfig { num_users, ..WorkloadConfig::default() },
+            workload: WorkloadConfig {
+                num_users,
+                ..WorkloadConfig::default()
+            },
             num_ads,
             engine_kind: kind,
             // The refresh policy only matters when certification actually
@@ -53,8 +69,7 @@ fn main() {
     for u in 0..probe_users {
         let user = UserId(u as u32);
         let recs = exact.recommend(user, 10);
-        reference
-            .insert(user, recs.iter().map(|r| (r.ad, r.score as f64)).collect());
+        reference.insert(user, recs.iter().map(|r| (r.ad, r.score as f64)).collect());
     }
 
     for &slack in slacks {
@@ -68,13 +83,14 @@ fn main() {
         let mut ndcg_n = 0usize;
         for u in 0..probe_users {
             let user = UserId(u as u32);
-            let Some(ref_list) = reference.get(&user) else { continue };
+            let Some(ref_list) = reference.get(&user) else {
+                continue;
+            };
             if ref_list.is_empty() {
                 continue;
             }
             let gains: HashMap<adcast_ads::AdId, f64> = ref_list.iter().copied().collect();
-            let got: Vec<adcast_ads::AdId> =
-                sim.recommend(user, 10).iter().map(|r| r.ad).collect();
+            let got: Vec<adcast_ads::AdId> = sim.recommend(user, 10).iter().map(|r| r.ad).collect();
             ndcg_sum += ndcg(&got, &gains, 10);
             ndcg_n += 1;
         }

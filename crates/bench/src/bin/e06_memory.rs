@@ -13,9 +13,20 @@ use adcast_stream::generator::WorkloadConfig;
 fn main() {
     let scale = Scale::from_env();
     let sweeps: &[(u32, usize)] = if scale == Scale::Paper {
-        &[(2_000, 5_000), (10_000, 5_000), (50_000, 5_000), (10_000, 1_000), (10_000, 50_000)]
+        &[
+            (2_000, 5_000),
+            (10_000, 5_000),
+            (50_000, 5_000),
+            (10_000, 1_000),
+            (10_000, 50_000),
+        ]
     } else {
-        &[(1_000, 2_000), (5_000, 2_000), (5_000, 500), (5_000, 10_000)]
+        &[
+            (1_000, 2_000),
+            (5_000, 2_000),
+            (5_000, 500),
+            (5_000, 10_000),
+        ]
     };
     let messages = scale.pick(5_000, 20_000);
 
@@ -23,7 +34,13 @@ fn main() {
         "E6",
         "memory footprint by component",
         vec![
-            "users", "ads", "cache_cap", "graph_B", "feeds_B", "ad_store_B", "engine_B",
+            "users",
+            "ads",
+            "cache_cap",
+            "graph_B",
+            "feeds_B",
+            "ad_store_B",
+            "engine_B",
             "engine_pretty",
         ],
     );
@@ -37,10 +54,16 @@ fn main() {
     }
     for (num_users, num_ads, cache_capacity) in runs {
         let mut sim = Simulation::build(SimulationConfig {
-            workload: WorkloadConfig { num_users, ..WorkloadConfig::default() },
+            workload: WorkloadConfig {
+                num_users,
+                ..WorkloadConfig::default()
+            },
             num_ads,
             engine_kind: EngineKind::Incremental,
-            engine: adcast_core::EngineConfig { cache_capacity, ..Default::default() },
+            engine: adcast_core::EngineConfig {
+                cache_capacity,
+                ..Default::default()
+            },
             ..SimulationConfig::default()
         });
         sim.run(messages);

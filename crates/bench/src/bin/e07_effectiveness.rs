@@ -50,7 +50,9 @@ fn probe(
         }
         let (mut sp, mut sr, mut sf, mut n) = (0.0, 0.0, 0.0, 0usize);
         for (ad, retrieved) in &per_ad {
-            let Some(&topic) = topics.get(ad) else { continue };
+            let Some(&topic) = topics.get(ad) else {
+                continue;
+            };
             let relevant = sim.users_interested_in(topic);
             if relevant.is_empty() {
                 continue;
@@ -83,7 +85,10 @@ fn main() {
     let alphas: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
 
     let mut sim = Simulation::build(SimulationConfig {
-        workload: WorkloadConfig { num_users, ..WorkloadConfig::default() },
+        workload: WorkloadConfig {
+            num_users,
+            ..WorkloadConfig::default()
+        },
         num_ads,
         engine_kind: EngineKind::Incremental,
         targeted_ad_fraction: 0.0,
@@ -102,12 +107,26 @@ fn main() {
     // two probes compare is context richness, as in the paper).
     sim.run(early_messages);
     let morning = sim.now();
-    probe(&mut sim, num_users, morning, &alphas, "05:00-13:00", &mut report);
+    probe(
+        &mut sim,
+        num_users,
+        morning,
+        &alphas,
+        "05:00-13:00",
+        &mut report,
+    );
 
     // Slot 2 [13:01-20:00]: probe after a much richer stream.
     sim.run(extra_messages);
     let afternoon = sim.now();
-    probe(&mut sim, num_users, afternoon, &alphas, "13:01-20:00", &mut report);
+    probe(
+        &mut sim,
+        num_users,
+        afternoon,
+        &alphas,
+        "13:01-20:00",
+        &mut report,
+    );
 
     report.finish();
 }

@@ -23,7 +23,10 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(0xE08);
     let graph = generators::preferential_attachment(num_users, 20, &mut rng);
     let mut generator = WorkloadGenerator::with_poisson(
-        WorkloadConfig { num_users, ..WorkloadConfig::default() },
+        WorkloadConfig {
+            num_users,
+            ..WorkloadConfig::default()
+        },
         200.0,
     );
     let stream: Vec<_> = (0..messages).map(|_| generator.next_message()).collect();
@@ -70,8 +73,16 @@ fn main() {
         ]);
     };
 
-    run("push".into(), "-".into(), &mut PushDelivery::new(num_users, window));
-    run("pull".into(), "-".into(), &mut PullDelivery::new(num_users, window));
+    run(
+        "push".into(),
+        "-".into(),
+        &mut PushDelivery::new(num_users, window),
+    );
+    run(
+        "pull".into(),
+        "-".into(),
+        &mut PullDelivery::new(num_users, window),
+    );
     for threshold in [8usize, 32, 128, 512, 2048] {
         run(
             "hybrid".into(),

@@ -35,26 +35,74 @@ fn main() {
     );
 
     let variants: Vec<(String, EngineConfig)> = vec![
-        ("baseline (screen, headroom 4, eager)".into(), EngineConfig::default()),
-        ("no screening".into(), EngineConfig { screening: false, ..Default::default() }),
-        ("headroom 1".into(), EngineConfig { buffer_headroom: 1, ..Default::default() }),
-        ("headroom 2".into(), EngineConfig { buffer_headroom: 2, ..Default::default() }),
-        ("headroom 8".into(), EngineConfig { buffer_headroom: 8, ..Default::default() }),
-        ("no decay".into(), EngineConfig { half_life: None, ..Default::default() }),
+        (
+            "baseline (screen, headroom 4, eager)".into(),
+            EngineConfig::default(),
+        ),
+        (
+            "no screening".into(),
+            EngineConfig {
+                screening: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "headroom 1".into(),
+            EngineConfig {
+                buffer_headroom: 1,
+                ..Default::default()
+            },
+        ),
+        (
+            "headroom 2".into(),
+            EngineConfig {
+                buffer_headroom: 2,
+                ..Default::default()
+            },
+        ),
+        (
+            "headroom 8".into(),
+            EngineConfig {
+                buffer_headroom: 8,
+                ..Default::default()
+            },
+        ),
+        (
+            "no decay".into(),
+            EngineConfig {
+                half_life: None,
+                ..Default::default()
+            },
+        ),
         (
             "lazy refresh (slack 0.5)".into(),
-            EngineConfig { refresh: RefreshPolicy::Budgeted { slack: 0.5 }, ..Default::default() },
+            EngineConfig {
+                refresh: RefreshPolicy::Budgeted { slack: 0.5 },
+                ..Default::default()
+            },
         ),
-        ("no score cache".into(), EngineConfig { cache_capacity: 0, ..Default::default() }),
+        (
+            "no score cache".into(),
+            EngineConfig {
+                cache_capacity: 0,
+                ..Default::default()
+            },
+        ),
         (
             "score cache 1024".into(),
-            EngineConfig { cache_capacity: 1024, ..Default::default() },
+            EngineConfig {
+                cache_capacity: 1024,
+                ..Default::default()
+            },
         ),
     ];
 
     for (name, engine) in variants {
         let mut sim = Simulation::build(SimulationConfig {
-            workload: WorkloadConfig { num_users, ..WorkloadConfig::default() },
+            workload: WorkloadConfig {
+                num_users,
+                ..WorkloadConfig::default()
+            },
             num_ads,
             engine_kind: EngineKind::Incremental,
             engine,

@@ -7,7 +7,7 @@
 
 use adcast_bench::{fmt, Report, Scale};
 use adcast_core::driver::ShardedDriver;
-use adcast_core::EngineConfig;
+use adcast_core::{DriverConfig, EngineConfig};
 use adcast_feed::{FeedDelivery, PushDelivery};
 use adcast_graph::generators;
 use adcast_stream::generator::{WorkloadConfig, WorkloadGenerator};
@@ -26,7 +26,10 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(0xE10);
     let graph = generators::preferential_attachment(num_users, 20, &mut rng);
     let mut generator = WorkloadGenerator::with_poisson(
-        WorkloadConfig { num_users, ..WorkloadConfig::default() },
+        WorkloadConfig {
+            num_users,
+            ..WorkloadConfig::default()
+        },
         200.0,
     );
     let mut store = adcast_ads::AdStore::new();
@@ -57,18 +60,32 @@ fn main() {
     }
     let total_deltas: usize = batches.iter().map(|b| b.len()).sum();
 
-    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut report = Report::new(
         "E10",
         "scalability: deltas/sec vs shard count",
-        vec!["shards", "deltas_per_sec", "speedup", "refresh_per_delta"],
+        vec![
+            "shards",
+            "deltas_per_sec",
+            "speedup",
+            "refresh_per_delta",
+            "memory_MB",
+        ],
     );
     let mut base_rate = None::<f64>;
     for shards in [1usize, 2, 4, 8, 16] {
         if shards > available * 2 {
             break;
         }
-        let mut driver = ShardedDriver::new(num_users, shards, EngineConfig::default());
+        let mut driver = ShardedDriver::with_config(
+            num_users,
+            DriverConfig {
+                num_shards: shards,
+                engine: EngineConfig::default(),
+            },
+        );
         let started = Instant::now();
         for batch in &batches {
             driver.process_batch(&store, batch.clone());
@@ -77,11 +94,15 @@ fn main() {
         let rate = total_deltas as f64 / secs.max(1e-9);
         let base = *base_rate.get_or_insert(rate);
         let stats = driver.stats();
+        // Engine state only covers each shard's residents, so this column
+        // no longer scales with shards × users.
+        let memory_mb = driver.memory_bytes() as f64 / (1024.0 * 1024.0);
         report.row(vec![
             shards.to_string(),
             fmt(rate),
             fmt(rate / base),
             fmt(stats.refreshes as f64 / stats.deltas.max(1) as f64),
+            fmt(memory_mb),
         ]);
     }
     report.finish();

@@ -8,6 +8,7 @@
 //! tracks the linear schedule, and the top slot's CTR clearly exceeds the
 //! second slot's (position bias).
 
+use adcast_ads::PacingController;
 use adcast_bench::{fmt, fmt_u, Report, Scale};
 use adcast_core::market::AdMarket;
 use adcast_core::runner::EngineKind;
@@ -15,7 +16,6 @@ use adcast_core::{Simulation, SimulationConfig};
 use adcast_graph::UserId;
 use adcast_stream::clock::Timestamp;
 use adcast_stream::generator::WorkloadConfig;
-use adcast_ads::PacingController;
 
 struct Quartiles {
     spend_at: [f64; 4],
@@ -23,7 +23,11 @@ struct Quartiles {
 
 fn run(paced: bool, waves: usize, users_per_wave: u32, seed: u64) -> (Quartiles, AdMarket, f64) {
     let config = SimulationConfig {
-        workload: WorkloadConfig { seed, num_users: users_per_wave, ..WorkloadConfig::tiny() },
+        workload: WorkloadConfig {
+            seed,
+            num_users: users_per_wave,
+            ..WorkloadConfig::tiny()
+        },
         num_ads: 40,
         ad_budget: Some(10.0),
         bid_range: (0.5, 1.5),
@@ -41,7 +45,10 @@ fn run(paced: bool, waves: usize, users_per_wave: u32, seed: u64) -> (Quartiles,
     );
     if paced {
         for &(ad, _) in sim.ad_topics() {
-            market.set_pacing(ad, PacingController::new(Timestamp::EPOCH, flight_end, 10.0));
+            market.set_pacing(
+                ad,
+                PacingController::new(Timestamp::EPOCH, flight_end, 10.0),
+            );
         }
     }
 
@@ -125,7 +132,11 @@ fn main() {
             pos.to_string(),
             fmt_u(imps),
             fmt_u(clicks),
-            fmt(if imps > 0 { clicks as f64 / imps as f64 } else { 0.0 }),
+            fmt(if imps > 0 {
+                clicks as f64 / imps as f64
+            } else {
+                0.0
+            }),
         ]);
     }
     pos_report.finish();

@@ -7,11 +7,11 @@
 //! actually live nearest to the anchored city) starts near 1 and decays
 //! once the radius spills into neighbouring cities.
 
+use adcast_ads::Targeting;
 use adcast_bench::{fmt, fmt_u, Report, Scale};
 use adcast_stream::clock::Timestamp;
 use adcast_stream::event::LocationId;
 use adcast_stream::geo::{CityModel, GeoGrid};
-use adcast_ads::Targeting;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -23,7 +23,9 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(0xE12);
 
     // Population with ground-truth nearest city.
-    let homes: Vec<LocationId> = (0..num_users).map(|_| model.sample_home(&mut rng)).collect();
+    let homes: Vec<LocationId> = (0..num_users)
+        .map(|_| model.sample_home(&mut rng))
+        .collect();
     let nearest_city: Vec<usize> = homes
         .iter()
         .map(|&home| {
@@ -39,13 +41,19 @@ fn main() {
     let mut report = Report::new(
         "E12",
         "geo-targeted reach vs radius",
-        vec!["city", "radius", "eligible_cells", "reach", "reach_frac", "precision"],
+        vec![
+            "city",
+            "radius",
+            "eligible_cells",
+            "reach",
+            "reach_frac",
+            "precision",
+        ],
     );
     let probe_time = Timestamp::from_secs(10 * 3600); // morning; slots unused here
     for city in 0..model.num_cities() {
         let center = model.city_center(city);
-        let own_population =
-            nearest_city.iter().filter(|&&c| c == city).count().max(1);
+        let own_population = nearest_city.iter().filter(|&&c| c == city).count().max(1);
         for radius in [1.0f64, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
             let cells = grid.cells_within(center, radius);
             let targeting = Targeting::everywhere().in_locations(cells.iter().copied());
@@ -65,7 +73,11 @@ fn main() {
                 fmt_u(cells.len() as u64),
                 fmt_u(reach as u64),
                 fmt(reach as f64 / own_population as f64),
-                fmt(if reach > 0 { correct as f64 / reach as f64 } else { 0.0 }),
+                fmt(if reach > 0 {
+                    correct as f64 / reach as f64
+                } else {
+                    0.0
+                }),
             ]);
         }
     }

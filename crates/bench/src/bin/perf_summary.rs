@@ -1,0 +1,191 @@
+//! Machine-readable performance snapshot → `results/bench_summary.json`.
+//!
+//! Measures the three numbers every perf PR must not regress — incremental
+//! deltas/sec, recommend p50/p99 latency, resident memory — plus the
+//! sharded-pool throughput and the sparse-kernel micro timings, and writes
+//! them through [`adcast_bench::BenchSummary`] so successive PRs leave a
+//! comparable trajectory. Scale via `ADCAST_SCALE` (`quick` | `paper`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use adcast_ads::{AdStore, AdSubmission, Budget, Targeting};
+use adcast_bench::{BenchSummary, Scale};
+use adcast_core::driver::ShardedDriver;
+use adcast_core::{DriverConfig, EngineConfig, IncrementalEngine, RecommendationEngine};
+use adcast_feed::FeedDelta;
+use adcast_graph::UserId;
+use adcast_metrics::LatencyHistogram;
+use adcast_stream::clock::Timestamp;
+use adcast_stream::event::{LocationId, Message, MessageId};
+use adcast_text::dictionary::TermId;
+use adcast_text::SparseVector;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_vector(rng: &mut SmallRng, terms: usize, vocab: u32) -> SparseVector {
+    SparseVector::from_pairs(
+        (0..terms).map(|_| (TermId(rng.gen_range(0..vocab)), rng.gen_range(0.05f32..1.0))),
+    )
+}
+
+fn build_store(rng: &mut SmallRng, num_ads: u32, vocab: u32) -> AdStore {
+    let mut store = AdStore::new();
+    for _ in 0..num_ads {
+        store
+            .submit(AdSubmission {
+                vector: random_vector(rng, 8, vocab),
+                bid: 1.0,
+                targeting: Targeting::everywhere(),
+                budget: Budget::unlimited(),
+                topic_hint: None,
+            })
+            .expect("valid ad");
+    }
+    store
+}
+
+/// A per-user sliding-window delta stream in arrival order.
+fn build_workload(
+    rng: &mut SmallRng,
+    num_users: u32,
+    n: u64,
+    vocab: u32,
+    window: usize,
+) -> Vec<(UserId, FeedDelta)> {
+    let mut windows: Vec<Vec<Arc<Message>>> = (0..num_users).map(|_| Vec::new()).collect();
+    (0..n)
+        .map(|i| {
+            let user = UserId(rng.gen_range(0..num_users));
+            let msg = Arc::new(Message {
+                id: MessageId(i),
+                author: user,
+                ts: Timestamp::from_secs(i / 64),
+                location: LocationId(0),
+                vector: random_vector(rng, 3, vocab),
+            });
+            let w = &mut windows[user.index()];
+            let evicted = if w.len() >= window {
+                vec![w.remove(0)]
+            } else {
+                vec![]
+            };
+            w.push(msg.clone());
+            (
+                user,
+                FeedDelta {
+                    entered: Some(msg),
+                    evicted,
+                },
+            )
+        })
+        .collect()
+}
+
+fn time_per_iter(iters: u64, mut f: impl FnMut()) -> f64 {
+    let started = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    started.elapsed().as_secs_f64() / iters as f64
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let num_users = scale.pick(2_000u32, 10_000);
+    let num_ads = scale.pick(5_000u32, 30_000);
+    let warm = scale.pick(20_000u64, 100_000);
+    let measured = scale.pick(20_000u64, 200_000);
+    let vocab = 20_000u32;
+
+    let mut rng = SmallRng::seed_from_u64(0xBE7C);
+    let store = build_store(&mut rng, num_ads, vocab);
+    let workload = build_workload(&mut rng, num_users, warm + measured, vocab, 16);
+    let mut summary = BenchSummary::new();
+
+    // --- Incremental engine: deltas/sec, recommend p50/p99, memory. ---
+    let mut engine = IncrementalEngine::new(num_users, EngineConfig::default());
+    for (u, d) in &workload[..warm as usize] {
+        engine.on_feed_delta(&store, *u, d);
+    }
+    let started = Instant::now();
+    for (u, d) in &workload[warm as usize..] {
+        engine.on_feed_delta(&store, *u, d);
+    }
+    let deltas_per_sec = measured as f64 / started.elapsed().as_secs_f64().max(1e-9);
+
+    let mut hist = LatencyHistogram::new();
+    let now = Timestamp::from_secs((warm + measured) / 64 + 1);
+    for i in 0..scale.pick(5_000u32, 20_000) {
+        let u = UserId(i % num_users);
+        let t0 = Instant::now();
+        let recs = engine.recommend(&store, u, now, LocationId(0), 10);
+        hist.record_duration(t0.elapsed());
+        std::hint::black_box(recs.len());
+    }
+    summary.metric("incremental", "deltas_per_sec", deltas_per_sec);
+    summary.metric("incremental", "recommend_p50_ns", hist.p50() as f64);
+    summary.metric("incremental", "recommend_p99_ns", hist.p99() as f64);
+    summary.metric("incremental", "memory_bytes", engine.memory_bytes() as f64);
+    println!(
+        "incremental: {:.0} deltas/s, recommend p50 {} ns / p99 {} ns, {} bytes",
+        deltas_per_sec,
+        hist.p50(),
+        hist.p99(),
+        engine.memory_bytes()
+    );
+
+    // --- Sharded pool: batch throughput and resident memory by shards. ---
+    let batch_size = 1_000usize;
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    for shards in [1usize, 2, 4, 8] {
+        if shards > available * 2 {
+            break;
+        }
+        let mut driver = ShardedDriver::with_config(
+            num_users,
+            DriverConfig {
+                num_shards: shards,
+                engine: EngineConfig::default(),
+            },
+        );
+        let started = Instant::now();
+        for batch in workload.chunks(batch_size) {
+            driver.process_batch(&store, batch.to_vec());
+        }
+        let rate = workload.len() as f64 / started.elapsed().as_secs_f64().max(1e-9);
+        let section = format!("pool_{shards}_shards");
+        summary.metric(&section, "deltas_per_sec", rate);
+        summary.metric(&section, "memory_bytes", driver.memory_bytes() as f64);
+        println!(
+            "{section}: {rate:.0} deltas/s, {} bytes",
+            driver.memory_bytes()
+        );
+    }
+
+    // --- Sparse kernels: the skewed-dot shape (ad 8 × context 512). ---
+    let small = random_vector(&mut rng, 8, 50_000);
+    let large = random_vector(&mut rng, 512, 50_000);
+    let iters = scale.pick(200_000u64, 1_000_000);
+    let merge_ns = time_per_iter(iters, || {
+        std::hint::black_box(small.dot_merge(&large));
+    }) * 1e9;
+    let gallop_ns = time_per_iter(iters, || {
+        std::hint::black_box(small.dot_gallop(&large));
+    }) * 1e9;
+    summary.metric("sparse_dot_8x512", "merge_ns", merge_ns);
+    summary.metric("sparse_dot_8x512", "gallop_ns", gallop_ns);
+    summary.metric(
+        "sparse_dot_8x512",
+        "gallop_speedup",
+        merge_ns / gallop_ns.max(1e-9),
+    );
+    println!(
+        "sparse dot 8x512: merge {merge_ns:.0} ns, gallop {gallop_ns:.0} ns ({:.1}x)",
+        merge_ns / gallop_ns.max(1e-9)
+    );
+
+    summary.write();
+}

@@ -62,7 +62,12 @@ impl Report {
     /// Start a report for experiment `id` (e.g. `"E2"`).
     pub fn new(id: &'static str, title: &'static str, columns: Vec<&'static str>) -> Self {
         println!("== {id}: {title} ==");
-        Report { id, title, columns, rows: Vec::new() }
+        Report {
+            id,
+            title,
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Append one row (values are stringified in column order) and echo it
@@ -112,12 +117,110 @@ impl Report {
     }
 }
 
+/// A machine-readable performance snapshot, written to
+/// `results/bench_summary.json` so successive PRs leave a comparable perf
+/// trajectory. Metrics are grouped into named sections (one per engine or
+/// subsystem); values are floats in the unit named by the metric key
+/// (`deltas_per_sec`, `recommend_p99_ns`, `memory_bytes`, ...).
+///
+/// JSON is emitted by hand (stable key order, no external deps):
+///
+/// ```json
+/// {
+///   "scale": "quick",
+///   "sections": {
+///     "incremental": { "deltas_per_sec": 1.5e6, "recommend_p50_ns": 800.0 }
+///   }
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct BenchSummary {
+    sections: Vec<(String, Vec<(String, f64)>)>,
+}
+
+impl BenchSummary {
+    /// Start an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `section.name = value`. Sections and metrics keep insertion
+    /// order; re-recording a metric overwrites it.
+    pub fn metric(&mut self, section: &str, name: &str, value: f64) {
+        let sec = match self.sections.iter_mut().find(|(s, _)| s == section) {
+            Some((_, metrics)) => metrics,
+            None => {
+                self.sections.push((section.to_string(), Vec::new()));
+                &mut self.sections.last_mut().expect("just pushed").1
+            }
+        };
+        match sec.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => sec.push((name.to_string(), value)),
+        }
+    }
+
+    /// Serialize to a JSON string (finite floats only; NaN/∞ become null).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".into()
+            }
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"scale\": \"{}\",\n",
+            match Scale::from_env() {
+                Scale::Quick => "quick",
+                Scale::Paper => "paper",
+            }
+        ));
+        out.push_str("  \"sections\": {\n");
+        for (si, (section, metrics)) in self.sections.iter().enumerate() {
+            out.push_str(&format!("    \"{}\": {{\n", esc(section)));
+            for (mi, (name, value)) in metrics.iter().enumerate() {
+                let comma = if mi + 1 < metrics.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "      \"{}\": {}{comma}\n",
+                    esc(name),
+                    num(*value)
+                ));
+            }
+            let comma = if si + 1 < self.sections.len() {
+                ","
+            } else {
+                ""
+            };
+            out.push_str(&format!("    }}{comma}\n"));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Write `results/bench_summary.json` and return its path.
+    pub fn write(&self) -> PathBuf {
+        let dir = results_dir();
+        fs::create_dir_all(&dir).expect("create results dir");
+        let path = dir.join("bench_summary.json");
+        fs::write(&path, self.to_json()).expect("write bench summary");
+        println!("→ wrote {}", path.display());
+        path
+    }
+}
+
 fn results_dir() -> PathBuf {
     // Walk up from the crate dir to the workspace root's results/.
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest.parent().and_then(|p| p.parent()).map(|p| p.join("results")).unwrap_or_else(|| {
-        PathBuf::from("results")
-    })
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
 }
 
 /// Format a float with engineering-friendly precision.
@@ -171,8 +274,13 @@ pub fn drive_continuous_capped(
         let t0 = Instant::now();
         let (msg, _) = sim.step();
         if serve_every > 0 && i % serve_every == 0 {
-            let followers: Vec<UserId> =
-                sim.graph().followers(msg.author).iter().copied().take(serve_cap).collect();
+            let followers: Vec<UserId> = sim
+                .graph()
+                .followers(msg.author)
+                .iter()
+                .copied()
+                .take(serve_cap)
+                .collect();
             for u in followers {
                 sim.recommend(u, k);
                 serves += 1;
@@ -186,8 +294,10 @@ pub fn drive_continuous_capped(
 
 /// Build a simulation with shared experiment defaults.
 pub fn standard_sim(kind: EngineKind, mutate: impl FnOnce(&mut SimulationConfig)) -> Simulation {
-    let mut config = SimulationConfig::default();
-    config.engine_kind = kind;
+    let mut config = SimulationConfig {
+        engine_kind: kind,
+        ..SimulationConfig::default()
+    };
     mutate(&mut config);
     Simulation::build(config)
 }
@@ -214,7 +324,7 @@ mod tests {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(0.1234), "0.123");
         assert_eq!(fmt(12.34), "12.3");
-        assert_eq!(fmt(1234.5), "1234");  // round-half-to-even
+        assert_eq!(fmt(1234.5), "1234"); // round-half-to-even
     }
 
     #[test]
@@ -227,6 +337,21 @@ mod tests {
         assert!(rate > 0.0);
         assert_eq!(hist.count(), 50);
         assert!(serves > 0);
+    }
+
+    #[test]
+    fn bench_summary_shape() {
+        let mut s = BenchSummary::new();
+        s.metric("incremental", "deltas_per_sec", 1.5e6);
+        s.metric("incremental", "recommend_p99_ns", 900.0);
+        s.metric("incremental", "deltas_per_sec", 2.0e6); // overwrite
+        s.metric("pool_4_shards", "deltas_per_sec", 5.0e6);
+        let json = s.to_json();
+        assert!(json.contains("\"deltas_per_sec\": 2000000"));
+        assert!(json.contains("\"pool_4_shards\""));
+        assert!(json.contains("\"scale\""));
+        // Exactly one trailing-comma-free object per section.
+        assert_eq!(json.matches("},").count(), 1);
     }
 
     #[test]

@@ -112,6 +112,37 @@ impl EngineConfig {
     }
 }
 
+/// Configuration of the sharded worker pool (see [`crate::driver`]).
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Worker shards. Each shard owns one engine instance holding only its
+    /// resident users' state; for `num_shards > 1` the driver spawns one
+    /// long-lived worker thread per shard (once, at construction).
+    pub num_shards: usize,
+    /// Per-shard engine configuration.
+    pub engine: EngineConfig,
+}
+
+impl DriverConfig {
+    /// One shard per available core (the E10 sweet spot: per-user state is
+    /// embarrassingly partitionable, so speedup is near-linear up to the
+    /// core count).
+    pub fn auto(engine: EngineConfig) -> Self {
+        let num_shards = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        DriverConfig { num_shards, engine }
+    }
+
+    /// Validate invariants; the driver calls this on construction.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_shards == 0 {
+            return Err("need at least one shard".into());
+        }
+        self.engine.validate()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,20 +153,46 @@ mod tests {
     }
 
     #[test]
+    fn driver_config_auto_has_shards() {
+        let cfg = DriverConfig::auto(EngineConfig::default());
+        assert!(cfg.num_shards >= 1);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn driver_config_zero_shards_rejected() {
+        let cfg = DriverConfig {
+            num_shards: 0,
+            engine: EngineConfig::default(),
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
     fn buffer_capacity_scales_with_k() {
-        let cfg = EngineConfig { k: 5, buffer_headroom: 3, ..Default::default() };
+        let cfg = EngineConfig {
+            k: 5,
+            buffer_headroom: 3,
+            ..Default::default()
+        };
         assert_eq!(cfg.buffer_capacity(), 15);
     }
 
     #[test]
     fn zero_k_rejected() {
-        let cfg = EngineConfig { k: 0, ..Default::default() };
+        let cfg = EngineConfig {
+            k: 0,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn zero_headroom_rejected() {
-        let cfg = EngineConfig { buffer_headroom: 0, ..Default::default() };
+        let cfg = EngineConfig {
+            buffer_headroom: 0,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
@@ -157,6 +214,9 @@ mod tests {
         assert!(lazy.should_refresh(1.0, 1.6));
         // slack 0 == eager.
         let zero = RefreshPolicy::Budgeted { slack: 0.0 };
-        assert_eq!(zero.should_refresh(1.0, 1.1), RefreshPolicy::Eager.should_refresh(1.0, 1.1));
+        assert_eq!(
+            zero.should_refresh(1.0, 1.1),
+            RefreshPolicy::Eager.should_refresh(1.0, 1.1)
+        );
     }
 }

@@ -13,7 +13,7 @@ use adcast_feed::FeedDelta;
 use adcast_stream::clock::{Duration, Timestamp};
 use adcast_stream::decay::ForwardDecay;
 use adcast_stream::event::Message;
-use adcast_text::SparseVector;
+use adcast_text::{ScratchSpace, SparseVector};
 
 /// What a context update did, as seen by derived state.
 #[derive(Debug, Clone, Default)]
@@ -51,7 +51,11 @@ impl UserContext {
             Some(h) => ForwardDecay::from_half_life(h),
             None => ForwardDecay::disabled(),
         };
-        UserContext { decay, acc: SparseVector::new(), last_ts: Timestamp::EPOCH }
+        UserContext {
+            decay,
+            acc: SparseVector::new(),
+            last_ts: Timestamp::EPOCH,
+        }
     }
 
     /// The raw forward-scale accumulator.
@@ -82,8 +86,29 @@ impl UserContext {
 
     /// Apply a feed delta. Returns the forward-scale change plus any
     /// rescale factor derived state must apply **first**.
+    ///
+    /// Convenience wrapper around [`apply_into`](Self::apply_into) that
+    /// owns its own temporaries; the engine's hot path reuses a
+    /// caller-owned update and scratch instead.
     pub fn apply(&mut self, delta: &FeedDelta) -> ContextUpdate {
         let mut update = ContextUpdate::default();
+        let mut scratch = ScratchSpace::new();
+        self.apply_into(delta, &mut update, &mut scratch);
+        update
+    }
+
+    /// Apply a feed delta, writing the result into the caller-owned
+    /// `update` (previous contents are discarded; its buffers are reused)
+    /// and using `scratch` for the merge temporaries. With both reused
+    /// across calls, the steady state performs no heap allocation.
+    pub fn apply_into(
+        &mut self,
+        delta: &FeedDelta,
+        update: &mut ContextUpdate,
+        scratch: &mut ScratchSpace,
+    ) {
+        update.rescale = None;
+        update.delta.clear();
         // Rebase before inserting if the incoming timestamp would push the
         // exponent over the safe range.
         if let Some(m) = &delta.entered {
@@ -94,19 +119,16 @@ impl UserContext {
                 update.rescale = Some(factor);
             }
         }
-        let mut change = SparseVector::new();
         if let Some(m) = &delta.entered {
             let g = self.decay.weight(m.ts) as f32;
-            change.axpy(g, &m.vector);
+            update.delta.axpy_in(g, &m.vector, scratch);
             self.last_ts = self.last_ts.max(m.ts);
         }
         for evicted in &delta.evicted {
             let g = self.decay.weight(evicted.ts) as f32;
-            change.axpy(-g, &evicted.vector);
+            update.delta.axpy_in(-g, &evicted.vector, scratch);
         }
-        self.acc.axpy(1.0, &change);
-        update.delta = change;
-        update
+        self.acc.axpy_in(1.0, &update.delta, scratch);
     }
 
     /// The true (decay-normalized) context vector at time `t` — O(terms);
@@ -159,7 +181,10 @@ mod tests {
     }
 
     fn enter(m: SharedMessage) -> FeedDelta {
-        FeedDelta { entered: Some(m), evicted: vec![] }
+        FeedDelta {
+            entered: Some(m),
+            evicted: vec![],
+        }
     }
 
     #[test]
@@ -177,8 +202,15 @@ mod tests {
         let mut ctx = UserContext::new(None);
         let m = msg(0, 0, &[(1, 1.0), (2, 0.5)]);
         ctx.apply(&enter(m.clone()));
-        ctx.apply(&FeedDelta { entered: None, evicted: vec![m] });
-        assert!(ctx.is_empty(), "entering then evicting must cancel: {:?}", ctx.raw());
+        ctx.apply(&FeedDelta {
+            entered: None,
+            evicted: vec![m],
+        });
+        assert!(
+            ctx.is_empty(),
+            "entering then evicting must cancel: {:?}",
+            ctx.raw()
+        );
     }
 
     #[test]
@@ -190,8 +222,14 @@ mod tests {
         let v = ctx.materialize(now);
         let old_w = v.get(TermId(1));
         let new_w = v.get(TermId(2));
-        assert!((new_w - 1.0).abs() < 1e-5, "fresh message has weight 1, got {new_w}");
-        assert!((old_w - 0.5).abs() < 1e-5, "one half-life halves the weight, got {old_w}");
+        assert!(
+            (new_w - 1.0).abs() < 1e-5,
+            "fresh message has weight 1, got {new_w}"
+        );
+        assert!(
+            (old_w - 0.5).abs() < 1e-5,
+            "one half-life halves the weight, got {old_w}"
+        );
     }
 
     #[test]
@@ -230,7 +268,10 @@ mod tests {
         let far = 20; // seconds; λ≈6.93/s → exponent ≈ 138 > 60
         let update = ctx.apply(&enter(msg(1, far, &[(2, 1.0)])));
         let factor = update.rescale.expect("rebase must be reported");
-        assert!(factor < 1e-10, "rescale shrinks forward weights, got {factor}");
+        assert!(
+            factor < 1e-10,
+            "rescale shrinks forward weights, got {factor}"
+        );
         // Semantics preserved: the fresh message has relative weight 1.
         let v = ctx.materialize(Timestamp::from_secs(far));
         assert!((v.get(TermId(2)) - 1.0).abs() < 1e-4);
@@ -244,8 +285,15 @@ mod tests {
         let mut shadow = SparseVector::new();
         for i in 0..20u64 {
             let m = msg(i, i * 10, &[((i % 5) as u32, 1.0)]);
-            let evict = if i >= 3 { Some(msg(i - 3, (i - 3) * 10, &[(((i - 3) % 5) as u32, 1.0)])) } else { None };
-            let delta = FeedDelta { entered: Some(m), evicted: evict.into_iter().collect() };
+            let evict = if i >= 3 {
+                Some(msg(i - 3, (i - 3) * 10, &[(((i - 3) % 5) as u32, 1.0)]))
+            } else {
+                None
+            };
+            let delta = FeedDelta {
+                entered: Some(m),
+                evicted: evict.into_iter().collect(),
+            };
             let update = ctx.apply(&delta);
             if let Some(r) = update.rescale {
                 shadow.scale(r as f32);
@@ -256,14 +304,20 @@ mod tests {
         assert_eq!(shadow.len(), ctx.raw().len());
         for (t, w) in ctx.raw().iter() {
             let rel = (shadow.get(t) - w).abs() / w.abs().max(1e-12);
-            assert!(rel < 1e-4, "term {t:?}: shadow {} vs ctx {w}", shadow.get(t));
+            assert!(
+                rel < 1e-4,
+                "term {t:?}: shadow {} vs ctx {w}",
+                shadow.get(t)
+            );
         }
     }
 
     #[test]
     fn rebuild_matches_incremental() {
         let mut inc = UserContext::new(Some(Duration::from_secs(100)));
-        let msgs: Vec<_> = (0..10u64).map(|i| msg(i, i * 7, &[((i % 3) as u32, 0.7)])).collect();
+        let msgs: Vec<_> = (0..10u64)
+            .map(|i| msg(i, i * 7, &[((i % 3) as u32, 0.7)]))
+            .collect();
         for m in &msgs {
             inc.apply(&enter(m.clone()));
         }

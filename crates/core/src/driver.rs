@@ -2,89 +2,230 @@
 //!
 //! Users are partitioned across shards by id; each shard owns a private
 //! engine instance, so no engine state is ever shared between threads —
-//! the only shared structure is the read-only [`AdStore`] borrow. Feed
-//! deltas are fanned to shards over crossbeam channels and processed by a
-//! scoped worker per shard.
+//! the only shared structure is the read-only [`AdStore`] borrow.
+//!
+//! ## Worker-pool protocol
+//!
+//! Workers are **persistent**: `new` spawns one long-lived thread per
+//! shard (for `num_shards > 1`) and `process_batch` never spawns or joins
+//! anything. Each batch is pre-partitioned into per-shard slabs
+//! (`Vec<(UserId, FeedDelta)>`) and handed over with **one** channel send
+//! per shard; the worker drains the slab through its engine and returns
+//! the emptied slab on a per-worker ack channel. `process_batch` blocks
+//! until every shard has acked — that barrier is what makes the raw
+//! `*const AdStore` handed to the workers sound (the borrow outlives all
+//! uses) and it recycles the slabs, so a steady batch loop performs no
+//! per-item channel traffic and no per-batch thread churn. Dropping the
+//! driver sends each worker a shutdown message and joins it.
+//!
+//! ## Memory
+//!
+//! Each shard's engine holds state **only for its resident users**: user
+//! `u` lives on shard `u % S` at local index `u / S`, so shard `s` sizes
+//! its engine to `ceil((N − s) / S)` users. Total per-user state is
+//! independent of the shard count (an earlier revision allocated all `N`
+//! user slots in every shard, overstating `memory_bytes` by ~`S×`).
 //!
 //! This mirrors how a production deployment scales the algorithm: the
 //! per-user state is embarrassingly partitionable, and the ad index is
 //! read-mostly (campaign churn is orders of magnitude rarer than feed
 //! updates and is applied between processing waves).
 
-use adcast_ads::AdStore;
+use adcast_ads::{AdId, AdStore};
 use adcast_feed::FeedDelta;
 use adcast_graph::UserId;
 use adcast_stream::clock::Timestamp;
 use adcast_stream::event::LocationId;
-use crossbeam::channel;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
 
-use crate::config::EngineConfig;
+use crate::config::{DriverConfig, EngineConfig};
 use crate::engine::{EngineStats, IncrementalEngine, Recommendation, RecommendationEngine};
 
-/// A sharded pool of incremental engines.
+/// A batch slab: one shard's share of a `process_batch` call.
+type Slab = Vec<(UserId, FeedDelta)>;
+
+/// The read-only store borrow smuggled to the workers for the duration of
+/// one batch. Soundness: `process_batch` does not return until every
+/// worker has acked the batch, so the pointee outlives every dereference.
+struct StorePtr(*const AdStore);
+// SAFETY: AdStore is Sync (it is shared by reference across the scoped
+// threads of the baseline engines) and the barrier in `process_batch`
+// bounds the pointer's lifetime to the caller's borrow.
+unsafe impl Send for StorePtr {}
+
+enum WorkerMsg {
+    Batch { store: StorePtr, items: Slab },
+    Shutdown,
+}
+
+struct Worker {
+    tx: Sender<WorkerMsg>,
+    /// Per-worker ack channel: the emptied slab comes back when the batch
+    /// is done. A dropped sender (worker panic) turns `recv` into an
+    /// error instead of a deadlock.
+    ack_rx: Receiver<Slab>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A sharded pool of incremental engines behind persistent worker threads.
 pub struct ShardedDriver {
-    shards: Vec<IncrementalEngine>,
+    engines: Vec<Arc<Mutex<IncrementalEngine>>>,
     num_users: u32,
+    /// Empty for `num_shards == 1` (batches run inline on the caller).
+    workers: Vec<Worker>,
+    /// Recycled partition slabs, one per shard.
+    slabs: Vec<Slab>,
+}
+
+/// Number of users resident on shard `s` under `u % num_shards` routing.
+fn residents(num_users: u32, num_shards: usize, s: usize) -> u32 {
+    let (n, k) = (num_users as usize, num_shards);
+    if s >= n {
+        0
+    } else {
+        ((n - s).div_ceil(k)) as u32
+    }
 }
 
 impl ShardedDriver {
-    /// Create `num_shards` engines over `num_users` users.
+    /// Create `num_shards` engines over `num_users` users and spawn the
+    /// worker pool (threads are spawned **once**, here, never per batch).
     ///
     /// # Panics
     ///
-    /// Panics when `num_shards == 0` or the configuration is invalid.
+    /// Panics when `num_shards == 0`, the configuration is invalid, or a
+    /// worker thread cannot be spawned.
     pub fn new(num_users: u32, num_shards: usize, config: EngineConfig) -> Self {
         assert!(num_shards > 0, "need at least one shard");
-        // Each shard allocates state for all user ids (simple and uniform);
-        // only its residents are ever touched, so the overhead is one
-        // empty context per foreign user.
-        let shards =
-            (0..num_shards).map(|_| IncrementalEngine::new(num_users, config.clone())).collect();
-        ShardedDriver { shards, num_users }
+        let engines: Vec<Arc<Mutex<IncrementalEngine>>> = (0..num_shards)
+            .map(|s| {
+                Arc::new(Mutex::new(IncrementalEngine::new(
+                    residents(num_users, num_shards, s),
+                    config.clone(),
+                )))
+            })
+            .collect();
+        let workers = if num_shards == 1 {
+            Vec::new()
+        } else {
+            engines
+                .iter()
+                .enumerate()
+                .map(|(s, engine)| {
+                    let engine = Arc::clone(engine);
+                    let (tx, rx) = mpsc::channel::<WorkerMsg>();
+                    let (ack_tx, ack_rx) = mpsc::channel::<Slab>();
+                    let shards = num_shards as u32;
+                    let join = std::thread::Builder::new()
+                        .name(format!("adcast-shard-{s}"))
+                        .spawn(move || worker_loop(&engine, shards, &rx, &ack_tx))
+                        .expect("spawn shard worker");
+                    Worker {
+                        tx,
+                        ack_rx,
+                        join: Some(join),
+                    }
+                })
+                .collect()
+        };
+        ShardedDriver {
+            engines,
+            num_users,
+            workers,
+            slabs: (0..num_shards).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// [`ShardedDriver::new`] from a validated [`DriverConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid.
+    pub fn with_config(num_users: u32, config: DriverConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid driver config: {e}"));
+        Self::new(num_users, config.num_shards, config.engine)
     }
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.engines.len()
     }
 
     /// The shard owning `user`.
     pub fn shard_of(&self, user: UserId) -> usize {
-        user.index() % self.shards.len()
+        user.index() % self.engines.len()
+    }
+
+    /// `user`'s index within its shard's engine.
+    fn local(&self, user: UserId) -> UserId {
+        UserId((user.index() / self.engines.len()) as u32)
+    }
+
+    fn lock_engine(&self, shard: usize) -> MutexGuard<'_, IncrementalEngine> {
+        // Poison-tolerant: a worker that panicked mid-batch poisons its
+        // engine mutex, but read paths (stats, memory) must still work so
+        // the failure can be reported.
+        self.engines[shard]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Process a batch of feed deltas in parallel across shards.
     /// Returns when every delta has been applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a worker thread has died (e.g. a poisoned batch made it
+    /// panic) — the barrier converts the lost ack into an error instead of
+    /// waiting forever.
     pub fn process_batch(&mut self, store: &AdStore, deltas: Vec<(UserId, FeedDelta)>) {
-        let num_shards = self.shards.len();
-        if num_shards == 1 {
-            let engine = &mut self.shards[0];
+        let num_shards = self.engines.len();
+        if self.workers.is_empty() {
+            let local_shards = num_shards; // 1
+            let mut engine = self.lock_engine(0);
             for (user, delta) in &deltas {
-                engine.on_feed_delta(store, *user, delta);
+                engine.on_feed_delta(store, UserId((user.index() / local_shards) as u32), delta);
             }
             return;
         }
-        let mut senders = Vec::with_capacity(num_shards);
-        let mut receivers = Vec::with_capacity(num_shards);
-        for _ in 0..num_shards {
-            let (tx, rx) = channel::unbounded::<(UserId, FeedDelta)>();
-            senders.push(tx);
-            receivers.push(rx);
+        // Partition into recycled slabs: one send per shard per batch.
+        let mut slabs = std::mem::take(&mut self.slabs);
+        while slabs.len() < num_shards {
+            slabs.push(Vec::new()); // only after a panicked batch lost slabs
+        }
+        for slab in &mut slabs {
+            slab.clear();
         }
         for (user, delta) in deltas {
-            let shard = user.index() % num_shards;
-            senders[shard].send((user, delta)).expect("receiver alive");
+            slabs[user.index() % num_shards].push((user, delta));
         }
-        drop(senders);
-        std::thread::scope(|scope| {
-            for (engine, rx) in self.shards.iter_mut().zip(receivers) {
-                scope.spawn(move || {
-                    for (user, delta) in rx {
-                        engine.on_feed_delta(store, user, &delta);
-                    }
-                });
+        // Empty slabs are sent too: the ack protocol stays uniform (one
+        // ack per worker per batch) and the slab keeps its capacity.
+        for (worker, slab) in self.workers.iter().zip(slabs.drain(..)) {
+            worker
+                .tx
+                .send(WorkerMsg::Batch {
+                    store: StorePtr(store),
+                    items: slab,
+                })
+                .expect("shard worker is alive");
+        }
+        // Barrier: one ack per worker. This must complete before returning
+        // for the StorePtr to stay sound.
+        for (s, worker) in self.workers.iter().enumerate() {
+            match worker.ack_rx.recv() {
+                Ok(slab) => slabs.push(slab),
+                Err(_) => {
+                    self.slabs = slabs;
+                    panic!("shard worker {s} died processing a batch");
+                }
             }
-        });
+        }
+        self.slabs = slabs;
     }
 
     /// Serve a recommendation from the owning shard.
@@ -97,25 +238,23 @@ impl ShardedDriver {
         k: usize,
     ) -> Vec<Recommendation> {
         let shard = self.shard_of(user);
-        self.shards[shard].recommend(store, user, now, location, k)
+        let local = self.local(user);
+        self.lock_engine(shard)
+            .recommend(store, local, now, location, k)
+    }
+
+    /// Propagate campaign churn to every shard.
+    pub fn on_campaign_removed(&mut self, ad: AdId) {
+        for s in 0..self.engines.len() {
+            self.lock_engine(s).on_campaign_removed(ad);
+        }
     }
 
     /// Aggregate work counters across shards.
     pub fn stats(&self) -> EngineStats {
-        let mut total = EngineStats::default();
-        for s in &self.shards {
-            let st = s.stats();
-            total.deltas += st.deltas;
-            total.postings_scanned += st.postings_scanned;
-            total.ads_scored += st.ads_scored;
-            total.screened_out += st.screened_out;
-            total.promotions += st.promotions;
-            total.refreshes += st.refreshes;
-            total.fallbacks += st.fallbacks;
-            total.recommends += st.recommends;
-            total.rebases += st.rebases;
-        }
-        total
+        (0..self.engines.len())
+            .map(|s| self.lock_engine(s).stats().clone())
+            .sum()
     }
 
     /// Total users.
@@ -123,9 +262,64 @@ impl ShardedDriver {
         self.num_users
     }
 
-    /// Approximate resident bytes across shards.
+    /// Approximate resident bytes across shards (engine state only covers
+    /// resident users, so this no longer scales with `shards × users`).
     pub fn memory_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.memory_bytes()).sum()
+        let engines: usize = (0..self.engines.len())
+            .map(|s| self.lock_engine(s).memory_bytes())
+            .sum();
+        let slabs: usize = self
+            .slabs
+            .iter()
+            .map(|s| s.capacity() * std::mem::size_of::<(UserId, FeedDelta)>())
+            .sum();
+        engines + slabs + std::mem::size_of::<Self>()
+    }
+}
+
+impl Drop for ShardedDriver {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            // A dead worker's channel is closed; that is fine, it needs no
+            // shutdown message.
+            let _ = w.tx.send(WorkerMsg::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(join) = w.join.take() {
+                // A panicked worker yields Err; the panic was already
+                // surfaced by the batch barrier.
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    engine: &Mutex<IncrementalEngine>,
+    num_shards: u32,
+    rx: &Receiver<WorkerMsg>,
+    ack_tx: &Sender<Slab>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Batch { store, mut items } => {
+                // SAFETY: the driver blocks on this batch's ack before
+                // `process_batch` returns, so the caller's `&AdStore`
+                // borrow is still live for every dereference here.
+                let store: &AdStore = unsafe { &*store.0 };
+                {
+                    let mut engine = engine.lock().expect("engine mutex poisoned");
+                    for (user, delta) in items.drain(..) {
+                        let local = UserId(user.index() as u32 / num_shards);
+                        engine.on_feed_delta(store, local, &delta);
+                    }
+                }
+                if ack_tx.send(items).is_err() {
+                    return; // driver dropped mid-batch
+                }
+            }
+            WorkerMsg::Shutdown => return,
+        }
     }
 }
 
@@ -168,13 +362,44 @@ mod tests {
                     location: LocationId(0),
                     vector: v(&[((i % 8) as u32, 1.0)]),
                 });
-                (user, FeedDelta { entered: Some(msg), evicted: vec![] })
+                (
+                    user,
+                    FeedDelta {
+                        entered: Some(msg),
+                        evicted: vec![],
+                    },
+                )
             })
             .collect()
     }
 
     fn cfg() -> EngineConfig {
-        EngineConfig { k: 2, half_life: None, ..Default::default() }
+        EngineConfig {
+            k: 2,
+            half_life: None,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn resident_counts_cover_all_users() {
+        for n in [0u32, 1, 3, 7, 8, 16, 100] {
+            for k in [1usize, 2, 3, 4, 7, 16] {
+                let total: u32 = (0..k).map(|s| residents(n, k, s)).sum();
+                assert_eq!(total, n, "n={n} k={k}");
+                for s in 0..k {
+                    // Every resident's local index must be in range.
+                    let max_local = (s..n as usize)
+                        .step_by(k)
+                        .map(|u| u / k)
+                        .max()
+                        .map(|m| m as u32);
+                    if let Some(max_local) = max_local {
+                        assert!(max_local < residents(n, k, s), "n={n} k={k} s={s}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -220,6 +445,31 @@ mod tests {
     }
 
     #[test]
+    fn workers_persist_across_batches() {
+        let s = store();
+        let mut driver = ShardedDriver::new(8, 4, cfg());
+        // Many batches through the same pool; a per-batch spawn/join bug
+        // or a slab-recycling bug would lose deltas or deadlock here.
+        for round in 0..50u64 {
+            driver.process_batch(&s, deltas(16, 8));
+            assert_eq!(driver.stats().deltas, (round + 1) * 16);
+        }
+    }
+
+    #[test]
+    fn shard_memory_covers_residents_only() {
+        let one = ShardedDriver::new(256, 1, cfg());
+        let sixteen = ShardedDriver::new(256, 16, cfg());
+        let (m1, m16) = (one.memory_bytes(), sixteen.memory_bytes());
+        // Per-user state dominates; 16 shards must not cost ~16×. Allow
+        // 2× slack for per-engine fixed overhead (scratch, maps).
+        assert!(
+            m16 < m1 * 2,
+            "16-shard driver uses {m16} bytes vs {m1} for 1 shard — residents leak?"
+        );
+    }
+
+    #[test]
     fn shard_routing_is_stable() {
         let driver = ShardedDriver::new(16, 4, cfg());
         for u in 0..16u32 {
@@ -239,8 +489,41 @@ mod tests {
     }
 
     #[test]
+    fn campaign_removal_reaches_all_shards() {
+        let s = store();
+        let mut driver = ShardedDriver::new(8, 4, cfg());
+        driver.process_batch(&s, deltas(80, 8));
+        let mut s = s;
+        assert!(s.remove(adcast_ads::AdId(0)));
+        driver.on_campaign_removed(adcast_ads::AdId(0));
+        let now = Timestamp::from_secs(100);
+        for u in 0..8u32 {
+            for rec in driver.recommend(&s, UserId(u), now, LocationId(0), 2) {
+                assert_ne!(rec.ad, adcast_ads::AdId(0));
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         let _ = ShardedDriver::new(4, 0, cfg());
+    }
+
+    #[test]
+    fn poisoned_batch_panics_but_drop_completes() {
+        let s = store();
+        let mut driver = ShardedDriver::new(4, 2, cfg());
+        // User 100 is out of range for a 4-user driver: the owning worker
+        // panics. The barrier must surface that as a panic (not a hang)...
+        let poisoned = vec![deltas(1, 4).pop().map(|(_, d)| (UserId(100), d)).unwrap()];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            driver.process_batch(&s, poisoned);
+        }));
+        assert!(result.is_err(), "poisoned batch must panic the barrier");
+        // ...and the driver must still drop cleanly (shutdown + join must
+        // not hang on the dead worker) with stats still readable.
+        let _ = driver.stats();
+        drop(driver);
     }
 }

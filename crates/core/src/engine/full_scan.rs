@@ -28,7 +28,9 @@ impl FullScanEngine {
     pub fn new(num_users: u32, config: EngineConfig) -> Self {
         config.validate().expect("invalid engine config");
         FullScanEngine {
-            contexts: (0..num_users).map(|_| UserContext::new(config.half_life)).collect(),
+            contexts: (0..num_users)
+                .map(|_| UserContext::new(config.half_life))
+                .collect(),
             config,
             stats: EngineStats::default(),
         }
@@ -73,9 +75,18 @@ impl RecommendationEngine for FullScanEngine {
             if relevance <= self.config.min_relevance {
                 continue;
             }
-            scored.push((campaign.ad.id, relevance, policy.rank(relevance, campaign.ad.bid)));
+            scored.push((
+                campaign.ad.id,
+                relevance,
+                policy.rank(relevance, campaign.ad.bid),
+            ));
         }
-        let top = top_k(scored.iter().map(|&(ad, _, rank)| Scored { ad, score: rank }), k);
+        let top = top_k(
+            scored
+                .iter()
+                .map(|&(ad, _, rank)| Scored { ad, score: rank }),
+            k,
+        );
         top.into_iter()
             .map(|s| {
                 let relevance = scored
@@ -83,7 +94,11 @@ impl RecommendationEngine for FullScanEngine {
                     .find(|&&(ad, _, _)| ad == s.ad)
                     .map(|&(_, rel, _)| rel)
                     .expect("top-k item came from scored");
-                Recommendation { ad: s.ad, score: s.score, relevance }
+                Recommendation {
+                    ad: s.ad,
+                    score: s.score,
+                    relevance,
+                }
             })
             .collect()
     }
@@ -98,7 +113,11 @@ impl RecommendationEngine for FullScanEngine {
 
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self.contexts.iter().map(|c| c.memory_bytes()).sum::<usize>()
+            + self
+                .contexts
+                .iter()
+                .map(|c| c.memory_bytes())
+                .sum::<usize>()
     }
 }
 
@@ -146,7 +165,14 @@ mod tests {
             location: LocationId(0),
             vector: v(terms),
         });
-        engine.on_feed_delta(store, UserId(0), &FeedDelta { entered: Some(m), evicted: vec![] });
+        engine.on_feed_delta(
+            store,
+            UserId(0),
+            &FeedDelta {
+                entered: Some(m),
+                evicted: vec![],
+            },
+        );
     }
 
     fn afternoon() -> Timestamp {
@@ -160,18 +186,37 @@ mod tests {
     #[test]
     fn ranks_by_context_overlap() {
         let store = store_with_ads();
-        let mut e = FullScanEngine::new(1, EngineConfig { half_life: None, ..Default::default() });
+        let mut e = FullScanEngine::new(
+            1,
+            EngineConfig {
+                half_life: None,
+                ..Default::default()
+            },
+        );
         feed(&mut e, &store, &[(1, 1.0)], 10);
         let recs = e.recommend(&store, UserId(0), morning(), LocationId(0), 2);
-        assert_eq!(recs[0].ad, adcast_ads::AdId(0), "term-1 ad wins on a term-1 context");
+        assert_eq!(
+            recs[0].ad,
+            adcast_ads::AdId(0),
+            "term-1 ad wins on a term-1 context"
+        );
         assert!(recs[0].score > 0.0);
-        assert!((recs[0].score - recs[0].relevance).abs() < 1e-6, "λ=1: score == relevance");
+        assert!(
+            (recs[0].score - recs[0].relevance).abs() < 1e-6,
+            "λ=1: score == relevance"
+        );
     }
 
     #[test]
     fn targeting_filters_by_slot() {
         let store = store_with_ads();
-        let mut e = FullScanEngine::new(1, EngineConfig { half_life: None, ..Default::default() });
+        let mut e = FullScanEngine::new(
+            1,
+            EngineConfig {
+                half_life: None,
+                ..Default::default()
+            },
+        );
         feed(&mut e, &store, &[(1, 1.0), (2, 1.0)], 10);
         let morning_recs = e.recommend(&store, UserId(0), morning(), LocationId(0), 3);
         assert!(
@@ -179,7 +224,11 @@ mod tests {
             "afternoon-only ad must not serve in the morning"
         );
         let noon_recs = e.recommend(&store, UserId(0), afternoon(), LocationId(0), 3);
-        assert_eq!(noon_recs[0].ad, adcast_ads::AdId(2), "blended ad wins when eligible");
+        assert_eq!(
+            noon_recs[0].ad,
+            adcast_ads::AdId(2),
+            "blended ad wins when eligible"
+        );
     }
 
     #[test]
@@ -193,12 +242,22 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let store = store_with_ads();
-        let mut e = FullScanEngine::new(1, EngineConfig { half_life: None, ..Default::default() });
+        let mut e = FullScanEngine::new(
+            1,
+            EngineConfig {
+                half_life: None,
+                ..Default::default()
+            },
+        );
         feed(&mut e, &store, &[(1, 1.0)], 10);
         e.recommend(&store, UserId(0), morning(), LocationId(0), 2);
         assert_eq!(e.stats().deltas, 1);
         assert_eq!(e.stats().recommends, 1);
-        assert_eq!(e.stats().ads_scored, 2, "morning: the slot-targeted ad is filtered first");
+        assert_eq!(
+            e.stats().ads_scored,
+            2,
+            "morning: the slot-targeted ad is filtered first"
+        );
         assert!(e.memory_bytes() > 0);
         assert_eq!(e.name(), "full-scan");
     }

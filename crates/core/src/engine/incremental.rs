@@ -36,8 +36,10 @@ use adcast_graph::UserId;
 use adcast_stream::clock::Timestamp;
 use adcast_stream::event::LocationId;
 
+use adcast_text::ScratchSpace;
+
 use crate::config::EngineConfig;
-use crate::context::UserContext;
+use crate::context::{ContextUpdate, UserContext};
 use crate::engine::{dot_ad_side, EngineStats, Recommendation, RecommendationEngine};
 use crate::skyband::{CandidateBuffer, ScoreCache};
 use crate::topk::{top_k, Scored};
@@ -62,6 +64,45 @@ struct UserState {
     index_epoch: u64,
 }
 
+/// Engine-owned reusable buffers for the delta and serve paths. Every
+/// vector here replaces a former per-call allocation; they are moved out
+/// with `std::mem::take` for the duration of a call (keeping the borrow
+/// checker happy around `&self` rank closures) and moved back with their
+/// grown capacity, so the steady state never touches the allocator.
+#[derive(Debug, Default)]
+struct HotScratch {
+    /// Context-update output buffer (rescale + forward-scale delta).
+    update: ContextUpdate,
+    /// Sparse-kernel merge temporaries (see [`ScratchSpace`]).
+    sparse: ScratchSpace,
+    /// Cached ads queued for exact re-verification this delta.
+    promote: Vec<AdId>,
+    /// Buffered ad ids snapshot for the negative-term probe.
+    buffered: Vec<AdId>,
+    /// Drained (ad, gain) pairs from the unknown-ad gain map.
+    drained_gains: Vec<(AdId, f32)>,
+    /// Rank order-statistic buffer (certification / serve checks).
+    ranks: Vec<f32>,
+    /// Refresh candidate triples (ad, relevance, rank).
+    refresh_candidates: Vec<(AdId, f32, f32)>,
+    /// Serve-time eligible triples (ad, relevance, rank).
+    eligible: Vec<(AdId, f32, f32)>,
+}
+
+impl HotScratch {
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.update.delta.memory_bytes()
+            + self.sparse.memory_bytes()
+            + self.promote.capacity() * std::mem::size_of::<AdId>()
+            + self.buffered.capacity() * std::mem::size_of::<AdId>()
+            + self.drained_gains.capacity() * std::mem::size_of::<(AdId, f32)>()
+            + self.ranks.capacity() * std::mem::size_of::<f32>()
+            + (self.refresh_candidates.capacity() + self.eligible.capacity())
+                * std::mem::size_of::<(AdId, f32, f32)>()
+    }
+}
+
 /// The incremental engine.
 #[derive(Debug)]
 pub struct IncrementalEngine {
@@ -72,6 +113,8 @@ pub struct IncrementalEngine {
     gains: HashMap<AdId, f32>,
     /// Scratch for refresh TAAT.
     taat: HashMap<AdId, f32>,
+    /// Reusable hot-path buffers (see [`HotScratch`]).
+    scratch: HotScratch,
 }
 
 impl IncrementalEngine {
@@ -98,6 +141,7 @@ impl IncrementalEngine {
             stats: EngineStats::default(),
             gains: HashMap::new(),
             taat: HashMap::new(),
+            scratch: HotScratch::default(),
         }
     }
 
@@ -132,8 +176,11 @@ impl IncrementalEngine {
         if self.config.scoring.lambda >= 1.0 {
             relevance_bound
         } else {
-            let max_bid =
-                store.active_campaigns().map(|c| c.ad.bid).fold(0.0f32, f32::max).max(1e-9);
+            let max_bid = store
+                .active_campaigns()
+                .map(|c| c.ad.bid)
+                .fold(0.0f32, f32::max)
+                .max(1e-9);
             self.config.scoring.rank(relevance_bound.max(0.0), max_bid)
         }
     }
@@ -155,13 +202,18 @@ impl IncrementalEngine {
             }
         }
         self.stats.ads_scored += self.taat.len() as u64;
-        // Order candidates by rank, best first.
-        let mut candidates: Vec<(AdId, f32, f32)> = self
-            .taat
-            .iter()
-            .map(|(&ad, &rel)| (ad, rel, self.rank_of(store, ad, rel)))
-            .collect();
-        candidates.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        // Order candidates by rank, best first (reusing the engine-owned
+        // candidate buffer across refreshes).
+        let mut candidates = std::mem::take(&mut self.scratch.refresh_candidates);
+        candidates.clear();
+        candidates.extend(
+            self.taat
+                .iter()
+                .map(|(&ad, &rel)| (ad, rel, self.rank_of(store, ad, rel))),
+        );
+        // Unstable sort (no temp-buffer allocation); the id tie-break
+        // makes the comparator a total order, so the result is unique.
+        candidates.sort_unstable_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
         let capacity = self.config.buffer_capacity();
         let cache_capacity = self.config.cache_capacity;
         let st = &mut self.users[user.index()];
@@ -188,6 +240,7 @@ impl IncrementalEngine {
             .map(|&(_, rel, _)| rel)
             .fold(0.0f32, f32::max);
         st.index_epoch = store.index_epoch();
+        self.scratch.refresh_candidates = candidates;
     }
 
     /// Serve a targeted query by exact TAAT without touching buffers
@@ -222,7 +275,10 @@ impl IncrementalEngine {
             if !a.targeting.matches(location, now) {
                 return None;
             }
-            Some(Scored { ad, score: policy.rank(fwd, a.bid) })
+            Some(Scored {
+                ad,
+                score: policy.rank(fwd, a.bid),
+            })
         });
         let top = top_k(candidates, k);
         let normalizer = st.ctx.normalizer(now) as f32;
@@ -243,13 +299,20 @@ impl IncrementalEngine {
             self.refresh(store, user);
             return;
         }
+        let mut ranks = std::mem::take(&mut self.scratch.ranks);
         let (kth, outside) = {
             let st = &self.users[user.index()];
-            let kth = st
-                .buffer
-                .kth_rank(self.config.k, |ad, rel| self.rank_of(store, ad, rel));
-            (kth, self.outside_rank_bound(store, self.outside_rel_bound(user)))
+            let kth = st.buffer.kth_rank_in(
+                self.config.k,
+                |ad, rel| self.rank_of(store, ad, rel),
+                &mut ranks,
+            );
+            (
+                kth,
+                self.outside_rank_bound(store, self.outside_rel_bound(user)),
+            )
         };
+        self.scratch.ranks = ranks;
         let needs = match kth {
             // Fewer than k buffered: refresh unless the outside world is
             // provably empty of candidates (bound 0 means every ad with
@@ -261,15 +324,27 @@ impl IncrementalEngine {
             self.refresh(store, user);
         }
     }
-}
 
-impl RecommendationEngine for IncrementalEngine {
-    fn on_feed_delta(&mut self, store: &AdStore, user: UserId, delta: &FeedDelta) {
+    /// The delta hot path (body of `on_feed_delta`; the trait method wraps
+    /// it with allocation accounting under `debug-stats`).
+    ///
+    /// Steady state — deltas that trigger no refresh and discover no
+    /// never-seen candidates — performs **zero heap allocations**: every
+    /// temporary lives in [`HotScratch`] or the engine's gain map, all of
+    /// which retain their capacity across calls. The `zero_alloc`
+    /// integration test pins this down with a counting global allocator.
+    fn apply_feed_delta(&mut self, store: &AdStore, user: UserId, delta: &FeedDelta) {
         self.stats.deltas += 1;
         let index = store.index();
 
-        // 1. Context update (+ rebase propagation).
-        let update = self.users[user.index()].ctx.apply(delta);
+        // 1. Context update (+ rebase propagation). The update buffers are
+        // engine-owned; `take` detaches them for the duration of the call.
+        let mut update = std::mem::take(&mut self.scratch.update);
+        let mut sparse = std::mem::take(&mut self.scratch.sparse);
+        self.users[user.index()]
+            .ctx
+            .apply_into(delta, &mut update, &mut sparse);
+        self.scratch.sparse = sparse;
         if let Some(factor) = update.rescale {
             self.stats.rebases += 1;
             let st = &mut self.users[user.index()];
@@ -279,6 +354,7 @@ impl RecommendationEngine for IncrementalEngine {
             st.outside_bound *= factor as f32;
         }
         if update.delta.is_empty() {
+            self.scratch.update = update;
             return;
         }
 
@@ -295,7 +371,8 @@ impl RecommendationEngine for IncrementalEngine {
         // second postings walk.
         self.gains.clear();
         let bound_before = self.users[user.index()].outside_bound;
-        let mut promote: Vec<AdId> = Vec::new();
+        let mut promote = std::mem::take(&mut self.scratch.promote);
+        promote.clear();
         {
             let worst_rel_hint = {
                 let st = &self.users[user.index()];
@@ -344,8 +421,10 @@ impl RecommendationEngine for IncrementalEngine {
                 }
             }
             if has_negative {
-                let buffered: Vec<AdId> = st.buffer.iter().map(|(ad, _)| ad).collect();
-                for ad in buffered {
+                let mut buffered = std::mem::take(&mut self.scratch.buffered);
+                buffered.clear();
+                buffered.extend(st.buffer.iter().map(|(ad, _)| ad));
+                for &ad in &buffered {
                     let Some(a) = store.ad(ad) else { continue };
                     let mut nudge = 0.0f32;
                     for (term, dw) in update.delta.iter() {
@@ -357,6 +436,7 @@ impl RecommendationEngine for IncrementalEngine {
                         st.buffer.nudge(ad, nudge);
                     }
                 }
+                self.scratch.buffered = buffered;
             }
         }
 
@@ -372,7 +452,7 @@ impl RecommendationEngine for IncrementalEngine {
             }
         };
         let mut new_bound = bound_before;
-        for ad in promote {
+        for ad in promote.drain(..) {
             let (rel, rank) = {
                 let st = &self.users[user.index()];
                 let Some(a) = store.ad(ad) else { continue };
@@ -422,14 +502,25 @@ impl RecommendationEngine for IncrementalEngine {
             }
         }
 
+        self.scratch.promote = promote;
+
         // 4b. Unknown-ad promotions, gated by max-weight screening. The
         // unknown bound is re-derived through the loop: untouched unknown
         // ads keep `bound_before`; screened ads are bounded by
         // `bound_before + gain`; exactly-computed ads move to the cache
         // (or buffer) and leave the unknown set entirely.
         if !self.gains.is_empty() {
-            let gains: Vec<(AdId, f32)> = self.gains.drain().collect();
-            for (ad, gain) in gains {
+            let mut gains = std::mem::take(&mut self.scratch.drained_gains);
+            gains.clear();
+            gains.extend(self.gains.drain());
+            // Highest gain first: promoting the strongest candidates early
+            // raises `worst` fast, so weaker ads screen out instead of
+            // paying for an exact dot. The id tie-break also detaches the
+            // loop (and its work counters) from HashMap iteration order,
+            // which varies per engine instance — sharding equivalence
+            // needs identical counts. Unstable sort: no scratch allocation.
+            gains.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            for (ad, gain) in gains.drain(..) {
                 if self.config.screening {
                     if let Some(w) = worst {
                         let ub = self.outside_rank_bound(store, bound_before + gain);
@@ -492,11 +583,25 @@ impl RecommendationEngine for IncrementalEngine {
                     new_bound = new_bound.max(rel);
                 }
             }
+            self.scratch.drained_gains = gains;
         }
         self.users[user.index()].outside_bound = new_bound;
+        self.scratch.update = update;
 
         // 5. Certification.
         self.certify(store, user);
+    }
+}
+
+impl RecommendationEngine for IncrementalEngine {
+    fn on_feed_delta(&mut self, store: &AdStore, user: UserId, delta: &FeedDelta) {
+        #[cfg(feature = "debug-stats")]
+        let allocs_before = crate::allocmeter::allocation_count();
+        self.apply_feed_delta(store, user, delta);
+        #[cfg(feature = "debug-stats")]
+        {
+            self.stats.hot_path_allocs += crate::allocmeter::allocation_count() - allocs_before;
+        }
     }
 
     fn recommend(
@@ -513,10 +618,15 @@ impl RecommendationEngine for IncrementalEngine {
         }
         // Re-certify at serve time (covers the k > config.k case too).
         let serving_k = k.max(self.config.k);
+        let mut ranks = std::mem::take(&mut self.scratch.ranks);
         let (kth, outside) = {
             let st = &self.users[user.index()];
             (
-                st.buffer.kth_rank(serving_k, |ad, rel| self.rank_of(store, ad, rel)),
+                st.buffer.kth_rank_in(
+                    serving_k,
+                    |ad, rel| self.rank_of(store, ad, rel),
+                    &mut ranks,
+                ),
                 self.outside_rank_bound(store, self.outside_rel_bound(user)),
             )
         };
@@ -528,11 +638,12 @@ impl RecommendationEngine for IncrementalEngine {
             self.refresh(store, user);
         }
 
-        // Collect eligible buffered candidates.
+        // Collect eligible buffered candidates into the reusable buffer.
         let policy = self.config.scoring;
-        let (eligible, filtered_any, outside_rel, normalizer) = {
+        let mut eligible = std::mem::take(&mut self.scratch.eligible);
+        eligible.clear();
+        let (filtered_any, outside_rel, normalizer) = {
             let st = &self.users[user.index()];
-            let mut eligible: Vec<(AdId, f32, f32)> = Vec::with_capacity(st.buffer.len());
             let mut filtered_any = false;
             let min_fwd = self.config.min_relevance * st.ctx.normalizer(now) as f32;
             for (ad, rel) in st.buffer.iter() {
@@ -550,7 +661,6 @@ impl RecommendationEngine for IncrementalEngine {
                 eligible.push((ad, rel, policy.rank(rel, campaign.ad.bid)));
             }
             (
-                eligible,
                 filtered_any,
                 st.ceiling.max(st.outside_bound),
                 st.ctx.normalizer(now) as f32,
@@ -560,8 +670,9 @@ impl RecommendationEngine for IncrementalEngine {
         // remaining k-th eligible beats every outside ad, answer the query
         // exactly via a targeted TAAT instead.
         if filtered_any {
-            let mut ranks: Vec<f32> = eligible.iter().map(|&(_, _, r)| r).collect();
-            ranks.sort_by(|a, b| b.total_cmp(a));
+            ranks.clear();
+            ranks.extend(eligible.iter().map(|&(_, _, r)| r));
+            ranks.sort_unstable_by(|a, b| b.total_cmp(a));
             let kth_eligible = ranks.get(k.saturating_sub(1)).copied();
             let outside = self.outside_rank_bound(store, outside_rel);
             let certified = match kth_eligible {
@@ -569,22 +680,37 @@ impl RecommendationEngine for IncrementalEngine {
                 None => outside <= 0.0,
             };
             if !certified {
+                self.scratch.ranks = ranks;
+                self.scratch.eligible = eligible;
                 return self.fallback_query(store, user, now, location, k);
             }
         }
+        self.scratch.ranks = ranks;
 
-        let top = top_k(eligible.iter().map(|&(ad, _, rank)| Scored { ad, score: rank }), k);
+        let top = top_k(
+            eligible
+                .iter()
+                .map(|&(ad, _, rank)| Scored { ad, score: rank }),
+            k,
+        );
         let rank_scale = normalizer.powf(policy.lambda);
-        top.into_iter()
+        let out = top
+            .into_iter()
             .map(|s| {
                 let rel = eligible
                     .iter()
                     .find(|&&(ad, _, _)| ad == s.ad)
                     .map(|&(_, rel, _)| rel)
                     .expect("top-k item came from eligible");
-                Recommendation { ad: s.ad, score: s.score / rank_scale, relevance: rel / normalizer }
+                Recommendation {
+                    ad: s.ad,
+                    score: s.score / rank_scale,
+                    relevance: rel / normalizer,
+                }
             })
-            .collect()
+            .collect();
+        self.scratch.eligible = eligible;
+        out
     }
 
     fn on_campaign_removed(&mut self, ad: AdId) {
@@ -606,6 +732,7 @@ impl RecommendationEngine for IncrementalEngine {
 
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
+            + self.scratch.memory_bytes()
             + self
                 .users
                 .iter()
@@ -659,7 +786,11 @@ mod tests {
     }
 
     fn cfg(k: usize) -> EngineConfig {
-        EngineConfig { k, half_life: None, ..Default::default() }
+        EngineConfig {
+            k,
+            half_life: None,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -690,7 +821,11 @@ mod tests {
         let mut window: Vec<Arc<Message>> = Vec::new();
         for i in 0..40u64 {
             let terms = [((i % 5) as u32, 0.5 + (i % 3) as f32 * 0.2)];
-            let evicted = if window.len() >= 3 { vec![window.remove(0)] } else { vec![] };
+            let evicted = if window.len() >= 3 {
+                vec![window.remove(0)]
+            } else {
+                vec![]
+            };
             let d = delta(&terms, i + 1, evicted);
             window.push(d.entered.clone().unwrap());
             inc.on_feed_delta(&store, UserId(0), &d);
@@ -719,7 +854,11 @@ mod tests {
         // Message about term 1 leaves; term 2 message arrives.
         e.on_feed_delta(&store, UserId(0), &delta(&[(2, 1.0)], 2, vec![m1]));
         let recs = e.recommend(&store, UserId(0), Timestamp::from_secs(2), LocationId(0), 1);
-        assert_eq!(recs[0].ad, AdId(1), "after the slide, ad 1 is the only match");
+        assert_eq!(
+            recs[0].ad,
+            AdId(1),
+            "after the slide, ad 1 is the only match"
+        );
     }
 
     #[test]
@@ -744,8 +883,13 @@ mod tests {
                     })
                     .unwrap();
             }
-            let config =
-                EngineConfig { screening, k: 3, buffer_headroom: 2, half_life: None, ..Default::default() };
+            let config = EngineConfig {
+                screening,
+                k: 3,
+                buffer_headroom: 2,
+                half_life: None,
+                ..Default::default()
+            };
             (store, IncrementalEngine::new(1, config))
         };
         let (store_a, mut with) = mk(true);
@@ -753,7 +897,11 @@ mod tests {
         let mut window: Vec<Arc<Message>> = Vec::new();
         for i in 0..60u64 {
             let terms = [((i % 6) as u32, 0.7f32), ((6 + (i / 2) % 4) as u32, 0.3)];
-            let evicted = if window.len() >= 4 { vec![window.remove(0)] } else { vec![] };
+            let evicted = if window.len() >= 4 {
+                vec![window.remove(0)]
+            } else {
+                vec![]
+            };
             let d = delta(&terms, i + 1, evicted);
             window.push(d.entered.clone().unwrap());
             with.on_feed_delta(&store_a, UserId(0), &d);
@@ -765,7 +913,10 @@ mod tests {
             let ids_b: Vec<_> = b.iter().map(|r| r.ad).collect();
             assert_eq!(ids_a, ids_b, "step {i}: screening changed results");
         }
-        assert!(with.stats().screened_out > 0, "screening should fire on this workload");
+        assert!(
+            with.stats().screened_out > 0,
+            "screening should fire on this workload"
+        );
         assert_eq!(without.stats().screened_out, 0);
         assert!(
             with.stats().ads_scored <= without.stats().ads_scored,
@@ -782,7 +933,7 @@ mod tests {
         // a large slack budget never does.
         let build = |refresh| {
             let store = store_with(&[
-                &[(0, 1.0)],            // the buffered champion
+                &[(0, 1.0)],             // the buffered champion
                 &[(1, 0.02), (2, 0.98)], // slow-gaining outsider A
                 &[(3, 0.02), (4, 0.98)], // slow-gaining outsider B
             ]);
@@ -819,7 +970,10 @@ mod tests {
         let slide = delta(&[(5, 0.01)], 400, vec![strong_msg]);
         eager.on_feed_delta(&store_e, UserId(0), &slide);
         lazy.on_feed_delta(&store_l, UserId(0), &slide);
-        assert!(eager.stats().refreshes >= 1, "eager never tripped: workload broken");
+        assert!(
+            eager.stats().refreshes >= 1,
+            "eager never tripped: workload broken"
+        );
         assert!(
             lazy.stats().refreshes < eager.stats().refreshes,
             "lazy {} vs eager {}",

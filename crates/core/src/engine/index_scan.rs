@@ -38,7 +38,9 @@ impl IndexScanEngine {
     pub fn new(num_users: u32, config: EngineConfig) -> Self {
         config.validate().expect("invalid engine config");
         IndexScanEngine {
-            contexts: (0..num_users).map(|_| UserContext::new(config.half_life)).collect(),
+            contexts: (0..num_users)
+                .map(|_| UserContext::new(config.half_life))
+                .collect(),
             config,
             stats: EngineStats::default(),
             scratch: HashMap::new(),
@@ -98,7 +100,10 @@ impl RecommendationEngine for IndexScanEngine {
             if !campaign.targeting.matches(location, now) {
                 return None;
             }
-            Some(Scored { ad, score: policy.rank(fwd, campaign.bid) })
+            Some(Scored {
+                ad,
+                score: policy.rank(fwd, campaign.bid),
+            })
         });
         let top = top_k(candidates, k);
         // Convert forward-scale ranks to true scale for reporting.
@@ -122,7 +127,11 @@ impl RecommendationEngine for IndexScanEngine {
 
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self.contexts.iter().map(|c| c.memory_bytes()).sum::<usize>()
+            + self
+                .contexts
+                .iter()
+                .map(|c| c.memory_bytes())
+                .sum::<usize>()
             + self.scratch.capacity() * (std::mem::size_of::<(AdId, f32)>() + 8)
     }
 }
@@ -168,15 +177,34 @@ mod tests {
             location: LocationId(0),
             vector: v(terms),
         });
-        e.on_feed_delta(s, UserId(0), &FeedDelta { entered: Some(m), evicted: vec![] });
+        e.on_feed_delta(
+            s,
+            UserId(0),
+            &FeedDelta {
+                entered: Some(m),
+                evicted: vec![],
+            },
+        );
     }
 
     #[test]
     fn only_overlapping_ads_are_candidates() {
         let store = store_with_ads();
-        let mut e = IndexScanEngine::new(1, EngineConfig { half_life: None, ..Default::default() });
+        let mut e = IndexScanEngine::new(
+            1,
+            EngineConfig {
+                half_life: None,
+                ..Default::default()
+            },
+        );
         feed(&mut e, &store, &[(1, 1.0)], 5);
-        let recs = e.recommend(&store, UserId(0), Timestamp::from_secs(10), LocationId(0), 10);
+        let recs = e.recommend(
+            &store,
+            UserId(0),
+            Timestamp::from_secs(10),
+            LocationId(0),
+            10,
+        );
         // Ads 0 and 2 share term 1; ads 1 and 3 do not overlap.
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].ad, adcast_ads::AdId(0));
@@ -187,7 +215,10 @@ mod tests {
     fn matches_full_scan_scores() {
         use crate::engine::FullScanEngine;
         let store = store_with_ads();
-        let cfg = EngineConfig { half_life: None, ..Default::default() };
+        let cfg = EngineConfig {
+            half_life: None,
+            ..Default::default()
+        };
         let mut idx = IndexScanEngine::new(1, cfg.clone());
         let mut full = FullScanEngine::new(1, cfg);
         for (terms, secs) in [(vec![(1u32, 0.8f32), (2, 0.6)], 5u64), (vec![(2, 1.0)], 6)] {
@@ -199,7 +230,14 @@ mod tests {
                 location: LocationId(0),
                 vector: v(&terms),
             });
-            full.on_feed_delta(&store, UserId(0), &FeedDelta { entered: Some(m), evicted: vec![] });
+            full.on_feed_delta(
+                &store,
+                UserId(0),
+                &FeedDelta {
+                    entered: Some(m),
+                    evicted: vec![],
+                },
+            );
         }
         let now = Timestamp::from_secs(10);
         let a = idx.recommend(&store, UserId(0), now, LocationId(0), 3);
@@ -223,9 +261,21 @@ mod tests {
     #[test]
     fn postings_counted() {
         let store = store_with_ads();
-        let mut e = IndexScanEngine::new(1, EngineConfig { half_life: None, ..Default::default() });
+        let mut e = IndexScanEngine::new(
+            1,
+            EngineConfig {
+                half_life: None,
+                ..Default::default()
+            },
+        );
         feed(&mut e, &store, &[(1, 1.0), (2, 1.0)], 5);
-        e.recommend(&store, UserId(0), Timestamp::from_secs(10), LocationId(0), 3);
+        e.recommend(
+            &store,
+            UserId(0),
+            Timestamp::from_secs(10),
+            LocationId(0),
+            3,
+        );
         // term 1 → ads {0,2}; term 2 → ads {1,2}.
         assert_eq!(e.stats().postings_scanned, 4);
         assert_eq!(e.name(), "index-scan");

@@ -57,6 +57,53 @@ pub struct EngineStats {
     pub recommends: u64,
     /// Forward-decay landmark rebases.
     pub rebases: u64,
+    /// Heap allocations observed inside `on_feed_delta`. Only populated
+    /// when the `debug-stats` feature is enabled *and* the binary installs
+    /// [`crate::allocmeter::CountingAllocator`] as its global allocator;
+    /// always 0 otherwise. The zero-allocation steady-state test asserts
+    /// this stays flat once scratch capacities have warmed up.
+    pub hot_path_allocs: u64,
+}
+
+impl std::ops::AddAssign<&EngineStats> for EngineStats {
+    fn add_assign(&mut self, rhs: &EngineStats) {
+        self.deltas += rhs.deltas;
+        self.postings_scanned += rhs.postings_scanned;
+        self.ads_scored += rhs.ads_scored;
+        self.screened_out += rhs.screened_out;
+        self.promotions += rhs.promotions;
+        self.refreshes += rhs.refreshes;
+        self.fallbacks += rhs.fallbacks;
+        self.recommends += rhs.recommends;
+        self.rebases += rhs.rebases;
+        self.hot_path_allocs += rhs.hot_path_allocs;
+    }
+}
+
+impl std::ops::AddAssign for EngineStats {
+    fn add_assign(&mut self, rhs: EngineStats) {
+        *self += &rhs;
+    }
+}
+
+impl std::iter::Sum for EngineStats {
+    fn sum<I: Iterator<Item = EngineStats>>(iter: I) -> EngineStats {
+        let mut total = EngineStats::default();
+        for s in iter {
+            total += s;
+        }
+        total
+    }
+}
+
+impl<'a> std::iter::Sum<&'a EngineStats> for EngineStats {
+    fn sum<I: Iterator<Item = &'a EngineStats>>(iter: I) -> EngineStats {
+        let mut total = EngineStats::default();
+        for s in iter {
+            total += s;
+        }
+        total
+    }
 }
 
 /// A continuous context-aware ad recommendation engine.
@@ -89,10 +136,14 @@ pub trait RecommendationEngine {
     fn memory_bytes(&self) -> usize;
 }
 
-/// Dot product computed from the (small) ad side: Σ ad(t) · ctx(t).
-/// O(|ad| · log |ctx|) — the incremental engine's promotion kernel.
+/// Dot product of a (large) context against a (small) ad vector — the
+/// incremental engine's promotion kernel. Delegates to the skew-aware
+/// [`SparseVector::dot`] dispatch: contexts run to hundreds of terms while
+/// ads hold ~10, so this lands on the galloping merge-join,
+/// O(|ad| · log |ctx|) with monotone probes instead of independent
+/// binary searches per ad term.
 pub(crate) fn dot_ad_side(ctx: &SparseVector, ad: &SparseVector) -> f32 {
-    ad.iter().map(|(t, w)| w * ctx.get(t)).sum()
+    ctx.dot(ad)
 }
 
 #[cfg(test)]

@@ -43,6 +43,8 @@
 //!   engine) used by examples, tests, and the harness,
 //! * [`driver`] — the sharded multi-threaded driver (E10 scalability).
 
+#[cfg(feature = "debug-stats")]
+pub mod allocmeter;
 pub mod config;
 pub mod context;
 pub mod driver;
@@ -53,7 +55,7 @@ pub mod score;
 pub mod skyband;
 pub mod topk;
 
-pub use config::{EngineConfig, RefreshPolicy};
+pub use config::{DriverConfig, EngineConfig, RefreshPolicy};
 pub use context::UserContext;
 pub use engine::{
     EngineStats, FullScanEngine, IncrementalEngine, IndexScanEngine, Recommendation,

@@ -73,7 +73,10 @@ impl AdMarket {
     /// Default market: 2 slots, default click model.
     pub fn standard(seed: u64) -> Self {
         AdMarket::new(
-            AuctionConfig { slots: 2, reserve: 0.01 },
+            AuctionConfig {
+                slots: 2,
+                reserve: 0.01,
+            },
             ClickModel::default(),
             seed,
         )
@@ -95,7 +98,9 @@ impl AdMarket {
         // 1./2. Candidates, pacing-throttled.
         let mut candidates = Vec::with_capacity(recommendations.len());
         for rec in recommendations {
-            let Some(campaign) = store.campaign(rec.ad) else { continue };
+            let Some(campaign) = store.campaign(rec.ad) else {
+                continue;
+            };
             if !campaign.is_active() {
                 continue;
             }
@@ -119,8 +124,9 @@ impl AdMarket {
                 .iter()
                 .find(|r| r.ad == award.ad)
                 .map_or(0.0, |r| r.relevance);
-            let clicked =
-                self.click_model.simulate(award.position, relevance, &mut self.rng);
+            let clicked = self
+                .click_model
+                .simulate(award.position, relevance, &mut self.rng);
             self.impressions += 1;
             if self.position_stats.len() <= award.position {
                 self.position_stats.resize(award.position + 1, (0, 0));
@@ -231,7 +237,11 @@ mod tests {
     }
 
     fn rec(ad: u32, relevance: f32) -> Recommendation {
-        Recommendation { ad: AdId(ad), score: relevance, relevance }
+        Recommendation {
+            ad: AdId(ad),
+            score: relevance,
+            relevance,
+        }
     }
 
     #[test]
@@ -257,12 +267,18 @@ mod tests {
         let mut market = AdMarket::standard(2);
         let mut total_clicks = 0u64;
         for _ in 0..500 {
-            let served =
-                market.serve(&mut store, &[rec(0, 0.9), rec(1, 0.8)], Timestamp::from_secs(1));
+            let served = market.serve(
+                &mut store,
+                &[rec(0, 0.9), rec(1, 0.8)],
+                Timestamp::from_secs(1),
+            );
             total_clicks += served.iter().filter(|s| s.clicked).count() as u64;
         }
         assert_eq!(market.clicks(), total_clicks);
-        assert!(total_clicks > 50, "a 0.9-relevance top slot should click often");
+        assert!(
+            total_clicks > 50,
+            "a 0.9-relevance top slot should click often"
+        );
         assert!(market.revenue() > 0.0);
         let spent = store.campaign(AdId(0)).unwrap().budget.spent()
             + store.campaign(AdId(1)).unwrap().budget.spent();
@@ -303,11 +319,8 @@ mod tests {
     fn pacing_throttles_serving() {
         let mut store = store_with_bids(&[1.0]);
         let mut market = AdMarket::standard(4);
-        let mut pacing = PacingController::new(
-            Timestamp::from_secs(0),
-            Timestamp::from_secs(1000),
-            10.0,
-        );
+        let mut pacing =
+            PacingController::new(Timestamp::from_secs(0), Timestamp::from_secs(1000), 10.0);
         // Pretend the campaign is massively ahead of schedule.
         pacing.record_spend(9.9);
         for _ in 0..50 {
@@ -316,7 +329,9 @@ mod tests {
         market.set_pacing(AdId(0), pacing);
         let mut served = 0;
         for _ in 0..1000 {
-            served += market.serve(&mut store, &[rec(0, 0.9)], Timestamp::from_secs(1)).len();
+            served += market
+                .serve(&mut store, &[rec(0, 0.9)], Timestamp::from_secs(1))
+                .len();
         }
         assert!(served < 100, "throttled campaign served {served}/1000");
     }
@@ -344,14 +359,20 @@ mod tests {
         );
         let before = market.impressions();
         market.serve(&mut store, &[rec(0, 0.95)], Timestamp::from_secs(2));
-        assert_eq!(market.impressions(), before, "inactive campaigns never enter the auction");
+        assert_eq!(
+            market.impressions(),
+            before,
+            "inactive campaigns never enter the auction"
+        );
     }
 
     #[test]
     fn empty_recommendations_serve_nothing() {
         let mut store = store_with_bids(&[1.0]);
         let mut market = AdMarket::standard(6);
-        assert!(market.serve(&mut store, &[], Timestamp::from_secs(1)).is_empty());
+        assert!(market
+            .serve(&mut store, &[], Timestamp::from_secs(1))
+            .is_empty());
         assert_eq!(market.overall_ctr(), 0.0);
     }
 }

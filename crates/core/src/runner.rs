@@ -84,7 +84,11 @@ impl SimulationConfig {
     pub fn tiny() -> Self {
         SimulationConfig {
             workload: WorkloadConfig::tiny(),
-            engine: EngineConfig { k: 3, window: WindowConfig::count(8), ..Default::default() },
+            engine: EngineConfig {
+                k: 3,
+                window: WindowConfig::count(8),
+                ..Default::default()
+            },
             num_ads: 30,
             followees_per_user: 5,
             ..Default::default()
@@ -123,7 +127,9 @@ impl Simulation {
         for _ in 0..config.num_ads {
             let seed: AdSeed = generator.next_ad();
             let targeting = if bid_rng.gen_bool(config.targeted_ad_fraction) {
-                Targeting::everywhere().in_locations([seed.location]).in_slots([seed.slot])
+                Targeting::everywhere()
+                    .in_locations([seed.location])
+                    .in_slots([seed.slot])
             } else {
                 Targeting::everywhere()
             };
@@ -313,8 +319,15 @@ mod tests {
 
     #[test]
     fn engines_are_swappable() {
-        for kind in [EngineKind::FullScan, EngineKind::IndexScan, EngineKind::Incremental] {
-            let cfg = SimulationConfig { engine_kind: kind, ..SimulationConfig::tiny() };
+        for kind in [
+            EngineKind::FullScan,
+            EngineKind::IndexScan,
+            EngineKind::Incremental,
+        ] {
+            let cfg = SimulationConfig {
+                engine_kind: kind,
+                ..SimulationConfig::tiny()
+            };
             let mut sim = Simulation::build(cfg);
             sim.run(50);
             let user = sim.any_active_user().unwrap();

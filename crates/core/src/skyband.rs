@@ -25,7 +25,10 @@ impl CandidateBuffer {
     /// An empty buffer retaining at most `capacity` ads.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "buffer capacity must be positive");
-        CandidateBuffer { scores: HashMap::with_capacity(capacity + 1), capacity }
+        CandidateBuffer {
+            scores: HashMap::with_capacity(capacity + 1),
+            capacity,
+        }
     }
 
     /// Number of buffered ads.
@@ -108,11 +111,28 @@ impl CandidateBuffer {
     /// The `k`-th best rank value (the certification threshold τ);
     /// `None` when fewer than `k` ads are buffered.
     pub fn kth_rank(&self, k: usize, rank: impl Fn(AdId, f32) -> f32) -> Option<f32> {
+        self.kth_rank_in(k, rank, &mut Vec::new())
+    }
+
+    /// [`kth_rank`](Self::kth_rank) with a caller-owned scratch buffer —
+    /// the certification check runs on every feed delta, so the engine
+    /// reuses one buffer instead of allocating per call.
+    pub fn kth_rank_in(
+        &self,
+        k: usize,
+        rank: impl Fn(AdId, f32) -> f32,
+        ranks: &mut Vec<f32>,
+    ) -> Option<f32> {
         if self.scores.len() < k || k == 0 {
             return None;
         }
-        let mut ranks: Vec<f32> = self.scores.iter().map(|(&id, &s)| rank(id, s)).collect();
-        ranks.sort_by(|a, b| b.total_cmp(a));
+        ranks.clear();
+        ranks.extend(self.scores.iter().map(|(&id, &s)| rank(id, s)));
+        // Unstable sort: a stable sort allocates its merge buffer for
+        // slices past ~20 elements, and this runs on every delta. The
+        // result is deterministic regardless — equal f32 keys are
+        // indistinguishable.
+        ranks.sort_unstable_by(|a, b| b.total_cmp(a));
         Some(ranks[k - 1])
     }
 
@@ -258,7 +278,11 @@ mod tests {
         b.insert(AdId(0), 0.1, rank); // rank 1.0
         b.insert(AdId(1), 0.5, rank); // rank 0.5
         let evicted = b.insert(AdId(2), 0.6, rank); // rank 0.6
-        assert_eq!(evicted, Some((AdId(1), 0.5)), "lowest rank (not relevance) evicted");
+        assert_eq!(
+            evicted,
+            Some((AdId(1), 0.5)),
+            "lowest rank (not relevance) evicted"
+        );
     }
 
     #[test]
@@ -287,7 +311,10 @@ impl ScoreCache {
     pub fn new(capacity: usize) -> Self {
         // Grow on demand: most users never touch more than a fraction of
         // the capacity, and pre-allocating per user dominates engine memory.
-        ScoreCache { map: HashMap::new(), capacity }
+        ScoreCache {
+            map: HashMap::new(),
+            capacity,
+        }
     }
 
     /// Number of cached ads.
@@ -326,8 +353,7 @@ impl ScoreCache {
         // Drop the lower half in one pass (amortized O(1) per insert).
         let mut values: Vec<f32> = self.map.values().copied().collect();
         let mid = values.len() / 2;
-        let (_, median, _) =
-            values.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+        let (_, median, _) = values.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
         let threshold = *median;
         let mut evicted_max = f32::NEG_INFINITY;
         self.map.retain(|_, v| {
@@ -360,8 +386,7 @@ impl ScoreCache {
 
     /// Approximate resident bytes.
     pub fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.map.capacity() * (std::mem::size_of::<(AdId, f32)>() + 8)
+        std::mem::size_of::<Self>() + self.map.capacity() * (std::mem::size_of::<(AdId, f32)>() + 8)
     }
 }
 

@@ -75,7 +75,10 @@ mod tests {
     use super::*;
 
     fn s(ad: u32, score: f32) -> Scored {
-        Scored { ad: AdId(ad), score }
+        Scored {
+            ad: AdId(ad),
+            score,
+        }
     }
 
     #[test]
@@ -108,7 +111,9 @@ mod tests {
         let mut x = 12345u64;
         let mut candidates = Vec::new();
         for i in 0..500u32 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let score = ((x >> 33) % 100) as f32 / 10.0; // many ties
             candidates.push(s(i, score));
         }

@@ -173,7 +173,11 @@ mod tests {
         let feed = d.read(&g, UserId(2));
         let ids: Vec<_> = feed.iter().map(|m| m.id.0).collect();
         assert_eq!(ids, [0, 1, 2]);
-        assert_eq!(d.stats().merge_examined, 1, "only the celebrity outbox is merged");
+        assert_eq!(
+            d.stats().merge_examined,
+            1,
+            "only the celebrity outbox is merged"
+        );
     }
 
     #[test]

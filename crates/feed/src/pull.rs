@@ -75,12 +75,13 @@ impl FeedDelivery for PullDelivery {
     fn read(&mut self, graph: &SocialGraph, user: UserId) -> Vec<SharedMessage> {
         self.stats.reads += 1;
         let mut merged: Vec<SharedMessage> = Vec::new();
-        let pull_from = |author: UserId, stats: &mut DeliveryStats, merged: &mut Vec<SharedMessage>| {
-            for m in &self.outboxes[author.index()] {
-                stats.merge_examined += 1;
-                merged.push(m.clone());
-            }
-        };
+        let pull_from =
+            |author: UserId, stats: &mut DeliveryStats, merged: &mut Vec<SharedMessage>| {
+                for m in &self.outboxes[author.index()] {
+                    stats.merge_examined += 1;
+                    merged.push(m.clone());
+                }
+            };
         for &followee in graph.followees(user) {
             pull_from(followee, &mut self.stats, &mut merged);
         }
@@ -133,7 +134,10 @@ mod tests {
     fn post_is_cheap_read_merges() {
         let g = graph();
         let mut d = PullDelivery::new(4, WindowConfig::count(10)).without_self_delivery();
-        assert!(d.post(&g, msg(0, 1, 1)).is_empty(), "pull posts return no deltas");
+        assert!(
+            d.post(&g, msg(0, 1, 1)).is_empty(),
+            "pull posts return no deltas"
+        );
         d.post(&g, msg(1, 2, 2));
         d.post(&g, msg(2, 1, 3));
         let feed = d.read(&g, UserId(0));

@@ -27,7 +27,11 @@ pub struct PushDelivery {
 impl PushDelivery {
     /// Create with one window per user.
     pub fn new(num_users: u32, window: WindowConfig) -> Self {
-        PushDelivery { store: FeedStore::new(num_users, window), stats: DeliveryStats::default(), self_delivery: true }
+        PushDelivery {
+            store: FeedStore::new(num_users, window),
+            stats: DeliveryStats::default(),
+            self_delivery: true,
+        }
     }
 
     /// Disable delivery of an author's posts to their own feed.

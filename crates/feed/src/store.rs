@@ -55,8 +55,7 @@ impl FeedStore {
 
     /// Approximate resident bytes of the window structures.
     pub fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.windows.iter().map(|w| w.memory_bytes()).sum::<usize>()
+        std::mem::size_of::<Self>() + self.windows.iter().map(|w| w.memory_bytes()).sum::<usize>()
     }
 }
 

@@ -25,14 +25,20 @@ impl WindowConfig {
     /// A count-only window.
     pub fn count(capacity: usize) -> Self {
         assert!(capacity > 0, "window capacity must be positive");
-        WindowConfig { capacity, horizon: None }
+        WindowConfig {
+            capacity,
+            horizon: None,
+        }
     }
 
     /// A count + time window.
     pub fn count_and_time(capacity: usize, horizon: Duration) -> Self {
         assert!(capacity > 0, "window capacity must be positive");
         assert!(horizon > Duration::ZERO, "horizon must be positive");
-        WindowConfig { capacity, horizon: Some(horizon) }
+        WindowConfig {
+            capacity,
+            horizon: Some(horizon),
+        }
     }
 }
 
@@ -68,7 +74,10 @@ pub struct FeedWindow {
 impl FeedWindow {
     /// An empty window.
     pub fn new(config: WindowConfig) -> Self {
-        FeedWindow { config, messages: VecDeque::with_capacity(config.capacity.min(1024)) }
+        FeedWindow {
+            config,
+            messages: VecDeque::with_capacity(config.capacity.min(1024)),
+        }
     }
 
     /// The window configuration.
@@ -96,7 +105,7 @@ impl FeedWindow {
     /// Returns the delta: the message itself plus any evictions.
     pub fn insert(&mut self, msg: SharedMessage) -> FeedDelta {
         debug_assert!(
-            self.messages.back().map_or(true, |m| m.ts <= msg.ts),
+            self.messages.back().is_none_or(|m| m.ts <= msg.ts),
             "feed insertions must be time-ordered"
         );
         let mut evicted = Vec::new();
@@ -105,7 +114,11 @@ impl FeedWindow {
             evicted.push(self.messages.pop_front().expect("len > capacity ≥ 1"));
         }
         if let Some(h) = self.config.horizon {
-            let cutoff = msg.ts.since(Timestamp::EPOCH).micros().saturating_sub(h.micros());
+            let cutoff = msg
+                .ts
+                .since(Timestamp::EPOCH)
+                .micros()
+                .saturating_sub(h.micros());
             while let Some(front) = self.messages.front() {
                 if front.ts.micros() < cutoff && self.messages.len() > 1 {
                     evicted.push(self.messages.pop_front().expect("front exists"));
@@ -114,7 +127,10 @@ impl FeedWindow {
                 }
             }
         }
-        FeedDelta { entered: Some(msg), evicted }
+        FeedDelta {
+            entered: Some(msg),
+            evicted,
+        }
     }
 
     /// Evict messages older than `now − horizon` without inserting.
@@ -132,7 +148,10 @@ impl FeedWindow {
                 break;
             }
         }
-        FeedDelta { entered: None, evicted }
+        FeedDelta {
+            entered: None,
+            evicted,
+        }
     }
 
     /// Snapshot of the window contents, oldest first.
@@ -184,8 +203,7 @@ mod tests {
 
     #[test]
     fn time_horizon_evicts_stale() {
-        let mut w =
-            FeedWindow::new(WindowConfig::count_and_time(10, Duration::from_secs(5)));
+        let mut w = FeedWindow::new(WindowConfig::count_and_time(10, Duration::from_secs(5)));
         w.insert(msg(0, 0));
         w.insert(msg(1, 2));
         let d = w.insert(msg(2, 7)); // cutoff 2: evicts ts<2 → msg 0
@@ -200,7 +218,11 @@ mod tests {
         w.insert(msg(0, 0));
         let d = w.insert(msg(1, 100));
         assert_eq!(d.evicted.len(), 1);
-        assert_eq!(w.len(), 1, "the fresh message survives its own horizon check");
+        assert_eq!(
+            w.len(),
+            1,
+            "the fresh message survives its own horizon check"
+        );
     }
 
     #[test]

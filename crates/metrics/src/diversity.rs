@@ -46,7 +46,10 @@ pub fn mean_average_precision<T: Eq + Hash>(queries: &[(Vec<T>, HashSet<T>)]) ->
     if queries.is_empty() {
         return 0.0;
     }
-    queries.iter().map(|(r, rel)| average_precision(r, rel)).sum::<f64>()
+    queries
+        .iter()
+        .map(|(r, rel)| average_precision(r, rel))
+        .sum::<f64>()
         / queries.len() as f64
 }
 
@@ -91,9 +94,9 @@ mod tests {
     #[test]
     fn mrr_cases() {
         let queries = vec![
-            (vec![1, 2, 3], HashSet::from([1])),    // rank 1 → 1.0
-            (vec![1, 2, 3], HashSet::from([3])),    // rank 3 → 1/3
-            (vec![1, 2, 3], HashSet::from([9])),    // miss  → 0
+            (vec![1, 2, 3], HashSet::from([1])), // rank 1 → 1.0
+            (vec![1, 2, 3], HashSet::from([3])), // rank 3 → 1/3
+            (vec![1, 2, 3], HashSet::from([9])), // miss  → 0
         ];
         let mrr = mean_reciprocal_rank(&queries);
         assert!((mrr - (1.0 + 1.0 / 3.0) / 3.0).abs() < 1e-12);
@@ -113,10 +116,7 @@ mod tests {
 
     #[test]
     fn map_averages() {
-        let queries = vec![
-            (vec![1], HashSet::from([1])),
-            (vec![2], HashSet::from([1])),
-        ];
+        let queries = vec![(vec![1], HashSet::from([1])), (vec![2], HashSet::from([1]))];
         assert!((mean_average_precision(&queries) - 0.5).abs() < 1e-12);
     }
 
@@ -124,9 +124,16 @@ mod tests {
     fn diversity_extremes() {
         let a = v(&[(1, 1.0)]);
         let b = v(&[(2, 1.0)]);
-        assert!((intra_list_diversity(&[&a, &b]) - 1.0).abs() < 1e-6, "orthogonal = 1");
+        assert!(
+            (intra_list_diversity(&[&a, &b]) - 1.0).abs() < 1e-6,
+            "orthogonal = 1"
+        );
         assert!(intra_list_diversity(&[&a, &a]) < 1e-6, "identical = 0");
-        assert_eq!(intra_list_diversity(&[&a]), 1.0, "singleton vacuously diverse");
+        assert_eq!(
+            intra_list_diversity(&[&a]),
+            1.0,
+            "singleton vacuously diverse"
+        );
         assert_eq!(intra_list_diversity(&[]), 1.0);
     }
 

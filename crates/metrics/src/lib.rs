@@ -16,7 +16,10 @@ pub mod memory;
 pub mod ranking;
 pub mod throughput;
 
-pub use diversity::{average_precision, catalog_coverage, intra_list_diversity, mean_average_precision, mean_reciprocal_rank};
+pub use diversity::{
+    average_precision, catalog_coverage, intra_list_diversity, mean_average_precision,
+    mean_reciprocal_rank,
+};
 pub use histogram::LatencyHistogram;
 pub use ranking::{f_score, ndcg, precision_recall, RankedList};
 pub use throughput::ThroughputMeter;

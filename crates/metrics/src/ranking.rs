@@ -18,9 +18,20 @@ pub fn precision_recall<T: Eq + Hash>(retrieved: &[T], relevant: &[T]) -> (f64, 
         return (1.0, 1.0);
     }
     let relevant_set: HashSet<&T> = relevant.iter().collect();
-    let hits = retrieved.iter().filter(|r| relevant_set.contains(r)).count() as f64;
-    let precision = if retrieved.is_empty() { 0.0 } else { hits / retrieved.len() as f64 };
-    let recall = if relevant.is_empty() { 1.0 } else { hits / relevant.len() as f64 };
+    let hits = retrieved
+        .iter()
+        .filter(|r| relevant_set.contains(r))
+        .count() as f64;
+    let precision = if retrieved.is_empty() {
+        0.0
+    } else {
+        hits / retrieved.len() as f64
+    };
+    let recall = if relevant.is_empty() {
+        1.0
+    } else {
+        hits / relevant.len() as f64
+    };
     (precision, recall)
 }
 
@@ -68,8 +79,12 @@ pub fn ndcg<T: Eq + Hash + Clone>(
         .sum();
     let mut ideal: Vec<f64> = gains.values().copied().filter(|&g| g > 0.0).collect();
     ideal.sort_by(|a, b| b.total_cmp(a));
-    let idcg: f64 =
-        ideal.iter().take(k).enumerate().map(|(i, g)| g / ((i + 2) as f64).log2()).sum();
+    let idcg: f64 = ideal
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, g)| g / ((i + 2) as f64).log2())
+        .sum();
     if idcg == 0.0 {
         1.0
     } else {
@@ -88,7 +103,11 @@ pub fn kendall_tau<T: Eq + Hash + Clone>(a: &[T], b: &[T]) -> f64 {
     }
     let pos_b: std::collections::HashMap<&T, usize> =
         b.iter().enumerate().map(|(i, x)| (x, i)).collect();
-    assert_eq!(pos_b.len(), n, "rankings must cover the same distinct items");
+    assert_eq!(
+        pos_b.len(),
+        n,
+        "rankings must cover the same distinct items"
+    );
     let ranks: Vec<usize> = a
         .iter()
         .map(|x| *pos_b.get(x).expect("item missing from second ranking"))

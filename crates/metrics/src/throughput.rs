@@ -20,7 +20,11 @@ impl Default for ThroughputMeter {
 impl ThroughputMeter {
     /// Start measuring now.
     pub fn start() -> Self {
-        ThroughputMeter { started: Instant::now(), ops: 0, elapsed: None }
+        ThroughputMeter {
+            started: Instant::now(),
+            ops: 0,
+            elapsed: None,
+        }
     }
 
     /// Record `n` completed operations.

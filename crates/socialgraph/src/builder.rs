@@ -16,7 +16,11 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder over `num_users` users (`UserId(0)..UserId(num_users)`).
     pub fn new(num_users: u32) -> Self {
-        GraphBuilder { num_users, edges: Vec::new(), seen: HashSet::new() }
+        GraphBuilder {
+            num_users,
+            edges: Vec::new(),
+            seen: HashSet::new(),
+        }
     }
 
     /// Number of users.

@@ -97,7 +97,11 @@ pub fn community_cliques<R: Rng + ?Sized>(
     for u in 0..num_users {
         let community = (u / size).min(num_communities - 1);
         let start = community * size;
-        let end = if community == num_communities - 1 { num_users } else { start + size };
+        let end = if community == num_communities - 1 {
+            num_users
+        } else {
+            start + size
+        };
         for v in start..end {
             if v != u {
                 builder.follow(UserId(u), UserId(v));

@@ -77,7 +77,12 @@ impl SocialGraph {
             let (s, e) = (in_offsets[u] as usize, in_offsets[u + 1] as usize);
             in_edges[s..e].sort_unstable();
         }
-        SocialGraph { out_offsets, out_edges, in_offsets, in_edges }
+        SocialGraph {
+            out_offsets,
+            out_edges,
+            in_offsets,
+            in_edges,
+        }
     }
 
     /// Number of users (nodes).
@@ -97,13 +102,19 @@ impl SocialGraph {
 
     /// The users that `u` follows (sorted).
     pub fn followees(&self, u: UserId) -> &[UserId] {
-        let (s, e) = (self.out_offsets[u.index()] as usize, self.out_offsets[u.index() + 1] as usize);
+        let (s, e) = (
+            self.out_offsets[u.index()] as usize,
+            self.out_offsets[u.index() + 1] as usize,
+        );
         &self.out_edges[s..e]
     }
 
     /// The users following `u` (sorted) — the fan-out set for `u`'s messages.
     pub fn followers(&self, u: UserId) -> &[UserId] {
-        let (s, e) = (self.in_offsets[u.index()] as usize, self.in_offsets[u.index() + 1] as usize);
+        let (s, e) = (
+            self.in_offsets[u.index()] as usize,
+            self.in_offsets[u.index() + 1] as usize,
+        );
         &self.in_edges[s..e]
     }
 
@@ -171,7 +182,10 @@ mod tests {
     fn follows_lookup() {
         let g = toy();
         assert!(g.follows(UserId(0), UserId(1)));
-        assert!(!g.follows(UserId(1), UserId(0)), "follow edges are directed");
+        assert!(
+            !g.follows(UserId(1), UserId(0)),
+            "follow edges are directed"
+        );
         assert!(!g.follows(UserId(3), UserId(0)));
     }
 

@@ -24,7 +24,14 @@ impl DegreeStats {
     /// Compute from a list of degrees.
     pub fn from_degrees(mut degrees: Vec<usize>) -> Self {
         if degrees.is_empty() {
-            return DegreeStats { min: 0, max: 0, mean: 0.0, median: 0, p99: 0, gini: 0.0 };
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0,
+                p99: 0,
+                gini: 0.0,
+            };
         }
         degrees.sort_unstable();
         let n = degrees.len();
@@ -36,11 +43,21 @@ impl DegreeStats {
         let gini = if total == 0 {
             0.0
         } else {
-            let weighted: f64 =
-                degrees.iter().enumerate().map(|(i, &d)| (i + 1) as f64 * d as f64).sum();
+            let weighted: f64 = degrees
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i + 1) as f64 * d as f64)
+                .sum();
             (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
         };
-        DegreeStats { min: degrees[0], max: degrees[n - 1], mean, median, p99, gini }
+        DegreeStats {
+            min: degrees[0],
+            max: degrees[n - 1],
+            mean,
+            median,
+            p99,
+            gini,
+        }
     }
 }
 
@@ -59,7 +76,11 @@ pub fn followee_stats(g: &SocialGraph) -> DegreeStats {
 pub fn degree_histogram(degrees: impl Iterator<Item = usize>) -> Vec<usize> {
     let mut buckets: Vec<usize> = Vec::new();
     for d in degrees {
-        let b = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros() - 1) as usize };
+        let b = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros() - 1) as usize
+        };
         if b >= buckets.len() {
             buckets.resize(b + 1, 0);
         }

@@ -54,7 +54,10 @@ impl ZipfSampler {
     /// Draw a rank in `0..len()`. Rank 0 is the most popular.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -117,7 +120,10 @@ mod tests {
         }
         // Under Zipf(1.0, n=1000) the top-10 ranks carry ~39% of the mass.
         let frac = head as f64 / N as f64;
-        assert!((0.3..0.5).contains(&frac), "head mass {frac} outside expectation");
+        assert!(
+            (0.3..0.5).contains(&frac),
+            "head mass {frac} outside expectation"
+        );
     }
 
     #[test]
@@ -129,9 +135,13 @@ mod tests {
         for _ in 0..N {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..5 {
-            let emp = counts[k] as f64 / N as f64;
-            assert!((emp - z.pmf(k)).abs() < 0.01, "rank {k}: emp {emp} vs pmf {}", z.pmf(k));
+        for (k, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / N as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: emp {emp} vs pmf {}",
+                z.pmf(k)
+            );
         }
     }
 

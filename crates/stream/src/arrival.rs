@@ -56,9 +56,20 @@ impl ArrivalProcess {
 
     /// A bursty process alternating `calm_rate` and `burst_rate`.
     pub fn bursty(calm_rate: f64, burst_rate: f64, switch_prob: f64) -> Self {
-        assert!(calm_rate > 0.0 && burst_rate > 0.0, "rates must be positive");
-        assert!((0.0..=1.0).contains(&switch_prob), "switch_prob out of range");
-        ArrivalProcess::Bursty { calm_rate, burst_rate, switch_prob, bursting: false }
+        assert!(
+            calm_rate > 0.0 && burst_rate > 0.0,
+            "rates must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&switch_prob),
+            "switch_prob out of range"
+        );
+        ArrivalProcess::Bursty {
+            calm_rate,
+            burst_rate,
+            switch_prob,
+            bursting: false,
+        }
     }
 
     /// The long-run average rate (events/s).
@@ -67,9 +78,11 @@ impl ArrivalProcess {
             ArrivalProcess::Uniform { rate } | ArrivalProcess::Poisson { rate } => rate,
             // Symmetric switching spends half the time in each phase; the
             // long-run event rate is the time-average of the phase rates.
-            ArrivalProcess::Bursty { calm_rate, burst_rate, .. } => {
-                (calm_rate + burst_rate) / 2.0
-            }
+            ArrivalProcess::Bursty {
+                calm_rate,
+                burst_rate,
+                ..
+            } => (calm_rate + burst_rate) / 2.0,
         }
     }
 
@@ -78,7 +91,12 @@ impl ArrivalProcess {
         match self {
             ArrivalProcess::Uniform { rate } => Duration::from_micros((1e6 / *rate) as u64),
             ArrivalProcess::Poisson { rate } => exponential_gap(*rate, rng),
-            ArrivalProcess::Bursty { calm_rate, burst_rate, switch_prob, bursting } => {
+            ArrivalProcess::Bursty {
+                calm_rate,
+                burst_rate,
+                switch_prob,
+                bursting,
+            } => {
                 let rate = if *bursting { *burst_rate } else { *calm_rate };
                 if rng.gen_bool(*switch_prob) {
                     *bursting = !*bursting;
@@ -119,7 +137,10 @@ mod tests {
         const N: usize = 50_000;
         let total: f64 = (0..N).map(|_| p.next_gap(&mut rng).as_secs_f64()).sum();
         let mean = total / N as f64;
-        assert!((mean - 0.02).abs() < 0.002, "mean gap {mean} vs expected 0.02");
+        assert!(
+            (mean - 0.02).abs() < 0.002,
+            "mean gap {mean} vs expected 0.02"
+        );
     }
 
     #[test]
@@ -138,7 +159,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         // Collect gaps; the mixture should contain both long (~0.1s) and
         // short (~1ms) gaps.
-        let gaps: Vec<f64> = (0..2000).map(|_| p.next_gap(&mut rng).as_secs_f64()).collect();
+        let gaps: Vec<f64> = (0..2000)
+            .map(|_| p.next_gap(&mut rng).as_secs_f64())
+            .collect();
         let long = gaps.iter().filter(|&&g| g > 0.03).count();
         let short = gaps.iter().filter(|&&g| g < 0.003).count();
         assert!(long > 100, "calm phase gaps missing ({long})");

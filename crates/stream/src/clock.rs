@@ -141,7 +141,12 @@ impl VirtualClock {
     /// monotone by contract, and silently moving backwards would corrupt
     /// every decayed accumulator downstream.
     pub fn advance_to(&mut self, t: Timestamp) {
-        assert!(t >= self.now, "clock moved backwards: {} -> {}", self.now, t);
+        assert!(
+            t >= self.now,
+            "clock moved backwards: {} -> {}",
+            self.now,
+            t
+        );
         self.now = t;
     }
 }
@@ -155,8 +160,14 @@ mod tests {
         let t = Timestamp::from_secs(10) + Duration::from_millis(500);
         assert_eq!(t.micros(), 10_500_000);
         assert_eq!(t - Timestamp::from_secs(10), Duration::from_millis(500));
-        assert_eq!(Timestamp::from_secs(1) - Timestamp::from_secs(5), Duration::ZERO);
-        assert_eq!(Duration::from_micros(3) + Duration::from_micros(4), Duration(7));
+        assert_eq!(
+            Timestamp::from_secs(1) - Timestamp::from_secs(5),
+            Duration::ZERO
+        );
+        assert_eq!(
+            Duration::from_micros(3) + Duration::from_micros(4),
+            Duration(7)
+        );
     }
 
     #[test]

@@ -42,8 +42,15 @@ impl ForwardDecay {
     ///
     /// Panics if `lambda` is negative or non-finite.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda >= 0.0 && lambda.is_finite(), "invalid decay rate {lambda}");
-        ForwardDecay { lambda, landmark: Timestamp::EPOCH, exponent_limit: 60.0 }
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "invalid decay rate {lambda}"
+        );
+        ForwardDecay {
+            lambda,
+            landmark: Timestamp::EPOCH,
+            exponent_limit: 60.0,
+        }
     }
 
     /// Create from a half-life: the weight of a message halves every
@@ -163,7 +170,10 @@ mod tests {
     fn disabled_decay_is_flat() {
         let d = ForwardDecay::disabled();
         assert_eq!(d.weight(Timestamp::from_secs(1_000_000)), 1.0);
-        assert_eq!(d.relative_weight(Timestamp::EPOCH, Timestamp::from_secs(999)), 1.0);
+        assert_eq!(
+            d.relative_weight(Timestamp::EPOCH, Timestamp::from_secs(999)),
+            1.0
+        );
         assert!(!d.needs_rebase(Timestamp::from_secs(u32::MAX as u64)));
     }
 

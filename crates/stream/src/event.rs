@@ -124,10 +124,18 @@ mod tests {
     fn time_slots_match_paper_boundaries() {
         assert_eq!(TimeSlot::of(at(5, 0)), TimeSlot::Morning);
         assert_eq!(TimeSlot::of(at(12, 59)), TimeSlot::Morning);
-        assert_eq!(TimeSlot::of(at(13, 0)), TimeSlot::Morning, "13:00 closes the first slot");
+        assert_eq!(
+            TimeSlot::of(at(13, 0)),
+            TimeSlot::Morning,
+            "13:00 closes the first slot"
+        );
         assert_eq!(TimeSlot::of(at(13, 1)), TimeSlot::Afternoon);
         assert_eq!(TimeSlot::of(at(19, 59)), TimeSlot::Afternoon);
-        assert_eq!(TimeSlot::of(at(20, 0)), TimeSlot::Afternoon, "20:00 closes the second slot");
+        assert_eq!(
+            TimeSlot::of(at(20, 0)),
+            TimeSlot::Afternoon,
+            "20:00 closes the second slot"
+        );
         assert_eq!(TimeSlot::of(at(20, 1)), TimeSlot::Night);
         assert_eq!(TimeSlot::of(at(4, 59)), TimeSlot::Night);
         assert_eq!(TimeSlot::of(at(0, 0)), TimeSlot::Night);

@@ -142,8 +142,9 @@ impl WorkloadGenerator {
             .collect();
 
         // Ground truth per user.
-        let profiles: Vec<UserProfile> =
-            (0..config.num_users).map(|_| model.sample_user_profile(&mut rng)).collect();
+        let profiles: Vec<UserProfile> = (0..config.num_users)
+            .map(|_| model.sample_user_profile(&mut rng))
+            .collect();
         let home: Vec<LocationId> = (0..config.num_users)
             .map(|_| LocationId(rng.gen_range(0..config.num_locations)))
             .collect();
@@ -259,7 +260,13 @@ impl WorkloadGenerator {
         };
         let id = MessageId(self.next_id);
         self.next_id += 1;
-        Arc::new(Message { id, author, ts, location, vector })
+        Arc::new(Message {
+            id,
+            author,
+            ts,
+            location,
+            vector,
+        })
     }
 
     /// Generate an ad seed about a random (popularity-weighted) topic.
@@ -293,7 +300,12 @@ impl WorkloadGenerator {
             1 => TimeSlot::Afternoon,
             _ => TimeSlot::Night,
         };
-        AdSeed { topic, vector, location: LocationId(best), slot }
+        AdSeed {
+            topic,
+            vector,
+            location: LocationId(best),
+            slot,
+        }
     }
 
     /// The configuration.
@@ -351,7 +363,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let mut a = gen();
-        let cfg = WorkloadConfig { seed: 99, ..WorkloadConfig::tiny() };
+        let cfg = WorkloadConfig {
+            seed: 99,
+            ..WorkloadConfig::tiny()
+        };
         let mut b = WorkloadGenerator::with_poisson(cfg, 100.0);
         let (ma, mb) = (a.next_message(), b.next_message());
         assert!(ma.author != mb.author || ma.vector != mb.vector || ma.ts != mb.ts);
@@ -367,7 +382,10 @@ mod tests {
         }
         let max = counts.values().max().copied().unwrap_or(0);
         let mean = 2000.0 / 20.0;
-        assert!(max as f64 > 2.0 * mean, "no activity skew: max {max} mean {mean}");
+        assert!(
+            max as f64 > 2.0 * mean,
+            "no activity skew: max {max} mean {mean}"
+        );
     }
 
     #[test]
@@ -382,7 +400,10 @@ mod tests {
             }
         }
         // mobility = 0.1; travel can still land on the home cell.
-        assert!(at_home as f64 / N as f64 > 0.85, "home fraction {at_home}/{N}");
+        assert!(
+            at_home as f64 / N as f64 > 0.85,
+            "home fraction {at_home}/{N}"
+        );
     }
 
     #[test]
@@ -403,7 +424,10 @@ mod tests {
             other += ad.vector.dot(&v_other);
             let _ = u;
         }
-        assert!(same > 2.0 * other, "topic separation too weak: {same} vs {other}");
+        assert!(
+            same > 2.0 * other,
+            "topic separation too weak: {same} vs {other}"
+        );
     }
 
     #[test]
@@ -421,7 +445,11 @@ mod tests {
         let docs_before = g.dictionary().num_docs();
         let _ = g.next_message();
         let _ = g.next_ad();
-        assert_eq!(g.dictionary().num_docs(), docs_before, "stats must not drift");
+        assert_eq!(
+            g.dictionary().num_docs(),
+            docs_before,
+            "stats must not drift"
+        );
     }
 
     #[test]

@@ -58,13 +58,19 @@ impl GeoGrid {
     ///
     /// Panics when out of bounds.
     pub fn cell(&self, x: u16, y: u16) -> LocationId {
-        assert!(x < self.width && y < self.height, "({x},{y}) outside {self:?}");
+        assert!(
+            x < self.width && y < self.height,
+            "({x},{y}) outside {self:?}"
+        );
         LocationId(y * self.width + x)
     }
 
     /// The `(x, y)` coordinates of a cell.
     pub fn coords(&self, cell: LocationId) -> (u16, u16) {
-        debug_assert!((cell.0 as usize) < self.num_cells(), "{cell:?} outside {self:?}");
+        debug_assert!(
+            (cell.0 as usize) < self.num_cells(),
+            "{cell:?} outside {self:?}"
+        );
         (cell.0 % self.width, cell.0 / self.width)
     }
 
@@ -125,11 +131,18 @@ impl CityModel {
     pub fn new(grid: GeoGrid, cities: Vec<(f64, f64, f64)>, weights: Vec<f64>) -> Self {
         assert!(!cities.is_empty(), "need at least one city");
         assert_eq!(cities.len(), weights.len(), "one weight per city");
-        assert!(cities.iter().all(|&(_, _, s)| s > 0.0), "spreads must be positive");
+        assert!(
+            cities.iter().all(|&(_, _, s)| s > 0.0),
+            "spreads must be positive"
+        );
         assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
         let total: f64 = weights.iter().sum();
         let weights = weights.into_iter().map(|w| w / total).collect();
-        CityModel { grid, cities, weights }
+        CityModel {
+            grid,
+            cities,
+            weights,
+        }
     }
 
     /// A default three-city layout on the given grid: one metropolis and
@@ -170,8 +183,12 @@ impl CityModel {
     pub fn sample_home<R: Rng + ?Sized>(&self, rng: &mut R) -> LocationId {
         let (cx, cy, spread) = self.cities[self.pick_city(rng)];
         let (gx, gy) = gaussian_pair(rng);
-        let x = (cx + gx * spread).round().clamp(0.0, f64::from(self.grid.width() - 1));
-        let y = (cy + gy * spread).round().clamp(0.0, f64::from(self.grid.height() - 1));
+        let x = (cx + gx * spread)
+            .round()
+            .clamp(0.0, f64::from(self.grid.width() - 1));
+        let y = (cy + gy * spread)
+            .round()
+            .clamp(0.0, f64::from(self.grid.height() - 1));
         self.grid.cell(x as u16, y as u16)
     }
 

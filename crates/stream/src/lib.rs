@@ -28,13 +28,13 @@ pub mod arrival;
 pub mod clock;
 pub mod decay;
 pub mod event;
-pub mod geo;
 pub mod generator;
+pub mod geo;
 pub mod topics;
 pub mod trace;
 
 pub use clock::{Duration, Timestamp, VirtualClock};
 pub use decay::ForwardDecay;
 pub use event::{LocationId, Message, MessageId, TimeSlot};
-pub use geo::{CityModel, GeoGrid};
 pub use generator::{WorkloadConfig, WorkloadGenerator};
+pub use geo::{CityModel, GeoGrid};

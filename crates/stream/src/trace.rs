@@ -162,7 +162,13 @@ impl TraceReader {
             return Err(TraceError::Corrupt("terms not strictly sorted"));
         }
         let vector = SparseVector::from_sorted(entries);
-        Ok(Some(Arc::new(Message { id, author, ts, location, vector })))
+        Ok(Some(Arc::new(Message {
+            id,
+            author,
+            ts,
+            location,
+            vector,
+        })))
     }
 
     /// Decode the whole remaining trace.

@@ -172,7 +172,10 @@ mod tests {
         let a = d.intern("alpha");
         d.record_document([a]);
         d.intern("beta");
-        let rows: Vec<_> = d.iter().map(|(id, t, df)| (id.0, t.to_string(), df)).collect();
+        let rows: Vec<_> = d
+            .iter()
+            .map(|(id, t, df)| (id.0, t.to_string(), df))
+            .collect();
         assert_eq!(rows, vec![(0, "alpha".into(), 1), (1, "beta".into(), 0)]);
     }
 

@@ -40,5 +40,5 @@ pub mod tokenizer;
 
 pub use dictionary::{Dictionary, TermId};
 pub use pipeline::{PipelineConfig, TextPipeline};
-pub use sparse::SparseVector;
+pub use sparse::{ScratchSpace, SparseVector};
 pub use tfidf::{IdfScheme, TfScheme, WeightingConfig};

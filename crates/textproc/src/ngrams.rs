@@ -86,7 +86,8 @@ impl BigramCounter {
             .iter()
             .filter(|(_, &c)| c >= min_count)
             .filter_map(|((a, b), &c)| {
-                self.pmi(a, b).map(|pmi| (a.to_string(), b.to_string(), pmi, c))
+                self.pmi(a, b)
+                    .map(|pmi| (a.to_string(), b.to_string(), pmi, c))
             })
             .collect();
         scored.sort_by(|x, y| {
@@ -95,7 +96,10 @@ impl BigramCounter {
                 .then_with(|| (&x.0, &x.1).cmp(&(&y.0, &y.1)))
         });
         scored.truncate(n);
-        scored.into_iter().map(|(a, b, pmi, _)| (a, b, pmi)).collect()
+        scored
+            .into_iter()
+            .map(|(a, b, pmi, _)| (a, b, pmi))
+            .collect()
     }
 }
 
@@ -150,7 +154,10 @@ mod tests {
         c.observe(&["rare", "pair"]);
         let top = c.top_collocations(10, 2);
         assert!(!top.is_empty());
-        assert!(top.iter().all(|(a, b, _)| !(a == "rare" && b == "pair")), "min_count filters");
+        assert!(
+            top.iter().all(|(a, b, _)| !(a == "rare" && b == "pair")),
+            "min_count filters"
+        );
         for w in top.windows(2) {
             assert!(w[0].2 >= w[1].2, "sorted by PMI");
         }

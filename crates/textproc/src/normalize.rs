@@ -22,16 +22,16 @@ fn fold_char(c: char) -> Fold {
     }
     match c {
         // Latin-1 + Latin Extended-A vowels.
-        'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' | 'ā' | 'ă' | 'ą' | 'À' | 'Á' | 'Â' | 'Ã' | 'Ä'
-        | 'Å' | 'Ā' | 'Ă' | 'Ą' => Fold::One('a'),
-        'è' | 'é' | 'ê' | 'ë' | 'ē' | 'ĕ' | 'ė' | 'ę' | 'ě' | 'È' | 'É' | 'Ê' | 'Ë' | 'Ē'
-        | 'Ĕ' | 'Ė' | 'Ę' | 'Ě' => Fold::One('e'),
-        'ì' | 'í' | 'î' | 'ï' | 'ĩ' | 'ī' | 'ĭ' | 'į' | 'ı' | 'Ì' | 'Í' | 'Î' | 'Ï' | 'Ĩ'
-        | 'Ī' | 'Ĭ' | 'Į' | 'İ' => Fold::One('i'),
-        'ò' | 'ó' | 'ô' | 'õ' | 'ö' | 'ø' | 'ō' | 'ŏ' | 'ő' | 'Ò' | 'Ó' | 'Ô' | 'Õ' | 'Ö'
-        | 'Ø' | 'Ō' | 'Ŏ' | 'Ő' => Fold::One('o'),
-        'ù' | 'ú' | 'û' | 'ü' | 'ũ' | 'ū' | 'ŭ' | 'ů' | 'ű' | 'ų' | 'Ù' | 'Ú' | 'Û' | 'Ü'
-        | 'Ũ' | 'Ū' | 'Ŭ' | 'Ů' | 'Ű' | 'Ų' => Fold::One('u'),
+        'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' | 'ā' | 'ă' | 'ą' | 'À' | 'Á' | 'Â' | 'Ã' | 'Ä' | 'Å'
+        | 'Ā' | 'Ă' | 'Ą' => Fold::One('a'),
+        'è' | 'é' | 'ê' | 'ë' | 'ē' | 'ĕ' | 'ė' | 'ę' | 'ě' | 'È' | 'É' | 'Ê' | 'Ë' | 'Ē' | 'Ĕ'
+        | 'Ė' | 'Ę' | 'Ě' => Fold::One('e'),
+        'ì' | 'í' | 'î' | 'ï' | 'ĩ' | 'ī' | 'ĭ' | 'į' | 'ı' | 'Ì' | 'Í' | 'Î' | 'Ï' | 'Ĩ' | 'Ī'
+        | 'Ĭ' | 'Į' | 'İ' => Fold::One('i'),
+        'ò' | 'ó' | 'ô' | 'õ' | 'ö' | 'ø' | 'ō' | 'ŏ' | 'ő' | 'Ò' | 'Ó' | 'Ô' | 'Õ' | 'Ö' | 'Ø'
+        | 'Ō' | 'Ŏ' | 'Ő' => Fold::One('o'),
+        'ù' | 'ú' | 'û' | 'ü' | 'ũ' | 'ū' | 'ŭ' | 'ů' | 'ű' | 'ų' | 'Ù' | 'Ú' | 'Û' | 'Ü' | 'Ũ'
+        | 'Ū' | 'Ŭ' | 'Ů' | 'Ű' | 'Ų' => Fold::One('u'),
         'ý' | 'ÿ' | 'Ý' | 'Ÿ' => Fold::One('y'),
         // Consonants.
         'ç' | 'ć' | 'ĉ' | 'ċ' | 'č' | 'Ç' | 'Ć' | 'Ĉ' | 'Ċ' | 'Č' => Fold::One('c'),
@@ -130,7 +130,10 @@ mod tests {
 
     #[test]
     fn folds_typographic_punctuation() {
-        assert_eq!(normalize("it\u{2019}s \u{201C}fine\u{201D}"), "it's \"fine\"");
+        assert_eq!(
+            normalize("it\u{2019}s \u{201C}fine\u{201D}"),
+            "it's \"fine\""
+        );
         assert_eq!(normalize("a\u{2014}b"), "a-b");
     }
 

@@ -59,7 +59,10 @@ impl PipelineConfig {
 
     /// The standard configuration plus bigram phrase features.
     pub fn with_bigrams() -> Self {
-        PipelineConfig { emit_bigrams: true, ..PipelineConfig::standard() }
+        PipelineConfig {
+            emit_bigrams: true,
+            ..PipelineConfig::standard()
+        }
     }
 }
 
@@ -80,8 +83,11 @@ pub struct TextPipeline {
 impl TextPipeline {
     /// Create a pipeline with defaults for everything but `config`.
     pub fn new(config: PipelineConfig) -> Self {
-        let stopwords =
-            if config.filter_stopwords { StopWords::english() } else { StopWords::none() };
+        let stopwords = if config.filter_stopwords {
+            StopWords::english()
+        } else {
+            StopWords::none()
+        };
         TextPipeline {
             tokenizer: Tokenizer::new(config.tokenizer.clone()),
             stopwords,
@@ -170,7 +176,8 @@ impl TextPipeline {
     pub fn index_document(&mut self, text: &str) -> SparseVector {
         self.count_terms(text);
         let counts: Vec<(TermId, u32)> = self.counts_buf.iter().map(|(&t, &c)| (t, c)).collect();
-        self.dictionary.record_document(counts.iter().map(|&(t, _)| t));
+        self.dictionary
+            .record_document(counts.iter().map(|&(t, _)| t));
         self.config.weighting.weigh(counts, &self.dictionary)
     }
 
@@ -248,7 +255,10 @@ mod tests {
         p.index_document("big volleyball sale this weekend");
         let ad = p.analyze_keywords(&["Volleyball", "Sale", "Shoes"]);
         let doc = p.analyze("volleyball sale");
-        assert!(ad.dot(&doc) > 0.0, "ad and document must overlap on shared stems");
+        assert!(
+            ad.dot(&doc) > 0.0,
+            "ad and document must overlap on shared stems"
+        );
     }
 
     #[test]
@@ -283,9 +293,14 @@ mod tests {
         p.index_document("running shoes on sale");
         p.index_document("marathon running gear");
         let query = p.analyze("new running shoes");
-        let phrase = p.dictionary().get(&crate::ngrams::bigram_term("run", "shoe"));
+        let phrase = p
+            .dictionary()
+            .get(&crate::ngrams::bigram_term("run", "shoe"));
         let id = phrase.expect("bigram interned");
-        assert!(query.get(id) > 0.0, "phrase term present in the query vector");
+        assert!(
+            query.get(id) > 0.0,
+            "phrase term present in the query vector"
+        );
         // A scrambled mention shares unigrams but not the phrase.
         let scrambled = p.analyze("shoes for my running club");
         assert_eq!(scrambled.get(id), 0.0, "non-adjacent words emit no bigram");

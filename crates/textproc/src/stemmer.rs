@@ -248,15 +248,17 @@ impl Stemmer {
 
     fn step_4(&mut self) {
         const RULES: &[&str] = &[
-            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
-            "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ion",
+            "ou", "ism", "ate", "iti", "ous", "ive", "ize",
         ];
         for suffix in RULES {
             if self.ends_with(suffix) {
                 let at = self.stem_len(suffix);
                 if self.measure(at) > 1 {
                     // -ion only deletes after s or t.
-                    if *suffix == "ion" && !matches!(self.buf.get(at.wrapping_sub(1)), Some(b's') | Some(b't')) {
+                    if *suffix == "ion"
+                        && !matches!(self.buf.get(at.wrapping_sub(1)), Some(b's') | Some(b't'))
+                    {
                         return;
                     }
                     self.buf.truncate(at);
@@ -435,8 +437,15 @@ mod tests {
     #[test]
     fn stemming_is_idempotent_on_samples() {
         let words = [
-            "relational", "hopefulness", "running", "flies", "happiness", "generalizations",
-            "oscillators", "ties", "agreement",
+            "relational",
+            "hopefulness",
+            "running",
+            "flies",
+            "happiness",
+            "generalizations",
+            "oscillators",
+            "ties",
+            "agreement",
         ];
         let mut s = Stemmer::new();
         for w in words {

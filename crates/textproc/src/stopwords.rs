@@ -11,28 +11,243 @@ use std::collections::HashSet;
 ///
 /// Kept sorted for readability; membership is via hash set at runtime.
 pub const DEFAULT_STOPWORDS: &[&str] = &[
-    "a", "about", "above", "after", "again", "against", "ago", "ain", "all", "also", "am", "an",
-    "and", "any", "are", "aren", "as", "at", "back", "be", "because", "been", "before", "being",
-    "below", "between", "both", "but", "by", "came", "can", "cannot", "come", "could", "couldn",
-    "did", "didn", "do", "does", "doesn", "doing", "don", "done", "down", "during", "each",
-    "either", "else", "even", "ever", "every", "few", "for", "from", "further", "get", "gets",
-    "getting", "go", "goes", "going", "gone", "got", "had", "hadn", "has", "hasn", "have",
-    "haven", "having", "he", "her", "here", "hers", "herself", "him", "himself", "his", "how",
-    "i", "if", "in", "into", "is", "isn", "it", "its", "itself", "just", "let", "like", "ll",
-    "made", "make", "makes", "many", "may", "maybe", "me", "might", "mine", "more", "most",
-    "much", "must", "mustn", "my", "myself", "need", "needn", "neither", "never", "new", "no",
-    "nor", "not", "now", "of", "off", "oh", "ok", "okay", "on", "once", "only", "onto", "or",
-    "other", "our", "ours", "ourselves", "out", "over", "own", "per", "please", "put", "rather",
-    "re", "really", "rt", "said", "same", "say", "says", "see", "seen", "shall", "shan", "she",
-    "should", "shouldn", "since", "so", "some", "somehow", "something", "sometimes", "soon",
-    "still", "such", "take", "takes", "than", "that", "the", "their", "theirs", "them",
-    "themselves", "then", "there", "these", "they", "this", "those", "though", "through", "thru",
-    "thus", "to", "today", "together", "too", "took", "toward", "towards", "under", "until",
-    "unto", "up", "upon", "us", "use", "used", "uses", "using", "ve", "very", "via", "want",
-    "wants", "was", "wasn", "way", "we", "well", "went", "were", "weren", "what", "whatever",
-    "when", "whenever", "where", "whether", "which", "while", "who", "whole", "whom", "whose",
-    "why", "will", "with", "within", "without", "won", "would", "wouldn", "yes", "yet", "you",
-    "your", "yours", "yourself", "yourselves",
+    "a",
+    "about",
+    "above",
+    "after",
+    "again",
+    "against",
+    "ago",
+    "ain",
+    "all",
+    "also",
+    "am",
+    "an",
+    "and",
+    "any",
+    "are",
+    "aren",
+    "as",
+    "at",
+    "back",
+    "be",
+    "because",
+    "been",
+    "before",
+    "being",
+    "below",
+    "between",
+    "both",
+    "but",
+    "by",
+    "came",
+    "can",
+    "cannot",
+    "come",
+    "could",
+    "couldn",
+    "did",
+    "didn",
+    "do",
+    "does",
+    "doesn",
+    "doing",
+    "don",
+    "done",
+    "down",
+    "during",
+    "each",
+    "either",
+    "else",
+    "even",
+    "ever",
+    "every",
+    "few",
+    "for",
+    "from",
+    "further",
+    "get",
+    "gets",
+    "getting",
+    "go",
+    "goes",
+    "going",
+    "gone",
+    "got",
+    "had",
+    "hadn",
+    "has",
+    "hasn",
+    "have",
+    "haven",
+    "having",
+    "he",
+    "her",
+    "here",
+    "hers",
+    "herself",
+    "him",
+    "himself",
+    "his",
+    "how",
+    "i",
+    "if",
+    "in",
+    "into",
+    "is",
+    "isn",
+    "it",
+    "its",
+    "itself",
+    "just",
+    "let",
+    "like",
+    "ll",
+    "made",
+    "make",
+    "makes",
+    "many",
+    "may",
+    "maybe",
+    "me",
+    "might",
+    "mine",
+    "more",
+    "most",
+    "much",
+    "must",
+    "mustn",
+    "my",
+    "myself",
+    "need",
+    "needn",
+    "neither",
+    "never",
+    "new",
+    "no",
+    "nor",
+    "not",
+    "now",
+    "of",
+    "off",
+    "oh",
+    "ok",
+    "okay",
+    "on",
+    "once",
+    "only",
+    "onto",
+    "or",
+    "other",
+    "our",
+    "ours",
+    "ourselves",
+    "out",
+    "over",
+    "own",
+    "per",
+    "please",
+    "put",
+    "rather",
+    "re",
+    "really",
+    "rt",
+    "said",
+    "same",
+    "say",
+    "says",
+    "see",
+    "seen",
+    "shall",
+    "shan",
+    "she",
+    "should",
+    "shouldn",
+    "since",
+    "so",
+    "some",
+    "somehow",
+    "something",
+    "sometimes",
+    "soon",
+    "still",
+    "such",
+    "take",
+    "takes",
+    "than",
+    "that",
+    "the",
+    "their",
+    "theirs",
+    "them",
+    "themselves",
+    "then",
+    "there",
+    "these",
+    "they",
+    "this",
+    "those",
+    "though",
+    "through",
+    "thru",
+    "thus",
+    "to",
+    "today",
+    "together",
+    "too",
+    "took",
+    "toward",
+    "towards",
+    "under",
+    "until",
+    "unto",
+    "up",
+    "upon",
+    "us",
+    "use",
+    "used",
+    "uses",
+    "using",
+    "ve",
+    "very",
+    "via",
+    "want",
+    "wants",
+    "was",
+    "wasn",
+    "way",
+    "we",
+    "well",
+    "went",
+    "were",
+    "weren",
+    "what",
+    "whatever",
+    "when",
+    "whenever",
+    "where",
+    "whether",
+    "which",
+    "while",
+    "who",
+    "whole",
+    "whom",
+    "whose",
+    "why",
+    "will",
+    "with",
+    "within",
+    "without",
+    "won",
+    "would",
+    "wouldn",
+    "yes",
+    "yet",
+    "you",
+    "your",
+    "yours",
+    "yourself",
+    "yourselves",
 ];
 
 /// A stop-word set: embedded defaults plus caller extensions.
@@ -56,7 +271,9 @@ impl StopWords {
 
     /// An empty set (no filtering).
     pub fn none() -> Self {
-        StopWords { set: HashSet::new() }
+        StopWords {
+            set: HashSet::new(),
+        }
     }
 
     /// Build from an explicit word list.

@@ -98,7 +98,11 @@ impl WeightingConfig {
     /// The configuration used throughout the evaluation: log TF, smooth
     /// IDF, L2-normalized.
     pub fn standard() -> Self {
-        WeightingConfig { tf: TfScheme::Log, idf: IdfScheme::Smooth, l2_normalize: true }
+        WeightingConfig {
+            tf: TfScheme::Log,
+            idf: IdfScheme::Smooth,
+            l2_normalize: true,
+        }
     }
 
     /// Weigh a bag of `(term, count)` pairs against corpus statistics.
@@ -194,7 +198,11 @@ mod tests {
     fn weigh_unnormalized() {
         let mut d = Dictionary::new();
         let a = d.intern("x");
-        let cfg = WeightingConfig { tf: TfScheme::Raw, idf: IdfScheme::None, l2_normalize: false };
+        let cfg = WeightingConfig {
+            tf: TfScheme::Raw,
+            idf: IdfScheme::None,
+            l2_normalize: false,
+        };
         let v = cfg.weigh([(a, 3)], &d);
         assert_eq!(v.get(a), 3.0);
     }

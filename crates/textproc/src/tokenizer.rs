@@ -43,11 +43,17 @@ pub struct Token<'a> {
 
 impl<'a> Token<'a> {
     fn borrowed(text: &'a str, kind: TokenKind) -> Self {
-        Token { text: std::borrow::Cow::Borrowed(text), kind }
+        Token {
+            text: std::borrow::Cow::Borrowed(text),
+            kind,
+        }
     }
 
     fn owned(text: String, kind: TokenKind) -> Self {
-        Token { text: std::borrow::Cow::Owned(text), kind }
+        Token {
+            text: std::borrow::Cow::Owned(text),
+            kind,
+        }
     }
 }
 
@@ -315,7 +321,10 @@ mod tests {
 
     #[test]
     fn splits_plain_words() {
-        assert_eq!(words("the quick brown fox"), ["the", "quick", "brown", "fox"]);
+        assert_eq!(
+            words("the quick brown fox"),
+            ["the", "quick", "brown", "fox"]
+        );
     }
 
     #[test]
@@ -335,7 +344,10 @@ mod tests {
 
     #[test]
     fn drops_mentions_when_configured() {
-        let cfg = TokenizerConfig { keep_mentions: false, ..Default::default() };
+        let cfg = TokenizerConfig {
+            keep_mentions: false,
+            ..Default::default()
+        };
         let toks = Tokenizer::new(cfg).tokenize("hi @alice");
         assert_eq!(toks.len(), 1);
         assert_eq!(toks[0].text, "hi");
@@ -361,7 +373,10 @@ mod tests {
 
     #[test]
     fn urls_reduced_to_host() {
-        let cfg = TokenizerConfig { keep_urls: true, ..Default::default() };
+        let cfg = TokenizerConfig {
+            keep_urls: true,
+            ..Default::default()
+        };
         let toks = Tokenizer::new(cfg).tokenize("see https://www.example.com/a/b?q=1 now");
         let texts: Vec<_> = toks.iter().map(|t| t.text.as_ref()).collect();
         assert_eq!(texts, ["see", "example.com", "now"]);
@@ -375,7 +390,10 @@ mod tests {
 
     #[test]
     fn bare_www_url() {
-        let cfg = TokenizerConfig { keep_urls: true, ..Default::default() };
+        let cfg = TokenizerConfig {
+            keep_urls: true,
+            ..Default::default()
+        };
         let toks = Tokenizer::new(cfg).tokenize("www.shop.example.org/deal");
         assert_eq!(toks[0].text, "shop.example.org");
     }
@@ -388,7 +406,10 @@ mod tests {
     #[test]
     fn numbers_dropped_by_default_kept_on_request() {
         assert_eq!(words("save 50% on 2 items"), ["save", "on", "items"]);
-        let cfg = TokenizerConfig { keep_numbers: true, ..Default::default() };
+        let cfg = TokenizerConfig {
+            keep_numbers: true,
+            ..Default::default()
+        };
         let toks = Tokenizer::new(cfg).tokenize("save 50% now");
         let texts: Vec<_> = toks.iter().map(|t| t.text.as_ref()).collect();
         assert_eq!(texts, ["save", "50%", "now"]);

@@ -1,143 +1,254 @@
-//! Property-based tests for the text substrate invariants.
+//! Randomized property tests for the text substrate invariants.
+//!
+//! Formerly a proptest suite; the offline build environment has no
+//! proptest, so the same properties are exercised with a seeded
+//! [`SmallRng`] harness (fixed seeds → fully deterministic CI, several
+//! hundred cases per property — more than the proptest default of 256).
 
 use adcast_text::dictionary::TermId;
+use adcast_text::normalize::normalize;
+use adcast_text::pipeline::TextPipeline;
 use adcast_text::sparse::SparseVector;
 use adcast_text::stemmer::stem;
 use adcast_text::tokenizer::{Tokenizer, TokenizerConfig};
-use adcast_text::normalize::normalize;
-use adcast_text::pipeline::TextPipeline;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_pairs() -> impl Strategy<Value = Vec<(u32, f32)>> {
-    proptest::collection::vec((0u32..64, -10.0f32..10.0), 0..32)
+const CASES: usize = 300;
+
+fn rand_pairs(rng: &mut SmallRng) -> Vec<(u32, f32)> {
+    let n = rng.gen_range(0..32usize);
+    (0..n)
+        .map(|_| (rng.gen_range(0..64u32), rng.gen_range(-10.0f32..10.0)))
+        .collect()
 }
 
 fn sv(pairs: &[(u32, f32)]) -> SparseVector {
     SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)))
 }
 
-proptest! {
-    #[test]
-    fn sparse_invariants_hold(pairs in arb_pairs()) {
-        let v = sv(&pairs);
-        let entries = v.entries();
+fn rand_word(rng: &mut SmallRng, min: usize, max: usize) -> String {
+    let n = rng.gen_range(min..=max);
+    (0..n)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect()
+}
+
+/// Printable-ish text: ASCII, whitespace, punctuation, and a sprinkle of
+/// multi-byte unicode (the old proptest strategy was `\PC{0,n}`).
+fn rand_text(rng: &mut SmallRng, max: usize) -> String {
+    const POOL: &[char] = &[
+        'a', 'b', 'c', 'z', 'E', 'Q', '0', '7', ' ', ' ', '\t', '.', ',', '!', '#', '@', '-', '_',
+        '\'', '"', '/', ':', 'é', 'ü', 'ß', 'α', 'Ж', '中', '文', '🎯', '🚀', '½',
+    ];
+    let n = rng.gen_range(0..=max);
+    (0..n).map(|_| POOL[rng.gen_range(0..POOL.len())]).collect()
+}
+
+#[test]
+fn sparse_invariants_hold() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_0001);
+    for _ in 0..CASES {
+        let v = sv(&rand_pairs(&mut rng));
+        let entries: Vec<(TermId, f32)> = v.iter().collect();
         for w in entries.windows(2) {
-            prop_assert!(w[0].0 < w[1].0, "sorted, unique");
+            assert!(w[0].0 < w[1].0, "sorted, unique");
         }
-        for &(_, w) in entries {
-            prop_assert!(w != 0.0 && w.is_finite());
+        for &(_, w) in &entries {
+            assert!(w != 0.0 && w.is_finite());
         }
     }
+}
 
-    #[test]
-    fn dot_is_commutative(a in arb_pairs(), b in arb_pairs()) {
-        let (a, b) = (sv(&a), sv(&b));
+#[test]
+fn dot_is_commutative() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_0002);
+    for _ in 0..CASES {
+        let (a, b) = (sv(&rand_pairs(&mut rng)), sv(&rand_pairs(&mut rng)));
         let ab = a.dot(&b);
         let ba = b.dot(&a);
-        prop_assert!((ab - ba).abs() <= 1e-4 * (1.0 + ab.abs()));
+        assert!((ab - ba).abs() <= 1e-4 * (1.0 + ab.abs()));
     }
+}
 
-    #[test]
-    fn dot_matches_bruteforce(a in arb_pairs(), b in arb_pairs()) {
-        let (a, b) = (sv(&a), sv(&b));
+#[test]
+fn dot_matches_bruteforce() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_0003);
+    for _ in 0..CASES {
+        let (a, b) = (sv(&rand_pairs(&mut rng)), sv(&rand_pairs(&mut rng)));
         let brute: f32 = a.iter().map(|(t, w)| w * b.get(t)).sum();
-        prop_assert!((a.dot(&b) - brute).abs() <= 1e-3);
+        assert!((a.dot(&b) - brute).abs() <= 1e-3);
     }
+}
 
-    #[test]
-    fn cosine_is_bounded(a in arb_pairs(), b in arb_pairs()) {
-        let c = sv(&a).cosine(&sv(&b));
-        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&c), "cosine {c} out of range");
+#[test]
+fn dot_matches_bruteforce_skewed_lengths() {
+    // The galloping path: one operand much shorter than the other.
+    let mut rng = SmallRng::seed_from_u64(0x5EED_0013);
+    for _ in 0..CASES {
+        let short_n = rng.gen_range(0..6usize);
+        let long_n = rng.gen_range(64..400usize);
+        let short = sv(&(0..short_n)
+            .map(|_| (rng.gen_range(0..2_000u32), rng.gen_range(-2.0f32..2.0)))
+            .collect::<Vec<_>>());
+        let long = sv(&(0..long_n)
+            .map(|_| (rng.gen_range(0..2_000u32), rng.gen_range(-2.0f32..2.0)))
+            .collect::<Vec<_>>());
+        let brute: f32 = short.iter().map(|(t, w)| w * long.get(t)).sum();
+        assert!((short.dot(&long) - brute).abs() <= 1e-3, "short·long");
+        assert!((long.dot(&short) - brute).abs() <= 1e-3, "long·short");
     }
+}
 
-    #[test]
-    fn axpy_matches_pointwise(a in arb_pairs(), b in arb_pairs(), alpha in -4.0f32..4.0) {
-        let (mut a_vec, b_vec) = (sv(&a), sv(&b));
+#[test]
+fn cosine_is_bounded() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_0004);
+    for _ in 0..CASES {
+        let c = sv(&rand_pairs(&mut rng)).cosine(&sv(&rand_pairs(&mut rng)));
+        assert!(
+            (-1.0 - 1e-4..=1.0 + 1e-4).contains(&c),
+            "cosine {c} out of range"
+        );
+    }
+}
+
+#[test]
+fn axpy_matches_pointwise() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_0005);
+    for _ in 0..CASES {
+        let (mut a_vec, b_vec) = (sv(&rand_pairs(&mut rng)), sv(&rand_pairs(&mut rng)));
+        let alpha = rng.gen_range(-4.0f32..4.0);
         let expect: Vec<f32> = (0..64)
             .map(|t| a_vec.get(TermId(t)) + alpha * b_vec.get(TermId(t)))
             .collect();
         a_vec.axpy(alpha, &b_vec);
         for t in 0..64u32 {
             let got = a_vec.get(TermId(t));
-            prop_assert!(
+            assert!(
                 (got - expect[t as usize]).abs() <= 1e-3,
-                "term {t}: got {got}, expect {}", expect[t as usize]
+                "term {t}: got {got}, expect {}",
+                expect[t as usize]
             );
         }
     }
+}
 
-    #[test]
-    fn delta_plus_old_recovers_new(a in arb_pairs(), b in arb_pairs()) {
-        let (new, old) = (sv(&a), sv(&b));
+#[test]
+fn delta_plus_old_recovers_new() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_0006);
+    for _ in 0..CASES {
+        let (new, old) = (sv(&rand_pairs(&mut rng)), sv(&rand_pairs(&mut rng)));
         let mut rebuilt = old.clone();
         rebuilt.axpy(1.0, &new.delta_from(&old));
         for t in 0..64u32 {
-            prop_assert!((rebuilt.get(TermId(t)) - new.get(TermId(t))).abs() <= 1e-3);
+            assert!((rebuilt.get(TermId(t)) - new.get(TermId(t))).abs() <= 1e-3);
         }
     }
+}
 
-    #[test]
-    fn normalized_has_unit_norm(a in arb_pairs()) {
-        let v = sv(&a);
-        prop_assume!(!v.is_empty());
-        prop_assert!((v.normalized().norm() - 1.0).abs() < 1e-4);
+#[test]
+fn normalized_has_unit_norm() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_0007);
+    let mut nonempty = 0;
+    for _ in 0..CASES {
+        let v = sv(&rand_pairs(&mut rng));
+        if v.is_empty() {
+            continue;
+        }
+        nonempty += 1;
+        assert!((v.normalized().norm() - 1.0).abs() < 1e-4);
     }
+    assert!(
+        nonempty > CASES / 2,
+        "generator produced too many empty vectors"
+    );
+}
 
-    // Note: Porter stemming is famously NOT idempotent (e.g. a final -y
-    // exposed by step 5a turns into -i on a second pass), so we assert the
-    // weaker property that iterated stemming reaches a fixed point fast.
-    #[test]
-    fn stemmer_converges_quickly(word in "[a-z]{1,20}") {
+// Note: Porter stemming is famously NOT idempotent (e.g. a final -y
+// exposed by step 5a turns into -i on a second pass), so we assert the
+// weaker property that iterated stemming reaches a fixed point fast.
+#[test]
+fn stemmer_converges_quickly() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_0008);
+    'case: for _ in 0..CASES {
+        let word = rand_word(&mut rng, 1, 20);
         let mut cur = word.clone();
         for _ in 0..3 {
             let next = stem(&cur);
             if next == cur {
-                return Ok(());
+                continue 'case;
             }
             cur = next;
         }
-        prop_assert_eq!(stem(&cur), cur.clone(), "no fixed point within 3 iterations from {}", word);
+        assert_eq!(
+            stem(&cur),
+            cur,
+            "no fixed point within 3 iterations from {word}"
+        );
     }
+}
 
-    #[test]
-    fn stemmer_never_grows_much(word in "[a-z]{3,24}") {
+#[test]
+fn stemmer_never_grows_much() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_0009);
+    for _ in 0..CASES {
         // Porter can grow a word by at most one char (e.g. "at" -> "ate"
         // restoration after -ing removal), never more.
+        let word = rand_word(&mut rng, 3, 24);
         let s = stem(&word);
-        prop_assert!(s.len() <= word.len() + 1);
-        prop_assert!(!s.is_empty());
+        assert!(s.len() <= word.len() + 1);
+        assert!(!s.is_empty());
     }
+}
 
-    #[test]
-    fn normalize_is_idempotent(text in "\\PC{0,80}") {
+#[test]
+fn normalize_is_idempotent() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_000A);
+    for _ in 0..CASES {
+        let text = rand_text(&mut rng, 80);
         let once = normalize(&text);
-        prop_assert_eq!(normalize(&once), once);
+        assert_eq!(normalize(&once), once);
     }
+}
 
-    #[test]
-    fn tokenizer_never_panics_and_respects_lengths(text in "\\PC{0,200}") {
-        let cfg = TokenizerConfig { keep_urls: true, keep_numbers: true, ..Default::default() };
+#[test]
+fn tokenizer_never_panics_and_respects_lengths() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_000B);
+    for _ in 0..CASES {
+        let text = rand_text(&mut rng, 200);
+        let cfg = TokenizerConfig {
+            keep_urls: true,
+            keep_numbers: true,
+            ..Default::default()
+        };
         let min = cfg.min_token_len;
         let max = cfg.max_token_len;
         for tok in Tokenizer::new(cfg).tokenize(&text) {
             let n = tok.text.chars().count();
-            prop_assert!(n >= min && n <= max, "token {:?} length {n}", tok.text);
+            assert!(n >= min && n <= max, "token {:?} length {n}", tok.text);
         }
     }
+}
 
-    #[test]
-    fn pipeline_vectors_are_normalized(text in "\\PC{0,120}") {
-        let mut p = TextPipeline::standard();
-        let v = p.index_document(&text);
+#[test]
+fn pipeline_vectors_are_normalized() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_000C);
+    let mut p = TextPipeline::standard();
+    for _ in 0..CASES {
+        let v = p.index_document(&rand_text(&mut rng, 120));
         if !v.is_empty() {
-            prop_assert!((v.norm() - 1.0).abs() < 1e-4);
+            assert!((v.norm() - 1.0).abs() < 1e-4);
         }
     }
+}
 
-    #[test]
-    fn pipeline_deterministic(text in "\\PC{0,120}") {
-        let mut p1 = TextPipeline::standard();
-        let mut p2 = TextPipeline::standard();
-        prop_assert_eq!(p1.index_document(&text), p2.index_document(&text));
+#[test]
+fn pipeline_deterministic() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_000D);
+    let mut p1 = TextPipeline::standard();
+    let mut p2 = TextPipeline::standard();
+    for _ in 0..CASES {
+        let text = rand_text(&mut rng, 120);
+        assert_eq!(p1.index_document(&text), p2.index_document(&text));
     }
 }

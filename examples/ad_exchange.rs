@@ -18,7 +18,10 @@ use adcast::stream::Timestamp;
 
 fn main() {
     let config = SimulationConfig {
-        workload: WorkloadConfig { num_users: 400, ..WorkloadConfig::default() },
+        workload: WorkloadConfig {
+            num_users: 400,
+            ..WorkloadConfig::default()
+        },
         num_ads: 25,
         ad_budget: Some(15.0),
         bid_range: (0.5, 2.0),
@@ -31,7 +34,10 @@ fn main() {
     // Pace every campaign over a ~3-minute flight.
     let flight_end = Timestamp::from_secs(200);
     for &(ad, _) in sim.ad_topics() {
-        market.set_pacing(ad, PacingController::new(Timestamp::from_secs(0), flight_end, 15.0));
+        market.set_pacing(
+            ad,
+            PacingController::new(Timestamp::from_secs(0), flight_end, 15.0),
+        );
     }
 
     println!("running the exchange: 12 serving waves …\n");
@@ -63,7 +69,11 @@ fn main() {
     for (pos, &(imps, clicks)) in market.position_stats().iter().enumerate() {
         println!(
             "  slot {pos}: {imps} impressions, {clicks} clicks, ctr {:.3}",
-            if imps > 0 { clicks as f64 / imps as f64 } else { 0.0 }
+            if imps > 0 {
+                clicks as f64 / imps as f64
+            } else {
+                0.0
+            }
         );
     }
     println!("\ntop campaigns by spend:");
@@ -82,6 +92,10 @@ fn main() {
         "ad", "topic", "spent", "impressions", "ctr"
     );
     for (ad, topic, spent, imps, ctr) in rows.iter().take(8) {
-        println!("  {:<6} topic{:<4} {spent:>8.2} {imps:>12} {ctr:>10.3}", format!("{ad:?}"), topic);
+        println!(
+            "  {:<6} topic{:<4} {spent:>8.2} {imps:>12} {ctr:>10.3}",
+            format!("{ad:?}"),
+            topic
+        );
     }
 }

@@ -15,7 +15,10 @@ use adcast::stream::generator::WorkloadConfig;
 
 fn main() {
     let config = SimulationConfig {
-        workload: WorkloadConfig { num_users: 300, ..WorkloadConfig::default() },
+        workload: WorkloadConfig {
+            num_users: 300,
+            ..WorkloadConfig::default()
+        },
         num_ads: 12,
         ad_budget: Some(40.0),
         bid_range: (0.5, 2.0),
@@ -56,8 +59,8 @@ fn main() {
 
     println!("\n── campaign report ──");
     println!(
-        "{:<6} {:>8} {:>12} {:>10} {:>10}  {}",
-        "ad", "bid", "impressions", "spent", "left", "state"
+        "{:<6} {:>8} {:>12} {:>10} {:>10}  state",
+        "ad", "bid", "impressions", "spent", "left"
     );
     for &(ad, topic) in sim.ad_topics() {
         let c = sim.store().campaign(ad).expect("campaign exists");
@@ -71,8 +74,12 @@ fn main() {
             c.state()
         );
     }
-    let total_spend: f64 =
-        sim.ad_topics().iter().filter_map(|&(ad, _)| sim.store().campaign(ad)).map(|c| c.budget.spent()).sum();
+    let total_spend: f64 = sim
+        .ad_topics()
+        .iter()
+        .filter_map(|&(ad, _)| sim.store().campaign(ad))
+        .map(|c| c.budget.spent())
+        .sum();
     println!("\ntotal platform revenue: {total_spend:.2}");
     println!(
         "active campaigns: {}/{}",

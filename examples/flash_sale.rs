@@ -20,7 +20,10 @@ use adcast::stream::generator::WorkloadConfig;
 fn main() {
     // Platform with modest defaults but a finite per-campaign budget.
     let config = SimulationConfig {
-        workload: WorkloadConfig { num_users: 500, ..WorkloadConfig::default() },
+        workload: WorkloadConfig {
+            num_users: 500,
+            ..WorkloadConfig::default()
+        },
         num_ads: 200,
         ad_budget: Some(25.0),
         bid_range: (1.0, 1.0),
@@ -85,6 +88,10 @@ fn serve_wave(sim: &mut Simulation, users: &[UserId], label: &str) {
     println!(
         "{label}: served {served} impressions across {} users (mean relevance {:.4})",
         users.len(),
-        if served > 0 { sum_rel / served as f64 } else { 0.0 }
+        if served > 0 {
+            sum_rel / served as f64
+        } else {
+            0.0
+        }
     );
 }

@@ -44,16 +44,66 @@ fn main() {
 
     // --- The day's tweets: (author, hh:mm, district, text).
     let tweets: &[(usize, (u64, u64), u16, &str)] = &[
-        (0, (8, 05), 0, "The nation's best volleyball returns tonight, can't wait!"),
-        (1, (8, 30), 1, "Morning espresso downtown before the volleyball match #coffee"),
-        (3, (9, 10), 0, "New running shoes day! Training for the city marathon."),
-        (2, (9, 45), 2, "Gallery opening this weekend, modern art all day"),
-        (4, (10, 20), 1, "Best coffee roaster downtown, hands down #espresso"),
-        (0, (14, 00), 0, "Volleyball practice was brutal, need new knee pads and shoes"),
-        (1, (14, 30), 1, "Afternoon slump. More coffee. Always more coffee."),
-        (3, (15, 00), 0, "Marathon training week 6: tempo runs and recovery shakes"),
-        (2, (18, 00), 2, "Sketching at the cafe, art fuels everything"),
-        (4, (19, 30), 1, "Evening cappuccino and people-watching downtown"),
+        (
+            0,
+            (8, 5),
+            0,
+            "The nation's best volleyball returns tonight, can't wait!",
+        ),
+        (
+            1,
+            (8, 30),
+            1,
+            "Morning espresso downtown before the volleyball match #coffee",
+        ),
+        (
+            3,
+            (9, 10),
+            0,
+            "New running shoes day! Training for the city marathon.",
+        ),
+        (
+            2,
+            (9, 45),
+            2,
+            "Gallery opening this weekend, modern art all day",
+        ),
+        (
+            4,
+            (10, 20),
+            1,
+            "Best coffee roaster downtown, hands down #espresso",
+        ),
+        (
+            0,
+            (14, 00),
+            0,
+            "Volleyball practice was brutal, need new knee pads and shoes",
+        ),
+        (
+            1,
+            (14, 30),
+            1,
+            "Afternoon slump. More coffee. Always more coffee.",
+        ),
+        (
+            3,
+            (15, 00),
+            0,
+            "Marathon training week 6: tempo runs and recovery shakes",
+        ),
+        (
+            2,
+            (18, 00),
+            2,
+            "Sketching at the cafe, art fuels everything",
+        ),
+        (
+            4,
+            (19, 30),
+            1,
+            "Evening cappuccino and people-watching downtown",
+        ),
     ];
 
     // Index the corpus so IDF statistics are meaningful.
@@ -119,7 +169,10 @@ fn main() {
             location: LocationId(district),
             vector: pipeline.analyze(text),
         });
-        println!("[{h:02}:{m:02}] @{:<4} ({:?}): {text}", USERS[author], msg.location);
+        println!(
+            "[{h:02}:{m:02}] @{:<4} ({:?}): {text}",
+            USERS[author], msg.location
+        );
         for (user, delta) in delivery.post(&graph, msg.clone()) {
             engine.on_feed_delta(&store, user, &delta);
         }

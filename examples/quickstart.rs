@@ -32,8 +32,11 @@ fn main() {
     users.sort_by_key(|&u| std::cmp::Reverse(sim.graph().in_degree(u)));
     for &user in users.iter().take(5) {
         let profile = sim.generator().profile(user);
-        let topics: Vec<String> =
-            profile.topics.iter().map(|(t, w)| format!("topic{t}:{w:.2}")).collect();
+        let topics: Vec<String> = profile
+            .topics
+            .iter()
+            .map(|(t, w)| format!("topic{t}:{w:.2}"))
+            .collect();
         println!("user {user} (interests: {})", topics.join(", "));
         let recs = sim.recommend(user, 3);
         if recs.is_empty() {

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full local gate: everything CI runs, in the order that fails fastest.
+# Usage: scripts/check.sh   (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test (workspace) =="
+cargo test -q --workspace
+
+echo "== cargo test (debug-stats: zero-alloc hot path) =="
+cargo test -q -p adcast-core --features debug-stats
+
+echo "All checks passed."

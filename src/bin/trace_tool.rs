@@ -40,16 +40,25 @@ fn main() -> ExitCode {
     }
 }
 
-fn arg<'a>(args: &'a [String], i: usize) -> Result<&'a str, String> {
-    args.get(i).map(String::as_str).ok_or_else(|| "missing argument".to_string())
+fn arg(args: &[String], i: usize) -> Result<&str, String> {
+    args.get(i)
+        .map(String::as_str)
+        .ok_or_else(|| "missing argument".to_string())
 }
 
 fn record(args: &[String]) -> Result<(), String> {
     let path = arg(args, 0)?;
-    let messages: usize = args.get(1).map_or(Ok(10_000), |s| s.parse().map_err(|e| format!("{e}")))?;
-    let seed: u64 = args.get(2).map_or(Ok(0xADCA57), |s| s.parse().map_err(|e| format!("{e}")))?;
+    let messages: usize = args
+        .get(1)
+        .map_or(Ok(10_000), |s| s.parse().map_err(|e| format!("{e}")))?;
+    let seed: u64 = args
+        .get(2)
+        .map_or(Ok(0xADCA57), |s| s.parse().map_err(|e| format!("{e}")))?;
 
-    let config = WorkloadConfig { seed, ..WorkloadConfig::default() };
+    let config = WorkloadConfig {
+        seed,
+        ..WorkloadConfig::default()
+    };
     let mut generator = WorkloadGenerator::with_poisson(config, 200.0);
     let mut writer = TraceWriter::new();
     for _ in 0..messages {
@@ -57,7 +66,10 @@ fn record(args: &[String]) -> Result<(), String> {
     }
     let bytes = writer.finish();
     std::fs::write(path, &bytes).map_err(|e| format!("write {path}: {e}"))?;
-    println!("recorded {messages} messages ({} bytes) to {path}", bytes.len());
+    println!(
+        "recorded {messages} messages ({} bytes) to {path}",
+        bytes.len()
+    );
     Ok(())
 }
 
@@ -82,7 +94,10 @@ fn inspect(args: &[String]) -> Result<(), String> {
     println!("  messages:       {}", messages.len());
     println!("  authors:        {}", authors.len());
     println!("  span:           {first} .. {last}");
-    println!("  terms/message:  {:.2}", terms as f64 / messages.len() as f64);
+    println!(
+        "  terms/message:  {:.2}",
+        terms as f64 / messages.len() as f64
+    );
     let max_author = authors.values().max().copied().unwrap_or(0);
     println!(
         "  most active:    {max_author} messages ({:.1}% of the stream)",
@@ -93,15 +108,21 @@ fn inspect(args: &[String]) -> Result<(), String> {
 
 fn replay(args: &[String]) -> Result<(), String> {
     let path = arg(args, 0)?;
-    let k: usize = args.get(1).map_or(Ok(5), |s| s.parse().map_err(|e| format!("{e}")))?;
+    let k: usize = args
+        .get(1)
+        .map_or(Ok(5), |s| s.parse().map_err(|e| format!("{e}")))?;
     let data = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
     let mut reader = TraceReader::new(data.into()).map_err(|e| format!("{e}"))?;
     let messages = reader.read_all().map_err(|e| format!("{e}"))?;
     if messages.is_empty() {
         return Err("empty trace".into());
     }
-    let num_users =
-        messages.iter().map(|m| m.author.0).max().expect("non-empty") + 1;
+    let num_users = messages
+        .iter()
+        .map(|m| m.author.0)
+        .max()
+        .expect("non-empty")
+        + 1;
 
     // A graph, an ad corpus keyed to the trace's term space, and the engine.
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(1);
@@ -118,7 +139,10 @@ fn replay(args: &[String]) -> Result<(), String> {
             topic_hint: None,
         });
     }
-    let config = EngineConfig { k, ..EngineConfig::default() };
+    let config = EngineConfig {
+        k,
+        ..EngineConfig::default()
+    };
     let mut delivery = PushDelivery::new(num_users, config.window);
     let mut engine = IncrementalEngine::new(num_users, config);
 

@@ -15,7 +15,11 @@ use std::collections::HashMap;
 /// score those sets against the ground-truth interested sets.
 fn run_effectiveness(seed: u64) -> (f64, f64, f64) {
     let config = SimulationConfig {
-        workload: WorkloadConfig { seed, num_users: 120, ..WorkloadConfig::tiny() },
+        workload: WorkloadConfig {
+            seed,
+            num_users: 120,
+            ..WorkloadConfig::tiny()
+        },
         num_ads: 60,
         targeted_ad_fraction: 0.0, // effectiveness is about content match
         ..SimulationConfig::tiny()
@@ -34,7 +38,9 @@ fn run_effectiveness(seed: u64) -> (f64, f64, f64) {
     let mut sum_f = 0.0;
     let mut n = 0usize;
     for &(ad, topic) in sim.ad_topics() {
-        let Some(retrieved) = served.get(&ad) else { continue };
+        let Some(retrieved) = served.get(&ad) else {
+            continue;
+        };
         let relevant = sim.users_interested_in(topic);
         if relevant.is_empty() {
             continue;
@@ -64,7 +70,11 @@ fn precision_beats_random_assignment_by_a_wide_margin() {
 #[test]
 fn served_users_are_mostly_interested() {
     let config = SimulationConfig {
-        workload: WorkloadConfig { seed: 5, num_users: 100, ..WorkloadConfig::tiny() },
+        workload: WorkloadConfig {
+            seed: 5,
+            num_users: 100,
+            ..WorkloadConfig::tiny()
+        },
         num_ads: 40,
         targeted_ad_fraction: 0.0,
         ..SimulationConfig::tiny()
@@ -74,8 +84,13 @@ fn served_users_are_mostly_interested() {
     let mut hits = 0usize;
     let mut total = 0usize;
     for u in 0..100u32 {
-        let profile_topics: Vec<usize> =
-            sim.generator().profile(UserId(u)).topics.iter().map(|&(t, _)| t).collect();
+        let profile_topics: Vec<usize> = sim
+            .generator()
+            .profile(UserId(u))
+            .topics
+            .iter()
+            .map(|&(t, _)| t)
+            .collect();
         for rec in sim.recommend(UserId(u), 1) {
             total += 1;
             let topic = sim.store().ad(rec.ad).and_then(|a| a.topic_hint).unwrap();
@@ -84,14 +99,23 @@ fn served_users_are_mostly_interested() {
             }
         }
     }
-    assert!(total > 50, "most users should be servable after 5k messages");
+    assert!(
+        total > 50,
+        "most users should be servable after 5k messages"
+    );
     let hit_rate = hits as f64 / total as f64;
-    assert!(hit_rate > 0.55, "top-1 ad topic matches user interest only {hit_rate:.3}");
+    assert!(
+        hit_rate > 0.55,
+        "top-1 ad topic matches user interest only {hit_rate:.3}"
+    );
 }
 
 #[test]
 fn effectiveness_is_stable_across_seeds() {
     let (p1, _, _) = run_effectiveness(21);
     let (p2, _, _) = run_effectiveness(22);
-    assert!((p1 - p2).abs() < 0.3, "precision varies wildly across seeds: {p1:.3} vs {p2:.3}");
+    assert!(
+        (p1 - p2).abs() < 0.3,
+        "precision varies wildly across seeds: {p1:.3} vs {p2:.3}"
+    );
 }

@@ -37,14 +37,54 @@ fn build() -> Scenario {
     let mut pipeline = TextPipeline::standard();
 
     let tweets: &[(u32, (u64, u64), u16, &str)] = &[
-        (0, (8, 5), 0, "The nation's best volleyball returns tonight, can't wait!"),
-        (1, (8, 30), 1, "Morning espresso downtown before the volleyball match #coffee"),
-        (3, (9, 10), 0, "New running shoes day! Training for the city marathon."),
-        (2, (9, 45), 2, "Gallery opening this weekend, modern art all day"),
-        (4, (10, 20), 1, "Best coffee roaster downtown, hands down #espresso"),
-        (0, (14, 0), 0, "Volleyball practice was brutal, need new knee pads and shoes"),
-        (1, (14, 30), 1, "Afternoon slump. More coffee. Always more coffee."),
-        (4, (19, 30), 1, "Evening cappuccino and people-watching downtown"),
+        (
+            0,
+            (8, 5),
+            0,
+            "The nation's best volleyball returns tonight, can't wait!",
+        ),
+        (
+            1,
+            (8, 30),
+            1,
+            "Morning espresso downtown before the volleyball match #coffee",
+        ),
+        (
+            3,
+            (9, 10),
+            0,
+            "New running shoes day! Training for the city marathon.",
+        ),
+        (
+            2,
+            (9, 45),
+            2,
+            "Gallery opening this weekend, modern art all day",
+        ),
+        (
+            4,
+            (10, 20),
+            1,
+            "Best coffee roaster downtown, hands down #espresso",
+        ),
+        (
+            0,
+            (14, 0),
+            0,
+            "Volleyball practice was brutal, need new knee pads and shoes",
+        ),
+        (
+            1,
+            (14, 30),
+            1,
+            "Afternoon slump. More coffee. Always more coffee.",
+        ),
+        (
+            4,
+            (19, 30),
+            1,
+            "Evening cappuccino and people-watching downtown",
+        ),
     ];
     for (_, _, _, text) in tweets {
         pipeline.index_document(text);
@@ -95,13 +135,20 @@ fn build() -> Scenario {
             engine.on_feed_delta(&store, user, &delta);
         }
     }
-    Scenario { store, engine, ad_sports, ad_coffee }
+    Scenario {
+        store,
+        engine,
+        ad_sports,
+        ad_coffee,
+    }
 }
 
 #[test]
 fn coffee_ad_wins_downtown_in_the_afternoon() {
     let mut s = build();
-    let recs = s.engine.recommend(&s.store, UserId(1), at(15, 30), LocationId(1), 1);
+    let recs = s
+        .engine
+        .recommend(&s.store, UserId(1), at(15, 30), LocationId(1), 1);
     assert_eq!(recs.first().map(|r| r.ad), Some(s.ad_coffee));
 }
 
@@ -109,14 +156,18 @@ fn coffee_ad_wins_downtown_in_the_afternoon() {
 fn coffee_ad_is_ineligible_outside_its_slot() {
     let mut s = build();
     // Same user, same place, 21:00: happy hour over → sports ad instead.
-    let recs = s.engine.recommend(&s.store, UserId(1), at(21, 0), LocationId(1), 1);
+    let recs = s
+        .engine
+        .recommend(&s.store, UserId(1), at(21, 0), LocationId(1), 1);
     assert_eq!(recs.first().map(|r| r.ad), Some(s.ad_sports));
 }
 
 #[test]
 fn coffee_ad_is_ineligible_outside_its_district() {
     let mut s = build();
-    let recs = s.engine.recommend(&s.store, UserId(1), at(15, 30), LocationId(0), 1);
+    let recs = s
+        .engine
+        .recommend(&s.store, UserId(1), at(15, 30), LocationId(0), 1);
     assert_eq!(recs.first().map(|r| r.ad), Some(s.ad_sports));
 }
 
@@ -126,15 +177,23 @@ fn sports_context_beats_coffee_everywhere() {
     // Tom's feed is shared (everyone follows everyone) but outside the
     // coffee slot the sports ad wins for everyone.
     for u in 0..5u32 {
-        let recs = s.engine.recommend(&s.store, UserId(u), at(11, 0), LocationId(0), 1);
-        assert_eq!(recs.first().map(|r| r.ad), Some(s.ad_sports), "user {u} mid-morning");
+        let recs = s
+            .engine
+            .recommend(&s.store, UserId(u), at(11, 0), LocationId(0), 1);
+        assert_eq!(
+            recs.first().map(|r| r.ad),
+            Some(s.ad_sports),
+            "user {u} mid-morning"
+        );
     }
 }
 
 #[test]
 fn both_ads_rank_when_both_eligible() {
     let mut s = build();
-    let recs = s.engine.recommend(&s.store, UserId(2), at(15, 30), LocationId(1), 2);
+    let recs = s
+        .engine
+        .recommend(&s.store, UserId(2), at(15, 30), LocationId(1), 2);
     assert_eq!(recs.len(), 2);
     assert!(recs[0].score >= recs[1].score);
     let ids: Vec<_> = recs.iter().map(|r| r.ad).collect();
@@ -146,7 +205,9 @@ fn stemming_connects_ad_keywords_to_tweet_text() {
     // "running"/"training" in tweets vs "training" keyword etc. — verify
     // the relevance is non-zero purely through stemmed overlap.
     let mut s = build();
-    let recs = s.engine.recommend(&s.store, UserId(3), at(11, 0), LocationId(0), 1);
+    let recs = s
+        .engine
+        .recommend(&s.store, UserId(3), at(11, 0), LocationId(0), 1);
     let rec = recs.first().expect("some ad serves");
     assert!(rec.relevance > 0.0);
 }

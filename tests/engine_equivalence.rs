@@ -12,7 +12,11 @@ use adcast::stream::generator::WorkloadConfig;
 
 fn build(kind: EngineKind, seed: u64) -> Simulation {
     let config = SimulationConfig {
-        workload: WorkloadConfig { seed, num_users: 60, ..WorkloadConfig::tiny() },
+        workload: WorkloadConfig {
+            seed,
+            num_users: 60,
+            ..WorkloadConfig::tiny()
+        },
         num_ads: 120,
         engine_kind: kind,
         ..SimulationConfig::tiny()
@@ -39,8 +43,16 @@ fn all_engines_agree_over_a_long_stream() {
                 let a = incremental.recommend(user, 3);
                 let b = index_scan.recommend(user, 3);
                 let c = full_scan.recommend(user, 3);
-                assert_eq!(ids(&a), ids(&b), "seed {seed} wave {wave} user {u}: inc vs idx");
-                assert_eq!(ids(&b), ids(&c), "seed {seed} wave {wave} user {u}: idx vs full");
+                assert_eq!(
+                    ids(&a),
+                    ids(&b),
+                    "seed {seed} wave {wave} user {u}: inc vs idx"
+                );
+                assert_eq!(
+                    ids(&b),
+                    ids(&c),
+                    "seed {seed} wave {wave} user {u}: idx vs full"
+                );
                 for (x, y) in a.iter().zip(&b) {
                     assert!(
                         (x.score - y.score).abs() <= 1e-4 * (1.0 + y.score.abs()),
@@ -69,10 +81,18 @@ fn incremental_work_undercuts_baseline_in_continuous_model() {
 
     let build = |kind| {
         let config = SimulationConfig {
-            workload: WorkloadConfig { seed: 7, num_users: 60, ..WorkloadConfig::tiny() },
+            workload: WorkloadConfig {
+                seed: 7,
+                num_users: 60,
+                ..WorkloadConfig::tiny()
+            },
             num_ads: 120,
             engine_kind: kind,
-            engine: EngineConfig { k: 3, window: WindowConfig::count(32), ..Default::default() },
+            engine: EngineConfig {
+                k: 3,
+                window: WindowConfig::count(32),
+                ..Default::default()
+            },
             ..SimulationConfig::tiny()
         };
         Simulation::build(config)
@@ -89,8 +109,7 @@ fn incremental_work_undercuts_baseline_in_continuous_model() {
         let (msg_a, _) = incremental.step();
         let (msg_b, _) = index_scan.step();
         assert_eq!(msg_a.id, msg_b.id);
-        let affected: Vec<UserId> =
-            incremental.graph().followers(msg_a.author).to_vec();
+        let affected: Vec<UserId> = incremental.graph().followers(msg_a.author).to_vec();
         for &u in &affected {
             incremental.recommend(u, 3);
             index_scan.recommend(u, 3);
@@ -122,7 +141,11 @@ fn sharded_driver_matches_simulation_engine() {
     // Rebuild the identical stream manually and push it through a 4-shard
     // driver.
     let config = SimulationConfig {
-        workload: WorkloadConfig { seed, num_users: 60, ..WorkloadConfig::tiny() },
+        workload: WorkloadConfig {
+            seed,
+            num_users: 60,
+            ..WorkloadConfig::tiny()
+        },
         num_ads: 120,
         engine_kind: EngineKind::Incremental,
         ..SimulationConfig::tiny()

@@ -10,7 +10,11 @@ use adcast::stream::Timestamp;
 
 fn sim(seed: u64, budget: Option<f64>) -> Simulation {
     Simulation::build(SimulationConfig {
-        workload: WorkloadConfig { seed, num_users: 80, ..WorkloadConfig::tiny() },
+        workload: WorkloadConfig {
+            seed,
+            num_users: 80,
+            ..WorkloadConfig::tiny()
+        },
         num_ads: 30,
         ad_budget: budget,
         bid_range: (0.5, 1.5),
@@ -40,7 +44,11 @@ fn revenue_equals_spend_and_trackers_are_consistent() {
         .filter_map(|&(ad, _)| sim.store().campaign(ad))
         .map(|c| c.budget.spent())
         .sum();
-    assert!((market.revenue() - spend).abs() < 0.01, "{} vs {spend}", market.revenue());
+    assert!(
+        (market.revenue() - spend).abs() < 0.01,
+        "{} vs {spend}",
+        market.revenue()
+    );
     // Tracker totals match the market totals.
     let tracker_imps: u64 = sim
         .ad_topics()
@@ -88,7 +96,10 @@ fn exhausted_campaigns_are_purged_and_never_reappear() {
             }
         }
     }
-    assert!(!exhausted_seen.is_empty(), "tiny budgets must exhaust under this load");
+    assert!(
+        !exhausted_seen.is_empty(),
+        "tiny budgets must exhaust under this load"
+    );
 }
 
 #[test]

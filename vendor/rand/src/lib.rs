@@ -1,0 +1,388 @@
+//! Offline stand-in for the `rand` crate (API-compatible subset).
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides exactly the surface adcast uses: the [`Rng`] /
+//! [`RngCore`] / [`SeedableRng`] traits, [`rngs::SmallRng`] (xoshiro256++
+//! seeded via splitmix64, the same construction real `SmallRng` uses on
+//! 64-bit targets), range sampling for the integer and float types the
+//! workspace draws, and [`seq::SliceRandom`].
+//!
+//! Determinism contract: identical seeds produce identical streams across
+//! runs and platforms. Streams do **not** bit-match the real `rand` crate;
+//! every in-repo test asserts distributional or same-seed properties, not
+//! golden values from upstream `rand`.
+
+/// The raw generator interface.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Raw seed bytes.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Build from raw seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64` via splitmix64 expansion.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable uniformly over their whole domain (`Rng::gen`).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+mod range {
+    use super::{RngCore, Standard};
+
+    /// Ranges `Rng::gen_range` accepts.
+    pub trait SampleRange<T> {
+        /// Draw one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range in gen_range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    // Widening multiply: maps 64 random bits onto the span
+                    // with bias < 2^-64 per draw.
+                    let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    self.start.wrapping_add(hi as $t)
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty inclusive range in gen_range");
+                    if lo == hi {
+                        return lo;
+                    }
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-domain u64 range.
+                        return rng.next_u64() as $t;
+                    }
+                    let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    lo.wrapping_add(draw as $t)
+                }
+            }
+        )*};
+    }
+    int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty float range in gen_range");
+                    let u = <$t as Standard>::sample(rng);
+                    let v = self.start + (self.end - self.start) * u;
+                    // Guard against rounding up to the excluded endpoint.
+                    if v >= self.end { <$t>::max(self.start, self.end - (self.end - self.start) * 1e-7) } else { v }
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty inclusive float range in gen_range");
+                    let u = <$t as Standard>::sample(rng);
+                    lo + (hi - lo) * u
+                }
+            }
+        )*};
+    }
+    float_range!(f32, f64);
+}
+
+pub use range::SampleRange;
+
+/// The user-facing generator interface (auto-implemented for every
+/// [`RngCore`]).
+pub trait Rng: RngCore {
+    /// A uniform draw over `T`'s standard domain (`[0,1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform draw from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// A Bernoulli draw with probability `p` (clamped to `[0,1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} out of range");
+        <f64 as Standard>::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // All-zero state is the one degenerate xoshiro orbit.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 0xBF58_476D_1CE4_E5B9, 0x94D0_49BB_1331_11EB, 1];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Convenience re-exports mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::SmallRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_int_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = rng.gen_range(0..=3);
+            assert!(w <= 3);
+        }
+        assert_eq!(rng.gen_range(5u64..=5), 5);
+    }
+
+    #[test]
+    fn gen_range_int_covers_domain() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_float_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(v > 0.0 && v < 1.0);
+            let w: f32 = rng.gen_range(0.5f32..=1.5);
+            assert!((0.5..=1.5).contains(&w));
+        }
+        let pinned: f32 = rng.gen_range(1.0f32..=1.0);
+        assert_eq!(pinned, 1.0);
+    }
+
+    #[test]
+    fn gen_bool_frequencies() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1_800..3_200).contains(&hits), "got {hits}");
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn gen_standard_floats_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_hits_all() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut v: Vec<u32> = (0..32).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert!(v != (0..32).collect::<Vec<_>>(), "shuffle left slice untouched");
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut seen = [false; 4];
+        let pool = [0usize, 1, 2, 3];
+        for _ in 0..200 {
+            seen[*pool.choose(&mut rng).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
