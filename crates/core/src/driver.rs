@@ -18,6 +18,13 @@
 //! per-item channel traffic and no per-batch thread churn. Dropping the
 //! driver sends each worker a shutdown message and joins it.
 //!
+//! The ack barrier holds on the panic paths too: when a send fails or a
+//! worker dies mid-batch, `process_batch` drains the acks of every worker
+//! that received the batch *before* unwinding (a live worker that has not
+//! acked may still be dereferencing the store pointer), then marks the
+//! driver dead so later batches fail fast instead of dispatching to a
+//! pool in an unknown state.
+//!
 //! ## Memory
 //!
 //! Each shard's engine holds state **only for its resident users**: user
@@ -50,10 +57,15 @@ type Slab = Vec<(UserId, FeedDelta)>;
 /// one batch. Soundness: `process_batch` does not return until every
 /// worker has acked the batch, so the pointee outlives every dereference.
 struct StorePtr(*const AdStore);
-// SAFETY: AdStore is Sync (it is shared by reference across the scoped
-// threads of the baseline engines) and the barrier in `process_batch`
-// bounds the pointer's lifetime to the caller's borrow.
+// SAFETY: AdStore is Sync (machine-checked below, so this impl breaks the
+// build instead of silently racing if AdStore ever gains interior
+// mutability) and the barrier in `process_batch` bounds the pointer's
+// lifetime to the caller's borrow.
 unsafe impl Send for StorePtr {}
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<AdStore>()
+};
 
 enum WorkerMsg {
     Batch { store: StorePtr, items: Slab },
@@ -77,6 +89,11 @@ pub struct ShardedDriver {
     workers: Vec<Worker>,
     /// Recycled partition slabs, one per shard.
     slabs: Vec<Slab>,
+    /// Set when a worker died mid-batch. Further `process_batch` calls
+    /// fail fast instead of handing new slabs (and a new [`StorePtr`]) to
+    /// the surviving workers of a pool in an unknown state; read paths
+    /// (`stats`, `memory_bytes`, `recommend`) keep working.
+    dead: bool,
 }
 
 /// Number of users resident on shard `s` under `u % num_shards` routing.
@@ -135,6 +152,7 @@ impl ShardedDriver {
             num_users,
             workers,
             slabs: (0..num_shards).map(|_| Vec::new()).collect(),
+            dead: false,
         }
     }
 
@@ -181,7 +199,11 @@ impl ShardedDriver {
     ///
     /// Panics when a worker thread has died (e.g. a poisoned batch made it
     /// panic) — the barrier converts the lost ack into an error instead of
-    /// waiting forever.
+    /// waiting forever. The driver is then **dead**: subsequent
+    /// `process_batch` calls fail fast without dispatching to the
+    /// surviving workers (read paths keep working). Either panic path
+    /// first drains the acks of every worker that received the batch, so
+    /// no thread can still hold the [`StorePtr`] once this call unwinds.
     pub fn process_batch(&mut self, store: &AdStore, deltas: Vec<(UserId, FeedDelta)>) {
         let num_shards = self.engines.len();
         if self.workers.is_empty() {
@@ -192,6 +214,10 @@ impl ShardedDriver {
             }
             return;
         }
+        assert!(
+            !self.dead,
+            "ShardedDriver is dead: a shard worker panicked in an earlier batch"
+        );
         // Partition into recycled slabs: one send per shard per batch.
         let mut slabs = std::mem::take(&mut self.slabs);
         while slabs.len() < num_shards {
@@ -205,27 +231,44 @@ impl ShardedDriver {
         }
         // Empty slabs are sent too: the ack protocol stays uniform (one
         // ack per worker per batch) and the slab keeps its capacity.
+        // Track how many workers actually received the batch so the
+        // failure path below drains exactly those acks.
+        let mut sent = 0usize;
         for (worker, slab) in self.workers.iter().zip(slabs.drain(..)) {
-            worker
-                .tx
-                .send(WorkerMsg::Batch {
-                    store: StorePtr(store),
-                    items: slab,
-                })
-                .expect("shard worker is alive");
+            let msg = WorkerMsg::Batch {
+                store: StorePtr(store),
+                items: slab,
+            };
+            if worker.tx.send(msg).is_err() {
+                break; // dead worker; earlier ones already hold the batch
+            }
+            sent += 1;
         }
-        // Barrier: one ack per worker. This must complete before returning
-        // for the StorePtr to stay sound.
-        for (s, worker) in self.workers.iter().enumerate() {
+        // Barrier: one ack per worker that received the batch. Every such
+        // ack must be drained — even after a failure — before this
+        // function may unwind: a live worker that has not yet acked can
+        // still be dereferencing the StorePtr, and the caller's `&AdStore`
+        // borrow ends when we return (panic included). Skipping the drain
+        // here would be a use-after-free reachable from safe code via
+        // `catch_unwind`.
+        let mut dead_shard = if sent < self.workers.len() {
+            Some(sent)
+        } else {
+            None
+        };
+        for (s, worker) in self.workers.iter().take(sent).enumerate() {
             match worker.ack_rx.recv() {
                 Ok(slab) => slabs.push(slab),
                 Err(_) => {
-                    self.slabs = slabs;
-                    panic!("shard worker {s} died processing a batch");
+                    dead_shard.get_or_insert(s);
                 }
             }
         }
         self.slabs = slabs;
+        if let Some(s) = dead_shard {
+            self.dead = true;
+            panic!("shard worker {s} died processing a batch");
+        }
     }
 
     /// Serve a recommendation from the owning shard.
@@ -525,5 +568,31 @@ mod tests {
         // not hang on the dead worker) with stats still readable.
         let _ = driver.stats();
         drop(driver);
+    }
+
+    #[test]
+    fn dead_driver_fails_fast() {
+        let s = store();
+        let mut driver = ShardedDriver::new(4, 2, cfg());
+        let poisoned = vec![deltas(1, 4).pop().map(|(_, d)| (UserId(100), d)).unwrap()];
+        let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            driver.process_batch(&s, poisoned);
+        }));
+        assert!(first.is_err());
+        let before = driver.stats().deltas;
+        // A later, perfectly valid batch must not be dispatched to the
+        // surviving worker: the driver is dead and fails fast.
+        let again = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            driver.process_batch(&s, deltas(4, 4));
+        }));
+        let payload = again.expect_err("dead driver must refuse new batches");
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        assert!(msg.contains("dead"), "unexpected panic message: {msg}");
+        // No deltas reached the live shard after the driver died.
+        assert_eq!(driver.stats().deltas, before);
     }
 }

@@ -165,10 +165,15 @@ impl SparseVector {
         &self.weights
     }
 
-    /// The sorted entries, materialised as pairs (allocates; prefer
-    /// [`iter`](Self::iter) or the [`terms`](Self::terms) /
-    /// [`weights`](Self::weights) lanes on hot paths).
-    pub fn entries(&self) -> Vec<(TermId, f32)> {
+    /// The sorted entries, materialised as freshly allocated pairs.
+    ///
+    /// Replaces the pre-SoA `entries() -> &[(TermId, f32)]` accessor,
+    /// which no longer has backing storage to borrow. The rename is
+    /// deliberate: a caller of the old name gets a compile error instead
+    /// of a silent per-call allocation. Prefer [`iter`](Self::iter) or the
+    /// [`terms`](Self::terms) / [`weights`](Self::weights) lanes on hot
+    /// paths.
+    pub fn to_pairs(&self) -> Vec<(TermId, f32)> {
         self.iter().collect()
     }
 
@@ -541,7 +546,7 @@ mod tests {
     #[test]
     fn from_pairs_sorts_and_merges() {
         let a = v(&[(3, 1.0), (1, 2.0), (3, 0.5)]);
-        assert_eq!(a.entries(), &[(TermId(1), 2.0), (TermId(3), 1.5)]);
+        assert_eq!(a.to_pairs(), &[(TermId(1), 2.0), (TermId(3), 1.5)]);
     }
 
     #[test]
@@ -554,7 +559,7 @@ mod tests {
             (TermId(4), -1.0),
             (TermId(4), 1.0), // cancels to zero
         ]);
-        assert_eq!(a.entries(), &[(TermId(3), 1.0)]);
+        assert_eq!(a.to_pairs(), &[(TermId(3), 1.0)]);
     }
 
     #[test]
@@ -635,7 +640,7 @@ mod tests {
         let mut a = v(&[(1, 1.0), (2, 2.0)]);
         let b = v(&[(2, 2.0), (3, 3.0)]);
         a.axpy(-1.0, &b);
-        assert_eq!(a.entries(), &[(TermId(1), 1.0), (TermId(3), -3.0)]);
+        assert_eq!(a.to_pairs(), &[(TermId(1), 1.0), (TermId(3), -3.0)]);
         a.axpy(0.0, &b);
         assert_eq!(a.len(), 2, "alpha=0 is a no-op");
     }
@@ -663,7 +668,7 @@ mod tests {
         let b = v(&[(2, 1.0), (4, 1.0)]);
         a.axpy_in(1.0, &b, &mut scratch);
         assert_eq!(
-            a.entries(),
+            a.to_pairs(),
             &[
                 (TermId(1), 1.0),
                 (TermId(2), 3.0),
@@ -707,7 +712,7 @@ mod tests {
         let new = v(&[(1, 2.0), (2, 1.0)]);
         let old = v(&[(2, 1.0), (3, 4.0)]);
         let d = new.delta_from(&old);
-        assert_eq!(d.entries(), &[(TermId(1), 2.0), (TermId(3), -4.0)]);
+        assert_eq!(d.to_pairs(), &[(TermId(1), 2.0), (TermId(3), -4.0)]);
     }
 
     #[test]
@@ -716,7 +721,7 @@ mod tests {
         let old = v(&[(2, 1.0), (3, 4.0)]);
         let mut out = v(&[(9, 9.0)]); // stale contents must be overwritten
         new.delta_into(&old, &mut out);
-        assert_eq!(out.entries(), &[(TermId(1), 2.0), (TermId(3), -4.0)]);
+        assert_eq!(out.to_pairs(), &[(TermId(1), 2.0), (TermId(3), -4.0)]);
         new.delta_into(&new, &mut out);
         assert!(out.is_empty(), "self-delta is empty");
     }
@@ -737,7 +742,7 @@ mod tests {
     #[test]
     fn collect_from_iterator() {
         let a: SparseVector = [(TermId(2), 1.0), (TermId(1), 1.0)].into_iter().collect();
-        assert_eq!(a.entries()[0].0, TermId(1));
+        assert_eq!(a.to_pairs()[0].0, TermId(1));
         let round: Vec<_> = (&a).into_iter().collect();
         assert_eq!(round.len(), 2);
     }
