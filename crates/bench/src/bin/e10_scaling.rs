@@ -88,7 +88,9 @@ fn main() {
         );
         let started = Instant::now();
         for batch in &batches {
-            driver.process_batch(&store, batch.clone());
+            driver
+                .process_batch(&store, batch.clone())
+                .expect("pool alive");
         }
         let secs = started.elapsed().as_secs_f64();
         let rate = total_deltas as f64 / secs.max(1e-9);

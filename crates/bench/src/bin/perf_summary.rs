@@ -153,7 +153,9 @@ fn main() {
         );
         let started = Instant::now();
         for batch in workload.chunks(batch_size) {
-            driver.process_batch(&store, batch.to_vec());
+            driver
+                .process_batch(&store, batch.to_vec())
+                .expect("pool alive");
         }
         let rate = workload.len() as f64 / started.elapsed().as_secs_f64().max(1e-9);
         let section = format!("pool_{shards}_shards");
@@ -163,6 +165,49 @@ fn main() {
             "{section}: {rate:.0} deltas/s, {} bytes",
             driver.memory_bytes()
         );
+    }
+
+    // --- Serving layer: loopback loadgen RTT and achieved throughput. ---
+    {
+        let driver = ShardedDriver::new(
+            scale.pick(400u32, 4_000),
+            2.min(available),
+            EngineConfig::default(),
+        );
+        let server = adcast_net::Server::start(
+            "127.0.0.1:0",
+            adcast_net::ServerConfig::default(),
+            AdStore::new(),
+            driver,
+        )
+        .expect("bind loopback");
+        let synth_cfg = adcast_net::synth::SynthConfig {
+            num_users: scale.pick(400u32, 4_000),
+            num_ads: scale.pick(300usize, 2_000),
+            messages: scale.pick(1_500u64, 20_000),
+            batch_size: scale.pick(200usize, 500),
+            seed: 0xADCA57,
+        };
+        let synth_workload = Arc::new(adcast_net::synth::build(&synth_cfg));
+        let config = adcast_net::LoadgenConfig {
+            connections: 2.min(available),
+            ..adcast_net::LoadgenConfig::new(server.addr().to_string())
+        };
+        let report = adcast_net::loadgen::run(&config, &synth_workload).expect("loadgen run");
+        summary.metric("serving", "deltas_per_sec", report.deltas_per_sec());
+        summary.metric("serving", "rtt_p50_ns", report.rtt.p50() as f64);
+        summary.metric("serving", "rtt_p99_ns", report.rtt.p99() as f64);
+        summary.metric("serving", "shed_rate", report.shed_rate());
+        println!(
+            "serving: {:.0} deltas/s over {} conns, rtt p50 {} ns / p99 {} ns, shed rate {:.4}",
+            report.deltas_per_sec(),
+            report.connections,
+            report.rtt.p50(),
+            report.rtt.p99(),
+            report.shed_rate()
+        );
+        server.shutdown();
+        server.join();
     }
 
     // --- Sparse kernels: the skewed-dot shape (ad 8 × context 512). ---

@@ -18,12 +18,13 @@
 //! per-item channel traffic and no per-batch thread churn. Dropping the
 //! driver sends each worker a shutdown message and joins it.
 //!
-//! The ack barrier holds on the panic paths too: when a send fails or a
+//! The ack barrier holds on the failure paths too: when a send fails or a
 //! worker dies mid-batch, `process_batch` drains the acks of every worker
-//! that received the batch *before* unwinding (a live worker that has not
-//! acked may still be dereferencing the store pointer), then marks the
-//! driver dead so later batches fail fast instead of dispatching to a
-//! pool in an unknown state.
+//! that received the batch *before* returning the [`DriverError`] (a live
+//! worker that has not acked may still be dereferencing the store
+//! pointer), then marks the driver dead so later batches fail fast with
+//! [`DriverError::Dead`] instead of dispatching to a pool in an unknown
+//! state.
 //!
 //! ## Memory
 //!
@@ -52,6 +53,44 @@ use crate::engine::{EngineStats, IncrementalEngine, Recommendation, Recommendati
 
 /// A batch slab: one shard's share of a `process_batch` call.
 type Slab = Vec<(UserId, FeedDelta)>;
+
+/// Why a batch could not be processed.
+///
+/// A serving layer maps these to load-shedding responses (report the
+/// driver `Unavailable` and keep the process alive) instead of crashing;
+/// see `adcast-net`. Read paths (`stats`, `recommend`, `memory_bytes`)
+/// keep working on a dead driver so the failure can be reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverError {
+    /// A shard worker died (panicked) while processing *this* batch; its
+    /// share of the deltas is lost and the driver is now dead.
+    WorkerDied {
+        /// The shard whose worker died.
+        shard: usize,
+    },
+    /// The driver was already dead before this batch was dispatched (an
+    /// earlier batch returned [`DriverError::WorkerDied`]); nothing was
+    /// handed to the surviving workers.
+    Dead,
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::WorkerDied { shard } => {
+                write!(f, "shard worker {shard} died processing a batch")
+            }
+            DriverError::Dead => {
+                write!(
+                    f,
+                    "ShardedDriver is dead: a shard worker died in an earlier batch"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
 
 /// The read-only store borrow smuggled to the workers for the duration of
 /// one batch. Soundness: `process_batch` does not return until every
@@ -193,18 +232,29 @@ impl ShardedDriver {
     }
 
     /// Process a batch of feed deltas in parallel across shards.
-    /// Returns when every delta has been applied.
+    /// Returns `Ok(())` when every delta has been applied.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::WorkerDied`] when a worker thread died processing
+    /// this batch (e.g. a poisoned delta made it panic) — the barrier
+    /// converts the lost ack into an error instead of waiting forever.
+    /// The driver is then **dead**: subsequent `process_batch` calls fail
+    /// fast with [`DriverError::Dead`] without dispatching to the
+    /// surviving workers (read paths keep working). Either error path
+    /// first drains the acks of every worker that received the batch, so
+    /// no thread can still hold the [`StorePtr`] once this call returns.
     ///
     /// # Panics
     ///
-    /// Panics when a worker thread has died (e.g. a poisoned batch made it
-    /// panic) — the barrier converts the lost ack into an error instead of
-    /// waiting forever. The driver is then **dead**: subsequent
-    /// `process_batch` calls fail fast without dispatching to the
-    /// surviving workers (read paths keep working). Either panic path
-    /// first drains the acks of every worker that received the batch, so
-    /// no thread can still hold the [`StorePtr`] once this call unwinds.
-    pub fn process_batch(&mut self, store: &AdStore, deltas: Vec<(UserId, FeedDelta)>) {
+    /// The inline single-shard path runs on the caller's thread, so a
+    /// poisoned delta (e.g. an out-of-range user) panics the caller
+    /// directly there; validate ids before calling from a network surface.
+    pub fn process_batch(
+        &mut self,
+        store: &AdStore,
+        deltas: Vec<(UserId, FeedDelta)>,
+    ) -> Result<(), DriverError> {
         let num_shards = self.engines.len();
         if self.workers.is_empty() {
             let local_shards = num_shards; // 1
@@ -212,12 +262,11 @@ impl ShardedDriver {
             for (user, delta) in &deltas {
                 engine.on_feed_delta(store, UserId((user.index() / local_shards) as u32), delta);
             }
-            return;
+            return Ok(());
         }
-        assert!(
-            !self.dead,
-            "ShardedDriver is dead: a shard worker panicked in an earlier batch"
-        );
+        if self.dead {
+            return Err(DriverError::Dead);
+        }
         // Partition into recycled slabs: one send per shard per batch.
         let mut slabs = std::mem::take(&mut self.slabs);
         while slabs.len() < num_shards {
@@ -246,11 +295,10 @@ impl ShardedDriver {
         }
         // Barrier: one ack per worker that received the batch. Every such
         // ack must be drained — even after a failure — before this
-        // function may unwind: a live worker that has not yet acked can
+        // function may return: a live worker that has not yet acked can
         // still be dereferencing the StorePtr, and the caller's `&AdStore`
-        // borrow ends when we return (panic included). Skipping the drain
-        // here would be a use-after-free reachable from safe code via
-        // `catch_unwind`.
+        // borrow ends when we return (error included). Skipping the drain
+        // here would be a use-after-free reachable from safe code.
         let mut dead_shard = if sent < self.workers.len() {
             Some(sent)
         } else {
@@ -267,8 +315,15 @@ impl ShardedDriver {
         self.slabs = slabs;
         if let Some(s) = dead_shard {
             self.dead = true;
-            panic!("shard worker {s} died processing a batch");
+            return Err(DriverError::WorkerDied { shard: s });
         }
+        Ok(())
+    }
+
+    /// Has an earlier batch killed a worker? (Dead drivers refuse new
+    /// batches but still serve reads.)
+    pub fn is_dead(&self) -> bool {
+        self.dead
     }
 
     /// Serve a recommendation from the owning shard.
@@ -454,7 +509,7 @@ mod tests {
         for (u, d) in &batch {
             direct.on_feed_delta(&s, *u, d);
         }
-        driver.process_batch(&s, batch);
+        driver.process_batch(&s, batch).unwrap();
         for u in 0..4u32 {
             let now = Timestamp::from_secs(100);
             let a = driver.recommend(&s, UserId(u), now, LocationId(0), 2);
@@ -472,8 +527,8 @@ mod tests {
         let mut one = ShardedDriver::new(8, 1, cfg());
         let mut four = ShardedDriver::new(8, 4, cfg());
         let batch = deltas(80, 8);
-        one.process_batch(&s, batch.clone());
-        four.process_batch(&s, batch);
+        one.process_batch(&s, batch.clone()).unwrap();
+        four.process_batch(&s, batch).unwrap();
         let now = Timestamp::from_secs(100);
         for u in 0..8u32 {
             let a = one.recommend(&s, UserId(u), now, LocationId(0), 2);
@@ -494,7 +549,7 @@ mod tests {
         // Many batches through the same pool; a per-batch spawn/join bug
         // or a slab-recycling bug would lose deltas or deadlock here.
         for round in 0..50u64 {
-            driver.process_batch(&s, deltas(16, 8));
+            driver.process_batch(&s, deltas(16, 8)).unwrap();
             assert_eq!(driver.stats().deltas, (round + 1) * 16);
         }
     }
@@ -527,7 +582,7 @@ mod tests {
     fn empty_batch_is_fine() {
         let s = store();
         let mut driver = ShardedDriver::new(4, 2, cfg());
-        driver.process_batch(&s, vec![]);
+        driver.process_batch(&s, vec![]).unwrap();
         assert_eq!(driver.stats().deltas, 0);
     }
 
@@ -535,7 +590,7 @@ mod tests {
     fn campaign_removal_reaches_all_shards() {
         let s = store();
         let mut driver = ShardedDriver::new(8, 4, cfg());
-        driver.process_batch(&s, deltas(80, 8));
+        driver.process_batch(&s, deltas(80, 8)).unwrap();
         let mut s = s;
         assert!(s.remove(adcast_ads::AdId(0)));
         driver.on_campaign_removed(adcast_ads::AdId(0));
@@ -554,16 +609,18 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_batch_panics_but_drop_completes() {
+    fn poisoned_batch_errors_but_drop_completes() {
         let s = store();
         let mut driver = ShardedDriver::new(4, 2, cfg());
         // User 100 is out of range for a 4-user driver: the owning worker
-        // panics. The barrier must surface that as a panic (not a hang)...
+        // panics. The barrier must surface that as a typed error (not a
+        // hang, not a caller panic)...
         let poisoned = vec![deltas(1, 4).pop().map(|(_, d)| (UserId(100), d)).unwrap()];
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            driver.process_batch(&s, poisoned);
-        }));
-        assert!(result.is_err(), "poisoned batch must panic the barrier");
+        let err = driver
+            .process_batch(&s, poisoned)
+            .expect_err("poisoned batch must error the barrier");
+        assert!(matches!(err, DriverError::WorkerDied { .. }), "{err:?}");
+        assert!(driver.is_dead());
         // ...and the driver must still drop cleanly (shutdown + join must
         // not hang on the dead worker) with stats still readable.
         let _ = driver.stats();
@@ -575,23 +632,15 @@ mod tests {
         let s = store();
         let mut driver = ShardedDriver::new(4, 2, cfg());
         let poisoned = vec![deltas(1, 4).pop().map(|(_, d)| (UserId(100), d)).unwrap()];
-        let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            driver.process_batch(&s, poisoned);
-        }));
-        assert!(first.is_err());
+        assert!(driver.process_batch(&s, poisoned).is_err());
         let before = driver.stats().deltas;
         // A later, perfectly valid batch must not be dispatched to the
         // surviving worker: the driver is dead and fails fast.
-        let again = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            driver.process_batch(&s, deltas(4, 4));
-        }));
-        let payload = again.expect_err("dead driver must refuse new batches");
-        let msg = payload
-            .downcast_ref::<String>()
-            .map(String::as_str)
-            .or_else(|| payload.downcast_ref::<&str>().copied())
-            .unwrap_or("");
-        assert!(msg.contains("dead"), "unexpected panic message: {msg}");
+        let err = driver
+            .process_batch(&s, deltas(4, 4))
+            .expect_err("dead driver must refuse new batches");
+        assert_eq!(err, DriverError::Dead);
+        assert!(err.to_string().contains("dead"), "{err}");
         // No deltas reached the live shard after the driver died.
         assert_eq!(driver.stats().deltas, before);
     }

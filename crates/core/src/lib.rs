@@ -57,6 +57,7 @@ pub mod topk;
 
 pub use config::{DriverConfig, EngineConfig, RefreshPolicy};
 pub use context::UserContext;
+pub use driver::{DriverError, ShardedDriver};
 pub use engine::{
     EngineStats, FullScanEngine, IncrementalEngine, IndexScanEngine, Recommendation,
     RecommendationEngine,

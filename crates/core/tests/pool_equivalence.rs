@@ -110,8 +110,10 @@ fn assert_equivalent(seed: u64, config: EngineConfig, shards: usize) {
         for (u, d) in batch {
             direct.on_feed_delta(&store, *u, d);
         }
-        one.process_batch(&store, batch.to_vec());
-        many.process_batch(&store, batch.to_vec());
+        one.process_batch(&store, batch.to_vec())
+            .expect("1-shard pool alive");
+        many.process_batch(&store, batch.to_vec())
+            .expect("N-shard pool alive");
 
         let now = Timestamp::from_secs(((round as u64 + 1) * 100) / 4);
         for _ in 0..16 {

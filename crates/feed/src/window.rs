@@ -49,7 +49,7 @@ impl Default for WindowConfig {
 }
 
 /// What changed in one window slide.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FeedDelta {
     /// The message that entered (absent for pure-expiry ticks).
     pub entered: Option<SharedMessage>,

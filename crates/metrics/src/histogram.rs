@@ -87,11 +87,13 @@ impl LatencyHistogram {
     }
 
     /// Number of recorded values.
+    #[must_use]
     pub fn count(&self) -> u64 {
         self.count
     }
 
     /// Exact mean of recorded values (0 when empty).
+    #[must_use]
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -101,6 +103,7 @@ impl LatencyHistogram {
     }
 
     /// Exact minimum (0 when empty).
+    #[must_use]
     pub fn min(&self) -> u64 {
         if self.count == 0 {
             0
@@ -110,12 +113,14 @@ impl LatencyHistogram {
     }
 
     /// Exact maximum.
+    #[must_use]
     pub fn max(&self) -> u64 {
         self.max
     }
 
     /// The value at quantile `q ∈ [0,1]`, within the bucket precision
     /// (≈4.5% relative error). Returns 0 when empty.
+    #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
         assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
         if self.count == 0 {
@@ -134,16 +139,19 @@ impl LatencyHistogram {
     }
 
     /// Shorthand percentiles.
+    #[must_use]
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
     }
 
     /// 95th percentile.
+    #[must_use]
     pub fn p95(&self) -> u64 {
         self.quantile(0.95)
     }
 
     /// 99th percentile.
+    #[must_use]
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
@@ -255,6 +263,29 @@ mod tests {
         h.clear();
         assert_eq!(h.count(), 0);
         assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn clear_then_reuse_with_merge() {
+        // The server pattern: per-window worker histograms merged into one
+        // reused aggregate, cleared between stat windows.
+        let mut agg = LatencyHistogram::new();
+        let mut worker = LatencyHistogram::new();
+        worker.record(1_000);
+        worker.record(9_000);
+        agg.merge(&worker);
+        assert_eq!(agg.count(), 2);
+
+        agg.clear();
+        assert_eq!(agg.count(), 0);
+        let mut w2 = LatencyHistogram::new();
+        w2.record(500);
+        agg.merge(&w2);
+        // No leakage from the first window: extremes and quantiles are the
+        // second window's alone.
+        assert_eq!(agg.count(), 1);
+        assert_eq!(agg.max(), 500);
+        assert!(agg.p99() <= 500);
     }
 
     #[test]

@@ -38,6 +38,7 @@ impl ThroughputMeter {
     }
 
     /// Operations recorded.
+    #[must_use]
     pub fn ops(&self) -> u64 {
         self.ops
     }
@@ -50,11 +51,13 @@ impl ThroughputMeter {
     }
 
     /// Elapsed wall time (running total until [`ThroughputMeter::stop`]).
+    #[must_use]
     pub fn elapsed(&self) -> Duration {
         self.elapsed.unwrap_or_else(|| self.started.elapsed())
     }
 
     /// Operations per second (0 when no time has passed).
+    #[must_use]
     pub fn ops_per_sec(&self) -> f64 {
         let secs = self.elapsed().as_secs_f64();
         if secs <= 0.0 {
@@ -65,12 +68,23 @@ impl ThroughputMeter {
     }
 
     /// Mean latency per op in nanoseconds (0 when no ops).
+    #[must_use]
     pub fn mean_ns_per_op(&self) -> f64 {
         if self.ops == 0 {
             0.0
         } else {
             self.elapsed().as_nanos() as f64 / self.ops as f64
         }
+    }
+
+    /// Restart the meter for a fresh measurement window: ops back to zero,
+    /// the clock restarted, a frozen [`ThroughputMeter::stop`] undone.
+    /// Servers reuse one meter across stat windows instead of
+    /// reallocating.
+    pub fn reset(&mut self) {
+        self.started = Instant::now();
+        self.ops = 0;
+        self.elapsed = None;
     }
 }
 
@@ -105,5 +119,29 @@ mod tests {
     fn zero_ops_zero_rates() {
         let m = ThroughputMeter::start();
         assert_eq!(m.mean_ns_per_op(), 0.0);
+    }
+
+    #[test]
+    fn reset_then_reuse_measures_fresh_window() {
+        let mut m = ThroughputMeter::start();
+        m.add(100);
+        std::thread::sleep(Duration::from_millis(2));
+        m.stop();
+        let first_elapsed = m.elapsed();
+        assert!(first_elapsed >= Duration::from_millis(2));
+
+        // Second stat window on the same meter: counts and clock must not
+        // leak from the first.
+        m.reset();
+        assert_eq!(m.ops(), 0);
+        assert!(m.elapsed() < first_elapsed, "clock restarted");
+        m.add(7);
+        std::thread::sleep(Duration::from_millis(1));
+        m.stop();
+        assert_eq!(m.ops(), 7);
+        assert!(m.ops_per_sec() > 0.0);
+        let frozen = m.elapsed();
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(m.elapsed(), frozen, "stop freezes the reused window too");
     }
 }

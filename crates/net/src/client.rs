@@ -1,0 +1,202 @@
+//! Blocking client for the adcast wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection and runs a closed loop: each
+//! call writes a frame, then blocks for the matching reply (ids are
+//! checked, so a desynchronized stream surfaces as
+//! [`NetError::IdMismatch`] instead of silently mis-pairing replies).
+//! Connect retries with exponential backoff so a load generator can race
+//! server startup; per-call timeouts come from the socket read timeout.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use adcast_ads::AdId;
+use adcast_core::Recommendation;
+use adcast_feed::FeedDelta;
+use adcast_graph::UserId;
+use adcast_stream::clock::Timestamp;
+use adcast_stream::event::LocationId;
+
+use crate::codec::{decode_response, encode_request, read_frame, write_frame, NetError};
+use crate::protocol::{CampaignSpec, Request, Response, ServerStats};
+
+/// Connection and retry knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Connect attempts before giving up.
+    pub connect_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub initial_backoff: Duration,
+    /// Per-RPC reply timeout (`None` = wait forever).
+    pub rpc_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_attempts: 8,
+            initial_backoff: Duration::from_millis(20),
+            rpc_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// A blocking connection to an adcast server.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect with retry + exponential backoff.
+    ///
+    /// # Errors
+    ///
+    /// The last connect error once `connect_attempts` is exhausted.
+    pub fn connect(
+        addr: impl ToSocketAddrs + Copy,
+        config: &ClientConfig,
+    ) -> Result<Client, NetError> {
+        let mut backoff = config.initial_backoff;
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..config.connect_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(config.rpc_timeout)?;
+                    return Ok(Client { stream, next_id: 1 });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(NetError::Io(last.unwrap_or_else(|| {
+            io::Error::other("no connect attempts made")
+        })))
+    }
+
+    /// Issue one RPC and wait for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport/codec failures, [`NetError::IdMismatch`] on a
+    /// desynchronized stream, and [`NetError::UnexpectedEof`] when the
+    /// server closes mid-reply. A server-side [`Response::Error`] is
+    /// returned as `Ok` — use the typed wrappers below to turn those into
+    /// [`NetError::Remote`].
+    pub fn call(&mut self, req: &Request) -> Result<Response, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &encode_request(id, req))?;
+        let body = read_frame(&mut self.stream)?.ok_or(NetError::UnexpectedEof)?;
+        let (got, resp) = decode_response(body)?;
+        if got != id {
+            return Err(NetError::IdMismatch { expected: id, got });
+        }
+        Ok(resp)
+    }
+
+    /// Apply a batch of feed deltas; returns the accepted count.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] carries server-side refusals — match
+    /// [`crate::WireError::Overloaded`] to implement retry-with-backoff.
+    pub fn ingest(&mut self, deltas: Vec<(UserId, FeedDelta)>) -> Result<u32, NetError> {
+        match self.call(&Request::Ingest { deltas })? {
+            Response::Ingested { accepted } => Ok(accepted),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Serve the top-`k` ads for `user`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ingest`].
+    pub fn recommend(
+        &mut self,
+        user: UserId,
+        now: Timestamp,
+        location: LocationId,
+        k: u16,
+    ) -> Result<Vec<Recommendation>, NetError> {
+        match self.call(&Request::Recommend {
+            user,
+            now,
+            location,
+            k,
+        })? {
+            Response::Recommendations(recs) => Ok(recs),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Submit a campaign; returns its assigned id.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ingest`].
+    pub fn submit_campaign(&mut self, spec: CampaignSpec) -> Result<AdId, NetError> {
+        match self.call(&Request::SubmitCampaign(spec))? {
+            Response::CampaignAccepted { ad } => Ok(ad),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Pause a campaign everywhere.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ingest`].
+    pub fn pause_campaign(&mut self, ad: AdId) -> Result<(), NetError> {
+        match self.call(&Request::PauseCampaign { ad })? {
+            Response::CampaignPaused { .. } => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Snapshot the server's counters and latency percentiles.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ingest`].
+    pub fn stats(&mut self) -> Result<ServerStats, NetError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ask the server to drain and stop.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ingest`].
+    pub fn shutdown(&mut self) -> Result<(), NetError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+/// Fold a non-matching reply into a typed error.
+fn unexpected(resp: Response) -> NetError {
+    match resp {
+        Response::Error(e) => NetError::Remote(e),
+        other => NetError::Decode(adcast_stream::trace::TraceError::Corrupt(match other {
+            Response::Ingested { .. } => "unexpected Ingested reply",
+            Response::Recommendations(_) => "unexpected Recommendations reply",
+            Response::CampaignAccepted { .. } => "unexpected CampaignAccepted reply",
+            Response::CampaignPaused { .. } => "unexpected CampaignPaused reply",
+            Response::Stats(_) => "unexpected Stats reply",
+            Response::ShutdownAck => "unexpected ShutdownAck reply",
+            Response::Error(_) => unreachable!(),
+        })),
+    }
+}

@@ -1,0 +1,868 @@
+//! Length-prefixed binary framing for the RPC types.
+//!
+//! Frame layout, all little-endian:
+//!
+//! ```text
+//! len u32        — bytes after this prefix (0 and > MAX_FRAME rejected)
+//! magic "ADCN" | version u16 | reserved u16     (shared header helpers)
+//! kind u8 | request_id u64 | body…
+//! ```
+//!
+//! The per-frame header and the message-record encoding are the same
+//! helpers the trace codec uses ([`adcast_stream::trace`]), so both wire
+//! surfaces share one set of malformed-input guards: decoding never
+//! panics, whatever a peer sends — truncation, bad magic/version,
+//! zero-length or oversized frames, and corrupt payloads all come back as
+//! typed errors.
+
+use std::io::{self, Read, Write};
+
+use adcast_ads::AdId;
+use adcast_core::Recommendation;
+use adcast_feed::FeedDelta;
+use adcast_graph::UserId;
+use adcast_stream::clock::Timestamp;
+use adcast_stream::event::{LocationId, TimeSlot};
+use adcast_stream::trace::{
+    check_stream_header, get_message, put_message, put_stream_header, TraceError,
+};
+use adcast_text::dictionary::TermId;
+use adcast_text::SparseVector;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::protocol::{CampaignSpec, Request, Response, ServerStats, WireError};
+
+/// Per-frame magic (the trace stream uses `ADCT`).
+pub const MAGIC: &[u8; 4] = b"ADCN";
+/// Wire protocol version.
+pub const VERSION: u16 = 1;
+/// Upper bound on a frame body; larger declared lengths are rejected
+/// before any allocation, so a malformed peer cannot OOM the server.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Encode/transport failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Malformed frame or payload (shared trace-codec error).
+    Decode(TraceError),
+    /// A frame declared an impossible length.
+    BadFrame(&'static str),
+    /// The connection closed mid-frame.
+    UnexpectedEof,
+    /// A response arrived for a different request id.
+    IdMismatch {
+        /// Id the client sent.
+        expected: u64,
+        /// Id the server echoed.
+        got: u64,
+    },
+    /// The server answered with a typed wire error.
+    Remote(WireError),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Decode(e) => write!(f, "decode: {e}"),
+            NetError::BadFrame(what) => write!(f, "bad frame: {what}"),
+            NetError::UnexpectedEof => write!(f, "connection closed mid-frame"),
+            NetError::IdMismatch { expected, got } => {
+                write!(f, "response id {got} does not match request id {expected}")
+            }
+            NetError::Remote(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<TraceError> for NetError {
+    fn from(e: TraceError) -> Self {
+        NetError::Decode(e)
+    }
+}
+
+// Request body kinds.
+const K_INGEST: u8 = 1;
+const K_RECOMMEND: u8 = 2;
+const K_SUBMIT: u8 = 3;
+const K_PAUSE: u8 = 4;
+const K_STATS: u8 = 5;
+const K_SHUTDOWN: u8 = 6;
+// Response body kinds.
+const K_INGESTED: u8 = 0x81;
+const K_RECOMMENDATIONS: u8 = 0x82;
+const K_ACCEPTED: u8 = 0x83;
+const K_PAUSED: u8 = 0x84;
+const K_STATS_REPLY: u8 = 0x85;
+const K_SHUTDOWN_ACK: u8 = 0x86;
+const K_ERROR: u8 = 0xFF;
+// Error codes inside K_ERROR.
+const E_OVERLOADED: u8 = 1;
+const E_UNAVAILABLE: u8 = 2;
+const E_SHUTTING_DOWN: u8 = 3;
+const E_BAD_REQUEST: u8 = 4;
+const E_UNKNOWN_CAMPAIGN: u8 = 5;
+
+/// Fail with `Truncated` instead of letting a `get_*` panic.
+fn need(data: &Bytes, n: usize) -> Result<(), NetError> {
+    if data.remaining() < n {
+        Err(TraceError::Truncated.into())
+    } else {
+        Ok(())
+    }
+}
+
+fn put_vector(buf: &mut BytesMut, v: &SparseVector) {
+    let n = u16::try_from(v.len()).expect("vector larger than u16::MAX terms");
+    buf.put_u16_le(n);
+    for (t, w) in v.iter() {
+        buf.put_u32_le(t.0);
+        buf.put_f32_le(w);
+    }
+}
+
+/// Decode a vector with the same validation the trace codec applies to
+/// message vectors: finite non-zero weights, strictly sorted terms.
+fn get_vector(data: &mut Bytes) -> Result<SparseVector, NetError> {
+    need(data, 2)?;
+    let n = data.get_u16_le() as usize;
+    need(data, n * 8)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = TermId(data.get_u32_le());
+        let w = data.get_f32_le();
+        if !w.is_finite() || w == 0.0 {
+            return Err(TraceError::Corrupt("zero or non-finite weight").into());
+        }
+        entries.push((t, w));
+    }
+    if entries.windows(2).any(|p| p[0].0 >= p[1].0) {
+        return Err(TraceError::Corrupt("terms not strictly sorted").into());
+    }
+    Ok(SparseVector::from_sorted(entries))
+}
+
+fn put_delta(buf: &mut BytesMut, user: UserId, delta: &FeedDelta) {
+    buf.put_u32_le(user.0);
+    match &delta.entered {
+        Some(m) => {
+            buf.put_u8(1);
+            put_message(buf, m);
+        }
+        None => buf.put_u8(0),
+    }
+    let evicted = u16::try_from(delta.evicted.len()).expect("too many evictions in one delta");
+    buf.put_u16_le(evicted);
+    for m in &delta.evicted {
+        put_message(buf, m);
+    }
+}
+
+fn get_delta(data: &mut Bytes) -> Result<(UserId, FeedDelta), NetError> {
+    need(data, 5)?;
+    let user = UserId(data.get_u32_le());
+    let entered = match data.get_u8() {
+        0 => None,
+        1 => Some(get_message(data)?),
+        _ => return Err(TraceError::Corrupt("bad entered flag").into()),
+    };
+    need(data, 2)?;
+    let n = data.get_u16_le() as usize;
+    let mut evicted = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        evicted.push(get_message(data)?);
+    }
+    Ok((user, FeedDelta { entered, evicted }))
+}
+
+fn put_slot(buf: &mut BytesMut, slot: TimeSlot) {
+    buf.put_u8(match slot {
+        TimeSlot::Morning => 0,
+        TimeSlot::Afternoon => 1,
+        TimeSlot::Night => 2,
+    });
+}
+
+fn get_slot(data: &mut Bytes) -> Result<TimeSlot, NetError> {
+    need(data, 1)?;
+    match data.get_u8() {
+        0 => Ok(TimeSlot::Morning),
+        1 => Ok(TimeSlot::Afternoon),
+        2 => Ok(TimeSlot::Night),
+        _ => Err(TraceError::Corrupt("bad time slot").into()),
+    }
+}
+
+/// Frame up one request: length prefix, header, kind, id, body.
+pub fn encode_request(id: u64, req: &Request) -> Bytes {
+    let mut body = BytesMut::with_capacity(64);
+    put_stream_header(&mut body, MAGIC, VERSION);
+    match req {
+        Request::Ingest { deltas } => {
+            body.put_u8(K_INGEST);
+            body.put_u64_le(id);
+            body.put_u32_le(u32::try_from(deltas.len()).expect("batch too large"));
+            for (user, delta) in deltas {
+                put_delta(&mut body, *user, delta);
+            }
+        }
+        Request::Recommend {
+            user,
+            now,
+            location,
+            k,
+        } => {
+            body.put_u8(K_RECOMMEND);
+            body.put_u64_le(id);
+            body.put_u32_le(user.0);
+            body.put_u64_le(now.micros());
+            body.put_u16_le(location.0);
+            body.put_u16_le(*k);
+        }
+        Request::SubmitCampaign(spec) => {
+            body.put_u8(K_SUBMIT);
+            body.put_u64_le(id);
+            put_vector(&mut body, &spec.vector);
+            body.put_f32_le(spec.bid);
+            body.put_u16_le(u16::try_from(spec.locations.len()).expect("too many locations"));
+            for loc in &spec.locations {
+                body.put_u16_le(loc.0);
+            }
+            body.put_u8(u8::try_from(spec.slots.len()).expect("too many slots"));
+            for slot in &spec.slots {
+                put_slot(&mut body, *slot);
+            }
+            match spec.budget {
+                Some(b) => {
+                    body.put_u8(1);
+                    body.put_f64_le(b);
+                }
+                None => body.put_u8(0),
+            }
+            match spec.topic_hint {
+                Some(t) => {
+                    body.put_u8(1);
+                    body.put_u32_le(t);
+                }
+                None => body.put_u8(0),
+            }
+        }
+        Request::PauseCampaign { ad } => {
+            body.put_u8(K_PAUSE);
+            body.put_u64_le(id);
+            body.put_u32_le(ad.0);
+        }
+        Request::Stats => {
+            body.put_u8(K_STATS);
+            body.put_u64_le(id);
+        }
+        Request::Shutdown => {
+            body.put_u8(K_SHUTDOWN);
+            body.put_u64_le(id);
+        }
+    }
+    prefix_len(body)
+}
+
+/// Frame up one response.
+pub fn encode_response(id: u64, resp: &Response) -> Bytes {
+    let mut body = BytesMut::with_capacity(64);
+    put_stream_header(&mut body, MAGIC, VERSION);
+    match resp {
+        Response::Ingested { accepted } => {
+            body.put_u8(K_INGESTED);
+            body.put_u64_le(id);
+            body.put_u32_le(*accepted);
+        }
+        Response::Recommendations(recs) => {
+            body.put_u8(K_RECOMMENDATIONS);
+            body.put_u64_le(id);
+            body.put_u16_le(u16::try_from(recs.len()).expect("too many recommendations"));
+            for r in recs {
+                body.put_u32_le(r.ad.0);
+                body.put_f32_le(r.score);
+                body.put_f32_le(r.relevance);
+            }
+        }
+        Response::CampaignAccepted { ad } => {
+            body.put_u8(K_ACCEPTED);
+            body.put_u64_le(id);
+            body.put_u32_le(ad.0);
+        }
+        Response::CampaignPaused { ad } => {
+            body.put_u8(K_PAUSED);
+            body.put_u64_le(id);
+            body.put_u32_le(ad.0);
+        }
+        Response::Stats(s) => {
+            body.put_u8(K_STATS_REPLY);
+            body.put_u64_le(id);
+            for v in [
+                s.deltas,
+                s.recommends,
+                s.active_campaigns,
+                s.rpcs,
+                s.shed,
+                s.connections,
+                s.queue_capacity,
+                s.ingest_p50_ns,
+                s.ingest_p99_ns,
+                s.recommend_p50_ns,
+                s.recommend_p99_ns,
+            ] {
+                body.put_u64_le(v);
+            }
+        }
+        Response::ShutdownAck => {
+            body.put_u8(K_SHUTDOWN_ACK);
+            body.put_u64_le(id);
+        }
+        Response::Error(e) => {
+            body.put_u8(K_ERROR);
+            body.put_u64_le(id);
+            match e {
+                WireError::Overloaded => body.put_u8(E_OVERLOADED),
+                WireError::Unavailable => body.put_u8(E_UNAVAILABLE),
+                WireError::ShuttingDown => body.put_u8(E_SHUTTING_DOWN),
+                WireError::BadRequest(why) => {
+                    body.put_u8(E_BAD_REQUEST);
+                    let bytes = why.as_bytes();
+                    let n = bytes.len().min(u16::MAX as usize);
+                    body.put_u16_le(n as u16);
+                    body.put_slice(&bytes[..n]);
+                }
+                WireError::UnknownCampaign(ad) => {
+                    body.put_u8(E_UNKNOWN_CAMPAIGN);
+                    body.put_u32_le(ad.0);
+                }
+            }
+        }
+    }
+    prefix_len(body)
+}
+
+fn prefix_len(body: BytesMut) -> Bytes {
+    let body = body.freeze();
+    let mut framed = BytesMut::with_capacity(4 + body.len());
+    framed.put_u32_le(u32::try_from(body.len()).expect("frame too large"));
+    framed.put_slice(&body);
+    framed.freeze()
+}
+
+/// Check header and pull `(kind, id)` off a frame body.
+fn open_frame(data: &mut Bytes) -> Result<(u8, u64), NetError> {
+    check_stream_header(data, MAGIC, VERSION)?;
+    need(data, 9)?;
+    let kind = data.get_u8();
+    let id = data.get_u64_le();
+    Ok((kind, id))
+}
+
+/// Decode a request frame body (everything after the length prefix).
+///
+/// # Errors
+///
+/// Typed [`NetError`] on any malformation; never panics.
+pub fn decode_request(mut data: Bytes) -> Result<(u64, Request), NetError> {
+    let (kind, id) = open_frame(&mut data)?;
+    let req = match kind {
+        K_INGEST => {
+            need(&data, 4)?;
+            let n = data.get_u32_le() as usize;
+            let mut deltas = Vec::with_capacity(n.min(65_536));
+            for _ in 0..n {
+                deltas.push(get_delta(&mut data)?);
+            }
+            Request::Ingest { deltas }
+        }
+        K_RECOMMEND => {
+            need(&data, 16)?;
+            Request::Recommend {
+                user: UserId(data.get_u32_le()),
+                now: Timestamp(data.get_u64_le()),
+                location: LocationId(data.get_u16_le()),
+                k: data.get_u16_le(),
+            }
+        }
+        K_SUBMIT => {
+            let vector = get_vector(&mut data)?;
+            need(&data, 6)?;
+            let bid = data.get_f32_le();
+            let nloc = data.get_u16_le() as usize;
+            need(&data, nloc * 2)?;
+            let locations = (0..nloc).map(|_| LocationId(data.get_u16_le())).collect();
+            need(&data, 1)?;
+            let nslots = data.get_u8() as usize;
+            let mut slots = Vec::with_capacity(nslots);
+            for _ in 0..nslots {
+                slots.push(get_slot(&mut data)?);
+            }
+            need(&data, 1)?;
+            let budget = match data.get_u8() {
+                0 => None,
+                _ => {
+                    need(&data, 8)?;
+                    Some(data.get_f64_le())
+                }
+            };
+            need(&data, 1)?;
+            let topic_hint = match data.get_u8() {
+                0 => None,
+                _ => {
+                    need(&data, 4)?;
+                    Some(data.get_u32_le())
+                }
+            };
+            Request::SubmitCampaign(CampaignSpec {
+                vector,
+                bid,
+                locations,
+                slots,
+                budget,
+                topic_hint,
+            })
+        }
+        K_PAUSE => {
+            need(&data, 4)?;
+            Request::PauseCampaign {
+                ad: AdId(data.get_u32_le()),
+            }
+        }
+        K_STATS => Request::Stats,
+        K_SHUTDOWN => Request::Shutdown,
+        _ => return Err(TraceError::Corrupt("unknown request kind").into()),
+    };
+    Ok((id, req))
+}
+
+/// Decode a response frame body (everything after the length prefix).
+///
+/// # Errors
+///
+/// Typed [`NetError`] on any malformation; never panics.
+pub fn decode_response(mut data: Bytes) -> Result<(u64, Response), NetError> {
+    let (kind, id) = open_frame(&mut data)?;
+    let resp = match kind {
+        K_INGESTED => {
+            need(&data, 4)?;
+            Response::Ingested {
+                accepted: data.get_u32_le(),
+            }
+        }
+        K_RECOMMENDATIONS => {
+            need(&data, 2)?;
+            let n = data.get_u16_le() as usize;
+            need(&data, n * 12)?;
+            let recs = (0..n)
+                .map(|_| Recommendation {
+                    ad: AdId(data.get_u32_le()),
+                    score: data.get_f32_le(),
+                    relevance: data.get_f32_le(),
+                })
+                .collect();
+            Response::Recommendations(recs)
+        }
+        K_ACCEPTED => {
+            need(&data, 4)?;
+            Response::CampaignAccepted {
+                ad: AdId(data.get_u32_le()),
+            }
+        }
+        K_PAUSED => {
+            need(&data, 4)?;
+            Response::CampaignPaused {
+                ad: AdId(data.get_u32_le()),
+            }
+        }
+        K_STATS_REPLY => {
+            need(&data, 11 * 8)?;
+            Response::Stats(ServerStats {
+                deltas: data.get_u64_le(),
+                recommends: data.get_u64_le(),
+                active_campaigns: data.get_u64_le(),
+                rpcs: data.get_u64_le(),
+                shed: data.get_u64_le(),
+                connections: data.get_u64_le(),
+                queue_capacity: data.get_u64_le(),
+                ingest_p50_ns: data.get_u64_le(),
+                ingest_p99_ns: data.get_u64_le(),
+                recommend_p50_ns: data.get_u64_le(),
+                recommend_p99_ns: data.get_u64_le(),
+            })
+        }
+        K_SHUTDOWN_ACK => Response::ShutdownAck,
+        K_ERROR => {
+            need(&data, 1)?;
+            let err = match data.get_u8() {
+                E_OVERLOADED => WireError::Overloaded,
+                E_UNAVAILABLE => WireError::Unavailable,
+                E_SHUTTING_DOWN => WireError::ShuttingDown,
+                E_BAD_REQUEST => {
+                    need(&data, 2)?;
+                    let n = data.get_u16_le() as usize;
+                    need(&data, n)?;
+                    let mut bytes = vec![0u8; n];
+                    data.copy_to_slice(&mut bytes);
+                    WireError::BadRequest(String::from_utf8_lossy(&bytes).into_owned())
+                }
+                E_UNKNOWN_CAMPAIGN => {
+                    need(&data, 4)?;
+                    WireError::UnknownCampaign(AdId(data.get_u32_le()))
+                }
+                _ => return Err(TraceError::Corrupt("unknown error code").into()),
+            };
+            Response::Error(err)
+        }
+        _ => return Err(TraceError::Corrupt("unknown response kind").into()),
+    };
+    Ok((id, resp))
+}
+
+/// Write one pre-encoded frame to the transport.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_frame(w: &mut impl Write, frame: &Bytes) -> io::Result<()> {
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// Read one frame body from the transport.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary. A zero or
+/// oversized declared length is a [`NetError::BadFrame`]; an EOF inside a
+/// frame is [`NetError::UnexpectedEof`]. Timeouts surface as
+/// [`NetError::Io`] with the platform's `WouldBlock`/`TimedOut` kind.
+///
+/// # Errors
+///
+/// See above; never panics.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Bytes>, NetError> {
+    let mut len_bytes = [0u8; 4];
+    // A clean close before the first length byte is a graceful end of
+    // stream, not an error.
+    let mut filled = 0usize;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(NetError::UnexpectedEof)
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len == 0 {
+        return Err(NetError::BadFrame("zero-length frame"));
+    }
+    if len > MAX_FRAME {
+        return Err(NetError::BadFrame("frame exceeds MAX_FRAME"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            NetError::UnexpectedEof
+        } else {
+            NetError::Io(e)
+        }
+    })?;
+    Ok(Some(Bytes::from(body)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcast_stream::event::{Message, MessageId};
+    use std::sync::Arc;
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)))
+    }
+
+    fn msg(i: u64) -> Arc<Message> {
+        Arc::new(Message {
+            id: MessageId(i),
+            author: UserId(3),
+            ts: Timestamp::from_secs(i),
+            location: LocationId(2),
+            vector: v(&[(1, 0.5), (7, 0.25)]),
+        })
+    }
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Ingest {
+                deltas: vec![
+                    (
+                        UserId(1),
+                        FeedDelta {
+                            entered: Some(msg(10)),
+                            evicted: vec![msg(2), msg(3)],
+                        },
+                    ),
+                    (
+                        UserId(2),
+                        FeedDelta {
+                            entered: None,
+                            evicted: vec![msg(1)],
+                        },
+                    ),
+                ],
+            },
+            Request::Recommend {
+                user: UserId(9),
+                now: Timestamp::from_secs(55),
+                location: LocationId(4),
+                k: 10,
+            },
+            Request::SubmitCampaign(CampaignSpec {
+                vector: v(&[(0, 1.0), (5, 0.5)]),
+                bid: 2.5,
+                locations: vec![LocationId(1), LocationId(8)],
+                slots: vec![TimeSlot::Morning, TimeSlot::Night],
+                budget: Some(99.5),
+                topic_hint: Some(3),
+            }),
+            Request::SubmitCampaign(CampaignSpec::unrestricted(v(&[(2, 0.7)]), 1.0)),
+            Request::PauseCampaign { ad: AdId(12) },
+            Request::Stats,
+            Request::Shutdown,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Ingested { accepted: 7 },
+            Response::Recommendations(vec![
+                Recommendation {
+                    ad: AdId(4),
+                    score: 0.75,
+                    relevance: 0.5,
+                },
+                Recommendation {
+                    ad: AdId(9),
+                    score: 0.25,
+                    relevance: 0.25,
+                },
+            ]),
+            Response::Recommendations(vec![]),
+            Response::CampaignAccepted { ad: AdId(3) },
+            Response::CampaignPaused { ad: AdId(3) },
+            Response::Stats(ServerStats {
+                deltas: 100,
+                recommends: 50,
+                active_campaigns: 7,
+                rpcs: 160,
+                shed: 4,
+                connections: 2,
+                queue_capacity: 64,
+                ingest_p50_ns: 1_000,
+                ingest_p99_ns: 9_000,
+                recommend_p50_ns: 700,
+                recommend_p99_ns: 8_000,
+            }),
+            Response::ShutdownAck,
+            Response::Error(WireError::Overloaded),
+            Response::Error(WireError::Unavailable),
+            Response::Error(WireError::ShuttingDown),
+            Response::Error(WireError::BadRequest("user 7 out of range".into())),
+            Response::Error(WireError::UnknownCampaign(AdId(5))),
+        ]
+    }
+
+    fn body_of(frame: &Bytes) -> Bytes {
+        frame.slice(4..)
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for (i, req) in sample_requests().into_iter().enumerate() {
+            let id = 1000 + i as u64;
+            let frame = encode_request(id, &req);
+            let (got_id, got) = decode_request(body_of(&frame)).unwrap();
+            assert_eq!(got_id, id);
+            assert_eq!(got, req, "request {i}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for (i, resp) in sample_responses().into_iter().enumerate() {
+            let id = 2000 + i as u64;
+            let frame = encode_response(id, &resp);
+            let (got_id, got) = decode_response(body_of(&frame)).unwrap();
+            assert_eq!(got_id, id);
+            assert_eq!(got, resp, "response {i}");
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_through_io() {
+        let mut wire = Vec::new();
+        let reqs = sample_requests();
+        for (i, req) in reqs.iter().enumerate() {
+            write_frame(&mut wire, &encode_request(i as u64, req)).unwrap();
+        }
+        let mut cursor = io::Cursor::new(wire);
+        for (i, req) in reqs.iter().enumerate() {
+            let body = read_frame(&mut cursor).unwrap().expect("frame present");
+            let (id, got) = decode_request(body).unwrap();
+            assert_eq!(id, i as u64);
+            assert_eq!(&got, req);
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn zero_length_frame_rejected() {
+        let mut cursor = io::Cursor::new(vec![0u8, 0, 0, 0]);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(NetError::BadFrame("zero-length frame"))
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        let mut wire = Vec::from(u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        let mut cursor = io::Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(NetError::BadFrame("frame exceeds MAX_FRAME"))
+        ));
+    }
+
+    #[test]
+    fn eof_mid_frame_detected() {
+        // Inside the length prefix…
+        let mut cursor = io::Cursor::new(vec![5u8, 0]);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(NetError::UnexpectedEof)
+        ));
+        // …and inside the body.
+        let mut cursor = io::Cursor::new(vec![5u8, 0, 0, 0, 1, 2]);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(NetError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let frame = encode_request(1, &Request::Stats);
+        let mut corrupted = frame.slice(4..).to_vec();
+        corrupted[0] = b'X';
+        let err = decode_request(Bytes::from(corrupted)).unwrap_err();
+        assert!(
+            matches!(err, NetError::Decode(TraceError::BadMagic)),
+            "{err}"
+        );
+
+        let mut wrong_version = frame.slice(4..).to_vec();
+        wrong_version[4] = 9;
+        let err = decode_request(Bytes::from(wrong_version)).unwrap_err();
+        assert!(
+            matches!(err, NetError::Decode(TraceError::BadVersion(9))),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncated_bodies_never_panic() {
+        // Every proper prefix of every sample frame must fail with a typed
+        // error — this sweeps each decoder's bounds checks.
+        for req in sample_requests() {
+            let body = body_of(&encode_request(7, &req));
+            for cut in 0..body.len() {
+                assert!(
+                    decode_request(body.slice(0..cut)).is_err(),
+                    "{req:?} cut at {cut}"
+                );
+            }
+        }
+        for resp in sample_responses() {
+            let body = body_of(&encode_response(7, &resp));
+            for cut in 0..body.len() {
+                assert!(
+                    decode_response(body.slice(0..cut)).is_err(),
+                    "{resp:?} cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_ingest_payload_rejected() {
+        let req = Request::Ingest {
+            deltas: vec![(
+                UserId(1),
+                FeedDelta {
+                    entered: Some(msg(1)),
+                    evicted: vec![],
+                },
+            )],
+        };
+        let mut bytes = body_of(&encode_request(1, &req)).to_vec();
+        // The entered flag sits after header(8) + kind(1) + id(8) +
+        // count(4) + user(4); corrupt it.
+        bytes[8 + 1 + 8 + 4 + 4] = 7;
+        let err = decode_request(Bytes::from(bytes)).unwrap_err();
+        assert!(
+            matches!(err, NetError::Decode(TraceError::Corrupt(_))),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_kinds_rejected() {
+        let mut body = BytesMut::new();
+        put_stream_header(&mut body, MAGIC, VERSION);
+        body.put_u8(0x42);
+        body.put_u64_le(1);
+        let err = decode_request(body.clone().freeze()).unwrap_err();
+        assert!(
+            matches!(err, NetError::Decode(TraceError::Corrupt(_))),
+            "{err}"
+        );
+        let err = decode_response(body.freeze()).unwrap_err();
+        assert!(
+            matches!(err, NetError::Decode(TraceError::Corrupt(_))),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn error_display_covers_variants() {
+        assert!(NetError::UnexpectedEof.to_string().contains("closed"));
+        assert!(NetError::BadFrame("zero-length frame")
+            .to_string()
+            .contains("zero-length"));
+        assert!(NetError::IdMismatch {
+            expected: 1,
+            got: 2
+        }
+        .to_string()
+        .contains('2'));
+        assert!(NetError::Remote(WireError::Overloaded)
+            .to_string()
+            .contains("shed"));
+    }
+}

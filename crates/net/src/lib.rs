@@ -1,0 +1,24 @@
+//! # adcast-net — the serving layer
+//!
+//! A zero-dependency (std-only) TCP front end for the recommendation
+//! engine: a length-prefixed binary [`mod@protocol`] sharing its framing
+//! guards with the trace codec, a threaded [`mod@server`] with bounded-queue
+//! admission control and graceful drain-on-shutdown, a blocking
+//! [`mod@client`] with retry/backoff, and a closed-loop [`mod@loadgen`]
+//! that replays the [`mod@synth`] workload over real sockets.
+//!
+//! See `DESIGN.md` § "Serving layer" for the wire format and threading
+//! diagram, and experiment E13 for the offered-load sweep this powers.
+
+pub mod client;
+pub mod codec;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod synth;
+
+pub use client::{Client, ClientConfig};
+pub use codec::NetError;
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use protocol::{CampaignSpec, Request, Response, ServerStats, WireError};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,236 @@
+//! Closed-loop multi-connection load generator.
+//!
+//! Offered load is the connection count: every connection keeps exactly
+//! one request outstanding (send, wait, send…), so the server is never
+//! driven past `connections` concurrent RPCs and the measured RTT is the
+//! full client-observed round trip. Users are partitioned across
+//! connections by `user % connections`, which preserves each user's delta
+//! order (ingest order only matters per user).
+//!
+//! A shed ([`WireError::Overloaded`]) reply is counted, backed off, and
+//! retried — a closed loop plus retry means every delta is eventually
+//! applied, and the shed count measures how hard admission control pushed
+//! back at this offered load.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adcast_graph::UserId;
+use adcast_metrics::{LatencyHistogram, ThroughputMeter};
+
+use crate::client::{Client, ClientConfig};
+use crate::codec::NetError;
+use crate::protocol::{ServerStats, WireError};
+use crate::synth::SynthWorkload;
+
+/// Load-generation knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent closed-loop connections (the offered load).
+    pub connections: usize,
+    /// Issue one Recommend RPC per this many ingest batches (0 = none).
+    pub recommend_every: usize,
+    /// Top-k requested on each Recommend.
+    pub k: u16,
+    /// Connection behaviour.
+    pub client: ClientConfig,
+}
+
+impl LoadgenConfig {
+    /// Sensible defaults against `addr`.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        LoadgenConfig {
+            addr: addr.into(),
+            connections: 2,
+            recommend_every: 4,
+            k: 10,
+            client: ClientConfig::default(),
+        }
+    }
+}
+
+/// What one load-generation run measured.
+#[derive(Debug)]
+pub struct LoadgenReport {
+    /// Connections driven (the offered load).
+    pub connections: usize,
+    /// Deltas acknowledged by the server.
+    pub deltas_accepted: u64,
+    /// Recommend RPCs completed.
+    pub recommends: u64,
+    /// Successful RPCs completed (all kinds).
+    pub responses: u64,
+    /// Overloaded replies observed (each was retried).
+    pub sheds: u64,
+    /// Client-observed RTT of successful RPCs.
+    pub rtt: LatencyHistogram,
+    /// Wall time of the replay phase.
+    pub elapsed: Duration,
+    /// Server counters snapshot taken after the replay.
+    pub server: ServerStats,
+}
+
+impl LoadgenReport {
+    /// Achieved ingest throughput in deltas/second.
+    #[must_use]
+    pub fn deltas_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.deltas_accepted as f64 / secs
+        }
+    }
+
+    /// Sheds per successful response (how hard backpressure pushed back).
+    #[must_use]
+    pub fn shed_rate(&self) -> f64 {
+        if self.responses == 0 {
+            0.0
+        } else {
+            self.sheds as f64 / self.responses as f64
+        }
+    }
+}
+
+struct ConnResult {
+    rtt: LatencyHistogram,
+    accepted: u64,
+    recommends: u64,
+    responses: u64,
+    sheds: u64,
+}
+
+/// Replay `workload` against a running server.
+///
+/// Campaigns are submitted on a setup connection first; then
+/// `config.connections` threads replay their user-partition of every
+/// batch in order, each keeping one request outstanding.
+///
+/// # Errors
+///
+/// Connection/setup failures, or the first fatal RPC error any
+/// connection hit ([`WireError::Overloaded`] is retried, not fatal).
+pub fn run(
+    config: &LoadgenConfig,
+    workload: &Arc<SynthWorkload>,
+) -> Result<LoadgenReport, NetError> {
+    let conns = config.connections.max(1);
+    // Setup: campaigns go in once, on their own connection.
+    let mut setup = Client::connect(config.addr.as_str(), &config.client)?;
+    for spec in &workload.campaigns {
+        setup.submit_campaign(spec.clone())?;
+    }
+
+    let mut meter = ThroughputMeter::start();
+    let mut joins = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let config = config.clone();
+        let workload = Arc::clone(workload);
+        joins.push(std::thread::spawn(move || {
+            drive_connection(i, conns, &config, &workload)
+        }));
+    }
+    let mut rtt = LatencyHistogram::new();
+    let (mut accepted, mut recommends, mut responses, mut sheds) = (0u64, 0u64, 0u64, 0u64);
+    let mut first_err = None;
+    for join in joins {
+        match join.join().expect("loadgen connection thread panicked") {
+            Ok(r) => {
+                rtt.merge(&r.rtt);
+                accepted += r.accepted;
+                recommends += r.recommends;
+                responses += r.responses;
+                sheds += r.sheds;
+            }
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    meter.stop();
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let server = setup.stats()?;
+    Ok(LoadgenReport {
+        connections: conns,
+        deltas_accepted: accepted,
+        recommends,
+        responses,
+        sheds,
+        rtt,
+        elapsed: meter.elapsed(),
+        server,
+    })
+}
+
+fn drive_connection(
+    index: usize,
+    conns: usize,
+    config: &LoadgenConfig,
+    workload: &SynthWorkload,
+) -> Result<ConnResult, NetError> {
+    let mut client = Client::connect(config.addr.as_str(), &config.client)?;
+    let mut result = ConnResult {
+        rtt: LatencyHistogram::new(),
+        accepted: 0,
+        recommends: 0,
+        responses: 0,
+        sheds: 0,
+    };
+    // This connection's recommend subjects: its own users, round-robin.
+    let mut next_user = index as u32;
+    for (b, batch) in workload.batches.iter().enumerate() {
+        let mine: Vec<(UserId, _)> = batch
+            .iter()
+            .filter(|(u, _)| u.index() % conns == index)
+            .cloned()
+            .collect();
+        if !mine.is_empty() {
+            let n = mine.len() as u64;
+            rpc_with_retry(&mut client, &mut result, |c| c.ingest(mine.clone()))?;
+            result.accepted += n;
+        }
+        if config.recommend_every > 0
+            && b % config.recommend_every == index % config.recommend_every.max(1)
+        {
+            let user = UserId(next_user % workload.num_users);
+            next_user = next_user.wrapping_add(conns as u32);
+            let location = workload.homes[user.index()];
+            let (now, k) = (workload.end_time, config.k);
+            rpc_with_retry(&mut client, &mut result, |c| {
+                c.recommend(user, now, location, k).map(|_| 0)
+            })?;
+            result.recommends += 1;
+        }
+    }
+    Ok(result)
+}
+
+/// Run one RPC, retrying sheds with exponential backoff; records the RTT
+/// of the successful attempt and counts every shed.
+fn rpc_with_retry(
+    client: &mut Client,
+    result: &mut ConnResult,
+    mut rpc: impl FnMut(&mut Client) -> Result<u32, NetError>,
+) -> Result<(), NetError> {
+    let mut backoff = Duration::from_micros(500);
+    loop {
+        let started = Instant::now();
+        match rpc(client) {
+            Ok(_) => {
+                result.rtt.record_duration(started.elapsed());
+                result.responses += 1;
+                return Ok(());
+            }
+            Err(NetError::Remote(WireError::Overloaded)) => {
+                result.sheds += 1;
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! RPC message types for the adcast wire protocol.
+//!
+//! Every request carries a caller-assigned request id; the server echoes
+//! it on the response so a client can detect stream desynchronization.
+//! Failures travel as a typed [`WireError`] variant rather than a closed
+//! connection, so clients can distinguish "retry later" ([`WireError::
+//! Overloaded`]) from "give up" ([`WireError::Unavailable`]).
+
+use adcast_ads::{AdId, AdSubmission, Budget, Targeting};
+use adcast_core::Recommendation;
+use adcast_feed::FeedDelta;
+use adcast_graph::UserId;
+use adcast_stream::clock::Timestamp;
+use adcast_stream::event::{LocationId, TimeSlot};
+use adcast_text::SparseVector;
+
+/// A client → server RPC.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Apply a batch of feed deltas (the write hot path).
+    Ingest {
+        /// Per-user deltas in arrival order.
+        deltas: Vec<(UserId, FeedDelta)>,
+    },
+    /// Serve the top-`k` ads for a user (the read hot path).
+    Recommend {
+        /// The user to serve.
+        user: UserId,
+        /// Serve-time "now" for decay/targeting.
+        now: Timestamp,
+        /// The user's current location cell.
+        location: LocationId,
+        /// Results wanted.
+        k: u16,
+    },
+    /// Submit a new campaign.
+    SubmitCampaign(CampaignSpec),
+    /// Pause an active campaign (de-indexes it everywhere).
+    PauseCampaign {
+        /// The campaign to pause.
+        ad: AdId,
+    },
+    /// Snapshot server + engine counters and RPC latency percentiles.
+    Stats,
+    /// Graceful shutdown: drain queued requests, then stop serving.
+    Shutdown,
+}
+
+/// Campaign ingredients as they travel on the wire ([`AdSubmission`]
+/// itself holds validated domain types that are not all encodable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Weighted keyword vector (strictly sorted terms, finite non-zero
+    /// weights — the codec enforces this on decode).
+    pub vector: SparseVector,
+    /// Bid per impression.
+    pub bid: f32,
+    /// Eligible location cells; empty = everywhere.
+    pub locations: Vec<LocationId>,
+    /// Eligible time slots; empty = always.
+    pub slots: Vec<TimeSlot>,
+    /// Budget in currency units; `None` = unlimited.
+    pub budget: Option<f64>,
+    /// Ground-truth topic (evaluation only).
+    pub topic_hint: Option<u32>,
+}
+
+impl CampaignSpec {
+    /// An unrestricted, unlimited-budget spec for `vector` and `bid`.
+    pub fn unrestricted(vector: SparseVector, bid: f32) -> Self {
+        CampaignSpec {
+            vector,
+            bid,
+            locations: Vec::new(),
+            slots: Vec::new(),
+            budget: None,
+            topic_hint: None,
+        }
+    }
+
+    /// Convert into a store submission.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the budget is not a finite non-negative
+    /// number (the store's own validation then covers vector and bid).
+    pub fn try_into_submission(self) -> Result<AdSubmission, String> {
+        let budget = match self.budget {
+            None => Budget::unlimited(),
+            Some(b) if b.is_finite() && b >= 0.0 => Budget::new(b),
+            Some(b) => return Err(format!("invalid budget {b}")),
+        };
+        Ok(AdSubmission {
+            vector: self.vector,
+            bid: self.bid,
+            targeting: Targeting::everywhere()
+                .in_locations(self.locations)
+                .in_slots(self.slots),
+            budget,
+            topic_hint: self.topic_hint.map(|t| t as usize),
+        })
+    }
+}
+
+/// A server → client reply. Each variant answers exactly one [`Request`]
+/// variant; [`Response::Error`] can answer any of them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The batch was applied.
+    Ingested {
+        /// Deltas applied.
+        accepted: u32,
+    },
+    /// The served ranking.
+    Recommendations(Vec<Recommendation>),
+    /// The campaign was accepted under this id.
+    CampaignAccepted {
+        /// Assigned id.
+        ad: AdId,
+    },
+    /// The campaign is now paused.
+    CampaignPaused {
+        /// The paused campaign.
+        ad: AdId,
+    },
+    /// Counter + latency snapshot.
+    Stats(ServerStats),
+    /// Shutdown acknowledged; the server is draining.
+    ShutdownAck,
+    /// The request failed.
+    Error(WireError),
+}
+
+/// Typed RPC failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The bounded request queue was full: the server shed this request
+    /// instead of buffering unboundedly. Back off and retry.
+    Overloaded,
+    /// The engine driver is dead (a shard worker died); writes are
+    /// refused for the life of the process.
+    Unavailable,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// Malformed or out-of-range request.
+    BadRequest(String),
+    /// No such active campaign.
+    UnknownCampaign(AdId),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Overloaded => write!(f, "server overloaded (request shed)"),
+            WireError::Unavailable => write!(f, "engine unavailable"),
+            WireError::ShuttingDown => write!(f, "server shutting down"),
+            WireError::BadRequest(why) => write!(f, "bad request: {why}"),
+            WireError::UnknownCampaign(ad) => write!(f, "unknown campaign {}", ad.0),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Server-side counters and latency percentiles, served by
+/// [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Feed deltas applied by the engine (cumulative).
+    pub deltas: u64,
+    /// Recommendations served by the engine (cumulative).
+    pub recommends: u64,
+    /// Active campaigns right now.
+    pub active_campaigns: u64,
+    /// RPCs that reached the engine (cumulative, all kinds).
+    pub rpcs: u64,
+    /// Requests shed with [`WireError::Overloaded`] (cumulative).
+    pub shed: u64,
+    /// Connections accepted (cumulative).
+    pub connections: u64,
+    /// Configured bound of the request queue.
+    pub queue_capacity: u64,
+    /// Ingest RPC service time, 50th percentile (ns).
+    pub ingest_p50_ns: u64,
+    /// Ingest RPC service time, 99th percentile (ns).
+    pub ingest_p99_ns: u64,
+    /// Recommend RPC service time, 50th percentile (ns).
+    pub recommend_p50_ns: u64,
+    /// Recommend RPC service time, 99th percentile (ns).
+    pub recommend_p99_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcast_text::dictionary::TermId;
+
+    #[test]
+    fn spec_roundtrips_into_submission() {
+        let spec = CampaignSpec {
+            vector: SparseVector::from_pairs([(TermId(3), 0.5), (TermId(9), 0.2)]),
+            bid: 1.5,
+            locations: vec![LocationId(2)],
+            slots: vec![TimeSlot::Morning],
+            budget: Some(12.5),
+            topic_hint: Some(4),
+        };
+        let sub = spec.try_into_submission().unwrap();
+        assert_eq!(sub.bid, 1.5);
+        assert_eq!(sub.targeting.locations(), &[LocationId(2)]);
+        assert_eq!(sub.targeting.slots(), &[TimeSlot::Morning]);
+        assert!((sub.budget.remaining() - 12.5).abs() < 1e-9);
+        assert_eq!(sub.topic_hint, Some(4));
+    }
+
+    #[test]
+    fn bad_budget_rejected_without_panic() {
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let spec = CampaignSpec {
+                budget: Some(bad),
+                ..CampaignSpec::unrestricted(SparseVector::from_pairs([(TermId(0), 1.0)]), 1.0)
+            };
+            assert!(spec.try_into_submission().is_err(), "budget {bad}");
+        }
+    }
+
+    #[test]
+    fn wire_error_display() {
+        assert!(WireError::Overloaded.to_string().contains("shed"));
+        assert!(WireError::UnknownCampaign(AdId(7))
+            .to_string()
+            .contains('7'));
+    }
+}

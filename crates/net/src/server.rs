@@ -1,0 +1,414 @@
+//! Threaded TCP server fronting one [`ShardedDriver`] + [`AdStore`].
+//!
+//! ## Threading model
+//!
+//! ```text
+//! accept thread ──► reader thread per connection
+//!                        │ decode frame
+//!                        │ try_send ──► bounded cmd queue ──► engine thread
+//!                        │   (Full ⇒ Overloaded reply,          │ owns AdStore
+//!                        │    shed counter++)                   │ + ShardedDriver
+//!                        ◄──────────── per-RPC reply channel ───┘
+//! ```
+//!
+//! Exactly one thread (the engine thread) ever touches the store and the
+//! driver, so the serving layer adds no locking to the engine hot paths.
+//! Readers run a closed loop per connection: read a frame, submit it,
+//! wait for the reply, write it back — so per-connection ordering is the
+//! processing order.
+//!
+//! ## Backpressure policy
+//!
+//! The cmd queue is a [`mpsc::sync_channel`] with a configured bound.
+//! Hot-path RPCs ([`Request::Ingest`], [`Request::Recommend`]) are
+//! admitted with `try_send`: a full queue sheds the request with a typed
+//! [`WireError::Overloaded`] reply instead of buffering unboundedly, and
+//! bumps the shed counter reported by [`Request::Stats`]. Control-plane
+//! RPCs (submit/pause/stats/shutdown) use a blocking send — they are rare
+//! and must not be shed under ingest pressure.
+//!
+//! ## Shutdown
+//!
+//! [`Request::Shutdown`] is acked immediately, then the engine thread
+//! raises the shutdown flag, pokes the accept loop awake with a dummy
+//! connection, drains every already-queued command (each gets its real
+//! reply — in-flight requests are never dropped), and exits. Readers
+//! observe the flag on their next read-timeout tick and exit; the accept
+//! thread joins them; [`ServerHandle::join`] joins everything.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use adcast_ads::AdStore;
+use adcast_core::ShardedDriver;
+use adcast_metrics::LatencyHistogram;
+
+use crate::codec::{decode_request, encode_response, read_frame, write_frame, NetError};
+use crate::protocol::{Request, Response, ServerStats, WireError};
+
+/// Serving-layer knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bound of the request queue (the backpressure knob): at most this
+    /// many admitted-but-unprocessed RPCs exist at any time.
+    pub queue_depth: usize,
+    /// How often blocked readers wake to poll the shutdown flag. Also the
+    /// granularity of shutdown latency.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_depth: 64,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// One admitted RPC in flight to the engine thread. (The reader keeps
+/// the request id; replies are matched by the per-RPC channel.)
+struct Cmd {
+    req: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Counters shared between the accept loop, readers, and the engine.
+#[derive(Default)]
+struct Shared {
+    shutdown: AtomicBool,
+    shed: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// A running server; dropping it does **not** stop it — send
+/// [`Request::Shutdown`] (or call [`ServerHandle::shutdown`]) and then
+/// [`ServerHandle::join`].
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_join: Option<JoinHandle<()>>,
+    engine_join: Option<JoinHandle<()>>,
+}
+
+/// Alias kept for readability at call sites.
+pub type ServerHandle = Server;
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving `store` + `driver` on background threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(
+        addr: &str,
+        config: ServerConfig,
+        store: AdStore,
+        driver: ShardedDriver,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared::default());
+        let (cmd_tx, cmd_rx) = mpsc::sync_channel::<Cmd>(config.queue_depth.max(1));
+
+        let engine_join = {
+            let shared = Arc::clone(&shared);
+            let depth = config.queue_depth.max(1);
+            std::thread::Builder::new()
+                .name("adcast-engine".into())
+                .spawn(move || engine_loop(store, driver, &cmd_rx, &shared, local, depth))
+                .expect("spawn engine thread")
+        };
+        let accept_join = {
+            let shared = Arc::clone(&shared);
+            let poll = config.poll_interval;
+            std::thread::Builder::new()
+                .name("adcast-accept".into())
+                .spawn(move || accept_loop(&listener, &cmd_tx, &shared, poll))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            addr: local,
+            shared,
+            accept_join: Some(accept_join),
+            engine_join: Some(engine_join),
+        })
+    }
+
+    /// The bound address (real port even when started on port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Trigger shutdown from the hosting process (equivalent to a client
+    /// sending [`Request::Shutdown`]).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Poke the accept loop awake; the engine loop notices when the
+        // accept loop (last sender) hangs up.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Block until every server thread has exited.
+    pub fn join(mut self) {
+        if let Some(j) = self.accept_join.take() {
+            let _ = j.join();
+        }
+        if let Some(j) = self.engine_join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    cmd_tx: &SyncSender<Cmd>,
+    shared: &Arc<Shared>,
+    poll: Duration,
+) {
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(poll));
+        let tx = cmd_tx.clone();
+        let shared = Arc::clone(shared);
+        if let Ok(join) = std::thread::Builder::new()
+            .name("adcast-conn".into())
+            .spawn(move || connection_loop(stream, &tx, &shared))
+        {
+            readers.push(join);
+        }
+        // Opportunistically reap finished readers so a long-lived server
+        // does not accumulate handles.
+        readers.retain(|j| !j.is_finished());
+    }
+    for j in readers {
+        let _ = j.join();
+    }
+    // cmd_tx drops here; once the readers are gone the engine's recv
+    // disconnects and it exits (if the Shutdown drain has not already).
+}
+
+/// Should this request be shed when the queue is full?
+fn sheddable(req: &Request) -> bool {
+    matches!(req, Request::Ingest { .. } | Request::Recommend { .. })
+}
+
+fn connection_loop(mut stream: TcpStream, cmd_tx: &SyncSender<Cmd>, shared: &Arc<Shared>) {
+    loop {
+        let body = match read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            Ok(None) => return, // peer hung up cleanly
+            Err(NetError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle tick (no bytes consumed): poll the shutdown flag.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return, // transport error or malformed framing
+        };
+        let (id, req) = match decode_request(body) {
+            Ok(pair) => pair,
+            Err(e) => {
+                // The frame arrived intact but its payload is malformed;
+                // tell the peer why, then drop the connection (the stream
+                // may be desynchronized).
+                let resp = Response::Error(WireError::BadRequest(e.to_string()));
+                let _ = write_frame(&mut stream, &encode_response(0, &resp));
+                return;
+            }
+        };
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let cmd = Cmd {
+            req,
+            reply: reply_tx,
+        };
+        let outcome = if sheddable(&cmd.req) {
+            cmd_tx.try_send(cmd)
+        } else {
+            // Control-plane RPCs block rather than shed.
+            cmd_tx
+                .send(cmd)
+                .map_err(|e| TrySendError::Disconnected(e.0))
+        };
+        let resp = match outcome {
+            Ok(()) => reply_rx
+                .recv()
+                // The engine exited with this command still queued (it
+                // drains everything on Shutdown, so this means the cmd was
+                // dropped unprocessed after the engine died or left).
+                .unwrap_or(Response::Error(WireError::ShuttingDown)),
+            Err(TrySendError::Full(_)) => {
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+                Response::Error(WireError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Response::Error(WireError::ShuttingDown),
+        };
+        if write_frame(&mut stream, &encode_response(id, &resp)).is_err() {
+            return;
+        }
+        if matches!(resp, Response::ShutdownAck) {
+            return;
+        }
+    }
+}
+
+fn engine_loop(
+    mut store: AdStore,
+    mut driver: ShardedDriver,
+    cmd_rx: &Receiver<Cmd>,
+    shared: &Arc<Shared>,
+    addr: SocketAddr,
+    queue_depth: usize,
+) {
+    let mut rpcs = 0u64;
+    let mut ingest_lat = LatencyHistogram::new();
+    let mut recommend_lat = LatencyHistogram::new();
+    // Phase 1: serve until a Shutdown command or until every sender is
+    // gone (host-side `Server::shutdown` + all readers exited).
+    let mut draining = false;
+    while let Ok(cmd) = cmd_rx.recv() {
+        let is_shutdown = matches!(cmd.req, Request::Shutdown);
+        serve_one(
+            cmd,
+            &mut store,
+            &mut driver,
+            shared,
+            queue_depth,
+            &mut rpcs,
+            &mut ingest_lat,
+            &mut recommend_lat,
+        );
+        if is_shutdown {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(addr); // unblock accept()
+            draining = true;
+            break;
+        }
+    }
+    if draining {
+        // Phase 2: every already-admitted request still gets its real
+        // reply — in-flight work is drained, not dropped.
+        while let Ok(cmd) = cmd_rx.try_recv() {
+            serve_one(
+                cmd,
+                &mut store,
+                &mut driver,
+                shared,
+                queue_depth,
+                &mut rpcs,
+                &mut ingest_lat,
+                &mut recommend_lat,
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_one(
+    cmd: Cmd,
+    store: &mut AdStore,
+    driver: &mut ShardedDriver,
+    shared: &Shared,
+    queue_depth: usize,
+    rpcs: &mut u64,
+    ingest_lat: &mut LatencyHistogram,
+    recommend_lat: &mut LatencyHistogram,
+) {
+    *rpcs += 1;
+    let started = Instant::now();
+    let resp = match cmd.req {
+        Request::Ingest { deltas } => {
+            if driver.is_dead() {
+                Response::Error(WireError::Unavailable)
+            } else if let Some((user, _)) = deltas
+                .iter()
+                .find(|(u, _)| u.index() >= driver.num_users() as usize)
+            {
+                // Validate ids *before* dispatch: an out-of-range user
+                // would panic a shard worker and kill the driver.
+                Response::Error(WireError::BadRequest(format!(
+                    "user {} out of range (num_users = {})",
+                    user.0,
+                    driver.num_users()
+                )))
+            } else {
+                let accepted = deltas.len() as u32;
+                match driver.process_batch(store, deltas) {
+                    Ok(()) => Response::Ingested { accepted },
+                    Err(_) => Response::Error(WireError::Unavailable),
+                }
+            }
+        }
+        Request::Recommend {
+            user,
+            now,
+            location,
+            k,
+        } => {
+            if user.index() >= driver.num_users() as usize {
+                Response::Error(WireError::BadRequest(format!(
+                    "user {} out of range (num_users = {})",
+                    user.0,
+                    driver.num_users()
+                )))
+            } else {
+                Response::Recommendations(driver.recommend(store, user, now, location, k as usize))
+            }
+        }
+        Request::SubmitCampaign(spec) => {
+            match spec.try_into_submission().and_then(|sub| store.submit(sub)) {
+                Ok(ad) => Response::CampaignAccepted { ad },
+                Err(why) => Response::Error(WireError::BadRequest(why)),
+            }
+        }
+        Request::PauseCampaign { ad } => {
+            if store.pause(ad) {
+                driver.on_campaign_removed(ad);
+                Response::CampaignPaused { ad }
+            } else {
+                Response::Error(WireError::UnknownCampaign(ad))
+            }
+        }
+        Request::Stats => {
+            let engine = driver.stats();
+            Response::Stats(ServerStats {
+                deltas: engine.deltas,
+                recommends: engine.recommends,
+                active_campaigns: store.num_active() as u64,
+                rpcs: *rpcs,
+                shed: shared.shed.load(Ordering::Relaxed),
+                connections: shared.connections.load(Ordering::Relaxed),
+                queue_capacity: queue_depth as u64,
+                ingest_p50_ns: ingest_lat.p50(),
+                ingest_p99_ns: ingest_lat.p99(),
+                recommend_p50_ns: recommend_lat.p50(),
+                recommend_p99_ns: recommend_lat.p99(),
+            })
+        }
+        Request::Shutdown => Response::ShutdownAck,
+    };
+    let elapsed = started.elapsed();
+    match &resp {
+        Response::Ingested { .. } => ingest_lat.record_duration(elapsed),
+        Response::Recommendations(_) => recommend_lat.record_duration(elapsed),
+        _ => {}
+    }
+    // A reader that hung up mid-RPC cannot receive its reply; fine.
+    let _ = cmd.reply.send(resp);
+}

@@ -27,6 +27,105 @@ use crate::event::{LocationId, Message, MessageId, SharedMessage};
 const MAGIC: &[u8; 4] = b"ADCT";
 const VERSION: u16 = 1;
 
+/// Write a `magic | version u16 | reserved u16` stream header.
+///
+/// Shared by the trace codec (stream-level header) and the `adcast-net`
+/// wire codec (per-frame header): both formats lead with the same 8-byte
+/// shape so one pair of helpers guards both against malformed inputs.
+pub fn put_stream_header(buf: &mut BytesMut, magic: &[u8; 4], version: u16) {
+    buf.put_slice(magic);
+    buf.put_u16_le(version);
+    buf.put_u16_le(0);
+}
+
+/// Validate and consume a header written by [`put_stream_header`].
+///
+/// # Errors
+///
+/// [`TraceError::BadMagic`] when the buffer is shorter than a header or
+/// does not start with `magic`; [`TraceError::BadVersion`] on a version
+/// mismatch. Never panics, whatever the peer sent.
+pub fn check_stream_header(
+    data: &mut Bytes,
+    magic: &[u8; 4],
+    version: u16,
+) -> Result<(), TraceError> {
+    if data.remaining() < 8 {
+        return Err(TraceError::BadMagic);
+    }
+    let mut found = [0u8; 4];
+    data.copy_to_slice(&mut found);
+    if &found != magic {
+        return Err(TraceError::BadMagic);
+    }
+    let found_version = data.get_u16_le();
+    if found_version != version {
+        return Err(TraceError::BadVersion(found_version));
+    }
+    let _reserved = data.get_u16_le();
+    Ok(())
+}
+
+/// Encode one message record (the layout in the module docs).
+///
+/// # Panics
+///
+/// Panics when the vector holds more than `u16::MAX` terms.
+pub fn put_message(buf: &mut BytesMut, m: &Message) {
+    let n = u16::try_from(m.vector.len()).expect("vector larger than u16::MAX terms");
+    buf.put_u64_le(m.id.0);
+    buf.put_u32_le(m.author.0);
+    buf.put_u64_le(m.ts.micros());
+    buf.put_u16_le(m.location.0);
+    buf.put_u16_le(n);
+    for (t, w) in m.vector.iter() {
+        buf.put_u32_le(t.0);
+        buf.put_f32_le(w);
+    }
+}
+
+/// Decode one message record written by [`put_message`].
+///
+/// # Errors
+///
+/// [`TraceError::Truncated`] when the buffer ends mid-record,
+/// [`TraceError::Corrupt`] on invalid payloads (zero/non-finite weights,
+/// unsorted terms). Never panics, whatever the peer sent.
+pub fn get_message(data: &mut Bytes) -> Result<SharedMessage, TraceError> {
+    const FIXED: usize = 8 + 4 + 8 + 2 + 2;
+    if data.remaining() < FIXED {
+        return Err(TraceError::Truncated);
+    }
+    let id = MessageId(data.get_u64_le());
+    let author = UserId(data.get_u32_le());
+    let ts = Timestamp(data.get_u64_le());
+    let location = LocationId(data.get_u16_le());
+    let n = data.get_u16_le() as usize;
+    if data.remaining() < n * 8 {
+        return Err(TraceError::Truncated);
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = TermId(data.get_u32_le());
+        let w = data.get_f32_le();
+        if !w.is_finite() || w == 0.0 {
+            return Err(TraceError::Corrupt("zero or non-finite weight"));
+        }
+        entries.push((t, w));
+    }
+    if entries.windows(2).any(|p| p[0].0 >= p[1].0) {
+        return Err(TraceError::Corrupt("terms not strictly sorted"));
+    }
+    let vector = SparseVector::from_sorted(entries);
+    Ok(Arc::new(Message {
+        id,
+        author,
+        ts,
+        location,
+        vector,
+    }))
+}
+
 /// Decode failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceError {
@@ -70,24 +169,13 @@ impl TraceWriter {
     /// Start a new trace (writes the header).
     pub fn new() -> Self {
         let mut buf = BytesMut::with_capacity(4096);
-        buf.put_slice(MAGIC);
-        buf.put_u16_le(VERSION);
-        buf.put_u16_le(0);
+        put_stream_header(&mut buf, MAGIC, VERSION);
         TraceWriter { buf, count: 0 }
     }
 
     /// Append one message.
     pub fn write(&mut self, m: &Message) {
-        let n = u16::try_from(m.vector.len()).expect("vector larger than u16::MAX terms");
-        self.buf.put_u64_le(m.id.0);
-        self.buf.put_u32_le(m.author.0);
-        self.buf.put_u64_le(m.ts.micros());
-        self.buf.put_u16_le(m.location.0);
-        self.buf.put_u16_le(n);
-        for (t, w) in m.vector.iter() {
-            self.buf.put_u32_le(t.0);
-            self.buf.put_f32_le(w);
-        }
+        put_message(&mut self.buf, m);
         self.count += 1;
     }
 
@@ -116,19 +204,7 @@ pub struct TraceReader {
 impl TraceReader {
     /// Validate the header and position after it.
     pub fn new(mut data: Bytes) -> Result<Self, TraceError> {
-        if data.remaining() < 8 {
-            return Err(TraceError::BadMagic);
-        }
-        let mut magic = [0u8; 4];
-        data.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
-            return Err(TraceError::BadMagic);
-        }
-        let version = data.get_u16_le();
-        if version != VERSION {
-            return Err(TraceError::BadVersion(version));
-        }
-        let _reserved = data.get_u16_le();
+        check_stream_header(&mut data, MAGIC, VERSION)?;
         Ok(TraceReader { data })
     }
 
@@ -137,38 +213,7 @@ impl TraceReader {
         if !self.data.has_remaining() {
             return Ok(None);
         }
-        const FIXED: usize = 8 + 4 + 8 + 2 + 2;
-        if self.data.remaining() < FIXED {
-            return Err(TraceError::Truncated);
-        }
-        let id = MessageId(self.data.get_u64_le());
-        let author = UserId(self.data.get_u32_le());
-        let ts = Timestamp(self.data.get_u64_le());
-        let location = LocationId(self.data.get_u16_le());
-        let n = self.data.get_u16_le() as usize;
-        if self.data.remaining() < n * 8 {
-            return Err(TraceError::Truncated);
-        }
-        let mut entries = Vec::with_capacity(n);
-        for _ in 0..n {
-            let t = TermId(self.data.get_u32_le());
-            let w = self.data.get_f32_le();
-            if !w.is_finite() || w == 0.0 {
-                return Err(TraceError::Corrupt("zero or non-finite weight"));
-            }
-            entries.push((t, w));
-        }
-        if entries.windows(2).any(|p| p[0].0 >= p[1].0) {
-            return Err(TraceError::Corrupt("terms not strictly sorted"));
-        }
-        let vector = SparseVector::from_sorted(entries);
-        Ok(Some(Arc::new(Message {
-            id,
-            author,
-            ts,
-            location,
-            vector,
-        })))
+        get_message(&mut self.data).map(Some)
     }
 
     /// Decode the whole remaining trace.
@@ -281,6 +326,54 @@ mod tests {
         buf.put_f32_le(1.0);
         let mut r = TraceReader::new(buf.freeze()).unwrap();
         assert!(matches!(r.next_message(), Err(TraceError::Corrupt(_))));
+    }
+
+    #[test]
+    fn shared_header_helpers_roundtrip_and_reject() {
+        let mut buf = BytesMut::new();
+        put_stream_header(&mut buf, b"WXYZ", 3);
+        let mut ok = buf.clone().freeze();
+        assert_eq!(check_stream_header(&mut ok, b"WXYZ", 3), Ok(()));
+        assert_eq!(ok.remaining(), 0, "header fully consumed");
+        let mut wrong_magic = buf.clone().freeze();
+        assert_eq!(
+            check_stream_header(&mut wrong_magic, b"ABCD", 3),
+            Err(TraceError::BadMagic)
+        );
+        let mut wrong_version = buf.freeze();
+        assert_eq!(
+            check_stream_header(&mut wrong_version, b"WXYZ", 4),
+            Err(TraceError::BadVersion(3))
+        );
+        // Shorter than a header (the empty buffer included): BadMagic,
+        // never a panic.
+        for cut in 0..8usize {
+            let mut short = Bytes::from_static(b"WXYZ\x03\x00\x00\x00").slice(0..cut);
+            assert_eq!(
+                check_stream_header(&mut short, b"WXYZ", 3),
+                Err(TraceError::BadMagic),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_message_record_truncations_never_panic() {
+        let msg = &sample_messages(1)[0];
+        let mut buf = BytesMut::new();
+        put_message(&mut buf, msg);
+        let bytes = buf.freeze();
+        let mut whole = bytes.clone();
+        assert_eq!(&*get_message(&mut whole).unwrap(), &**msg);
+        // Every proper prefix must decode to Truncated, not panic.
+        for cut in 0..bytes.len() {
+            let mut prefix = bytes.slice(0..cut);
+            assert_eq!(
+                get_message(&mut prefix),
+                Err(TraceError::Truncated),
+                "cut at {cut}"
+            );
+        }
     }
 
     #[test]

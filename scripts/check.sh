@@ -19,4 +19,30 @@ cargo test -q --workspace
 echo "== cargo test (debug-stats: zero-alloc hot path) =="
 cargo test -q -p adcast-core --features debug-stats
 
+echo "== serving-layer loopback smoke (adcast-serve + adcast-loadgen) =="
+serve_log=$(mktemp)
+./target/release/adcast-serve --users 400 --shards 2 >"$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(awk '/^listening on /{print $3; exit}' "$serve_log")
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "adcast-serve never reported its address:" >&2
+  cat "$serve_log" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+loadgen_out=$(./target/release/adcast-loadgen --addr "$addr" --smoke --conns 2)
+echo "$loadgen_out"
+# --smoke sends Shutdown at the end; the server must exit cleanly on it.
+wait "$serve_pid"
+grep -q 'responses=[1-9]' <<<"$loadgen_out" || {
+  echo "loadgen smoke returned zero responses" >&2
+  exit 1
+}
+rm -f "$serve_log"
+
 echo "All checks passed."

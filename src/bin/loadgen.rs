@@ -1,0 +1,126 @@
+//! `adcast-loadgen` — closed-loop load generator for a running
+//! `adcast-serve` instance.
+//!
+//! ```text
+//! adcast-loadgen --addr HOST:PORT [--conns N] [--messages N] [--users N]
+//!                [--smoke] [--no-shutdown]
+//! ```
+//!
+//! Replays the deterministic synthetic workload over real sockets: one
+//! thread per connection, one request outstanding each (offered load =
+//! connection count). Prints achieved throughput, RTT percentiles, and
+//! the shed count, then asks the server to shut down (unless
+//! `--no-shutdown`). `--smoke` shrinks the workload to a seconds-scale
+//! sanity pass and is what `scripts/check.sh` drives.
+//!
+//! **The server must be sized for the workload**: start `adcast-serve`
+//! with `--users` at least as large as the value used here (defaults
+//! match).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use adcast::net::loadgen::{run, LoadgenConfig};
+use adcast::net::synth::{self, SynthConfig};
+use adcast::net::{Client, ClientConfig};
+
+fn main() -> ExitCode {
+    match drive(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{name} needs a value"))?
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("{name}: {e}")),
+    }
+}
+
+fn drive(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: adcast-loadgen --addr HOST:PORT [--conns N] [--messages N] [--users N] [--smoke] [--no-shutdown]"
+        );
+        return Ok(());
+    }
+    let addr = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .ok_or("--addr HOST:PORT is required")?;
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut synth_config = if smoke {
+        SynthConfig::smoke()
+    } else {
+        SynthConfig {
+            num_users: 4_000,
+            num_ads: 2_000,
+            messages: 20_000,
+            batch_size: 500,
+            seed: 0xADCA57,
+        }
+    };
+    if let Some(users) = flag(args, "--users")? {
+        synth_config.num_users = users as u32;
+    }
+    if let Some(messages) = flag(args, "--messages")? {
+        synth_config.messages = messages;
+    }
+    let conns = flag(args, "--conns")?.unwrap_or(2) as usize;
+
+    eprintln!(
+        "building workload: {} users, {} ads, {} messages…",
+        synth_config.num_users, synth_config.num_ads, synth_config.messages
+    );
+    let workload = Arc::new(synth::build(&synth_config));
+    let config = LoadgenConfig {
+        connections: conns,
+        ..LoadgenConfig::new(addr.clone())
+    };
+    let report = run(&config, &workload).map_err(|e| e.to_string())?;
+
+    println!(
+        "responses={} deltas_per_sec={:.0} recommends={} sheds={} shed_rate={:.4}",
+        report.responses,
+        report.deltas_per_sec(),
+        report.recommends,
+        report.sheds,
+        report.shed_rate()
+    );
+    println!(
+        "rtt_us p50={:.1} p95={:.1} p99={:.1}",
+        report.rtt.p50() as f64 / 1e3,
+        report.rtt.p95() as f64 / 1e3,
+        report.rtt.p99() as f64 / 1e3
+    );
+    println!(
+        "server: deltas={} recommends={} rpcs={} shed={} connections={}",
+        report.server.deltas,
+        report.server.recommends,
+        report.server.rpcs,
+        report.server.shed,
+        report.server.connections
+    );
+
+    if !args.iter().any(|a| a == "--no-shutdown") {
+        let mut client =
+            Client::connect(addr.as_str(), &ClientConfig::default()).map_err(|e| e.to_string())?;
+        client.shutdown().map_err(|e| e.to_string())?;
+        eprintln!("server acknowledged shutdown");
+    }
+    if report.responses == 0 {
+        return Err("no responses received".into());
+    }
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! `adcast-serve` — stand up the TCP serving layer.
+//!
+//! ```text
+//! adcast-serve [--addr HOST:PORT] [--users N] [--shards N] [--queue-depth N]
+//! ```
+//!
+//! Binds the listener (port 0 picks an ephemeral port), prints
+//! `listening on HOST:PORT` on stdout — scripts parse that line — and
+//! serves until a client sends the Shutdown RPC. The engine state starts
+//! empty: campaigns arrive via SubmitCampaign and feed state via Ingest.
+
+use std::process::ExitCode;
+
+use adcast::ads::AdStore;
+use adcast::core::{EngineConfig, ShardedDriver};
+use adcast::net::{Server, ServerConfig};
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{name} needs a value"))?
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("{name}: {e}")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: adcast-serve [--addr HOST:PORT] [--users N] [--shards N] [--queue-depth N]"
+        );
+        return Ok(());
+    }
+    let addr = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1))
+        .map_or("127.0.0.1:0", String::as_str);
+    let users = flag(args, "--users")?.unwrap_or(4_000) as u32;
+    let shards = flag(args, "--shards")?.unwrap_or(2) as usize;
+    let queue_depth = flag(args, "--queue-depth")?.unwrap_or(64) as usize;
+
+    let driver = ShardedDriver::new(users, shards.max(1), EngineConfig::default());
+    let server = Server::start(
+        addr,
+        ServerConfig {
+            queue_depth,
+            ..ServerConfig::default()
+        },
+        AdStore::new(),
+        driver,
+    )
+    .map_err(|e| format!("bind {addr}: {e}"))?;
+    // Scripts wait for this exact line to learn the ephemeral port.
+    println!("listening on {}", server.addr());
+    eprintln!("serving {users} users across {shards} shard(s), queue depth {queue_depth}");
+    server.join();
+    eprintln!("shut down cleanly");
+    Ok(())
+}

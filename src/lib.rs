@@ -19,6 +19,7 @@
 //! | ad campaigns | `adcast-ads` | [`ads`] |
 //! | engines (the contribution) | `adcast-core` | [`core`] |
 //! | evaluation metrics | `adcast-metrics` | [`metrics`] |
+//! | TCP serving layer | `adcast-net` | [`net`] |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@ pub use adcast_core as core;
 pub use adcast_feed as feed;
 pub use adcast_graph as graph;
 pub use adcast_metrics as metrics;
+pub use adcast_net as net;
 pub use adcast_stream as stream;
 pub use adcast_text as text;
 

@@ -167,7 +167,7 @@ fn sharded_driver_matches_simulation_engine() {
         };
         batch.extend(delivery.post(twin.graph(), msg));
     }
-    driver.process_batch(twin.store(), batch);
+    driver.process_batch(twin.store(), batch).unwrap();
 
     let now = twin.now();
     for u in 0..60u32 {
