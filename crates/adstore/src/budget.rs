@@ -32,6 +32,21 @@ impl Budget {
         }
     }
 
+    /// Rebuild a budget from its exact integer representation (snapshot
+    /// restore). `spent` is clamped to `total` so a corrupt pair cannot
+    /// produce an underflowing [`Budget::remaining`].
+    pub fn from_micros(total_micros: u64, spent_micros: u64) -> Self {
+        Budget {
+            total_micros,
+            spent_micros: spent_micros.min(total_micros),
+        }
+    }
+
+    /// The exact integer representation `(total_micros, spent_micros)`.
+    pub fn to_micros(&self) -> (u64, u64) {
+        (self.total_micros, self.spent_micros)
+    }
+
     /// Charge `amount`; returns `false` (charging nothing) when remaining
     /// funds are insufficient.
     pub fn try_charge(&mut self, amount: f64) -> bool {

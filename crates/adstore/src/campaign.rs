@@ -2,6 +2,8 @@
 
 use crate::ad::Ad;
 use crate::budget::Budget;
+use crate::ctr::CtrTracker;
+use crate::pacing::PacingController;
 
 /// Campaign lifecycle state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +36,10 @@ pub struct Campaign {
     state: CampaignState,
     /// Impressions served.
     pub impressions: u64,
+    /// Smoothed click-through-rate statistics.
+    pub ctr: CtrTracker,
+    /// Optional flight pacing (campaigns without a flight serve unpaced).
+    pub pacing: Option<PacingController>,
 }
 
 impl Campaign {
@@ -49,6 +55,27 @@ impl Campaign {
             budget,
             state,
             impressions: 0,
+            ctr: CtrTracker::default(),
+            pacing: None,
+        }
+    }
+
+    /// Rebuild a campaign exactly as snapshotted, private state included.
+    pub fn from_parts(
+        ad: Ad,
+        budget: Budget,
+        state: CampaignState,
+        impressions: u64,
+        ctr: CtrTracker,
+        pacing: Option<PacingController>,
+    ) -> Self {
+        Campaign {
+            ad,
+            budget,
+            state,
+            impressions,
+            ctr,
+            pacing,
         }
     }
 

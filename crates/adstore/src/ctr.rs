@@ -103,6 +103,17 @@ impl CtrTracker {
         }
     }
 
+    /// Rebuild a tracker from raw counts (snapshot restore), keeping the
+    /// default prior. `clicks` is clamped to `impressions` so a corrupt
+    /// pair cannot report a CTR above 1.
+    pub fn from_counts(impressions: u64, clicks: u64) -> Self {
+        CtrTracker {
+            impressions,
+            clicks: clicks.min(impressions),
+            ..CtrTracker::default()
+        }
+    }
+
     /// Record one impression (and whether it was clicked).
     pub fn record(&mut self, clicked: bool) {
         self.impressions += 1;

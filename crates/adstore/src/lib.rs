@@ -13,7 +13,9 @@
 //!   under churn (insert / pause / resume / budget exhaustion),
 //! * [`auction`] — generalized second-price auctions with quality scores,
 //! * [`ctr`] — position-bias click simulation and smoothed CTR tracking,
-//! * [`pacing`] — multiplicative-feedback budget pacing.
+//! * [`pacing`] — multiplicative-feedback budget pacing,
+//! * [`snapshot`] — plain-data capture of the full store state (private
+//!   fields included) for the durability layer's snapshot files.
 
 pub mod ad;
 pub mod auction;
@@ -22,6 +24,7 @@ pub mod campaign;
 pub mod ctr;
 pub mod index;
 pub mod pacing;
+pub mod snapshot;
 pub mod store;
 pub mod targeting;
 
@@ -32,5 +35,6 @@ pub use campaign::{Campaign, CampaignState};
 pub use ctr::{ClickModel, CtrTracker};
 pub use index::{AdIndex, Posting};
 pub use pacing::PacingController;
+pub use snapshot::{CampaignSnapshot, PacingSnapshot, StoreSnapshot};
 pub use store::{AdStore, AdSubmission};
 pub use targeting::Targeting;

@@ -49,6 +49,62 @@ impl PacingController {
         }
     }
 
+    /// All controller state as `(start, end, total_budget, throttle,
+    /// step, min_throttle, spent)`, exposed for snapshot/restore.
+    pub fn to_parts(&self) -> (Timestamp, Timestamp, f64, f64, f64, f64, f64) {
+        (
+            self.flight_start,
+            self.flight_end,
+            self.total_budget,
+            self.throttle,
+            self.step,
+            self.min_throttle,
+            self.spent,
+        )
+    }
+
+    /// Rebuild a controller from [`PacingController::to_parts`] output.
+    ///
+    /// # Errors
+    ///
+    /// Rejects (instead of panicking like [`PacingController::new`])
+    /// values no healthy controller can reach, so a corrupt snapshot
+    /// surfaces as a typed error.
+    pub fn from_parts(
+        start: Timestamp,
+        end: Timestamp,
+        total_budget: f64,
+        throttle: f64,
+        step: f64,
+        min_throttle: f64,
+        spent: f64,
+    ) -> Result<Self, &'static str> {
+        if end <= start {
+            return Err("pacing flight must have positive length");
+        }
+        if !(total_budget.is_finite() && total_budget > 0.0) {
+            return Err("pacing budget must be positive and finite");
+        }
+        if !((0.0..=1.0).contains(&throttle) && (0.0..=1.0).contains(&min_throttle)) {
+            return Err("pacing throttle out of range");
+        }
+        if !(step.is_finite() && step >= 0.0) {
+            return Err("pacing step out of range");
+        }
+        if !(spent.is_finite() && spent >= 0.0) {
+            return Err("pacing spend out of range");
+        }
+        Ok(PacingController {
+            flight_start: start,
+            flight_end: end,
+            total_budget,
+            throttle,
+            step,
+            min_throttle,
+            spent,
+        })
+    }
+
     /// The linear spend target at `now`.
     pub fn target_spend(&self, now: Timestamp) -> f64 {
         if now <= self.flight_start {

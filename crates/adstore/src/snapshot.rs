@@ -1,0 +1,65 @@
+//! Plain-data snapshot of the store, for the durability layer.
+//!
+//! A [`StoreSnapshot`] captures *everything* history-dependent about an
+//! [`crate::AdStore`](crate::AdStore) — campaigns with their exact
+//! integer budget accounting, private lifecycle state, CTR counts,
+//! pacing controller internals, and the index epoch — so a restored
+//! store is bit-identical to the snapshotted one. The inverted index is
+//! deliberately *not* captured: posting lists are kept sorted by ad id
+//! on insert, so rebuilding the index from the active campaigns in id
+//! order reproduces it exactly.
+
+use adcast_stream::clock::Timestamp;
+
+use crate::ad::Ad;
+use crate::campaign::CampaignState;
+
+/// All seven [`crate::PacingController`](crate::PacingController) fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacingSnapshot {
+    /// Flight start.
+    pub flight_start: Timestamp,
+    /// Flight end.
+    pub flight_end: Timestamp,
+    /// Flight budget.
+    pub total_budget: f64,
+    /// Current pass-through probability.
+    pub throttle: f64,
+    /// Feedback step.
+    pub step: f64,
+    /// Throttle floor.
+    pub min_throttle: f64,
+    /// Spend recorded so far.
+    pub spent: f64,
+}
+
+/// One campaign, private state included.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSnapshot {
+    /// The ad creative (id, vector, bid, targeting, topic hint).
+    pub ad: Ad,
+    /// Exact budget accounting.
+    pub budget_total_micros: u64,
+    /// Exact spend accounting.
+    pub budget_spent_micros: u64,
+    /// Lifecycle state.
+    pub state: CampaignState,
+    /// Impressions served.
+    pub impressions: u64,
+    /// Raw CTR impressions.
+    pub ctr_impressions: u64,
+    /// Raw CTR clicks.
+    pub ctr_clicks: u64,
+    /// Pacing controller state, when the campaign has a flight.
+    pub pacing: Option<PacingSnapshot>,
+}
+
+/// The whole store.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StoreSnapshot {
+    /// Campaigns in ad-id order (the id *is* the vector index).
+    pub campaigns: Vec<CampaignSnapshot>,
+    /// History-dependent epoch counter (engines compare it against their
+    /// certified bounds, so it must survive restarts exactly).
+    pub index_epoch: u64,
+}

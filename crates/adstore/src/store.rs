@@ -4,12 +4,16 @@
 //! campaign lifecycle: only **active** campaigns are indexed, so the
 //! engines can treat "in the index" as "eligible (modulo targeting)".
 
+use adcast_stream::clock::Timestamp;
 use adcast_text::SparseVector;
 
 use crate::ad::{Ad, AdId};
 use crate::budget::Budget;
 use crate::campaign::{Campaign, CampaignState};
+use crate::ctr::CtrTracker;
 use crate::index::AdIndex;
+use crate::pacing::PacingController;
+use crate::snapshot::{CampaignSnapshot, PacingSnapshot, StoreSnapshot};
 use crate::targeting::Targeting;
 
 /// The store of campaigns plus the live inverted index.
@@ -123,6 +127,48 @@ impl AdStore {
         Some(state)
     }
 
+    /// Record a served impression *with engagement*: charges the budget
+    /// like [`AdStore::record_impression`], then updates the campaign's
+    /// CTR statistics and (if the campaign has a flight) its pacing
+    /// controller. `cost` must be finite and non-negative — callers on
+    /// untrusted paths validate before calling.
+    pub fn record_engagement(
+        &mut self,
+        id: AdId,
+        cost: f64,
+        clicked: bool,
+        now: Timestamp,
+    ) -> Option<CampaignState> {
+        let campaign = self.campaigns.get_mut(id.index())?;
+        if !campaign.is_active() {
+            return None;
+        }
+        let spent_before = campaign.budget.to_micros().1;
+        let state = campaign.record_impression(cost);
+        let charged = (campaign.budget.to_micros().1 - spent_before) as f64 / 1e6;
+        campaign.ctr.record(clicked);
+        if let Some(pacing) = campaign.pacing.as_mut() {
+            pacing.record_spend(charged);
+            pacing.adjust(now);
+        }
+        if state == CampaignState::Exhausted {
+            self.index.remove(id, &campaign.ad.vector);
+            self.active -= 1;
+        }
+        Some(state)
+    }
+
+    /// Attach (or replace) a pacing controller on a campaign.
+    pub fn set_pacing(&mut self, id: AdId, pacing: PacingController) -> bool {
+        match self.campaigns.get_mut(id.index()) {
+            Some(campaign) => {
+                campaign.pacing = Some(pacing);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Pause an active campaign (de-indexes it).
     pub fn pause(&mut self, id: AdId) -> bool {
         let Some(campaign) = self.campaigns.get_mut(id.index()) else {
@@ -167,6 +213,103 @@ impl AdStore {
             self.active -= 1;
         }
         true
+    }
+
+    /// Capture the full store state (private fields included) as plain
+    /// data, in ad-id order.
+    pub fn export_snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            campaigns: self
+                .campaigns
+                .iter()
+                .map(|c| {
+                    let (budget_total_micros, budget_spent_micros) = c.budget.to_micros();
+                    CampaignSnapshot {
+                        ad: c.ad.clone(),
+                        budget_total_micros,
+                        budget_spent_micros,
+                        state: c.state(),
+                        impressions: c.impressions,
+                        ctr_impressions: c.ctr.impressions(),
+                        ctr_clicks: c.ctr.clicks(),
+                        pacing: c.pacing.as_ref().map(|p| {
+                            let (
+                                flight_start,
+                                flight_end,
+                                total_budget,
+                                throttle,
+                                step,
+                                min_throttle,
+                                spent,
+                            ) = p.to_parts();
+                            PacingSnapshot {
+                                flight_start,
+                                flight_end,
+                                total_budget,
+                                throttle,
+                                step,
+                                min_throttle,
+                                spent,
+                            }
+                        }),
+                    }
+                })
+                .collect(),
+            index_epoch: self.index_epoch,
+        }
+    }
+
+    /// Rebuild a store from [`AdStore::export_snapshot`] output. The
+    /// inverted index is reconstructed from the active campaigns in id
+    /// order, which reproduces it bit-identically (posting lists are
+    /// insertion-order independent: kept sorted by ad id).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the snapshot is internally inconsistent
+    /// (mis-numbered ads, invalid ad payloads, corrupt pacing state).
+    pub fn from_snapshot(snapshot: StoreSnapshot) -> Result<AdStore, String> {
+        let mut store = AdStore::new();
+        for (i, snap) in snapshot.campaigns.into_iter().enumerate() {
+            if snap.ad.id.index() != i {
+                return Err(format!(
+                    "snapshot campaign {} carries ad id {:?}",
+                    i, snap.ad.id
+                ));
+            }
+            snap.ad.validate()?;
+            let pacing = match snap.pacing {
+                Some(p) => Some(
+                    PacingController::from_parts(
+                        p.flight_start,
+                        p.flight_end,
+                        p.total_budget,
+                        p.throttle,
+                        p.step,
+                        p.min_throttle,
+                        p.spent,
+                    )
+                    .map_err(str::to_owned)?,
+                ),
+                None => None,
+            };
+            let id = snap.ad.id;
+            let campaign = Campaign::from_parts(
+                snap.ad,
+                Budget::from_micros(snap.budget_total_micros, snap.budget_spent_micros),
+                snap.state,
+                snap.impressions,
+                CtrTracker::from_counts(snap.ctr_impressions, snap.ctr_clicks),
+                pacing,
+            );
+            if campaign.is_active() {
+                store.index.insert(id, &campaign.ad.vector);
+                store.active += 1;
+            }
+            store.campaigns.push(campaign);
+        }
+        store.index_epoch = snapshot.index_epoch;
+        Ok(store)
     }
 
     /// Approximate resident bytes (campaign vectors + index).

@@ -1,0 +1,298 @@
+//! E14: durability cost and recovery speed.
+//!
+//! Part one prices the write-ahead log on the ingest hot path: the same
+//! delta stream is applied through `log → commit → apply` under each
+//! fsync policy, against a `none` baseline with no durability at all.
+//! Expected shape: `off` rides the page cache and lands near the
+//! baseline, `every=N` buys back most of the gap, and `always` pays one
+//! fsync per batch — that gap is exactly what an acked-write-survives-
+//! `kill -9` guarantee costs.
+//!
+//! Part two measures cold-start recovery as a function of WAL-tail
+//! length (records written after the last snapshot — here, with no
+//! snapshot at all): recovery replays every record through the same
+//! `apply_record` path the live server uses, so the time is linear in
+//! the tail and the `replayed` column proves nothing was skipped.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use adcast_ads::{AdStore, AdSubmission, Budget, Targeting};
+use adcast_bench::{fmt, Report, Scale};
+use adcast_core::{EngineConfig, ShardedDriver};
+use adcast_durability::{
+    apply_record, recover, Durability, DurabilityOptions, FsyncPolicy, WalOptions, WalRecord,
+};
+use adcast_feed::FeedDelta;
+use adcast_graph::UserId;
+use adcast_stream::clock::Timestamp;
+use adcast_stream::event::{LocationId, Message, MessageId};
+use adcast_text::dictionary::TermId;
+use adcast_text::SparseVector;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SHARDS: usize = 2;
+const BATCH: usize = 100;
+const VOCAB: u32 = 20_000;
+
+fn tempdir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("adcast-e14-{}-{n}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tempdir");
+    dir
+}
+
+fn random_vector(rng: &mut SmallRng, terms: usize) -> SparseVector {
+    SparseVector::from_pairs(
+        (0..terms).map(|_| (TermId(rng.gen_range(0..VOCAB)), rng.gen_range(0.05f32..1.0))),
+    )
+}
+
+fn submissions(rng: &mut SmallRng, num_ads: u32) -> Vec<AdSubmission> {
+    (0..num_ads)
+        .map(|_| AdSubmission {
+            vector: random_vector(rng, 8),
+            bid: 1.0,
+            targeting: Targeting::everywhere(),
+            budget: Budget::unlimited(),
+            topic_hint: None,
+        })
+        .collect()
+}
+
+/// A per-user sliding-window delta stream, pre-chunked into the WAL
+/// batches the server's group commit would see.
+fn batches(rng: &mut SmallRng, num_users: u32, deltas: u64) -> Vec<Vec<(UserId, FeedDelta)>> {
+    let mut windows: Vec<Vec<Arc<Message>>> = (0..num_users).map(|_| Vec::new()).collect();
+    let stream: Vec<(UserId, FeedDelta)> = (0..deltas)
+        .map(|i| {
+            let user = UserId(rng.gen_range(0..num_users));
+            let msg = Arc::new(Message {
+                id: MessageId(i),
+                author: user,
+                ts: Timestamp::from_secs(i / 64),
+                location: LocationId(0),
+                vector: random_vector(rng, 3),
+            });
+            let w = &mut windows[user.index()];
+            let evicted = if w.len() >= 16 {
+                vec![w.remove(0)]
+            } else {
+                vec![]
+            };
+            w.push(msg.clone());
+            (
+                user,
+                FeedDelta {
+                    entered: Some(msg),
+                    evicted,
+                },
+            )
+        })
+        .collect();
+    stream.chunks(BATCH).map(<[_]>::to_vec).collect()
+}
+
+struct IngestOutcome {
+    elapsed_ms: f64,
+    deltas_per_sec: f64,
+    wal_mb: f64,
+    fsyncs: u64,
+}
+
+/// Apply the whole workload through `log → commit → apply` under one
+/// fsync policy (`None` = no durability: the in-memory baseline).
+fn run_ingest(
+    fsync: Option<FsyncPolicy>,
+    num_users: u32,
+    ads: &[AdSubmission],
+    work: &[Vec<(UserId, FeedDelta)>],
+) -> IngestOutcome {
+    let mut store = AdStore::new();
+    let mut driver = ShardedDriver::new(num_users, SHARDS, EngineConfig::default());
+    let (dir, mut durability) = match fsync {
+        None => (None, None),
+        Some(policy) => {
+            let dir = tempdir("ingest");
+            let wal = WalOptions {
+                fsync: policy,
+                ..WalOptions::default()
+            };
+            let recovered =
+                recover(&dir, num_users, SHARDS, EngineConfig::default(), wal).expect("cold start");
+            let d = Durability::new(
+                &dir,
+                recovered.wal,
+                DurabilityOptions {
+                    wal,
+                    ..DurabilityOptions::default()
+                },
+                recovered.report,
+            );
+            (Some(dir), Some(d))
+        }
+    };
+    // Campaigns go through the same logged path, outside the timer.
+    for sub in ads {
+        let record = WalRecord::Submit(sub.clone());
+        if let Some(d) = durability.as_mut() {
+            d.log(&record).expect("log submit");
+            d.commit().expect("commit submit");
+        }
+        apply_record(&mut store, &mut driver, record).expect("apply submit");
+    }
+
+    let deltas: u64 = work.iter().map(|b| b.len() as u64).sum();
+    let started = Instant::now();
+    for batch in work {
+        let record = WalRecord::IngestBatch(batch.clone());
+        if let Some(d) = durability.as_mut() {
+            d.log(&record).expect("log batch");
+            d.commit().expect("commit batch");
+        }
+        apply_record(&mut store, &mut driver, record).expect("apply batch");
+    }
+    let secs = started.elapsed().as_secs_f64().max(1e-9);
+    let counters = durability
+        .as_ref()
+        .map(Durability::counters)
+        .unwrap_or_default();
+    drop(durability);
+    if let Some(dir) = dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    IngestOutcome {
+        elapsed_ms: secs * 1e3,
+        deltas_per_sec: deltas as f64 / secs,
+        wal_mb: counters.wal_bytes as f64 / (1 << 20) as f64,
+        fsyncs: counters.wal_fsyncs,
+    }
+}
+
+/// Write `ads.len() + tail` records with no snapshot, then time a cold
+/// `recover()` that must replay all of them.
+fn run_recovery(
+    tail: usize,
+    num_users: u32,
+    ads: &[AdSubmission],
+    work: &[Vec<(UserId, FeedDelta)>],
+) -> (f64, u64) {
+    let dir = tempdir("recover");
+    // fsync=off: writing the fixture fast does not change what recovery
+    // reads back.
+    let wal = WalOptions {
+        fsync: FsyncPolicy::Off,
+        ..WalOptions::default()
+    };
+    {
+        let mut store = AdStore::new();
+        let mut driver = ShardedDriver::new(num_users, SHARDS, EngineConfig::default());
+        let recovered =
+            recover(&dir, num_users, SHARDS, EngineConfig::default(), wal).expect("cold start");
+        let mut d = Durability::new(
+            &dir,
+            recovered.wal,
+            DurabilityOptions {
+                wal,
+                ..DurabilityOptions::default()
+            },
+            recovered.report,
+        );
+        let mut logged = 0usize;
+        let singles = work.iter().flatten();
+        let records = ads
+            .iter()
+            .map(|sub| WalRecord::Submit(sub.clone()))
+            .chain(singles.map(|(u, delta)| WalRecord::IngestBatch(vec![(*u, delta.clone())])));
+        for record in records {
+            if logged >= ads.len() + tail {
+                break;
+            }
+            d.log(&record).expect("log");
+            apply_record(&mut store, &mut driver, record).expect("apply");
+            logged += 1;
+        }
+        d.commit().expect("final commit");
+        assert_eq!(logged, ads.len() + tail, "workload too small for tail");
+    }
+    let started = Instant::now();
+    let recovered =
+        recover(&dir, num_users, SHARDS, EngineConfig::default(), wal).expect("recover");
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let replayed = recovered.report.replayed_records;
+    let _ = std::fs::remove_dir_all(dir);
+    (elapsed_ms, replayed)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let num_users = scale.pick(1_000u32, 4_000);
+    let num_ads = scale.pick(300u32, 1_000);
+    let deltas = scale.pick(20_000u64, 100_000);
+
+    let mut rng = SmallRng::seed_from_u64(0xE14);
+    let ads = submissions(&mut rng, num_ads);
+    let work = batches(&mut rng, num_users, deltas);
+    println!(
+        "workload: {num_users} users, {num_ads} campaigns, {deltas} deltas in {} batches of {BATCH}\n",
+        work.len()
+    );
+
+    let mut report = Report::new(
+        "E14",
+        "durability: WAL cost on ingest, recovery time vs tail length",
+        vec![
+            "case",
+            "fsync",
+            "records",
+            "elapsed_ms",
+            "deltas_per_sec",
+            "wal_mb",
+            "fsyncs",
+            "recover_ms",
+            "replayed",
+        ],
+    );
+
+    let policies: [(&str, Option<FsyncPolicy>); 5] = [
+        ("baseline", None),
+        ("wal", Some(FsyncPolicy::Off)),
+        ("wal", Some(FsyncPolicy::EveryN(64))),
+        ("wal", Some(FsyncPolicy::EveryN(8))),
+        ("wal", Some(FsyncPolicy::Always)),
+    ];
+    for (case, policy) in policies {
+        let out = run_ingest(policy, num_users, &ads, &work);
+        report.row(vec![
+            case.into(),
+            policy.map_or("-".into(), |p| p.to_string()),
+            work.len().to_string(),
+            fmt(out.elapsed_ms),
+            fmt(out.deltas_per_sec),
+            fmt(out.wal_mb),
+            out.fsyncs.to_string(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+
+    for tail in scale.pick([1_000usize, 5_000, 10_000], [1_000, 5_000, 20_000]) {
+        let (recover_ms, replayed) = run_recovery(tail, num_users, &ads, &work);
+        report.row(vec![
+            "recovery".into(),
+            "off".into(),
+            (num_ads as usize + tail).to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            fmt(recover_ms),
+            replayed.to_string(),
+        ]);
+    }
+    report.finish();
+}

@@ -210,6 +210,89 @@ fn main() {
         server.join();
     }
 
+    // --- Durability: the fsync tax on ingest + the recovery replay rate. ---
+    {
+        use adcast_durability::{
+            apply_record, recover, Durability, DurabilityOptions, FsyncPolicy, WalOptions,
+            WalRecord,
+        };
+
+        let deltas = scale.pick(10_000usize, 50_000);
+        let slice = &workload[..deltas.min(workload.len())];
+        let mut always_dir = None;
+        for policy in [FsyncPolicy::Off, FsyncPolicy::Always] {
+            let dir = std::env::temp_dir().join(format!(
+                "adcast-perf-durability-{}-{policy}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let wal = WalOptions {
+                fsync: policy,
+                ..WalOptions::default()
+            };
+            let recovered =
+                recover(&dir, num_users, 2, EngineConfig::default(), wal).expect("cold start");
+            let mut wal_store = AdStore::new();
+            let mut driver = ShardedDriver::new(num_users, 2, EngineConfig::default());
+            let mut durability = Durability::new(
+                &dir,
+                recovered.wal,
+                DurabilityOptions {
+                    wal,
+                    ..DurabilityOptions::default()
+                },
+                recovered.report,
+            );
+            let started = Instant::now();
+            for batch in slice.chunks(500) {
+                let record = WalRecord::IngestBatch(batch.to_vec());
+                durability.log(&record).expect("log batch");
+                durability.commit().expect("commit batch");
+                apply_record(&mut wal_store, &mut driver, record).expect("apply batch");
+            }
+            let rate = slice.len() as f64 / started.elapsed().as_secs_f64().max(1e-9);
+            summary.metric(
+                "durability",
+                &format!("deltas_per_sec_fsync_{policy}"),
+                rate,
+            );
+            println!("durability fsync={policy}: {rate:.0} deltas/s");
+            drop(durability);
+            if policy == FsyncPolicy::Always {
+                always_dir = Some(dir);
+            } else {
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+        if let Some(dir) = always_dir {
+            let started = Instant::now();
+            let recovered = recover(
+                &dir,
+                num_users,
+                2,
+                EngineConfig::default(),
+                WalOptions::default(),
+            )
+            .expect("recover");
+            let secs = started.elapsed().as_secs_f64().max(1e-9);
+            let replayed = recovered.report.replayed_records;
+            // Each replayed record is one 500-delta batch; deltas/sec is
+            // the comparable unit against the ingest rates above.
+            summary.metric(
+                "durability",
+                "recover_deltas_per_sec",
+                slice.len() as f64 / secs,
+            );
+            summary.metric("durability", "recover_ms", secs * 1e3);
+            println!(
+                "durability recovery: {replayed} records ({} deltas) in {:.1} ms",
+                slice.len(),
+                secs * 1e3
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
     // --- Sparse kernels: the skewed-dot shape (ad 8 × context 512). ---
     let small = random_vector(&mut rng, 8, 50_000);
     let large = random_vector(&mut rng, 512, 50_000);

@@ -160,6 +160,23 @@ impl UserContext {
     pub fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>() + self.acc.memory_bytes()
     }
+
+    /// The history-dependent parts `(landmark, last_ts, accumulator)`,
+    /// exposed for snapshot export. The decay rate itself comes from
+    /// engine configuration and is not included.
+    pub fn snapshot_parts(&self) -> (Timestamp, Timestamp, SparseVector) {
+        (self.decay.landmark(), self.last_ts, self.acc.clone())
+    }
+
+    /// Restore the parts captured by [`UserContext::snapshot_parts`] into
+    /// a freshly-configured context (same half-life). Forward-scale
+    /// weights only mean anything relative to their landmark, so the
+    /// landmark moves first.
+    pub fn restore_parts(&mut self, landmark: Timestamp, last_ts: Timestamp, acc: SparseVector) {
+        self.decay.rebase(landmark);
+        self.acc = acc;
+        self.last_ts = last_ts;
+    }
 }
 
 #[cfg(test)]

@@ -348,6 +348,42 @@ impl ShardedDriver {
         }
     }
 
+    /// Capture every shard's engine state (shard order). Callers must
+    /// ensure no batch is in flight — the serving layer snapshots on the
+    /// engine thread between batches, where the worker pool is idle.
+    pub fn export_snapshots(&self) -> Vec<crate::snapshot::EngineSnapshot> {
+        (0..self.engines.len())
+            .map(|s| self.lock_engine(s).export_snapshot())
+            .collect()
+    }
+
+    /// Restore shard engine states captured by
+    /// [`export_snapshots`](Self::export_snapshots). Shard count and
+    /// per-shard user counts must match this driver's layout.
+    ///
+    /// # Errors
+    ///
+    /// A description of the mismatch; the driver may be partially
+    /// restored and should be discarded on error.
+    pub fn restore_snapshots(
+        &mut self,
+        snapshots: &[crate::snapshot::EngineSnapshot],
+    ) -> Result<(), String> {
+        if snapshots.len() != self.engines.len() {
+            return Err(format!(
+                "snapshot holds {} shards, driver has {}",
+                snapshots.len(),
+                self.engines.len()
+            ));
+        }
+        for (s, snap) in snapshots.iter().enumerate() {
+            self.lock_engine(s)
+                .restore_snapshot(snap)
+                .map_err(|e| format!("shard {s}: {e}"))?;
+        }
+        Ok(())
+    }
+
     /// Aggregate work counters across shards.
     pub fn stats(&self) -> EngineStats {
         (0..self.engines.len())

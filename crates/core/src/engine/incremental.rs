@@ -42,6 +42,7 @@ use crate::config::EngineConfig;
 use crate::context::{ContextUpdate, UserContext};
 use crate::engine::{dot_ad_side, EngineStats, Recommendation, RecommendationEngine};
 use crate::skyband::{CandidateBuffer, ScoreCache};
+use crate::snapshot::{EngineSnapshot, UserStateSnapshot};
 use crate::topk::{top_k, Scored};
 
 #[derive(Debug)]
@@ -148,6 +149,95 @@ impl IncrementalEngine {
     /// Read access to a user's context (tests / inspection).
     pub fn context(&self, user: UserId) -> &UserContext {
         &self.users[user.index()].ctx
+    }
+
+    /// Capture the full engine state as plain data (see
+    /// [`crate::snapshot`]). Buffer and cache entries are sorted by ad id
+    /// so the snapshot — and anything serialized from it — is
+    /// deterministic regardless of `HashMap` iteration order.
+    pub fn export_snapshot(&self) -> EngineSnapshot {
+        let users = self
+            .users
+            .iter()
+            .map(|st| {
+                let (landmark, last_ts, context) = st.ctx.snapshot_parts();
+                let mut buffer: Vec<(AdId, f32)> = st.buffer.iter().collect();
+                buffer.sort_unstable_by_key(|&(ad, _)| ad);
+                let mut cache: Vec<(AdId, f32)> = st.cache.iter().collect();
+                cache.sort_unstable_by_key(|&(ad, _)| ad);
+                UserStateSnapshot {
+                    landmark,
+                    last_ts,
+                    context,
+                    buffer,
+                    cache,
+                    ceiling: st.ceiling,
+                    outside_bound: st.outside_bound,
+                    index_epoch: st.index_epoch,
+                }
+            })
+            .collect();
+        EngineSnapshot {
+            users,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Restore state captured by [`export_snapshot`](Self::export_snapshot)
+    /// into this engine. The engine must have been built with the same
+    /// user count and a configuration whose buffer/cache capacities can
+    /// hold the snapshot's entries.
+    ///
+    /// Work counters are reset and then set to the snapshot's totals, so a
+    /// recovery that replays a WAL tail on top counts each replayed delta
+    /// exactly once.
+    ///
+    /// # Errors
+    ///
+    /// A description of the mismatch; the engine may be partially
+    /// restored and should be discarded on error.
+    pub fn restore_snapshot(&mut self, snapshot: &EngineSnapshot) -> Result<(), String> {
+        if snapshot.users.len() != self.users.len() {
+            return Err(format!(
+                "snapshot holds {} users, engine has {}",
+                snapshot.users.len(),
+                self.users.len()
+            ));
+        }
+        for (i, (st, snap)) in self.users.iter_mut().zip(&snapshot.users).enumerate() {
+            if snap.buffer.len() > st.buffer.capacity() {
+                return Err(format!(
+                    "user {i}: snapshot buffer holds {} ads, capacity is {}",
+                    snap.buffer.len(),
+                    st.buffer.capacity()
+                ));
+            }
+            if snap.cache.len() > self.config.cache_capacity {
+                return Err(format!(
+                    "user {i}: snapshot cache holds {} ads, capacity is {}",
+                    snap.cache.len(),
+                    self.config.cache_capacity
+                ));
+            }
+            st.ctx
+                .restore_parts(snap.landmark, snap.last_ts, snap.context.clone());
+            st.buffer.clear();
+            for &(ad, rel) in &snap.buffer {
+                // len ≤ capacity, so insert never evicts and the rank
+                // closure is never consulted.
+                st.buffer.insert(ad, rel, |_, r| r);
+            }
+            st.cache.clear();
+            for &(ad, bound) in &snap.cache {
+                st.cache.insert(ad, bound);
+            }
+            st.ceiling = snap.ceiling;
+            st.outside_bound = snap.outside_bound;
+            st.index_epoch = snap.index_epoch;
+        }
+        self.stats.reset();
+        self.stats += &snapshot.stats;
+        Ok(())
     }
 
     /// The ranking function over (ad, forward relevance). λ = 1 avoids the

@@ -65,6 +65,15 @@ pub struct EngineStats {
     pub hot_path_allocs: u64,
 }
 
+impl EngineStats {
+    /// Zero every counter (mirroring `ThroughputMeter::reset`). Recovery
+    /// uses this before replay so replayed work is not double-counted on
+    /// top of a restored snapshot's totals.
+    pub fn reset(&mut self) {
+        *self = EngineStats::default();
+    }
+}
+
 impl std::ops::AddAssign<&EngineStats> for EngineStats {
     fn add_assign(&mut self, rhs: &EngineStats) {
         self.deltas += rhs.deltas;

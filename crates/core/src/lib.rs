@@ -41,7 +41,8 @@
 //!   (GSP pricing, click simulation, CPC billing, budget pacing),
 //! * [`runner`] — single-threaded simulation glue (generator → feed →
 //!   engine) used by examples, tests, and the harness,
-//! * [`driver`] — the sharded multi-threaded driver (E10 scalability).
+//! * [`driver`] — the sharded multi-threaded driver (E10 scalability),
+//! * [`snapshot`] — plain-data engine snapshots for `adcast-durability`.
 
 #[cfg(feature = "debug-stats")]
 pub mod allocmeter;
@@ -53,6 +54,7 @@ pub mod market;
 pub mod runner;
 pub mod score;
 pub mod skyband;
+pub mod snapshot;
 pub mod topk;
 
 pub use config::{DriverConfig, EngineConfig, RefreshPolicy};
@@ -65,3 +67,4 @@ pub use engine::{
 pub use market::{AdMarket, ServedImpression};
 pub use runner::{Simulation, SimulationConfig};
 pub use score::ScoringPolicy;
+pub use snapshot::{EngineSnapshot, UserStateSnapshot};

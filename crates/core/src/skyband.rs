@@ -379,6 +379,11 @@ impl ScoreCache {
         }
     }
 
+    /// Iterate over `(ad, bound)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (AdId, f32)> + '_ {
+        self.map.iter().map(|(&id, &v)| (id, v))
+    }
+
     /// Drop everything.
     pub fn clear(&mut self) {
         self.map.clear();

@@ -1,0 +1,49 @@
+//! Plain-data snapshots of incremental engine state.
+//!
+//! These structs capture everything a [`crate::engine::IncrementalEngine`]
+//! needs to resume serving *bit-identically* after a restart: the
+//! forward-decayed context (landmark + raw accumulator), the exact
+//! candidate buffer, the drift-high score cache, both certification
+//! bounds, and the index epoch the buffer was last certified against.
+//!
+//! They are deliberately dumb data — serialization lives in
+//! `adcast-durability`, which encodes them with the same length-prefixed,
+//! CRC-checked framing as the WAL. Buffer and cache entries are exported
+//! sorted by ad id so the encoded form is deterministic (HashMap iteration
+//! order is not).
+
+use adcast_ads::AdId;
+use adcast_stream::clock::Timestamp;
+use adcast_text::SparseVector;
+
+use crate::engine::EngineStats;
+
+/// One user's incremental state, ready for serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserStateSnapshot {
+    /// Forward-decay landmark of the context accumulator.
+    pub landmark: Timestamp,
+    /// Timestamp of the newest message folded into the context.
+    pub last_ts: Timestamp,
+    /// The raw (forward-scale) context accumulator.
+    pub context: SparseVector,
+    /// Exact buffered `(ad, forward relevance)` pairs, sorted by ad id.
+    pub buffer: Vec<(AdId, f32)>,
+    /// Cached `(ad, drift-high bound)` pairs, sorted by ad id.
+    pub cache: Vec<(AdId, f32)>,
+    /// Upper bound covering every cached ad.
+    pub ceiling: f32,
+    /// Upper bound covering every ad neither buffered nor cached.
+    pub outside_bound: f32,
+    /// Store index epoch the buffer was last certified against.
+    pub index_epoch: u64,
+}
+
+/// One engine's full state: every user plus the work counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSnapshot {
+    /// Per-user state in user order.
+    pub users: Vec<UserStateSnapshot>,
+    /// Cumulative work counters at the snapshot cut.
+    pub stats: EngineStats,
+}

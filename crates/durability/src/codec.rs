@@ -1,0 +1,258 @@
+//! Shared record-payload helpers.
+//!
+//! These encode the payload shapes that both durable storage (WAL +
+//! snapshots) and the `adcast-net` wire codec need: sparse vectors, feed
+//! deltas, time slots. They were originally private to the wire codec;
+//! they live here so the two surfaces cannot drift apart, and they keep
+//! the same contract as [`adcast_stream::trace`]: decoding never panics,
+//! whatever bytes arrive — every malformation is a typed
+//! [`TraceError`].
+
+use adcast_feed::FeedDelta;
+use adcast_graph::UserId;
+use adcast_stream::event::TimeSlot;
+use adcast_stream::trace::{get_message, put_message, TraceError};
+use adcast_text::dictionary::TermId;
+use adcast_text::SparseVector;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Fail with `Truncated` instead of letting a `get_*` panic.
+pub fn need(data: &Bytes, n: usize) -> Result<(), TraceError> {
+    if data.remaining() < n {
+        Err(TraceError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Encode an ad/query vector: `nterms u16 | nterms × (term u32, w f32)`.
+///
+/// # Panics
+///
+/// Panics when the vector holds more than `u16::MAX` terms.
+pub fn put_vector(buf: &mut BytesMut, v: &SparseVector) {
+    let n = u16::try_from(v.len()).expect("vector larger than u16::MAX terms");
+    buf.put_u16_le(n);
+    for (t, w) in v.iter() {
+        buf.put_u32_le(t.0);
+        buf.put_f32_le(w);
+    }
+}
+
+/// Decode a vector with the same validation the trace codec applies to
+/// message vectors: finite non-zero weights, strictly sorted terms.
+///
+/// # Errors
+///
+/// Typed [`TraceError`] on truncation or invalid payloads; never panics.
+pub fn get_vector(data: &mut Bytes) -> Result<SparseVector, TraceError> {
+    need(data, 2)?;
+    let n = data.get_u16_le() as usize;
+    need(data, n * 8)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = TermId(data.get_u32_le());
+        let w = data.get_f32_le();
+        if !w.is_finite() || w == 0.0 {
+            return Err(TraceError::Corrupt("zero or non-finite weight"));
+        }
+        entries.push((t, w));
+    }
+    if entries.windows(2).any(|p| p[0].0 >= p[1].0) {
+        return Err(TraceError::Corrupt("terms not strictly sorted"));
+    }
+    Ok(SparseVector::from_sorted(entries))
+}
+
+/// Encode a decayed-accumulator vector: `nterms u32 | pairs`.
+///
+/// Unlike [`put_vector`] this accepts any finite weight — forward-decay
+/// accumulators legitimately hold tiny negative residuals after
+/// evictions — and a u32 count, since user contexts are unbounded by the
+/// u16 message-vector limit. Weights are carried as raw f32 bits, so a
+/// snapshot restore is bit-exact.
+pub fn put_context_vector(buf: &mut BytesMut, v: &SparseVector) {
+    buf.put_u32_le(u32::try_from(v.len()).expect("context larger than u32::MAX terms"));
+    for (t, w) in v.iter() {
+        buf.put_u32_le(t.0);
+        buf.put_f32_le(w);
+    }
+}
+
+/// Decode a vector written by [`put_context_vector`].
+///
+/// # Errors
+///
+/// Typed [`TraceError`] on truncation, non-finite weights, or unsorted
+/// terms; never panics.
+pub fn get_context_vector(data: &mut Bytes) -> Result<SparseVector, TraceError> {
+    need(data, 4)?;
+    let n = data.get_u32_le() as usize;
+    need(data, n.saturating_mul(8))?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = TermId(data.get_u32_le());
+        let w = data.get_f32_le();
+        if !w.is_finite() {
+            return Err(TraceError::Corrupt("non-finite context weight"));
+        }
+        entries.push((t, w));
+    }
+    if entries.windows(2).any(|p| p[0].0 >= p[1].0) {
+        return Err(TraceError::Corrupt("terms not strictly sorted"));
+    }
+    Ok(SparseVector::from_sorted(entries))
+}
+
+/// Encode one `(user, delta)` pair:
+/// `user u32 | entered u8 | [message] | nevicted u16 | messages`.
+///
+/// # Panics
+///
+/// Panics when a delta evicts more than `u16::MAX` messages.
+pub fn put_delta(buf: &mut BytesMut, user: UserId, delta: &FeedDelta) {
+    buf.put_u32_le(user.0);
+    match &delta.entered {
+        Some(m) => {
+            buf.put_u8(1);
+            put_message(buf, m);
+        }
+        None => buf.put_u8(0),
+    }
+    let evicted = u16::try_from(delta.evicted.len()).expect("too many evictions in one delta");
+    buf.put_u16_le(evicted);
+    for m in &delta.evicted {
+        put_message(buf, m);
+    }
+}
+
+/// Decode a pair written by [`put_delta`].
+///
+/// # Errors
+///
+/// Typed [`TraceError`] on any malformation; never panics.
+pub fn get_delta(data: &mut Bytes) -> Result<(UserId, FeedDelta), TraceError> {
+    need(data, 5)?;
+    let user = UserId(data.get_u32_le());
+    let entered = match data.get_u8() {
+        0 => None,
+        1 => Some(get_message(data)?),
+        _ => return Err(TraceError::Corrupt("bad entered flag")),
+    };
+    need(data, 2)?;
+    let n = data.get_u16_le() as usize;
+    let mut evicted = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        evicted.push(get_message(data)?);
+    }
+    Ok((user, FeedDelta { entered, evicted }))
+}
+
+/// Encode a time slot as one byte.
+pub fn put_slot(buf: &mut BytesMut, slot: TimeSlot) {
+    buf.put_u8(match slot {
+        TimeSlot::Morning => 0,
+        TimeSlot::Afternoon => 1,
+        TimeSlot::Night => 2,
+    });
+}
+
+/// Decode a time slot written by [`put_slot`].
+///
+/// # Errors
+///
+/// Typed [`TraceError`] on truncation or an unknown discriminant.
+pub fn get_slot(data: &mut Bytes) -> Result<TimeSlot, TraceError> {
+    need(data, 1)?;
+    match data.get_u8() {
+        0 => Ok(TimeSlot::Morning),
+        1 => Ok(TimeSlot::Afternoon),
+        2 => Ok(TimeSlot::Night),
+        _ => Err(TraceError::Corrupt("bad time slot")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)))
+    }
+
+    #[test]
+    fn context_vector_roundtrips_exact_bits() {
+        // Negative and denormal residuals survive bit-exactly.
+        let ctx = SparseVector::from_sorted(vec![
+            (TermId(1), -1.5e-7),
+            (TermId(4), 0.75),
+            (TermId(9), f32::MIN_POSITIVE / 2.0),
+        ]);
+        let mut buf = BytesMut::new();
+        put_context_vector(&mut buf, &ctx);
+        let mut data = buf.freeze();
+        let back = get_context_vector(&mut data).unwrap();
+        assert_eq!(data.remaining(), 0);
+        let (a, b) = (ctx.to_pairs(), back.to_pairs());
+        assert_eq!(a.len(), b.len());
+        for ((ta, wa), (tb, wb)) in a.into_iter().zip(b) {
+            assert_eq!(ta, tb);
+            assert_eq!(wa.to_bits(), wb.to_bits());
+        }
+    }
+
+    #[test]
+    fn context_vector_truncations_never_panic() {
+        let ctx = v(&[(0, 1.0), (3, 2.0), (5, -0.5)]);
+        let mut buf = BytesMut::new();
+        put_context_vector(&mut buf, &ctx);
+        let bytes = buf.freeze();
+        for cut in 0..bytes.len() {
+            let mut prefix = bytes.slice(0..cut);
+            assert_eq!(
+                get_context_vector(&mut prefix),
+                Err(TraceError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn context_vector_rejects_nan_and_unsorted() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1);
+        buf.put_u32_le(2);
+        buf.put_f32_le(f32::NAN);
+        assert!(matches!(
+            get_context_vector(&mut buf.freeze()),
+            Err(TraceError::Corrupt(_))
+        ));
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(2);
+        buf.put_u32_le(9);
+        buf.put_f32_le(1.0);
+        buf.put_u32_le(3);
+        buf.put_f32_le(1.0);
+        assert!(matches!(
+            get_context_vector(&mut buf.freeze()),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn ad_vector_keeps_trace_validation() {
+        let mut buf = BytesMut::new();
+        put_vector(&mut buf, &v(&[(1, 0.5), (7, 0.25)]));
+        let back = get_vector(&mut buf.clone().freeze()).unwrap();
+        assert_eq!(back, v(&[(1, 0.5), (7, 0.25)]));
+
+        let mut zero = BytesMut::new();
+        zero.put_u16_le(1);
+        zero.put_u32_le(1);
+        zero.put_f32_le(0.0);
+        assert!(matches!(
+            get_vector(&mut zero.freeze()),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+}

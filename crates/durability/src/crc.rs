@@ -1,0 +1,66 @@
+//! CRC-32 (ISO-HDLC / zlib polynomial), table-driven.
+//!
+//! No checksum crate is available offline, so the WAL and snapshot
+//! formats carry a hand-rolled CRC-32 with the reflected polynomial
+//! `0xEDB88320` — the same algorithm as zlib's `crc32()`, chosen so the
+//! on-disk format stays verifiable by standard tools.
+
+/// 256-entry lookup table for the reflected polynomial `0xEDB88320`.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32/ISO-HDLC of `data` (init `!0`, final xor `!0`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        let idx = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The IEEE/zlib check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_any_flip() {
+        let base = crc32(b"adcast wal record");
+        let mut bytes = b"adcast wal record".to_vec();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                bytes[i] ^= 1 << bit;
+                assert_ne!(crc32(&bytes), base, "flip at byte {i} bit {bit}");
+                bytes[i] ^= 1 << bit;
+            }
+        }
+        assert_eq!(crc32(&bytes), base);
+    }
+}

@@ -1,0 +1,414 @@
+//! The WAL record vocabulary.
+//!
+//! One [`WalRecord`] per externally-visible mutation of the serving
+//! state: feed ingestion, campaign lifecycle, budget debits, pacing
+//! attachment. Recommends are deliberately *not* logged — under the
+//! default eager refresh policy serve-time certification makes
+//! recommendation output a pure function of the mutation history, so
+//! replaying mutations alone reproduces bit-identical answers.
+//!
+//! Record payload layout (all little-endian), after the per-record WAL
+//! framing ([`crate::wal`]):
+//!
+//! ```text
+//! tag u8 | body…
+//! 1 IngestBatch: count u32 | count × delta       (shared delta codec)
+//! 2 Submit:      vector | bid f32 | budget 2×u64 | nloc u16 | locs
+//!              | nslots u8 | slots | topic u8 [u64]
+//! 3 Pause:       ad u32
+//! 4 Resume:      ad u32
+//! 5 Remove:      ad u32
+//! 6 SetPacing:   ad u32 | start u64 | end u64 | budget f64
+//! 7 Impression:  ad u32 | cost f64 | clicked u8 | now u64
+//! ```
+
+use adcast_ads::{AdId, AdSubmission, Budget, Targeting};
+use adcast_feed::FeedDelta;
+use adcast_graph::UserId;
+use adcast_stream::clock::Timestamp;
+use adcast_stream::event::LocationId;
+use adcast_stream::trace::TraceError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::codec::{get_delta, get_slot, get_vector, need, put_delta, put_slot, put_vector};
+
+const T_INGEST: u8 = 1;
+const T_SUBMIT: u8 = 2;
+const T_PAUSE: u8 = 3;
+const T_RESUME: u8 = 4;
+const T_REMOVE: u8 = 5;
+const T_SET_PACING: u8 = 6;
+const T_IMPRESSION: u8 = 7;
+
+/// One logged mutation.
+#[derive(Debug, Clone)]
+pub enum WalRecord {
+    /// A batch of feed deltas, acked as one unit (one fsync covers the
+    /// whole batch — the WAL-level face of group commit).
+    IngestBatch(Vec<(UserId, FeedDelta)>),
+    /// A campaign submission (the store assigns the next sequential id,
+    /// so replay reproduces identical ids).
+    Submit(AdSubmission),
+    /// Pause a campaign.
+    Pause(AdId),
+    /// Resume a paused campaign.
+    Resume(AdId),
+    /// Remove a campaign permanently.
+    Remove(AdId),
+    /// Attach a pacing controller for a flight `[start, end]`.
+    SetPacing {
+        /// Campaign to pace.
+        ad: AdId,
+        /// Flight start.
+        start: Timestamp,
+        /// Flight end (must be after `start`).
+        end: Timestamp,
+        /// Flight budget (positive, finite).
+        budget: f64,
+    },
+    /// A served impression charged at `cost`, with its engagement.
+    Impression {
+        /// Campaign charged.
+        ad: AdId,
+        /// Charge amount (finite, non-negative).
+        cost: f64,
+        /// Whether the impression was clicked.
+        clicked: bool,
+        /// Serving time (drives pacing adjustment).
+        now: Timestamp,
+    },
+}
+
+impl WalRecord {
+    /// Encode the record payload (no WAL framing).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        match self {
+            WalRecord::IngestBatch(deltas) => {
+                buf.put_u8(T_INGEST);
+                buf.put_u32_le(u32::try_from(deltas.len()).expect("batch too large"));
+                for (user, delta) in deltas {
+                    put_delta(&mut buf, *user, delta);
+                }
+            }
+            WalRecord::Submit(sub) => {
+                buf.put_u8(T_SUBMIT);
+                put_vector(&mut buf, &sub.vector);
+                buf.put_f32_le(sub.bid);
+                let (total, spent) = sub.budget.to_micros();
+                buf.put_u64_le(total);
+                buf.put_u64_le(spent);
+                let locations = sub.targeting.locations();
+                buf.put_u16_le(u16::try_from(locations.len()).expect("too many locations"));
+                for loc in locations {
+                    buf.put_u16_le(loc.0);
+                }
+                let slots = sub.targeting.slots();
+                buf.put_u8(u8::try_from(slots.len()).expect("too many slots"));
+                for slot in slots {
+                    put_slot(&mut buf, *slot);
+                }
+                match sub.topic_hint {
+                    Some(t) => {
+                        buf.put_u8(1);
+                        buf.put_u64_le(t as u64);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+            WalRecord::Pause(ad) => {
+                buf.put_u8(T_PAUSE);
+                buf.put_u32_le(ad.0);
+            }
+            WalRecord::Resume(ad) => {
+                buf.put_u8(T_RESUME);
+                buf.put_u32_le(ad.0);
+            }
+            WalRecord::Remove(ad) => {
+                buf.put_u8(T_REMOVE);
+                buf.put_u32_le(ad.0);
+            }
+            WalRecord::SetPacing {
+                ad,
+                start,
+                end,
+                budget,
+            } => {
+                buf.put_u8(T_SET_PACING);
+                buf.put_u32_le(ad.0);
+                buf.put_u64_le(start.micros());
+                buf.put_u64_le(end.micros());
+                buf.put_f64_le(*budget);
+            }
+            WalRecord::Impression {
+                ad,
+                cost,
+                clicked,
+                now,
+            } => {
+                buf.put_u8(T_IMPRESSION);
+                buf.put_u32_le(ad.0);
+                buf.put_f64_le(*cost);
+                buf.put_u8(u8::from(*clicked));
+                buf.put_u64_le(now.micros());
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode one record payload, consuming `data` entirely.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`TraceError`] on truncation, unknown tags, trailing bytes,
+    /// or semantically invalid payloads (non-finite costs, empty pacing
+    /// flights) — anything that could later panic an `assert!` in the
+    /// store must be rejected here. Never panics.
+    pub fn decode(mut data: Bytes) -> Result<WalRecord, TraceError> {
+        need(&data, 1)?;
+        let record = match data.get_u8() {
+            T_INGEST => {
+                need(&data, 4)?;
+                let n = data.get_u32_le() as usize;
+                let mut deltas = Vec::with_capacity(n.min(65_536));
+                for _ in 0..n {
+                    deltas.push(get_delta(&mut data)?);
+                }
+                WalRecord::IngestBatch(deltas)
+            }
+            T_SUBMIT => {
+                let vector = get_vector(&mut data)?;
+                need(&data, 4 + 16)?;
+                let bid = data.get_f32_le();
+                let total = data.get_u64_le();
+                let spent = data.get_u64_le();
+                if spent > total {
+                    return Err(TraceError::Corrupt("budget spent above total"));
+                }
+                need(&data, 2)?;
+                let nloc = data.get_u16_le() as usize;
+                need(&data, nloc * 2)?;
+                let locations: Vec<LocationId> =
+                    (0..nloc).map(|_| LocationId(data.get_u16_le())).collect();
+                need(&data, 1)?;
+                let nslots = data.get_u8() as usize;
+                let mut slots = Vec::with_capacity(nslots);
+                for _ in 0..nslots {
+                    slots.push(get_slot(&mut data)?);
+                }
+                need(&data, 1)?;
+                let topic_hint = match data.get_u8() {
+                    0 => None,
+                    1 => {
+                        need(&data, 8)?;
+                        Some(data.get_u64_le() as usize)
+                    }
+                    _ => return Err(TraceError::Corrupt("bad topic flag")),
+                };
+                WalRecord::Submit(AdSubmission {
+                    vector,
+                    bid,
+                    targeting: Targeting::everywhere()
+                        .in_locations(locations)
+                        .in_slots(slots),
+                    budget: Budget::from_micros(total, spent),
+                    topic_hint,
+                })
+            }
+            T_PAUSE => {
+                need(&data, 4)?;
+                WalRecord::Pause(AdId(data.get_u32_le()))
+            }
+            T_RESUME => {
+                need(&data, 4)?;
+                WalRecord::Resume(AdId(data.get_u32_le()))
+            }
+            T_REMOVE => {
+                need(&data, 4)?;
+                WalRecord::Remove(AdId(data.get_u32_le()))
+            }
+            T_SET_PACING => {
+                need(&data, 4 + 8 + 8 + 8)?;
+                let ad = AdId(data.get_u32_le());
+                let start = Timestamp(data.get_u64_le());
+                let end = Timestamp(data.get_u64_le());
+                let budget = data.get_f64_le();
+                if end <= start {
+                    return Err(TraceError::Corrupt("empty pacing flight"));
+                }
+                if !(budget.is_finite() && budget > 0.0) {
+                    return Err(TraceError::Corrupt("invalid pacing budget"));
+                }
+                WalRecord::SetPacing {
+                    ad,
+                    start,
+                    end,
+                    budget,
+                }
+            }
+            T_IMPRESSION => {
+                need(&data, 4 + 8 + 1 + 8)?;
+                let ad = AdId(data.get_u32_le());
+                let cost = data.get_f64_le();
+                if !(cost.is_finite() && cost >= 0.0) {
+                    return Err(TraceError::Corrupt("invalid impression cost"));
+                }
+                let clicked = match data.get_u8() {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(TraceError::Corrupt("bad clicked flag")),
+                };
+                let now = Timestamp(data.get_u64_le());
+                WalRecord::Impression {
+                    ad,
+                    cost,
+                    clicked,
+                    now,
+                }
+            }
+            _ => return Err(TraceError::Corrupt("unknown wal record tag")),
+        };
+        if data.has_remaining() {
+            return Err(TraceError::Corrupt("trailing bytes in wal record"));
+        }
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use adcast_stream::event::{Message, MessageId, TimeSlot};
+    use adcast_text::dictionary::TermId;
+    use adcast_text::SparseVector;
+    use std::sync::Arc;
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)))
+    }
+
+    fn msg(i: u64) -> Arc<Message> {
+        Arc::new(Message {
+            id: MessageId(i),
+            author: UserId(3),
+            ts: Timestamp::from_secs(i),
+            location: LocationId(2),
+            vector: v(&[(1, 0.5), (7, 0.25)]),
+        })
+    }
+
+    pub(crate) fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::IngestBatch(vec![
+                (
+                    UserId(1),
+                    FeedDelta {
+                        entered: Some(msg(10)),
+                        evicted: vec![msg(2), msg(3)],
+                    },
+                ),
+                (
+                    UserId(2),
+                    FeedDelta {
+                        entered: None,
+                        evicted: vec![msg(1)],
+                    },
+                ),
+            ]),
+            WalRecord::IngestBatch(vec![]),
+            WalRecord::Submit(AdSubmission {
+                vector: v(&[(0, 1.0), (5, 0.5)]),
+                bid: 2.5,
+                targeting: Targeting::everywhere()
+                    .in_locations([LocationId(1), LocationId(8)])
+                    .in_slots([TimeSlot::Morning, TimeSlot::Night]),
+                budget: Budget::new(99.5),
+                topic_hint: Some(3),
+            }),
+            WalRecord::Submit(AdSubmission {
+                vector: v(&[(2, 0.7)]),
+                bid: 1.0,
+                targeting: Targeting::everywhere(),
+                budget: Budget::unlimited(),
+                topic_hint: None,
+            }),
+            WalRecord::Pause(AdId(12)),
+            WalRecord::Resume(AdId(12)),
+            WalRecord::Remove(AdId(4)),
+            WalRecord::SetPacing {
+                ad: AdId(7),
+                start: Timestamp::from_secs(0),
+                end: Timestamp::from_secs(3600),
+                budget: 50.0,
+            },
+            WalRecord::Impression {
+                ad: AdId(9),
+                cost: 0.25,
+                clicked: true,
+                now: Timestamp::from_secs(17),
+            },
+            WalRecord::Impression {
+                ad: AdId(9),
+                cost: 0.0,
+                clicked: false,
+                now: Timestamp::from_secs(18),
+            },
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        for (i, record) in sample_records().into_iter().enumerate() {
+            let bytes = record.encode();
+            let decoded = WalRecord::decode(bytes.clone()).unwrap();
+            // No PartialEq on AdSubmission; byte-for-byte re-encode is the
+            // equality that matters for replay.
+            assert_eq!(decoded.encode(), bytes, "record {i}");
+        }
+    }
+
+    #[test]
+    fn truncated_records_never_panic() {
+        for (i, record) in sample_records().into_iter().enumerate() {
+            let bytes = record.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    WalRecord::decode(bytes.slice(0..cut)).is_err(),
+                    "record {i} cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = WalRecord::Pause(AdId(1)).encode().to_vec();
+        bytes.push(0);
+        assert_eq!(
+            WalRecord::decode(Bytes::from(bytes)).unwrap_err(),
+            TraceError::Corrupt("trailing bytes in wal record")
+        );
+    }
+
+    #[test]
+    fn hostile_payloads_rejected() {
+        // NaN impression cost would panic Budget::try_charge on apply.
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u32_le(1);
+        buf.put_f64_le(f64::NAN);
+        buf.put_u8(0);
+        buf.put_u64_le(0);
+        assert!(WalRecord::decode(buf.freeze()).is_err());
+        // Empty pacing flight would panic PacingController::new.
+        let mut buf = BytesMut::new();
+        buf.put_u8(6);
+        buf.put_u32_le(1);
+        buf.put_u64_le(5);
+        buf.put_u64_le(5);
+        buf.put_f64_le(1.0);
+        assert!(WalRecord::decode(buf.freeze()).is_err());
+        // Unknown tag.
+        assert!(WalRecord::decode(Bytes::from_static(&[99])).is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Crash recovery: snapshot load + WAL tail replay.
+//!
+//! [`recover`] rebuilds a `(AdStore, ShardedDriver)` pair from a data
+//! directory:
+//!
+//! 1. load the newest **valid** snapshot (falling back to older files on
+//!    corruption; cold start when none exists),
+//! 2. replay every WAL record with `lsn >= snapshot.next_lsn` through
+//!    [`crate::apply::apply_record`] — the same code path the live
+//!    server took, which is what makes the result bit-identical to an
+//!    uninterrupted twin,
+//! 3. heal a torn final segment by physically truncating it to its valid
+//!    prefix, and hand back a [`wal::WalWriter`] positioned at the next
+//!    LSN.
+//!
+//! Corruption in a *non-final* position (a damaged middle segment, a gap
+//! in the LSN sequence between segments) is a hard error: those records
+//! were acknowledged durable, so silently skipping them would serve
+//! wrong budgets.
+
+use std::fs::{self, OpenOptions};
+use std::io;
+use std::path::Path;
+
+use adcast_ads::AdStore;
+use adcast_core::{EngineConfig, ShardedDriver};
+use adcast_stream::trace::TraceError;
+
+use crate::apply::apply_record;
+use crate::record::WalRecord;
+use crate::snapshot::{load_latest, LoadedSnapshot};
+use crate::wal::{self, WalError, WalOptions, WalWriter};
+
+/// Why recovery failed.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// WAL damage that truncation may not heal (non-final segment).
+    Wal(WalError),
+    /// A CRC-valid record failed to decode — framing and payload disagree.
+    Decode {
+        /// The record's LSN.
+        lsn: u64,
+        /// The decode failure.
+        error: TraceError,
+    },
+    /// A decoded record failed to apply (snapshot/WAL mismatch).
+    Apply {
+        /// The record's LSN.
+        lsn: u64,
+        /// The application failure.
+        error: String,
+    },
+    /// The snapshot is incompatible with the requested topology, or its
+    /// contents fail store validation.
+    Snapshot(String),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Io(e) => write!(f, "recovery io: {e}"),
+            RecoveryError::Wal(e) => write!(f, "recovery wal: {e}"),
+            RecoveryError::Decode { lsn, error } => {
+                write!(f, "wal record {lsn} failed to decode: {error}")
+            }
+            RecoveryError::Apply { lsn, error } => {
+                write!(f, "wal record {lsn} failed to apply: {error}")
+            }
+            RecoveryError::Snapshot(e) => write!(f, "snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<io::Error> for RecoveryError {
+    fn from(e: io::Error) -> Self {
+        RecoveryError::Io(e)
+    }
+}
+
+impl From<WalError> for RecoveryError {
+    fn from(e: WalError) -> Self {
+        RecoveryError::Wal(e)
+    }
+}
+
+/// What recovery did (surfaced through server stats and logs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// `next_lsn` of the snapshot used (`None` for a cold start).
+    pub snapshot_lsn: Option<u64>,
+    /// Newer snapshot files skipped as corrupt before one loaded.
+    pub snapshots_skipped: u32,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Torn-tail bytes physically truncated from the final segment.
+    pub truncated_bytes: u64,
+}
+
+/// A recovered serving state, ready to serve.
+pub struct RecoveredState {
+    /// The store, replayed to the WAL tip.
+    pub store: AdStore,
+    /// The sharded engines, replayed to the WAL tip.
+    pub driver: ShardedDriver,
+    /// A writer positioned at the next LSN (fresh segment).
+    pub wal: WalWriter,
+    /// What happened.
+    pub report: RecoveryReport,
+}
+
+/// Rebuild serving state from `dir` (see module docs). An empty or
+/// missing directory is a cold start: fresh store, fresh engines, a WAL
+/// beginning at LSN 0.
+///
+/// # Errors
+///
+/// [`RecoveryError`] — see its variants. Never panics, whatever the
+/// directory contains.
+pub fn recover(
+    dir: &Path,
+    num_users: u32,
+    num_shards: usize,
+    config: EngineConfig,
+    options: WalOptions,
+) -> Result<RecoveredState, RecoveryError> {
+    fs::create_dir_all(dir)?;
+
+    // 1. Snapshot.
+    let loaded = load_latest(dir)?;
+    let mut report = RecoveryReport::default();
+    let (mut store, mut driver, replay_from) = match loaded {
+        Some(LoadedSnapshot {
+            snapshot,
+            skipped_corrupt,
+            ..
+        }) => {
+            if snapshot.num_users != num_users || snapshot.num_shards as usize != num_shards {
+                return Err(RecoveryError::Snapshot(format!(
+                    "snapshot topology is {} users × {} shards, requested {num_users} × {num_shards}",
+                    snapshot.num_users, snapshot.num_shards
+                )));
+            }
+            report.snapshot_lsn = Some(snapshot.next_lsn);
+            report.snapshots_skipped = skipped_corrupt;
+            let store = AdStore::from_snapshot(snapshot.store).map_err(RecoveryError::Snapshot)?;
+            let mut driver = ShardedDriver::new(num_users, num_shards, config);
+            driver
+                .restore_snapshots(&snapshot.engines)
+                .map_err(RecoveryError::Snapshot)?;
+            (store, driver, snapshot.next_lsn)
+        }
+        None => (
+            AdStore::new(),
+            ShardedDriver::new(num_users, num_shards, config),
+            0,
+        ),
+    };
+
+    // 2. WAL tail replay.
+    let segments = wal::list_segments(dir)?;
+    let mut next_lsn = replay_from;
+    for (i, seg) in segments.iter().enumerate() {
+        let is_last = i + 1 == segments.len();
+        let contents = wal::read_segment(&seg.path, seg.base_lsn, is_last)?;
+        // Cross-segment continuity: every record up to the next segment's
+        // base must be present — a short non-final segment that happens to
+        // end exactly at a record boundary still lost durable records.
+        if let Some(next_seg) = segments.get(i + 1) {
+            let end = seg.base_lsn + contents.records.len() as u64;
+            if end != next_seg.base_lsn {
+                return Err(RecoveryError::Wal(WalError::Corrupt {
+                    segment: seg.base_lsn,
+                    offset: contents.valid_len,
+                    what: "segment ends before the next segment's base lsn",
+                }));
+            }
+        }
+        // Records below replay_from are already covered by the snapshot
+        // but still advance the LSN cursor past them.
+        next_lsn = next_lsn.max(seg.base_lsn + contents.records.len() as u64);
+        for (lsn, payload) in contents.records {
+            if lsn < replay_from {
+                continue;
+            }
+            let record =
+                WalRecord::decode(payload).map_err(|error| RecoveryError::Decode { lsn, error })?;
+            apply_record(&mut store, &mut driver, record)
+                .map_err(|error| RecoveryError::Apply { lsn, error })?;
+            report.replayed_records += 1;
+        }
+        // 3. Heal the torn tail so the next open sees a clean log.
+        if is_last && contents.truncated_bytes > 0 {
+            report.truncated_bytes = contents.truncated_bytes;
+            let file = OpenOptions::new().write(true).open(&seg.path)?;
+            file.set_len(contents.valid_len)?;
+            file.sync_all()?;
+        }
+    }
+
+    let wal = WalWriter::create(dir, options, next_lsn)?;
+    Ok(RecoveredState {
+        store,
+        driver,
+        wal,
+        report,
+    })
+}

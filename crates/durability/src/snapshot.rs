@@ -1,0 +1,755 @@
+//! Versioned, checksummed full-state snapshots.
+//!
+//! A snapshot captures the complete serving state at one WAL position:
+//! the [`AdStore`] (campaigns, budgets, pacing, CTR) and every shard
+//! engine's per-user state. Recovery loads the newest valid snapshot and
+//! replays only the WAL records with `lsn >= next_lsn`.
+//!
+//! On-disk layout of `snap-{next_lsn:016x}.snap`:
+//!
+//! ```text
+//! header:  magic "ADSS" | version u16 | reserved u16
+//!          next_lsn u64 | payload_len u32 | crc32 u32
+//! payload: num_users u32 | num_shards u32 | store | num_shards × engine
+//! ```
+//!
+//! The CRC covers the payload; decoding consumes it entirely, so a
+//! truncated or bit-flipped file yields a typed [`TraceError`] and the
+//! loader falls back to the next-older snapshot. Files are written
+//! atomically — serialized to `*.tmp`, fsynced, renamed into place, then
+//! the directory is fsynced — so a crash mid-write can never leave a
+//! half-snapshot under the real name.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use adcast_ads::{Ad, AdId, AdStore, CampaignState};
+use adcast_ads::{CampaignSnapshot, PacingSnapshot, StoreSnapshot};
+use adcast_core::snapshot::{EngineSnapshot, UserStateSnapshot};
+use adcast_core::{EngineStats, ShardedDriver};
+use adcast_stream::clock::Timestamp;
+use adcast_stream::event::LocationId;
+use adcast_stream::trace::{check_stream_header, put_stream_header, TraceError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::codec::{
+    get_context_vector, get_slot, get_vector, need, put_context_vector, put_slot, put_vector,
+};
+use crate::crc::crc32;
+use crate::wal::{self, sync_dir};
+
+/// Snapshot file magic (traces use `ADCT`, wire frames `ADCN`, WAL
+/// segments `ADWL`).
+pub const SNAPSHOT_MAGIC: &[u8; 4] = b"ADSS";
+/// Snapshot format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+/// Upper bound on one snapshot payload (1 GiB) — declared lengths above
+/// this are rejected before allocation.
+pub const MAX_SNAPSHOT: usize = 1 << 30;
+
+/// The complete serving state at one WAL cut.
+#[derive(Debug, Clone)]
+pub struct EngineSetSnapshot {
+    /// First WAL LSN *not* covered by this snapshot (replay starts here).
+    pub next_lsn: u64,
+    /// Total users across all shards.
+    pub num_users: u32,
+    /// Shard count the engine states were captured under.
+    pub num_shards: u32,
+    /// The ad store (campaigns, budgets, pacing, CTR, index epoch).
+    pub store: StoreSnapshot,
+    /// Per-shard engine state, shard order.
+    pub engines: Vec<EngineSnapshot>,
+}
+
+impl EngineSetSnapshot {
+    /// Capture a consistent cut of `store` + `driver`. The caller must
+    /// hold the engine thread between batches so no worker is mid-flight.
+    pub fn capture(next_lsn: u64, store: &AdStore, driver: &ShardedDriver) -> Self {
+        EngineSetSnapshot {
+            next_lsn,
+            num_users: driver.num_users(),
+            num_shards: driver.num_shards() as u32,
+            store: store.export_snapshot(),
+            engines: driver.export_snapshots(),
+        }
+    }
+
+    /// Serialize to the full file byte image (header + CRC + payload).
+    /// `next_lsn` lives inside the CRC-covered payload, so a bit flip in
+    /// the replay position is caught like any other corruption.
+    pub fn encode(&self) -> Bytes {
+        let mut payload = BytesMut::with_capacity(4096);
+        payload.put_u64_le(self.next_lsn);
+        payload.put_u32_le(self.num_users);
+        payload.put_u32_le(self.num_shards);
+        put_store(&mut payload, &self.store);
+        for engine in &self.engines {
+            put_engine(&mut payload, engine);
+        }
+        let payload = payload.freeze();
+        let mut file = BytesMut::with_capacity(16 + payload.len());
+        put_stream_header(&mut file, SNAPSHOT_MAGIC, SNAPSHOT_VERSION);
+        file.put_u32_le(u32::try_from(payload.len()).expect("snapshot too large"));
+        file.put_u32_le(crc32(&payload));
+        file.put_slice(&payload);
+        file.freeze()
+    }
+
+    /// Decode a full file byte image.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`TraceError`] on any malformation (bad header, CRC
+    /// mismatch, truncation, trailing bytes); never panics.
+    pub fn decode(mut data: Bytes) -> Result<EngineSetSnapshot, TraceError> {
+        check_stream_header(&mut data, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
+        need(&data, 4 + 4)?;
+        let len = data.get_u32_le() as usize;
+        if len > MAX_SNAPSHOT {
+            return Err(TraceError::Corrupt("impossible snapshot length"));
+        }
+        let crc = data.get_u32_le();
+        need(&data, len)?;
+        if data.remaining() > len {
+            return Err(TraceError::Corrupt("trailing bytes after snapshot"));
+        }
+        let mut payload = data;
+        if crc32(&payload) != crc {
+            return Err(TraceError::Corrupt("snapshot crc mismatch"));
+        }
+        need(&payload, 16)?;
+        let next_lsn = payload.get_u64_le();
+        let num_users = payload.get_u32_le();
+        let num_shards = payload.get_u32_le();
+        if num_shards == 0 || num_shards > 4096 {
+            return Err(TraceError::Corrupt("impossible shard count"));
+        }
+        let store = get_store(&mut payload)?;
+        let mut engines = Vec::with_capacity(num_shards as usize);
+        for _ in 0..num_shards {
+            engines.push(get_engine(&mut payload)?);
+        }
+        if payload.has_remaining() {
+            return Err(TraceError::Corrupt("trailing bytes in snapshot payload"));
+        }
+        Ok(EngineSetSnapshot {
+            next_lsn,
+            num_users,
+            num_shards,
+            store,
+            engines,
+        })
+    }
+}
+
+fn put_ad(buf: &mut BytesMut, ad: &Ad) {
+    buf.put_u32_le(ad.id.0);
+    put_vector(buf, &ad.vector);
+    buf.put_f32_le(ad.bid);
+    let locations = ad.targeting.locations();
+    buf.put_u16_le(u16::try_from(locations.len()).expect("too many locations"));
+    for loc in locations {
+        buf.put_u16_le(loc.0);
+    }
+    let slots = ad.targeting.slots();
+    buf.put_u8(u8::try_from(slots.len()).expect("too many slots"));
+    for slot in slots {
+        put_slot(buf, *slot);
+    }
+    match ad.topic_hint {
+        Some(t) => {
+            buf.put_u8(1);
+            buf.put_u64_le(t as u64);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn get_ad(data: &mut Bytes) -> Result<Ad, TraceError> {
+    need(data, 4)?;
+    let id = AdId(data.get_u32_le());
+    let vector = get_vector(data)?;
+    need(data, 4 + 2)?;
+    let bid = data.get_f32_le();
+    let nloc = data.get_u16_le() as usize;
+    need(data, nloc * 2)?;
+    let locations: Vec<LocationId> = (0..nloc).map(|_| LocationId(data.get_u16_le())).collect();
+    need(data, 1)?;
+    let nslots = data.get_u8() as usize;
+    let mut slots = Vec::with_capacity(nslots);
+    for _ in 0..nslots {
+        slots.push(get_slot(data)?);
+    }
+    need(data, 1)?;
+    let topic_hint = match data.get_u8() {
+        0 => None,
+        1 => {
+            need(data, 8)?;
+            Some(data.get_u64_le() as usize)
+        }
+        _ => return Err(TraceError::Corrupt("bad topic flag")),
+    };
+    Ok(Ad {
+        id,
+        vector,
+        bid,
+        targeting: adcast_ads::Targeting::everywhere()
+            .in_locations(locations)
+            .in_slots(slots),
+        topic_hint,
+    })
+}
+
+fn put_store(buf: &mut BytesMut, store: &StoreSnapshot) {
+    buf.put_u64_le(store.index_epoch);
+    buf.put_u32_le(u32::try_from(store.campaigns.len()).expect("too many campaigns"));
+    for c in &store.campaigns {
+        put_ad(buf, &c.ad);
+        buf.put_u64_le(c.budget_total_micros);
+        buf.put_u64_le(c.budget_spent_micros);
+        buf.put_u8(match c.state {
+            CampaignState::Active => 0,
+            CampaignState::Paused => 1,
+            CampaignState::Exhausted => 2,
+            CampaignState::Removed => 3,
+        });
+        buf.put_u64_le(c.impressions);
+        buf.put_u64_le(c.ctr_impressions);
+        buf.put_u64_le(c.ctr_clicks);
+        match &c.pacing {
+            Some(p) => {
+                buf.put_u8(1);
+                buf.put_u64_le(p.flight_start.micros());
+                buf.put_u64_le(p.flight_end.micros());
+                buf.put_f64_le(p.total_budget);
+                buf.put_f64_le(p.throttle);
+                buf.put_f64_le(p.step);
+                buf.put_f64_le(p.min_throttle);
+                buf.put_f64_le(p.spent);
+            }
+            None => buf.put_u8(0),
+        }
+    }
+}
+
+fn get_store(data: &mut Bytes) -> Result<StoreSnapshot, TraceError> {
+    need(data, 8 + 4)?;
+    let index_epoch = data.get_u64_le();
+    let n = data.get_u32_le() as usize;
+    let mut campaigns = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        let ad = get_ad(data)?;
+        need(data, 8 + 8 + 1 + 8 + 8 + 8 + 1)?;
+        let budget_total_micros = data.get_u64_le();
+        let budget_spent_micros = data.get_u64_le();
+        let state = match data.get_u8() {
+            0 => CampaignState::Active,
+            1 => CampaignState::Paused,
+            2 => CampaignState::Exhausted,
+            3 => CampaignState::Removed,
+            _ => return Err(TraceError::Corrupt("bad campaign state")),
+        };
+        let impressions = data.get_u64_le();
+        let ctr_impressions = data.get_u64_le();
+        let ctr_clicks = data.get_u64_le();
+        let pacing = match data.get_u8() {
+            0 => None,
+            1 => {
+                need(data, 8 + 8 + 5 * 8)?;
+                Some(PacingSnapshot {
+                    flight_start: Timestamp(data.get_u64_le()),
+                    flight_end: Timestamp(data.get_u64_le()),
+                    total_budget: data.get_f64_le(),
+                    throttle: data.get_f64_le(),
+                    step: data.get_f64_le(),
+                    min_throttle: data.get_f64_le(),
+                    spent: data.get_f64_le(),
+                })
+            }
+            _ => return Err(TraceError::Corrupt("bad pacing flag")),
+        };
+        campaigns.push(CampaignSnapshot {
+            ad,
+            budget_total_micros,
+            budget_spent_micros,
+            state,
+            impressions,
+            ctr_impressions,
+            ctr_clicks,
+            pacing,
+        });
+    }
+    Ok(StoreSnapshot {
+        campaigns,
+        index_epoch,
+    })
+}
+
+fn put_stats(buf: &mut BytesMut, stats: &EngineStats) {
+    for v in [
+        stats.deltas,
+        stats.postings_scanned,
+        stats.ads_scored,
+        stats.screened_out,
+        stats.promotions,
+        stats.refreshes,
+        stats.fallbacks,
+        stats.recommends,
+        stats.rebases,
+        stats.hot_path_allocs,
+    ] {
+        buf.put_u64_le(v);
+    }
+}
+
+fn get_stats(data: &mut Bytes) -> Result<EngineStats, TraceError> {
+    need(data, 10 * 8)?;
+    Ok(EngineStats {
+        deltas: data.get_u64_le(),
+        postings_scanned: data.get_u64_le(),
+        ads_scored: data.get_u64_le(),
+        screened_out: data.get_u64_le(),
+        promotions: data.get_u64_le(),
+        refreshes: data.get_u64_le(),
+        fallbacks: data.get_u64_le(),
+        recommends: data.get_u64_le(),
+        rebases: data.get_u64_le(),
+        hot_path_allocs: data.get_u64_le(),
+    })
+}
+
+fn put_scored_list(buf: &mut BytesMut, entries: &[(AdId, f32)]) {
+    buf.put_u32_le(u32::try_from(entries.len()).expect("too many entries"));
+    for &(ad, v) in entries {
+        buf.put_u32_le(ad.0);
+        buf.put_f32_le(v);
+    }
+}
+
+fn get_scored_list(data: &mut Bytes) -> Result<Vec<(AdId, f32)>, TraceError> {
+    need(data, 4)?;
+    let n = data.get_u32_le() as usize;
+    need(data, n.saturating_mul(8))?;
+    Ok((0..n)
+        .map(|_| (AdId(data.get_u32_le()), data.get_f32_le()))
+        .collect())
+}
+
+fn put_engine(buf: &mut BytesMut, engine: &EngineSnapshot) {
+    put_stats(buf, &engine.stats);
+    buf.put_u32_le(u32::try_from(engine.users.len()).expect("too many users"));
+    for user in &engine.users {
+        buf.put_u64_le(user.landmark.micros());
+        buf.put_u64_le(user.last_ts.micros());
+        put_context_vector(buf, &user.context);
+        put_scored_list(buf, &user.buffer);
+        put_scored_list(buf, &user.cache);
+        buf.put_f32_le(user.ceiling);
+        buf.put_f32_le(user.outside_bound);
+        buf.put_u64_le(user.index_epoch);
+    }
+}
+
+fn get_engine(data: &mut Bytes) -> Result<EngineSnapshot, TraceError> {
+    let stats = get_stats(data)?;
+    need(data, 4)?;
+    let n = data.get_u32_le() as usize;
+    let mut users = Vec::with_capacity(n.min(1_048_576));
+    for _ in 0..n {
+        need(data, 16)?;
+        let landmark = Timestamp(data.get_u64_le());
+        let last_ts = Timestamp(data.get_u64_le());
+        let context = get_context_vector(data)?;
+        let buffer = get_scored_list(data)?;
+        let cache = get_scored_list(data)?;
+        need(data, 4 + 4 + 8)?;
+        let ceiling = data.get_f32_le();
+        let outside_bound = data.get_f32_le();
+        let index_epoch = data.get_u64_le();
+        users.push(UserStateSnapshot {
+            landmark,
+            last_ts,
+            context,
+            buffer,
+            cache,
+            ceiling,
+            outside_bound,
+            index_epoch,
+        });
+    }
+    Ok(EngineSnapshot { stats, users })
+}
+
+/// The file name of the snapshot covering WAL positions below `next_lsn`.
+pub fn snapshot_file_name(next_lsn: u64) -> String {
+    format!("snap-{next_lsn:016x}.snap")
+}
+
+/// Parse a snapshot file name back to its `next_lsn`.
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("snap-")?.strip_suffix(".snap")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// One snapshot file on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// The WAL position the snapshot covers up to (exclusive).
+    pub next_lsn: u64,
+    /// Full path.
+    pub path: PathBuf,
+}
+
+/// Enumerate snapshot files in `dir`, sorted oldest-first by `next_lsn`.
+///
+/// # Errors
+///
+/// Propagates directory-read failures; a missing directory is an empty
+/// list.
+pub fn list_snapshots(dir: &Path) -> io::Result<Vec<SnapshotInfo>> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut snapshots = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        if let Some(next_lsn) = entry.file_name().to_str().and_then(parse_snapshot_name) {
+            snapshots.push(SnapshotInfo {
+                next_lsn,
+                path: entry.path(),
+            });
+        }
+    }
+    snapshots.sort_by_key(|s| s.next_lsn);
+    Ok(snapshots)
+}
+
+/// Write `bytes` as the snapshot at `next_lsn`, atomically: the image
+/// goes to a `.tmp` file, is fsynced, renamed into place, and the
+/// directory is fsynced. A crash at any point leaves either the old
+/// snapshot set or the complete new file — never a torn snapshot under
+/// the real name.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn write_snapshot_atomic(dir: &Path, next_lsn: u64, bytes: &[u8]) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let final_path = dir.join(snapshot_file_name(next_lsn));
+    let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(next_lsn)));
+    let mut tmp = File::create(&tmp_path)?;
+    tmp.write_all(bytes)?;
+    tmp.sync_all()?;
+    drop(tmp);
+    fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir)?;
+    Ok(final_path)
+}
+
+/// A successfully loaded snapshot.
+#[derive(Debug)]
+pub struct LoadedSnapshot {
+    /// The decoded snapshot.
+    pub snapshot: EngineSetSnapshot,
+    /// The file it came from.
+    pub path: PathBuf,
+    /// Newer snapshot files that failed to decode and were skipped.
+    pub skipped_corrupt: u32,
+}
+
+/// Load the newest valid snapshot, falling back to older files when the
+/// newest is unreadable or corrupt. `Ok(None)` means no usable snapshot
+/// exists (cold start: replay the whole WAL).
+///
+/// # Errors
+///
+/// Propagates directory-read failures only; per-file damage is a
+/// fallback, not an error.
+pub fn load_latest(dir: &Path) -> io::Result<Option<LoadedSnapshot>> {
+    let mut skipped = 0u32;
+    for info in list_snapshots(dir)?.into_iter().rev() {
+        let mut raw = Vec::new();
+        let readable = File::open(&info.path)
+            .and_then(|mut f| f.read_to_end(&mut raw))
+            .is_ok();
+        if readable {
+            match EngineSetSnapshot::decode(Bytes::from(raw)) {
+                // The file name is the lookup key; a content/name mismatch
+                // means the file was tampered with or misplaced.
+                Ok(snapshot) if snapshot.next_lsn == info.next_lsn => {
+                    return Ok(Some(LoadedSnapshot {
+                        snapshot,
+                        path: info.path,
+                        skipped_corrupt: skipped,
+                    }))
+                }
+                _ => skipped += 1,
+            }
+        } else {
+            skipped += 1;
+        }
+    }
+    Ok(None)
+}
+
+/// Delete everything a snapshot at `next_lsn` makes redundant: snapshot
+/// files older than the newest `keep_snapshots`, and WAL segments whose
+/// *entire* record range lies below `next_lsn` (a segment is prunable
+/// only when the next segment's base shows every record in it is below
+/// the cut; the newest segment is never pruned). Returns
+/// `(snapshots_removed, segments_removed)`.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn prune(dir: &Path, next_lsn: u64, keep_snapshots: usize) -> io::Result<(u64, u64)> {
+    let snapshots = list_snapshots(dir)?;
+    let mut snapshots_removed = 0u64;
+    if snapshots.len() > keep_snapshots {
+        for info in &snapshots[..snapshots.len() - keep_snapshots] {
+            fs::remove_file(&info.path)?;
+            snapshots_removed += 1;
+        }
+    }
+    let segments = wal::list_segments(dir)?;
+    let mut segments_removed = 0u64;
+    for pair in segments.windows(2) {
+        if pair[1].base_lsn <= next_lsn {
+            fs::remove_file(&pair[0].path)?;
+            segments_removed += 1;
+        }
+    }
+    if snapshots_removed + segments_removed > 0 {
+        sync_dir(dir)?;
+    }
+    Ok((snapshots_removed, segments_removed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcast_ads::{AdSubmission, Budget, PacingController, Targeting};
+    use adcast_core::EngineConfig;
+    use adcast_feed::FeedDelta;
+    use adcast_graph::UserId;
+    use adcast_stream::event::{Message, MessageId};
+    use adcast_text::dictionary::TermId;
+    use adcast_text::SparseVector;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "adcast-snap-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)))
+    }
+
+    /// A store + driver with non-trivial state: campaigns with budgets,
+    /// pacing, CTR history, and users with warm buffers.
+    fn populated() -> (AdStore, ShardedDriver) {
+        let mut store = AdStore::new();
+        for t in 0..6u32 {
+            store
+                .submit(AdSubmission {
+                    vector: v(&[(t, 1.0), (t + 6, 0.5)]),
+                    bid: 1.0 + t as f32 * 0.25,
+                    targeting: Targeting::everywhere(),
+                    budget: if t % 2 == 0 {
+                        Budget::new(10.0)
+                    } else {
+                        Budget::unlimited()
+                    },
+                    topic_hint: (t % 3 == 0).then_some(t as usize),
+                })
+                .unwrap();
+        }
+        store.pause(AdId(5));
+        store.set_pacing(
+            AdId(0),
+            PacingController::new(Timestamp::from_secs(0), Timestamp::from_secs(3600), 5.0),
+        );
+        store.record_engagement(AdId(0), 0.25, true, Timestamp::from_secs(10));
+        store.record_engagement(AdId(2), 0.5, false, Timestamp::from_secs(11));
+
+        let config = EngineConfig::default();
+        let mut driver = ShardedDriver::new(8, 2, config);
+        let deltas: Vec<(UserId, FeedDelta)> = (0..32u64)
+            .map(|i| {
+                (
+                    UserId((i % 8) as u32),
+                    FeedDelta {
+                        entered: Some(Arc::new(Message {
+                            id: MessageId(i),
+                            author: UserId(0),
+                            ts: Timestamp::from_secs(i + 1),
+                            location: LocationId(0),
+                            vector: v(&[((i % 6) as u32, 0.8)]),
+                        })),
+                        evicted: vec![],
+                    },
+                )
+            })
+            .collect();
+        driver.process_batch(&store, deltas).unwrap();
+        (store, driver)
+    }
+
+    #[test]
+    fn snapshot_roundtrips_bit_identically() {
+        let (store, driver) = populated();
+        let snap = EngineSetSnapshot::capture(42, &store, &driver);
+        let bytes = snap.encode();
+        let back = EngineSetSnapshot::decode(bytes.clone()).unwrap();
+        assert_eq!(back.next_lsn, 42);
+        assert_eq!(back.num_users, 8);
+        assert_eq!(back.num_shards, 2);
+        assert_eq!(back.store, snap.store);
+        assert_eq!(back.engines, snap.engines);
+        // Determinism: capturing and encoding again yields identical bytes.
+        assert_eq!(
+            EngineSetSnapshot::capture(42, &store, &driver).encode(),
+            bytes
+        );
+    }
+
+    #[test]
+    fn restore_rebuilds_equivalent_state() {
+        let (store, mut driver) = populated();
+        let snap = EngineSetSnapshot::capture(0, &store, &driver);
+        let decoded = EngineSetSnapshot::decode(snap.encode()).unwrap();
+
+        let restored_store = AdStore::from_snapshot(decoded.store).unwrap();
+        let mut restored = ShardedDriver::new(8, 2, EngineConfig::default());
+        restored.restore_snapshots(&decoded.engines).unwrap();
+
+        assert_eq!(restored_store.export_snapshot(), store.export_snapshot());
+        assert_eq!(restored_store.index_epoch(), store.index_epoch());
+        assert_eq!(restored.stats(), driver.stats());
+        let now = Timestamp::from_secs(100);
+        for u in 0..8u32 {
+            let a = driver.recommend(&store, UserId(u), now, LocationId(0), 3);
+            let b = restored.recommend(&restored_store, UserId(u), now, LocationId(0), 3);
+            assert_eq!(a, b, "user {u}");
+        }
+    }
+
+    #[test]
+    fn every_byte_flip_is_detected() {
+        let (store, driver) = populated();
+        let clean = EngineSetSnapshot::capture(7, &store, &driver).encode();
+        for offset in 0..clean.len() {
+            if offset == 6 || offset == 7 {
+                continue; // reserved header bytes, legitimately ignored
+            }
+            let mut bad = clean.to_vec();
+            bad[offset] ^= 0x10;
+            assert!(
+                EngineSetSnapshot::decode(Bytes::from(bad)).is_err(),
+                "flip at {offset} undetected"
+            );
+        }
+        // Truncation at every length is detected too.
+        for cut in 0..clean.len() {
+            assert!(
+                EngineSetSnapshot::decode(clean.slice(0..cut)).is_err(),
+                "cut at {cut} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn load_latest_falls_back_over_corruption() {
+        let dir = temp_dir("fallback");
+        let (store, driver) = populated();
+        for lsn in [10u64, 20, 30] {
+            let bytes = EngineSetSnapshot::capture(lsn, &store, &driver).encode();
+            write_snapshot_atomic(&dir, lsn, &bytes).unwrap();
+        }
+        // Corrupt the newest file's payload.
+        let newest = dir.join(snapshot_file_name(30));
+        let mut raw = fs::read(&newest).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        fs::write(&newest, &raw).unwrap();
+
+        let loaded = load_latest(&dir).unwrap().expect("older snapshot valid");
+        assert_eq!(loaded.snapshot.next_lsn, 20);
+        assert_eq!(loaded.skipped_corrupt, 1);
+
+        // No snapshots at all → None.
+        let empty = temp_dir("empty");
+        assert!(load_latest(&empty).unwrap().is_none());
+        fs::remove_dir_all(&dir).ok();
+        fs::remove_dir_all(&empty).ok();
+    }
+
+    #[test]
+    fn tmp_files_are_invisible_to_the_loader() {
+        let dir = temp_dir("tmp");
+        fs::write(dir.join("snap-0000000000000005.snap.tmp"), b"garbage").unwrap();
+        assert!(list_snapshots(&dir).unwrap().is_empty());
+        assert!(load_latest(&dir).unwrap().is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_keeps_newest_and_covered_segments() {
+        let dir = temp_dir("prune");
+        let (store, driver) = populated();
+        for lsn in [5u64, 10, 15] {
+            let bytes = EngineSetSnapshot::capture(lsn, &store, &driver).encode();
+            write_snapshot_atomic(&dir, lsn, &bytes).unwrap();
+        }
+        // Three WAL segments based at 0, 8, 16: with next_lsn = 15, the
+        // first (records 0..8) is fully covered, the second (8..16) holds
+        // record 15 and must survive, and the last always survives.
+        let options = crate::wal::WalOptions {
+            fsync: crate::wal::FsyncPolicy::Off,
+            segment_bytes: u64::MAX,
+        };
+        for base in [0u64, 8, 16] {
+            drop(crate::wal::WalWriter::create(&dir, options, base).unwrap());
+        }
+        let (snaps, segs) = prune(&dir, 15, 2).unwrap();
+        assert_eq!(snaps, 1);
+        assert_eq!(segs, 1);
+        let remaining = list_snapshots(&dir).unwrap();
+        assert_eq!(
+            remaining.iter().map(|s| s.next_lsn).collect::<Vec<_>>(),
+            vec![10, 15]
+        );
+        let segments = wal::list_segments(&dir).unwrap();
+        assert_eq!(
+            segments.iter().map(|s| s.base_lsn).collect::<Vec<_>>(),
+            vec![8, 16]
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_names_roundtrip() {
+        assert_eq!(snapshot_file_name(0x2a), "snap-000000000000002a.snap");
+        assert_eq!(
+            parse_snapshot_name("snap-000000000000002a.snap"),
+            Some(0x2a)
+        );
+        assert_eq!(parse_snapshot_name("snap-2a.snap"), None);
+        assert_eq!(parse_snapshot_name("wal-000000000000002a.log"), None);
+    }
+}

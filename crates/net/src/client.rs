@@ -5,10 +5,15 @@
 //! checked, so a desynchronized stream surfaces as
 //! [`NetError::IdMismatch`] instead of silently mis-pairing replies).
 //! Connect retries with exponential backoff so a load generator can race
-//! server startup; per-call timeouts come from the socket read timeout.
+//! server startup; the same retry loop backs [`Client::reconnect`], so a
+//! caller can ride through a server restart. A peer that vanishes
+//! mid-RPC (broken pipe, connection reset, EOF inside a reply) surfaces
+//! as the typed [`NetError::Disconnected`] — the caller knows the
+//! request's fate is unknown and can reconnect + retry where that is
+//! safe. Per-call timeouts come from the socket read timeout.
 
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::TcpStream;
 use std::time::Duration;
 
 use adcast_ads::AdId;
@@ -24,7 +29,8 @@ use crate::protocol::{CampaignSpec, Request, Response, ServerStats};
 /// Connection and retry knobs.
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
-    /// Connect attempts before giving up.
+    /// Connect attempts before giving up (also per [`Client::reconnect`]
+    /// call).
     pub connect_attempts: u32,
     /// Backoff before the first retry; doubles per attempt.
     pub initial_backoff: Duration,
@@ -46,6 +52,47 @@ impl Default for ClientConfig {
 pub struct Client {
     stream: TcpStream,
     next_id: u64,
+    addr: String,
+    config: ClientConfig,
+}
+
+/// The shared connect-with-backoff loop (initial connect and reconnect).
+fn connect_with_backoff(addr: &str, config: &ClientConfig) -> Result<TcpStream, NetError> {
+    let mut backoff = config.initial_backoff;
+    let mut last: Option<io::Error> = None;
+    for attempt in 0..config.connect_attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+        }
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(config.rpc_timeout)?;
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(NetError::Io(last.unwrap_or_else(|| {
+        io::Error::other("no connect attempts made")
+    })))
+}
+
+/// Does this error mean the peer went away (as opposed to a protocol or
+/// local failure)?
+fn is_disconnect(err: &NetError) -> bool {
+    match err {
+        NetError::UnexpectedEof => true,
+        NetError::Io(e) => matches!(
+            e.kind(),
+            io::ErrorKind::BrokenPipe
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::NotConnected
+        ),
+        _ => false,
+    }
 }
 
 impl Client {
@@ -54,45 +101,60 @@ impl Client {
     /// # Errors
     ///
     /// The last connect error once `connect_attempts` is exhausted.
-    pub fn connect(
-        addr: impl ToSocketAddrs + Copy,
-        config: &ClientConfig,
-    ) -> Result<Client, NetError> {
-        let mut backoff = config.initial_backoff;
-        let mut last: Option<io::Error> = None;
-        for attempt in 0..config.connect_attempts.max(1) {
-            if attempt > 0 {
-                std::thread::sleep(backoff);
-                backoff = backoff.saturating_mul(2);
-            }
-            match TcpStream::connect(addr) {
-                Ok(stream) => {
-                    stream.set_nodelay(true)?;
-                    stream.set_read_timeout(config.rpc_timeout)?;
-                    return Ok(Client { stream, next_id: 1 });
-                }
-                Err(e) => last = Some(e),
-            }
-        }
-        Err(NetError::Io(last.unwrap_or_else(|| {
-            io::Error::other("no connect attempts made")
-        })))
+    pub fn connect(addr: impl Into<String>, config: &ClientConfig) -> Result<Client, NetError> {
+        let addr = addr.into();
+        let stream = connect_with_backoff(&addr, config)?;
+        Ok(Client {
+            stream,
+            next_id: 1,
+            addr,
+            config: config.clone(),
+        })
+    }
+
+    /// Drop the (possibly dead) connection and dial the same address
+    /// again with the same retry/backoff policy. Any RPC that was in
+    /// flight when the old connection died is of unknown fate — re-issue
+    /// it only where at-least-once semantics are acceptable.
+    ///
+    /// # Errors
+    ///
+    /// The last connect error once `connect_attempts` is exhausted; the
+    /// client keeps its old (dead) stream in that case so a later retry
+    /// is still possible.
+    pub fn reconnect(&mut self) -> Result<(), NetError> {
+        self.stream = connect_with_backoff(&self.addr, &self.config)?;
+        self.next_id = 1;
+        Ok(())
+    }
+
+    /// The address this client dials.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
     }
 
     /// Issue one RPC and wait for its reply.
     ///
     /// # Errors
     ///
-    /// Transport/codec failures, [`NetError::IdMismatch`] on a
-    /// desynchronized stream, and [`NetError::UnexpectedEof`] when the
-    /// server closes mid-reply. A server-side [`Response::Error`] is
-    /// returned as `Ok` — use the typed wrappers below to turn those into
-    /// [`NetError::Remote`].
+    /// [`NetError::Disconnected`] when the server goes away mid-RPC
+    /// (write or read side), [`NetError::IdMismatch`] on a
+    /// desynchronized stream, and transport/codec failures otherwise. A
+    /// server-side [`Response::Error`] is returned as `Ok` — use the
+    /// typed wrappers below to turn those into [`NetError::Remote`].
     pub fn call(&mut self, req: &Request) -> Result<Response, NetError> {
         let id = self.next_id;
         self.next_id += 1;
-        write_frame(&mut self.stream, &encode_request(id, req))?;
-        let body = read_frame(&mut self.stream)?.ok_or(NetError::UnexpectedEof)?;
+        let outcome = (|| {
+            write_frame(&mut self.stream, &encode_request(id, req))?;
+            read_frame(&mut self.stream)?.ok_or(NetError::UnexpectedEof)
+        })();
+        let body = match outcome {
+            Ok(body) => body,
+            Err(e) if is_disconnect(&e) => return Err(NetError::Disconnected),
+            Err(e) => return Err(e),
+        };
         let (got, resp) = decode_response(body)?;
         if got != id {
             return Err(NetError::IdMismatch { expected: id, got });
@@ -160,6 +222,42 @@ impl Client {
         }
     }
 
+    /// Charge an impression; returns whether it exhausted the budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ingest`].
+    pub fn impression(
+        &mut self,
+        ad: AdId,
+        cost: f64,
+        clicked: bool,
+        now: Timestamp,
+    ) -> Result<bool, NetError> {
+        match self.call(&Request::Impression {
+            ad,
+            cost,
+            clicked,
+            now,
+        })? {
+            Response::ImpressionRecorded { exhausted, .. } => Ok(exhausted),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Force a durable snapshot; returns the WAL position it covers.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ingest`]; a server without a data directory refuses
+    /// with [`crate::WireError::BadRequest`].
+    pub fn checkpoint(&mut self) -> Result<u64, NetError> {
+        match self.call(&Request::Checkpoint)? {
+            Response::Checkpointed { lsn } => Ok(lsn),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Snapshot the server's counters and latency percentiles.
     ///
     /// # Errors
@@ -194,6 +292,8 @@ fn unexpected(resp: Response) -> NetError {
             Response::Recommendations(_) => "unexpected Recommendations reply",
             Response::CampaignAccepted { .. } => "unexpected CampaignAccepted reply",
             Response::CampaignPaused { .. } => "unexpected CampaignPaused reply",
+            Response::ImpressionRecorded { .. } => "unexpected ImpressionRecorded reply",
+            Response::Checkpointed { .. } => "unexpected Checkpointed reply",
             Response::Stats(_) => "unexpected Stats reply",
             Response::ShutdownAck => "unexpected ShutdownAck reply",
             Response::Error(_) => unreachable!(),

@@ -9,33 +9,31 @@
 //! ```
 //!
 //! The per-frame header and the message-record encoding are the same
-//! helpers the trace codec uses ([`adcast_stream::trace`]), so both wire
-//! surfaces share one set of malformed-input guards: decoding never
-//! panics, whatever a peer sends — truncation, bad magic/version,
-//! zero-length or oversized frames, and corrupt payloads all come back as
-//! typed errors.
+//! helpers the trace codec uses ([`adcast_stream::trace`]), and the
+//! vector/delta/slot body encoders are shared with the WAL codec
+//! ([`adcast_durability::codec`]), so every wire surface shares one set
+//! of malformed-input guards: decoding never panics, whatever a peer
+//! sends — truncation, bad magic/version, zero-length or oversized
+//! frames, and corrupt payloads all come back as typed errors.
 
 use std::io::{self, Read, Write};
 
 use adcast_ads::AdId;
 use adcast_core::Recommendation;
-use adcast_feed::FeedDelta;
+use adcast_durability::codec::{get_delta, get_slot, get_vector, put_delta, put_slot, put_vector};
 use adcast_graph::UserId;
 use adcast_stream::clock::Timestamp;
-use adcast_stream::event::{LocationId, TimeSlot};
-use adcast_stream::trace::{
-    check_stream_header, get_message, put_message, put_stream_header, TraceError,
-};
-use adcast_text::dictionary::TermId;
-use adcast_text::SparseVector;
+use adcast_stream::event::LocationId;
+use adcast_stream::trace::{check_stream_header, put_stream_header, TraceError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::protocol::{CampaignSpec, Request, Response, ServerStats, WireError};
 
 /// Per-frame magic (the trace stream uses `ADCT`).
 pub const MAGIC: &[u8; 4] = b"ADCN";
-/// Wire protocol version.
-pub const VERSION: u16 = 1;
+/// Wire protocol version. v2 added Impression/Checkpoint RPCs and the
+/// durability counters in the Stats reply.
+pub const VERSION: u16 = 2;
 /// Upper bound on a frame body; larger declared lengths are rejected
 /// before any allocation, so a malformed peer cannot OOM the server.
 pub const MAX_FRAME: usize = 64 << 20;
@@ -51,6 +49,11 @@ pub enum NetError {
     BadFrame(&'static str),
     /// The connection closed mid-frame.
     UnexpectedEof,
+    /// The server went away mid-RPC (broken pipe / connection reset):
+    /// the request's fate is unknown. Reconnect and decide per-RPC
+    /// whether to retry (idempotent reads yes; writes get at-least-once
+    /// semantics).
+    Disconnected,
     /// A response arrived for a different request id.
     IdMismatch {
         /// Id the client sent.
@@ -69,6 +72,7 @@ impl std::fmt::Display for NetError {
             NetError::Decode(e) => write!(f, "decode: {e}"),
             NetError::BadFrame(what) => write!(f, "bad frame: {what}"),
             NetError::UnexpectedEof => write!(f, "connection closed mid-frame"),
+            NetError::Disconnected => write!(f, "server disconnected mid-rpc"),
             NetError::IdMismatch { expected, got } => {
                 write!(f, "response id {got} does not match request id {expected}")
             }
@@ -98,6 +102,8 @@ const K_SUBMIT: u8 = 3;
 const K_PAUSE: u8 = 4;
 const K_STATS: u8 = 5;
 const K_SHUTDOWN: u8 = 6;
+const K_IMPRESSION: u8 = 7;
+const K_CHECKPOINT: u8 = 8;
 // Response body kinds.
 const K_INGESTED: u8 = 0x81;
 const K_RECOMMENDATIONS: u8 = 0x82;
@@ -105,6 +111,8 @@ const K_ACCEPTED: u8 = 0x83;
 const K_PAUSED: u8 = 0x84;
 const K_STATS_REPLY: u8 = 0x85;
 const K_SHUTDOWN_ACK: u8 = 0x86;
+const K_IMPRESSION_ACK: u8 = 0x87;
+const K_CHECKPOINTED: u8 = 0x88;
 const K_ERROR: u8 = 0xFF;
 // Error codes inside K_ERROR.
 const E_OVERLOADED: u8 = 1;
@@ -115,92 +123,7 @@ const E_UNKNOWN_CAMPAIGN: u8 = 5;
 
 /// Fail with `Truncated` instead of letting a `get_*` panic.
 fn need(data: &Bytes, n: usize) -> Result<(), NetError> {
-    if data.remaining() < n {
-        Err(TraceError::Truncated.into())
-    } else {
-        Ok(())
-    }
-}
-
-fn put_vector(buf: &mut BytesMut, v: &SparseVector) {
-    let n = u16::try_from(v.len()).expect("vector larger than u16::MAX terms");
-    buf.put_u16_le(n);
-    for (t, w) in v.iter() {
-        buf.put_u32_le(t.0);
-        buf.put_f32_le(w);
-    }
-}
-
-/// Decode a vector with the same validation the trace codec applies to
-/// message vectors: finite non-zero weights, strictly sorted terms.
-fn get_vector(data: &mut Bytes) -> Result<SparseVector, NetError> {
-    need(data, 2)?;
-    let n = data.get_u16_le() as usize;
-    need(data, n * 8)?;
-    let mut entries = Vec::with_capacity(n);
-    for _ in 0..n {
-        let t = TermId(data.get_u32_le());
-        let w = data.get_f32_le();
-        if !w.is_finite() || w == 0.0 {
-            return Err(TraceError::Corrupt("zero or non-finite weight").into());
-        }
-        entries.push((t, w));
-    }
-    if entries.windows(2).any(|p| p[0].0 >= p[1].0) {
-        return Err(TraceError::Corrupt("terms not strictly sorted").into());
-    }
-    Ok(SparseVector::from_sorted(entries))
-}
-
-fn put_delta(buf: &mut BytesMut, user: UserId, delta: &FeedDelta) {
-    buf.put_u32_le(user.0);
-    match &delta.entered {
-        Some(m) => {
-            buf.put_u8(1);
-            put_message(buf, m);
-        }
-        None => buf.put_u8(0),
-    }
-    let evicted = u16::try_from(delta.evicted.len()).expect("too many evictions in one delta");
-    buf.put_u16_le(evicted);
-    for m in &delta.evicted {
-        put_message(buf, m);
-    }
-}
-
-fn get_delta(data: &mut Bytes) -> Result<(UserId, FeedDelta), NetError> {
-    need(data, 5)?;
-    let user = UserId(data.get_u32_le());
-    let entered = match data.get_u8() {
-        0 => None,
-        1 => Some(get_message(data)?),
-        _ => return Err(TraceError::Corrupt("bad entered flag").into()),
-    };
-    need(data, 2)?;
-    let n = data.get_u16_le() as usize;
-    let mut evicted = Vec::with_capacity(n.min(1024));
-    for _ in 0..n {
-        evicted.push(get_message(data)?);
-    }
-    Ok((user, FeedDelta { entered, evicted }))
-}
-
-fn put_slot(buf: &mut BytesMut, slot: TimeSlot) {
-    buf.put_u8(match slot {
-        TimeSlot::Morning => 0,
-        TimeSlot::Afternoon => 1,
-        TimeSlot::Night => 2,
-    });
-}
-
-fn get_slot(data: &mut Bytes) -> Result<TimeSlot, NetError> {
-    need(data, 1)?;
-    match data.get_u8() {
-        0 => Ok(TimeSlot::Morning),
-        1 => Ok(TimeSlot::Afternoon),
-        2 => Ok(TimeSlot::Night),
-        _ => Err(TraceError::Corrupt("bad time slot").into()),
-    }
+    adcast_durability::codec::need(data, n).map_err(NetError::from)
 }
 
 /// Frame up one request: length prefix, header, kind, id, body.
@@ -262,6 +185,23 @@ pub fn encode_request(id: u64, req: &Request) -> Bytes {
             body.put_u64_le(id);
             body.put_u32_le(ad.0);
         }
+        Request::Impression {
+            ad,
+            cost,
+            clicked,
+            now,
+        } => {
+            body.put_u8(K_IMPRESSION);
+            body.put_u64_le(id);
+            body.put_u32_le(ad.0);
+            body.put_f64_le(*cost);
+            body.put_u8(u8::from(*clicked));
+            body.put_u64_le(now.micros());
+        }
+        Request::Checkpoint => {
+            body.put_u8(K_CHECKPOINT);
+            body.put_u64_le(id);
+        }
         Request::Stats => {
             body.put_u8(K_STATS);
             body.put_u64_le(id);
@@ -304,6 +244,17 @@ pub fn encode_response(id: u64, resp: &Response) -> Bytes {
             body.put_u64_le(id);
             body.put_u32_le(ad.0);
         }
+        Response::ImpressionRecorded { ad, exhausted } => {
+            body.put_u8(K_IMPRESSION_ACK);
+            body.put_u64_le(id);
+            body.put_u32_le(ad.0);
+            body.put_u8(u8::from(*exhausted));
+        }
+        Response::Checkpointed { lsn } => {
+            body.put_u8(K_CHECKPOINTED);
+            body.put_u64_le(id);
+            body.put_u64_le(*lsn);
+        }
         Response::Stats(s) => {
             body.put_u8(K_STATS_REPLY);
             body.put_u64_le(id);
@@ -319,6 +270,12 @@ pub fn encode_response(id: u64, resp: &Response) -> Bytes {
                 s.ingest_p99_ns,
                 s.recommend_p50_ns,
                 s.recommend_p99_ns,
+                s.wal_records,
+                s.wal_bytes,
+                s.wal_fsyncs,
+                s.snapshots_written,
+                s.recovered_records,
+                s.recovered_truncated_bytes,
             ] {
                 body.put_u64_le(v);
             }
@@ -438,6 +395,26 @@ pub fn decode_request(mut data: Bytes) -> Result<(u64, Request), NetError> {
                 ad: AdId(data.get_u32_le()),
             }
         }
+        K_IMPRESSION => {
+            need(&data, 4 + 8 + 1 + 8)?;
+            let ad = AdId(data.get_u32_le());
+            let cost = data.get_f64_le();
+            if !cost.is_finite() || cost < 0.0 {
+                return Err(TraceError::Corrupt("negative or non-finite impression cost").into());
+            }
+            let clicked = match data.get_u8() {
+                0 => false,
+                1 => true,
+                _ => return Err(TraceError::Corrupt("bad clicked flag").into()),
+            };
+            Request::Impression {
+                ad,
+                cost,
+                clicked,
+                now: Timestamp(data.get_u64_le()),
+            }
+        }
+        K_CHECKPOINT => Request::Checkpoint,
         K_STATS => Request::Stats,
         K_SHUTDOWN => Request::Shutdown,
         _ => return Err(TraceError::Corrupt("unknown request kind").into()),
@@ -484,8 +461,24 @@ pub fn decode_response(mut data: Bytes) -> Result<(u64, Response), NetError> {
                 ad: AdId(data.get_u32_le()),
             }
         }
+        K_IMPRESSION_ACK => {
+            need(&data, 5)?;
+            let ad = AdId(data.get_u32_le());
+            let exhausted = match data.get_u8() {
+                0 => false,
+                1 => true,
+                _ => return Err(TraceError::Corrupt("bad exhausted flag").into()),
+            };
+            Response::ImpressionRecorded { ad, exhausted }
+        }
+        K_CHECKPOINTED => {
+            need(&data, 8)?;
+            Response::Checkpointed {
+                lsn: data.get_u64_le(),
+            }
+        }
         K_STATS_REPLY => {
-            need(&data, 11 * 8)?;
+            need(&data, 17 * 8)?;
             Response::Stats(ServerStats {
                 deltas: data.get_u64_le(),
                 recommends: data.get_u64_le(),
@@ -498,6 +491,12 @@ pub fn decode_response(mut data: Bytes) -> Result<(u64, Response), NetError> {
                 ingest_p99_ns: data.get_u64_le(),
                 recommend_p50_ns: data.get_u64_le(),
                 recommend_p99_ns: data.get_u64_le(),
+                wal_records: data.get_u64_le(),
+                wal_bytes: data.get_u64_le(),
+                wal_fsyncs: data.get_u64_le(),
+                snapshots_written: data.get_u64_le(),
+                recovered_records: data.get_u64_le(),
+                recovered_truncated_bytes: data.get_u64_le(),
             })
         }
         K_SHUTDOWN_ACK => Response::ShutdownAck,
@@ -588,7 +587,10 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Bytes>, NetError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adcast_stream::event::{Message, MessageId};
+    use adcast_feed::FeedDelta;
+    use adcast_stream::event::{Message, MessageId, TimeSlot};
+    use adcast_text::dictionary::TermId;
+    use adcast_text::SparseVector;
     use std::sync::Arc;
 
     fn v(pairs: &[(u32, f32)]) -> SparseVector {
@@ -641,6 +643,19 @@ mod tests {
             }),
             Request::SubmitCampaign(CampaignSpec::unrestricted(v(&[(2, 0.7)]), 1.0)),
             Request::PauseCampaign { ad: AdId(12) },
+            Request::Impression {
+                ad: AdId(4),
+                cost: 0.25,
+                clicked: true,
+                now: Timestamp::from_secs(91),
+            },
+            Request::Impression {
+                ad: AdId(0),
+                cost: 0.0,
+                clicked: false,
+                now: Timestamp::from_secs(0),
+            },
+            Request::Checkpoint,
             Request::Stats,
             Request::Shutdown,
         ]
@@ -664,6 +679,15 @@ mod tests {
             Response::Recommendations(vec![]),
             Response::CampaignAccepted { ad: AdId(3) },
             Response::CampaignPaused { ad: AdId(3) },
+            Response::ImpressionRecorded {
+                ad: AdId(6),
+                exhausted: true,
+            },
+            Response::ImpressionRecorded {
+                ad: AdId(1),
+                exhausted: false,
+            },
+            Response::Checkpointed { lsn: 12_345 },
             Response::Stats(ServerStats {
                 deltas: 100,
                 recommends: 50,
@@ -676,6 +700,12 @@ mod tests {
                 ingest_p99_ns: 9_000,
                 recommend_p50_ns: 700,
                 recommend_p99_ns: 8_000,
+                wal_records: 1_234,
+                wal_bytes: 99_000,
+                wal_fsyncs: 321,
+                snapshots_written: 3,
+                recovered_records: 17,
+                recovered_truncated_bytes: 41,
             }),
             Response::ShutdownAck,
             Response::Error(WireError::Overloaded),
@@ -829,6 +859,25 @@ mod tests {
             matches!(err, NetError::Decode(TraceError::Corrupt(_))),
             "{err}"
         );
+    }
+
+    #[test]
+    fn bad_impression_cost_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, -0.5] {
+            let mut body = BytesMut::new();
+            put_stream_header(&mut body, MAGIC, VERSION);
+            body.put_u8(K_IMPRESSION);
+            body.put_u64_le(1);
+            body.put_u32_le(3);
+            body.put_f64_le(bad);
+            body.put_u8(0);
+            body.put_u64_le(0);
+            let err = decode_request(body.freeze()).unwrap_err();
+            assert!(
+                matches!(err, NetError::Decode(TraceError::Corrupt(_))),
+                "cost {bad}: {err}"
+            );
+        }
     }
 
     #[test]

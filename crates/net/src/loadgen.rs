@@ -11,6 +11,13 @@
 //! retried — a closed loop plus retry means every delta is eventually
 //! applied, and the shed count measures how hard admission control pushed
 //! back at this offered load.
+//!
+//! A dropped connection ([`NetError::Disconnected`]) is ridden through:
+//! the connection reconnects (with the client's connect backoff) and
+//! re-issues the in-flight RPC. Against a durable server that was
+//! `kill -9`ed and restarted this gives at-least-once delivery — an RPC
+//! whose ack was lost in the crash is replayed, so server-side counters
+//! can exceed the loadgen's (never undershoot).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -65,6 +72,9 @@ pub struct LoadgenReport {
     pub responses: u64,
     /// Overloaded replies observed (each was retried).
     pub sheds: u64,
+    /// Connection drops ridden through via reconnect (each in-flight RPC
+    /// was re-issued: at-least-once).
+    pub reconnects: u64,
     /// Client-observed RTT of successful RPCs.
     pub rtt: LatencyHistogram,
     /// Wall time of the replay phase.
@@ -102,6 +112,7 @@ struct ConnResult {
     recommends: u64,
     responses: u64,
     sheds: u64,
+    reconnects: u64,
 }
 
 /// Replay `workload` against a running server.
@@ -135,7 +146,8 @@ pub fn run(
         }));
     }
     let mut rtt = LatencyHistogram::new();
-    let (mut accepted, mut recommends, mut responses, mut sheds) = (0u64, 0u64, 0u64, 0u64);
+    let (mut accepted, mut recommends, mut responses, mut sheds, mut reconnects) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
     let mut first_err = None;
     for join in joins {
         match join.join().expect("loadgen connection thread panicked") {
@@ -145,6 +157,7 @@ pub fn run(
                 recommends += r.recommends;
                 responses += r.responses;
                 sheds += r.sheds;
+                reconnects += r.reconnects;
             }
             Err(e) => first_err = first_err.or(Some(e)),
         }
@@ -153,13 +166,23 @@ pub fn run(
     if let Some(e) = first_err {
         return Err(e);
     }
-    let server = setup.stats()?;
+    // The setup connection may have died with a mid-run server restart;
+    // one reconnect attempt keeps the final stats snapshot alive too.
+    let server = match setup.stats() {
+        Ok(s) => s,
+        Err(NetError::Disconnected) => {
+            setup.reconnect()?;
+            setup.stats()?
+        }
+        Err(e) => return Err(e),
+    };
     Ok(LoadgenReport {
         connections: conns,
         deltas_accepted: accepted,
         recommends,
         responses,
         sheds,
+        reconnects,
         rtt,
         elapsed: meter.elapsed(),
         server,
@@ -179,6 +202,7 @@ fn drive_connection(
         recommends: 0,
         responses: 0,
         sheds: 0,
+        reconnects: 0,
     };
     // This connection's recommend subjects: its own users, round-robin.
     let mut next_user = index as u32;
@@ -209,14 +233,19 @@ fn drive_connection(
     Ok(result)
 }
 
-/// Run one RPC, retrying sheds with exponential backoff; records the RTT
-/// of the successful attempt and counts every shed.
+/// Run one RPC, retrying sheds with exponential backoff and riding
+/// through dropped connections by reconnecting and re-issuing the RPC
+/// (at-least-once); records the RTT of the successful attempt and counts
+/// every shed and reconnect. Reconnect attempts are bounded so a server
+/// that stays down is a hard error, not a hang.
 fn rpc_with_retry(
     client: &mut Client,
     result: &mut ConnResult,
     mut rpc: impl FnMut(&mut Client) -> Result<u32, NetError>,
 ) -> Result<(), NetError> {
+    const MAX_RECONNECTS_PER_RPC: u32 = 3;
     let mut backoff = Duration::from_micros(500);
+    let mut reconnects = 0u32;
     loop {
         let started = Instant::now();
         match rpc(client) {
@@ -229,6 +258,15 @@ fn rpc_with_retry(
                 result.sheds += 1;
                 std::thread::sleep(backoff);
                 backoff = (backoff * 2).min(Duration::from_millis(20));
+            }
+            Err(NetError::Disconnected) => {
+                if reconnects >= MAX_RECONNECTS_PER_RPC {
+                    return Err(NetError::Disconnected);
+                }
+                reconnects += 1;
+                result.reconnects += 1;
+                // reconnect() itself retries with exponential backoff.
+                client.reconnect()?;
             }
             Err(e) => return Err(e),
         }

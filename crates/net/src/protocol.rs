@@ -40,6 +40,22 @@ pub enum Request {
         /// The campaign to pause.
         ad: AdId,
     },
+    /// Charge a served impression against a campaign's budget and CTR
+    /// prior (and its pacing controller when one is attached).
+    Impression {
+        /// The charged campaign.
+        ad: AdId,
+        /// Cost in currency units (finite, non-negative).
+        cost: f64,
+        /// Did the user click?
+        clicked: bool,
+        /// Charge time (drives pacing throttle updates).
+        now: Timestamp,
+    },
+    /// Force a durable snapshot now; blocks until the snapshot file is
+    /// on disk. Refused with [`WireError::BadRequest`] when the server
+    /// runs without a data directory.
+    Checkpoint,
     /// Snapshot server + engine counters and RPC latency percentiles.
     Stats,
     /// Graceful shutdown: drain queued requests, then stop serving.
@@ -123,6 +139,20 @@ pub enum Response {
         /// The paused campaign.
         ad: AdId,
     },
+    /// The impression was charged.
+    ImpressionRecorded {
+        /// The charged campaign.
+        ad: AdId,
+        /// Did this charge exhaust the campaign's budget (it is no
+        /// longer served)?
+        exhausted: bool,
+    },
+    /// The checkpoint is durable on disk.
+    Checkpointed {
+        /// WAL position the snapshot covers: every record below this LSN
+        /// is inside it.
+        lsn: u64,
+    },
     /// Counter + latency snapshot.
     Stats(ServerStats),
     /// Shutdown acknowledged; the server is draining.
@@ -188,6 +218,19 @@ pub struct ServerStats {
     pub recommend_p50_ns: u64,
     /// Recommend RPC service time, 99th percentile (ns).
     pub recommend_p99_ns: u64,
+    /// WAL records appended since startup (0 when serving without a data
+    /// directory — as are the five counters below).
+    pub wal_records: u64,
+    /// WAL bytes appended (framing included).
+    pub wal_bytes: u64,
+    /// fsync calls issued by the WAL writer.
+    pub wal_fsyncs: u64,
+    /// Snapshots persisted since startup (periodic + checkpoints).
+    pub snapshots_written: u64,
+    /// WAL records replayed during startup recovery.
+    pub recovered_records: u64,
+    /// Torn-tail bytes truncated during startup recovery.
+    pub recovered_truncated_bytes: u64,
 }
 
 #[cfg(test)]

@@ -44,8 +44,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use adcast_ads::AdStore;
+use adcast_ads::{AdStore, CampaignState};
 use adcast_core::ShardedDriver;
+use adcast_durability::{apply_record, ApplyEffect, Durability, WalRecord};
 use adcast_metrics::LatencyHistogram;
 
 use crate::codec::{decode_request, encode_response, read_frame, write_frame, NetError};
@@ -101,7 +102,8 @@ pub type ServerHandle = Server;
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
-    /// serving `store` + `driver` on background threads.
+    /// serving `store` + `driver` on background threads — in-memory only,
+    /// no durability (see [`Server::start_durable`]).
     ///
     /// # Errors
     ///
@@ -111,6 +113,26 @@ impl Server {
         config: ServerConfig,
         store: AdStore,
         driver: ShardedDriver,
+    ) -> io::Result<Server> {
+        Server::start_durable(addr, config, store, driver, None)
+    }
+
+    /// Like [`Server::start`], but with an optional [`Durability`]
+    /// handle: every mutating RPC is WAL-logged and group-committed on
+    /// the engine thread **before** it is applied or acked, periodic
+    /// snapshots fire per its options, and [`Request::Checkpoint`] is
+    /// served. Build the handle from [`adcast_durability::recover`]'s
+    /// output so the WAL writer continues at the recovered LSN.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start_durable(
+        addr: &str,
+        config: ServerConfig,
+        store: AdStore,
+        driver: ShardedDriver,
+        durability: Option<Durability>,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -122,7 +144,9 @@ impl Server {
             let depth = config.queue_depth.max(1);
             std::thread::Builder::new()
                 .name("adcast-engine".into())
-                .spawn(move || engine_loop(store, driver, &cmd_rx, &shared, local, depth))
+                .spawn(move || {
+                    engine_loop(store, driver, durability, &cmd_rx, &shared, local, depth)
+                })
                 .expect("spawn engine thread")
         };
         let accept_join = {
@@ -271,6 +295,7 @@ fn connection_loop(mut stream: TcpStream, cmd_tx: &SyncSender<Cmd>, shared: &Arc
 fn engine_loop(
     mut store: AdStore,
     mut driver: ShardedDriver,
+    mut durability: Option<Durability>,
     cmd_rx: &Receiver<Cmd>,
     shared: &Arc<Shared>,
     addr: SocketAddr,
@@ -288,12 +313,18 @@ fn engine_loop(
             cmd,
             &mut store,
             &mut driver,
+            &mut durability,
             shared,
             queue_depth,
             &mut rpcs,
             &mut ingest_lat,
             &mut recommend_lat,
         );
+        // Periodic snapshots happen between RPCs, where the worker pool
+        // is idle — the engine thread sees a consistent cut for free.
+        if let Some(d) = durability.as_mut() {
+            d.maybe_snapshot(&store, &driver);
+        }
         if is_shutdown {
             shared.shutdown.store(true, Ordering::SeqCst);
             let _ = TcpStream::connect(addr); // unblock accept()
@@ -309,6 +340,7 @@ fn engine_loop(
                 cmd,
                 &mut store,
                 &mut driver,
+                &mut durability,
                 shared,
                 queue_depth,
                 &mut rpcs,
@@ -317,6 +349,32 @@ fn engine_loop(
             );
         }
     }
+    // Dropping `durability` here joins the persister after any in-flight
+    // snapshot finishes.
+}
+
+/// WAL-log `record` (when durability is on), group-commit it, then apply
+/// it through the shared [`apply_record`] path. A commit failure means
+/// the mutation is **not durable**: it is refused without being applied,
+/// so memory and log can never diverge.
+fn log_apply(
+    durability: &mut Option<Durability>,
+    store: &mut AdStore,
+    driver: &mut ShardedDriver,
+    record: WalRecord,
+) -> Result<ApplyEffect, WireError> {
+    if let Some(d) = durability.as_mut() {
+        if d.log(&record).is_err() || d.commit().is_err() {
+            return Err(WireError::Unavailable);
+        }
+    }
+    apply_record(store, driver, record).map_err(|why| {
+        if driver.is_dead() {
+            WireError::Unavailable
+        } else {
+            WireError::BadRequest(why)
+        }
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -324,6 +382,7 @@ fn serve_one(
     cmd: Cmd,
     store: &mut AdStore,
     driver: &mut ShardedDriver,
+    durability: &mut Option<Durability>,
     shared: &Shared,
     queue_depth: usize,
     rpcs: &mut u64,
@@ -340,18 +399,20 @@ fn serve_one(
                 .iter()
                 .find(|(u, _)| u.index() >= driver.num_users() as usize)
             {
-                // Validate ids *before* dispatch: an out-of-range user
-                // would panic a shard worker and kill the driver.
+                // Validate ids *before* logging or dispatch: an
+                // out-of-range user would panic a shard worker, and a
+                // record that cannot apply must never reach the WAL
+                // (replay aborts on apply failures).
                 Response::Error(WireError::BadRequest(format!(
                     "user {} out of range (num_users = {})",
                     user.0,
                     driver.num_users()
                 )))
             } else {
-                let accepted = deltas.len() as u32;
-                match driver.process_batch(store, deltas) {
-                    Ok(()) => Response::Ingested { accepted },
-                    Err(_) => Response::Error(WireError::Unavailable),
+                match log_apply(durability, store, driver, WalRecord::IngestBatch(deltas)) {
+                    Ok(ApplyEffect::Ingested { accepted }) => Response::Ingested { accepted },
+                    Ok(_) => Response::Error(WireError::Unavailable),
+                    Err(err) => Response::Error(err),
                 }
             }
         }
@@ -368,25 +429,81 @@ fn serve_one(
                     driver.num_users()
                 )))
             } else {
+                // Reads are not logged: the engine refreshes rankings
+                // eagerly on ingest, so recommendations are a pure
+                // function of the mutation history the WAL captures.
                 Response::Recommendations(driver.recommend(store, user, now, location, k as usize))
             }
         }
-        Request::SubmitCampaign(spec) => {
-            match spec.try_into_submission().and_then(|sub| store.submit(sub)) {
-                Ok(ad) => Response::CampaignAccepted { ad },
-                Err(why) => Response::Error(WireError::BadRequest(why)),
+        Request::SubmitCampaign(spec) => match spec.try_into_submission() {
+            Err(why) => Response::Error(WireError::BadRequest(why)),
+            Ok(sub) => {
+                if sub.vector.is_empty() || !(sub.bid.is_finite() && sub.bid > 0.0) {
+                    // The store would reject this submission; catch it
+                    // before it can reach the WAL.
+                    Response::Error(WireError::BadRequest(format!(
+                        "empty keyword vector or invalid bid {}",
+                        sub.bid
+                    )))
+                } else {
+                    match log_apply(durability, store, driver, WalRecord::Submit(sub)) {
+                        Ok(ApplyEffect::Submitted { ad }) => Response::CampaignAccepted { ad },
+                        Ok(_) => Response::Error(WireError::Unavailable),
+                        Err(err) => Response::Error(err),
+                    }
+                }
             }
-        }
+        },
         Request::PauseCampaign { ad } => {
-            if store.pause(ad) {
-                driver.on_campaign_removed(ad);
-                Response::CampaignPaused { ad }
-            } else {
-                Response::Error(WireError::UnknownCampaign(ad))
+            match log_apply(durability, store, driver, WalRecord::Pause(ad)) {
+                Ok(ApplyEffect::Paused { changed: true }) => Response::CampaignPaused { ad },
+                Ok(ApplyEffect::Paused { changed: false }) => {
+                    Response::Error(WireError::UnknownCampaign(ad))
+                }
+                Ok(_) => Response::Error(WireError::Unavailable),
+                Err(err) => Response::Error(err),
             }
         }
+        Request::Impression {
+            ad,
+            cost,
+            clicked,
+            now,
+        } => {
+            if store.campaign(ad).is_none() {
+                Response::Error(WireError::UnknownCampaign(ad))
+            } else {
+                let record = WalRecord::Impression {
+                    ad,
+                    cost,
+                    clicked,
+                    now,
+                };
+                match log_apply(durability, store, driver, record) {
+                    Ok(ApplyEffect::Impression { state }) => Response::ImpressionRecorded {
+                        ad,
+                        exhausted: state == Some(CampaignState::Exhausted),
+                    },
+                    Ok(_) => Response::Error(WireError::Unavailable),
+                    Err(err) => Response::Error(err),
+                }
+            }
+        }
+        Request::Checkpoint => match durability.as_mut() {
+            None => Response::Error(WireError::BadRequest(
+                "server is running without a data directory (start with --data-dir)".into(),
+            )),
+            Some(d) => match d.checkpoint(store, driver) {
+                Ok(lsn) => Response::Checkpointed { lsn },
+                Err(_) => Response::Error(WireError::Unavailable),
+            },
+        },
         Request::Stats => {
             let engine = driver.stats();
+            let dur = durability
+                .as_ref()
+                .map(Durability::counters)
+                .unwrap_or_default();
             Response::Stats(ServerStats {
                 deltas: engine.deltas,
                 recommends: engine.recommends,
@@ -399,6 +516,12 @@ fn serve_one(
                 ingest_p99_ns: ingest_lat.p99(),
                 recommend_p50_ns: recommend_lat.p50(),
                 recommend_p99_ns: recommend_lat.p99(),
+                wal_records: dur.wal_records,
+                wal_bytes: dur.wal_bytes,
+                wal_fsyncs: dur.wal_fsyncs,
+                snapshots_written: dur.snapshots_written,
+                recovered_records: dur.recovered_records,
+                recovered_truncated_bytes: dur.recovered_truncated_bytes,
             })
         }
         Request::Shutdown => Response::ShutdownAck,

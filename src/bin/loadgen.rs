@@ -91,12 +91,13 @@ fn drive(args: &[String]) -> Result<(), String> {
     let report = run(&config, &workload).map_err(|e| e.to_string())?;
 
     println!(
-        "responses={} deltas_per_sec={:.0} recommends={} sheds={} shed_rate={:.4}",
+        "responses={} deltas_per_sec={:.0} recommends={} sheds={} shed_rate={:.4} reconnects={}",
         report.responses,
         report.deltas_per_sec(),
         report.recommends,
         report.sheds,
-        report.shed_rate()
+        report.shed_rate(),
+        report.reconnects
     );
     println!(
         "rtt_us p50={:.1} p95={:.1} p99={:.1}",
@@ -111,6 +112,16 @@ fn drive(args: &[String]) -> Result<(), String> {
         report.server.rpcs,
         report.server.shed,
         report.server.connections
+    );
+    // All zero when the server runs without --data-dir.
+    println!(
+        "durability: wal_records={} wal_fsyncs={} snapshots_written={} \
+         recovered_records={} recovered_truncated_bytes={}",
+        report.server.wal_records,
+        report.server.wal_fsyncs,
+        report.server.snapshots_written,
+        report.server.recovered_records,
+        report.server.recovered_truncated_bytes
     );
 
     if !args.iter().any(|a| a == "--no-shutdown") {

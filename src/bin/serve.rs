@@ -2,17 +2,27 @@
 //!
 //! ```text
 //! adcast-serve [--addr HOST:PORT] [--users N] [--shards N] [--queue-depth N]
+//!              [--data-dir PATH] [--fsync always|off|every=N]
+//!              [--snapshot-every N]
 //! ```
 //!
 //! Binds the listener (port 0 picks an ephemeral port), prints
 //! `listening on HOST:PORT` on stdout — scripts parse that line — and
-//! serves until a client sends the Shutdown RPC. The engine state starts
-//! empty: campaigns arrive via SubmitCampaign and feed state via Ingest.
+//! serves until a client sends the Shutdown RPC. Without `--data-dir`
+//! the engine state starts empty and dies with the process; with it,
+//! every accepted mutation is written to a write-ahead log under PATH
+//! before it is acknowledged, background snapshots are taken every
+//! `--snapshot-every` WAL records, and startup recovers the pre-crash
+//! state (latest valid snapshot + WAL tail replay) before the listener
+//! binds. `--fsync` trades ingest throughput against the post-`kill -9`
+//! loss window; see DESIGN.md §9.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use adcast::ads::AdStore;
 use adcast::core::{EngineConfig, ShardedDriver};
+use adcast::durability::{recover, Durability, DurabilityOptions, FsyncPolicy, WalOptions};
 use adcast::net::{Server, ServerConfig};
 
 fn main() -> ExitCode {
@@ -37,10 +47,23 @@ fn flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
     }
 }
 
+fn str_flag<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(String::as_str)
+            .map(Some)
+            .ok_or_else(|| format!("{name} needs a value")),
+    }
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: adcast-serve [--addr HOST:PORT] [--users N] [--shards N] [--queue-depth N]"
+            "usage: adcast-serve [--addr HOST:PORT] [--users N] [--shards N] \
+             [--queue-depth N] [--data-dir PATH] [--fsync always|off|every=N] \
+             [--snapshot-every N]"
         );
         return Ok(());
     }
@@ -50,20 +73,73 @@ fn run(args: &[String]) -> Result<(), String> {
         .and_then(|i| args.get(i + 1))
         .map_or("127.0.0.1:0", String::as_str);
     let users = flag(args, "--users")?.unwrap_or(4_000) as u32;
-    let shards = flag(args, "--shards")?.unwrap_or(2) as usize;
+    let shards = flag(args, "--shards")?.unwrap_or(2).max(1) as usize;
     let queue_depth = flag(args, "--queue-depth")?.unwrap_or(64) as usize;
+    let data_dir = str_flag(args, "--data-dir")?.map(PathBuf::from);
+    let fsync = match str_flag(args, "--fsync")? {
+        Some(s) => FsyncPolicy::parse(s)?,
+        None => FsyncPolicy::Always,
+    };
+    let snapshot_every = flag(args, "--snapshot-every")?.unwrap_or(10_000);
 
-    let driver = ShardedDriver::new(users, shards.max(1), EngineConfig::default());
-    let server = Server::start(
-        addr,
-        ServerConfig {
-            queue_depth,
-            ..ServerConfig::default()
-        },
-        AdStore::new(),
-        driver,
-    )
-    .map_err(|e| format!("bind {addr}: {e}"))?;
+    let config = ServerConfig {
+        queue_depth,
+        ..ServerConfig::default()
+    };
+    let engine_config = EngineConfig::default();
+
+    let server = match data_dir {
+        None => {
+            let driver = ShardedDriver::new(users, shards, engine_config);
+            Server::start(addr, config, AdStore::new(), driver)
+        }
+        Some(dir) => {
+            let wal_options = WalOptions {
+                fsync,
+                ..WalOptions::default()
+            };
+            let recovered = recover(&dir, users, shards, engine_config, wal_options)
+                .map_err(|e| format!("recover {}: {e}", dir.display()))?;
+            let report = recovered.report;
+            match report.snapshot_lsn {
+                Some(lsn) => eprintln!(
+                    "recovered from snapshot at lsn {lsn} + {} wal record(s) \
+                     ({} torn byte(s) truncated, {} corrupt snapshot(s) skipped)",
+                    report.replayed_records, report.truncated_bytes, report.snapshots_skipped
+                ),
+                None if report.replayed_records > 0 => eprintln!(
+                    "recovered from wal alone: {} record(s) replayed ({} torn byte(s) truncated)",
+                    report.replayed_records, report.truncated_bytes
+                ),
+                None => eprintln!("cold start: {} is empty", dir.display()),
+            }
+            let durability = Durability::new(
+                &dir,
+                recovered.wal,
+                DurabilityOptions {
+                    wal: wal_options,
+                    snapshot_every,
+                    ..DurabilityOptions::default()
+                },
+                report,
+            );
+            eprintln!(
+                "durable mode: data dir {}, fsync {fsync}, snapshot every {snapshot_every} record(s)",
+                dir.display()
+            );
+            Server::start_durable(addr, config, recovered.store, recovered.driver, Some(durability))
+        }
+    }
+    .map_err(|e| {
+        if e.kind() == std::io::ErrorKind::AddrInUse {
+            format!(
+                "bind {addr}: address already in use — another adcast-serve (or other \
+                 process) owns this port; stop it or pick a different --addr"
+            )
+        } else {
+            format!("bind {addr}: {e}")
+        }
+    })?;
     // Scripts wait for this exact line to learn the ephemeral port.
     println!("listening on {}", server.addr());
     eprintln!("serving {users} users across {shards} shard(s), queue depth {queue_depth}");

@@ -19,6 +19,7 @@
 //! | ad campaigns | `adcast-ads` | [`ads`] |
 //! | engines (the contribution) | `adcast-core` | [`core`] |
 //! | evaluation metrics | `adcast-metrics` | [`metrics`] |
+//! | WAL + snapshots + recovery | `adcast-durability` | [`durability`] |
 //! | TCP serving layer | `adcast-net` | [`net`] |
 //!
 //! ## Quickstart
@@ -43,6 +44,7 @@
 
 pub use adcast_ads as ads;
 pub use adcast_core as core;
+pub use adcast_durability as durability;
 pub use adcast_feed as feed;
 pub use adcast_graph as graph;
 pub use adcast_metrics as metrics;
