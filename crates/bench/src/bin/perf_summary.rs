@@ -293,6 +293,24 @@ fn main() {
         }
     }
 
+    // --- Static analysis: rule and suppression counts, so pragma creep
+    // shows up in the same trajectory as the perf numbers. ---
+    {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = adcast_lint::lint_workspace(&root, None).expect("lint walk");
+        summary.metric("lint", "rules", report.rule_count() as f64);
+        summary.metric("lint", "suppressions", report.suppressions as f64);
+        summary.metric("lint", "diagnostics", report.diagnostics.len() as f64);
+        summary.metric("lint", "files_scanned", report.files_scanned as f64);
+        println!(
+            "lint: {} rule(s), {} suppression(s), {} diagnostic(s) over {} file(s)",
+            report.rule_count(),
+            report.suppressions,
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+    }
+
     // --- Sparse kernels: the skewed-dot shape (ad 8 × context 512). ---
     let small = random_vector(&mut rng, 8, 50_000);
     let large = random_vector(&mut rng, 512, 50_000);

@@ -125,6 +125,8 @@ impl IncrementalEngine {
     ///
     /// Panics on an invalid configuration.
     pub fn new(num_users: u32, config: EngineConfig) -> Self {
+        // adcast-lint: allow(no-panic-hot-path) -- construction-time config
+        // validation, documented under "# Panics"; no request in flight.
         config.validate().expect("invalid engine config");
         let capacity = config.buffer_capacity();
         IncrementalEngine {
@@ -361,6 +363,9 @@ impl IncrementalEngine {
             if fwd <= min_fwd {
                 return None;
             }
+            // adcast-lint: allow(no-panic-hot-path) -- `ad` came out of the
+            // store's own postings this scan; the index cannot dangle
+            // within a single borrow of `store`.
             let a = store.ad(ad).expect("indexed ads exist");
             if !a.targeting.matches(location, now) {
                 return None;
@@ -422,7 +427,9 @@ impl IncrementalEngine {
     /// never-seen candidates — performs **zero heap allocations**: every
     /// temporary lives in [`HotScratch`] or the engine's gain map, all of
     /// which retain their capacity across calls. The `zero_alloc`
-    /// integration test pins this down with a counting global allocator.
+    /// integration test pins this down with a counting global allocator;
+    /// the `adcast-lint` marker below makes it a static check too.
+    // adcast-lint: zero-alloc
     fn apply_feed_delta(&mut self, store: &AdStore, user: UserId, delta: &FeedDelta) {
         self.stats.deltas += 1;
         let index = store.index();
@@ -787,6 +794,9 @@ impl RecommendationEngine for IncrementalEngine {
         let out = top
             .into_iter()
             .map(|s| {
+                // adcast-lint: allow(no-panic-hot-path) -- `top` is a
+                // subset of `eligible` by construction (top_k consumed the
+                // same iterator), so the lookup always succeeds.
                 let rel = eligible
                     .iter()
                     .find(|&&(ad, _, _)| ad == s.ad)

@@ -14,7 +14,6 @@
 //! is the synchronous variant behind the `Checkpoint` RPC; periodic
 //! snapshots via [`Durability::maybe_snapshot`] are fire-and-forget.
 
-use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
@@ -27,8 +26,46 @@ use bytes::Bytes;
 
 use crate::record::WalRecord;
 use crate::recovery::RecoveryReport;
-use crate::snapshot::{prune, write_snapshot_atomic, EngineSetSnapshot};
-use crate::wal::{WalOptions, WalWriter};
+use crate::snapshot::{prune, write_snapshot_atomic, EngineSetSnapshot, SnapshotError};
+use crate::wal::{WalError, WalOptions, WalWriter};
+
+/// Durability subsystem failure, as surfaced to the serving layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DurabilityError {
+    /// The WAL writer failed; logged records are **not durable** and the
+    /// caller must refuse the ack.
+    Wal(WalError),
+    /// A synchronous checkpoint failed to persist its snapshot.
+    Snapshot(SnapshotError),
+    /// The background persister thread is gone; checkpoints cannot
+    /// complete (periodic snapshots degrade to no-ops).
+    PersisterDied,
+}
+
+impl std::fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityError::Wal(e) => write!(f, "durability wal: {e}"),
+            DurabilityError::Snapshot(e) => write!(f, "durability snapshot: {e}"),
+            DurabilityError::PersisterDied => write!(f, "snapshot persister died"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+impl From<WalError> for DurabilityError {
+    fn from(e: WalError) -> Self {
+        DurabilityError::Wal(e)
+    }
+}
+
+impl From<SnapshotError> for DurabilityError {
+    fn from(e: SnapshotError) -> Self {
+        DurabilityError::Snapshot(e)
+    }
+}
 
 /// Knobs for the durability subsystem.
 #[derive(Debug, Clone, Copy)]
@@ -75,7 +112,7 @@ struct SnapshotJob {
     next_lsn: u64,
     /// `Some` for a synchronous checkpoint; the persister reports the
     /// outcome. `None` for fire-and-forget periodic snapshots.
-    ack: Option<Sender<io::Result<PathBuf>>>,
+    ack: Option<Sender<Result<PathBuf, SnapshotError>>>,
 }
 
 /// WAL writer + background snapshot persister, owned by the engine
@@ -111,6 +148,8 @@ impl Durability {
             let dir = dir.to_path_buf();
             let written = Arc::clone(&snapshots_written);
             let keep = options.keep_snapshots;
+            // adcast-lint: allow(no-panic-hot-path) -- one-time startup
+            // spawn, documented under "# Panics"; no request is in flight.
             std::thread::Builder::new()
                 .name("adcast-persister".to_owned())
                 .spawn(move || {
@@ -145,8 +184,9 @@ impl Durability {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem failures.
-    pub fn log(&mut self, record: &WalRecord) -> io::Result<u64> {
+    /// [`DurabilityError::Wal`] on append failures (oversized record or
+    /// filesystem trouble).
+    pub fn log(&mut self, record: &WalRecord) -> Result<u64, DurabilityError> {
         let lsn = self.wal.append(record)?;
         self.records_since_snapshot += 1;
         Ok(lsn)
@@ -157,10 +197,10 @@ impl Durability {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem failures — the caller must treat the logged
-    /// records as not durable and refuse the ack.
-    pub fn commit(&mut self) -> io::Result<()> {
-        self.wal.commit()
+    /// [`DurabilityError::Wal`] on commit failures — the caller must treat
+    /// the logged records as not durable and refuse the ack.
+    pub fn commit(&mut self) -> Result<(), DurabilityError> {
+        self.wal.commit().map_err(DurabilityError::Wal)
     }
 
     /// Fire-and-forget a periodic snapshot when `snapshot_every` records
@@ -183,14 +223,20 @@ impl Durability {
     ///
     /// # Errors
     ///
-    /// Propagates WAL commit and snapshot write failures.
-    pub fn checkpoint(&mut self, store: &AdStore, driver: &ShardedDriver) -> io::Result<u64> {
+    /// [`DurabilityError::Wal`] on commit failures,
+    /// [`DurabilityError::Snapshot`] when the snapshot write fails, and
+    /// [`DurabilityError::PersisterDied`] when the persister is gone.
+    pub fn checkpoint(
+        &mut self,
+        store: &AdStore,
+        driver: &ShardedDriver,
+    ) -> Result<u64, DurabilityError> {
         self.wal.commit()?;
         let (ack_tx, ack_rx) = mpsc::channel();
         let next_lsn = self.enqueue(store, driver, Some(ack_tx));
         match ack_rx.recv() {
-            Ok(outcome) => outcome.map(|_| next_lsn),
-            Err(_) => Err(io::Error::other("snapshot persister died")),
+            Ok(outcome) => outcome.map(|_| next_lsn).map_err(DurabilityError::Snapshot),
+            Err(_) => Err(DurabilityError::PersisterDied),
         }
     }
 
@@ -198,7 +244,7 @@ impl Durability {
         &mut self,
         store: &AdStore,
         driver: &ShardedDriver,
-        ack: Option<Sender<io::Result<PathBuf>>>,
+        ack: Option<Sender<Result<PathBuf, SnapshotError>>>,
     ) -> u64 {
         let next_lsn = self.wal.next_lsn();
         let bytes = EngineSetSnapshot::capture(next_lsn, store, driver).encode();

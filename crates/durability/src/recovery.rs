@@ -33,6 +33,7 @@ use crate::wal::{self, WalError, WalOptions, WalWriter};
 
 /// Why recovery failed.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum RecoveryError {
     /// Filesystem failure.
     Io(io::Error),
@@ -84,6 +85,15 @@ impl From<io::Error> for RecoveryError {
 impl From<WalError> for RecoveryError {
     fn from(e: WalError) -> Self {
         RecoveryError::Wal(e)
+    }
+}
+
+impl From<crate::snapshot::SnapshotError> for RecoveryError {
+    fn from(e: crate::snapshot::SnapshotError) -> Self {
+        match e {
+            crate::snapshot::SnapshotError::Io(io) => RecoveryError::Io(io),
+            crate::snapshot::SnapshotError::Wal(w) => RecoveryError::Wal(w),
+        }
     }
 }
 

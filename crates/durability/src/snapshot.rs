@@ -48,6 +48,39 @@ pub const SNAPSHOT_VERSION: u16 = 1;
 /// this are rejected before allocation.
 pub const MAX_SNAPSHOT: usize = 1 << 30;
 
+/// Snapshot subsystem failure.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// WAL-side failure while pruning segments a snapshot made redundant.
+    Wal(wal::WalError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io: {e}"),
+            SnapshotError::Wal(e) => write!(f, "snapshot prune: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<wal::WalError> for SnapshotError {
+    fn from(e: wal::WalError) -> Self {
+        SnapshotError::Wal(e)
+    }
+}
+
 /// The complete serving state at one WAL cut.
 #[derive(Debug, Clone)]
 pub struct EngineSetSnapshot {
@@ -409,13 +442,13 @@ pub struct SnapshotInfo {
 ///
 /// # Errors
 ///
-/// Propagates directory-read failures; a missing directory is an empty
-/// list.
-pub fn list_snapshots(dir: &Path) -> io::Result<Vec<SnapshotInfo>> {
+/// [`SnapshotError::Io`] on directory-read failures; a missing directory
+/// is an empty list.
+pub fn list_snapshots(dir: &Path) -> Result<Vec<SnapshotInfo>, SnapshotError> {
     let entries = match fs::read_dir(dir) {
         Ok(entries) => entries,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(e),
+        Err(e) => return Err(SnapshotError::Io(e)),
     };
     let mut snapshots = Vec::new();
     for entry in entries {
@@ -439,8 +472,12 @@ pub fn list_snapshots(dir: &Path) -> io::Result<Vec<SnapshotInfo>> {
 ///
 /// # Errors
 ///
-/// Propagates filesystem failures.
-pub fn write_snapshot_atomic(dir: &Path, next_lsn: u64, bytes: &[u8]) -> io::Result<PathBuf> {
+/// [`SnapshotError::Io`] on filesystem failures.
+pub fn write_snapshot_atomic(
+    dir: &Path,
+    next_lsn: u64,
+    bytes: &[u8],
+) -> Result<PathBuf, SnapshotError> {
     fs::create_dir_all(dir)?;
     let final_path = dir.join(snapshot_file_name(next_lsn));
     let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(next_lsn)));
@@ -470,9 +507,9 @@ pub struct LoadedSnapshot {
 ///
 /// # Errors
 ///
-/// Propagates directory-read failures only; per-file damage is a
-/// fallback, not an error.
-pub fn load_latest(dir: &Path) -> io::Result<Option<LoadedSnapshot>> {
+/// [`SnapshotError::Io`] on directory-read failures only; per-file damage
+/// is a fallback, not an error.
+pub fn load_latest(dir: &Path) -> Result<Option<LoadedSnapshot>, SnapshotError> {
     let mut skipped = 0u32;
     for info in list_snapshots(dir)?.into_iter().rev() {
         let mut raw = Vec::new();
@@ -508,8 +545,13 @@ pub fn load_latest(dir: &Path) -> io::Result<Option<LoadedSnapshot>> {
 ///
 /// # Errors
 ///
-/// Propagates filesystem failures.
-pub fn prune(dir: &Path, next_lsn: u64, keep_snapshots: usize) -> io::Result<(u64, u64)> {
+/// [`SnapshotError::Io`] on filesystem failures, [`SnapshotError::Wal`]
+/// when segment enumeration fails.
+pub fn prune(
+    dir: &Path,
+    next_lsn: u64,
+    keep_snapshots: usize,
+) -> Result<(u64, u64), SnapshotError> {
     let snapshots = list_snapshots(dir)?;
     let mut snapshots_removed = 0u64;
     if snapshots.len() > keep_snapshots {

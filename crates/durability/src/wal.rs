@@ -104,6 +104,7 @@ impl Default for WalOptions {
 
 /// WAL failure.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum WalError {
     /// Filesystem failure.
     Io(io::Error),
@@ -119,6 +120,12 @@ pub enum WalError {
         /// What failed.
         what: &'static str,
     },
+    /// An append was refused because the encoded record would exceed
+    /// [`MAX_RECORD`] and could never be read back.
+    RecordTooLarge {
+        /// Encoded payload length that was refused.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for WalError {
@@ -133,6 +140,10 @@ impl std::fmt::Display for WalError {
             } => write!(
                 f,
                 "wal segment {segment:016x} corrupt at byte {offset}: {what}"
+            ),
+            WalError::RecordTooLarge { len } => write!(
+                f,
+                "wal record of {len} bytes exceeds the {MAX_RECORD}-byte limit"
             ),
         }
     }
@@ -173,8 +184,8 @@ pub struct SegmentInfo {
 ///
 /// # Errors
 ///
-/// Propagates directory-read failures.
-pub fn list_segments(dir: &Path) -> io::Result<Vec<SegmentInfo>> {
+/// [`WalError::Io`] on directory-read failures.
+pub fn list_segments(dir: &Path) -> Result<Vec<SegmentInfo>, WalError> {
     let mut segments = Vec::new();
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
@@ -315,8 +326,8 @@ impl WalWriter {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem failures.
-    pub fn create(dir: &Path, options: WalOptions, next_lsn: u64) -> io::Result<WalWriter> {
+    /// [`WalError::Io`] on filesystem failures.
+    pub fn create(dir: &Path, options: WalOptions, next_lsn: u64) -> Result<WalWriter, WalError> {
         fs::create_dir_all(dir)?;
         let file = new_segment_file(dir, next_lsn)?;
         Ok(WalWriter {
@@ -338,15 +349,22 @@ impl WalWriter {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem failures.
-    pub fn append(&mut self, record: &WalRecord) -> io::Result<u64> {
+    /// [`WalError::RecordTooLarge`] when the encoded record exceeds
+    /// [`MAX_RECORD`] (it could never be read back), [`WalError::Io`] on
+    /// filesystem failures.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64, WalError> {
         let lsn = self.next_lsn;
         let body = record.encode();
         let mut payload = BytesMut::with_capacity(8 + body.len());
         payload.put_u64_le(lsn);
         payload.put_slice(&body);
+        if payload.len() > MAX_RECORD {
+            return Err(WalError::RecordTooLarge { len: payload.len() });
+        }
         let mut frame = BytesMut::with_capacity(8 + payload.len());
-        frame.put_u32_le(u32::try_from(payload.len()).expect("record too large"));
+        let len32 = u32::try_from(payload.len())
+            .map_err(|_| WalError::RecordTooLarge { len: payload.len() })?;
+        frame.put_u32_le(len32);
         frame.put_u32_le(crc32(&payload));
         frame.put_slice(&payload);
         self.file.write_all(&frame)?;
@@ -362,9 +380,9 @@ impl WalWriter {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem failures; on error the appended records must
-    /// be considered not durable (callers refuse the ack).
-    pub fn commit(&mut self) -> io::Result<()> {
+    /// [`WalError::Io`] on filesystem failures; on error the appended
+    /// records must be considered not durable (callers refuse the ack).
+    pub fn commit(&mut self) -> Result<(), WalError> {
         self.file.flush()?;
         match self.options.fsync {
             FsyncPolicy::Always => {
@@ -638,7 +656,7 @@ mod tests {
                     }
                 }
                 Err(WalError::Header(_) | WalError::Corrupt { .. }) => {}
-                Err(WalError::Io(e)) => panic!("unexpected io error at {offset}: {e}"),
+                Err(e) => panic!("unexpected error at {offset}: {e}"),
             }
         }
         fs::remove_dir_all(&dir).ok();

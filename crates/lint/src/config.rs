@@ -1,0 +1,58 @@
+//! Which rules apply to which files.
+//!
+//! Paths are workspace-relative with forward slashes. The sets are narrow on
+//! purpose: a rule that fires on code with legitimate uses of a pattern
+//! breeds suppressions, and suppression creep is exactly what this tool
+//! exists to prevent (`perf_summary` graphs the suppression count per PR).
+
+/// Hot-path modules: the engine steady state, the net server loop and codec,
+/// and the durability commit/replay paths. `no-panic-hot-path` bans
+/// `unwrap`/`expect`/`panic!`-family macros here.
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/engine/incremental.rs",
+    "crates/net/src/server.rs",
+    "crates/net/src/codec.rs",
+    "crates/durability/src/wal.rs",
+    "crates/durability/src/apply.rs",
+    "crates/durability/src/recovery.rs",
+    "crates/durability/src/manager.rs",
+];
+
+/// Subset of the hot set where bare slice indexing (`x[i]`) is also banned
+/// in favour of `.get()`. The engine kernel and codec index scratch buffers
+/// with loop-invariant bounds everywhere, so they are exempt; the control
+/// paths below have no legitimate reason to index.
+pub const INDEX_CHECKED_FILES: &[&str] = &[
+    "crates/net/src/server.rs",
+    "crates/durability/src/apply.rs",
+    "crates/durability/src/recovery.rs",
+    "crates/durability/src/manager.rs",
+    "crates/durability/src/wal.rs",
+];
+
+/// Crates whose public fallible APIs must return their typed error, never
+/// `io::Error`/`io::Result` directly, and whose error enums must be
+/// `#[non_exhaustive]`.
+pub const ERROR_HYGIENE_PREFIXES: &[&str] = &["crates/net/src/", "crates/durability/src/"];
+
+/// Files where mutation handlers must order WAL commit before store apply.
+pub const WAL_ORDERING_FILES: &[&str] = &["crates/net/src/server.rs"];
+
+/// Directory names skipped entirely when walking the workspace.
+pub const SKIP_DIRS: &[&str] = &[".git", "target", "vendor", "results", "fixtures"];
+
+pub fn is_hot_path(rel: &str) -> bool {
+    HOT_PATH_FILES.contains(&rel)
+}
+
+pub fn is_index_checked(rel: &str) -> bool {
+    INDEX_CHECKED_FILES.contains(&rel)
+}
+
+pub fn wants_error_hygiene(rel: &str) -> bool {
+    ERROR_HYGIENE_PREFIXES.iter().any(|p| rel.starts_with(p))
+}
+
+pub fn wants_wal_ordering(rel: &str) -> bool {
+    WAL_ORDERING_FILES.contains(&rel)
+}

@@ -1,0 +1,445 @@
+//! A deliberately small Rust lexer.
+//!
+//! The rules in this crate operate at line/token granularity, so the lexer
+//! only needs enough fidelity to never mistake the inside of a string or
+//! comment for code: plain/byte/raw strings, char literals vs lifetimes,
+//! nested block comments, and one-`char` punctuation tokens. It does not
+//! parse; there is deliberately no `syn` (the workspace vendors every
+//! dependency and the lint must stay std-only).
+//!
+//! Multi-character operators come out as runs of single punctuation tokens
+//! (`::` is `:` `:`), which is fine for the sequence matching the rules do.
+
+/// Token category. `Punct` carries exactly one character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Number,
+    Str,
+    Char,
+    Lifetime,
+    Punct,
+}
+
+/// One token with the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block). `line..=end_line` is the span of source
+/// lines the comment covers; `text` is the raw interior (after `//` or
+/// between `/*` and `*/`), untrimmed.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    pub end_line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated strings or
+/// comments simply run to end of file, which is the forgiving behaviour a
+/// diagnostic tool wants.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment (also covers doc comments: their text keeps the
+        // extra `/` or `!`, which the pragma parser trims).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                text: chars[start..j].iter().collect(),
+                line,
+                end_line: line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Block comment, with nesting.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start_line = line;
+            let start = i + 2;
+            let mut j = start;
+            let mut depth = 1usize;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let end = j.saturating_sub(2).max(start);
+            out.comments.push(Comment {
+                text: chars[start..end.min(chars.len())].iter().collect(),
+                line: start_line,
+                end_line: line,
+            });
+            i = j;
+            continue;
+        }
+
+        // String literal.
+        if c == '"' {
+            let (text, ni, nl) = lex_string(&chars, i, line);
+            out.tokens.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+            });
+            line = nl;
+            i = ni;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let (tok, ni) = lex_quote(&chars, i, line);
+            out.tokens.push(tok);
+            i = ni;
+            continue;
+        }
+
+        // Identifier / keyword — possibly a raw/byte string prefix.
+        if is_ident_start(c) {
+            let start = i;
+            let mut j = i;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            let word: String = chars[start..j].iter().collect();
+            let next = chars.get(j).copied();
+            let prefix_like = matches!(word.as_str(), "r" | "b" | "br" | "rb");
+            if prefix_like && (next == Some('"') || (word != "b" && next == Some('#'))) {
+                let (text, ni, nl) = if word.contains('r') {
+                    lex_raw_string(&chars, j, line)
+                } else {
+                    // `b"..."` — escapes behave like a plain string.
+                    lex_string(&chars, j, line)
+                };
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                line = nl;
+                i = ni;
+                continue;
+            }
+            let kind = if word.chars().next().is_some_and(|f| f.is_ascii_digit()) {
+                TokKind::Number
+            } else {
+                TokKind::Ident
+            };
+            out.tokens.push(Tok {
+                kind,
+                text: word,
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Number (identifiers can't start with a digit, so this is distinct).
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            while j < chars.len() {
+                let d = chars[j];
+                if is_ident_continue(d) {
+                    j += 1;
+                } else if d == '.' && chars.get(j + 1).is_some_and(|n| n.is_ascii_digit()) {
+                    // `1.5` but not the range `1..5`.
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Number,
+                text: chars[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        out.tokens.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+
+    out
+}
+
+/// Lex a plain `"..."` string starting at the opening quote. Returns
+/// (interior text, index after closing quote, line after).
+fn lex_string(chars: &[char], open: usize, mut line: u32) -> (String, usize, u32) {
+    let mut j = open + 1;
+    let start = j;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '"' => break,
+            '\n' => {
+                line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    let text: String = chars[start..j.min(chars.len())].iter().collect();
+    (text, (j + 1).min(chars.len()), line)
+}
+
+/// Lex `r"..."` / `r#"..."#` (any number of hashes) starting at the first
+/// `#` or `"` after the prefix.
+fn lex_raw_string(chars: &[char], mut j: usize, mut line: u32) -> (String, usize, u32) {
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        // Not actually a raw string (e.g. `r#ident`); treat as empty.
+        return (String::new(), j, line);
+    }
+    j += 1;
+    let start = j;
+    while j < chars.len() {
+        if chars[j] == '\n' {
+            line += 1;
+            j += 1;
+            continue;
+        }
+        if chars[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && chars.get(k) == Some(&'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                let text: String = chars[start..j].iter().collect();
+                return (text, k, line);
+            }
+        }
+        j += 1;
+    }
+    (chars[start..].iter().collect(), chars.len(), line)
+}
+
+/// Disambiguate `'a` (lifetime) from `'x'` / `'\n'` (char literal),
+/// starting at the `'`.
+fn lex_quote(chars: &[char], open: usize, line: u32) -> (Tok, usize) {
+    let next = chars.get(open + 1).copied();
+    match next {
+        Some('\\') => {
+            // Escaped char literal: consume through the closing quote.
+            let mut j = open + 2;
+            if j < chars.len() {
+                j += 1; // the escaped character
+            }
+            // Multi-char escapes like \u{1F600} or \x7f.
+            while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                j += 1;
+            }
+            let text: String = chars[open + 1..j.min(chars.len())].iter().collect();
+            (
+                Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                },
+                (j + 1).min(chars.len()),
+            )
+        }
+        Some(c) if is_ident_start(c) => {
+            let mut j = open + 1;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'\'') {
+                // 'x' — a char literal.
+                let text: String = chars[open + 1..j].iter().collect();
+                (
+                    Tok {
+                        kind: TokKind::Char,
+                        text,
+                        line,
+                    },
+                    j + 1,
+                )
+            } else {
+                // 'a — a lifetime.
+                let text: String = chars[open + 1..j].iter().collect();
+                (
+                    Tok {
+                        kind: TokKind::Lifetime,
+                        text,
+                        line,
+                    },
+                    j,
+                )
+            }
+        }
+        Some(c) => {
+            // Punctuation char literal like '(' or ' '.
+            let close = chars.get(open + 2) == Some(&'\'');
+            (
+                Tok {
+                    kind: TokKind::Char,
+                    text: c.to_string(),
+                    line,
+                },
+                if close { open + 3 } else { open + 2 },
+            )
+        }
+        None => (
+            Tok {
+                kind: TokKind::Punct,
+                text: "'".to_string(),
+                line,
+            },
+            open + 1,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let s = "unsafe unwrap"; call();"#);
+        assert!(l.tokens.iter().all(|t| t.text != "unsafe"));
+        assert_eq!(idents(r#"let s = "unsafe";"#), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"a "quoted" unwrap"#; next"###;
+        let toks = idents(src);
+        assert_eq!(toks, vec!["let", "s", "next"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still comment */ b");
+        assert_eq!(idents("a /* outer /* inner */ still */ b"), vec!["a", "b"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "x");
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let l = lex(r"let nl = '\n'; let q = '\''; done");
+        assert!(l.tokens.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn comments_carry_spans() {
+        let l = lex("x\n// SAFETY: fine\n/* two\nlines */\ny");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 2);
+        assert!(l.comments[0].text.contains("SAFETY:"));
+        assert_eq!(l.comments[1].line, 3);
+        assert_eq!(l.comments[1].end_line, 4);
+    }
+
+    #[test]
+    fn multichar_escapes() {
+        let l = lex(r"let u = '\u{1F600}'; tail");
+        assert!(l.tokens.iter().any(|t| t.is_ident("tail")));
+    }
+}

@@ -1,0 +1,124 @@
+//! CLI for `adcast-lint`.
+//!
+//! ```text
+//! adcast-lint [--workspace-root <dir>] [--rule <name>] [--json] [--list-rules]
+//! ```
+//!
+//! Exits 0 when the tree is clean, 1 when any diagnostic fires, 2 on usage
+//! or I/O errors. Diagnostics print as `file:line: [rule] message`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use adcast_lint::{json_escape, lint_workspace, RULES, SUPPRESSION_RULE};
+
+struct Args {
+    root: PathBuf,
+    rule: Option<String>,
+    json: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        rule: None,
+        json: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace-root" => {
+                args.root = PathBuf::from(it.next().ok_or("--workspace-root needs a directory")?);
+            }
+            "--rule" => {
+                let r = it.next().ok_or("--rule needs a rule name")?;
+                if !RULES.contains(&r.as_str()) && r != SUPPRESSION_RULE {
+                    return Err(format!(
+                        "unknown rule `{r}`; known rules: {}",
+                        RULES.join(", ")
+                    ));
+                }
+                args.rule = Some(r);
+            }
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: adcast-lint [--workspace-root <dir>] [--rule <name>] [--json] \
+                     [--list-rules]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("adcast-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for r in RULES {
+            println!("{r}");
+        }
+        println!("{SUPPRESSION_RULE}");
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match lint_workspace(&args.root, args.rule.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("adcast-lint: failed to scan {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        let mut body = String::from("{\"diagnostics\":[");
+        for (i, d) in report.diagnostics.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(&d.file),
+                d.line,
+                d.rule,
+                json_escape(&d.message)
+            ));
+        }
+        body.push_str(&format!(
+            "],\"files_scanned\":{},\"rules\":{},\"suppressions\":{}}}",
+            report.files_scanned,
+            report.rule_count(),
+            report.suppressions
+        ));
+        println!("{body}");
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        eprintln!(
+            "adcast-lint: {} file(s) scanned, {} rule(s), {} suppression(s), {} diagnostic(s)",
+            report.files_scanned,
+            report.rule_count(),
+            report.suppressions,
+            report.diagnostics.len()
+        );
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

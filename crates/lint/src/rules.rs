@@ -1,0 +1,460 @@
+//! The rule implementations. Each rule is a pure function from a
+//! [`FileAnalysis`] to diagnostics; path gating lives in [`crate::config`]
+//! so a fixture can be linted "as if" it were a hot-path file.
+
+use crate::analysis::{matching_close, Directive, FileAnalysis};
+use crate::config;
+use crate::lexer::TokKind;
+use crate::Diagnostic;
+
+pub const UNSAFE_NEEDS_SAFETY: &str = "unsafe-needs-safety";
+pub const NO_PANIC_HOT_PATH: &str = "no-panic-hot-path";
+pub const NO_ALLOC_STEADY_STATE: &str = "no-alloc-steady-state";
+pub const WAL_ORDERING: &str = "wal-ordering";
+pub const ERROR_HYGIENE: &str = "error-hygiene";
+
+fn diag(fa: &FileAnalysis, line: u32, rule: &'static str, message: String) -> Diagnostic {
+    Diagnostic {
+        file: fa.rel_path.clone(),
+        line,
+        rule,
+        message,
+    }
+}
+
+/// Rule 1: every `unsafe` keyword (block, fn, impl) must be immediately
+/// preceded by a `// SAFETY:` comment — attributes may sit between, blank
+/// lines may not. Applies to every file, test code included: unsoundness in
+/// tests is still unsoundness.
+pub fn unsafe_needs_safety(fa: &FileAnalysis) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for t in &fa.tokens {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let mut l = t.line.saturating_sub(1);
+        let mut ok = false;
+        while l > 0 {
+            if let Some(c) = fa.comment_on(l) {
+                if c.text.contains("SAFETY:") {
+                    ok = true;
+                    break;
+                }
+                l = c.line.saturating_sub(1);
+            } else if fa.attr_lines.binary_search(&l).is_ok() {
+                l -= 1;
+            } else {
+                break;
+            }
+        }
+        if !ok {
+            out.push(diag(
+                fa,
+                t.line,
+                UNSAFE_NEEDS_SAFETY,
+                "`unsafe` without an immediately preceding `// SAFETY:` comment".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Rule 2: no panicking constructs in the configured hot-path modules
+/// (outside `#[cfg(test)]`). A narrower sub-set of files also bans bare
+/// slice indexing in favour of `.get()`.
+pub fn no_panic_hot_path(fa: &FileAnalysis) -> Vec<Diagnostic> {
+    if !config::is_hot_path(&fa.rel_path) {
+        return Vec::new();
+    }
+    let index_checked = config::is_index_checked(&fa.rel_path);
+    let mut out = Vec::new();
+    for (i, t) in fa.tokens.iter().enumerate() {
+        if fa.in_test[i] {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| &fa.tokens[p]);
+        let next = fa.tokens.get(i + 1);
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "unwrap" | "expect")
+            && prev.is_some_and(|p| p.is_punct('.'))
+            && next.is_some_and(|n| n.is_punct('('))
+        {
+            out.push(diag(
+                fa,
+                t.line,
+                NO_PANIC_HOT_PATH,
+                format!(
+                    "`.{}()` on a hot path; return a typed error instead",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        if t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unimplemented" | "todo" | "unreachable"
+            )
+            && next.is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(diag(
+                fa,
+                t.line,
+                NO_PANIC_HOT_PATH,
+                format!("`{}!` on a hot path; return a typed error instead", t.text),
+            ));
+            continue;
+        }
+        if index_checked
+            && t.is_punct('[')
+            && prev.is_some_and(|p| p.kind == TokKind::Ident || p.is_punct(')') || p.is_punct(']'))
+        {
+            out.push(diag(
+                fa,
+                t.line,
+                NO_PANIC_HOT_PATH,
+                "bare slice index on a hot path; use `.get()` and handle `None`".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Rule 3: a fn marked `// adcast-lint: zero-alloc` may not allocate.
+/// Scratch re-use is the sanctioned pattern: pushes are allowed only when
+/// the receiver chain goes through `scratch` or a local taken from
+/// `self.scratch` via `mem::take`. This is the static complement to the
+/// `debug-stats` counting-allocator test (which proves the property
+/// dynamically for the inputs it runs).
+pub fn no_alloc_steady_state(fa: &FileAnalysis) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for p in &fa.pragmas {
+        if !matches!(p.directive, Directive::ZeroAlloc) {
+            continue;
+        }
+        let Some(f) = fa
+            .fns
+            .iter()
+            .filter(|f| f.line > p.line && f.body_open.is_some())
+            .min_by_key(|f| f.line)
+        else {
+            out.push(diag(
+                fa,
+                p.line,
+                NO_ALLOC_STEADY_STATE,
+                "zero-alloc marker is not followed by a function with a body".to_string(),
+            ));
+            continue;
+        };
+        let (open, close) = (f.body_open.unwrap_or(0), f.body_close.unwrap_or(0));
+        check_zero_alloc_body(fa, open + 1, close, &f.name, &mut out);
+    }
+    out
+}
+
+fn check_zero_alloc_body(
+    fa: &FileAnalysis,
+    start: usize,
+    end: usize,
+    fn_name: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Locals bound from `... = std::mem::take(&mut self.scratch.<field>)`.
+    let mut scratch_locals: Vec<&str> = Vec::new();
+    for i in start..end {
+        let t = &fa.tokens[i];
+        if !t.is_ident("take") || !fa.tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        let has_mem = (i.saturating_sub(4)..i).any(|j| fa.tokens[j].is_ident("mem"));
+        if !has_mem {
+            continue;
+        }
+        let Some(close) = matching_close(&fa.tokens, i + 1) else {
+            continue;
+        };
+        let takes_scratch = fa.tokens[i + 1..close]
+            .iter()
+            .any(|t| t.is_ident("scratch"));
+        if !takes_scratch {
+            continue;
+        }
+        // Walk back over the `std::mem::take` chain to the `=`, then the
+        // binding name sits just before it.
+        let mut j = i;
+        while j > start {
+            let prev = &fa.tokens[j - 1];
+            if prev.is_punct(':') || prev.is_punct('.') || prev.kind == TokKind::Ident {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j > start && fa.tokens[j - 1].is_punct('=') && j >= 2 {
+            let name = &fa.tokens[j - 2];
+            if name.kind == TokKind::Ident {
+                scratch_locals.push(name.text.as_str());
+            }
+        }
+    }
+
+    for i in start..end {
+        let t = &fa.tokens[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| &fa.tokens[p]);
+        let next = fa.tokens.get(i + 1);
+        let called = next.is_some_and(|n| n.is_punct('(') || n.is_punct(':'));
+
+        // `Vec::new` / `Box::new` / `String::new` and friends, with or
+        // without a turbofish (`Vec::<u32>::new`).
+        if matches!(
+            t.text.as_str(),
+            "Vec" | "Box" | "String" | "HashMap" | "BTreeMap"
+        ) && fa.tokens.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && fa.tokens.get(i + 2).is_some_and(|b| b.is_punct(':'))
+        {
+            let mut m = i + 3;
+            if fa.tokens.get(m).is_some_and(|x| x.is_punct('<')) {
+                let mut angle = 0i64;
+                while let Some(x) = fa.tokens.get(m) {
+                    if x.is_punct('<') {
+                        angle += 1;
+                    } else if x.is_punct('>') {
+                        angle -= 1;
+                        if angle == 0 {
+                            m += 1;
+                            break;
+                        }
+                    }
+                    m += 1;
+                }
+                // Expect `::` after the closing `>`.
+                if fa.tokens.get(m).is_some_and(|x| x.is_punct(':'))
+                    && fa.tokens.get(m + 1).is_some_and(|x| x.is_punct(':'))
+                {
+                    m += 2;
+                } else {
+                    m = usize::MAX;
+                }
+            }
+            let ctor = fa
+                .tokens
+                .get(m.min(fa.tokens.len()))
+                .filter(|c| c.is_ident("new") || c.is_ident("from") || c.is_ident("with_capacity"));
+            if let Some(ctor) = ctor {
+                out.push(diag(
+                    fa,
+                    t.line,
+                    NO_ALLOC_STEADY_STATE,
+                    format!(
+                        "`{}::{}` allocates inside zero-alloc fn `{fn_name}`",
+                        t.text, ctor.text
+                    ),
+                ));
+                continue;
+            }
+        }
+        // `vec![...]` / `format!(...)`.
+        if matches!(t.text.as_str(), "vec" | "format") && next.is_some_and(|n| n.is_punct('!')) {
+            out.push(diag(
+                fa,
+                t.line,
+                NO_ALLOC_STEADY_STATE,
+                format!("`{}!` allocates inside zero-alloc fn `{fn_name}`", t.text),
+            ));
+            continue;
+        }
+        // Allocating method calls.
+        if matches!(
+            t.text.as_str(),
+            "to_vec" | "collect" | "clone" | "to_owned" | "to_string"
+        ) && prev.is_some_and(|p| p.is_punct('.'))
+            && called
+        {
+            out.push(diag(
+                fa,
+                t.line,
+                NO_ALLOC_STEADY_STATE,
+                format!("`.{}()` allocates inside zero-alloc fn `{fn_name}`", t.text),
+            ));
+            continue;
+        }
+        // `push` is allowed only onto scratch-owned storage (capacity is
+        // retained across deltas, so steady-state pushes do not allocate).
+        if t.is_ident("push")
+            && prev.is_some_and(|p| p.is_punct('.'))
+            && next.is_some_and(|n| n.is_punct('('))
+        {
+            let mut chain: Vec<&str> = Vec::new();
+            let mut j = i - 1; // the `.`
+            while j >= 1 && fa.tokens[j].is_punct('.') && fa.tokens[j - 1].kind == TokKind::Ident {
+                chain.push(fa.tokens[j - 1].text.as_str());
+                if j < 2 {
+                    break;
+                }
+                j -= 2;
+            }
+            // `chain` reads receiver-outward: `self.scratch.promote.push`
+            // yields ["promote", "scratch", "self"].
+            let allowed = chain.iter().any(|n| n.contains("scratch"))
+                || chain
+                    .first()
+                    .is_some_and(|recv| scratch_locals.contains(recv));
+            if !allowed {
+                out.push(diag(
+                    fa,
+                    t.line,
+                    NO_ALLOC_STEADY_STATE,
+                    format!(
+                        "`.push()` onto non-scratch storage `{}` inside zero-alloc fn `{fn_name}`",
+                        chain.first().copied().unwrap_or("<expr>")
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Rule 4: in mutation handlers, the WAL commit must happen before the store
+/// apply. Token-order check: within any fn body that mentions
+/// `apply_record`, a `commit(` call must appear earlier in the body.
+pub fn wal_ordering(fa: &FileAnalysis) -> Vec<Diagnostic> {
+    if !config::wants_wal_ordering(&fa.rel_path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f in &fa.fns {
+        let (Some(open), Some(close)) = (f.body_open, f.body_close) else {
+            continue;
+        };
+        if fa.in_test[open] {
+            continue;
+        }
+        let apply_at = (open + 1..close).find(|&i| fa.tokens[i].is_ident("apply_record"));
+        let Some(apply_at) = apply_at else {
+            continue;
+        };
+        let commit_before = (open + 1..apply_at).any(|i| {
+            fa.tokens[i].is_ident("commit") && fa.tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        });
+        if !commit_before {
+            out.push(diag(
+                fa,
+                fa.tokens[apply_at].line,
+                WAL_ORDERING,
+                format!(
+                    "`apply_record` in `{}` without a preceding WAL `commit()`: \
+                     durable order is validate-log-commit-apply-ack",
+                    f.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Rule 5: public fallible APIs in `net`/`durability` return the crate's
+/// typed error, never `io::Result`/`io::Error` directly; and public error
+/// enums are `#[non_exhaustive]` so adding a variant is not a breaking
+/// change downstream.
+pub fn error_hygiene(fa: &FileAnalysis) -> Vec<Diagnostic> {
+    if !config::wants_error_hygiene(&fa.rel_path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f in &fa.fns {
+        if !f.is_pub || fa.in_test[f.fn_idx] {
+            continue;
+        }
+        let Some((rs, re)) = f.ret else {
+            continue;
+        };
+        let mentions_io = (rs..re.saturating_sub(2)).any(|i| {
+            fa.tokens[i].is_ident("io")
+                && fa.tokens[i + 1].is_punct(':')
+                && fa.tokens[i + 2].is_punct(':')
+                && fa
+                    .tokens
+                    .get(i + 3)
+                    .is_some_and(|t| t.is_ident("Result") || t.is_ident("Error"))
+        });
+        if mentions_io {
+            out.push(diag(
+                fa,
+                f.line,
+                ERROR_HYGIENE,
+                format!(
+                    "pub fn `{}` returns `io::Error` directly; wrap it in the crate's typed error",
+                    f.name
+                ),
+            ));
+        }
+    }
+    // `pub enum <Name>Error` must carry #[non_exhaustive].
+    for (i, t) in fa.tokens.iter().enumerate() {
+        if !t.is_ident("enum") || fa.in_test[i] {
+            continue;
+        }
+        if !i
+            .checked_sub(1)
+            .is_some_and(|p| fa.tokens[p].is_ident("pub"))
+        {
+            continue; // private or restricted visibility
+        }
+        let Some(name) = fa.tokens.get(i + 1) else {
+            continue;
+        };
+        if name.kind != TokKind::Ident || !name.text.ends_with("Error") {
+            continue;
+        }
+        if !has_non_exhaustive_attr(fa, i - 1) {
+            out.push(diag(
+                fa,
+                t.line,
+                ERROR_HYGIENE,
+                format!(
+                    "pub error enum `{}` is not `#[non_exhaustive]`; adding a variant would \
+                     break downstream matches",
+                    name.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Walk backwards from the token at `before` (the `pub` of an item) over
+/// contiguous attribute groups, looking for `non_exhaustive`.
+fn has_non_exhaustive_attr(fa: &FileAnalysis, before: usize) -> bool {
+    let mut j = before;
+    while j >= 1 && fa.tokens[j - 1].is_punct(']') {
+        // Find the matching `[` going backwards.
+        let mut depth = 0i64;
+        let mut k = j - 1;
+        loop {
+            if fa.tokens[k].is_punct(']') {
+                depth += 1;
+            } else if fa.tokens[k].is_punct('[') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if k == 0 {
+                return false;
+            }
+            k -= 1;
+        }
+        if fa.tokens[k..j].iter().any(|t| t.is_ident("non_exhaustive")) {
+            return true;
+        }
+        if k >= 1 && fa.tokens[k - 1].is_punct('#') {
+            j = k - 1;
+        } else {
+            return false;
+        }
+    }
+    false
+}

@@ -1,0 +1,9 @@
+// Fixture: the same allocation, silenced by a pragma with a reason.
+// Never compiled — lexed only.
+
+// adcast-lint: allow(no-alloc-steady-state) -- fixture: one-time warm-up fill is intentional
+// adcast-lint: zero-alloc
+fn apply_delta(deltas: &[u32]) -> usize {
+    let staged: Vec<u32> = Vec::new();
+    staged.len() + deltas.len()
+}

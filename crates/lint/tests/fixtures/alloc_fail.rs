@@ -1,0 +1,8 @@
+// Fixture: a fn opted into `no-alloc-steady-state` via the zero-alloc
+// marker must not construct a Vec. Never compiled — lexed only.
+
+// adcast-lint: zero-alloc
+fn apply_delta(deltas: &[u32]) -> usize {
+    let staged: Vec<u32> = Vec::new();
+    staged.len() + deltas.len()
+}

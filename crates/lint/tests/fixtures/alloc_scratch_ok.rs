@@ -1,0 +1,14 @@
+// Fixture: pushing into reusable scratch buffers taken from `self.scratch`
+// is the sanctioned zero-alloc pattern and must pass without a pragma.
+// Never compiled — lexed only.
+
+// adcast-lint: zero-alloc
+fn apply_delta(&mut self, deltas: &[u32]) -> usize {
+    let mut staged = std::mem::take(&mut self.scratch.staged);
+    for d in deltas {
+        staged.push(*d);
+    }
+    let n = staged.len();
+    self.scratch.staged = staged;
+    n
+}

@@ -1,0 +1,14 @@
+// Fixture: the same violations, each silenced by its own pragma with a
+// reason. Linted under a pretend crates/net rel path; never compiled.
+
+use std::io;
+
+// adcast-lint: allow(error-hygiene) -- fixture: variants frozen for wire compatibility
+pub enum FixtureError {
+    Io(io::Error),
+}
+
+// adcast-lint: allow(error-hygiene) -- fixture: io::Error is the real contract of this shim
+pub fn open_segment(path: &Path) -> io::Result<File> {
+    File::open(path)
+}

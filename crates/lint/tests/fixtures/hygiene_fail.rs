@@ -1,0 +1,13 @@
+// Fixture: two `error-hygiene` violations — a pub fallible API leaking
+// `io::Result`, and a pub error enum without `#[non_exhaustive]`.
+// Linted under a pretend crates/net rel path; never compiled.
+
+use std::io;
+
+pub enum FixtureError {
+    Io(io::Error),
+}
+
+pub fn open_segment(path: &Path) -> io::Result<File> {
+    File::open(path)
+}

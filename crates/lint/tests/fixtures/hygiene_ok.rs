@@ -1,0 +1,15 @@
+// Fixture: the compliant shape — typed error enum with #[non_exhaustive],
+// pub API returning it. Linted under a pretend crates/net rel path; never
+// compiled.
+
+use std::io;
+
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FixtureError {
+    Io(io::Error),
+}
+
+pub fn open_segment(path: &Path) -> Result<File, FixtureError> {
+    File::open(path).map_err(FixtureError::Io)
+}

@@ -1,0 +1,7 @@
+// Fixture: the same unwrap, silenced by a pragma with a reason.
+// Linted under a pretend hot-path rel path; never compiled.
+
+// adcast-lint: allow(no-panic-hot-path) -- fixture: invariant checked two lines up
+fn serve_one(q: Option<u32>) -> u32 {
+    q.unwrap()
+}

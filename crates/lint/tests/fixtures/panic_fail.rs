@@ -1,0 +1,6 @@
+// Fixture: `.unwrap()` on a hot-path file must trip `no-panic-hot-path`.
+// Linted under a pretend hot-path rel path; never compiled.
+
+fn serve_one(q: Option<u32>) -> u32 {
+    q.unwrap()
+}

@@ -1,0 +1,12 @@
+// Fixture: a suppression covers the next item ONLY — the second fn's
+// unwrap must still fire. Linted under a pretend hot-path rel path;
+// never compiled.
+
+// adcast-lint: allow(no-panic-hot-path) -- fixture: only `covered` is exempt
+fn covered(q: Option<u32>) -> u32 {
+    q.unwrap()
+}
+
+fn uncovered(q: Option<u32>) -> u32 {
+    q.unwrap()
+}

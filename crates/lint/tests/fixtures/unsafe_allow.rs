@@ -1,0 +1,7 @@
+// Fixture: the same unsafe block, silenced by a pragma with a reason.
+// Never compiled — lexed by the lint engine only.
+
+// adcast-lint: allow(unsafe-needs-safety) -- fixture: justification lives in the harness
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,6 @@
+// Fixture: an unsafe block with no SAFETY comment must trip
+// `unsafe-needs-safety`. Never compiled — lexed by the lint engine only.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,7 @@
+// Fixture: a SAFETY comment immediately above the unsafe site satisfies
+// the rule without any pragma. Never compiled — lexed by the lint engine.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` points at one initialized, live byte.
+    unsafe { *p }
+}

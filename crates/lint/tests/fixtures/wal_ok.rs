@@ -1,0 +1,8 @@
+// Fixture: the correct order — commit before apply — passes without a
+// pragma. Linted under the server.rs rel path; never compiled.
+
+fn log_apply(d: &mut Durability, store: &mut AdStore, record: WalRecord) -> Result<(), WireError> {
+    d.log(&record).map_err(|_| WireError::Unavailable)?;
+    d.commit().map_err(|_| WireError::Unavailable)?;
+    apply_record(store, &record).map_err(|_| WireError::Unavailable)
+}

@@ -1,0 +1,203 @@
+//! Fixture-driven rule tests: every rule has at least one failing fixture
+//! and one allowed-with-pragma fixture, linted under a pretend
+//! workspace-relative path so path-gated rules engage. The fixture files
+//! live under `tests/fixtures/` (never compiled; the lint's own workspace
+//! walk skips that directory too).
+
+use adcast_lint::{lint_source, rules, Diagnostic, SUPPRESSION_RULE};
+
+/// A hot-path identity: `no-panic-hot-path`, `wal-ordering` and the
+/// index-check all apply here.
+const HOT: &str = "crates/net/src/server.rs";
+/// An error-hygiene identity that is NOT a hot-path file.
+const NET: &str = "crates/net/src/fixture.rs";
+/// A neutral identity: only the path-independent rules apply.
+const NEUTRAL: &str = "crates/core/src/fixture.rs";
+
+fn lint(rel: &str, src: &str) -> (Vec<Diagnostic>, usize) {
+    lint_source(rel, src, None)
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+// ---- unsafe-needs-safety ----------------------------------------------
+
+#[test]
+fn unsafe_without_safety_comment_fails() {
+    let (diags, sup) = lint(NEUTRAL, include_str!("fixtures/unsafe_fail.rs"));
+    assert_eq!(
+        rules_of(&diags),
+        vec![rules::UNSAFE_NEEDS_SAFETY],
+        "{diags:?}"
+    );
+    assert_eq!(sup, 0);
+}
+
+#[test]
+fn unsafe_with_pragma_is_allowed() {
+    let (diags, sup) = lint(NEUTRAL, include_str!("fixtures/unsafe_allow.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 1);
+}
+
+#[test]
+fn unsafe_with_safety_comment_passes_without_pragma() {
+    let (diags, sup) = lint(NEUTRAL, include_str!("fixtures/unsafe_safety_comment.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 0);
+}
+
+// ---- no-panic-hot-path ------------------------------------------------
+
+#[test]
+fn unwrap_on_hot_path_fails() {
+    let (diags, _) = lint(HOT, include_str!("fixtures/panic_fail.rs"));
+    assert_eq!(
+        rules_of(&diags),
+        vec![rules::NO_PANIC_HOT_PATH],
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn unwrap_off_hot_path_is_not_checked() {
+    let (diags, _) = lint(NEUTRAL, include_str!("fixtures/panic_fail.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn unwrap_with_pragma_is_allowed() {
+    let (diags, sup) = lint(HOT, include_str!("fixtures/panic_allow.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 1);
+}
+
+// ---- no-alloc-steady-state --------------------------------------------
+
+#[test]
+fn allocation_in_zero_alloc_fn_fails() {
+    let (diags, _) = lint(NEUTRAL, include_str!("fixtures/alloc_fail.rs"));
+    assert_eq!(
+        rules_of(&diags),
+        vec![rules::NO_ALLOC_STEADY_STATE],
+        "{diags:?}"
+    );
+    assert!(
+        diags[0].message.contains("Vec::new"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn allocation_with_pragma_is_allowed() {
+    let (diags, sup) = lint(NEUTRAL, include_str!("fixtures/alloc_allow.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 1);
+}
+
+#[test]
+fn scratch_buffer_pattern_passes_without_pragma() {
+    let (diags, sup) = lint(NEUTRAL, include_str!("fixtures/alloc_scratch_ok.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 0);
+}
+
+// ---- wal-ordering -----------------------------------------------------
+
+#[test]
+fn apply_before_commit_fails() {
+    let (diags, _) = lint(HOT, include_str!("fixtures/wal_fail.rs"));
+    assert_eq!(rules_of(&diags), vec![rules::WAL_ORDERING], "{diags:?}");
+}
+
+#[test]
+fn apply_without_commit_with_pragma_is_allowed() {
+    let (diags, sup) = lint(HOT, include_str!("fixtures/wal_allow.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 1);
+}
+
+#[test]
+fn commit_before_apply_passes() {
+    let (diags, sup) = lint(HOT, include_str!("fixtures/wal_ok.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 0);
+}
+
+// ---- error-hygiene ----------------------------------------------------
+
+#[test]
+fn io_result_pub_api_and_bare_error_enum_fail() {
+    let (diags, _) = lint(NET, include_str!("fixtures/hygiene_fail.rs"));
+    assert_eq!(
+        rules_of(&diags),
+        vec![rules::ERROR_HYGIENE, rules::ERROR_HYGIENE],
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn error_hygiene_only_applies_to_net_and_durability() {
+    let (diags, _) = lint(NEUTRAL, include_str!("fixtures/hygiene_fail.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn error_hygiene_violations_with_pragmas_are_allowed() {
+    let (diags, sup) = lint(NET, include_str!("fixtures/hygiene_allow.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 2);
+}
+
+#[test]
+fn typed_non_exhaustive_error_passes() {
+    let (diags, sup) = lint(NET, include_str!("fixtures/hygiene_ok.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 0);
+}
+
+// ---- suppression hygiene ----------------------------------------------
+
+#[test]
+fn allow_without_reason_is_a_diagnostic_and_suppresses_nothing() {
+    let (diags, sup) = lint(HOT, include_str!("fixtures/bad_pragma.rs"));
+    let mut seen = rules_of(&diags);
+    seen.sort_unstable();
+    assert_eq!(
+        seen,
+        vec![rules::NO_PANIC_HOT_PATH, SUPPRESSION_RULE],
+        "{diags:?}"
+    );
+    assert_eq!(
+        sup, 0,
+        "a reasonless pragma must not count as a suppression"
+    );
+    let bad = diags.iter().find(|d| d.rule == SUPPRESSION_RULE).unwrap();
+    assert!(bad.message.contains("mandatory"), "{}", bad.message);
+}
+
+#[test]
+fn suppression_covers_next_item_only() {
+    let src = include_str!("fixtures/scope_next_item_only.rs");
+    let (diags, sup) = lint(HOT, src);
+    assert_eq!(sup, 1);
+    assert_eq!(
+        rules_of(&diags),
+        vec![rules::NO_PANIC_HOT_PATH],
+        "{diags:?}"
+    );
+    // The surviving diagnostic must be the SECOND fn's unwrap.
+    let uncovered_line = src
+        .lines()
+        .position(|l| l.contains("fn uncovered"))
+        .unwrap() as u32
+        + 1;
+    assert!(
+        diags[0].line > uncovered_line,
+        "diagnostic at {} should sit inside `uncovered` (fn at line {uncovered_line})",
+        diags[0].line
+    );
+}

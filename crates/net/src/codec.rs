@@ -40,6 +40,7 @@ pub const MAX_FRAME: usize = 64 << 20;
 
 /// Encode/transport failure.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum NetError {
     /// Transport failure.
     Io(io::Error),
@@ -134,6 +135,9 @@ pub fn encode_request(id: u64, req: &Request) -> Bytes {
         Request::Ingest { deltas } => {
             body.put_u8(K_INGEST);
             body.put_u64_le(id);
+            // adcast-lint: allow(no-panic-hot-path) -- encode side of our
+            // own client; a >4-billion-delta batch cannot be built (the
+            // frame would blow MAX_FRAME long before the count overflows).
             body.put_u32_le(u32::try_from(deltas.len()).expect("batch too large"));
             for (user, delta) in deltas {
                 put_delta(&mut body, *user, delta);
@@ -157,10 +161,14 @@ pub fn encode_request(id: u64, req: &Request) -> Bytes {
             body.put_u64_le(id);
             put_vector(&mut body, &spec.vector);
             body.put_f32_le(spec.bid);
+            // adcast-lint: allow(no-panic-hot-path) -- LocationId is u16,
+            // so a spec cannot name more than 65536 distinct locations.
             body.put_u16_le(u16::try_from(spec.locations.len()).expect("too many locations"));
             for loc in &spec.locations {
                 body.put_u16_le(loc.0);
             }
+            // adcast-lint: allow(no-panic-hot-path) -- `TimeSlot` has a
+            // handful of variants; a spec can never carry 256 slots.
             body.put_u8(u8::try_from(spec.slots.len()).expect("too many slots"));
             for slot in &spec.slots {
                 put_slot(&mut body, *slot);
@@ -227,6 +235,8 @@ pub fn encode_response(id: u64, resp: &Response) -> Bytes {
         Response::Recommendations(recs) => {
             body.put_u8(K_RECOMMENDATIONS);
             body.put_u64_le(id);
+            // adcast-lint: allow(no-panic-hot-path) -- the request's k is
+            // u16 and the engine returns at most k recommendations.
             body.put_u16_le(u16::try_from(recs.len()).expect("too many recommendations"));
             for r in recs {
                 body.put_u32_le(r.ad.0);
@@ -311,6 +321,8 @@ pub fn encode_response(id: u64, resp: &Response) -> Bytes {
 fn prefix_len(body: BytesMut) -> Bytes {
     let body = body.freeze();
     let mut framed = BytesMut::with_capacity(4 + body.len());
+    // adcast-lint: allow(no-panic-hot-path) -- bodies we encode are bounded
+    // far below u32::MAX (decode enforces MAX_FRAME = 64 MiB on the way in).
     framed.put_u32_le(u32::try_from(body.len()).expect("frame too large"));
     framed.put_slice(&body);
     framed.freeze()
@@ -531,10 +543,11 @@ pub fn decode_response(mut data: Bytes) -> Result<(u64, Response), NetError> {
 ///
 /// # Errors
 ///
-/// Propagates transport failures.
-pub fn write_frame(w: &mut impl Write, frame: &Bytes) -> io::Result<()> {
+/// [`NetError::Io`] on transport failures.
+pub fn write_frame(w: &mut impl Write, frame: &Bytes) -> Result<(), NetError> {
     w.write_all(frame)?;
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
 /// Read one frame body from the transport.

@@ -163,6 +163,7 @@ pub enum Response {
 
 /// Typed RPC failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum WireError {
     /// The bounded request queue was full: the server shed this request
     /// instead of buffering unboundedly. Back off and retry.

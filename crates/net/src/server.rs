@@ -107,13 +107,13 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// [`NetError::Io`] on bind or thread-spawn failures.
     pub fn start(
         addr: &str,
         config: ServerConfig,
         store: AdStore,
         driver: ShardedDriver,
-    ) -> io::Result<Server> {
+    ) -> Result<Server, NetError> {
         Server::start_durable(addr, config, store, driver, None)
     }
 
@@ -126,14 +126,14 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// [`NetError::Io`] on bind or thread-spawn failures.
     pub fn start_durable(
         addr: &str,
         config: ServerConfig,
         store: AdStore,
         driver: ShardedDriver,
         durability: Option<Durability>,
-    ) -> io::Result<Server> {
+    ) -> Result<Server, NetError> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared::default());
@@ -146,16 +146,14 @@ impl Server {
                 .name("adcast-engine".into())
                 .spawn(move || {
                     engine_loop(store, driver, durability, &cmd_rx, &shared, local, depth)
-                })
-                .expect("spawn engine thread")
+                })?
         };
         let accept_join = {
             let shared = Arc::clone(&shared);
             let poll = config.poll_interval;
             std::thread::Builder::new()
                 .name("adcast-accept".into())
-                .spawn(move || accept_loop(&listener, &cmd_tx, &shared, poll))
-                .expect("spawn accept thread")
+                .spawn(move || accept_loop(&listener, &cmd_tx, &shared, poll))?
         };
         Ok(Server {
             addr: local,

@@ -10,6 +10,9 @@ cargo fmt --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== adcast-lint (workspace invariants) =="
+cargo run -q -p adcast-lint -- --workspace-root .
+
 echo "== cargo build --release =="
 cargo build --release
 

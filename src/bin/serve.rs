@@ -131,7 +131,11 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
     .map_err(|e| {
-        if e.kind() == std::io::ErrorKind::AddrInUse {
+        let addr_in_use = matches!(
+            &e,
+            adcast::net::codec::NetError::Io(io) if io.kind() == std::io::ErrorKind::AddrInUse
+        );
+        if addr_in_use {
             format!(
                 "bind {addr}: address already in use — another adcast-serve (or other \
                  process) owns this port; stop it or pick a different --addr"
