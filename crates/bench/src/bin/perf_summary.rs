@@ -311,6 +311,46 @@ fn main() {
         );
     }
 
+    // --- Observability: per-record overhead and exposition size. The
+    // registry is process-wide, so by now it holds every family the
+    // engine, pool, serving, and durability runs above registered. ---
+    {
+        let reg = adcast_obs::registry();
+        let iters = scale.pick(200_000u64, 1_000_000);
+        let counter = reg.counter("bench_obs_counter_total", "perf_summary counter probe");
+        let counter_ns = time_per_iter(iters, || {
+            counter.add(std::hint::black_box(1));
+        }) * 1e9;
+        let hist = reg.hist("bench_obs_hist_ns", "perf_summary histogram probe");
+        let mut v = 1u64;
+        let record_ns = time_per_iter(iters, || {
+            // Cheap LCG so every bucket regime is exercised, not one line.
+            v = v.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            hist.record(std::hint::black_box(v >> 33));
+        }) * 1e9;
+        let rec = adcast_obs::FlightRecorder::new(4096);
+        let flightrec_ns = time_per_iter(iters, || {
+            rec.record(
+                adcast_obs::EventKind::Admission,
+                1,
+                std::hint::black_box(250),
+                0,
+            );
+        }) * 1e9;
+        let exposition = reg.expose();
+        summary.metric("obs", "counter_inc_ns", counter_ns);
+        summary.metric("obs", "hist_record_ns", record_ns);
+        summary.metric("obs", "flightrec_record_ns", flightrec_ns);
+        summary.metric("obs", "metric_families", reg.len() as f64);
+        summary.metric("obs", "exposition_bytes", exposition.len() as f64);
+        println!(
+            "obs: counter {counter_ns:.1} ns, hist record {record_ns:.1} ns, flightrec \
+             {flightrec_ns:.1} ns, {} families, {} exposition bytes",
+            reg.len(),
+            exposition.len()
+        );
+    }
+
     // --- Sparse kernels: the skewed-dot shape (ad 8 × context 512). ---
     let small = random_vector(&mut rng, 8, 50_000);
     let large = random_vector(&mut rng, 512, 50_000);

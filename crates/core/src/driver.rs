@@ -133,6 +133,10 @@ pub struct ShardedDriver {
     /// the surviving workers of a pool in an unknown state; read paths
     /// (`stats`, `memory_bytes`, `recommend`) keep working.
     dead: bool,
+    /// Span timing: partition + send time per pooled batch.
+    fanout_ns: adcast_obs::Hist,
+    /// Span timing: ack-barrier wait per pooled batch.
+    ack_wait_ns: adcast_obs::Hist,
 }
 
 /// Number of users resident on shard `s` under `u % num_shards` routing.
@@ -186,12 +190,21 @@ impl ShardedDriver {
                 })
                 .collect()
         };
+        let reg = adcast_obs::registry();
         ShardedDriver {
             engines,
             num_users,
             workers,
             slabs: (0..num_shards).map(|_| Vec::new()).collect(),
             dead: false,
+            fanout_ns: reg.hist(
+                "adcast_core_fanout_ns",
+                "Per-batch shard partition and worker dispatch time.",
+            ),
+            ack_wait_ns: reg.hist(
+                "adcast_core_ack_wait_ns",
+                "Per-batch ack-barrier wait for the slowest shard worker.",
+            ),
         }
     }
 
@@ -268,6 +281,7 @@ impl ShardedDriver {
             return Err(DriverError::Dead);
         }
         // Partition into recycled slabs: one send per shard per batch.
+        let fanout_started = std::time::Instant::now();
         let mut slabs = std::mem::take(&mut self.slabs);
         while slabs.len() < num_shards {
             slabs.push(Vec::new()); // only after a panicked batch lost slabs
@@ -293,6 +307,7 @@ impl ShardedDriver {
             }
             sent += 1;
         }
+        self.fanout_ns.record_elapsed(fanout_started);
         // Barrier: one ack per worker that received the batch. Every such
         // ack must be drained — even after a failure — before this
         // function may return: a live worker that has not yet acked can
@@ -304,6 +319,7 @@ impl ShardedDriver {
         } else {
             None
         };
+        let ack_started = std::time::Instant::now();
         for (s, worker) in self.workers.iter().take(sent).enumerate() {
             match worker.ack_rx.recv() {
                 Ok(slab) => slabs.push(slab),
@@ -312,6 +328,7 @@ impl ShardedDriver {
                 }
             }
         }
+        self.ack_wait_ns.record_elapsed(ack_started);
         self.slabs = slabs;
         if let Some(s) = dead_shard {
             self.dead = true;

@@ -29,6 +29,7 @@
 //! bounded staleness for fewer refreshes.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use adcast_ads::{AdId, AdStore};
 use adcast_feed::FeedDelta;
@@ -104,6 +105,32 @@ impl HotScratch {
     }
 }
 
+/// Pre-resolved telemetry handles for the delta hot path. Resolved once
+/// at construction (registration takes a lock; recording never does), so
+/// span timing inside `apply_feed_delta` is two relaxed atomics per stage
+/// and stays within the zero-alloc steady state.
+#[derive(Debug)]
+struct EngineObs {
+    gain_screen_ns: adcast_obs::Hist,
+    certify_ns: adcast_obs::Hist,
+}
+
+impl EngineObs {
+    fn resolve() -> EngineObs {
+        let reg = adcast_obs::registry();
+        EngineObs {
+            gain_screen_ns: reg.hist(
+                "adcast_core_gain_screen_ns",
+                "Per-delta postings walk, gain screening, and promotion time.",
+            ),
+            certify_ns: reg.hist(
+                "adcast_core_certify_ns",
+                "Per-delta top-k certification (and refresh, when triggered) time.",
+            ),
+        }
+    }
+}
+
 /// The incremental engine.
 #[derive(Debug)]
 pub struct IncrementalEngine {
@@ -116,6 +143,8 @@ pub struct IncrementalEngine {
     taat: HashMap<AdId, f32>,
     /// Reusable hot-path buffers (see [`HotScratch`]).
     scratch: HotScratch,
+    /// Pre-resolved span-timing handles (see [`EngineObs`]).
+    obs: EngineObs,
 }
 
 impl IncrementalEngine {
@@ -145,6 +174,7 @@ impl IncrementalEngine {
             gains: HashMap::new(),
             taat: HashMap::new(),
             scratch: HotScratch::default(),
+            obs: EngineObs::resolve(),
         }
     }
 
@@ -455,6 +485,8 @@ impl IncrementalEngine {
             return;
         }
 
+        let gain_screen_started = Instant::now();
+
         // 2./3. Walk changed terms' postings.
         //
         // Positive changed terms walk their full posting lists (that is
@@ -684,9 +716,12 @@ impl IncrementalEngine {
         }
         self.users[user.index()].outside_bound = new_bound;
         self.scratch.update = update;
+        self.obs.gain_screen_ns.record_elapsed(gain_screen_started);
 
         // 5. Certification.
+        let certify_started = Instant::now();
         self.certify(store, user);
+        self.obs.certify_ns.record_elapsed(certify_started);
     }
 }
 

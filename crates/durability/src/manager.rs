@@ -144,17 +144,24 @@ impl Durability {
         assert!(options.keep_snapshots > 0, "must keep at least 1 snapshot");
         let snapshots_written = Arc::new(AtomicU64::new(0));
         let (job_tx, job_rx) = mpsc::channel::<SnapshotJob>();
+        let snapshot_write_ns = adcast_obs::registry().hist(
+            "adcast_durability_snapshot_write_ns",
+            "Background persister time per snapshot (atomic write + fsync).",
+        );
         let persister = {
             let dir = dir.to_path_buf();
             let written = Arc::clone(&snapshots_written);
             let keep = options.keep_snapshots;
+            let snapshot_write_ns = snapshot_write_ns.clone();
             // adcast-lint: allow(no-panic-hot-path) -- one-time startup
             // spawn, documented under "# Panics"; no request is in flight.
             std::thread::Builder::new()
                 .name("adcast-persister".to_owned())
                 .spawn(move || {
                     while let Ok(job) = job_rx.recv() {
+                        let started = std::time::Instant::now();
                         let outcome = write_snapshot_atomic(&dir, job.next_lsn, &job.bytes);
+                        snapshot_write_ns.record_elapsed(started);
                         if outcome.is_ok() {
                             written.fetch_add(1, Ordering::Relaxed);
                             // Pruning failures are not fatal: the snapshot

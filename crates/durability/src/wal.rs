@@ -315,6 +315,10 @@ pub struct WalWriter {
     records: u64,
     bytes: u64,
     fsyncs: u64,
+    /// Span timing: time inside `sync_data` per fsync.
+    fsync_ns: adcast_obs::Hist,
+    /// Span timing: segment rotation (final fsync + new segment) time.
+    rotate_ns: adcast_obs::Hist,
 }
 
 impl WalWriter {
@@ -341,6 +345,14 @@ impl WalWriter {
             records: 0,
             bytes: 0,
             fsyncs: 0,
+            fsync_ns: adcast_obs::registry().hist(
+                "adcast_durability_fsync_ns",
+                "Time spent in sync_data per WAL fsync.",
+            ),
+            rotate_ns: adcast_obs::registry().hist(
+                "adcast_durability_rotate_ns",
+                "WAL segment rotation time (closing fsync plus new segment).",
+            ),
         })
     }
 
@@ -386,13 +398,17 @@ impl WalWriter {
         self.file.flush()?;
         match self.options.fsync {
             FsyncPolicy::Always => {
+                let started = std::time::Instant::now();
                 self.file.get_ref().sync_data()?;
+                self.fsync_ns.record_elapsed(started);
                 self.fsyncs += 1;
             }
             FsyncPolicy::EveryN(n) => {
                 self.commits_since_sync += 1;
                 if self.commits_since_sync >= n {
+                    let started = std::time::Instant::now();
                     self.file.get_ref().sync_data()?;
+                    self.fsync_ns.record_elapsed(started);
                     self.fsyncs += 1;
                     self.commits_since_sync = 0;
                 }
@@ -409,6 +425,7 @@ impl WalWriter {
     /// fsyncs the outgoing segment (whatever the policy), so only the
     /// newest segment can ever be torn.
     fn rotate(&mut self) -> io::Result<()> {
+        let started = std::time::Instant::now();
         self.file.flush()?;
         self.file.get_ref().sync_data()?;
         self.fsyncs += 1;
@@ -416,6 +433,7 @@ impl WalWriter {
         self.segment_base = self.next_lsn;
         self.segment_written = SEGMENT_HEADER;
         self.commits_since_sync = 0;
+        self.rotate_ns.record_elapsed(started);
         Ok(())
     }
 

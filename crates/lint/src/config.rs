@@ -6,8 +6,9 @@
 //! exists to prevent (`perf_summary` graphs the suppression count per PR).
 
 /// Hot-path modules: the engine steady state, the net server loop and codec,
-/// and the durability commit/replay paths. `no-panic-hot-path` bans
-/// `unwrap`/`expect`/`panic!`-family macros here.
+/// the durability commit/replay paths, and the obs record paths (metric
+/// handles and the flight-recorder ring run inside all of the former).
+/// `no-panic-hot-path` bans `unwrap`/`expect`/`panic!`-family macros here.
 pub const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/engine/incremental.rs",
     "crates/net/src/server.rs",
@@ -16,6 +17,8 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/durability/src/apply.rs",
     "crates/durability/src/recovery.rs",
     "crates/durability/src/manager.rs",
+    "crates/obs/src/metrics.rs",
+    "crates/obs/src/flightrec.rs",
 ];
 
 /// Subset of the hot set where bare slice indexing (`x[i]`) is also banned
@@ -38,6 +41,13 @@ pub const ERROR_HYGIENE_PREFIXES: &[&str] = &["crates/net/src/", "crates/durabil
 /// Files where mutation handlers must order WAL commit before store apply.
 pub const WAL_ORDERING_FILES: &[&str] = &["crates/net/src/server.rs"];
 
+/// Obs record paths: metric handles and the flight-recorder ring are called
+/// from every serving thread, including inside the zero-alloc engine kernel,
+/// so `no-lock-in-record` bans lock types and `.lock()` calls here. The
+/// registry (register/expose only — both off the hot path) is deliberately
+/// not in this set.
+pub const NO_LOCK_FILES: &[&str] = &["crates/obs/src/metrics.rs", "crates/obs/src/flightrec.rs"];
+
 /// Directory names skipped entirely when walking the workspace.
 pub const SKIP_DIRS: &[&str] = &[".git", "target", "vendor", "results", "fixtures"];
 
@@ -55,4 +65,8 @@ pub fn wants_error_hygiene(rel: &str) -> bool {
 
 pub fn wants_wal_ordering(rel: &str) -> bool {
     WAL_ORDERING_FILES.contains(&rel)
+}
+
+pub fn wants_no_lock(rel: &str) -> bool {
+    NO_LOCK_FILES.contains(&rel)
 }

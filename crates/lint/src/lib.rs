@@ -38,6 +38,7 @@ pub const RULES: &[&str] = &[
     rules::NO_ALLOC_STEADY_STATE,
     rules::WAL_ORDERING,
     rules::ERROR_HYGIENE,
+    rules::NO_LOCK_IN_RECORD,
 ];
 
 /// The meta-rule name used for pragma-hygiene diagnostics.
@@ -105,6 +106,9 @@ pub fn lint_source(rel_path: &str, src: &str, only_rule: Option<&str>) -> (Vec<D
     }
     if run(rules::ERROR_HYGIENE) {
         raw.extend(rules::error_hygiene(&fa));
+    }
+    if run(rules::NO_LOCK_IN_RECORD) {
+        raw.extend(rules::no_lock_in_record(&fa));
     }
 
     // Apply suppressions: each valid allow() covers matching diagnostics

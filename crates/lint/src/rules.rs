@@ -12,6 +12,7 @@ pub const NO_PANIC_HOT_PATH: &str = "no-panic-hot-path";
 pub const NO_ALLOC_STEADY_STATE: &str = "no-alloc-steady-state";
 pub const WAL_ORDERING: &str = "wal-ordering";
 pub const ERROR_HYGIENE: &str = "error-hygiene";
+pub const NO_LOCK_IN_RECORD: &str = "no-lock-in-record";
 
 fn diag(fa: &FileAnalysis, line: u32, rule: &'static str, message: String) -> Diagnostic {
     Diagnostic {
@@ -419,6 +420,51 @@ pub fn error_hygiene(fa: &FileAnalysis) -> Vec<Diagnostic> {
                      break downstream matches",
                     name.text
                 ),
+            ));
+        }
+    }
+    out
+}
+
+/// Rule 6: the obs record paths must stay lock-free. A metric handle or the
+/// flight recorder is hit from every serving thread — the accept loop, each
+/// reader, the engine, the durability persister — and from inside the
+/// zero-alloc engine kernel, so a lock here would serialize the very paths
+/// the telemetry exists to measure. Bans lock type names (`Mutex`,
+/// `RwLock`) and `.lock()` calls outside `#[cfg(test)]`.
+pub fn no_lock_in_record(fa: &FileAnalysis) -> Vec<Diagnostic> {
+    if !config::wants_no_lock(&fa.rel_path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in fa.tokens.iter().enumerate() {
+        if fa.in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if matches!(t.text.as_str(), "Mutex" | "RwLock") {
+            out.push(diag(
+                fa,
+                t.line,
+                NO_LOCK_IN_RECORD,
+                format!(
+                    "`{}` in an obs record path; recording must stay lock-free (atomics only)",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| &fa.tokens[p]);
+        let next = fa.tokens.get(i + 1);
+        if t.is_ident("lock")
+            && prev.is_some_and(|p| p.is_punct('.'))
+            && next.is_some_and(|n| n.is_punct('('))
+        {
+            out.push(diag(
+                fa,
+                t.line,
+                NO_LOCK_IN_RECORD,
+                "`.lock()` in an obs record path; recording must stay lock-free (atomics only)"
+                    .to_string(),
             ));
         }
     }

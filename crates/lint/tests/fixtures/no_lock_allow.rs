@@ -1,0 +1,7 @@
+// Fixture: a `.lock()` in an obs record path, silenced by a pragma with a
+// reason. Linted under a pretend obs rel path; never compiled.
+
+// adcast-lint: allow(no-lock-in-record) -- fixture: cold path, held for one store
+fn snapshot(state: &std::sync::Mutex<Vec<u64>>) -> usize {
+    state.lock().len()
+}

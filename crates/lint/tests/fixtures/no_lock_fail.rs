@@ -1,0 +1,13 @@
+// Fixture: a `Mutex` field and a `.lock()` call in an obs record path must
+// trip `no-lock-in-record`. Linted under a pretend obs rel path; never
+// compiled.
+
+struct Hist {
+    state: std::sync::Mutex<Vec<u64>>,
+}
+
+impl Hist {
+    fn record(&self, value: u64) {
+        self.state.lock().push(value);
+    }
+}

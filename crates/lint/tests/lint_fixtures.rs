@@ -13,6 +13,8 @@ const HOT: &str = "crates/net/src/server.rs";
 const NET: &str = "crates/net/src/fixture.rs";
 /// A neutral identity: only the path-independent rules apply.
 const NEUTRAL: &str = "crates/core/src/fixture.rs";
+/// An obs record-path identity: `no-lock-in-record` applies here.
+const RECORD: &str = "crates/obs/src/metrics.rs";
 
 fn lint(rel: &str, src: &str) -> (Vec<Diagnostic>, usize) {
     lint_source(rel, src, None)
@@ -157,6 +159,38 @@ fn typed_non_exhaustive_error_passes() {
     let (diags, sup) = lint(NET, include_str!("fixtures/hygiene_ok.rs"));
     assert!(diags.is_empty(), "{diags:?}");
     assert_eq!(sup, 0);
+}
+
+// ---- no-lock-in-record ------------------------------------------------
+
+#[test]
+fn lock_in_record_path_fails() {
+    let (diags, _) = lint(RECORD, include_str!("fixtures/no_lock_fail.rs"));
+    assert_eq!(
+        rules_of(&diags),
+        vec![rules::NO_LOCK_IN_RECORD, rules::NO_LOCK_IN_RECORD],
+        "{diags:?}"
+    );
+    assert!(diags.iter().any(|d| d.message.contains("Mutex")));
+    assert!(diags.iter().any(|d| d.message.contains(".lock()")));
+}
+
+#[test]
+fn lock_outside_record_paths_is_not_checked() {
+    // The registry file holds the one sanctioned Mutex (register/expose
+    // only) and must not be in the record set.
+    let (diags, _) = lint(
+        "crates/obs/src/registry.rs",
+        include_str!("fixtures/no_lock_fail.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn lock_with_pragma_is_allowed() {
+    let (diags, sup) = lint(RECORD, include_str!("fixtures/no_lock_allow.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 1);
 }
 
 // ---- suppression hygiene ----------------------------------------------

@@ -5,10 +5,13 @@
 //! two), giving O(1) record, tiny memory, and percentile queries with
 //! bounded relative error — exactly what the latency experiments need.
 
-/// Sub-buckets per power of two (higher = finer percentiles).
-const SUBBUCKETS: usize = 16;
+/// Sub-buckets per power of two (higher = finer percentiles). Public so
+/// `adcast-obs` can build an atomic-bucket variant over the same layout.
+pub const SUBBUCKETS: usize = 16;
 /// Number of powers of two covered (2^0 .. 2^63 ns ≈ 292 years).
-const POWERS: usize = 64;
+pub const POWERS: usize = 64;
+/// Total buckets in the fixed layout ([`POWERS`] × [`SUBBUCKETS`]).
+pub const NUM_BUCKETS: usize = POWERS * SUBBUCKETS;
 
 /// A latency histogram over `u64` nanosecond values.
 #[derive(Clone)]
@@ -37,7 +40,12 @@ impl std::fmt::Debug for LatencyHistogram {
     }
 }
 
-fn bucket_of(value: u64) -> usize {
+/// Bucket index for a value under the shared log-bucket layout: exact for
+/// values below [`SUBBUCKETS`], then [`SUBBUCKETS`] sub-buckets per power
+/// of two (≈4.5% relative precision). Shared with the lock-free histogram
+/// in `adcast-obs` so exposition and offline percentiles agree exactly.
+#[must_use]
+pub fn bucket_of(value: u64) -> usize {
     if value < SUBBUCKETS as u64 {
         return value as usize;
     }
@@ -50,7 +58,10 @@ fn bucket_of(value: u64) -> usize {
 }
 
 /// Lower edge of a bucket (inverse of [`bucket_of`] up to precision).
-fn bucket_floor(bucket: usize) -> u64 {
+/// Callers computing *upper* edges must treat bucket [`NUM_BUCKETS`]` - 1`
+/// as unbounded (+Inf): `bucket_floor(NUM_BUCKETS)` would overflow `u64`.
+#[must_use]
+pub fn bucket_floor(bucket: usize) -> u64 {
     if bucket < SUBBUCKETS {
         return bucket as u64;
     }

@@ -20,6 +20,6 @@ pub use diversity::{
     average_precision, catalog_coverage, intra_list_diversity, mean_average_precision,
     mean_reciprocal_rank,
 };
-pub use histogram::LatencyHistogram;
+pub use histogram::{bucket_floor, bucket_of, LatencyHistogram, NUM_BUCKETS, POWERS, SUBBUCKETS};
 pub use ranking::{f_score, ndcg, precision_recall, RankedList};
 pub use throughput::ThroughputMeter;

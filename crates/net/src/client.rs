@@ -258,6 +258,20 @@ impl Client {
         }
     }
 
+    /// Dump the server's flight recorder to disk; returns the number of
+    /// events written.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ingest`]; a server without a data directory refuses
+    /// with [`crate::WireError::BadRequest`].
+    pub fn obs_dump(&mut self) -> Result<u64, NetError> {
+        match self.call(&Request::ObsDump)? {
+            Response::ObsDumped { events } => Ok(events),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Snapshot the server's counters and latency percentiles.
     ///
     /// # Errors
@@ -294,6 +308,7 @@ fn unexpected(resp: Response) -> NetError {
             Response::CampaignPaused { .. } => "unexpected CampaignPaused reply",
             Response::ImpressionRecorded { .. } => "unexpected ImpressionRecorded reply",
             Response::Checkpointed { .. } => "unexpected Checkpointed reply",
+            Response::ObsDumped { .. } => "unexpected ObsDumped reply",
             Response::Stats(_) => "unexpected Stats reply",
             Response::ShutdownAck => "unexpected ShutdownAck reply",
             Response::Error(_) => unreachable!(),

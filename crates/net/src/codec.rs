@@ -32,8 +32,8 @@ use crate::protocol::{CampaignSpec, Request, Response, ServerStats, WireError};
 /// Per-frame magic (the trace stream uses `ADCT`).
 pub const MAGIC: &[u8; 4] = b"ADCN";
 /// Wire protocol version. v2 added Impression/Checkpoint RPCs and the
-/// durability counters in the Stats reply.
-pub const VERSION: u16 = 2;
+/// durability counters in the Stats reply; v3 added the ObsDump RPC.
+pub const VERSION: u16 = 3;
 /// Upper bound on a frame body; larger declared lengths are rejected
 /// before any allocation, so a malformed peer cannot OOM the server.
 pub const MAX_FRAME: usize = 64 << 20;
@@ -96,15 +96,17 @@ impl From<TraceError> for NetError {
     }
 }
 
-// Request body kinds.
-const K_INGEST: u8 = 1;
-const K_RECOMMEND: u8 = 2;
-const K_SUBMIT: u8 = 3;
-const K_PAUSE: u8 = 4;
-const K_STATS: u8 = 5;
-const K_SHUTDOWN: u8 = 6;
-const K_IMPRESSION: u8 = 7;
-const K_CHECKPOINT: u8 = 8;
+// Request body kinds. `pub(crate)` so the server's flight-recorder
+// events can tag admissions/sheds with the wire kind code.
+pub(crate) const K_INGEST: u8 = 1;
+pub(crate) const K_RECOMMEND: u8 = 2;
+pub(crate) const K_SUBMIT: u8 = 3;
+pub(crate) const K_PAUSE: u8 = 4;
+pub(crate) const K_STATS: u8 = 5;
+pub(crate) const K_SHUTDOWN: u8 = 6;
+pub(crate) const K_IMPRESSION: u8 = 7;
+pub(crate) const K_CHECKPOINT: u8 = 8;
+pub(crate) const K_OBS_DUMP: u8 = 9;
 // Response body kinds.
 const K_INGESTED: u8 = 0x81;
 const K_RECOMMENDATIONS: u8 = 0x82;
@@ -114,6 +116,7 @@ const K_STATS_REPLY: u8 = 0x85;
 const K_SHUTDOWN_ACK: u8 = 0x86;
 const K_IMPRESSION_ACK: u8 = 0x87;
 const K_CHECKPOINTED: u8 = 0x88;
+const K_OBS_DUMPED: u8 = 0x89;
 const K_ERROR: u8 = 0xFF;
 // Error codes inside K_ERROR.
 const E_OVERLOADED: u8 = 1;
@@ -210,6 +213,10 @@ pub fn encode_request(id: u64, req: &Request) -> Bytes {
             body.put_u8(K_CHECKPOINT);
             body.put_u64_le(id);
         }
+        Request::ObsDump => {
+            body.put_u8(K_OBS_DUMP);
+            body.put_u64_le(id);
+        }
         Request::Stats => {
             body.put_u8(K_STATS);
             body.put_u64_le(id);
@@ -264,6 +271,11 @@ pub fn encode_response(id: u64, resp: &Response) -> Bytes {
             body.put_u8(K_CHECKPOINTED);
             body.put_u64_le(id);
             body.put_u64_le(*lsn);
+        }
+        Response::ObsDumped { events } => {
+            body.put_u8(K_OBS_DUMPED);
+            body.put_u64_le(id);
+            body.put_u64_le(*events);
         }
         Response::Stats(s) => {
             body.put_u8(K_STATS_REPLY);
@@ -427,6 +439,7 @@ pub fn decode_request(mut data: Bytes) -> Result<(u64, Request), NetError> {
             }
         }
         K_CHECKPOINT => Request::Checkpoint,
+        K_OBS_DUMP => Request::ObsDump,
         K_STATS => Request::Stats,
         K_SHUTDOWN => Request::Shutdown,
         _ => return Err(TraceError::Corrupt("unknown request kind").into()),
@@ -487,6 +500,12 @@ pub fn decode_response(mut data: Bytes) -> Result<(u64, Response), NetError> {
             need(&data, 8)?;
             Response::Checkpointed {
                 lsn: data.get_u64_le(),
+            }
+        }
+        K_OBS_DUMPED => {
+            need(&data, 8)?;
+            Response::ObsDumped {
+                events: data.get_u64_le(),
             }
         }
         K_STATS_REPLY => {
@@ -669,6 +688,7 @@ mod tests {
                 now: Timestamp::from_secs(0),
             },
             Request::Checkpoint,
+            Request::ObsDump,
             Request::Stats,
             Request::Shutdown,
         ]
@@ -701,6 +721,7 @@ mod tests {
                 exhausted: false,
             },
             Response::Checkpointed { lsn: 12_345 },
+            Response::ObsDumped { events: 4096 },
             Response::Stats(ServerStats {
                 deltas: 100,
                 recommends: 50,

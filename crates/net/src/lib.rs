@@ -19,6 +19,6 @@ pub mod synth;
 
 pub use client::{Client, ClientConfig};
 pub use codec::NetError;
-pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use loadgen::{scrape_obs, LoadgenConfig, LoadgenReport, ObsScrape, STAGE_FAMILIES};
 pub use protocol::{CampaignSpec, Request, Response, ServerStats, WireError};
 pub use server::{Server, ServerConfig, ServerHandle};

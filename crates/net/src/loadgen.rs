@@ -19,11 +19,13 @@
 //! whose ack was lost in the crash is replayed, so server-side counters
 //! can exceed the loadgen's (never undershoot).
 
+use std::io;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use adcast_graph::UserId;
 use adcast_metrics::{LatencyHistogram, ThroughputMeter};
+use adcast_obs::{find_family, histogram_quantile, http_get, parse_exposition};
 
 use crate::client::{Client, ClientConfig};
 use crate::codec::NetError;
@@ -43,6 +45,11 @@ pub struct LoadgenConfig {
     pub k: u16,
     /// Connection behaviour.
     pub client: ClientConfig,
+    /// Observability endpoint (`host:port` of the server's `--obs-addr`
+    /// listener). When set, the run ends with a `/metrics` + `/healthz`
+    /// scrape whose parsed result lands in [`LoadgenReport::obs`]; a
+    /// malformed exposition is a hard error.
+    pub obs_addr: Option<String>,
 }
 
 impl LoadgenConfig {
@@ -55,8 +62,68 @@ impl LoadgenConfig {
             recommend_every: 4,
             k: 10,
             client: ClientConfig::default(),
+            obs_addr: None,
         }
     }
+}
+
+/// The server-side stage histograms a scrape surfaces next to the
+/// client-observed RTTs (delta lifecycle order).
+pub const STAGE_FAMILIES: &[&str] = &[
+    "adcast_net_queue_wait_ns",
+    "adcast_net_wal_commit_ns",
+    "adcast_net_engine_apply_ns",
+    "adcast_net_ingest_ns",
+    "adcast_net_recommend_ns",
+];
+
+/// Parsed end-of-run scrape of the server's observability endpoint.
+#[derive(Debug)]
+pub struct ObsScrape {
+    /// Metric families in the exposition.
+    pub families: usize,
+    /// Exposition body size in bytes.
+    pub bytes: usize,
+    /// Did `/healthz` answer 200?
+    pub healthy: bool,
+    /// `(family, p50 ns, p99 ns)` for each [`STAGE_FAMILIES`] histogram
+    /// present in the exposition with at least one observation.
+    pub stages: Vec<(String, u64, u64)>,
+}
+
+/// Scrape and validate `/metrics` + `/healthz` on `addr`.
+///
+/// # Errors
+///
+/// Transport failures, a non-200 status, or an exposition the validating
+/// parser rejects (all as [`NetError::Io`] — the scrape is HTTP, not the
+/// wire protocol).
+pub fn scrape_obs(addr: &str) -> Result<ObsScrape, NetError> {
+    let (status, body) = http_get(addr, "/metrics")?;
+    if status != 200 {
+        return Err(NetError::Io(io::Error::other(format!(
+            "GET /metrics returned status {status}"
+        ))));
+    }
+    let families = parse_exposition(&body)
+        .map_err(|e| NetError::Io(io::Error::other(format!("malformed /metrics: {e}"))))?;
+    let (health_status, _) = http_get(addr, "/healthz")?;
+    let mut stages = Vec::new();
+    for name in STAGE_FAMILIES {
+        if let Some(family) = find_family(&families, name) {
+            let p50 = histogram_quantile(family, 0.50);
+            let p99 = histogram_quantile(family, 0.99);
+            if let (Some(p50), Some(p99)) = (p50, p99) {
+                stages.push(((*name).to_string(), p50 as u64, p99 as u64));
+            }
+        }
+    }
+    Ok(ObsScrape {
+        families: families.len(),
+        bytes: body.len(),
+        healthy: health_status == 200,
+        stages,
+    })
 }
 
 /// What one load-generation run measured.
@@ -81,6 +148,9 @@ pub struct LoadgenReport {
     pub elapsed: Duration,
     /// Server counters snapshot taken after the replay.
     pub server: ServerStats,
+    /// End-of-run `/metrics` scrape (when [`LoadgenConfig::obs_addr`]
+    /// was set).
+    pub obs: Option<ObsScrape>,
 }
 
 impl LoadgenReport {
@@ -176,6 +246,10 @@ pub fn run(
         }
         Err(e) => return Err(e),
     };
+    let obs = match config.obs_addr.as_deref() {
+        Some(addr) => Some(scrape_obs(addr)?),
+        None => None,
+    };
     Ok(LoadgenReport {
         connections: conns,
         deltas_accepted: accepted,
@@ -186,6 +260,7 @@ pub fn run(
         rtt,
         elapsed: meter.elapsed(),
         server,
+        obs,
     })
 }
 

@@ -56,6 +56,10 @@ pub enum Request {
     /// on disk. Refused with [`WireError::BadRequest`] when the server
     /// runs without a data directory.
     Checkpoint,
+    /// Dump the in-memory flight recorder to `flightrec.jsonl` in the
+    /// server's data directory. Refused with [`WireError::BadRequest`]
+    /// when the server runs without a data directory.
+    ObsDump,
     /// Snapshot server + engine counters and RPC latency percentiles.
     Stats,
     /// Graceful shutdown: drain queued requests, then stop serving.
@@ -152,6 +156,11 @@ pub enum Response {
         /// WAL position the snapshot covers: every record below this LSN
         /// is inside it.
         lsn: u64,
+    },
+    /// The flight-recorder dump is on disk.
+    ObsDumped {
+        /// Events written to the dump file.
+        events: u64,
     },
     /// Counter + latency snapshot.
     Stats(ServerStats),

@@ -27,6 +27,16 @@
 //! RPCs (submit/pause/stats/shutdown) use a blocking send — they are rare
 //! and must not be shed under ingest pressure.
 //!
+//! ## Telemetry
+//!
+//! Every layer of the delta lifecycle is timed into the process-wide
+//! [`adcast_obs::registry`]: queue wait (enqueue → engine pickup), WAL
+//! log + group-commit, engine apply, and per-RPC service time. Admissions,
+//! sheds, checkpoints, and slow ingests also land in the process-wide
+//! [`flightrec`] ring, which the engine dumps to
+//! [`ServerConfig::flightrec_path`] on shutdown and on the
+//! [`Request::ObsDump`] RPC.
+//!
 //! ## Shutdown
 //!
 //! [`Request::Shutdown`] is acked immediately, then the engine thread
@@ -38,6 +48,7 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -48,9 +59,15 @@ use adcast_ads::{AdStore, CampaignState};
 use adcast_core::ShardedDriver;
 use adcast_durability::{apply_record, ApplyEffect, Durability, WalRecord};
 use adcast_metrics::LatencyHistogram;
+use adcast_obs::{flightrec, Counter, EventKind, Gauge, Hist};
 
-use crate::codec::{decode_request, encode_response, read_frame, write_frame, NetError};
+use crate::codec::{self, decode_request, encode_response, read_frame, write_frame, NetError};
 use crate::protocol::{Request, Response, ServerStats, WireError};
+
+/// An Ingest whose engine service time exceeds this gets a `SlowDelta`
+/// flight-recorder event (hot-path budget is microseconds; 10 ms means
+/// something is badly wrong — an fsync stall, a pool hiccup).
+const SLOW_DELTA_THRESHOLD: Duration = Duration::from_millis(10);
 
 /// Serving-layer knobs.
 #[derive(Debug, Clone)]
@@ -59,8 +76,11 @@ pub struct ServerConfig {
     /// many admitted-but-unprocessed RPCs exist at any time.
     pub queue_depth: usize,
     /// How often blocked readers wake to poll the shutdown flag. Also the
-    /// granularity of shutdown latency.
+    /// granularity of shutdown latency and of reader-thread reaping.
     pub poll_interval: Duration,
+    /// Where the engine dumps the flight recorder on shutdown and on
+    /// [`Request::ObsDump`]; `None` refuses the RPC and skips the dump.
+    pub flightrec_path: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +88,7 @@ impl Default for ServerConfig {
         ServerConfig {
             queue_depth: 64,
             poll_interval: Duration::from_millis(50),
+            flightrec_path: None,
         }
     }
 }
@@ -77,6 +98,8 @@ impl Default for ServerConfig {
 struct Cmd {
     req: Request,
     reply: mpsc::Sender<Response>,
+    /// When the reader submitted this command (queue-wait span start).
+    enqueued: Instant,
 }
 
 /// Counters shared between the accept loop, readers, and the engine.
@@ -85,6 +108,83 @@ struct Shared {
     shutdown: AtomicBool,
     shed: AtomicU64,
     connections: AtomicU64,
+}
+
+/// Handles into the process-wide metrics registry for the serving layer.
+/// Cloning is cheap (each handle is an `Arc`), so every reader thread
+/// carries its own copy.
+#[derive(Clone)]
+struct NetObs {
+    rpcs_total: Counter,
+    shed_total: Counter,
+    connections_total: Counter,
+    reader_threads: Gauge,
+    queue_wait_ns: Hist,
+    ingest_ns: Hist,
+    recommend_ns: Hist,
+    wal_commit_ns: Hist,
+    engine_apply_ns: Hist,
+}
+
+impl NetObs {
+    fn resolve() -> NetObs {
+        let reg = adcast_obs::registry();
+        NetObs {
+            rpcs_total: reg.counter(
+                "adcast_net_rpcs_total",
+                "RPCs that reached the engine thread (all kinds).",
+            ),
+            shed_total: reg.counter(
+                "adcast_net_shed_total",
+                "Hot-path requests shed because the bounded queue was full.",
+            ),
+            connections_total: reg.counter("adcast_net_connections_total", "Connections accepted."),
+            reader_threads: reg.gauge(
+                "adcast_net_reader_threads",
+                "Live per-connection reader threads.",
+            ),
+            queue_wait_ns: reg.hist(
+                "adcast_net_queue_wait_ns",
+                "Time an admitted RPC waited in the bounded queue before the engine picked it up.",
+            ),
+            ingest_ns: reg.hist(
+                "adcast_net_ingest_ns",
+                "Engine service time per successful Ingest RPC.",
+            ),
+            recommend_ns: reg.hist(
+                "adcast_net_recommend_ns",
+                "Engine service time per successful Recommend RPC.",
+            ),
+            wal_commit_ns: reg.hist(
+                "adcast_net_wal_commit_ns",
+                "WAL log + group-commit time per mutating RPC.",
+            ),
+            engine_apply_ns: reg.hist(
+                "adcast_net_engine_apply_ns",
+                "Engine apply time per mutating RPC (after the WAL commit).",
+            ),
+        }
+    }
+}
+
+/// The wire kind code of a request, for flight-recorder payloads.
+fn req_kind_code(req: &Request) -> u64 {
+    u64::from(match req {
+        Request::Ingest { .. } => codec::K_INGEST,
+        Request::Recommend { .. } => codec::K_RECOMMEND,
+        Request::SubmitCampaign(_) => codec::K_SUBMIT,
+        Request::PauseCampaign { .. } => codec::K_PAUSE,
+        Request::Stats => codec::K_STATS,
+        Request::Shutdown => codec::K_SHUTDOWN,
+        Request::Impression { .. } => codec::K_IMPRESSION,
+        Request::Checkpoint => codec::K_CHECKPOINT,
+        Request::ObsDump => codec::K_OBS_DUMP,
+    })
+}
+
+/// Saturating whole-microsecond count for flight-recorder payloads.
+fn micros_u64(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 /// A running server; dropping it does **not** stop it — send
@@ -137,23 +237,32 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared::default());
+        let obs = NetObs::resolve();
         let (cmd_tx, cmd_rx) = mpsc::sync_channel::<Cmd>(config.queue_depth.max(1));
 
         let engine_join = {
-            let shared = Arc::clone(&shared);
-            let depth = config.queue_depth.max(1);
+            let mut engine = Engine {
+                store,
+                driver,
+                durability,
+                shared: Arc::clone(&shared),
+                queue_depth: config.queue_depth.max(1),
+                flightrec_path: config.flightrec_path.clone(),
+                obs: obs.clone(),
+                rpcs: 0,
+                ingest_lat: LatencyHistogram::new(),
+                recommend_lat: LatencyHistogram::new(),
+            };
             std::thread::Builder::new()
                 .name("adcast-engine".into())
-                .spawn(move || {
-                    engine_loop(store, driver, durability, &cmd_rx, &shared, local, depth)
-                })?
+                .spawn(move || engine.run(&cmd_rx, local))?
         };
         let accept_join = {
             let shared = Arc::clone(&shared);
             let poll = config.poll_interval;
             std::thread::Builder::new()
                 .name("adcast-accept".into())
-                .spawn(move || accept_loop(&listener, &cmd_tx, &shared, poll))?
+                .spawn(move || accept_loop(&listener, &cmd_tx, &shared, &obs, poll))?
         };
         Ok(Server {
             addr: local,
@@ -193,28 +302,59 @@ fn accept_loop(
     listener: &TcpListener,
     cmd_tx: &SyncSender<Cmd>,
     shared: &Arc<Shared>,
+    obs: &NetObs,
     poll: Duration,
 ) {
     let mut readers: Vec<JoinHandle<()>> = Vec::new();
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
+    // Non-blocking accept with a poll-interval sleep, so the reap below
+    // runs on every tick — a long-lived server's handle list tracks live
+    // connections instead of growing until the next accept arrives.
+    let nonblocking = listener.set_nonblocking(true).is_ok();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                obs.connections_total.inc();
+                // Accepted sockets can inherit the listener's non-blocking
+                // mode on some platforms; readers need blocking reads with
+                // a timeout.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(poll));
+                let tx = cmd_tx.clone();
+                let shared = Arc::clone(shared);
+                let reader_threads = obs.reader_threads.clone();
+                reader_threads.inc();
+                let conn_obs = obs.clone();
+                match std::thread::Builder::new()
+                    .name("adcast-conn".into())
+                    .spawn(move || {
+                        connection_loop(stream, &tx, &shared, &conn_obs);
+                        conn_obs.reader_threads.dec();
+                    }) {
+                    Ok(join) => readers.push(join),
+                    Err(_) => reader_threads.dec(),
+                }
+                readers.retain(|j| !j.is_finished());
+            }
+            Err(e) if nonblocking && e.kind() == io::ErrorKind::WouldBlock => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Timer-tick reap: join capacity for finished readers is
+                // reclaimed even when no new connection ever arrives.
+                readers.retain(|j| !j.is_finished());
+                std::thread::sleep(poll);
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
         }
-        let Ok(stream) = stream else { continue };
-        shared.connections.fetch_add(1, Ordering::Relaxed);
-        let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(poll));
-        let tx = cmd_tx.clone();
-        let shared = Arc::clone(shared);
-        if let Ok(join) = std::thread::Builder::new()
-            .name("adcast-conn".into())
-            .spawn(move || connection_loop(stream, &tx, &shared))
-        {
-            readers.push(join);
-        }
-        // Opportunistically reap finished readers so a long-lived server
-        // does not accumulate handles.
-        readers.retain(|j| !j.is_finished());
     }
     for j in readers {
         let _ = j.join();
@@ -228,7 +368,12 @@ fn sheddable(req: &Request) -> bool {
     matches!(req, Request::Ingest { .. } | Request::Recommend { .. })
 }
 
-fn connection_loop(mut stream: TcpStream, cmd_tx: &SyncSender<Cmd>, shared: &Arc<Shared>) {
+fn connection_loop(
+    mut stream: TcpStream,
+    cmd_tx: &SyncSender<Cmd>,
+    shared: &Arc<Shared>,
+    obs: &NetObs,
+) {
     loop {
         let body = match read_frame(&mut stream) {
             Ok(Some(body)) => body,
@@ -259,6 +404,7 @@ fn connection_loop(mut stream: TcpStream, cmd_tx: &SyncSender<Cmd>, shared: &Arc
         let cmd = Cmd {
             req,
             reply: reply_tx,
+            enqueued: Instant::now(),
         };
         let outcome = if sheddable(&cmd.req) {
             cmd_tx.try_send(cmd)
@@ -275,8 +421,10 @@ fn connection_loop(mut stream: TcpStream, cmd_tx: &SyncSender<Cmd>, shared: &Arc
                 // drains everything on Shutdown, so this means the cmd was
                 // dropped unprocessed after the engine died or left).
                 .unwrap_or(Response::Error(WireError::ShuttingDown)),
-            Err(TrySendError::Full(_)) => {
+            Err(TrySendError::Full(cmd)) => {
                 shared.shed.fetch_add(1, Ordering::Relaxed);
+                obs.shed_total.inc();
+                flightrec().record(EventKind::Shed, req_kind_code(&cmd.req), 0, 0);
                 Response::Error(WireError::Overloaded)
             }
             Err(TrySendError::Disconnected(_)) => Response::Error(WireError::ShuttingDown),
@@ -290,246 +438,274 @@ fn connection_loop(mut stream: TcpStream, cmd_tx: &SyncSender<Cmd>, shared: &Arc
     }
 }
 
-fn engine_loop(
-    mut store: AdStore,
-    mut driver: ShardedDriver,
-    mut durability: Option<Durability>,
-    cmd_rx: &Receiver<Cmd>,
-    shared: &Arc<Shared>,
-    addr: SocketAddr,
+/// The engine thread's state: the single owner of the store and driver,
+/// plus the counters and telemetry handles its RPC loop feeds.
+struct Engine {
+    store: AdStore,
+    driver: ShardedDriver,
+    durability: Option<Durability>,
+    shared: Arc<Shared>,
     queue_depth: usize,
-) {
-    let mut rpcs = 0u64;
-    let mut ingest_lat = LatencyHistogram::new();
-    let mut recommend_lat = LatencyHistogram::new();
-    // Phase 1: serve until a Shutdown command or until every sender is
-    // gone (host-side `Server::shutdown` + all readers exited).
-    let mut draining = false;
-    while let Ok(cmd) = cmd_rx.recv() {
-        let is_shutdown = matches!(cmd.req, Request::Shutdown);
-        serve_one(
-            cmd,
-            &mut store,
-            &mut driver,
-            &mut durability,
-            shared,
-            queue_depth,
-            &mut rpcs,
-            &mut ingest_lat,
-            &mut recommend_lat,
+    flightrec_path: Option<PathBuf>,
+    obs: NetObs,
+    rpcs: u64,
+    ingest_lat: LatencyHistogram,
+    recommend_lat: LatencyHistogram,
+}
+
+impl Engine {
+    fn run(&mut self, cmd_rx: &Receiver<Cmd>, addr: SocketAddr) {
+        // Phase 1: serve until a Shutdown command or until every sender is
+        // gone (host-side `Server::shutdown` + all readers exited).
+        let mut draining = false;
+        while let Ok(cmd) = cmd_rx.recv() {
+            let is_shutdown = matches!(cmd.req, Request::Shutdown);
+            self.serve_one(cmd);
+            // Periodic snapshots happen between RPCs, where the worker pool
+            // is idle — the engine thread sees a consistent cut for free.
+            if let Some(d) = self.durability.as_mut() {
+                d.maybe_snapshot(&self.store, &self.driver);
+            }
+            if is_shutdown {
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+                let _ = TcpStream::connect(addr); // unblock accept()
+                draining = true;
+                break;
+            }
+        }
+        let mut drained = 0u64;
+        if draining {
+            // Phase 2: every already-admitted request still gets its real
+            // reply — in-flight work is drained, not dropped.
+            while let Ok(cmd) = cmd_rx.try_recv() {
+                self.serve_one(cmd);
+                drained += 1;
+            }
+        }
+        flightrec().record(EventKind::Shutdown, drained, 0, 0);
+        if let Some(path) = &self.flightrec_path {
+            let _ = flightrec().dump_to_path(path);
+        }
+        // Dropping `durability` (with self) joins the persister after any
+        // in-flight snapshot finishes.
+    }
+
+    /// WAL-log `record` (when durability is on), group-commit it, then
+    /// apply it through the shared [`apply_record`] path. A commit failure
+    /// means the mutation is **not durable**: it is refused without being
+    /// applied, so memory and log can never diverge.
+    fn log_apply(&mut self, record: WalRecord) -> Result<ApplyEffect, WireError> {
+        if let Some(d) = self.durability.as_mut() {
+            let wal_started = Instant::now();
+            let committed = d.log(&record).is_ok() && d.commit().is_ok();
+            self.obs.wal_commit_ns.record_elapsed(wal_started);
+            if !committed {
+                return Err(WireError::Unavailable);
+            }
+        }
+        let apply_started = Instant::now();
+        let outcome = apply_record(&mut self.store, &mut self.driver, record);
+        self.obs.engine_apply_ns.record_elapsed(apply_started);
+        outcome.map_err(|why| {
+            if self.driver.is_dead() {
+                WireError::Unavailable
+            } else {
+                WireError::BadRequest(why)
+            }
+        })
+    }
+
+    fn serve_one(&mut self, cmd: Cmd) {
+        self.rpcs += 1;
+        self.obs.rpcs_total.inc();
+        let queue_wait = cmd.enqueued.elapsed();
+        self.obs.queue_wait_ns.record_elapsed(cmd.enqueued);
+        flightrec().record(
+            EventKind::Admission,
+            req_kind_code(&cmd.req),
+            micros_u64(queue_wait),
+            0,
         );
-        // Periodic snapshots happen between RPCs, where the worker pool
-        // is idle — the engine thread sees a consistent cut for free.
-        if let Some(d) = durability.as_mut() {
-            d.maybe_snapshot(&store, &driver);
-        }
-        if is_shutdown {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            let _ = TcpStream::connect(addr); // unblock accept()
-            draining = true;
-            break;
-        }
-    }
-    if draining {
-        // Phase 2: every already-admitted request still gets its real
-        // reply — in-flight work is drained, not dropped.
-        while let Ok(cmd) = cmd_rx.try_recv() {
-            serve_one(
-                cmd,
-                &mut store,
-                &mut driver,
-                &mut durability,
-                shared,
-                queue_depth,
-                &mut rpcs,
-                &mut ingest_lat,
-                &mut recommend_lat,
-            );
-        }
-    }
-    // Dropping `durability` here joins the persister after any in-flight
-    // snapshot finishes.
-}
-
-/// WAL-log `record` (when durability is on), group-commit it, then apply
-/// it through the shared [`apply_record`] path. A commit failure means
-/// the mutation is **not durable**: it is refused without being applied,
-/// so memory and log can never diverge.
-fn log_apply(
-    durability: &mut Option<Durability>,
-    store: &mut AdStore,
-    driver: &mut ShardedDriver,
-    record: WalRecord,
-) -> Result<ApplyEffect, WireError> {
-    if let Some(d) = durability.as_mut() {
-        if d.log(&record).is_err() || d.commit().is_err() {
-            return Err(WireError::Unavailable);
-        }
-    }
-    apply_record(store, driver, record).map_err(|why| {
-        if driver.is_dead() {
-            WireError::Unavailable
-        } else {
-            WireError::BadRequest(why)
-        }
-    })
-}
-
-#[allow(clippy::too_many_arguments)]
-fn serve_one(
-    cmd: Cmd,
-    store: &mut AdStore,
-    driver: &mut ShardedDriver,
-    durability: &mut Option<Durability>,
-    shared: &Shared,
-    queue_depth: usize,
-    rpcs: &mut u64,
-    ingest_lat: &mut LatencyHistogram,
-    recommend_lat: &mut LatencyHistogram,
-) {
-    *rpcs += 1;
-    let started = Instant::now();
-    let resp = match cmd.req {
-        Request::Ingest { deltas } => {
-            if driver.is_dead() {
-                Response::Error(WireError::Unavailable)
-            } else if let Some((user, _)) = deltas
-                .iter()
-                .find(|(u, _)| u.index() >= driver.num_users() as usize)
-            {
-                // Validate ids *before* logging or dispatch: an
-                // out-of-range user would panic a shard worker, and a
-                // record that cannot apply must never reach the WAL
-                // (replay aborts on apply failures).
-                Response::Error(WireError::BadRequest(format!(
-                    "user {} out of range (num_users = {})",
-                    user.0,
-                    driver.num_users()
-                )))
-            } else {
-                match log_apply(durability, store, driver, WalRecord::IngestBatch(deltas)) {
-                    Ok(ApplyEffect::Ingested { accepted }) => Response::Ingested { accepted },
-                    Ok(_) => Response::Error(WireError::Unavailable),
-                    Err(err) => Response::Error(err),
-                }
-            }
-        }
-        Request::Recommend {
-            user,
-            now,
-            location,
-            k,
-        } => {
-            if user.index() >= driver.num_users() as usize {
-                Response::Error(WireError::BadRequest(format!(
-                    "user {} out of range (num_users = {})",
-                    user.0,
-                    driver.num_users()
-                )))
-            } else {
-                // Reads are not logged: the engine refreshes rankings
-                // eagerly on ingest, so recommendations are a pure
-                // function of the mutation history the WAL captures.
-                Response::Recommendations(driver.recommend(store, user, now, location, k as usize))
-            }
-        }
-        Request::SubmitCampaign(spec) => match spec.try_into_submission() {
-            Err(why) => Response::Error(WireError::BadRequest(why)),
-            Ok(sub) => {
-                if sub.vector.is_empty() || !(sub.bid.is_finite() && sub.bid > 0.0) {
-                    // The store would reject this submission; catch it
-                    // before it can reach the WAL.
+        // For a SlowDelta event we need the batch's lead user after the
+        // deltas have been moved into the WAL record.
+        let ingest_lead_user = match &cmd.req {
+            Request::Ingest { deltas } => deltas.first().map(|(u, _)| u64::from(u.0)),
+            _ => None,
+        };
+        let started = Instant::now();
+        let resp = match cmd.req {
+            Request::Ingest { deltas } => {
+                if self.driver.is_dead() {
+                    Response::Error(WireError::Unavailable)
+                } else if let Some((user, _)) = deltas
+                    .iter()
+                    .find(|(u, _)| u.index() >= self.driver.num_users() as usize)
+                {
+                    // Validate ids *before* logging or dispatch: an
+                    // out-of-range user would panic a shard worker, and a
+                    // record that cannot apply must never reach the WAL
+                    // (replay aborts on apply failures).
                     Response::Error(WireError::BadRequest(format!(
-                        "empty keyword vector or invalid bid {}",
-                        sub.bid
+                        "user {} out of range (num_users = {})",
+                        user.0,
+                        self.driver.num_users()
                     )))
                 } else {
-                    match log_apply(durability, store, driver, WalRecord::Submit(sub)) {
-                        Ok(ApplyEffect::Submitted { ad }) => Response::CampaignAccepted { ad },
+                    match self.log_apply(WalRecord::IngestBatch(deltas)) {
+                        Ok(ApplyEffect::Ingested { accepted }) => Response::Ingested { accepted },
                         Ok(_) => Response::Error(WireError::Unavailable),
                         Err(err) => Response::Error(err),
                     }
                 }
             }
-        },
-        Request::PauseCampaign { ad } => {
-            match log_apply(durability, store, driver, WalRecord::Pause(ad)) {
+            Request::Recommend {
+                user,
+                now,
+                location,
+                k,
+            } => {
+                if user.index() >= self.driver.num_users() as usize {
+                    Response::Error(WireError::BadRequest(format!(
+                        "user {} out of range (num_users = {})",
+                        user.0,
+                        self.driver.num_users()
+                    )))
+                } else {
+                    // Reads are not logged: the engine refreshes rankings
+                    // eagerly on ingest, so recommendations are a pure
+                    // function of the mutation history the WAL captures.
+                    Response::Recommendations(self.driver.recommend(
+                        &self.store,
+                        user,
+                        now,
+                        location,
+                        k as usize,
+                    ))
+                }
+            }
+            Request::SubmitCampaign(spec) => match spec.try_into_submission() {
+                Err(why) => Response::Error(WireError::BadRequest(why)),
+                Ok(sub) => {
+                    if sub.vector.is_empty() || !(sub.bid.is_finite() && sub.bid > 0.0) {
+                        // The store would reject this submission; catch it
+                        // before it can reach the WAL.
+                        Response::Error(WireError::BadRequest(format!(
+                            "empty keyword vector or invalid bid {}",
+                            sub.bid
+                        )))
+                    } else {
+                        match self.log_apply(WalRecord::Submit(sub)) {
+                            Ok(ApplyEffect::Submitted { ad }) => Response::CampaignAccepted { ad },
+                            Ok(_) => Response::Error(WireError::Unavailable),
+                            Err(err) => Response::Error(err),
+                        }
+                    }
+                }
+            },
+            Request::PauseCampaign { ad } => match self.log_apply(WalRecord::Pause(ad)) {
                 Ok(ApplyEffect::Paused { changed: true }) => Response::CampaignPaused { ad },
                 Ok(ApplyEffect::Paused { changed: false }) => {
                     Response::Error(WireError::UnknownCampaign(ad))
                 }
                 Ok(_) => Response::Error(WireError::Unavailable),
                 Err(err) => Response::Error(err),
-            }
-        }
-        Request::Impression {
-            ad,
-            cost,
-            clicked,
-            now,
-        } => {
-            if store.campaign(ad).is_none() {
-                Response::Error(WireError::UnknownCampaign(ad))
-            } else {
-                let record = WalRecord::Impression {
-                    ad,
-                    cost,
-                    clicked,
-                    now,
-                };
-                match log_apply(durability, store, driver, record) {
-                    Ok(ApplyEffect::Impression { state }) => Response::ImpressionRecorded {
+            },
+            Request::Impression {
+                ad,
+                cost,
+                clicked,
+                now,
+            } => {
+                if self.store.campaign(ad).is_none() {
+                    Response::Error(WireError::UnknownCampaign(ad))
+                } else {
+                    let record = WalRecord::Impression {
                         ad,
-                        exhausted: state == Some(CampaignState::Exhausted),
-                    },
-                    Ok(_) => Response::Error(WireError::Unavailable),
-                    Err(err) => Response::Error(err),
+                        cost,
+                        clicked,
+                        now,
+                    };
+                    match self.log_apply(record) {
+                        Ok(ApplyEffect::Impression { state }) => Response::ImpressionRecorded {
+                            ad,
+                            exhausted: state == Some(CampaignState::Exhausted),
+                        },
+                        Ok(_) => Response::Error(WireError::Unavailable),
+                        Err(err) => Response::Error(err),
+                    }
                 }
             }
-        }
-        Request::Checkpoint => match durability.as_mut() {
-            None => Response::Error(WireError::BadRequest(
-                "server is running without a data directory (start with --data-dir)".into(),
-            )),
-            Some(d) => match d.checkpoint(store, driver) {
-                Ok(lsn) => Response::Checkpointed { lsn },
-                Err(_) => Response::Error(WireError::Unavailable),
+            Request::Checkpoint => match self.durability.as_mut() {
+                None => Response::Error(WireError::BadRequest(
+                    "server is running without a data directory (start with --data-dir)".into(),
+                )),
+                Some(d) => match d.checkpoint(&self.store, &self.driver) {
+                    Ok(lsn) => Response::Checkpointed { lsn },
+                    Err(_) => Response::Error(WireError::Unavailable),
+                },
             },
-        },
-        Request::Stats => {
-            let engine = driver.stats();
-            let dur = durability
-                .as_ref()
-                .map(Durability::counters)
-                .unwrap_or_default();
-            Response::Stats(ServerStats {
-                deltas: engine.deltas,
-                recommends: engine.recommends,
-                active_campaigns: store.num_active() as u64,
-                rpcs: *rpcs,
-                shed: shared.shed.load(Ordering::Relaxed),
-                connections: shared.connections.load(Ordering::Relaxed),
-                queue_capacity: queue_depth as u64,
-                ingest_p50_ns: ingest_lat.p50(),
-                ingest_p99_ns: ingest_lat.p99(),
-                recommend_p50_ns: recommend_lat.p50(),
-                recommend_p99_ns: recommend_lat.p99(),
-                wal_records: dur.wal_records,
-                wal_bytes: dur.wal_bytes,
-                wal_fsyncs: dur.wal_fsyncs,
-                snapshots_written: dur.snapshots_written,
-                recovered_records: dur.recovered_records,
-                recovered_truncated_bytes: dur.recovered_truncated_bytes,
-            })
+            Request::ObsDump => match self.flightrec_path.as_deref() {
+                None => Response::Error(WireError::BadRequest(
+                    "server is running without a data directory (start with --data-dir)".into(),
+                )),
+                Some(path) => match flightrec().dump_to_path(path) {
+                    Ok(events) => Response::ObsDumped { events },
+                    Err(_) => Response::Error(WireError::Unavailable),
+                },
+            },
+            Request::Stats => {
+                let engine = self.driver.stats();
+                let dur = self
+                    .durability
+                    .as_ref()
+                    .map(Durability::counters)
+                    .unwrap_or_default();
+                Response::Stats(ServerStats {
+                    deltas: engine.deltas,
+                    recommends: engine.recommends,
+                    active_campaigns: self.store.num_active() as u64,
+                    rpcs: self.rpcs,
+                    shed: self.shared.shed.load(Ordering::Relaxed),
+                    connections: self.shared.connections.load(Ordering::Relaxed),
+                    queue_capacity: self.queue_depth as u64,
+                    ingest_p50_ns: self.ingest_lat.p50(),
+                    ingest_p99_ns: self.ingest_lat.p99(),
+                    recommend_p50_ns: self.recommend_lat.p50(),
+                    recommend_p99_ns: self.recommend_lat.p99(),
+                    wal_records: dur.wal_records,
+                    wal_bytes: dur.wal_bytes,
+                    wal_fsyncs: dur.wal_fsyncs,
+                    snapshots_written: dur.snapshots_written,
+                    recovered_records: dur.recovered_records,
+                    recovered_truncated_bytes: dur.recovered_truncated_bytes,
+                })
+            }
+            Request::Shutdown => Response::ShutdownAck,
+        };
+        let elapsed = started.elapsed();
+        match &resp {
+            Response::Ingested { .. } => {
+                self.ingest_lat.record_duration(elapsed);
+                self.obs.ingest_ns.record_elapsed(started);
+                if elapsed >= SLOW_DELTA_THRESHOLD {
+                    flightrec().record(
+                        EventKind::SlowDelta,
+                        ingest_lead_user.unwrap_or(0),
+                        micros_u64(elapsed),
+                        0,
+                    );
+                }
+            }
+            Response::Recommendations(_) => {
+                self.recommend_lat.record_duration(elapsed);
+                self.obs.recommend_ns.record_elapsed(started);
+            }
+            Response::Checkpointed { lsn } => {
+                flightrec().record(EventKind::Checkpoint, *lsn, 0, 0);
+            }
+            _ => {}
         }
-        Request::Shutdown => Response::ShutdownAck,
-    };
-    let elapsed = started.elapsed();
-    match &resp {
-        Response::Ingested { .. } => ingest_lat.record_duration(elapsed),
-        Response::Recommendations(_) => recommend_lat.record_duration(elapsed),
-        _ => {}
+        // A reader that hung up mid-RPC cannot receive its reply; fine.
+        let _ = cmd.reply.send(resp);
     }
-    // A reader that hung up mid-RPC cannot receive its reply; fine.
-    let _ = cmd.reply.send(resp);
 }

@@ -1,0 +1,440 @@
+//! Prometheus text-format exposition: the writer behind `GET /metrics`
+//! and a small validating parser used by tests, `check.sh`, and the
+//! loadgen's end-of-run scrape.
+//!
+//! The writer emits version 0.0.4 text format: `# HELP` / `# TYPE` per
+//! family, single samples for counters and gauges, and cumulative
+//! `_bucket{le="..."}` / `_sum` / `_count` series for histograms. Only
+//! non-empty buckets are written (the fixed layout has 1024 of them, a
+//! live histogram populates a handful), with `le` upper edges taken from
+//! the shared log-bucket layout in `adcast_metrics::histogram`.
+
+use std::fmt::Write as _;
+
+use adcast_metrics::histogram::{bucket_floor, NUM_BUCKETS};
+
+use crate::registry::{Handle, Registry};
+
+/// Render every family in `reg` as Prometheus text format.
+#[must_use]
+pub fn write_exposition(reg: &Registry) -> String {
+    let mut out = String::new();
+    let families = reg.families.lock().unwrap_or_else(|e| e.into_inner());
+    for family in families.iter() {
+        let name = family.name;
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(family.help));
+        let _ = writeln!(out, "# TYPE {name} {}", family.kind().as_str());
+        match &family.handle {
+            Handle::Counter(c) => {
+                let _ = writeln!(out, "{name} {}", c.get());
+            }
+            Handle::Gauge(g) => {
+                let _ = writeln!(out, "{name} {}", g.get());
+            }
+            Handle::Hist(h) => {
+                let buckets = h.snapshot_buckets();
+                let mut cumulative = 0u64;
+                for (b, &count) in buckets.iter().enumerate() {
+                    if count == 0 {
+                        continue;
+                    }
+                    cumulative += count;
+                    // The top bucket has no finite upper edge; it is
+                    // covered by +Inf alone.
+                    if b + 1 < NUM_BUCKETS {
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                            bucket_floor(b + 1)
+                        );
+                    }
+                }
+                // `cumulative` (not `h.count()`) keeps the exposition
+                // internally consistent under concurrent recording.
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                let _ = writeln!(out, "{name}_sum {}", h.sum());
+                let _ = writeln!(out, "{name}_count {cumulative}");
+            }
+        }
+    }
+    out
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// One sample line from a parsed exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of a label, if present.
+    #[must_use]
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One `# TYPE`-announced family and its samples.
+#[derive(Debug, Clone)]
+pub struct ParsedFamily {
+    pub name: String,
+    pub kind: String,
+    pub help: Option<String>,
+    pub samples: Vec<Sample>,
+}
+
+impl ParsedFamily {
+    /// `(le, cumulative_count)` pairs of a histogram family, in emitted
+    /// order, with `+Inf` mapped to `f64::INFINITY`.
+    #[must_use]
+    pub fn buckets(&self) -> Vec<(f64, f64)> {
+        let bucket_name = format!("{}_bucket", self.name);
+        self.samples
+            .iter()
+            .filter(|s| s.name == bucket_name)
+            .filter_map(|s| {
+                let le = s.label("le")?;
+                let le = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().ok()?
+                };
+                Some((le, s.value))
+            })
+            .collect()
+    }
+
+    /// A single-sample value (`_count`, `_sum`, or the family itself).
+    #[must_use]
+    pub fn sample_value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+}
+
+/// Find a family by name in a parsed exposition.
+#[must_use]
+pub fn find_family<'a>(families: &'a [ParsedFamily], name: &str) -> Option<&'a ParsedFamily> {
+    families.iter().find(|f| f.name == name)
+}
+
+/// Quantile estimate (`q ∈ [0,1]`) from a histogram family's cumulative
+/// buckets: the upper edge of the first bucket whose cumulative count
+/// reaches the target rank. Returns `None` when the family has no
+/// observations or no buckets.
+#[must_use]
+pub fn histogram_quantile(family: &ParsedFamily, q: f64) -> Option<f64> {
+    let buckets = family.buckets();
+    let total = buckets.last().map(|&(_, c)| c)?;
+    if total <= 0.0 {
+        return None;
+    }
+    let target = (q * total).ceil().clamp(1.0, total);
+    for &(le, cumulative) in &buckets {
+        if cumulative >= target {
+            return Some(le);
+        }
+    }
+    Some(f64::INFINITY)
+}
+
+/// Parse and validate a text-format exposition. Enforces the rules our
+/// writer (and any well-formed Prometheus endpoint) must satisfy:
+///
+/// * every sample belongs to a family announced by a prior `# TYPE` line,
+/// * `# TYPE` kinds are legal and appear at most once per family,
+/// * counter and gauge families carry exactly one unlabelled sample whose
+///   name equals the family name (counters additionally non-negative),
+/// * histogram families carry only `_bucket` / `_sum` / `_count` samples,
+///   with `le` values strictly ascending, cumulative counts
+///   non-decreasing, a `+Inf` bucket present, and `_count` equal to it,
+/// * every value parses as a float.
+pub fn parse_exposition(text: &str) -> Result<Vec<ParsedFamily>, String> {
+    let mut families: Vec<ParsedFamily> = Vec::new();
+    let mut pending_help: Option<(String, String)> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .map(|(n, h)| (n.to_string(), h.to_string()))
+                .unwrap_or_else(|| (rest.to_string(), String::new()));
+            pending_help = Some((name, help));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {line_no}: TYPE without kind"))?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {line_no}: unknown TYPE kind {kind:?}"));
+            }
+            if families.iter().any(|f| f.name == name) {
+                return Err(format!("line {line_no}: duplicate TYPE for {name}"));
+            }
+            let help = match pending_help.take() {
+                Some((help_name, help)) if help_name == name => Some(help),
+                _ => None,
+            };
+            families.push(ParsedFamily {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                help,
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        let sample = parse_sample(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        let family = families
+            .iter_mut()
+            .rev()
+            .find(|f| {
+                sample.name == f.name
+                    || (f.kind == "histogram"
+                        && [
+                            format!("{}_bucket", f.name),
+                            format!("{}_sum", f.name),
+                            format!("{}_count", f.name),
+                        ]
+                        .contains(&sample.name))
+            })
+            .ok_or_else(|| {
+                format!(
+                    "line {line_no}: sample {} has no preceding TYPE",
+                    sample.name
+                )
+            })?;
+        family.samples.push(sample);
+    }
+    for family in &families {
+        validate_family(family)?;
+    }
+    Ok(families)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_and_labels, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| "sample without value".to_string())?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("bad sample value {value:?}"))?;
+    let (name, labels) = match name_and_labels.split_once('{') {
+        None => (name_and_labels.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| "unterminated label set".to_string())?;
+            let mut labels = Vec::new();
+            for pair in body.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad label {pair:?}"))?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("unquoted label value {v:?}"))?;
+                labels.push((k.to_string(), v.to_string()));
+            }
+            (name.to_string(), labels)
+        }
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        || name.starts_with(|c: char| c.is_ascii_digit())
+    {
+        return Err(format!("illegal metric name {name:?}"));
+    }
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn validate_family(family: &ParsedFamily) -> Result<(), String> {
+    let name = &family.name;
+    match family.kind.as_str() {
+        "counter" | "gauge" => {
+            let [sample] = family.samples.as_slice() else {
+                return Err(format!(
+                    "{name}: expected exactly one sample, got {}",
+                    family.samples.len()
+                ));
+            };
+            if sample.name != *name || !sample.labels.is_empty() {
+                return Err(format!("{name}: unexpected sample {:?}", sample.name));
+            }
+            if family.kind == "counter" && sample.value < 0.0 {
+                return Err(format!("{name}: negative counter value {}", sample.value));
+            }
+        }
+        "histogram" => {
+            let buckets = family.buckets();
+            if buckets.is_empty() {
+                return Err(format!("{name}: histogram without buckets"));
+            }
+            let Some(&(last_le, inf_count)) = buckets.last() else {
+                return Err(format!("{name}: histogram without buckets"));
+            };
+            if !last_le.is_infinite() {
+                return Err(format!("{name}: missing le=\"+Inf\" bucket"));
+            }
+            for pair in buckets.windows(2) {
+                if pair[1].0 <= pair[0].0 {
+                    return Err(format!("{name}: bucket le values not ascending"));
+                }
+                if pair[1].1 < pair[0].1 {
+                    return Err(format!("{name}: cumulative bucket counts decrease"));
+                }
+            }
+            let count = family
+                .sample_value(&format!("{name}_count"))
+                .ok_or_else(|| format!("{name}: missing _count"))?;
+            family
+                .sample_value(&format!("{name}_sum"))
+                .ok_or_else(|| format!("{name}: missing _sum"))?;
+            if (count - inf_count).abs() > f64::EPSILON {
+                return Err(format!("{name}: _count {count} != +Inf bucket {inf_count}"));
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        let c = reg.counter("adcast_test_rpcs_total", "RPCs served.");
+        c.add(5);
+        let g = reg.gauge("adcast_test_reader_threads", "Live reader threads.");
+        g.set(3);
+        let h = reg.hist("adcast_test_apply_ns", "Engine apply latency.");
+        for v in [100u64, 200, 5_000, 123_456, 10_000_000] {
+            h.record(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn every_emitted_family_validates() {
+        let reg = sample_registry();
+        let text = reg.expose();
+        let families = parse_exposition(&text).expect("writer output must parse");
+        assert_eq!(families.len(), 3);
+        for f in &families {
+            assert!(f.help.is_some(), "{}: HELP missing", f.name);
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = sample_registry();
+        let families = parse_exposition(&reg.expose()).unwrap();
+        let c = find_family(&families, "adcast_test_rpcs_total").unwrap();
+        assert_eq!(c.kind, "counter");
+        assert_eq!(c.sample_value("adcast_test_rpcs_total"), Some(5.0));
+        let g = find_family(&families, "adcast_test_reader_threads").unwrap();
+        assert_eq!(g.kind, "gauge");
+        assert_eq!(g.sample_value("adcast_test_reader_threads"), Some(3.0));
+    }
+
+    #[test]
+    fn histogram_roundtrip_and_quantiles() {
+        let reg = sample_registry();
+        let families = parse_exposition(&reg.expose()).unwrap();
+        let h = find_family(&families, "adcast_test_apply_ns").unwrap();
+        assert_eq!(h.kind, "histogram");
+        assert_eq!(h.sample_value("adcast_test_apply_ns_count"), Some(5.0));
+        assert_eq!(
+            h.sample_value("adcast_test_apply_ns_sum"),
+            Some((100 + 200 + 5_000 + 123_456 + 10_000_000) as f64)
+        );
+        let p50 = histogram_quantile(h, 0.5).unwrap();
+        assert!((4_000.0..=6_000.0).contains(&p50), "p50 {p50}");
+        let p99 = histogram_quantile(h, 0.99).unwrap();
+        assert!(p99 >= 10_000_000.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn empty_histogram_still_validates() {
+        let reg = Registry::new();
+        reg.hist("adcast_test_empty_ns", "Never recorded.");
+        let families = parse_exposition(&reg.expose()).unwrap();
+        let h = find_family(&families, "adcast_test_empty_ns").unwrap();
+        assert_eq!(h.sample_value("adcast_test_empty_ns_count"), Some(0.0));
+        assert_eq!(histogram_quantile(h, 0.99), None);
+    }
+
+    #[test]
+    fn malformed_expositions_are_rejected() {
+        for (case, text) in [
+            ("sample without TYPE", "adcast_x_total 1\n"),
+            ("bad kind", "# TYPE adcast_x_total banana\nadcast_x_total 1\n"),
+            ("bad value", "# TYPE adcast_x_total counter\nadcast_x_total one\n"),
+            (
+                "negative counter",
+                "# TYPE adcast_x_total counter\nadcast_x_total -1\n",
+            ),
+            (
+                "duplicate TYPE",
+                "# TYPE adcast_x gauge\nadcast_x 1\n# TYPE adcast_x gauge\n",
+            ),
+            (
+                "missing +Inf",
+                "# TYPE adcast_h histogram\nadcast_h_bucket{le=\"10\"} 1\nadcast_h_sum 1\nadcast_h_count 1\n",
+            ),
+            (
+                "count mismatch",
+                "# TYPE adcast_h histogram\nadcast_h_bucket{le=\"+Inf\"} 2\nadcast_h_sum 1\nadcast_h_count 1\n",
+            ),
+            (
+                "non-ascending buckets",
+                "# TYPE adcast_h histogram\nadcast_h_bucket{le=\"10\"} 1\nadcast_h_bucket{le=\"5\"} 2\nadcast_h_bucket{le=\"+Inf\"} 2\nadcast_h_sum 1\nadcast_h_count 2\n",
+            ),
+            (
+                "decreasing cumulative",
+                "# TYPE adcast_h histogram\nadcast_h_bucket{le=\"10\"} 3\nadcast_h_bucket{le=\"20\"} 2\nadcast_h_bucket{le=\"+Inf\"} 2\nadcast_h_sum 1\nadcast_h_count 2\n",
+            ),
+        ] {
+            assert!(parse_exposition(text).is_err(), "accepted {case}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn help_lines_are_escaped() {
+        let reg = Registry::new();
+        reg.counter("adcast_test_esc_total", "line\nbreak\\slash");
+        let text = reg.expose();
+        assert!(text.contains("line\\nbreak\\\\slash"), "{text}");
+        parse_exposition(&text).unwrap();
+    }
+}

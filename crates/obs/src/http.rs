@@ -1,0 +1,193 @@
+//! A minimal hand-rolled HTTP/1.1 listener for `GET /metrics` and
+//! `GET /healthz`, plus the matching one-shot client the loadgen and
+//! `check.sh` use in place of `curl`.
+//!
+//! This is deliberately not a web server: request parsing stops at the
+//! request line, every response closes the connection, and the accept
+//! loop polls a nonblocking listener so `stop()` takes effect within one
+//! poll interval. Scrapes are rare (seconds apart) and tiny, so none of
+//! this is performance-sensitive.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::registry::Registry;
+
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+/// Largest request head we bother reading before answering.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A running exposition endpoint. Dropping the handle leaves the thread
+/// running until process exit; call [`ObsServer::stop`] for a clean join.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0`) and serve `reg` until stopped.
+    pub fn start(addr: &str, reg: &'static Registry) -> io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = thread::Builder::new()
+            .name("adcast-obs-http".to_string())
+            .spawn(move || accept_loop(&listener, reg, &stop_flag))?;
+        Ok(ObsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the listener thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, reg: &'static Registry, stop: &AtomicBool) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => serve_connection(stream, reg),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, reg: &Registry) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let Some(request_line) = read_request_line(&mut stream) else {
+        return;
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            reg.expose(),
+        ),
+        ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        ("GET", _) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Read up to the end of the request head and return the request line.
+fn read_request_line(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    head.lines().next().map(|l| l.to_string())
+}
+
+/// Fetch `path` from an HTTP/1.1 server at `addr` and return
+/// `(status_code, body)`. The std-only stand-in for `curl` used by the
+/// loadgen's `--obs-addr` scrape and the `check.sh` smoke.
+pub fn http_get(addr: &str, path: &str) -> io::Result<(u16, String)> {
+    let sock_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body separator"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn serves_metrics_healthz_and_404() {
+        let c = registry().counter("adcast_test_http_total", "http test counter");
+        c.add(3);
+        let server = ObsServer::start("127.0.0.1:0", registry()).expect("bind");
+        let addr = server.addr().to_string();
+
+        let (status, body) = http_get(&addr, "/healthz").expect("healthz");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+
+        let (status, body) = http_get(&addr, "/metrics").expect("metrics");
+        assert_eq!(status, 200);
+        let families = crate::expo::parse_exposition(&body).expect("valid exposition");
+        let f = crate::expo::find_family(&families, "adcast_test_http_total").expect("family");
+        assert!(f.sample_value("adcast_test_http_total").unwrap() >= 3.0);
+
+        let (status, _) = http_get(&addr, "/nope").expect("404 path");
+        assert_eq!(status, 404);
+
+        server.stop();
+    }
+}

@@ -1,0 +1,33 @@
+//! # adcast-obs — runtime telemetry for the serving stack
+//!
+//! The paper's claim is a latency/throughput envelope; this crate makes a
+//! *running* `adcast-serve` show its own envelope instead of being a black
+//! box behind one cumulative `ServerStats` RPC:
+//!
+//! * [`metrics`] — lock-free handles (counters, gauges, log-bucket
+//!   histograms) whose hot-path mutations are a couple of relaxed atomics:
+//!   no locks, no allocation, no panics, safe inside `apply_feed_delta`,
+//! * [`registry`] — name → handle registration and the process-wide
+//!   [`registry()`] instance every layer registers into,
+//! * [`expo`] — Prometheus text-format writer plus a validating parser
+//!   (tests, `check.sh`, and the loadgen's end-of-run scrape),
+//! * [`http`] — the hand-rolled `GET /metrics` + `GET /healthz` listener
+//!   behind `adcast-serve --obs-addr`, and the std-only `curl` stand-in,
+//! * [`flightrec`] — a fixed-size lock-free ring of recent structured
+//!   events, dumped as JSON-lines on panic, shutdown, or `ObsDump`.
+//!
+//! Metric names follow `adcast_<layer>_<name>_<unit>` (counters end in
+//! `_total`, duration histograms in `_ns`); see DESIGN.md §11 for the
+//! full span table and the overhead budget.
+
+pub mod expo;
+pub mod flightrec;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+
+pub use expo::{find_family, histogram_quantile, parse_exposition, ParsedFamily, Sample};
+pub use flightrec::{flightrec, install_panic_dump, Event, EventKind, FlightRecorder};
+pub use http::{http_get, ObsServer};
+pub use metrics::{Counter, Gauge, Hist};
+pub use registry::{registry, FamilyKind, Registry};

@@ -22,9 +22,10 @@ cargo test -q --workspace
 echo "== cargo test (debug-stats: zero-alloc hot path) =="
 cargo test -q -p adcast-core --features debug-stats
 
-echo "== serving-layer loopback smoke (adcast-serve + adcast-loadgen) =="
+echo "== serving-layer loopback smoke (adcast-serve + adcast-loadgen + /metrics) =="
 serve_log=$(mktemp)
-./target/release/adcast-serve --users 400 --shards 2 >"$serve_log" 2>&1 &
+./target/release/adcast-serve --users 400 --shards 2 --obs-addr 127.0.0.1:0 \
+  >"$serve_log" 2>&1 &
 serve_pid=$!
 addr=""
 for _ in $(seq 1 100); do
@@ -38,12 +39,26 @@ if [ -z "$addr" ]; then
   kill "$serve_pid" 2>/dev/null || true
   exit 1
 fi
-loadgen_out=$(./target/release/adcast-loadgen --addr "$addr" --smoke --conns 2)
+obs_addr=$(awk '/^obs listening on /{print $4; exit}' "$serve_log")
+if [ -z "$obs_addr" ]; then
+  echo "adcast-serve never reported its obs address:" >&2
+  cat "$serve_log" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+# --obs-addr makes the loadgen scrape /metrics + /healthz at end of run and
+# hard-fail on malformed exposition or an unhealthy server.
+loadgen_out=$(./target/release/adcast-loadgen --addr "$addr" --smoke --conns 2 \
+  --obs-addr "$obs_addr")
 echo "$loadgen_out"
 # --smoke sends Shutdown at the end; the server must exit cleanly on it.
 wait "$serve_pid"
 grep -q 'responses=[1-9]' <<<"$loadgen_out" || {
   echo "loadgen smoke returned zero responses" >&2
+  exit 1
+}
+grep -q 'obs: families=' <<<"$loadgen_out" || {
+  echo "loadgen smoke never scraped /metrics" >&2
   exit 1
 }
 rm -f "$serve_log"
@@ -108,6 +123,13 @@ grep -q 'recovered_records=[1-9]' <<<"$loadgen_out" || {
   cat "$serve_log" >&2
   exit 1
 }
+# Graceful shutdown dumps the flight recorder next to the WAL; after a crash
+# plus a recovered run it must exist and be non-empty.
+if ! [ -s "$data_dir/flightrec.jsonl" ]; then
+  echo "no flight-recorder dump at $data_dir/flightrec.jsonl after recovery" >&2
+  ls -la "$data_dir" >&2 || true
+  exit 1
+fi
 rm -rf "$data_dir"
 rm -f "$serve_log"
 

@@ -3,8 +3,13 @@
 //!
 //! ```text
 //! adcast-loadgen --addr HOST:PORT [--conns N] [--messages N] [--users N]
-//!                [--smoke] [--no-shutdown]
+//!                [--smoke] [--no-shutdown] [--obs-addr HOST:PORT]
 //! ```
+//!
+//! With `--obs-addr` (the server's observability listener), the run ends
+//! with a validating `/metrics` + `/healthz` scrape and prints the
+//! server-side stage latency percentiles next to the client RTTs — a
+//! malformed exposition or missing stage histograms is a hard error.
 //!
 //! Replays the deterministic synthetic workload over real sockets: one
 //! thread per connection, one request outstanding each (offered load =
@@ -49,7 +54,8 @@ fn flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
 fn drive(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: adcast-loadgen --addr HOST:PORT [--conns N] [--messages N] [--users N] [--smoke] [--no-shutdown]"
+            "usage: adcast-loadgen --addr HOST:PORT [--conns N] [--messages N] [--users N] \
+             [--smoke] [--no-shutdown] [--obs-addr HOST:PORT]"
         );
         return Ok(());
     }
@@ -78,6 +84,11 @@ fn drive(args: &[String]) -> Result<(), String> {
         synth_config.messages = messages;
     }
     let conns = flag(args, "--conns")?.unwrap_or(2) as usize;
+    let obs_addr = args
+        .iter()
+        .position(|a| a == "--obs-addr")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     eprintln!(
         "building workload: {} users, {} ads, {} messages…",
@@ -86,6 +97,7 @@ fn drive(args: &[String]) -> Result<(), String> {
     let workload = Arc::new(synth::build(&synth_config));
     let config = LoadgenConfig {
         connections: conns,
+        obs_addr,
         ..LoadgenConfig::new(addr.clone())
     };
     let report = run(&config, &workload).map_err(|e| e.to_string())?;
@@ -123,6 +135,27 @@ fn drive(args: &[String]) -> Result<(), String> {
         report.server.recovered_records,
         report.server.recovered_truncated_bytes
     );
+
+    if let Some(obs) = &report.obs {
+        if !obs.healthy {
+            return Err("obs scrape: /healthz did not answer 200".into());
+        }
+        if obs.stages.is_empty() {
+            return Err("obs scrape: no stage histograms in /metrics".into());
+        }
+        for (name, p50, p99) in &obs.stages {
+            println!(
+                "server stage {name} p50_us={:.1} p99_us={:.1}",
+                *p50 as f64 / 1e3,
+                *p99 as f64 / 1e3
+            );
+        }
+        // Scripts grep this exact shape.
+        println!(
+            "obs: families={} bytes={} healthz=ok",
+            obs.families, obs.bytes
+        );
+    }
 
     if !args.iter().any(|a| a == "--no-shutdown") {
         let mut client =

@@ -3,7 +3,7 @@
 //! ```text
 //! adcast-serve [--addr HOST:PORT] [--users N] [--shards N] [--queue-depth N]
 //!              [--data-dir PATH] [--fsync always|off|every=N]
-//!              [--snapshot-every N]
+//!              [--snapshot-every N] [--obs-addr HOST:PORT]
 //! ```
 //!
 //! Binds the listener (port 0 picks an ephemeral port), prints
@@ -16,6 +16,13 @@
 //! state (latest valid snapshot + WAL tail replay) before the listener
 //! binds. `--fsync` trades ingest throughput against the post-`kill -9`
 //! loss window; see DESIGN.md §9.
+//!
+//! `--obs-addr` additionally binds a plain-HTTP observability listener
+//! serving `GET /metrics` (Prometheus text format) and `GET /healthz`;
+//! the bound address is printed as `obs listening on HOST:PORT`. With
+//! `--data-dir`, the in-memory flight recorder is dumped to
+//! `PATH/flightrec.jsonl` on panic, on graceful shutdown, and on the
+//! ObsDump RPC; see DESIGN.md §11.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,6 +31,8 @@ use adcast::ads::AdStore;
 use adcast::core::{EngineConfig, ShardedDriver};
 use adcast::durability::{recover, Durability, DurabilityOptions, FsyncPolicy, WalOptions};
 use adcast::net::{Server, ServerConfig};
+use adcast::obs::flightrec::{recovery_step, EventKind};
+use adcast::obs::{flightrec, install_panic_dump, ObsServer};
 
 fn main() -> ExitCode {
     match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
@@ -63,7 +72,7 @@ fn run(args: &[String]) -> Result<(), String> {
         eprintln!(
             "usage: adcast-serve [--addr HOST:PORT] [--users N] [--shards N] \
              [--queue-depth N] [--data-dir PATH] [--fsync always|off|every=N] \
-             [--snapshot-every N]"
+             [--snapshot-every N] [--obs-addr HOST:PORT]"
         );
         return Ok(());
     }
@@ -81,9 +90,19 @@ fn run(args: &[String]) -> Result<(), String> {
         None => FsyncPolicy::Always,
     };
     let snapshot_every = flag(args, "--snapshot-every")?.unwrap_or(10_000);
+    let obs_addr = str_flag(args, "--obs-addr")?;
+
+    // The flight recorder survives a crash only if something dumps it:
+    // with a data dir, wire the panic hook (and the server's shutdown /
+    // ObsDump paths) to PATH/flightrec.jsonl.
+    let flightrec_path = data_dir.as_ref().map(|dir| dir.join("flightrec.jsonl"));
+    if let Some(path) = &flightrec_path {
+        install_panic_dump(path);
+    }
 
     let config = ServerConfig {
         queue_depth,
+        flightrec_path,
         ..ServerConfig::default()
     };
     let engine_config = EngineConfig::default();
@@ -101,6 +120,24 @@ fn run(args: &[String]) -> Result<(), String> {
             let recovered = recover(&dir, users, shards, engine_config, wal_options)
                 .map_err(|e| format!("recover {}: {e}", dir.display()))?;
             let report = recovered.report;
+            flightrec().record(
+                EventKind::RecoveryStep,
+                recovery_step::SNAPSHOT_LOADED,
+                report.snapshot_lsn.unwrap_or(0),
+                0,
+            );
+            flightrec().record(
+                EventKind::RecoveryStep,
+                recovery_step::WAL_REPLAYED,
+                report.replayed_records,
+                0,
+            );
+            flightrec().record(
+                EventKind::RecoveryStep,
+                recovery_step::TAIL_TRUNCATED,
+                report.truncated_bytes,
+                0,
+            );
             match report.snapshot_lsn {
                 Some(lsn) => eprintln!(
                     "recovered from snapshot at lsn {lsn} + {} wal record(s) \
@@ -144,10 +181,24 @@ fn run(args: &[String]) -> Result<(), String> {
             format!("bind {addr}: {e}")
         }
     })?;
+    let obs_server = match obs_addr {
+        None => None,
+        Some(obs_addr) => Some(
+            ObsServer::start(obs_addr, adcast::obs::registry())
+                .map_err(|e| format!("bind obs {obs_addr}: {e}"))?,
+        ),
+    };
     // Scripts wait for this exact line to learn the ephemeral port.
     println!("listening on {}", server.addr());
+    if let Some(obs) = &obs_server {
+        // Scripts parse this line too (obs port 0 is also ephemeral).
+        println!("obs listening on {}", obs.addr());
+    }
     eprintln!("serving {users} users across {shards} shard(s), queue depth {queue_depth}");
     server.join();
+    if let Some(obs) = obs_server {
+        obs.stop();
+    }
     eprintln!("shut down cleanly");
     Ok(())
 }

@@ -21,6 +21,7 @@
 //! | evaluation metrics | `adcast-metrics` | [`metrics`] |
 //! | WAL + snapshots + recovery | `adcast-durability` | [`durability`] |
 //! | TCP serving layer | `adcast-net` | [`net`] |
+//! | runtime telemetry | `adcast-obs` | [`obs`] |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use adcast_feed as feed;
 pub use adcast_graph as graph;
 pub use adcast_metrics as metrics;
 pub use adcast_net as net;
+pub use adcast_obs as obs;
 pub use adcast_stream as stream;
 pub use adcast_text as text;
 
