@@ -48,11 +48,28 @@ pub struct Ad {
 }
 
 impl Ad {
-    /// Validate invariants (non-empty vector, sane bid). The store calls
-    /// this on insert.
+    /// Validate invariants (non-empty vector, strictly positive weights,
+    /// sane bid). The store calls this on insert.
+    ///
+    /// Positive weights are load-bearing: the index keeps postings in
+    /// descending-weight order with per-block maxima, and both the
+    /// block-max pruned evaluator and the incremental engine's promotion
+    /// screen bound an ad's possible score using only the context's
+    /// *positive* terms — sound precisely because no ad-side weight can
+    /// turn a negative context term into a positive contribution.
     pub fn validate(&self) -> Result<(), String> {
         if self.vector.is_empty() {
             return Err(format!("{:?}: empty keyword vector", self.id));
+        }
+        if let Some((term, weight)) = self
+            .vector
+            .iter()
+            .find(|&(_, w)| !(w.is_finite() && w > 0.0))
+        {
+            return Err(format!(
+                "{:?}: non-positive weight {weight} on {term:?}",
+                self.id
+            ));
         }
         if !(self.bid.is_finite() && self.bid > 0.0) {
             return Err(format!("{:?}: invalid bid {}", self.id, self.bid));
@@ -85,6 +102,12 @@ mod tests {
     fn empty_vector_rejected() {
         let err = ad(1.0, &[]).validate().unwrap_err();
         assert!(err.contains("empty"));
+    }
+
+    #[test]
+    fn negative_weight_rejected() {
+        let err = ad(1.0, &[(0, 0.5), (1, -0.2)]).validate().unwrap_err();
+        assert!(err.contains("non-positive weight"), "{err}");
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! * [`targeting`] — location / time-slot predicates,
 //! * [`budget`] — campaign budgets with spend tracking,
 //! * [`campaign`] — ad + budget + lifecycle state,
-//! * [`index`] — the inverted index over ad terms, with per-term maximum
-//!   weights (the upper-bound metadata that WAND-style pruning and the
+//! * [`index`] — the impact-ordered blocked inverted index over ad terms:
+//!   SoA posting lanes sorted by descending weight with per-block maxima
+//!   (the upper-bound metadata that block-max WAND pruning and the
 //!   incremental engine's promotion screening both rely on),
 //! * [`store`] — the campaign table keeping index and lifecycle consistent
 //!   under churn (insert / pause / resume / budget exhaustion),
@@ -33,7 +34,7 @@ pub use auction::{run_gsp, AuctionBid, AuctionConfig, SlotAward};
 pub use budget::Budget;
 pub use campaign::{Campaign, CampaignState};
 pub use ctr::{ClickModel, CtrTracker};
-pub use index::{AdIndex, Posting};
+pub use index::{AdIndex, Posting, PostingsView, BLOCK_SIZE};
 pub use pacing::PacingController;
 pub use snapshot::{CampaignSnapshot, PacingSnapshot, StoreSnapshot};
 pub use store::{AdStore, AdSubmission};

@@ -28,6 +28,12 @@ pub struct AdStore {
     /// a vanished ad can only lower scores, never invalidate a top-k
     /// upper bound (stale entries are filtered at serve time).
     index_epoch: u64,
+    /// Monotone upper bound on every campaign's bid, ratcheted on submit.
+    /// Deliberately never lowered on pause/removal: the pruned evaluator
+    /// only needs *an* upper bound to turn a relevance frontier into a
+    /// rank frontier under λ < 1, and a ratchet is O(1) where an exact
+    /// maximum would cost a scan per removal.
+    max_bid: f32,
 }
 
 /// Ingredients for a new campaign (the store assigns the [`AdId`]).
@@ -66,6 +72,7 @@ impl AdStore {
             topic_hint: submission.topic_hint,
         };
         ad.validate()?;
+        self.max_bid = self.max_bid.max(submission.bid);
         let campaign = Campaign::new(ad, submission.budget);
         if campaign.is_active() {
             self.index.insert(id, &campaign.ad.vector);
@@ -94,6 +101,13 @@ impl AdStore {
     /// The index epoch: bumped on every index *addition* (submit/resume).
     pub fn index_epoch(&self) -> u64 {
         self.index_epoch
+    }
+
+    /// Monotone upper bound on every campaign's bid (0.0 while empty).
+    /// May exceed the current exact maximum after churn — always a valid
+    /// bound for rank upper-bound math, never an exact statistic.
+    pub fn max_bid_bound(&self) -> f32 {
+        self.max_bid
     }
 
     /// Iterate over active campaigns.
@@ -261,8 +275,11 @@ impl AdStore {
 
     /// Rebuild a store from [`AdStore::export_snapshot`] output. The
     /// inverted index is reconstructed from the active campaigns in id
-    /// order, which reproduces it bit-identically (posting lists are
-    /// insertion-order independent: kept sorted by ad id).
+    /// order, which reproduces the blocked impact-ordered layout
+    /// bit-identically: posting order is a pure function of the indexed
+    /// `(weight, ad)` multiset (weight descending, id ascending on ties),
+    /// never of insertion order, and the per-block maxima are derived
+    /// from the weight lane.
     ///
     /// # Errors
     ///
@@ -306,6 +323,7 @@ impl AdStore {
                 store.index.insert(id, &campaign.ad.vector);
                 store.active += 1;
             }
+            store.max_bid = store.max_bid.max(campaign.ad.bid);
             store.campaigns.push(campaign);
         }
         store.index_epoch = snapshot.index_epoch;
@@ -432,5 +450,53 @@ mod tests {
             s.submit(submission(&[(i, 0.5)], 1.0)).unwrap();
         }
         assert!(s.memory_bytes() > before);
+    }
+
+    #[test]
+    fn snapshot_round_trip_rebuilds_blocked_index_bit_identically() {
+        // The durability layer's "recovered twin" guarantee: a store
+        // rebuilt from its snapshot must expose the exact same blocked
+        // posting layout — id lane, weight lane, and block maxima — even
+        // though the live store built it through interleaved churn and
+        // the rebuild inserts in plain id order.
+        let mut s = AdStore::new();
+        for i in 0..300u32 {
+            s.submit(submission(
+                &[
+                    (i % 5, 0.05 + ((i * 37) % 90) as f32 / 100.0),
+                    (5, 0.05 + ((i * 13) % 97) as f32 / 100.0),
+                ],
+                10.0,
+            ))
+            .unwrap();
+        }
+        // Churn so live insertion order ≠ id order and lists have holes.
+        for i in (0..300u32).step_by(7) {
+            s.pause(AdId(i));
+        }
+        for i in (0..300u32).step_by(14) {
+            s.resume(AdId(i));
+        }
+        for i in (1..300u32).step_by(11) {
+            s.remove(AdId(i));
+        }
+        let twin = AdStore::from_snapshot(s.export_snapshot()).unwrap();
+        assert_eq!(twin.num_active(), s.num_active());
+        assert_eq!(twin.index_epoch(), s.index_epoch());
+        assert_eq!(twin.index().num_postings(), s.index().num_postings());
+        assert_eq!(twin.index().max_ad_terms(), s.index().max_ad_terms());
+        for t in 0..6u32 {
+            let a = s.index().postings(TermId(t));
+            let b = twin.index().postings(TermId(t));
+            assert_eq!(a.ads(), b.ads(), "term {t}: id lane");
+            let bits = |s: &[f32]| s.iter().map(|w| w.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(a.weights()), bits(b.weights()), "term {t}: weights");
+            let maxes = |v: crate::index::PostingsView<'_>| {
+                (0..v.num_blocks())
+                    .map(|b| v.block_max(b).to_bits())
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(maxes(a), maxes(b), "term {t}: block maxima");
+        }
     }
 }

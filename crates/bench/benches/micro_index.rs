@@ -60,6 +60,57 @@ fn bench_insert_remove(c: &mut Criterion) {
     });
 }
 
+/// The blocked SoA scan the evaluators run: per block, scale the weight
+/// lane by the context weight through the chunked kernel, then reduce.
+fn bench_blocked_scan(c: &mut Criterion) {
+    use adcast_ads::BLOCK_SIZE;
+    let mut group = c.benchmark_group("index_blocked_scan");
+    for &num_ads in &[10_000u32, 100_000] {
+        // Narrow vocabulary so lists are long enough to have many blocks.
+        let index = build_index(num_ads, 200, 8);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(num_ads),
+            &num_ads,
+            |bench, _| {
+                let mut term = 0u32;
+                let mut products = [0.0f32; BLOCK_SIZE];
+                bench.iter(|| {
+                    term = (term + 17) % 200;
+                    let view = index.postings(TermId(term));
+                    let mut acc = 0.0f32;
+                    for b in 0..view.num_blocks() {
+                        let (_, weights) = view.block(b);
+                        adcast_text::kernels::scale_into(0.7, weights, &mut products);
+                        for &p in &products[..weights.len()] {
+                            acc += p;
+                        }
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The skip decision by itself: one cached max per block instead of a
+/// lane walk — this is all a pruned-out block costs.
+fn bench_block_max_walk(c: &mut Criterion) {
+    let index = build_index(100_000, 200, 8);
+    c.bench_function("index_block_max_walk_100k", |bench| {
+        let mut term = 0u32;
+        bench.iter(|| {
+            term = (term + 17) % 200;
+            let view = index.postings(TermId(term));
+            let mut bound = 0.0f32;
+            for b in 0..view.num_blocks() {
+                bound = bound.max(view.block_max(b));
+            }
+            black_box(bound)
+        });
+    });
+}
+
 fn bench_upper_bound(c: &mut Criterion) {
     let index = build_index(10_000, 20_000, 8);
     let mut rng = SmallRng::seed_from_u64(11);
@@ -78,6 +129,8 @@ criterion_group!(
     benches,
     bench_posting_walk,
     bench_insert_remove,
+    bench_blocked_scan,
+    bench_block_max_walk,
     bench_upper_bound
 );
 criterion_main!(benches);

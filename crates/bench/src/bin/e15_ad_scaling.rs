@@ -1,0 +1,96 @@
+//! E15 (Figure): recommend latency vs. ad-corpus size, pruned vs.
+//! exhaustive.
+//!
+//! The block-max claim: over a topic-structured corpus whose term space
+//! is fixed (posting lists grow linearly with |A|), the exhaustive
+//! term-at-a-time walk degrades roughly linearly while the impact-ordered
+//! pruned path stays near-flat — at paper scale, pruned p99 at 1M ads
+//! must be ≤ 3× the 10k-ad p99. Both paths return bit-identical results
+//! (`blockmax_equivalence` proves it); this sweep prices the difference.
+//!
+//! `ADCAST_E15_SMOKE=1` shrinks the sweep to a seconds-scale sanity pass
+//! and skips the CSV artifact (CI drives it; committed `results/e15.csv`
+//! stays the paper run).
+
+use adcast_bench::indexsynth::{
+    bench_config, build_store, measure_best, warm_context, PruneCounters,
+};
+use adcast_bench::{fmt, Report, Scale};
+use adcast_core::{IndexScanEngine, RecommendationEngine};
+use adcast_graph::UserId;
+use adcast_stream::event::LocationId;
+
+fn main() {
+    let smoke = std::env::var("ADCAST_E15_SMOKE").is_ok_and(|v| v == "1");
+    let scale = Scale::from_env();
+    let ad_counts: &[u32] = if smoke {
+        &[1_000, 4_000]
+    } else if scale == Scale::Paper {
+        &[10_000, 50_000, 200_000, 1_000_000]
+    } else {
+        &[5_000, 20_000, 80_000]
+    };
+    let (pruned_iters, exhaustive_iters) = if smoke { (60, 30) } else { (2_000, 200) };
+    let k = 10usize;
+
+    let mut report = Report::new(
+        "E15",
+        "recommend latency vs ads (pruned block-max vs exhaustive TAAT, k=10)",
+        vec![
+            "ads",
+            "pruned_p50_us",
+            "pruned_p99_us",
+            "exhaustive_p50_us",
+            "exhaustive_p99_us",
+            "prune_ratio",
+            "p99_speedup",
+        ],
+    );
+    let counters = PruneCounters::resolve();
+    for &num_ads in ad_counts {
+        let store = build_store(num_ads, 0xE15);
+        let mut engine = IndexScanEngine::new(1, bench_config());
+        let now = warm_context(&mut engine, &store);
+        // Warm both paths' scratch (cursors, seen table, the dense TAAT
+        // accumulator) so the loops below measure steady state, not
+        // first-touch page faults.
+        for _ in 0..20 {
+            std::hint::black_box(engine.recommend(&store, UserId(0), now, LocationId(0), k));
+            std::hint::black_box(engine.recommend_exhaustive(
+                &store,
+                UserId(0),
+                now,
+                LocationId(0),
+                k,
+            ));
+        }
+        let before = counters.read();
+        let pruned = measure_best(5, pruned_iters, || {
+            std::hint::black_box(engine.recommend(&store, UserId(0), now, LocationId(0), k));
+        });
+        let prune_ratio = counters.ratio_since(before);
+        let exhaustive = measure_best(5, exhaustive_iters, || {
+            std::hint::black_box(engine.recommend_exhaustive(
+                &store,
+                UserId(0),
+                now,
+                LocationId(0),
+                k,
+            ));
+        });
+        report.row(vec![
+            num_ads.to_string(),
+            fmt(pruned.p50() as f64 / 1e3),
+            fmt(pruned.p99() as f64 / 1e3),
+            fmt(exhaustive.p50() as f64 / 1e3),
+            fmt(exhaustive.p99() as f64 / 1e3),
+            fmt(prune_ratio),
+            fmt(exhaustive.p99() as f64 / (pruned.p99() as f64).max(1.0)),
+        ]);
+    }
+    if smoke {
+        println!("(smoke run: results/e15.csv not written)");
+    } else {
+        report.finish();
+    }
+}

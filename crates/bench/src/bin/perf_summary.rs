@@ -351,6 +351,95 @@ fn main() {
         );
     }
 
+    // --- Blocked ad index: pruned vs exhaustive recommend at the E15
+    // endpoints. Corpus sizes are fixed (10k and 1M ads — the scaling
+    // claim is about those two points, so the trajectory stays comparable
+    // across scales); ADCAST_SCALE only tunes the iteration counts. ---
+    {
+        use adcast_bench::indexsynth::{
+            bench_config, build_store, measure_best, warm_context, PruneCounters,
+        };
+        use adcast_core::IndexScanEngine;
+
+        let counters = PruneCounters::resolve();
+        let iters = scale.pick(2_000u32, 5_000);
+        let mut p99 = [0.0f64; 2];
+        for (i, (num_ads, label)) in [(10_000u32, "10k"), (1_000_000, "1m")].iter().enumerate() {
+            let index_store = build_store(*num_ads, 0xE15);
+            let mut engine = IndexScanEngine::new(1, bench_config());
+            let at = warm_context(&mut engine, &index_store);
+            // Warm both paths (scratch capacities + accumulator pages).
+            for _ in 0..20 {
+                std::hint::black_box(engine.recommend(
+                    &index_store,
+                    UserId(0),
+                    at,
+                    LocationId(0),
+                    10,
+                ));
+                std::hint::black_box(engine.recommend_exhaustive(
+                    &index_store,
+                    UserId(0),
+                    at,
+                    LocationId(0),
+                    10,
+                ));
+            }
+            let before = counters.read();
+            let pruned = measure_best(5, iters, || {
+                std::hint::black_box(engine.recommend(
+                    &index_store,
+                    UserId(0),
+                    at,
+                    LocationId(0),
+                    10,
+                ));
+            });
+            let prune_ratio = counters.ratio_since(before);
+            let exhaustive = measure_best(5, iters / 10, || {
+                std::hint::black_box(engine.recommend_exhaustive(
+                    &index_store,
+                    UserId(0),
+                    at,
+                    LocationId(0),
+                    10,
+                ));
+            });
+            p99[i] = pruned.p99() as f64;
+            summary.metric(
+                "index",
+                &format!("pruned_p50_ns_{label}"),
+                pruned.p50() as f64,
+            );
+            summary.metric(
+                "index",
+                &format!("pruned_p99_ns_{label}"),
+                pruned.p99() as f64,
+            );
+            summary.metric(
+                "index",
+                &format!("exhaustive_p50_ns_{label}"),
+                exhaustive.p50() as f64,
+            );
+            summary.metric(
+                "index",
+                &format!("exhaustive_p99_ns_{label}"),
+                exhaustive.p99() as f64,
+            );
+            summary.metric("index", &format!("prune_ratio_{label}"), prune_ratio);
+            println!(
+                "index {label}: pruned p50 {} ns / p99 {} ns, exhaustive p99 {} ns, \
+                 prune ratio {prune_ratio:.3}",
+                pruned.p50(),
+                pruned.p99(),
+                exhaustive.p99()
+            );
+        }
+        let growth = p99[1] / p99[0].max(1.0);
+        summary.metric("index", "pruned_p99_growth_10k_to_1m", growth);
+        println!("index: pruned p99 grows {growth:.2}x from 10k to 1M ads");
+    }
+
     // --- Sparse kernels: the skewed-dot shape (ad 8 × context 512). ---
     let small = random_vector(&mut rng, 8, 50_000);
     let large = random_vector(&mut rng, 512, 50_000);

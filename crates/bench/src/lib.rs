@@ -13,6 +13,8 @@
 //! emission, and the continuous-serving measurement loop used by several
 //! experiments.
 
+pub mod indexsynth;
+
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;

@@ -41,6 +41,7 @@ use adcast_text::ScratchSpace;
 
 use crate::config::EngineConfig;
 use crate::context::{ContextUpdate, UserContext};
+use crate::engine::blockmax::{taat_blocked, IndexObs, TaatAccumulator};
 use crate::engine::{dot_ad_side, EngineStats, Recommendation, RecommendationEngine};
 use crate::skyband::{CandidateBuffer, ScoreCache};
 use crate::snapshot::{EngineSnapshot, UserStateSnapshot};
@@ -139,12 +140,15 @@ pub struct IncrementalEngine {
     stats: EngineStats,
     /// Scratch: potential relevance gains of outside ads in this delta.
     gains: HashMap<AdId, f32>,
-    /// Scratch for refresh TAAT.
-    taat: HashMap<AdId, f32>,
+    /// Dense stamped accumulator for refresh/fallback TAAT (shared walk
+    /// with the index-scan engine; see [`taat_blocked`]).
+    taat: TaatAccumulator,
     /// Reusable hot-path buffers (see [`HotScratch`]).
     scratch: HotScratch,
     /// Pre-resolved span-timing handles (see [`EngineObs`]).
     obs: EngineObs,
+    /// Pre-resolved blocked-index telemetry (refresh/fallback walks).
+    index_obs: IndexObs,
 }
 
 impl IncrementalEngine {
@@ -172,9 +176,10 @@ impl IncrementalEngine {
             config,
             stats: EngineStats::default(),
             gains: HashMap::new(),
-            taat: HashMap::new(),
+            taat: TaatAccumulator::default(),
             scratch: HotScratch::default(),
             obs: EngineObs::resolve(),
+            index_obs: IndexObs::resolve(),
         }
     }
 
@@ -311,28 +316,26 @@ impl IncrementalEngine {
     /// top-capacity ads by rank and reset the outside bound.
     fn refresh(&mut self, store: &AdStore, user: UserId) {
         self.stats.refreshes += 1;
-        let index = store.index();
-        self.taat.clear();
         {
             let st = &self.users[user.index()];
-            for (term, weight) in st.ctx.raw().iter() {
-                let postings = index.postings(term);
-                self.stats.postings_scanned += postings.len() as u64;
-                for p in postings {
-                    *self.taat.entry(p.ad).or_insert(0.0) += weight * p.weight;
-                }
-            }
+            taat_blocked(
+                store.index(),
+                st.ctx.raw(),
+                store.num_total(),
+                &mut self.taat,
+                &mut self.stats,
+                &self.index_obs,
+            );
         }
-        self.stats.ads_scored += self.taat.len() as u64;
+        self.stats.ads_scored += self.taat.touched().len() as u64;
         // Order candidates by rank, best first (reusing the engine-owned
         // candidate buffer across refreshes).
         let mut candidates = std::mem::take(&mut self.scratch.refresh_candidates);
         candidates.clear();
-        candidates.extend(
-            self.taat
-                .iter()
-                .map(|(&ad, &rel)| (ad, rel, self.rank_of(store, ad, rel))),
-        );
+        candidates.extend(self.taat.touched().iter().map(|&ad| {
+            let rel = self.taat.get(ad);
+            (ad, rel, self.rank_of(store, ad, rel))
+        }));
         // Unstable sort (no temp-buffer allocation); the id tie-break
         // makes the comparator a total order, so the result is unique.
         candidates.sort_unstable_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
@@ -376,27 +379,29 @@ impl IncrementalEngine {
         k: usize,
     ) -> Vec<Recommendation> {
         self.stats.fallbacks += 1;
-        let index = store.index();
-        self.taat.clear();
-        let st = &self.users[user.index()];
-        for (term, weight) in st.ctx.raw().iter() {
-            let postings = index.postings(term);
-            self.stats.postings_scanned += postings.len() as u64;
-            for p in postings {
-                *self.taat.entry(p.ad).or_insert(0.0) += weight * p.weight;
-            }
+        {
+            let st = &self.users[user.index()];
+            taat_blocked(
+                store.index(),
+                st.ctx.raw(),
+                store.num_total(),
+                &mut self.taat,
+                &mut self.stats,
+                &self.index_obs,
+            );
         }
-        self.stats.ads_scored += self.taat.len() as u64;
+        self.stats.ads_scored += self.taat.touched().len() as u64;
+        let st = &self.users[user.index()];
         let policy = self.config.scoring;
         let min_fwd = self.config.min_relevance * st.ctx.normalizer(now) as f32;
-        let candidates = self.taat.iter().filter_map(|(&ad, &fwd)| {
+        let candidates = self.taat.touched().iter().filter_map(|&ad| {
+            let fwd = self.taat.get(ad);
             if fwd <= min_fwd {
                 return None;
             }
-            // adcast-lint: allow(no-panic-hot-path) -- `ad` came out of the
-            // store's own postings this scan; the index cannot dangle
-            // within a single borrow of `store`.
-            let a = store.ad(ad).expect("indexed ads exist");
+            // `ad` came out of the store's own postings this scan; the
+            // index cannot dangle within a single borrow of `store`.
+            let a = store.ad(ad)?;
             if !a.targeting.matches(location, now) {
                 return None;
             }
@@ -412,7 +417,7 @@ impl IncrementalEngine {
             .map(|s| Recommendation {
                 ad: s.ad,
                 score: s.score / rank_scale,
-                relevance: self.taat[&s.ad] / normalizer,
+                relevance: self.taat.get(s.ad) / normalizer,
             })
             .collect()
     }
@@ -868,6 +873,7 @@ impl RecommendationEngine for IncrementalEngine {
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.scratch.memory_bytes()
+            + self.taat.memory_bytes()
             + self
                 .users
                 .iter()

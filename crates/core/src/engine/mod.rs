@@ -9,6 +9,7 @@
 //! | [`IndexScanEngine`] | O(Δ) context only | O(postings of context terms) | yes |
 //! | [`IncrementalEngine`] | O(postings of Δ terms) | O(buffer) | yes (Eager) / bounded staleness (Budgeted) |
 
+mod blockmax;
 mod full_scan;
 mod incremental;
 mod index_scan;

@@ -1,0 +1,259 @@
+//! Block-max pruning exactness: the pruned serve path must return the
+//! **same ads, bit-identical scores, and identical order** as the
+//! exhaustive term-at-a-time walk — not approximately, bit for bit — under
+//! randomized stores, skewed weight distributions, deliberate ties at the
+//! k-th position, targeting filters, and mid-run campaign churn.
+//!
+//! Everything is driven by a deterministic LCG so failures replay.
+
+use std::sync::Arc;
+
+use adcast_ads::{AdId, AdStore, AdSubmission, Budget, Targeting};
+use adcast_core::{EngineConfig, IndexScanEngine, RecommendationEngine};
+use adcast_feed::FeedDelta;
+use adcast_graph::UserId;
+use adcast_stream::clock::Timestamp;
+use adcast_stream::event::{LocationId, Message, MessageId};
+use adcast_text::dictionary::TermId;
+use adcast_text::SparseVector;
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform in (0, 1].
+    fn unit(&mut self) -> f32 {
+        (self.below(10_000) + 1) as f32 / 10_000.0
+    }
+}
+
+const VOCAB: u64 = 40;
+
+fn random_vector(rng: &mut Lcg, terms: usize) -> SparseVector {
+    let mut pairs: Vec<(TermId, f32)> = Vec::new();
+    while pairs.len() < terms {
+        let t = TermId(rng.below(VOCAB) as u32);
+        if pairs.iter().any(|&(pt, _)| pt == t) {
+            continue;
+        }
+        // Heavy skew (u^4): a few dominant weights, a long light tail —
+        // the regime impact ordering thrives on.
+        let u = rng.unit();
+        pairs.push((t, (u * u * u * u).max(1e-4)));
+    }
+    SparseVector::from_pairs(pairs)
+}
+
+fn random_submission(rng: &mut Lcg) -> AdSubmission {
+    let targeting = match rng.below(4) {
+        0 => Targeting::everywhere().in_locations([LocationId(rng.below(3) as u16)]),
+        _ => Targeting::everywhere(),
+    };
+    let num_terms = 2 + rng.below(6) as usize;
+    AdSubmission {
+        vector: random_vector(rng, num_terms),
+        bid: 0.5 + rng.unit() * 2.0,
+        targeting,
+        budget: Budget::unlimited(),
+        topic_hint: None,
+    }
+}
+
+fn assert_paths_agree(
+    engine: &mut IndexScanEngine,
+    store: &AdStore,
+    now: Timestamp,
+    location: LocationId,
+    label: &str,
+) {
+    for k in [1usize, 3, 10, 64] {
+        let pruned = engine.recommend(store, UserId(0), now, location, k);
+        let full = engine.recommend_exhaustive(store, UserId(0), now, location, k);
+        assert_eq!(
+            pruned.len(),
+            full.len(),
+            "{label}: k={k} result counts diverge"
+        );
+        for (i, (p, f)) in pruned.iter().zip(&full).enumerate() {
+            assert_eq!(p.ad, f.ad, "{label}: k={k} rank {i} ad diverges");
+            assert_eq!(
+                p.score.to_bits(),
+                f.score.to_bits(),
+                "{label}: k={k} rank {i} score not bit-identical ({} vs {})",
+                p.score,
+                f.score
+            );
+            assert_eq!(
+                p.relevance.to_bits(),
+                f.relevance.to_bits(),
+                "{label}: k={k} rank {i} relevance not bit-identical"
+            );
+        }
+    }
+}
+
+fn drive(seed: u64, num_ads: u64, config: EngineConfig) {
+    let mut rng = Lcg(seed);
+    let mut store = AdStore::new();
+    for _ in 0..num_ads {
+        store.submit(random_submission(&mut rng)).unwrap();
+    }
+    let mut engine = IndexScanEngine::new(1, config);
+    let mut live: Vec<Arc<Message>> = Vec::new();
+    for step in 0..240u64 {
+        let num_terms = 3 + rng.below(5) as usize;
+        let msg = Arc::new(Message {
+            id: MessageId(step),
+            author: UserId(0),
+            ts: Timestamp::from_secs(step * 7 + 1),
+            location: LocationId(0),
+            vector: random_vector(&mut rng, num_terms),
+        });
+        // Sliding window: evictions leave cancellation residues (tiny,
+        // sometimes negative context weights) that the pruned path must
+        // treat exactly like the exhaustive one.
+        let evicted = if live.len() >= 8 {
+            vec![live.remove(0)]
+        } else {
+            vec![]
+        };
+        live.push(msg.clone());
+        engine.on_feed_delta(
+            &store,
+            UserId(0),
+            &FeedDelta {
+                entered: Some(msg),
+                evicted,
+            },
+        );
+        // Mid-run churn: pause / resume / remove / submit.
+        match step % 6 {
+            1 => {
+                store.pause(AdId(rng.below(num_ads) as u32));
+            }
+            3 => {
+                store.resume(AdId(rng.below(num_ads) as u32));
+            }
+            4 if step % 12 == 4 => {
+                store.remove(AdId(rng.below(num_ads) as u32));
+            }
+            5 => {
+                store.submit(random_submission(&mut rng)).unwrap();
+            }
+            _ => {}
+        }
+        if step % 20 == 19 {
+            let now = Timestamp::from_secs(step * 7 + 3);
+            let location = LocationId(rng.below(3) as u16);
+            assert_paths_agree(
+                &mut engine,
+                &store,
+                now,
+                location,
+                &format!("seed {seed} step {step}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn pruned_top_k_is_bit_identical_under_random_churn() {
+    for seed in [3, 17, 255] {
+        drive(
+            seed,
+            300,
+            EngineConfig {
+                half_life: None,
+                ..Default::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn pruned_top_k_is_bit_identical_with_decay() {
+    drive(91, 250, EngineConfig::default());
+}
+
+#[test]
+fn pruned_top_k_is_bit_identical_under_blended_scoring() {
+    use adcast_core::ScoringPolicy;
+    drive(
+        7,
+        300,
+        EngineConfig {
+            scoring: ScoringPolicy::blended(0.7),
+            half_life: None,
+            ..Default::default()
+        },
+    );
+}
+
+#[test]
+fn ties_at_the_kth_position_are_never_pruned() {
+    // Many ads share the *same* vector (and bid), so scores collide
+    // exactly and the k-th boundary is a tie resolved by ascending id.
+    // The pruned path must keep walking on rank_ub == θ, or it would drop
+    // a lower-id tying ad discovered late.
+    let mut store = AdStore::new();
+    let shared = SparseVector::from_pairs([(TermId(0), 0.6f32), (TermId(1), 0.4)]);
+    for _ in 0..100 {
+        store
+            .submit(AdSubmission {
+                vector: shared.clone(),
+                bid: 1.0,
+                targeting: Targeting::everywhere(),
+                budget: Budget::unlimited(),
+                topic_hint: None,
+            })
+            .unwrap();
+    }
+    // A few distinct ads above and below the tie plateau.
+    let mut rng = Lcg(1234);
+    for _ in 0..40 {
+        store.submit(random_submission(&mut rng)).unwrap();
+    }
+    let mut engine = IndexScanEngine::new(
+        1,
+        EngineConfig {
+            half_life: None,
+            ..Default::default()
+        },
+    );
+    let msg = Arc::new(Message {
+        id: MessageId(0),
+        author: UserId(0),
+        ts: Timestamp::from_secs(1),
+        location: LocationId(0),
+        vector: SparseVector::from_pairs([(TermId(0), 0.8f32), (TermId(1), 0.6)]),
+    });
+    engine.on_feed_delta(
+        &store,
+        UserId(0),
+        &FeedDelta {
+            entered: Some(msg),
+            evicted: vec![],
+        },
+    );
+    let now = Timestamp::from_secs(2);
+    for k in [1usize, 5, 50, 99, 100, 141] {
+        let pruned = engine.recommend(&store, UserId(0), now, LocationId(0), k);
+        let full = engine.recommend_exhaustive(&store, UserId(0), now, LocationId(0), k);
+        assert_eq!(pruned.len(), full.len(), "k={k}");
+        for (p, f) in pruned.iter().zip(&full) {
+            assert_eq!(p.ad, f.ad, "k={k}");
+            assert_eq!(p.score.to_bits(), f.score.to_bits(), "k={k}");
+        }
+    }
+}

@@ -109,6 +109,48 @@ fn steady_state_deltas_do_not_allocate() {
 }
 
 #[test]
+fn steady_state_recommend_allocates_only_the_result() {
+    // The pruned serve path works entirely out of engine-owned scratch:
+    // once cursor/seen/top-k capacities have warmed up, the only heap
+    // allocation left per request is cloning the result vector out.
+    use adcast_core::allocmeter::allocation_count;
+    use adcast_core::IndexScanEngine;
+
+    let s = store(30);
+    let mut engine = IndexScanEngine::new(
+        1,
+        EngineConfig {
+            k: 4,
+            half_life: None,
+            ..Default::default()
+        },
+    );
+    let deltas = stream(40);
+    for d in &deltas {
+        engine.on_feed_delta(&s, UserId(0), d);
+    }
+    let now = Timestamp::from_secs(100);
+    // Warm-up: grow the scorer's cursors/seen table/hit list and the
+    // output buffer to steady-state capacity.
+    for _ in 0..50 {
+        let recs = engine.recommend(&s, UserId(0), now, LocationId(0), 4);
+        assert!(!recs.is_empty());
+    }
+    let before = allocation_count();
+    let rounds = 1_000u64;
+    for _ in 0..rounds {
+        let recs = engine.recommend(&s, UserId(0), now, LocationId(0), 4);
+        std::hint::black_box(&recs);
+    }
+    let per_call = (allocation_count() - before) as f64 / rounds as f64;
+    assert!(
+        per_call <= 1.0,
+        "steady-state recommend averaged {per_call} allocations per call \
+         (expected ≤ 1: the cloned result vector)"
+    );
+}
+
+#[test]
 fn counter_is_wired_through_the_trait() {
     // Sanity: the accounting happens inside `on_feed_delta` itself, so a
     // cold engine's very first delta must register allocations.

@@ -5,13 +5,18 @@
 //! breeds suppressions, and suppression creep is exactly what this tool
 //! exists to prevent (`perf_summary` graphs the suppression count per PR).
 
-/// Hot-path modules: the engine steady state, the net server loop and codec,
-/// the durability commit/replay paths, and the obs record paths (metric
-/// handles and the flight-recorder ring run inside all of the former).
+/// Hot-path modules: the blocked ad index and its evaluators, the engine
+/// steady state, the net server loop and codec, the durability
+/// commit/replay paths, and the obs record paths (metric handles and the
+/// flight-recorder ring run inside all of the former).
 /// `no-panic-hot-path` bans `unwrap`/`expect`/`panic!`-family macros here.
 pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/adstore/src/index.rs",
+    "crates/core/src/engine/blockmax.rs",
     "crates/core/src/engine/incremental.rs",
+    "crates/core/src/engine/index_scan.rs",
     "crates/net/src/server.rs",
+    "crates/textproc/src/kernels.rs",
     "crates/net/src/codec.rs",
     "crates/durability/src/wal.rs",
     "crates/durability/src/apply.rs",

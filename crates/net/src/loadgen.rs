@@ -77,6 +77,41 @@ pub const STAGE_FAMILIES: &[&str] = &[
     "adcast_net_recommend_ns",
 ];
 
+/// The blocked-index pruning families every scrape must find. The engine
+/// registers them at construction, so a missing family means the server
+/// is not running the blocked ad index at all — a hard error for
+/// `--obs-addr` runs, not a degraded report.
+pub const INDEX_FAMILIES: &[&str] = &[
+    "adcast_index_blocks_scanned_total",
+    "adcast_index_blocks_skipped_total",
+    "adcast_index_prune_ratio_bp",
+    "adcast_index_block_scan_ns",
+];
+
+/// Blocked-index pruning counters from an end-of-run scrape.
+#[derive(Debug)]
+pub struct IndexPrune {
+    /// Posting blocks the evaluators actually walked (cumulative).
+    pub blocks_scanned: u64,
+    /// Posting blocks the block-max bound let them skip (cumulative).
+    pub blocks_skipped: u64,
+    /// Prune ratio of the most recent pruned query, in basis points.
+    pub prune_ratio_bp: i64,
+}
+
+impl IndexPrune {
+    /// Fraction of all posting blocks skipped over the whole run.
+    #[must_use]
+    pub fn prune_ratio(&self) -> f64 {
+        let total = self.blocks_scanned + self.blocks_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.blocks_skipped as f64 / total as f64
+        }
+    }
+}
+
 /// Parsed end-of-run scrape of the server's observability endpoint.
 #[derive(Debug)]
 pub struct ObsScrape {
@@ -89,6 +124,9 @@ pub struct ObsScrape {
     /// `(family, p50 ns, p99 ns)` for each [`STAGE_FAMILIES`] histogram
     /// present in the exposition with at least one observation.
     pub stages: Vec<(String, u64, u64)>,
+    /// Blocked-index pruning counters, when every [`INDEX_FAMILIES`]
+    /// family was present. `None` means at least one was missing.
+    pub index: Option<IndexPrune>,
 }
 
 /// Scrape and validate `/metrics` + `/healthz` on `addr`.
@@ -118,11 +156,30 @@ pub fn scrape_obs(addr: &str) -> Result<ObsScrape, NetError> {
             }
         }
     }
+    let index = parse_index_prune(&families);
     Ok(ObsScrape {
         families: families.len(),
         bytes: body.len(),
         healthy: health_status == 200,
         stages,
+        index,
+    })
+}
+
+/// Pull the blocked-index pruning counters out of a parsed exposition;
+/// `None` when any [`INDEX_FAMILIES`] family (or its sample) is absent.
+fn parse_index_prune(families: &[adcast_obs::ParsedFamily]) -> Option<IndexPrune> {
+    if INDEX_FAMILIES
+        .iter()
+        .any(|name| find_family(families, name).is_none())
+    {
+        return None;
+    }
+    let value = |name: &str| find_family(families, name).and_then(|f| f.sample_value(name));
+    Some(IndexPrune {
+        blocks_scanned: value("adcast_index_blocks_scanned_total")? as u64,
+        blocks_skipped: value("adcast_index_blocks_skipped_total")? as u64,
+        prune_ratio_bp: value("adcast_index_prune_ratio_bp")? as i64,
     })
 }
 

@@ -12,6 +12,8 @@
 //! * [`tfidf`] — TF and IDF weighting schemes (including BM25 saturation),
 //! * [`sparse`] — sorted sparse vectors with the kernel operations used by
 //!   the scoring engines (dot, cosine, axpy-style merges, deltas),
+//! * [`kernels`] — chunked autovectorization-friendly loops over the
+//!   blocked ad index's SoA posting lanes (scale, block max),
 //! * [`pipeline`] — the end-to-end analyzer gluing the stages together.
 //!
 //! The crate is dependency-free (std only) because no NLP crates are
@@ -29,6 +31,7 @@
 //! ```
 
 pub mod dictionary;
+pub mod kernels;
 pub mod ngrams;
 pub mod normalize;
 pub mod pipeline;

@@ -133,4 +133,12 @@ fi
 rm -rf "$data_dir"
 rm -f "$serve_log"
 
+echo "== E15 index-scaling smoke (pruned vs exhaustive, tiny sweep) =="
+e15_out=$(ADCAST_E15_SMOKE=1 ./target/release/e15_ad_scaling)
+echo "$e15_out"
+grep -q 'smoke run' <<<"$e15_out" || {
+  echo "E15 smoke did not run in smoke mode" >&2
+  exit 1
+}
+
 echo "All checks passed."

@@ -8,8 +8,9 @@
 //!
 //! With `--obs-addr` (the server's observability listener), the run ends
 //! with a validating `/metrics` + `/healthz` scrape and prints the
-//! server-side stage latency percentiles next to the client RTTs — a
-//! malformed exposition or missing stage histograms is a hard error.
+//! server-side stage latency percentiles and the blocked-index prune
+//! ratio next to the client RTTs — a malformed exposition, missing stage
+//! histograms, or missing `adcast_index_*` families is a hard error.
 //!
 //! Replays the deterministic synthetic workload over real sockets: one
 //! thread per connection, one request outstanding each (offered load =
@@ -150,6 +151,17 @@ fn drive(args: &[String]) -> Result<(), String> {
                 *p99 as f64 / 1e3
             );
         }
+        let index = obs
+            .index
+            .as_ref()
+            .ok_or("obs scrape: blocked-index families (adcast_index_*) missing from /metrics")?;
+        println!(
+            "server index prune_ratio={:.2}% blocks_scanned={} blocks_skipped={} last_query_bp={}",
+            index.prune_ratio() * 100.0,
+            index.blocks_scanned,
+            index.blocks_skipped,
+            index.prune_ratio_bp
+        );
         // Scripts grep this exact shape.
         println!(
             "obs: families={} bytes={} healthz=ok",
