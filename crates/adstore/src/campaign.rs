@@ -131,6 +131,18 @@ impl Campaign {
             self.state = CampaignState::Removed;
         }
     }
+
+    /// Expire an active campaign whose flight has ended or whose paced
+    /// budget is drained (terminal). Returns whether the transition
+    /// happened.
+    pub fn expire(&mut self) -> bool {
+        if self.state == CampaignState::Active {
+            self.state = CampaignState::Exhausted;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 #[cfg(test)]

@@ -229,6 +229,29 @@ impl AdStore {
         true
     }
 
+    /// Expire every active campaign whose pacing flight has finished
+    /// (flight end passed or paced budget drained) as of `now`,
+    /// de-indexing each. Returns the expired ids in ascending order, so
+    /// the pass is deterministic and WAL-replayable. Campaigns without a
+    /// flight never expire here — budget exhaustion already de-indexes
+    /// them on the impression path.
+    pub fn expire_finished(&mut self, now: Timestamp) -> Vec<AdId> {
+        let mut expired = Vec::new();
+        for campaign in &mut self.campaigns {
+            let done = campaign
+                .pacing
+                .as_ref()
+                .is_some_and(|pacing| pacing.is_done(now));
+            if done && campaign.expire() {
+                let id = campaign.ad.id;
+                self.index.remove(id, &campaign.ad.vector);
+                self.active -= 1;
+                expired.push(id);
+            }
+        }
+        expired
+    }
+
     /// Capture the full store state (private fields included) as plain
     /// data, in ad-id order.
     pub fn export_snapshot(&self) -> StoreSnapshot {
@@ -440,6 +463,31 @@ mod tests {
         let active: Vec<_> = s.active_campaigns().map(|c| c.ad.id).collect();
         assert_eq!(active, vec![b]);
         assert_eq!(s.num_total(), 2);
+    }
+
+    #[test]
+    fn expire_finished_deindexes_ended_flights() {
+        let mut s = AdStore::new();
+        let flighted = s.submit(submission(&[(1, 0.5)], 10.0)).unwrap();
+        let open_ended = s.submit(submission(&[(2, 0.5)], 10.0)).unwrap();
+        s.set_pacing(
+            flighted,
+            PacingController::new(Timestamp::from_secs(0), Timestamp::from_secs(60), 10.0),
+        );
+        // Mid-flight: nothing expires.
+        assert!(s.expire_finished(Timestamp::from_secs(30)).is_empty());
+        assert_eq!(s.num_active(), 2);
+        // Past the flight end: only the flighted campaign goes.
+        assert_eq!(s.expire_finished(Timestamp::from_secs(61)), vec![flighted]);
+        assert_eq!(s.num_active(), 1);
+        assert!(s.index().postings(TermId(1)).is_empty());
+        assert_eq!(
+            s.campaign(flighted).unwrap().state(),
+            CampaignState::Exhausted
+        );
+        assert!(s.campaign(open_ended).unwrap().is_active());
+        // Idempotent: a second pass finds nothing.
+        assert!(s.expire_finished(Timestamp::from_secs(61)).is_empty());
     }
 
     #[test]

@@ -24,6 +24,7 @@ fn main() {
         num_ads: scale.pick(500usize, 2_000),
         messages: scale.pick(4_000u64, 20_000),
         batch_size: 200,
+        msgs_per_sec: 200.0,
         seed: 0xE13,
     };
     let workload = Arc::new(synth::build(&synth_cfg));

@@ -186,6 +186,7 @@ fn main() {
             num_ads: scale.pick(300usize, 2_000),
             messages: scale.pick(1_500u64, 20_000),
             batch_size: scale.pick(200usize, 500),
+            msgs_per_sec: 200.0,
             seed: 0xADCA57,
         };
         let synth_workload = Arc::new(adcast_net::synth::build(&synth_cfg));
@@ -308,6 +309,57 @@ fn main() {
             report.suppressions,
             report.diagnostics.len(),
             report.files_scanned
+        );
+    }
+
+    // --- Deterministic simulation: the smoke scenario (virtual time,
+    // crash + twin check, WAL-logged maintenance) as a trajectory point,
+    // so harness throughput and lifecycle counters travel with the perf
+    // numbers. Nonzero decayed/pruned is an acceptance invariant. ---
+    {
+        use adcast_sim::{run, Fault, FaultAt, SimConfig};
+
+        let mut cfg = SimConfig::smoke(0xADCA57);
+        cfg.faults = vec![FaultAt {
+            at_batch: 3,
+            fault: Fault::Crash,
+        }];
+        let started = Instant::now();
+        let outcome = run(cfg).expect("sim smoke scenario");
+        let secs = started.elapsed().as_secs_f64().max(1e-9);
+        let c = &outcome.counters;
+        assert_eq!(c.crashes, c.twin_checks, "every crash must twin-check");
+        assert!(c.maint_decayed > 0, "smoke scenario must decay idle users");
+        assert!(
+            c.maint_pruned > 0,
+            "smoke scenario must prune ended flights"
+        );
+        summary.metric("sim", "deltas", c.deltas as f64);
+        summary.metric("sim", "deltas_per_sec", c.deltas as f64 / secs);
+        summary.metric("sim", "batches", c.batches as f64);
+        summary.metric("sim", "sheds", c.sheds as f64);
+        summary.metric("sim", "crashes", c.crashes as f64);
+        summary.metric("sim", "twin_checks", c.twin_checks as f64);
+        summary.metric("sim", "disk_bytes", c.disk_bytes as f64);
+        summary.metric("sim", "wall_ms", secs * 1e3);
+        summary.metric("maintenance", "passes", c.maint_passes as f64);
+        summary.metric("maintenance", "scanned", c.maint_scanned as f64);
+        summary.metric("maintenance", "decayed", c.maint_decayed as f64);
+        summary.metric("maintenance", "pruned", c.maint_pruned as f64);
+        println!(
+            "sim: {} deltas ({:.0}/s) over {} batches in {:.0} ms, {} crash(es) twin-checked, \
+             {} shed(s), {} disk bytes",
+            c.deltas,
+            c.deltas as f64 / secs,
+            c.batches,
+            secs * 1e3,
+            c.crashes,
+            c.sheds,
+            c.disk_bytes
+        );
+        println!(
+            "maintenance: {} pass(es), scanned {}, decayed {}, pruned {}",
+            c.maint_passes, c.maint_scanned, c.maint_decayed, c.maint_pruned
         );
     }
 

@@ -281,7 +281,7 @@ impl ShardedDriver {
             return Err(DriverError::Dead);
         }
         // Partition into recycled slabs: one send per shard per batch.
-        let fanout_started = std::time::Instant::now();
+        let fanout_started = adcast_stream::clock::now_ns();
         let mut slabs = std::mem::take(&mut self.slabs);
         while slabs.len() < num_shards {
             slabs.push(Vec::new()); // only after a panicked batch lost slabs
@@ -307,7 +307,8 @@ impl ShardedDriver {
             }
             sent += 1;
         }
-        self.fanout_ns.record_elapsed(fanout_started);
+        self.fanout_ns
+            .record(adcast_stream::clock::now_ns().saturating_sub(fanout_started));
         // Barrier: one ack per worker that received the batch. Every such
         // ack must be drained — even after a failure — before this
         // function may return: a live worker that has not yet acked can
@@ -319,7 +320,7 @@ impl ShardedDriver {
         } else {
             None
         };
-        let ack_started = std::time::Instant::now();
+        let ack_started = adcast_stream::clock::now_ns();
         for (s, worker) in self.workers.iter().take(sent).enumerate() {
             match worker.ack_rx.recv() {
                 Ok(slab) => slabs.push(slab),
@@ -328,7 +329,8 @@ impl ShardedDriver {
                 }
             }
         }
-        self.ack_wait_ns.record_elapsed(ack_started);
+        self.ack_wait_ns
+            .record(adcast_stream::clock::now_ns().saturating_sub(ack_started));
         self.slabs = slabs;
         if let Some(s) = dead_shard {
             self.dead = true;
@@ -363,6 +365,36 @@ impl ShardedDriver {
         for s in 0..self.engines.len() {
             self.lock_engine(s).on_campaign_removed(ad);
         }
+    }
+
+    /// Propagate a batch of campaign removals to every shard in one
+    /// pass per shard (mass flight expiry stays O(users), not
+    /// O(removals · users)).
+    pub fn on_campaigns_removed(&mut self, ads: &[AdId]) {
+        for s in 0..self.engines.len() {
+            self.lock_engine(s).on_campaigns_removed(ads);
+        }
+    }
+
+    /// Run a lifecycle maintenance pass over every shard: reset users
+    /// idle for at least `idle_for` as of `now` (see
+    /// [`IncrementalEngine::maintain`]). Runs on the caller's thread in
+    /// shard order — maintenance is rare and cold, and the deterministic
+    /// order keeps replay and recovery twins identical. Returns the
+    /// summed `(scanned, decayed)` counts. Callers must ensure no batch
+    /// is in flight (same contract as `export_snapshots`).
+    pub fn maintain(
+        &mut self,
+        now: Timestamp,
+        idle_for: adcast_stream::clock::Duration,
+    ) -> (u64, u64) {
+        let mut totals = (0u64, 0u64);
+        for s in 0..self.engines.len() {
+            let (scanned, decayed) = self.lock_engine(s).maintain(now, idle_for);
+            totals.0 += scanned;
+            totals.1 += decayed;
+        }
+        totals
     }
 
     /// Capture every shard's engine state (shard order). Callers must

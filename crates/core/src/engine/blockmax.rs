@@ -37,7 +37,7 @@
 //!   undiscovered ad that could tie the k-th score (and win the id
 //!   tie-break) is never pruned.
 
-use std::time::Instant;
+use adcast_stream::clock::now_ns;
 
 use adcast_ads::{AdId, AdIndex, AdStore, BLOCK_SIZE};
 use adcast_stream::clock::Timestamp;
@@ -249,7 +249,7 @@ impl BlockMaxScorer {
         if k == 0 {
             return;
         }
-        let started = Instant::now();
+        let started = now_ns();
         let index = store.index();
 
         // Cursors over the positive-weight context terms. Non-positive
@@ -392,7 +392,7 @@ impl BlockMaxScorer {
         if let Some(ratio) = skipped.saturating_mul(10_000).checked_div(total_blocks) {
             obs.prune_ratio_bp.set(ratio as i64);
         }
-        obs.block_scan_ns.record_elapsed(started);
+        obs.block_scan_ns.record(now_ns().saturating_sub(started));
     }
 
     /// The retained top-k, best-first.

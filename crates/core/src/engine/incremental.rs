@@ -28,8 +28,8 @@
 //! the baselines' (the equivalence tests exercise this); `Budgeted` trades
 //! bounded staleness for fewer refreshes.
 
+use adcast_stream::clock::now_ns;
 use std::collections::HashMap;
-use std::time::Instant;
 
 use adcast_ads::{AdId, AdStore};
 use adcast_feed::FeedDelta;
@@ -277,6 +277,37 @@ impl IncrementalEngine {
         Ok(())
     }
 
+    /// Lifecycle maintenance: reset every user whose last feed activity
+    /// is at least `idle_for` old as of `now`, returning `(scanned,
+    /// decayed)`. A reset user is bit-identical to a freshly constructed
+    /// one (empty context, empty buffer/cache, zero bounds, epoch 0), so
+    /// replaying the same maintenance record on a recovery twin
+    /// reproduces the exact same state. Users with no resident state are
+    /// scanned but not counted as decayed.
+    pub fn maintain(
+        &mut self,
+        now: Timestamp,
+        idle_for: adcast_stream::clock::Duration,
+    ) -> (u64, u64) {
+        let mut scanned = 0u64;
+        let mut decayed = 0u64;
+        for st in &mut self.users {
+            scanned += 1;
+            let has_state = !st.ctx.is_empty() || !st.buffer.is_empty() || !st.cache.is_empty();
+            if !has_state || now.since(st.ctx.last_ts()) < idle_for {
+                continue;
+            }
+            st.ctx = UserContext::new(self.config.half_life);
+            st.buffer.clear();
+            st.cache.clear();
+            st.ceiling = 0.0;
+            st.outside_bound = 0.0;
+            st.index_epoch = 0;
+            decayed += 1;
+        }
+        (scanned, decayed)
+    }
+
     /// The ranking function over (ad, forward relevance). λ = 1 avoids the
     /// bid lookup entirely.
     #[inline]
@@ -490,7 +521,7 @@ impl IncrementalEngine {
             return;
         }
 
-        let gain_screen_started = Instant::now();
+        let gain_screen_started = now_ns();
 
         // 2./3. Walk changed terms' postings.
         //
@@ -721,12 +752,16 @@ impl IncrementalEngine {
         }
         self.users[user.index()].outside_bound = new_bound;
         self.scratch.update = update;
-        self.obs.gain_screen_ns.record_elapsed(gain_screen_started);
+        self.obs
+            .gain_screen_ns
+            .record(now_ns().saturating_sub(gain_screen_started));
 
         // 5. Certification.
-        let certify_started = Instant::now();
+        let certify_started = now_ns();
         self.certify(store, user);
-        self.obs.certify_ns.record_elapsed(certify_started);
+        self.obs
+            .certify_ns
+            .record(now_ns().saturating_sub(certify_started));
     }
 }
 
@@ -859,6 +894,26 @@ impl RecommendationEngine for IncrementalEngine {
         for st in &mut self.users {
             st.buffer.remove(ad);
             st.cache.remove(ad);
+        }
+    }
+
+    fn on_campaigns_removed(&mut self, ads: &[AdId]) {
+        // One sweep over the user set for the whole batch: flight expiry
+        // can retire thousands of campaigns at once, and a per-ad sweep
+        // would cost O(removals · users). Membership is a sorted-slice
+        // binary search — cold path, but keep it allocation-light.
+        match ads {
+            [] => {}
+            &[ad] => self.on_campaign_removed(ad),
+            _ => {
+                let mut sorted: Vec<AdId> = ads.to_vec();
+                sorted.sort_unstable();
+                let gone = |ad: AdId| sorted.binary_search(&ad).is_ok();
+                for st in &mut self.users {
+                    st.buffer.remove_if(gone);
+                    st.cache.remove_if(gone);
+                }
+            }
         }
     }
 
@@ -1139,6 +1194,33 @@ mod tests {
     }
 
     #[test]
+    fn batch_removal_matches_sequential_removals() {
+        let specs: &[&[(u32, f32)]] = &[&[(1, 1.0)], &[(1, 0.8)], &[(1, 0.6)], &[(2, 0.9)]];
+        let build = || {
+            let mut e = IncrementalEngine::new(1, cfg(3));
+            let store = store_with(specs);
+            e.on_feed_delta(&store, UserId(0), &delta(&[(1, 1.0), (2, 0.5)], 1, vec![]));
+            (e, store)
+        };
+        let gone = [AdId(0), AdId(2)];
+        let (mut batched, mut store_b) = build();
+        let (mut sequential, mut store_s) = build();
+        for &ad in &gone {
+            store_b.remove(ad);
+            store_s.remove(ad);
+            sequential.on_campaign_removed(ad);
+        }
+        batched.on_campaigns_removed(&gone);
+        let at = Timestamp::from_secs(2);
+        let recs_b = batched.recommend(&store_b, UserId(0), at, LocationId(0), 3);
+        let recs_s = sequential.recommend(&store_s, UserId(0), at, LocationId(0), 3);
+        assert_eq!(recs_b, recs_s, "batch purge must match per-ad purges");
+        assert!(recs_b.iter().all(|r| !gone.contains(&r.ad)));
+        // State snapshots agree too, not just the served slice.
+        assert_eq!(batched.export_snapshot(), sequential.export_snapshot());
+    }
+
+    #[test]
     fn paused_campaigns_filtered_at_serve() {
         let store = store_with(&[&[(1, 1.0)], &[(1, 0.8)]]);
         let mut e = IncrementalEngine::new(1, cfg(1));
@@ -1155,6 +1237,38 @@ mod tests {
         let mut e = IncrementalEngine::new(1, cfg(2));
         let recs = e.recommend(&store, UserId(0), Timestamp::from_secs(1), LocationId(0), 2);
         assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn maintain_resets_idle_users_to_fresh_state() {
+        use adcast_stream::clock::Duration as SimDuration;
+        let store = store_with(&[&[(1, 1.0)], &[(2, 1.0)]]);
+        let mut e = IncrementalEngine::new(2, cfg(1));
+        e.on_feed_delta(&store, UserId(0), &delta(&[(1, 1.0)], 1, vec![]));
+        e.on_feed_delta(&store, UserId(1), &delta(&[(2, 1.0)], 500, vec![]));
+        // At t=600s with a 300s idle cut, only user 0 (last active t=1s)
+        // is reset; user 1 (t=500s) keeps its state.
+        let (scanned, decayed) = e.maintain(Timestamp::from_secs(600), SimDuration::from_secs(300));
+        assert_eq!((scanned, decayed), (2, 1));
+        assert!(e.context(UserId(0)).is_empty());
+        assert!(!e.context(UserId(1)).is_empty());
+        let recs = e.recommend(
+            &store,
+            UserId(0),
+            Timestamp::from_secs(601),
+            LocationId(0),
+            1,
+        );
+        assert!(recs.is_empty(), "decayed user serves nothing");
+        // A second pass finds user 0 stateless: scanned but not decayed.
+        let (scanned, decayed) = e.maintain(Timestamp::from_secs(900), SimDuration::from_secs(300));
+        assert_eq!((scanned, decayed), (2, 1), "only user 1 decays now");
+        // The reset user is bit-identical to a freshly built one.
+        let fresh = IncrementalEngine::new(2, cfg(1));
+        assert_eq!(
+            e.export_snapshot().users[0].context.memory_bytes(),
+            fresh.export_snapshot().users[0].context.memory_bytes()
+        );
     }
 
     #[test]

@@ -136,6 +136,16 @@ pub trait RecommendationEngine {
     /// exhaustion), so cached state can be purged.
     fn on_campaign_removed(&mut self, _ad: AdId) {}
 
+    /// Batch form of [`on_campaign_removed`](Self::on_campaign_removed)
+    /// for mass churn (flight expiry can retire thousands of campaigns in
+    /// one maintenance pass). Engines with per-user caches should
+    /// override this with a single sweep; the default just loops.
+    fn on_campaigns_removed(&mut self, ads: &[AdId]) {
+        for &ad in ads {
+            self.on_campaign_removed(ad);
+        }
+    }
+
     /// Engine name for experiment output.
     fn name(&self) -> &'static str;
 

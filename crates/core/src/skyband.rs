@@ -101,6 +101,13 @@ impl CandidateBuffer {
         self.scores.remove(&ad)
     }
 
+    /// Drop every buffered ad for which `gone` returns true (batch
+    /// campaign churn). One sweep regardless of how many ads left, so
+    /// mass expiry costs O(|buffer|), not O(removals · |buffer|).
+    pub fn remove_if(&mut self, mut gone: impl FnMut(AdId) -> bool) {
+        self.scores.retain(|&ad, _| !gone(ad));
+    }
+
     /// Multiply every relevance by `factor` (context rebase).
     pub fn scale_all(&mut self, factor: f32) {
         for s in self.scores.values_mut() {
@@ -370,6 +377,12 @@ impl ScoreCache {
     /// Remove `ad` (campaign churn).
     pub fn remove(&mut self, ad: AdId) -> Option<f32> {
         self.map.remove(&ad)
+    }
+
+    /// Drop every cached ad for which `gone` returns true (batch
+    /// campaign churn) — one sweep for any number of removals.
+    pub fn remove_if(&mut self, mut gone: impl FnMut(AdId) -> bool) {
+        self.map.retain(|&ad, _| !gone(ad));
     }
 
     /// Multiply every bound by `factor` (context rebase).

@@ -10,6 +10,7 @@
 use adcast_ads::{AdId, AdStore, CampaignState, PacingController};
 use adcast_core::ShardedDriver;
 use adcast_graph::UserId;
+use adcast_stream::clock::now_ns;
 
 use crate::record::WalRecord;
 
@@ -51,6 +52,15 @@ pub enum ApplyEffect {
         /// The campaign's state after the charge (`None` for an unknown
         /// campaign).
         state: Option<CampaignState>,
+    },
+    /// A lifecycle maintenance pass ran.
+    Maintained {
+        /// Users examined across shards.
+        scanned: u64,
+        /// Idle users reset to fresh state.
+        decayed: u64,
+        /// Finished-flight campaigns evicted from the index.
+        pruned: u64,
     },
 }
 
@@ -130,6 +140,51 @@ pub fn apply_record(
                 driver.on_campaign_removed(ad);
             }
             Ok(ApplyEffect::Impression { state })
+        }
+        WalRecord::Maintenance { now, idle_for } => {
+            let pass_started = now_ns();
+            let expired = store.expire_finished(now);
+            // Batched: flight expiry can retire thousands of campaigns in
+            // one pass, and the per-ad purge sweeps every user state.
+            driver.on_campaigns_removed(&expired);
+            let (scanned, decayed) = driver.maintain(now, idle_for);
+            let pruned = expired.len() as u64;
+            // Telemetry lives here — on the shared apply path — so the
+            // server and the simulation harness emit the same counters,
+            // span, and flight-recorder event. Maintenance is rare and
+            // cold, so per-pass registry resolution is fine.
+            let reg = adcast_obs::registry();
+            reg.counter(
+                "adcast_maint_scanned_total",
+                "Users examined by lifecycle maintenance passes.",
+            )
+            .add(scanned);
+            reg.counter(
+                "adcast_maint_decayed_total",
+                "Idle users reset by lifecycle maintenance passes.",
+            )
+            .add(decayed);
+            reg.counter(
+                "adcast_maint_pruned_total",
+                "Finished-flight campaigns evicted by maintenance passes.",
+            )
+            .add(pruned);
+            reg.hist(
+                "adcast_maint_pass_ns",
+                "Wall time of one full lifecycle maintenance pass.",
+            )
+            .record(now_ns().saturating_sub(pass_started));
+            adcast_obs::flightrec().record(
+                adcast_obs::EventKind::Maintenance,
+                scanned,
+                decayed,
+                pruned,
+            );
+            Ok(ApplyEffect::Maintained {
+                scanned,
+                decayed,
+                pruned,
+            })
         }
     }
 }
@@ -295,6 +350,79 @@ mod tests {
         assert!(!driver.is_dead());
         assert!(!batch_in_range(&[(UserId(100), delta(1, 1))], 4));
         assert!(batch_in_range(&[(UserId(3), delta(1, 1))], 4));
+    }
+
+    #[test]
+    fn maintenance_decays_idle_users_and_prunes_finished_flights() {
+        use adcast_stream::clock::Duration;
+        let (mut store, mut driver) = pair();
+        apply_record(
+            &mut store,
+            &mut driver,
+            WalRecord::Submit(submission(1, 10.0)),
+        )
+        .unwrap();
+        apply_record(
+            &mut store,
+            &mut driver,
+            WalRecord::SetPacing {
+                ad: AdId(0),
+                start: Timestamp::from_secs(0),
+                end: Timestamp::from_secs(100),
+                budget: 5.0,
+            },
+        )
+        .unwrap();
+        apply_record(
+            &mut store,
+            &mut driver,
+            WalRecord::IngestBatch(vec![(UserId(0), delta(1, 1))]),
+        )
+        .unwrap();
+        apply_record(
+            &mut store,
+            &mut driver,
+            WalRecord::IngestBatch(vec![(UserId(1), delta(1, 400))]),
+        )
+        .unwrap();
+        // At t=500s: user 0 (idle 499s) decays, user 1 (idle 100s) stays;
+        // the campaign's flight ended at t=100s, so it is pruned.
+        let effect = apply_record(
+            &mut store,
+            &mut driver,
+            WalRecord::Maintenance {
+                now: Timestamp::from_secs(500),
+                idle_for: Duration::from_secs(300),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            effect,
+            ApplyEffect::Maintained {
+                scanned: 4,
+                decayed: 1,
+                pruned: 1,
+            }
+        );
+        assert_eq!(store.num_active(), 0);
+        // Replaying the identical record on a fresh pass is a no-op pass.
+        let effect = apply_record(
+            &mut store,
+            &mut driver,
+            WalRecord::Maintenance {
+                now: Timestamp::from_secs(500),
+                idle_for: Duration::from_secs(300),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            effect,
+            ApplyEffect::Maintained {
+                scanned: 4,
+                decayed: 0,
+                pruned: 0,
+            }
+        );
     }
 
     #[test]

@@ -4,6 +4,9 @@
 //! pacing, CTR statistics, per-user context) lives in memory; this crate
 //! makes that state survive crashes:
 //!
+//! * [`backend`] — the storage seam: named files + explicit durability
+//!   barriers ([`FsBackend`] in production; the simulation harness
+//!   substitutes an in-memory backend with fault injection),
 //! * [`codec`] — shared length-prefixed record helpers (vectors, feed
 //!   deltas, time slots) reused by the `adcast-net` wire codec,
 //! * [`record`] — the WAL record vocabulary: every store/engine mutation,
@@ -22,6 +25,7 @@
 //! rest of the workspace; no serde formats are available offline.
 
 pub mod apply;
+pub mod backend;
 pub mod codec;
 pub mod crc;
 pub mod manager;
@@ -31,8 +35,9 @@ pub mod snapshot;
 pub mod wal;
 
 pub use apply::{apply_record, ApplyEffect};
+pub use backend::{fs_backend, FsBackend, StorageBackend, StorageFile};
 pub use manager::{Durability, DurabilityCounters, DurabilityOptions};
 pub use record::WalRecord;
-pub use recovery::{recover, RecoveredState, RecoveryError, RecoveryReport};
+pub use recovery::{recover, recover_on, RecoveredState, RecoveryError, RecoveryReport};
 pub use snapshot::EngineSetSnapshot;
 pub use wal::{FsyncPolicy, WalError, WalOptions, WalWriter};

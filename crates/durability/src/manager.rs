@@ -14,7 +14,7 @@
 //! is the synchronous variant behind the `Checkpoint` RPC; periodic
 //! snapshots via [`Durability::maybe_snapshot`] are fire-and-forget.
 
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
@@ -22,11 +22,13 @@ use std::thread::JoinHandle;
 
 use adcast_ads::AdStore;
 use adcast_core::ShardedDriver;
+use adcast_stream::clock::now_ns;
 use bytes::Bytes;
 
+use crate::backend::{fs_backend, StorageBackend};
 use crate::record::WalRecord;
 use crate::recovery::RecoveryReport;
-use crate::snapshot::{prune, write_snapshot_atomic, EngineSetSnapshot, SnapshotError};
+use crate::snapshot::{prune_on, write_snapshot_atomic_on, EngineSetSnapshot, SnapshotError};
 use crate::wal::{WalError, WalOptions, WalWriter};
 
 /// Durability subsystem failure, as surfaced to the serving layer.
@@ -111,8 +113,9 @@ struct SnapshotJob {
     bytes: Bytes,
     next_lsn: u64,
     /// `Some` for a synchronous checkpoint; the persister reports the
-    /// outcome. `None` for fire-and-forget periodic snapshots.
-    ack: Option<Sender<Result<PathBuf, SnapshotError>>>,
+    /// outcome (the final file name). `None` for fire-and-forget
+    /// periodic snapshots.
+    ack: Option<Sender<Result<String, SnapshotError>>>,
 }
 
 /// WAL writer + background snapshot persister, owned by the engine
@@ -141,6 +144,21 @@ impl Durability {
         options: DurabilityOptions,
         report: RecoveryReport,
     ) -> Durability {
+        Durability::new_on(fs_backend(dir), wal, options, report)
+    }
+
+    /// [`Durability::new`] against an explicit [`StorageBackend`] — the
+    /// simulation harness hands in its in-memory backend here.
+    ///
+    /// # Panics
+    ///
+    /// As [`Durability::new`].
+    pub fn new_on(
+        backend: Arc<dyn StorageBackend>,
+        wal: WalWriter,
+        options: DurabilityOptions,
+        report: RecoveryReport,
+    ) -> Durability {
         assert!(options.keep_snapshots > 0, "must keep at least 1 snapshot");
         let snapshots_written = Arc::new(AtomicU64::new(0));
         let (job_tx, job_rx) = mpsc::channel::<SnapshotJob>();
@@ -149,7 +167,6 @@ impl Durability {
             "Background persister time per snapshot (atomic write + fsync).",
         );
         let persister = {
-            let dir = dir.to_path_buf();
             let written = Arc::clone(&snapshots_written);
             let keep = options.keep_snapshots;
             let snapshot_write_ns = snapshot_write_ns.clone();
@@ -159,14 +176,14 @@ impl Durability {
                 .name("adcast-persister".to_owned())
                 .spawn(move || {
                     while let Ok(job) = job_rx.recv() {
-                        let started = std::time::Instant::now();
-                        let outcome = write_snapshot_atomic(&dir, job.next_lsn, &job.bytes);
-                        snapshot_write_ns.record_elapsed(started);
+                        let started = now_ns();
+                        let outcome = write_snapshot_atomic_on(&*backend, job.next_lsn, &job.bytes);
+                        snapshot_write_ns.record(now_ns().saturating_sub(started));
                         if outcome.is_ok() {
                             written.fetch_add(1, Ordering::Relaxed);
                             // Pruning failures are not fatal: the snapshot
                             // itself is durable, stale files only waste disk.
-                            let _ = prune(&dir, job.next_lsn, keep);
+                            let _ = prune_on(&*backend, job.next_lsn, keep);
                         }
                         if let Some(ack) = job.ack {
                             let _ = ack.send(outcome);
@@ -251,7 +268,7 @@ impl Durability {
         &mut self,
         store: &AdStore,
         driver: &ShardedDriver,
-        ack: Option<Sender<Result<PathBuf, SnapshotError>>>,
+        ack: Option<Sender<Result<String, SnapshotError>>>,
     ) -> u64 {
         let next_lsn = self.wal.next_lsn();
         let bytes = EngineSetSnapshot::capture(next_lsn, store, driver).encode();
@@ -317,6 +334,7 @@ mod tests {
     use adcast_text::dictionary::TermId;
     use adcast_text::SparseVector;
     use std::fs;
+    use std::path::PathBuf;
     use std::sync::atomic::AtomicU64 as SeqU64;
     use std::sync::Arc as StdArc;
 

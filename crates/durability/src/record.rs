@@ -20,12 +20,13 @@
 //! 5 Remove:      ad u32
 //! 6 SetPacing:   ad u32 | start u64 | end u64 | budget f64
 //! 7 Impression:  ad u32 | cost f64 | clicked u8 | now u64
+//! 8 Maintenance: now u64 | idle_for u64
 //! ```
 
 use adcast_ads::{AdId, AdSubmission, Budget, Targeting};
 use adcast_feed::FeedDelta;
 use adcast_graph::UserId;
-use adcast_stream::clock::Timestamp;
+use adcast_stream::clock::{Duration, Timestamp};
 use adcast_stream::event::LocationId;
 use adcast_stream::trace::TraceError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -39,6 +40,7 @@ const T_RESUME: u8 = 4;
 const T_REMOVE: u8 = 5;
 const T_SET_PACING: u8 = 6;
 const T_IMPRESSION: u8 = 7;
+const T_MAINTENANCE: u8 = 8;
 
 /// One logged mutation.
 #[derive(Debug, Clone)]
@@ -76,6 +78,16 @@ pub enum WalRecord {
         clicked: bool,
         /// Serving time (drives pacing adjustment).
         now: Timestamp,
+    },
+    /// A lifecycle maintenance pass: evict exhausted/expired campaigns
+    /// from the index and reset users idle longer than `idle_for`.
+    /// WAL-logged so recovery twins replay the same decay and eviction
+    /// decisions and stay bit-identical.
+    Maintenance {
+        /// Pass time (expiry cut for pacing flights).
+        now: Timestamp,
+        /// Users whose last activity is at least this old are reset.
+        idle_for: Duration,
     },
 }
 
@@ -151,6 +163,11 @@ impl WalRecord {
                 buf.put_f64_le(*cost);
                 buf.put_u8(u8::from(*clicked));
                 buf.put_u64_le(now.micros());
+            }
+            WalRecord::Maintenance { now, idle_for } => {
+                buf.put_u8(T_MAINTENANCE);
+                buf.put_u64_le(now.micros());
+                buf.put_u64_le(idle_for.micros());
             }
         }
         buf.freeze()
@@ -266,6 +283,12 @@ impl WalRecord {
                     now,
                 }
             }
+            T_MAINTENANCE => {
+                need(&data, 8 + 8)?;
+                let now = Timestamp(data.get_u64_le());
+                let idle_for = Duration(data.get_u64_le());
+                WalRecord::Maintenance { now, idle_for }
+            }
             _ => return Err(TraceError::Corrupt("unknown wal record tag")),
         };
         if data.has_remaining() {
@@ -352,6 +375,10 @@ pub(crate) mod tests {
                 cost: 0.0,
                 clicked: false,
                 now: Timestamp::from_secs(18),
+            },
+            WalRecord::Maintenance {
+                now: Timestamp::from_secs(7200),
+                idle_for: adcast_stream::clock::Duration::from_secs(3600),
             },
         ]
     }

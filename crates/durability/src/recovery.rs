@@ -18,17 +18,19 @@
 //! were acknowledged durable, so silently skipping them would serve
 //! wrong budgets.
 
-use std::fs::{self, OpenOptions};
+use std::fs;
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 
 use adcast_ads::AdStore;
 use adcast_core::{EngineConfig, ShardedDriver};
 use adcast_stream::trace::TraceError;
 
 use crate::apply::apply_record;
+use crate::backend::{fs_backend, StorageBackend};
 use crate::record::WalRecord;
-use crate::snapshot::{load_latest, LoadedSnapshot};
+use crate::snapshot::load_latest_on;
 use crate::wal::{self, WalError, WalOptions, WalWriter};
 
 /// Why recovery failed.
@@ -138,16 +140,27 @@ pub fn recover(
     options: WalOptions,
 ) -> Result<RecoveredState, RecoveryError> {
     fs::create_dir_all(dir)?;
+    recover_on(fs_backend(dir), num_users, num_shards, config, options)
+}
 
+/// [`recover`] against an explicit [`StorageBackend`] — the entry point
+/// the simulation harness uses to crash-recover an in-memory data dir.
+///
+/// # Errors
+///
+/// As [`recover`].
+pub fn recover_on(
+    backend: Arc<dyn StorageBackend>,
+    num_users: u32,
+    num_shards: usize,
+    config: EngineConfig,
+    options: WalOptions,
+) -> Result<RecoveredState, RecoveryError> {
     // 1. Snapshot.
-    let loaded = load_latest(dir)?;
+    let loaded = load_latest_on(&*backend)?;
     let mut report = RecoveryReport::default();
     let (mut store, mut driver, replay_from) = match loaded {
-        Some(LoadedSnapshot {
-            snapshot,
-            skipped_corrupt,
-            ..
-        }) => {
+        Some((snapshot, skipped_corrupt)) => {
             if snapshot.num_users != num_users || snapshot.num_shards as usize != num_shards {
                 return Err(RecoveryError::Snapshot(format!(
                     "snapshot topology is {} users × {} shards, requested {num_users} × {num_shards}",
@@ -171,19 +184,37 @@ pub fn recover(
     };
 
     // 2. WAL tail replay.
-    let segments = wal::list_segments(dir)?;
+    let segments = wal::list_segment_lsns_on(&*backend)?;
     let mut next_lsn = replay_from;
-    for (i, seg) in segments.iter().enumerate() {
+    for (i, &base_lsn) in segments.iter().enumerate() {
         let is_last = i + 1 == segments.len();
-        let contents = wal::read_segment(&seg.path, seg.base_lsn, is_last)?;
+        let name = wal::segment_file_name(base_lsn);
+        let raw = backend.read(&name).map_err(WalError::Io)?;
+        let raw_len = raw.len() as u64;
+        let contents = match wal::parse_segment(raw, base_lsn, is_last) {
+            Ok(contents) => contents,
+            // A *final* segment whose header itself is torn can only be a
+            // freshly rotated (or freshly created) segment that crashed
+            // before its first commit fsync: any durable record in it
+            // would have carried the full header to disk with the same
+            // fsync. Nothing in it was ever acked, so drop the file —
+            // treating it as damage would brick recovery on a crash
+            // window every rotation opens.
+            Err(WalError::Header(_)) if is_last => {
+                report.truncated_bytes += raw_len;
+                backend.remove(&name)?;
+                break;
+            }
+            Err(e) => return Err(e.into()),
+        };
         // Cross-segment continuity: every record up to the next segment's
         // base must be present — a short non-final segment that happens to
         // end exactly at a record boundary still lost durable records.
-        if let Some(next_seg) = segments.get(i + 1) {
-            let end = seg.base_lsn + contents.records.len() as u64;
-            if end != next_seg.base_lsn {
+        if let Some(&next_base) = segments.get(i + 1) {
+            let end = base_lsn + contents.records.len() as u64;
+            if end != next_base {
                 return Err(RecoveryError::Wal(WalError::Corrupt {
-                    segment: seg.base_lsn,
+                    segment: base_lsn,
                     offset: contents.valid_len,
                     what: "segment ends before the next segment's base lsn",
                 }));
@@ -191,7 +222,7 @@ pub fn recover(
         }
         // Records below replay_from are already covered by the snapshot
         // but still advance the LSN cursor past them.
-        next_lsn = next_lsn.max(seg.base_lsn + contents.records.len() as u64);
+        next_lsn = next_lsn.max(base_lsn + contents.records.len() as u64);
         for (lsn, payload) in contents.records {
             if lsn < replay_from {
                 continue;
@@ -205,17 +236,77 @@ pub fn recover(
         // 3. Heal the torn tail so the next open sees a clean log.
         if is_last && contents.truncated_bytes > 0 {
             report.truncated_bytes = contents.truncated_bytes;
-            let file = OpenOptions::new().write(true).open(&seg.path)?;
-            file.set_len(contents.valid_len)?;
-            file.sync_all()?;
+            backend.truncate(&wal::segment_file_name(base_lsn), contents.valid_len)?;
         }
     }
 
-    let wal = WalWriter::create(dir, options, next_lsn)?;
+    let wal = WalWriter::create_on(backend, options, next_lsn)?;
     Ok(RecoveredState {
         store,
         driver,
         wal,
         report,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::WalRecord;
+    use adcast_ads::{AdSubmission, Budget, Targeting};
+    use adcast_text::dictionary::TermId;
+    use adcast_text::SparseVector;
+    use std::io::Write as _;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "adcast-rec-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn torn_final_segment_header_is_dropped_not_fatal() {
+        let dir = temp_dir("torn-header");
+        let mut wal = WalWriter::create(&dir, WalOptions::default(), 0).unwrap();
+        wal.append(&WalRecord::Submit(AdSubmission {
+            vector: SparseVector::from_pairs([(TermId(1), 1.0)]),
+            bid: 1.0,
+            targeting: Targeting::everywhere(),
+            budget: Budget::unlimited(),
+            topic_hint: None,
+        }))
+        .unwrap();
+        wal.commit().unwrap();
+        drop(wal);
+
+        // A crash right after rotation can leave the next segment with a
+        // half-written header: the file name is durable (sync_dir) but no
+        // content fsync ever covered it.
+        let torn = dir.join(wal::segment_file_name(1));
+        let mut f = fs::File::create(&torn).unwrap();
+        f.write_all(&wal::WAL_MAGIC[..2]).unwrap();
+        drop(f);
+
+        let recovered = recover(
+            &dir,
+            4,
+            1,
+            adcast_core::EngineConfig::default(),
+            WalOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(recovered.report.replayed_records, 1);
+        assert_eq!(recovered.report.truncated_bytes, 2);
+        assert_eq!(recovered.wal.next_lsn(), 1);
+        assert!(recovered.store.campaign(adcast_ads::AdId(0)).is_some());
+        // The returned writer recreated the segment with an intact header.
+        assert_eq!(fs::metadata(&torn).unwrap().len(), wal::SEGMENT_HEADER);
+        fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -20,8 +20,8 @@
 //! the directory is fsynced — so a crash mid-write can never leave a
 //! half-snapshot under the real name.
 
-use std::fs::{self, File};
-use std::io::{self, Read, Write};
+use std::fs;
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 use adcast_ads::{Ad, AdId, AdStore, CampaignState};
@@ -33,11 +33,12 @@ use adcast_stream::event::LocationId;
 use adcast_stream::trace::{check_stream_header, put_stream_header, TraceError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::backend::{fs_backend, StorageBackend};
 use crate::codec::{
     get_context_vector, get_slot, get_vector, need, put_context_vector, put_slot, put_vector,
 };
 use crate::crc::crc32;
-use crate::wal::{self, sync_dir};
+use crate::wal;
 
 /// Snapshot file magic (traces use `ADCT`, wire frames `ADCN`, WAL
 /// segments `ADWL`).
@@ -445,23 +446,28 @@ pub struct SnapshotInfo {
 /// [`SnapshotError::Io`] on directory-read failures; a missing directory
 /// is an empty list.
 pub fn list_snapshots(dir: &Path) -> Result<Vec<SnapshotInfo>, SnapshotError> {
-    let entries = match fs::read_dir(dir) {
-        Ok(entries) => entries,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(SnapshotError::Io(e)),
-    };
-    let mut snapshots = Vec::new();
-    for entry in entries {
-        let entry = entry?;
-        if let Some(next_lsn) = entry.file_name().to_str().and_then(parse_snapshot_name) {
-            snapshots.push(SnapshotInfo {
-                next_lsn,
-                path: entry.path(),
-            });
-        }
-    }
-    snapshots.sort_by_key(|s| s.next_lsn);
-    Ok(snapshots)
+    Ok(list_snapshot_lsns_on(&*fs_backend(dir))?
+        .into_iter()
+        .map(|next_lsn| SnapshotInfo {
+            next_lsn,
+            path: dir.join(snapshot_file_name(next_lsn)),
+        })
+        .collect())
+}
+
+/// Enumerate snapshot `next_lsn`s on `backend`, sorted ascending.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] on listing failures.
+pub fn list_snapshot_lsns_on(backend: &dyn StorageBackend) -> Result<Vec<u64>, SnapshotError> {
+    let mut lsns: Vec<u64> = backend
+        .list()?
+        .iter()
+        .filter_map(|name| parse_snapshot_name(name))
+        .collect();
+    lsns.sort_unstable();
+    Ok(lsns)
 }
 
 /// Write `bytes` as the snapshot at `next_lsn`, atomically: the image
@@ -479,15 +485,31 @@ pub fn write_snapshot_atomic(
     bytes: &[u8],
 ) -> Result<PathBuf, SnapshotError> {
     fs::create_dir_all(dir)?;
-    let final_path = dir.join(snapshot_file_name(next_lsn));
-    let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(next_lsn)));
-    let mut tmp = File::create(&tmp_path)?;
+    write_snapshot_atomic_on(&*fs_backend(dir), next_lsn, bytes)?;
+    Ok(dir.join(snapshot_file_name(next_lsn)))
+}
+
+/// [`write_snapshot_atomic`] against a [`StorageBackend`]; returns the
+/// final file name.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] on backend failures.
+pub fn write_snapshot_atomic_on(
+    backend: &dyn StorageBackend,
+    next_lsn: u64,
+    bytes: &[u8],
+) -> Result<String, SnapshotError> {
+    let final_name = snapshot_file_name(next_lsn);
+    let tmp_name = format!("{final_name}.tmp");
+    let mut tmp = backend.create(&tmp_name)?;
     tmp.write_all(bytes)?;
+    tmp.flush()?;
     tmp.sync_all()?;
     drop(tmp);
-    fs::rename(&tmp_path, &final_path)?;
-    sync_dir(dir)?;
-    Ok(final_path)
+    backend.rename(&tmp_name, &final_name)?;
+    backend.sync_dir()?;
+    Ok(final_name)
 }
 
 /// A successfully loaded snapshot.
@@ -510,22 +532,35 @@ pub struct LoadedSnapshot {
 /// [`SnapshotError::Io`] on directory-read failures only; per-file damage
 /// is a fallback, not an error.
 pub fn load_latest(dir: &Path) -> Result<Option<LoadedSnapshot>, SnapshotError> {
+    Ok(
+        load_latest_on(&*fs_backend(dir))?.map(|(snapshot, skipped_corrupt)| {
+            let path = dir.join(snapshot_file_name(snapshot.next_lsn));
+            LoadedSnapshot {
+                snapshot,
+                path,
+                skipped_corrupt,
+            }
+        }),
+    )
+}
+
+/// [`load_latest`] against a [`StorageBackend`]; returns the decoded
+/// snapshot and how many newer corrupt files were skipped.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] on listing failures only.
+pub fn load_latest_on(
+    backend: &dyn StorageBackend,
+) -> Result<Option<(EngineSetSnapshot, u32)>, SnapshotError> {
     let mut skipped = 0u32;
-    for info in list_snapshots(dir)?.into_iter().rev() {
-        let mut raw = Vec::new();
-        let readable = File::open(&info.path)
-            .and_then(|mut f| f.read_to_end(&mut raw))
-            .is_ok();
-        if readable {
+    for next_lsn in list_snapshot_lsns_on(backend)?.into_iter().rev() {
+        if let Ok(raw) = backend.read(&snapshot_file_name(next_lsn)) {
             match EngineSetSnapshot::decode(Bytes::from(raw)) {
                 // The file name is the lookup key; a content/name mismatch
                 // means the file was tampered with or misplaced.
-                Ok(snapshot) if snapshot.next_lsn == info.next_lsn => {
-                    return Ok(Some(LoadedSnapshot {
-                        snapshot,
-                        path: info.path,
-                        skipped_corrupt: skipped,
-                    }))
+                Ok(snapshot) if snapshot.next_lsn == next_lsn => {
+                    return Ok(Some((snapshot, skipped)))
                 }
                 _ => skipped += 1,
             }
@@ -536,12 +571,15 @@ pub fn load_latest(dir: &Path) -> Result<Option<LoadedSnapshot>, SnapshotError> 
     Ok(None)
 }
 
-/// Delete everything a snapshot at `next_lsn` makes redundant: snapshot
+/// Delete everything the retained snapshot set makes redundant: snapshot
 /// files older than the newest `keep_snapshots`, and WAL segments whose
-/// *entire* record range lies below `next_lsn` (a segment is prunable
-/// only when the next segment's base shows every record in it is below
-/// the cut; the newest segment is never pruned). Returns
-/// `(snapshots_removed, segments_removed)`.
+/// *entire* record range lies below the **oldest retained** snapshot's
+/// `next_lsn` (a segment is prunable only when the next segment's base
+/// shows every record in it is below the cut; the newest segment is never
+/// pruned). Bounding by the oldest retained snapshot — not the newest —
+/// keeps fallback recovery sound: if the newest snapshot turns out
+/// corrupt, the older one still has every segment its replay needs.
+/// Returns `(snapshots_removed, segments_removed)`.
 ///
 /// # Errors
 ///
@@ -552,24 +590,47 @@ pub fn prune(
     next_lsn: u64,
     keep_snapshots: usize,
 ) -> Result<(u64, u64), SnapshotError> {
-    let snapshots = list_snapshots(dir)?;
+    prune_on(&*fs_backend(dir), next_lsn, keep_snapshots)
+}
+
+/// [`prune`] against a [`StorageBackend`].
+///
+/// # Errors
+///
+/// As [`prune`].
+pub fn prune_on(
+    backend: &dyn StorageBackend,
+    next_lsn: u64,
+    keep_snapshots: usize,
+) -> Result<(u64, u64), SnapshotError> {
+    let snapshots = list_snapshot_lsns_on(backend)?;
     let mut snapshots_removed = 0u64;
     if snapshots.len() > keep_snapshots {
-        for info in &snapshots[..snapshots.len() - keep_snapshots] {
-            fs::remove_file(&info.path)?;
+        for lsn in &snapshots[..snapshots.len() - keep_snapshots] {
+            backend.remove(&snapshot_file_name(*lsn))?;
             snapshots_removed += 1;
         }
     }
-    let segments = wal::list_segments(dir)?;
+    // Replay for the oldest snapshot we keep starts at its own next_lsn;
+    // every segment at or above that cut must survive. With no snapshots
+    // at all, every segment is still live (cold start replays the full
+    // log), whatever `next_lsn` the caller believed it covered.
+    let retained_start = snapshots.len().saturating_sub(keep_snapshots);
+    let segment_bound = snapshots
+        .get(retained_start)
+        .copied()
+        .unwrap_or(0)
+        .min(next_lsn);
+    let segments = wal::list_segment_lsns_on(backend)?;
     let mut segments_removed = 0u64;
     for pair in segments.windows(2) {
-        if pair[1].base_lsn <= next_lsn {
-            fs::remove_file(&pair[0].path)?;
+        if pair[1] <= segment_bound {
+            backend.remove(&wal::segment_file_name(pair[0]))?;
             segments_removed += 1;
         }
     }
     if snapshots_removed + segments_removed > 0 {
-        sync_dir(dir)?;
+        backend.sync_dir()?;
     }
     Ok((snapshots_removed, segments_removed))
 }
@@ -780,6 +841,36 @@ mod tests {
         assert_eq!(
             segments.iter().map(|s| s.base_lsn).collect::<Vec<_>>(),
             vec![8, 16]
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_preserves_segments_the_fallback_snapshot_needs() {
+        let dir = temp_dir("prune-fallback");
+        let (store, driver) = populated();
+        // Two snapshots, both retained under keep=2. The older one (5)
+        // replays from lsn 5, which lives in the segment based at 0 —
+        // pruning by the *newest* snapshot's cut (15) would delete it and
+        // strand fallback recovery.
+        for lsn in [5u64, 15] {
+            let bytes = EngineSetSnapshot::capture(lsn, &store, &driver).encode();
+            write_snapshot_atomic(&dir, lsn, &bytes).unwrap();
+        }
+        let options = crate::wal::WalOptions {
+            fsync: crate::wal::FsyncPolicy::Off,
+            segment_bytes: u64::MAX,
+        };
+        for base in [0u64, 8, 16] {
+            drop(crate::wal::WalWriter::create(&dir, options, base).unwrap());
+        }
+        let (snaps, segs) = prune(&dir, 15, 2).unwrap();
+        assert_eq!(snaps, 0);
+        assert_eq!(segs, 0, "segment 0 is still needed by snapshot 5");
+        let segments = wal::list_segments(&dir).unwrap();
+        assert_eq!(
+            segments.iter().map(|s| s.base_lsn).collect::<Vec<_>>(),
+            vec![0, 8, 16]
         );
         fs::remove_dir_all(&dir).ok();
     }

@@ -21,13 +21,16 @@
 //! may be torn*: a short or corrupt record there is truncated; the same
 //! damage in an earlier segment is a hard [`WalError::Corrupt`].
 
-use std::fs::{self, File, OpenOptions};
+use std::fs::{self, File};
 use std::io::{self, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use adcast_stream::clock::now_ns;
 use adcast_stream::trace::{check_stream_header, put_stream_header, TraceError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::backend::{fs_backend, StorageBackend, StorageFile};
 use crate::crc::crc32;
 use crate::record::WalRecord;
 
@@ -180,24 +183,35 @@ pub struct SegmentInfo {
     pub path: PathBuf,
 }
 
-/// Enumerate WAL segments in `dir`, sorted by base LSN.
+/// Enumerate WAL segments in `dir`, sorted by base LSN. A missing
+/// directory is an empty list.
 ///
 /// # Errors
 ///
 /// [`WalError::Io`] on directory-read failures.
 pub fn list_segments(dir: &Path) -> Result<Vec<SegmentInfo>, WalError> {
-    let mut segments = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        if let Some(base_lsn) = entry.file_name().to_str().and_then(parse_segment_name) {
-            segments.push(SegmentInfo {
-                base_lsn,
-                path: entry.path(),
-            });
-        }
-    }
-    segments.sort_by_key(|s| s.base_lsn);
-    Ok(segments)
+    Ok(list_segment_lsns_on(&*fs_backend(dir))?
+        .into_iter()
+        .map(|base_lsn| SegmentInfo {
+            base_lsn,
+            path: dir.join(segment_file_name(base_lsn)),
+        })
+        .collect())
+}
+
+/// Enumerate WAL segment base LSNs on `backend`, sorted ascending.
+///
+/// # Errors
+///
+/// [`WalError::Io`] on listing failures.
+pub fn list_segment_lsns_on(backend: &dyn StorageBackend) -> Result<Vec<u64>, WalError> {
+    let mut lsns: Vec<u64> = backend
+        .list()?
+        .iter()
+        .filter_map(|name| parse_segment_name(name))
+        .collect();
+    lsns.sort_unstable();
+    Ok(lsns)
 }
 
 /// The valid contents of one segment.
@@ -233,6 +247,37 @@ pub fn read_segment(
 ) -> Result<SegmentRecords, WalError> {
     let mut raw = Vec::new();
     File::open(path)?.read_to_end(&mut raw)?;
+    parse_segment(raw, expect_base, is_last)
+}
+
+/// [`read_segment`] against a [`StorageBackend`] (the segment's name is
+/// derived from `expect_base`).
+///
+/// # Errors
+///
+/// As [`read_segment`].
+pub fn read_segment_on(
+    backend: &dyn StorageBackend,
+    expect_base: u64,
+    is_last: bool,
+) -> Result<SegmentRecords, WalError> {
+    parse_segment(
+        backend.read(&segment_file_name(expect_base))?,
+        expect_base,
+        is_last,
+    )
+}
+
+/// Validate raw segment bytes (the pure half of [`read_segment`]).
+///
+/// # Errors
+///
+/// As [`read_segment`].
+pub fn parse_segment(
+    raw: Vec<u8>,
+    expect_base: u64,
+    is_last: bool,
+) -> Result<SegmentRecords, WalError> {
     let file_len = raw.len() as u64;
     let mut data = Bytes::from(raw);
     check_stream_header(&mut data, WAL_MAGIC, WAL_VERSION).map_err(WalError::Header)?;
@@ -303,10 +348,9 @@ pub fn read_segment(
 }
 
 /// The appending half of the log.
-#[derive(Debug)]
 pub struct WalWriter {
-    dir: PathBuf,
-    file: BufWriter<File>,
+    backend: Arc<dyn StorageBackend>,
+    file: BufWriter<Box<dyn StorageFile>>,
     options: WalOptions,
     segment_base: u64,
     segment_written: u64,
@@ -333,9 +377,22 @@ impl WalWriter {
     /// [`WalError::Io`] on filesystem failures.
     pub fn create(dir: &Path, options: WalOptions, next_lsn: u64) -> Result<WalWriter, WalError> {
         fs::create_dir_all(dir)?;
-        let file = new_segment_file(dir, next_lsn)?;
+        WalWriter::create_on(fs_backend(dir), options, next_lsn)
+    }
+
+    /// [`WalWriter::create`] against an explicit [`StorageBackend`].
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] on backend failures.
+    pub fn create_on(
+        backend: Arc<dyn StorageBackend>,
+        options: WalOptions,
+        next_lsn: u64,
+    ) -> Result<WalWriter, WalError> {
+        let file = new_segment_file(&*backend, next_lsn)?;
         Ok(WalWriter {
-            dir: dir.to_path_buf(),
+            backend,
             file,
             options,
             segment_base: next_lsn,
@@ -398,17 +455,17 @@ impl WalWriter {
         self.file.flush()?;
         match self.options.fsync {
             FsyncPolicy::Always => {
-                let started = std::time::Instant::now();
-                self.file.get_ref().sync_data()?;
-                self.fsync_ns.record_elapsed(started);
+                let started = now_ns();
+                self.file.get_mut().sync_data()?;
+                self.fsync_ns.record(now_ns().saturating_sub(started));
                 self.fsyncs += 1;
             }
             FsyncPolicy::EveryN(n) => {
                 self.commits_since_sync += 1;
                 if self.commits_since_sync >= n {
-                    let started = std::time::Instant::now();
-                    self.file.get_ref().sync_data()?;
-                    self.fsync_ns.record_elapsed(started);
+                    let started = now_ns();
+                    self.file.get_mut().sync_data()?;
+                    self.fsync_ns.record(now_ns().saturating_sub(started));
                     self.fsyncs += 1;
                     self.commits_since_sync = 0;
                 }
@@ -425,15 +482,15 @@ impl WalWriter {
     /// fsyncs the outgoing segment (whatever the policy), so only the
     /// newest segment can ever be torn.
     fn rotate(&mut self) -> io::Result<()> {
-        let started = std::time::Instant::now();
+        let started = now_ns();
         self.file.flush()?;
-        self.file.get_ref().sync_data()?;
+        self.file.get_mut().sync_data()?;
         self.fsyncs += 1;
-        self.file = new_segment_file(&self.dir, self.next_lsn)?;
+        self.file = new_segment_file(&*self.backend, self.next_lsn)?;
         self.segment_base = self.next_lsn;
         self.segment_written = SEGMENT_HEADER;
         self.commits_since_sync = 0;
-        self.rotate_ns.record_elapsed(started);
+        self.rotate_ns.record(now_ns().saturating_sub(started));
         Ok(())
     }
 
@@ -465,29 +522,19 @@ impl WalWriter {
 
 /// Create (truncating) a segment file, write its header, and fsync the
 /// directory so the new name itself is durable.
-fn new_segment_file(dir: &Path, base_lsn: u64) -> io::Result<BufWriter<File>> {
-    let path = dir.join(segment_file_name(base_lsn));
-    let file = OpenOptions::new()
-        .write(true)
-        .create(true)
-        .truncate(true)
-        .open(&path)?;
+fn new_segment_file(
+    backend: &dyn StorageBackend,
+    base_lsn: u64,
+) -> io::Result<BufWriter<Box<dyn StorageFile>>> {
+    let file = backend.create(&segment_file_name(base_lsn))?;
     let mut header = BytesMut::with_capacity(SEGMENT_HEADER as usize);
     put_stream_header(&mut header, WAL_MAGIC, WAL_VERSION);
     header.put_u64_le(base_lsn);
     let mut writer = BufWriter::new(file);
     writer.write_all(&header)?;
     writer.flush()?;
-    sync_dir(dir)?;
+    backend.sync_dir()?;
     Ok(writer)
-}
-
-/// fsync a directory (a no-op error on platforms that refuse it).
-pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
-    match File::open(dir) {
-        Ok(f) => f.sync_all().or(Ok(())),
-        Err(_) => Ok(()),
-    }
 }
 
 #[cfg(test)]

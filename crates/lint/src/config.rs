@@ -53,6 +53,19 @@ pub const WAL_ORDERING_FILES: &[&str] = &["crates/net/src/server.rs"];
 /// not in this set.
 pub const NO_LOCK_FILES: &[&str] = &["crates/obs/src/metrics.rs", "crates/obs/src/flightrec.rs"];
 
+/// Crates whose non-test code must read time through
+/// `adcast_stream::clock::now_ns()` rather than `Instant::now()` /
+/// `SystemTime::now()`. These are the crates the simulation harness runs
+/// under virtual time; a raw wall-clock read there is invisible to the
+/// simulator and breaks same-seed reproducibility. The clock seam itself
+/// (`crates/stream/src/clock.rs`) and the obs/bench crates (measurement
+/// machinery, never simulated) are deliberately outside this set.
+pub const NO_WALLCLOCK_PREFIXES: &[&str] = &[
+    "crates/core/src/",
+    "crates/durability/src/",
+    "crates/net/src/",
+];
+
 /// Directory names skipped entirely when walking the workspace.
 pub const SKIP_DIRS: &[&str] = &[".git", "target", "vendor", "results", "fixtures"];
 
@@ -74,4 +87,8 @@ pub fn wants_wal_ordering(rel: &str) -> bool {
 
 pub fn wants_no_lock(rel: &str) -> bool {
     NO_LOCK_FILES.contains(&rel)
+}
+
+pub fn wants_no_wallclock(rel: &str) -> bool {
+    NO_WALLCLOCK_PREFIXES.iter().any(|p| rel.starts_with(p))
 }

@@ -39,6 +39,7 @@ pub const RULES: &[&str] = &[
     rules::WAL_ORDERING,
     rules::ERROR_HYGIENE,
     rules::NO_LOCK_IN_RECORD,
+    rules::NO_WALLCLOCK,
 ];
 
 /// The meta-rule name used for pragma-hygiene diagnostics.
@@ -109,6 +110,9 @@ pub fn lint_source(rel_path: &str, src: &str, only_rule: Option<&str>) -> (Vec<D
     }
     if run(rules::NO_LOCK_IN_RECORD) {
         raw.extend(rules::no_lock_in_record(&fa));
+    }
+    if run(rules::NO_WALLCLOCK) {
+        raw.extend(rules::no_wallclock(&fa));
     }
 
     // Apply suppressions: each valid allow() covers matching diagnostics

@@ -13,6 +13,7 @@ pub const NO_ALLOC_STEADY_STATE: &str = "no-alloc-steady-state";
 pub const WAL_ORDERING: &str = "wal-ordering";
 pub const ERROR_HYGIENE: &str = "error-hygiene";
 pub const NO_LOCK_IN_RECORD: &str = "no-lock-in-record";
+pub const NO_WALLCLOCK: &str = "no-wallclock";
 
 fn diag(fa: &FileAnalysis, line: u32, rule: &'static str, message: String) -> Diagnostic {
     Diagnostic {
@@ -465,6 +466,44 @@ pub fn no_lock_in_record(fa: &FileAnalysis) -> Vec<Diagnostic> {
                 NO_LOCK_IN_RECORD,
                 "`.lock()` in an obs record path; recording must stay lock-free (atomics only)"
                     .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Rule 7: the deterministic-simulation seam. Core, durability and net run
+/// unmodified under the sim harness's virtual clock, so their non-test code
+/// must read time through `adcast_stream::clock::now_ns()`; a raw
+/// `Instant::now()` / `SystemTime::now()` is invisible to the simulator and
+/// breaks same-seed reproducibility. The clock module itself lives in
+/// `crates/stream/` — outside the gated set — and needs no exemption here.
+pub fn no_wallclock(fa: &FileAnalysis) -> Vec<Diagnostic> {
+    if !config::wants_no_wallclock(&fa.rel_path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in fa.tokens.iter().enumerate() {
+        if fa.in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if !matches!(t.text.as_str(), "Instant" | "SystemTime") {
+            continue;
+        }
+        let now_call = fa.tokens.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && fa.tokens.get(i + 2).is_some_and(|b| b.is_punct(':'))
+            && fa.tokens.get(i + 3).is_some_and(|c| c.is_ident("now"))
+            && fa.tokens.get(i + 4).is_some_and(|d| d.is_punct('('));
+        if now_call {
+            out.push(diag(
+                fa,
+                t.line,
+                NO_WALLCLOCK,
+                format!(
+                    "`{}::now()` reads the wall clock on a simulated path; use \
+                     `adcast_stream::clock::now_ns()` so virtual time stays authoritative",
+                    t.text
+                ),
             ));
         }
     }

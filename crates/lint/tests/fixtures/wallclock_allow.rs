@@ -1,0 +1,11 @@
+//! Fixture: a sanctioned wall-clock read with a reasoned pragma.
+
+use std::time::SystemTime;
+
+// adcast-lint: allow(no-wallclock) -- startup banner only; runs once before any simulated path
+pub fn boot_banner_epoch_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}

@@ -1,0 +1,19 @@
+//! Fixture: raw wall-clock reads on a simulation-virtualized path.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp_request() -> u64 {
+    let started = Instant::now();
+    let _wall = SystemTime::now();
+    started.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_read_the_wall_clock() {
+        let _t = Instant::now();
+    }
+}

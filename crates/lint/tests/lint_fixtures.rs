@@ -193,6 +193,40 @@ fn lock_with_pragma_is_allowed() {
     assert_eq!(sup, 1);
 }
 
+// ---- no-wallclock -----------------------------------------------------
+
+#[test]
+fn wallclock_read_on_simulated_path_fails() {
+    let (diags, _) = lint(NET, include_str!("fixtures/wallclock_fail.rs"));
+    assert_eq!(
+        rules_of(&diags),
+        vec![rules::NO_WALLCLOCK, rules::NO_WALLCLOCK],
+        "{diags:?}"
+    );
+    assert!(diags.iter().any(|d| d.message.contains("Instant::now()")));
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("SystemTime::now()")));
+}
+
+#[test]
+fn wallclock_outside_simulated_crates_is_not_checked() {
+    // The bench/obs measurement crates (and the clock seam itself in
+    // `crates/stream/`) read real time on purpose.
+    let (diags, _) = lint(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/wallclock_fail.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn wallclock_with_pragma_is_allowed() {
+    let (diags, sup) = lint(NET, include_str!("fixtures/wallclock_allow.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 1);
+}
+
 // ---- suppression hygiene ----------------------------------------------
 
 #[test]

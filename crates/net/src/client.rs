@@ -245,6 +245,28 @@ impl Client {
         }
     }
 
+    /// Run a lifecycle maintenance pass (evict finished-flight campaigns,
+    /// reset users idle for at least `idle_for`); returns `(scanned,
+    /// decayed, pruned)` counts.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ingest`].
+    pub fn maintain(
+        &mut self,
+        now: Timestamp,
+        idle_for: adcast_stream::clock::Duration,
+    ) -> Result<(u64, u64, u64), NetError> {
+        match self.call(&Request::Maintain { now, idle_for })? {
+            Response::Maintained {
+                scanned,
+                decayed,
+                pruned,
+            } => Ok((scanned, decayed, pruned)),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Force a durable snapshot; returns the WAL position it covers.
     ///
     /// # Errors
@@ -307,6 +329,7 @@ fn unexpected(resp: Response) -> NetError {
             Response::CampaignAccepted { .. } => "unexpected CampaignAccepted reply",
             Response::CampaignPaused { .. } => "unexpected CampaignPaused reply",
             Response::ImpressionRecorded { .. } => "unexpected ImpressionRecorded reply",
+            Response::Maintained { .. } => "unexpected Maintained reply",
             Response::Checkpointed { .. } => "unexpected Checkpointed reply",
             Response::ObsDumped { .. } => "unexpected ObsDumped reply",
             Response::Stats(_) => "unexpected Stats reply",

@@ -32,8 +32,9 @@ use crate::protocol::{CampaignSpec, Request, Response, ServerStats, WireError};
 /// Per-frame magic (the trace stream uses `ADCT`).
 pub const MAGIC: &[u8; 4] = b"ADCN";
 /// Wire protocol version. v2 added Impression/Checkpoint RPCs and the
-/// durability counters in the Stats reply; v3 added the ObsDump RPC.
-pub const VERSION: u16 = 3;
+/// durability counters in the Stats reply; v3 added the ObsDump RPC; v4
+/// added the Maintain RPC (lifecycle maintenance passes).
+pub const VERSION: u16 = 4;
 /// Upper bound on a frame body; larger declared lengths are rejected
 /// before any allocation, so a malformed peer cannot OOM the server.
 pub const MAX_FRAME: usize = 64 << 20;
@@ -107,6 +108,7 @@ pub(crate) const K_SHUTDOWN: u8 = 6;
 pub(crate) const K_IMPRESSION: u8 = 7;
 pub(crate) const K_CHECKPOINT: u8 = 8;
 pub(crate) const K_OBS_DUMP: u8 = 9;
+pub(crate) const K_MAINTAIN: u8 = 10;
 // Response body kinds.
 const K_INGESTED: u8 = 0x81;
 const K_RECOMMENDATIONS: u8 = 0x82;
@@ -117,6 +119,7 @@ const K_SHUTDOWN_ACK: u8 = 0x86;
 const K_IMPRESSION_ACK: u8 = 0x87;
 const K_CHECKPOINTED: u8 = 0x88;
 const K_OBS_DUMPED: u8 = 0x89;
+const K_MAINTAINED: u8 = 0x8A;
 const K_ERROR: u8 = 0xFF;
 // Error codes inside K_ERROR.
 const E_OVERLOADED: u8 = 1;
@@ -209,6 +212,12 @@ pub fn encode_request(id: u64, req: &Request) -> Bytes {
             body.put_u8(u8::from(*clicked));
             body.put_u64_le(now.micros());
         }
+        Request::Maintain { now, idle_for } => {
+            body.put_u8(K_MAINTAIN);
+            body.put_u64_le(id);
+            body.put_u64_le(now.micros());
+            body.put_u64_le(idle_for.micros());
+        }
         Request::Checkpoint => {
             body.put_u8(K_CHECKPOINT);
             body.put_u64_le(id);
@@ -266,6 +275,17 @@ pub fn encode_response(id: u64, resp: &Response) -> Bytes {
             body.put_u64_le(id);
             body.put_u32_le(ad.0);
             body.put_u8(u8::from(*exhausted));
+        }
+        Response::Maintained {
+            scanned,
+            decayed,
+            pruned,
+        } => {
+            body.put_u8(K_MAINTAINED);
+            body.put_u64_le(id);
+            body.put_u64_le(*scanned);
+            body.put_u64_le(*decayed);
+            body.put_u64_le(*pruned);
         }
         Response::Checkpointed { lsn } => {
             body.put_u8(K_CHECKPOINTED);
@@ -438,6 +458,13 @@ pub fn decode_request(mut data: Bytes) -> Result<(u64, Request), NetError> {
                 now: Timestamp(data.get_u64_le()),
             }
         }
+        K_MAINTAIN => {
+            need(&data, 16)?;
+            Request::Maintain {
+                now: Timestamp(data.get_u64_le()),
+                idle_for: adcast_stream::clock::Duration(data.get_u64_le()),
+            }
+        }
         K_CHECKPOINT => Request::Checkpoint,
         K_OBS_DUMP => Request::ObsDump,
         K_STATS => Request::Stats,
@@ -495,6 +522,14 @@ pub fn decode_response(mut data: Bytes) -> Result<(u64, Response), NetError> {
                 _ => return Err(TraceError::Corrupt("bad exhausted flag").into()),
             };
             Response::ImpressionRecorded { ad, exhausted }
+        }
+        K_MAINTAINED => {
+            need(&data, 24)?;
+            Response::Maintained {
+                scanned: data.get_u64_le(),
+                decayed: data.get_u64_le(),
+                pruned: data.get_u64_le(),
+            }
         }
         K_CHECKPOINTED => {
             need(&data, 8)?;
@@ -687,6 +722,10 @@ mod tests {
                 clicked: false,
                 now: Timestamp::from_secs(0),
             },
+            Request::Maintain {
+                now: Timestamp::from_secs(3600),
+                idle_for: adcast_stream::clock::Duration::from_secs(1800),
+            },
             Request::Checkpoint,
             Request::ObsDump,
             Request::Stats,
@@ -719,6 +758,11 @@ mod tests {
             Response::ImpressionRecorded {
                 ad: AdId(1),
                 exhausted: false,
+            },
+            Response::Maintained {
+                scanned: 1_000_000,
+                decayed: 4_321,
+                pruned: 12,
             },
             Response::Checkpointed { lsn: 12_345 },
             Response::ObsDumped { events: 4096 },

@@ -21,11 +21,12 @@
 
 use std::io;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use adcast_graph::UserId;
 use adcast_metrics::{LatencyHistogram, ThroughputMeter};
 use adcast_obs::{find_family, histogram_quantile, http_get, parse_exposition};
+use adcast_stream::clock::now_ns;
 
 use crate::client::{Client, ClientConfig};
 use crate::codec::NetError;
@@ -379,10 +380,12 @@ fn rpc_with_retry(
     let mut backoff = Duration::from_micros(500);
     let mut reconnects = 0u32;
     loop {
-        let started = Instant::now();
+        let started = now_ns();
         match rpc(client) {
             Ok(_) => {
-                result.rtt.record_duration(started.elapsed());
+                result
+                    .rtt
+                    .record_duration(Duration::from_nanos(now_ns().saturating_sub(started)));
                 result.responses += 1;
                 return Ok(());
             }

@@ -52,6 +52,16 @@ pub enum Request {
         /// Charge time (drives pacing throttle updates).
         now: Timestamp,
     },
+    /// Run a lifecycle maintenance pass: evict finished-flight campaigns
+    /// from the index and reset users idle for at least `idle_for`.
+    /// WAL-logged like any other mutation, so recovery twins replay the
+    /// identical pass.
+    Maintain {
+        /// Pass time (expiry cut for pacing flights and idleness).
+        now: Timestamp,
+        /// Users idle at least this long are reset.
+        idle_for: adcast_stream::clock::Duration,
+    },
     /// Force a durable snapshot now; blocks until the snapshot file is
     /// on disk. Refused with [`WireError::BadRequest`] when the server
     /// runs without a data directory.
@@ -150,6 +160,15 @@ pub enum Response {
         /// Did this charge exhaust the campaign's budget (it is no
         /// longer served)?
         exhausted: bool,
+    },
+    /// The maintenance pass completed.
+    Maintained {
+        /// Users examined across shards.
+        scanned: u64,
+        /// Idle users reset to fresh state.
+        decayed: u64,
+        /// Finished-flight campaigns evicted from the index.
+        pruned: u64,
     },
     /// The checkpoint is durable on disk.
     Checkpointed {

@@ -53,21 +53,23 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use adcast_ads::{AdStore, CampaignState};
 use adcast_core::ShardedDriver;
 use adcast_durability::{apply_record, ApplyEffect, Durability, WalRecord};
 use adcast_metrics::LatencyHistogram;
 use adcast_obs::{flightrec, Counter, EventKind, Gauge, Hist};
+use adcast_stream::clock::now_ns;
 
 use crate::codec::{self, decode_request, encode_response, read_frame, write_frame, NetError};
 use crate::protocol::{Request, Response, ServerStats, WireError};
 
-/// An Ingest whose engine service time exceeds this gets a `SlowDelta`
-/// flight-recorder event (hot-path budget is microseconds; 10 ms means
-/// something is badly wrong — an fsync stall, a pool hiccup).
-const SLOW_DELTA_THRESHOLD: Duration = Duration::from_millis(10);
+/// An Ingest whose engine service time exceeds this (in clock
+/// nanoseconds) gets a `SlowDelta` flight-recorder event (hot-path budget
+/// is microseconds; 10 ms means something is badly wrong — an fsync
+/// stall, a pool hiccup).
+const SLOW_DELTA_THRESHOLD_NS: u64 = 10_000_000;
 
 /// Serving-layer knobs.
 #[derive(Debug, Clone)]
@@ -98,8 +100,9 @@ impl Default for ServerConfig {
 struct Cmd {
     req: Request,
     reply: mpsc::Sender<Response>,
-    /// When the reader submitted this command (queue-wait span start).
-    enqueued: Instant,
+    /// When the reader submitted this command (queue-wait span start), in
+    /// [`now_ns`] clock nanoseconds.
+    enqueued_ns: u64,
 }
 
 /// Counters shared between the accept loop, readers, and the engine.
@@ -179,12 +182,8 @@ fn req_kind_code(req: &Request) -> u64 {
         Request::Impression { .. } => codec::K_IMPRESSION,
         Request::Checkpoint => codec::K_CHECKPOINT,
         Request::ObsDump => codec::K_OBS_DUMP,
+        Request::Maintain { .. } => codec::K_MAINTAIN,
     })
-}
-
-/// Saturating whole-microsecond count for flight-recorder payloads.
-fn micros_u64(d: Duration) -> u64 {
-    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 /// A running server; dropping it does **not** stop it — send
@@ -404,7 +403,7 @@ fn connection_loop(
         let cmd = Cmd {
             req,
             reply: reply_tx,
-            enqueued: Instant::now(),
+            enqueued_ns: now_ns(),
         };
         let outcome = if sheddable(&cmd.req) {
             cmd_tx.try_send(cmd)
@@ -496,16 +495,20 @@ impl Engine {
     /// applied, so memory and log can never diverge.
     fn log_apply(&mut self, record: WalRecord) -> Result<ApplyEffect, WireError> {
         if let Some(d) = self.durability.as_mut() {
-            let wal_started = Instant::now();
+            let wal_started = now_ns();
             let committed = d.log(&record).is_ok() && d.commit().is_ok();
-            self.obs.wal_commit_ns.record_elapsed(wal_started);
+            self.obs
+                .wal_commit_ns
+                .record(now_ns().saturating_sub(wal_started));
             if !committed {
                 return Err(WireError::Unavailable);
             }
         }
-        let apply_started = Instant::now();
+        let apply_started = now_ns();
         let outcome = apply_record(&mut self.store, &mut self.driver, record);
-        self.obs.engine_apply_ns.record_elapsed(apply_started);
+        self.obs
+            .engine_apply_ns
+            .record(now_ns().saturating_sub(apply_started));
         outcome.map_err(|why| {
             if self.driver.is_dead() {
                 WireError::Unavailable
@@ -518,12 +521,12 @@ impl Engine {
     fn serve_one(&mut self, cmd: Cmd) {
         self.rpcs += 1;
         self.obs.rpcs_total.inc();
-        let queue_wait = cmd.enqueued.elapsed();
-        self.obs.queue_wait_ns.record_elapsed(cmd.enqueued);
+        let queue_wait_ns = now_ns().saturating_sub(cmd.enqueued_ns);
+        self.obs.queue_wait_ns.record(queue_wait_ns);
         flightrec().record(
             EventKind::Admission,
             req_kind_code(&cmd.req),
-            micros_u64(queue_wait),
+            queue_wait_ns / 1_000,
             0,
         );
         // For a SlowDelta event we need the batch's lead user after the
@@ -532,7 +535,7 @@ impl Engine {
             Request::Ingest { deltas } => deltas.first().map(|(u, _)| u64::from(u.0)),
             _ => None,
         };
-        let started = Instant::now();
+        let started = now_ns();
         let resp = match cmd.req {
             Request::Ingest { deltas } => {
                 if self.driver.is_dead() {
@@ -635,6 +638,25 @@ impl Engine {
                     }
                 }
             }
+            Request::Maintain { now, idle_for } => {
+                if self.driver.is_dead() {
+                    Response::Error(WireError::Unavailable)
+                } else {
+                    match self.log_apply(WalRecord::Maintenance { now, idle_for }) {
+                        Ok(ApplyEffect::Maintained {
+                            scanned,
+                            decayed,
+                            pruned,
+                        }) => Response::Maintained {
+                            scanned,
+                            decayed,
+                            pruned,
+                        },
+                        Ok(_) => Response::Error(WireError::Unavailable),
+                        Err(err) => Response::Error(err),
+                    }
+                }
+            }
             Request::Checkpoint => match self.durability.as_mut() {
                 None => Response::Error(WireError::BadRequest(
                     "server is running without a data directory (start with --data-dir)".into(),
@@ -682,23 +704,25 @@ impl Engine {
             }
             Request::Shutdown => Response::ShutdownAck,
         };
-        let elapsed = started.elapsed();
+        let elapsed_ns = now_ns().saturating_sub(started);
         match &resp {
             Response::Ingested { .. } => {
-                self.ingest_lat.record_duration(elapsed);
-                self.obs.ingest_ns.record_elapsed(started);
-                if elapsed >= SLOW_DELTA_THRESHOLD {
+                self.ingest_lat
+                    .record_duration(Duration::from_nanos(elapsed_ns));
+                self.obs.ingest_ns.record(elapsed_ns);
+                if elapsed_ns >= SLOW_DELTA_THRESHOLD_NS {
                     flightrec().record(
                         EventKind::SlowDelta,
                         ingest_lead_user.unwrap_or(0),
-                        micros_u64(elapsed),
+                        elapsed_ns / 1_000,
                         0,
                     );
                 }
             }
             Response::Recommendations(_) => {
-                self.recommend_lat.record_duration(elapsed);
-                self.obs.recommend_ns.record_elapsed(started);
+                self.recommend_lat
+                    .record_duration(Duration::from_nanos(elapsed_ns));
+                self.obs.recommend_ns.record(elapsed_ns);
             }
             Response::Checkpointed { lsn } => {
                 flightrec().record(EventKind::Checkpoint, *lsn, 0, 0);

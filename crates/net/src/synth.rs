@@ -30,6 +30,10 @@ pub struct SynthConfig {
     pub messages: u64,
     /// Deltas per ingest batch.
     pub batch_size: usize,
+    /// Poisson posting rate, messages per virtual second. Sets how much
+    /// virtual time `messages` spans: the sim harness stretches a small
+    /// message count across a simulated day by lowering this.
+    pub msgs_per_sec: f64,
     /// RNG seed (same seed ⇒ identical workload).
     pub seed: u64,
 }
@@ -43,6 +47,7 @@ impl SynthConfig {
             num_ads: 300,
             messages: 1_500,
             batch_size: 200,
+            msgs_per_sec: 200.0,
             seed: 0xADCA57,
         }
     }
@@ -80,7 +85,7 @@ pub fn build(config: &SynthConfig) -> SynthWorkload {
             num_users: config.num_users,
             ..WorkloadConfig::default()
         },
-        200.0,
+        config.msgs_per_sec,
     );
 
     let campaigns = (0..config.num_ads)
@@ -134,6 +139,7 @@ mod tests {
             num_ads: 16,
             messages: 200,
             batch_size: 50,
+            msgs_per_sec: 200.0,
             seed: 7,
         };
         let a = build(&cfg);

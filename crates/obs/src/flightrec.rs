@@ -21,6 +21,7 @@
 //! | `RecoveryStep` | step code  | value           | – |
 //! | `Panic`        | –          | –               | – |
 //! | `Shutdown`     | drained    | –               | – |
+//! | `Maintenance`  | scanned    | decayed         | pruned |
 
 use std::io::{self, Write};
 use std::path::Path;
@@ -38,6 +39,7 @@ pub enum EventKind {
     RecoveryStep = 5,
     Panic = 6,
     Shutdown = 7,
+    Maintenance = 8,
 }
 
 impl EventKind {
@@ -50,6 +52,7 @@ impl EventKind {
             5 => Some(EventKind::RecoveryStep),
             6 => Some(EventKind::Panic),
             7 => Some(EventKind::Shutdown),
+            8 => Some(EventKind::Maintenance),
             _ => None,
         }
     }
@@ -65,6 +68,7 @@ impl EventKind {
             EventKind::RecoveryStep => "recovery_step",
             EventKind::Panic => "panic",
             EventKind::Shutdown => "shutdown",
+            EventKind::Maintenance => "maintenance",
         }
     }
 
@@ -78,6 +82,7 @@ impl EventKind {
             EventKind::RecoveryStep => [Some("step"), Some("value"), None],
             EventKind::Panic => [None, None, None],
             EventKind::Shutdown => [Some("drained"), None, None],
+            EventKind::Maintenance => [Some("scanned"), Some("decayed"), Some("pruned")],
         }
     }
 }

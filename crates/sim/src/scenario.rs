@@ -1,0 +1,133 @@
+//! Scenario vocabulary: what a simulated day is made of.
+//!
+//! A [`SimConfig`] pins everything that shapes a run — workload seed and
+//! size, engine topology, durability knobs, admission-model bounds,
+//! maintenance cadence, and a fault script. Two runs from the same config
+//! execute the same events in the same order against the same code paths
+//! and must produce byte-identical transcripts; that equality is what the
+//! determinism tests assert.
+
+use adcast_core::EngineConfig;
+use adcast_durability::{FsyncPolicy, WalOptions};
+use adcast_net::synth::SynthConfig;
+use adcast_stream::clock::Duration;
+
+/// An injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The next fsync takes `ms` extra virtual milliseconds (a device
+    /// hiccup). Surfaces in the WAL's fsync span histogram.
+    FsyncStall {
+        /// Extra latency, virtual milliseconds.
+        ms: u64,
+    },
+    /// Power loss: the pending batch is logged but never committed, every
+    /// file is torn back to its durability horizon, and the harness
+    /// crash-recovers in place — then proves the recovered state is a
+    /// bit-identical twin of a clean replay.
+    Crash,
+    /// A burst of phantom load competing for the bounded admission queue:
+    /// `arrivals` extra requests per step for `steps` steps. Overflow
+    /// beyond the queue bound is shed (the server's `Overloaded` path).
+    ShedStorm {
+        /// Extra arrivals per step.
+        arrivals: u64,
+        /// Steps the storm lasts.
+        steps: u64,
+    },
+}
+
+/// A fault pinned to a position in the batch stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultAt {
+    /// Fires just before this ingest batch (0-based).
+    pub at_batch: usize,
+    /// What happens.
+    pub fault: Fault,
+}
+
+/// Everything that shapes one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Workload shape (users, campaigns, messages, batching, seed).
+    pub synth: SynthConfig,
+    /// Engine shards.
+    pub num_shards: usize,
+    /// Engine knobs (k, window, decay, refresh policy…).
+    pub engine: EngineConfig,
+    /// WAL knobs. Crash scenarios want [`FsyncPolicy::Always`]; anything
+    /// weaker widens the acked-but-lost window (which the harness also
+    /// models faithfully: acked records beyond the recovered tip count as
+    /// `lost_acked`).
+    pub wal: WalOptions,
+    /// Background snapshot cadence in WAL records (0 = checkpoint only).
+    pub snapshot_every: u64,
+    /// Snapshots retained by pruning (also bounds live WAL segments).
+    pub keep_snapshots: usize,
+    /// Virtual cost of one fsync, nanoseconds.
+    pub fsync_latency_ns: u64,
+    /// Serve a recommendation wave every this many batches (0 = never).
+    pub recommend_every: usize,
+    /// Users served per wave.
+    pub wave_users: usize,
+    /// Impression cost charged for each wave's top pick.
+    pub impression_cost: f64,
+    /// Every Nth campaign gets a pacing flight attached (0 = none).
+    pub paced_every: usize,
+    /// Pacing flight length, seconds of virtual time from the epoch.
+    pub flight_secs: u64,
+    /// Pacing flight budget.
+    pub flight_budget: f64,
+    /// Run a maintenance pass once virtual time advances this far past
+    /// the previous pass ([`Duration::ZERO`] = never).
+    pub maintenance_every: Duration,
+    /// Maintenance resets users idle at least this long.
+    pub idle_for: Duration,
+    /// Admission queue bound (mirrors the server's bounded request
+    /// queue; overflow is shed).
+    pub queue_depth: u64,
+    /// Requests drained from the admission queue per batch step.
+    pub drain_per_step: u64,
+    /// The fault script, in firing order.
+    pub faults: Vec<FaultAt>,
+}
+
+impl SimConfig {
+    /// A seconds-scale scenario: small workload, frequent snapshots,
+    /// maintenance and pacing cadences matched to the workload's ~6
+    /// virtual seconds (the generator posts ~200 messages/s), no faults
+    /// (add your own).
+    #[must_use]
+    pub fn smoke(seed: u64) -> SimConfig {
+        SimConfig {
+            synth: SynthConfig {
+                num_users: 400,
+                num_ads: 120,
+                messages: 1_200,
+                batch_size: 200,
+                msgs_per_sec: 200.0,
+                seed,
+            },
+            num_shards: 2,
+            engine: EngineConfig::default(),
+            wal: WalOptions {
+                fsync: FsyncPolicy::Always,
+                segment_bytes: 256 << 10,
+            },
+            snapshot_every: 40,
+            keep_snapshots: 2,
+            fsync_latency_ns: 100_000,
+            recommend_every: 4,
+            wave_users: 8,
+            impression_cost: 0.05,
+            paced_every: 8,
+            flight_secs: 3,
+            flight_budget: 2.0,
+            maintenance_every: Duration::from_secs(1),
+            idle_for: Duration::from_secs(2),
+            queue_depth: 64,
+            drain_per_step: 4,
+            faults: Vec::new(),
+        }
+    }
+}

@@ -141,4 +141,16 @@ grep -q 'smoke run' <<<"$e15_out" || {
   exit 1
 }
 
+echo "== E16 sim determinism smoke (seeded scenario twice, byte-identical) =="
+e16_out=$(ADCAST_E16_SMOKE=1 ./target/release/e16_sim_day)
+echo "$e16_out"
+grep -q 'smoke run' <<<"$e16_out" || {
+  echo "E16 smoke did not run in smoke mode" >&2
+  exit 1
+}
+grep -q 'twin=ok' <<<"$e16_out" || {
+  echo "E16 smoke crash recovery did not twin-check" >&2
+  exit 1
+}
+
 echo "All checks passed."

@@ -75,6 +75,7 @@ fn drive(args: &[String]) -> Result<(), String> {
             num_ads: 2_000,
             messages: 20_000,
             batch_size: 500,
+            msgs_per_sec: 200.0,
             seed: 0xADCA57,
         }
     };

@@ -26,6 +26,7 @@ fn metrics_scrape_matches_server_stats() {
         num_ads: 40,
         messages: 300,
         batch_size: 60,
+        msgs_per_sec: 200.0,
         seed: 7,
     });
     let driver = ShardedDriver::new(workload.num_users, 2, EngineConfig::default());
@@ -60,6 +61,13 @@ fn metrics_scrape_matches_server_stats() {
             .recommend(user, workload.end_time, location, 5)
             .unwrap();
     }
+    // One lifecycle maintenance pass, far enough past the workload that
+    // every user is idle; its telemetry must land in the same scrape.
+    let maint_now = adcast::stream::clock::Timestamp(workload.end_time.0 + 10_000_000);
+    let idle_for = adcast::stream::clock::Duration::from_secs(1);
+    let (scanned, decayed, pruned) = client.maintain(maint_now, idle_for).unwrap();
+    assert!(scanned > 0, "maintenance must scan the user set");
+    assert!(decayed > 0, "every user is idle 10s with a 1s threshold");
     let stats = client.stats().unwrap();
 
     // Scrape between the Stats RPC and any further traffic, so the
@@ -93,6 +101,35 @@ fn metrics_scrape_matches_server_stats() {
         Some(stats.rpcs as f64),
         "every engine-served RPC gets a queue-wait observation"
     );
+    // Maintenance counters agree with the RPC's returned counts, and the
+    // pass span recorded exactly one observation.
+    let maint_scanned =
+        find_family(&families, "adcast_maint_scanned_total").expect("maint scanned family");
+    assert_eq!(
+        maint_scanned.sample_value("adcast_maint_scanned_total"),
+        Some(scanned as f64),
+        "scanned counter vs Maintain reply"
+    );
+    let maint_decayed =
+        find_family(&families, "adcast_maint_decayed_total").expect("maint decayed family");
+    assert_eq!(
+        maint_decayed.sample_value("adcast_maint_decayed_total"),
+        Some(decayed as f64),
+        "decayed counter vs Maintain reply"
+    );
+    let maint_pruned =
+        find_family(&families, "adcast_maint_pruned_total").expect("maint pruned family");
+    assert_eq!(
+        maint_pruned.sample_value("adcast_maint_pruned_total"),
+        Some(pruned as f64),
+        "pruned counter vs Maintain reply"
+    );
+    let maint_pass = find_family(&families, "adcast_maint_pass_ns").expect("maint span family");
+    assert_eq!(
+        maint_pass.sample_value("adcast_maint_pass_ns_count"),
+        Some(1.0),
+        "exactly one maintenance pass ran"
+    );
     let p50 = histogram_quantile(recommend_ns, 0.50).unwrap();
     let p99 = histogram_quantile(recommend_ns, 0.99).unwrap();
     assert!(p50 <= p99, "recommend p50 {p50} > p99 {p99}");
@@ -113,6 +150,10 @@ fn metrics_scrape_matches_server_stats() {
     assert!(events > 0, "flight recorder captured nothing");
     let dump = std::fs::read_to_string(&flightrec_path).unwrap();
     assert!(dump.contains("\"event\":\"admission\""), "{dump}");
+    assert!(
+        dump.contains("\"event\":\"maintenance\""),
+        "maintenance pass must leave a flight-recorder event: {dump}"
+    );
 
     client.shutdown().unwrap();
     server.join();

@@ -38,6 +38,7 @@ fn small_workload() -> SynthWorkload {
         num_ads: 40,
         messages: 240,
         batch_size: 80,
+        msgs_per_sec: 200.0,
         seed: 42,
     })
 }

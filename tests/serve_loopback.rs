@@ -25,6 +25,7 @@ fn small_workload() -> synth::SynthWorkload {
         num_ads: 60,
         messages: 400,
         batch_size: 100,
+        msgs_per_sec: 200.0,
         seed: 42,
     })
 }
