@@ -294,6 +294,91 @@ fn main() {
         }
     }
 
+    // --- Cluster: the same loadgen through a 2-partition router fleet,
+    // so routed throughput and the router hop's RTT tax travel with the
+    // single-node serving numbers. The split metric is the smaller
+    // partition's share of applied deltas (0.5 = perfectly balanced). ---
+    {
+        use adcast_cluster::{PartitionMap, Router, RouterConfig};
+        use adcast_net::{ClientConfig, ClusterConfig, ClusterState};
+
+        let num_users = scale.pick(400u32, 4_000);
+        let mut nodes = Vec::new();
+        let mut specs = Vec::new();
+        for p in 0..2u16 {
+            let server = adcast_net::Server::start_cluster(
+                "127.0.0.1:0",
+                adcast_net::ServerConfig::default(),
+                AdStore::new(),
+                ShardedDriver::new(num_users, 1, EngineConfig::default()),
+                None,
+                ClusterConfig {
+                    state: ClusterState::primary(p, 0),
+                    ..ClusterConfig::default()
+                },
+            )
+            .expect("bind cluster node");
+            specs.push(server.addr().to_string());
+            nodes.push(server);
+        }
+        let map = PartitionMap::parse(&specs).expect("partition map");
+        let router =
+            Router::start("127.0.0.1:0", &map, RouterConfig::default()).expect("bind router");
+        let synth_cfg = adcast_net::synth::SynthConfig {
+            num_users,
+            num_ads: scale.pick(300usize, 2_000),
+            messages: scale.pick(1_500u64, 20_000),
+            batch_size: scale.pick(200usize, 500),
+            msgs_per_sec: 200.0,
+            seed: 0xADCA57,
+        };
+        let synth_workload = Arc::new(adcast_net::synth::build(&synth_cfg));
+        let config = adcast_net::LoadgenConfig {
+            connections: 2.min(available),
+            ..adcast_net::LoadgenConfig::new(router.addr().to_string())
+        };
+        let report = adcast_net::loadgen::run(&config, &synth_workload).expect("routed loadgen");
+        let per_node: Vec<u64> = nodes
+            .iter()
+            .map(|node| {
+                adcast_net::Client::connect(node.addr().to_string(), &ClientConfig::default())
+                    .and_then(|mut c| c.stats())
+                    .map(|s| s.deltas)
+                    .unwrap_or(0)
+            })
+            .collect();
+        let total: u64 = per_node.iter().sum();
+        let min_share = per_node
+            .iter()
+            .map(|&n| n as f64 / total.max(1) as f64)
+            .fold(1.0f64, f64::min);
+        assert!(
+            min_share >= 0.3,
+            "2-partition split {per_node:?} is unbalanced"
+        );
+        summary.metric("cluster", "partitions", 2.0);
+        summary.metric("cluster", "deltas_per_sec", report.deltas_per_sec());
+        summary.metric("cluster", "rtt_p50_ns", report.rtt.p50() as f64);
+        summary.metric("cluster", "rtt_p99_ns", report.rtt.p99() as f64);
+        summary.metric("cluster", "shed_rate", report.shed_rate());
+        summary.metric("cluster", "min_partition_share", min_share);
+        println!(
+            "cluster: {:.0} deltas/s through the router over 2 partitions \
+             (split {per_node:?}), rtt p50 {} ns / p99 {} ns",
+            report.deltas_per_sec(),
+            report.rtt.p50(),
+            report.rtt.p99()
+        );
+        router.shutdown();
+        router.join();
+        for node in &nodes {
+            node.shutdown();
+        }
+        for node in nodes {
+            node.join();
+        }
+    }
+
     // --- Static analysis: rule and suppression counts, so pragma creep
     // shows up in the same trajectory as the perf numbers. ---
     {

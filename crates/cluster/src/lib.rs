@@ -1,0 +1,21 @@
+//! adcast-cluster: partitioned multi-node serving.
+//!
+//! Three pieces turn single-node `adcast-net` servers into a cluster:
+//!
+//! - [`PartitionMap`] — users hash to partitions by `index % n`;
+//!   campaigns replicate everywhere (see `partition` module docs).
+//! - [`Router`] — the TCP gateway: splits ingest batches across
+//!   partitions, routes recommends to the owning node, serializes
+//!   control broadcasts, and promotes followers when a primary dies.
+//! - [`TcpSink`] — the primary→follower replication transport feeding
+//!   `adcast-net`'s [`ReplicationSink`] ack ladder.
+//!
+//! [`ReplicationSink`]: adcast_net::ReplicationSink
+
+pub mod partition;
+pub mod router;
+pub mod sink;
+
+pub use partition::{PartitionMap, PartitionNodes};
+pub use router::{Router, RouterConfig};
+pub use sink::TcpSink;

@@ -1,0 +1,691 @@
+//! The routing gateway: one TCP front door for an N-partition cluster.
+//!
+//! ## Forwarding model
+//!
+//! ```text
+//! client ──► router connection thread ──► per-partition forwarder threads
+//!                  │ split Ingest by user partition        │ owns one Client
+//!                  │ route Recommend by user               │ to the partition
+//!                  │ broadcast control RPCs (serialized)   │ primary
+//!                  ◄───────────── merged reply ────────────┘
+//! ```
+//!
+//! Each accepted connection gets its own forwarder thread per partition,
+//! so a mixed ingest batch fans out to all partitions **concurrently**
+//! and the reply returns when the slowest sub-batch acks — wall-clock
+//! per batch is the max partition latency, not the sum. Client RPCs are
+//! wrapped in `Routed{partition, epoch}` envelopes; the epoch makes a
+//! deposed primary refuse with a typed error instead of serving stale.
+//!
+//! ## Broadcast ordering
+//!
+//! Campaign state is replicated to every partition (only users are
+//! sharded), so control-plane mutations (submit/pause/impression/
+//! maintain) broadcast to all partitions. Broadcasts across *all* router
+//! connections are serialized by one mutex, giving every partition the
+//! identical submission order — campaign ids assigned by replay are
+//! identical on every node, which the consistency tests assert.
+//!
+//! ## Failover
+//!
+//! A forwarder that cannot reach its primary (dead connection, refused
+//! dial, stale-epoch refusal) triggers promotion: under the partition
+//! lock it dials the follower, bumps the epoch, and `Promote`s it. The
+//! generation counter tells every other forwarder to re-dial. A
+//! partition with no promotable follower sheds with typed
+//! [`WireError::Overloaded`] rather than blocking the connection.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use adcast_feed::FeedDelta;
+use adcast_graph::UserId;
+use adcast_net::client::{Client, ClientConfig};
+use adcast_net::codec::{decode_request, encode_response, read_frame, write_frame, NetError};
+use adcast_net::protocol::{Request, Response, ServerStats, WireError};
+use adcast_obs::{flightrec, Counter, EventKind, Gauge, Hist};
+use adcast_stream::clock::now_ns;
+
+use crate::partition::PartitionMap;
+
+/// Router knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Connect/retry/timeout policy for the per-partition client pools.
+    /// `connect_attempts` also bounds how long a forwarder probes a dead
+    /// primary before giving up and promoting the follower.
+    pub client: ClientConfig,
+    /// How often blocked threads wake to poll the shutdown flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            client: ClientConfig {
+                connect_attempts: 3,
+                ..ClientConfig::default()
+            },
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Handles into the process-wide metrics registry for the router.
+#[derive(Clone)]
+struct RouterObs {
+    forwarded_total: Counter,
+    broadcasts_total: Counter,
+    failovers_total: Counter,
+    shed_total: Counter,
+    connections_total: Counter,
+    partitions: Gauge,
+    forward_ns: Hist,
+    broadcast_ns: Hist,
+}
+
+impl RouterObs {
+    fn resolve() -> RouterObs {
+        let reg = adcast_obs::registry();
+        RouterObs {
+            forwarded_total: reg.counter(
+                "adcast_router_forwarded_total",
+                "Client RPCs forwarded to a partition primary.",
+            ),
+            broadcasts_total: reg.counter(
+                "adcast_router_broadcasts_total",
+                "Control RPCs broadcast to every partition.",
+            ),
+            failovers_total: reg.counter(
+                "adcast_router_failovers_total",
+                "Follower promotions initiated after a primary failure.",
+            ),
+            shed_total: reg.counter(
+                "adcast_router_shed_total",
+                "RPCs shed with Overloaded because a partition was unavailable.",
+            ),
+            connections_total: reg
+                .counter("adcast_router_connections_total", "Connections accepted."),
+            partitions: reg.gauge("adcast_router_partitions", "Partitions in the serving map."),
+            forward_ns: reg.hist(
+                "adcast_router_forward_ns",
+                "Router span: single-partition forward round trip.",
+            ),
+            broadcast_ns: reg.hist(
+                "adcast_router_broadcast_ns",
+                "Router span: full-cluster control broadcast round trip.",
+            ),
+        }
+    }
+}
+
+/// The router's authoritative view of one partition, shared by every
+/// connection's forwarders. Locked briefly for reads; held across the
+/// promotion RPC during failover (the partition is down anyway).
+struct PartitionRuntime {
+    epoch: u64,
+    primary: String,
+    follower: Option<String>,
+    /// Bumped on every primary change; forwarders compare it to know
+    /// their cached connection dials the wrong node.
+    generation: u64,
+}
+
+struct RouterShared {
+    shutdown: AtomicBool,
+    partitions: Vec<Mutex<PartitionRuntime>>,
+    /// Serializes control-plane broadcasts across all connections.
+    broadcast: Mutex<()>,
+    config: RouterConfig,
+    obs: RouterObs,
+}
+
+/// One partition's forwarding state, owned by one forwarder thread of
+/// one connection.
+struct Forwarder {
+    partition: u16,
+    shared: Arc<RouterShared>,
+    client: Option<Client>,
+    generation: u64,
+}
+
+impl Forwarder {
+    fn view(&self) -> (u64, String, u64) {
+        match self.shared.partitions[usize::from(self.partition)].lock() {
+            Ok(rt) => (rt.epoch, rt.primary.clone(), rt.generation),
+            // A poisoned partition lock means a failover panicked; treat
+            // the partition as unavailable rather than propagating.
+            Err(poisoned) => {
+                let rt = poisoned.into_inner();
+                (rt.epoch, rt.primary.clone(), rt.generation)
+            }
+        }
+    }
+
+    /// Forward one client RPC to this partition, riding through at most
+    /// two view changes (a failover by us or by a racing connection).
+    fn forward(&mut self, inner: &Request) -> Response {
+        let started = now_ns();
+        for _ in 0..3 {
+            let (epoch, primary, generation) = self.view();
+            if self.client.is_none() || self.generation != generation {
+                match Client::connect(primary, &self.shared.config.client) {
+                    Ok(c) => {
+                        self.client = Some(c);
+                        self.generation = generation;
+                    }
+                    Err(_) => {
+                        if self.failover(generation) {
+                            continue;
+                        }
+                        break;
+                    }
+                }
+            }
+            let Some(client) = self.client.as_mut() else {
+                break;
+            };
+            // Shutdown travels bare: it is role- and epoch-independent
+            // (draining a fenced or deposed node is still wanted).
+            let outcome = if matches!(inner, Request::Shutdown) {
+                client.call(&Request::Shutdown)
+            } else {
+                client.call(&Request::Routed {
+                    partition: self.partition,
+                    epoch,
+                    inner: Box::new(inner.clone()),
+                })
+            };
+            match outcome {
+                Ok(Response::Error(WireError::StaleEpoch { .. } | WireError::NotPrimary)) => {
+                    // Our view lags the cluster (the node was promoted or
+                    // fenced behind our back), or the primary is gone in
+                    // all but TCP. Refresh; if the view hasn't moved,
+                    // move it ourselves.
+                    if self.view().2 == generation && !self.failover(generation) {
+                        break;
+                    }
+                }
+                Ok(resp) => {
+                    self.shared.obs.forwarded_total.inc();
+                    self.shared
+                        .obs
+                        .forward_ns
+                        .record(now_ns().saturating_sub(started));
+                    return resp;
+                }
+                Err(NetError::Disconnected) => {
+                    self.client = None;
+                    if self.view().2 == generation && !self.failover(generation) {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        self.shared.obs.shed_total.inc();
+        Response::Error(WireError::Overloaded)
+    }
+
+    /// Promote this partition's follower under a bumped epoch. Returns
+    /// whether the caller should retry — true when the view changed,
+    /// whether we moved it or a racing connection did.
+    fn failover(&mut self, observed_generation: u64) -> bool {
+        let mut rt = match self.shared.partitions[usize::from(self.partition)].lock() {
+            Ok(rt) => rt,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if rt.generation != observed_generation {
+            return true;
+        }
+        let Some(follower) = rt.follower.clone() else {
+            return false;
+        };
+        let Ok(mut client) = Client::connect(follower.clone(), &self.shared.config.client) else {
+            return false;
+        };
+        let adopted = match client.promote(self.partition, rt.epoch + 1) {
+            Ok((epoch, _next_lsn)) => epoch,
+            // The node already holds a higher epoch — promoted during a
+            // previous router life. Adopt its view instead of fighting.
+            Err(NetError::Remote(WireError::StaleEpoch { current })) => current,
+            Err(_) => return false,
+        };
+        rt.epoch = adopted;
+        rt.primary = follower;
+        // The deposed primary is fenced, not a promotion target.
+        rt.follower = None;
+        rt.generation += 1;
+        // Scripts grep this exact shape.
+        eprintln!(
+            "router: promoted partition={} epoch={} primary={}",
+            self.partition, adopted, rt.primary
+        );
+        self.shared.obs.failovers_total.inc();
+        flightrec().record(EventKind::Failover, u64::from(self.partition), adopted, 0);
+        true
+    }
+}
+
+/// One forwarding job for a partition forwarder thread.
+struct Job {
+    inner: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+/// The per-connection fan-out: one forwarder thread per partition, fed
+/// by channels, collected by the connection thread.
+struct Pool {
+    senders: Vec<mpsc::Sender<Job>>,
+    joins: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    fn spawn(shared: &Arc<RouterShared>) -> Pool {
+        let n = shared.partitions.len();
+        let mut senders = Vec::with_capacity(n);
+        let mut joins = Vec::with_capacity(n);
+        for partition in 0..n {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let mut forwarder = Forwarder {
+                // Construction bounds n to u16 (PartitionMap invariant).
+                partition: partition as u16,
+                shared: Arc::clone(shared),
+                client: None,
+                generation: u64::MAX, // force the first dial
+            };
+            let join = std::thread::Builder::new()
+                .name(format!("adcast-fwd-{partition}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let resp = forwarder.forward(&job.inner);
+                        // A connection thread that gave up mid-collect
+                        // cannot receive; fine.
+                        let _ = job.reply.send(resp);
+                    }
+                });
+            match join {
+                Ok(j) => joins.push(j),
+                Err(_) => continue,
+            }
+            senders.push(tx);
+        }
+        Pool { senders, joins }
+    }
+
+    /// Dispatch `inner` to one partition; returns the reply receiver.
+    fn dispatch(&self, partition: u16, inner: Request) -> mpsc::Receiver<Response> {
+        let (tx, rx) = mpsc::channel();
+        if let Some(sender) = self.senders.get(usize::from(partition)) {
+            let _ = sender.send(Job { inner, reply: tx });
+        }
+        rx
+    }
+
+    /// Dispatch `inner` to every partition concurrently and collect the
+    /// replies in partition order (missing replies — a dead forwarder —
+    /// come back as `Overloaded`).
+    fn broadcast(&self, inner: &Request) -> Vec<Response> {
+        let pending: Vec<_> = (0..self.senders.len())
+            .map(|p| self.dispatch(p as u16, inner.clone()))
+            .collect();
+        pending
+            .into_iter()
+            .map(|rx| rx.recv().unwrap_or(Response::Error(WireError::Overloaded)))
+            .collect()
+    }
+
+    fn join(self) {
+        drop(self.senders);
+        for j in self.joins {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Merge per-partition stats into the cluster view the router reports:
+/// traffic counters sum; campaign state is replicated so the max is the
+/// truth; latency percentiles report the worst partition.
+fn merge_stats(replies: &[ServerStats]) -> ServerStats {
+    let mut out = ServerStats::default();
+    for s in replies {
+        out.deltas += s.deltas;
+        out.recommends += s.recommends;
+        out.active_campaigns = out.active_campaigns.max(s.active_campaigns);
+        out.rpcs += s.rpcs;
+        out.shed += s.shed;
+        out.connections += s.connections;
+        out.queue_capacity += s.queue_capacity;
+        out.ingest_p50_ns = out.ingest_p50_ns.max(s.ingest_p50_ns);
+        out.ingest_p99_ns = out.ingest_p99_ns.max(s.ingest_p99_ns);
+        out.recommend_p50_ns = out.recommend_p50_ns.max(s.recommend_p50_ns);
+        out.recommend_p99_ns = out.recommend_p99_ns.max(s.recommend_p99_ns);
+        out.wal_records += s.wal_records;
+        out.wal_bytes += s.wal_bytes;
+        out.wal_fsyncs += s.wal_fsyncs;
+        out.snapshots_written += s.snapshots_written;
+        out.recovered_records += s.recovered_records;
+        out.recovered_truncated_bytes += s.recovered_truncated_bytes;
+    }
+    out
+}
+
+/// A running router; like the node server, send `Shutdown` (or call
+/// [`Router::shutdown`]) then [`Router::join`].
+pub struct Router {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    accept_join: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Bind `addr` and start routing for `map` on background threads.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on bind or thread-spawn failures.
+    pub fn start(addr: &str, map: &PartitionMap, config: RouterConfig) -> Result<Router, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let obs = RouterObs::resolve();
+        obs.partitions.set(map.len() as i64);
+        let partitions = map
+            .iter()
+            .map(|(_, nodes)| {
+                Mutex::new(PartitionRuntime {
+                    epoch: 0,
+                    primary: nodes.primary.clone(),
+                    follower: nodes.follower.clone(),
+                    generation: 0,
+                })
+            })
+            .collect();
+        let shared = Arc::new(RouterShared {
+            shutdown: AtomicBool::new(false),
+            partitions,
+            broadcast: Mutex::new(()),
+            config,
+            obs,
+        });
+        let accept_join = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("adcast-router".into())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        Ok(Router {
+            addr: local,
+            shared,
+            accept_join: Some(accept_join),
+        })
+    }
+
+    /// The bound address (real port even when started on port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Trigger shutdown of the router itself (the nodes keep serving;
+    /// a client-sent `Shutdown` stops nodes *and* router).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Block until the accept loop and every connection have exited.
+    pub fn join(mut self) {
+        if let Some(j) = self.accept_join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    let poll = shared.config.poll_interval;
+    let nonblocking = listener.set_nonblocking(true).is_ok();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                shared.obs.connections_total.inc();
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(poll));
+                let shared = Arc::clone(shared);
+                if let Ok(join) = std::thread::Builder::new()
+                    .name("adcast-route-conn".into())
+                    .spawn(move || connection_loop(stream, &shared))
+                {
+                    conns.push(join);
+                }
+                conns.retain(|j| !j.is_finished());
+            }
+            Err(e) if nonblocking && e.kind() == io::ErrorKind::WouldBlock => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                conns.retain(|j| !j.is_finished());
+                std::thread::sleep(poll);
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+    for j in conns {
+        let _ = j.join();
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<RouterShared>) {
+    let pool = Pool::spawn(shared);
+    loop {
+        let body = match read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            Ok(None) => break,
+            Err(NetError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        };
+        let (id, req) = match decode_request(body) {
+            Ok(pair) => pair,
+            Err(e) => {
+                let resp = Response::Error(WireError::BadRequest(e.to_string()));
+                let _ = write_frame(&mut stream, &encode_response(0, &resp));
+                break;
+            }
+        };
+        let is_shutdown = matches!(req, Request::Shutdown);
+        let resp = route_one(shared, &pool, req);
+        if write_frame(&mut stream, &encode_response(id, &resp)).is_err() {
+            break;
+        }
+        if is_shutdown {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            break;
+        }
+    }
+    pool.join();
+}
+
+/// The partition a single-target request belongs to, or `None` for
+/// broadcast/refused kinds.
+fn route_one(shared: &Arc<RouterShared>, pool: &Pool, req: Request) -> Response {
+    let num_partitions = shared.partitions.len();
+    match req {
+        Request::Ingest { deltas } => {
+            // Split the batch by owning partition and fan out; the reply
+            // arrives when the slowest partition acks.
+            let mut parts: Vec<Vec<(UserId, FeedDelta)>> = vec![Vec::new(); num_partitions];
+            for (user, delta) in deltas {
+                parts[user.index() % num_partitions].push((user, delta));
+            }
+            let pending: Vec<_> = parts
+                .into_iter()
+                .enumerate()
+                .filter(|(_, sub)| !sub.is_empty())
+                .map(|(p, sub)| pool.dispatch(p as u16, Request::Ingest { deltas: sub }))
+                .collect();
+            let mut accepted = 0u32;
+            for rx in pending {
+                match rx.recv() {
+                    Ok(Response::Ingested { accepted: n }) => accepted += n,
+                    Ok(Response::Error(err)) => return Response::Error(err),
+                    Ok(_) | Err(_) => return Response::Error(WireError::Overloaded),
+                }
+            }
+            Response::Ingested { accepted }
+        }
+        Request::Recommend { user, .. } => {
+            let partition = (user.index() % num_partitions) as u16;
+            let rx = pool.dispatch(partition, req);
+            rx.recv().unwrap_or(Response::Error(WireError::Overloaded))
+        }
+        Request::SubmitCampaign(_)
+        | Request::PauseCampaign { .. }
+        | Request::Impression { .. }
+        | Request::Maintain { .. }
+        | Request::Checkpoint
+        | Request::ObsDump
+        | Request::Stats
+        | Request::Shutdown => broadcast(shared, pool, &req),
+        // The router is a gateway, not a cluster member: partition-
+        // addressed envelopes and replication RPCs stop here.
+        Request::Routed { .. } => Response::Error(WireError::BadRequest(
+            "router does not accept pre-routed frames".into(),
+        )),
+        Request::ReplAppend { .. } | Request::InstallSnapshot { .. } | Request::Promote { .. } => {
+            Response::Error(WireError::BadRequest(
+                "replication RPCs go directly to nodes, not through the router".into(),
+            ))
+        }
+        Request::ClusterStatus => Response::Error(WireError::BadRequest(
+            "the router has no cluster status; ask a node".into(),
+        )),
+    }
+}
+
+/// Broadcast a control RPC to every partition under the global broadcast
+/// lock (identical delivery order on every partition — replayed campaign
+/// ids match), then merge the per-partition replies.
+fn broadcast(shared: &Arc<RouterShared>, pool: &Pool, req: &Request) -> Response {
+    let started = now_ns();
+    let guard = shared.broadcast.lock();
+    let replies = pool.broadcast(req);
+    drop(guard);
+    shared.obs.broadcasts_total.inc();
+    shared
+        .obs
+        .broadcast_ns
+        .record(now_ns().saturating_sub(started));
+    merge_broadcast(req, replies)
+}
+
+fn merge_broadcast(req: &Request, replies: Vec<Response>) -> Response {
+    // Any typed error wins over a merged success: broadcast mutations
+    // are all-or-error so partitions cannot silently diverge.
+    if let Some(err) = replies.iter().find_map(|r| match r {
+        Response::Error(e) => Some(e.clone()),
+        _ => None,
+    }) {
+        return Response::Error(err);
+    }
+    match req {
+        Request::SubmitCampaign(_) => {
+            let mut ids = replies.iter().filter_map(|r| match r {
+                Response::CampaignAccepted { ad } => Some(*ad),
+                _ => None,
+            });
+            match ids.next() {
+                Some(first) if ids.all(|ad| ad == first) => {
+                    Response::CampaignAccepted { ad: first }
+                }
+                // Divergent ids mean the partitions saw different
+                // submission histories — surface loudly.
+                _ => Response::Error(WireError::Unavailable),
+            }
+        }
+        Request::PauseCampaign { ad } => Response::CampaignPaused { ad: *ad },
+        Request::Impression { ad, .. } => Response::ImpressionRecorded {
+            ad: *ad,
+            exhausted: replies.iter().any(|r| {
+                matches!(
+                    r,
+                    Response::ImpressionRecorded {
+                        exhausted: true,
+                        ..
+                    }
+                )
+            }),
+        },
+        Request::Maintain { .. } => {
+            let (mut scanned, mut decayed, mut pruned) = (0u64, 0u64, 0u64);
+            for r in &replies {
+                if let Response::Maintained {
+                    scanned: s,
+                    decayed: d,
+                    pruned: p,
+                } = r
+                {
+                    scanned += s;
+                    decayed += d;
+                    pruned += p;
+                }
+            }
+            Response::Maintained {
+                scanned,
+                decayed,
+                pruned,
+            }
+        }
+        Request::Checkpoint => Response::Checkpointed {
+            lsn: replies
+                .iter()
+                .filter_map(|r| match r {
+                    Response::Checkpointed { lsn } => Some(*lsn),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0),
+        },
+        Request::ObsDump => Response::ObsDumped {
+            events: replies
+                .iter()
+                .filter_map(|r| match r {
+                    Response::ObsDumped { events } => Some(*events),
+                    _ => None,
+                })
+                .sum(),
+        },
+        Request::Stats => {
+            let stats: Vec<ServerStats> = replies
+                .into_iter()
+                .filter_map(|r| match r {
+                    Response::Stats(s) => Some(s),
+                    _ => None,
+                })
+                .collect();
+            Response::Stats(merge_stats(&stats))
+        }
+        Request::Shutdown => Response::ShutdownAck,
+        // Broadcast is only called for the kinds above.
+        _ => Response::Error(WireError::Unavailable),
+    }
+}

@@ -7,15 +7,19 @@
 
 /// Hot-path modules: the blocked ad index and its evaluators, the engine
 /// steady state, the net server loop and codec, the durability
-/// commit/replay paths, and the obs record paths (metric handles and the
+/// commit/replay paths, the cluster router forwarding and replication
+/// apply paths (every routed RPC and every replicated record crosses
+/// them), and the obs record paths (metric handles and the
 /// flight-recorder ring run inside all of the former).
 /// `no-panic-hot-path` bans `unwrap`/`expect`/`panic!`-family macros here.
 pub const HOT_PATH_FILES: &[&str] = &[
     "crates/adstore/src/index.rs",
+    "crates/cluster/src/router.rs",
     "crates/core/src/engine/blockmax.rs",
     "crates/core/src/engine/incremental.rs",
     "crates/core/src/engine/index_scan.rs",
     "crates/net/src/server.rs",
+    "crates/net/src/replication.rs",
     "crates/textproc/src/kernels.rs",
     "crates/net/src/codec.rs",
     "crates/durability/src/wal.rs",
@@ -61,6 +65,7 @@ pub const NO_LOCK_FILES: &[&str] = &["crates/obs/src/metrics.rs", "crates/obs/sr
 /// (`crates/stream/src/clock.rs`) and the obs/bench crates (measurement
 /// machinery, never simulated) are deliberately outside this set.
 pub const NO_WALLCLOCK_PREFIXES: &[&str] = &[
+    "crates/cluster/src/",
     "crates/core/src/",
     "crates/durability/src/",
     "crates/net/src/",

@@ -227,6 +227,50 @@ fn wallclock_with_pragma_is_allowed() {
     assert_eq!(sup, 1);
 }
 
+// ---- cluster paths ----------------------------------------------------
+// The router forwarding path and the replication apply path joined the
+// hot set with the cluster layer; the whole cluster crate runs under the
+// sim's virtual clock. These prove the gates actually engage there.
+
+#[test]
+fn unwrap_in_router_forwarding_path_fails() {
+    let (diags, _) = lint(
+        "crates/cluster/src/router.rs",
+        include_str!("fixtures/panic_fail.rs"),
+    );
+    assert_eq!(
+        rules_of(&diags),
+        vec![rules::NO_PANIC_HOT_PATH],
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn unwrap_in_replication_apply_path_fails() {
+    let (diags, _) = lint(
+        "crates/net/src/replication.rs",
+        include_str!("fixtures/panic_fail.rs"),
+    );
+    assert_eq!(
+        rules_of(&diags),
+        vec![rules::NO_PANIC_HOT_PATH],
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn wallclock_read_in_cluster_crate_fails() {
+    let (diags, _) = lint(
+        "crates/cluster/src/fixture.rs",
+        include_str!("fixtures/wallclock_fail.rs"),
+    );
+    assert_eq!(
+        rules_of(&diags),
+        vec![rules::NO_WALLCLOCK, rules::NO_WALLCLOCK],
+        "{diags:?}"
+    );
+}
+
 // ---- suppression hygiene ----------------------------------------------
 
 #[test]

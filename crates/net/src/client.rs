@@ -14,6 +14,7 @@
 
 use std::io;
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use adcast_ads::AdId;
@@ -22,9 +23,12 @@ use adcast_feed::FeedDelta;
 use adcast_graph::UserId;
 use adcast_stream::clock::Timestamp;
 use adcast_stream::event::LocationId;
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use crate::codec::{decode_response, encode_request, read_frame, write_frame, NetError};
-use crate::protocol::{CampaignSpec, Request, Response, ServerStats};
+use crate::protocol::{CampaignSpec, NodeStatus, Request, Response, ServerStats};
 
 /// Connection and retry knobs.
 #[derive(Debug, Clone)]
@@ -56,13 +60,37 @@ pub struct Client {
     config: ClientConfig,
 }
 
+/// Process-wide sequence feeding the reconnect jitter, so two clients in
+/// the same process (a loadgen worker fleet, a router's per-node pools)
+/// get different jitter streams even when dialing the same address.
+static JITTER_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A jitter RNG seeded from the dialed address and the process-wide
+/// sequence — deterministic (no wallclock, no OS entropy), but distinct
+/// per connect attempt and per dialing thread.
+fn jitter_rng(addr: &str) -> SmallRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for byte in addr.bytes() {
+        seed = (seed ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    seed ^= JITTER_SEQ
+        .fetch_add(1, Ordering::Relaxed)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    SmallRng::seed_from_u64(seed)
+}
+
 /// The shared connect-with-backoff loop (initial connect and reconnect).
+/// Each sleep is the exponential backoff plus up to 50% jitter: after a
+/// failover, every pool and worker notices the dead primary in the same
+/// instant, and unjittered backoff would have them all re-dial the
+/// promoted node in synchronized waves.
 fn connect_with_backoff(addr: &str, config: &ClientConfig) -> Result<TcpStream, NetError> {
+    let mut rng = jitter_rng(addr);
     let mut backoff = config.initial_backoff;
     let mut last: Option<io::Error> = None;
     for attempt in 0..config.connect_attempts.max(1) {
         if attempt > 0 {
-            std::thread::sleep(backoff);
+            std::thread::sleep(backoff.mul_f64(1.0 + rng.gen_range(0.0..0.5)));
             backoff = backoff.saturating_mul(2);
         }
         match TcpStream::connect(addr) {
@@ -317,6 +345,95 @@ impl Client {
             other => Err(unexpected(other)),
         }
     }
+
+    /// Ship committed WAL records to a follower; returns the follower's
+    /// `next_lsn` after making them durable **and** applying them.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] carries the typed refusals the replication
+    /// protocol turns on: [`crate::WireError::StaleEpoch`] (this sender
+    /// is deposed), [`crate::WireError::LsnGap`] (fall back to
+    /// [`Client::install_snapshot`]).
+    pub fn repl_append(
+        &mut self,
+        partition: u16,
+        epoch: u64,
+        entries: Vec<(u64, Bytes)>,
+    ) -> Result<u64, NetError> {
+        match self.call(&Request::ReplAppend {
+            partition,
+            epoch,
+            entries,
+        })? {
+            Response::ReplAck { durable_lsn } => Ok(durable_lsn),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ship a full engine-set snapshot to a follower for catch-up;
+    /// returns the follower's `next_lsn` after the install.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::repl_append`].
+    pub fn install_snapshot(
+        &mut self,
+        partition: u16,
+        epoch: u64,
+        snapshot: Bytes,
+    ) -> Result<u64, NetError> {
+        match self.call(&Request::InstallSnapshot {
+            partition,
+            epoch,
+            snapshot,
+        })? {
+            Response::SnapshotInstalled { next_lsn } => Ok(next_lsn),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Promote a follower to primary of `partition` under `epoch`;
+    /// returns `(epoch, next_lsn)` it now serves at.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] with [`crate::WireError::StaleEpoch`] when
+    /// the node already holds an equal-or-higher epoch.
+    pub fn promote(&mut self, partition: u16, epoch: u64) -> Result<(u64, u64), NetError> {
+        match self.call(&Request::Promote { partition, epoch })? {
+            Response::Promoted { epoch, next_lsn } => Ok((epoch, next_lsn)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// A node's cluster identity and replication position (served by
+    /// every role, including fenced nodes — it's how the router and the
+    /// smoke scripts observe failover).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ingest`].
+    pub fn cluster_status(&mut self) -> Result<NodeStatus, NetError> {
+        match self.call(&Request::ClusterStatus)? {
+            Response::ClusterStatusReply {
+                role,
+                partition,
+                epoch,
+                durable_lsn,
+                fenced,
+                degraded,
+            } => Ok(NodeStatus {
+                role,
+                partition,
+                epoch,
+                durable_lsn,
+                fenced,
+                degraded,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
 }
 
 /// Fold a non-matching reply into a typed error.
@@ -334,6 +451,10 @@ fn unexpected(resp: Response) -> NetError {
             Response::ObsDumped { .. } => "unexpected ObsDumped reply",
             Response::Stats(_) => "unexpected Stats reply",
             Response::ShutdownAck => "unexpected ShutdownAck reply",
+            Response::ReplAck { .. } => "unexpected ReplAck reply",
+            Response::SnapshotInstalled { .. } => "unexpected SnapshotInstalled reply",
+            Response::Promoted { .. } => "unexpected Promoted reply",
+            Response::ClusterStatusReply { .. } => "unexpected ClusterStatusReply reply",
             Response::Error(_) => unreachable!(),
         })),
     }

@@ -27,14 +27,18 @@ use adcast_stream::event::LocationId;
 use adcast_stream::trace::{check_stream_header, put_stream_header, TraceError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::protocol::{CampaignSpec, Request, Response, ServerStats, WireError};
+use crate::protocol::{CampaignSpec, NodeRole, Request, Response, ServerStats, WireError};
 
 /// Per-frame magic (the trace stream uses `ADCT`).
 pub const MAGIC: &[u8; 4] = b"ADCN";
 /// Wire protocol version. v2 added Impression/Checkpoint RPCs and the
 /// durability counters in the Stats reply; v3 added the ObsDump RPC; v4
-/// added the Maintain RPC (lifecycle maintenance passes).
-pub const VERSION: u16 = 4;
+/// added the Maintain RPC (lifecycle maintenance passes); v5 added the
+/// cluster surface — the `Routed` partition/epoch envelope, WAL
+/// replication (`ReplAppend`/`InstallSnapshot`), `Promote`,
+/// `ClusterStatus`, and the stale-epoch/wrong-partition/LSN-gap error
+/// codes.
+pub const VERSION: u16 = 5;
 /// Upper bound on a frame body; larger declared lengths are rejected
 /// before any allocation, so a malformed peer cannot OOM the server.
 pub const MAX_FRAME: usize = 64 << 20;
@@ -109,6 +113,11 @@ pub(crate) const K_IMPRESSION: u8 = 7;
 pub(crate) const K_CHECKPOINT: u8 = 8;
 pub(crate) const K_OBS_DUMP: u8 = 9;
 pub(crate) const K_MAINTAIN: u8 = 10;
+pub(crate) const K_ROUTED: u8 = 11;
+pub(crate) const K_REPL_APPEND: u8 = 12;
+pub(crate) const K_PROMOTE: u8 = 13;
+pub(crate) const K_INSTALL_SNAPSHOT: u8 = 14;
+pub(crate) const K_CLUSTER_STATUS: u8 = 15;
 // Response body kinds.
 const K_INGESTED: u8 = 0x81;
 const K_RECOMMENDATIONS: u8 = 0x82;
@@ -120,6 +129,10 @@ const K_IMPRESSION_ACK: u8 = 0x87;
 const K_CHECKPOINTED: u8 = 0x88;
 const K_OBS_DUMPED: u8 = 0x89;
 const K_MAINTAINED: u8 = 0x8A;
+const K_REPL_ACK: u8 = 0x8B;
+const K_PROMOTED: u8 = 0x8C;
+const K_SNAPSHOT_INSTALLED: u8 = 0x8D;
+const K_CLUSTER_STATUS_REPLY: u8 = 0x8E;
 const K_ERROR: u8 = 0xFF;
 // Error codes inside K_ERROR.
 const E_OVERLOADED: u8 = 1;
@@ -127,6 +140,10 @@ const E_UNAVAILABLE: u8 = 2;
 const E_SHUTTING_DOWN: u8 = 3;
 const E_BAD_REQUEST: u8 = 4;
 const E_UNKNOWN_CAMPAIGN: u8 = 5;
+const E_STALE_EPOCH: u8 = 6;
+const E_WRONG_PARTITION: u8 = 7;
+const E_LSN_GAP: u8 = 8;
+const E_NOT_PRIMARY: u8 = 9;
 
 /// Fail with `Truncated` instead of letting a `get_*` panic.
 fn need(data: &Bytes, n: usize) -> Result<(), NetError> {
@@ -137,6 +154,13 @@ fn need(data: &Bytes, n: usize) -> Result<(), NetError> {
 pub fn encode_request(id: u64, req: &Request) -> Bytes {
     let mut body = BytesMut::with_capacity(64);
     put_stream_header(&mut body, MAGIC, VERSION);
+    put_request(&mut body, id, req);
+    prefix_len(body)
+}
+
+/// Write `kind | id | payload` for one request (recursing once for the
+/// inner request of a [`Request::Routed`] envelope).
+fn put_request(body: &mut BytesMut, id: u64, req: &Request) {
     match req {
         Request::Ingest { deltas } => {
             body.put_u8(K_INGEST);
@@ -146,7 +170,7 @@ pub fn encode_request(id: u64, req: &Request) -> Bytes {
             // frame would blow MAX_FRAME long before the count overflows).
             body.put_u32_le(u32::try_from(deltas.len()).expect("batch too large"));
             for (user, delta) in deltas {
-                put_delta(&mut body, *user, delta);
+                put_delta(body, *user, delta);
             }
         }
         Request::Recommend {
@@ -165,7 +189,7 @@ pub fn encode_request(id: u64, req: &Request) -> Bytes {
         Request::SubmitCampaign(spec) => {
             body.put_u8(K_SUBMIT);
             body.put_u64_le(id);
-            put_vector(&mut body, &spec.vector);
+            put_vector(body, &spec.vector);
             body.put_f32_le(spec.bid);
             // adcast-lint: allow(no-panic-hot-path) -- LocationId is u16,
             // so a spec cannot name more than 65536 distinct locations.
@@ -177,7 +201,7 @@ pub fn encode_request(id: u64, req: &Request) -> Bytes {
             // handful of variants; a spec can never carry 256 slots.
             body.put_u8(u8::try_from(spec.slots.len()).expect("too many slots"));
             for slot in &spec.slots {
-                put_slot(&mut body, *slot);
+                put_slot(body, *slot);
             }
             match spec.budget {
                 Some(b) => {
@@ -234,8 +258,65 @@ pub fn encode_request(id: u64, req: &Request) -> Bytes {
             body.put_u8(K_SHUTDOWN);
             body.put_u64_le(id);
         }
+        Request::Routed {
+            partition,
+            epoch,
+            inner,
+        } => {
+            body.put_u8(K_ROUTED);
+            body.put_u64_le(id);
+            body.put_u16_le(*partition);
+            body.put_u64_le(*epoch);
+            put_request(body, id, inner);
+        }
+        Request::ReplAppend {
+            partition,
+            epoch,
+            entries,
+        } => {
+            body.put_u8(K_REPL_APPEND);
+            body.put_u64_le(id);
+            body.put_u16_le(*partition);
+            body.put_u64_le(*epoch);
+            // adcast-lint: allow(no-panic-hot-path) -- a batch of 4
+            // billion records would blow MAX_FRAME long before the
+            // count overflows u32.
+            body.put_u32_le(u32::try_from(entries.len()).expect("too many entries"));
+            for (lsn, record) in entries {
+                body.put_u64_le(*lsn);
+                // adcast-lint: allow(no-panic-hot-path) -- a single WAL
+                // record is itself bounded by the WAL's frame limit,
+                // far below u32::MAX.
+                body.put_u32_le(u32::try_from(record.len()).expect("record too large"));
+                body.put_slice(record);
+            }
+        }
+        Request::InstallSnapshot {
+            partition,
+            epoch,
+            snapshot,
+        } => {
+            body.put_u8(K_INSTALL_SNAPSHOT);
+            body.put_u64_le(id);
+            body.put_u16_le(*partition);
+            body.put_u64_le(*epoch);
+            // adcast-lint: allow(no-panic-hot-path) -- snapshot transfer
+            // is a rare catch-up path and EngineSetSnapshot::decode
+            // bounds the image at 1 GiB; u32 holds 4 GiB.
+            body.put_u32_le(u32::try_from(snapshot.len()).expect("snapshot too large"));
+            body.put_slice(snapshot);
+        }
+        Request::Promote { partition, epoch } => {
+            body.put_u8(K_PROMOTE);
+            body.put_u64_le(id);
+            body.put_u16_le(*partition);
+            body.put_u64_le(*epoch);
+        }
+        Request::ClusterStatus => {
+            body.put_u8(K_CLUSTER_STATUS);
+            body.put_u64_le(id);
+        }
     }
-    prefix_len(body)
 }
 
 /// Frame up one response.
@@ -326,6 +407,42 @@ pub fn encode_response(id: u64, resp: &Response) -> Bytes {
             body.put_u8(K_SHUTDOWN_ACK);
             body.put_u64_le(id);
         }
+        Response::ReplAck { durable_lsn } => {
+            body.put_u8(K_REPL_ACK);
+            body.put_u64_le(id);
+            body.put_u64_le(*durable_lsn);
+        }
+        Response::SnapshotInstalled { next_lsn } => {
+            body.put_u8(K_SNAPSHOT_INSTALLED);
+            body.put_u64_le(id);
+            body.put_u64_le(*next_lsn);
+        }
+        Response::Promoted { epoch, next_lsn } => {
+            body.put_u8(K_PROMOTED);
+            body.put_u64_le(id);
+            body.put_u64_le(*epoch);
+            body.put_u64_le(*next_lsn);
+        }
+        Response::ClusterStatusReply {
+            role,
+            partition,
+            epoch,
+            durable_lsn,
+            fenced,
+            degraded,
+        } => {
+            body.put_u8(K_CLUSTER_STATUS_REPLY);
+            body.put_u64_le(id);
+            body.put_u8(match role {
+                NodeRole::Standalone => 0,
+                NodeRole::Primary => 1,
+                NodeRole::Follower => 2,
+            });
+            body.put_u16_le(*partition);
+            body.put_u64_le(*epoch);
+            body.put_u64_le(*durable_lsn);
+            body.put_u8(u8::from(*fenced) | (u8::from(*degraded) << 1));
+        }
         Response::Error(e) => {
             body.put_u8(K_ERROR);
             body.put_u64_le(id);
@@ -344,6 +461,19 @@ pub fn encode_response(id: u64, resp: &Response) -> Bytes {
                     body.put_u8(E_UNKNOWN_CAMPAIGN);
                     body.put_u32_le(ad.0);
                 }
+                WireError::StaleEpoch { current } => {
+                    body.put_u8(E_STALE_EPOCH);
+                    body.put_u64_le(*current);
+                }
+                WireError::WrongPartition { expected } => {
+                    body.put_u8(E_WRONG_PARTITION);
+                    body.put_u16_le(*expected);
+                }
+                WireError::LsnGap { expected } => {
+                    body.put_u8(E_LSN_GAP);
+                    body.put_u64_le(*expected);
+                }
+                WireError::NotPrimary => body.put_u8(E_NOT_PRIMARY),
             }
         }
     }
@@ -375,19 +505,29 @@ fn open_frame(data: &mut Bytes) -> Result<(u8, u64), NetError> {
 ///
 /// Typed [`NetError`] on any malformation; never panics.
 pub fn decode_request(mut data: Bytes) -> Result<(u64, Request), NetError> {
-    let (kind, id) = open_frame(&mut data)?;
+    check_stream_header(&mut data, MAGIC, VERSION)?;
+    take_request(&mut data, true)
+}
+
+/// Read `kind | id | payload` for one request. `allow_routed` is false
+/// for the inner request of a [`Request::Routed`] envelope, so nesting
+/// depth is capped at one.
+fn take_request(data: &mut Bytes, allow_routed: bool) -> Result<(u64, Request), NetError> {
+    need(data, 9)?;
+    let kind = data.get_u8();
+    let id = data.get_u64_le();
     let req = match kind {
         K_INGEST => {
-            need(&data, 4)?;
+            need(data, 4)?;
             let n = data.get_u32_le() as usize;
             let mut deltas = Vec::with_capacity(n.min(65_536));
             for _ in 0..n {
-                deltas.push(get_delta(&mut data)?);
+                deltas.push(get_delta(data)?);
             }
             Request::Ingest { deltas }
         }
         K_RECOMMEND => {
-            need(&data, 16)?;
+            need(data, 16)?;
             Request::Recommend {
                 user: UserId(data.get_u32_le()),
                 now: Timestamp(data.get_u64_le()),
@@ -396,31 +536,31 @@ pub fn decode_request(mut data: Bytes) -> Result<(u64, Request), NetError> {
             }
         }
         K_SUBMIT => {
-            let vector = get_vector(&mut data)?;
-            need(&data, 6)?;
+            let vector = get_vector(data)?;
+            need(data, 6)?;
             let bid = data.get_f32_le();
             let nloc = data.get_u16_le() as usize;
-            need(&data, nloc * 2)?;
+            need(data, nloc * 2)?;
             let locations = (0..nloc).map(|_| LocationId(data.get_u16_le())).collect();
-            need(&data, 1)?;
+            need(data, 1)?;
             let nslots = data.get_u8() as usize;
             let mut slots = Vec::with_capacity(nslots);
             for _ in 0..nslots {
-                slots.push(get_slot(&mut data)?);
+                slots.push(get_slot(data)?);
             }
-            need(&data, 1)?;
+            need(data, 1)?;
             let budget = match data.get_u8() {
                 0 => None,
                 _ => {
-                    need(&data, 8)?;
+                    need(data, 8)?;
                     Some(data.get_f64_le())
                 }
             };
-            need(&data, 1)?;
+            need(data, 1)?;
             let topic_hint = match data.get_u8() {
                 0 => None,
                 _ => {
-                    need(&data, 4)?;
+                    need(data, 4)?;
                     Some(data.get_u32_le())
                 }
             };
@@ -434,13 +574,13 @@ pub fn decode_request(mut data: Bytes) -> Result<(u64, Request), NetError> {
             })
         }
         K_PAUSE => {
-            need(&data, 4)?;
+            need(data, 4)?;
             Request::PauseCampaign {
                 ad: AdId(data.get_u32_le()),
             }
         }
         K_IMPRESSION => {
-            need(&data, 4 + 8 + 1 + 8)?;
+            need(data, 4 + 8 + 1 + 8)?;
             let ad = AdId(data.get_u32_le());
             let cost = data.get_f64_le();
             if !cost.is_finite() || cost < 0.0 {
@@ -459,7 +599,7 @@ pub fn decode_request(mut data: Bytes) -> Result<(u64, Request), NetError> {
             }
         }
         K_MAINTAIN => {
-            need(&data, 16)?;
+            need(data, 16)?;
             Request::Maintain {
                 now: Timestamp(data.get_u64_le()),
                 idle_for: adcast_stream::clock::Duration(data.get_u64_le()),
@@ -469,6 +609,62 @@ pub fn decode_request(mut data: Bytes) -> Result<(u64, Request), NetError> {
         K_OBS_DUMP => Request::ObsDump,
         K_STATS => Request::Stats,
         K_SHUTDOWN => Request::Shutdown,
+        K_ROUTED => {
+            if !allow_routed {
+                return Err(TraceError::Corrupt("nested routed envelope").into());
+            }
+            need(data, 10)?;
+            let partition = data.get_u16_le();
+            let epoch = data.get_u64_le();
+            let (inner_id, inner) = take_request(data, false)?;
+            if inner_id != id {
+                return Err(TraceError::Corrupt("routed inner id mismatch").into());
+            }
+            Request::Routed {
+                partition,
+                epoch,
+                inner: Box::new(inner),
+            }
+        }
+        K_REPL_APPEND => {
+            need(data, 14)?;
+            let partition = data.get_u16_le();
+            let epoch = data.get_u64_le();
+            let n = data.get_u32_le() as usize;
+            let mut entries = Vec::with_capacity(n.min(65_536));
+            for _ in 0..n {
+                need(data, 12)?;
+                let lsn = data.get_u64_le();
+                let len = data.get_u32_le() as usize;
+                need(data, len)?;
+                entries.push((lsn, data.split_to(len)));
+            }
+            Request::ReplAppend {
+                partition,
+                epoch,
+                entries,
+            }
+        }
+        K_INSTALL_SNAPSHOT => {
+            need(data, 14)?;
+            let partition = data.get_u16_le();
+            let epoch = data.get_u64_le();
+            let len = data.get_u32_le() as usize;
+            need(data, len)?;
+            Request::InstallSnapshot {
+                partition,
+                epoch,
+                snapshot: data.split_to(len),
+            }
+        }
+        K_PROMOTE => {
+            need(data, 10)?;
+            Request::Promote {
+                partition: data.get_u16_le(),
+                epoch: data.get_u64_le(),
+            }
+        }
+        K_CLUSTER_STATUS => Request::ClusterStatus,
         _ => return Err(TraceError::Corrupt("unknown request kind").into()),
     };
     Ok((id, req))
@@ -566,6 +762,49 @@ pub fn decode_response(mut data: Bytes) -> Result<(u64, Response), NetError> {
             })
         }
         K_SHUTDOWN_ACK => Response::ShutdownAck,
+        K_REPL_ACK => {
+            need(&data, 8)?;
+            Response::ReplAck {
+                durable_lsn: data.get_u64_le(),
+            }
+        }
+        K_SNAPSHOT_INSTALLED => {
+            need(&data, 8)?;
+            Response::SnapshotInstalled {
+                next_lsn: data.get_u64_le(),
+            }
+        }
+        K_PROMOTED => {
+            need(&data, 16)?;
+            Response::Promoted {
+                epoch: data.get_u64_le(),
+                next_lsn: data.get_u64_le(),
+            }
+        }
+        K_CLUSTER_STATUS_REPLY => {
+            need(&data, 1 + 2 + 8 + 8 + 1)?;
+            let role = match data.get_u8() {
+                0 => NodeRole::Standalone,
+                1 => NodeRole::Primary,
+                2 => NodeRole::Follower,
+                _ => return Err(TraceError::Corrupt("unknown cluster role").into()),
+            };
+            let partition = data.get_u16_le();
+            let epoch = data.get_u64_le();
+            let durable_lsn = data.get_u64_le();
+            let flags = data.get_u8();
+            if flags & !0b11 != 0 {
+                return Err(TraceError::Corrupt("bad cluster status flags").into());
+            }
+            Response::ClusterStatusReply {
+                role,
+                partition,
+                epoch,
+                durable_lsn,
+                fenced: flags & 1 != 0,
+                degraded: flags & 2 != 0,
+            }
+        }
         K_ERROR => {
             need(&data, 1)?;
             let err = match data.get_u8() {
@@ -584,6 +823,25 @@ pub fn decode_response(mut data: Bytes) -> Result<(u64, Response), NetError> {
                     need(&data, 4)?;
                     WireError::UnknownCampaign(AdId(data.get_u32_le()))
                 }
+                E_STALE_EPOCH => {
+                    need(&data, 8)?;
+                    WireError::StaleEpoch {
+                        current: data.get_u64_le(),
+                    }
+                }
+                E_WRONG_PARTITION => {
+                    need(&data, 2)?;
+                    WireError::WrongPartition {
+                        expected: data.get_u16_le(),
+                    }
+                }
+                E_LSN_GAP => {
+                    need(&data, 8)?;
+                    WireError::LsnGap {
+                        expected: data.get_u64_le(),
+                    }
+                }
+                E_NOT_PRIMARY => WireError::NotPrimary,
                 _ => return Err(TraceError::Corrupt("unknown error code").into()),
             };
             Response::Error(err)
@@ -730,6 +988,52 @@ mod tests {
             Request::ObsDump,
             Request::Stats,
             Request::Shutdown,
+            Request::Routed {
+                partition: 3,
+                epoch: 7,
+                inner: Box::new(Request::Recommend {
+                    user: UserId(42),
+                    now: Timestamp::from_secs(9),
+                    location: LocationId(1),
+                    k: 5,
+                }),
+            },
+            Request::Routed {
+                partition: 0,
+                epoch: 1,
+                inner: Box::new(Request::Ingest {
+                    deltas: vec![(
+                        UserId(4),
+                        FeedDelta {
+                            entered: Some(msg(5)),
+                            evicted: vec![],
+                        },
+                    )],
+                }),
+            },
+            Request::ReplAppend {
+                partition: 1,
+                epoch: 2,
+                entries: vec![
+                    (7, Bytes::from_static(&[1, 2, 3, 4])),
+                    (8, Bytes::from_static(&[9])),
+                ],
+            },
+            Request::ReplAppend {
+                partition: 0,
+                epoch: 1,
+                entries: vec![],
+            },
+            Request::InstallSnapshot {
+                partition: 2,
+                epoch: 4,
+                snapshot: Bytes::from_static(b"ADSSxxxx"),
+            },
+            Request::Promote {
+                partition: 1,
+                epoch: 3,
+            },
+            Request::ClusterStatus,
         ]
     }
 
@@ -786,11 +1090,37 @@ mod tests {
                 recovered_truncated_bytes: 41,
             }),
             Response::ShutdownAck,
+            Response::ReplAck { durable_lsn: 41 },
+            Response::SnapshotInstalled { next_lsn: 42 },
+            Response::Promoted {
+                epoch: 3,
+                next_lsn: 77,
+            },
+            Response::ClusterStatusReply {
+                role: NodeRole::Primary,
+                partition: 1,
+                epoch: 3,
+                durable_lsn: 76,
+                fenced: false,
+                degraded: true,
+            },
+            Response::ClusterStatusReply {
+                role: NodeRole::Follower,
+                partition: 0,
+                epoch: 2,
+                durable_lsn: 12,
+                fenced: true,
+                degraded: false,
+            },
             Response::Error(WireError::Overloaded),
             Response::Error(WireError::Unavailable),
             Response::Error(WireError::ShuttingDown),
             Response::Error(WireError::BadRequest("user 7 out of range".into())),
             Response::Error(WireError::UnknownCampaign(AdId(5))),
+            Response::Error(WireError::StaleEpoch { current: 4 }),
+            Response::Error(WireError::WrongPartition { expected: 2 }),
+            Response::Error(WireError::LsnGap { expected: 9 }),
+            Response::Error(WireError::NotPrimary),
         ]
     }
 
@@ -956,6 +1286,88 @@ mod tests {
                 "cost {bad}: {err}"
             );
         }
+    }
+
+    #[test]
+    fn nested_routed_envelope_rejected() {
+        let inner = Request::Routed {
+            partition: 1,
+            epoch: 2,
+            inner: Box::new(Request::Stats),
+        };
+        let outer = Request::Routed {
+            partition: 1,
+            epoch: 2,
+            inner: Box::new(inner),
+        };
+        let err = decode_request(body_of(&encode_request(1, &outer))).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetError::Decode(TraceError::Corrupt("nested routed envelope"))
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn routed_inner_id_mismatch_rejected() {
+        // Splice an inner frame with a different id into a routed
+        // envelope: the decoder must refuse rather than silently
+        // re-associate the response stream.
+        let mut body = BytesMut::new();
+        put_stream_header(&mut body, MAGIC, VERSION);
+        body.put_u8(K_ROUTED);
+        body.put_u64_le(1);
+        body.put_u16_le(0);
+        body.put_u64_le(1);
+        put_request(&mut body, 2, &Request::Stats);
+        let err = decode_request(body.freeze()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetError::Decode(TraceError::Corrupt("routed inner id mismatch"))
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn bad_cluster_role_and_flags_rejected() {
+        let resp = Response::ClusterStatusReply {
+            role: NodeRole::Primary,
+            partition: 1,
+            epoch: 3,
+            durable_lsn: 9,
+            fenced: false,
+            degraded: false,
+        };
+        let base = body_of(&encode_response(1, &resp)).to_vec();
+        // Role byte sits right after header(8) + kind(1) + id(8).
+        let mut bad_role = base.clone();
+        bad_role[8 + 1 + 8] = 9;
+        let err = decode_response(Bytes::from(bad_role)).unwrap_err();
+        assert!(
+            matches!(err, NetError::Decode(TraceError::Corrupt(_))),
+            "{err}"
+        );
+        // Flags byte is the last byte of the frame.
+        let mut bad_flags = base;
+        *bad_flags.last_mut().unwrap() = 0b100;
+        let err = decode_response(Bytes::from(bad_flags)).unwrap_err();
+        assert!(
+            matches!(err, NetError::Decode(TraceError::Corrupt(_))),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn stale_epoch_travels_typed() {
+        // A stale-epoch refusal must come back as the typed error (with
+        // the node's epoch), not as silence or a closed connection.
+        let frame = encode_response(4, &Response::Error(WireError::StaleEpoch { current: 11 }));
+        let (_, got) = decode_response(body_of(&frame)).unwrap();
+        assert_eq!(got, Response::Error(WireError::StaleEpoch { current: 11 }));
     }
 
     #[test]

@@ -4,21 +4,29 @@
 //! engine: a length-prefixed binary [`mod@protocol`] sharing its framing
 //! guards with the trace codec, a threaded [`mod@server`] with bounded-queue
 //! admission control and graceful drain-on-shutdown, a blocking
-//! [`mod@client`] with retry/backoff, and a closed-loop [`mod@loadgen`]
-//! that replays the [`mod@synth`] workload over real sockets.
+//! [`mod@client`] with retry/backoff, a closed-loop [`mod@loadgen`]
+//! that replays the [`mod@synth`] workload over real sockets, and the
+//! transport-free [`mod@replication`] core that `adcast-cluster` runs
+//! over TCP for partitioned primary/backup serving.
 //!
 //! See `DESIGN.md` § "Serving layer" for the wire format and threading
-//! diagram, and experiment E13 for the offered-load sweep this powers.
+//! diagram, § 14 for the cluster protocol, and experiment E13 for the
+//! offered-load sweep this powers.
 
 pub mod client;
 pub mod codec;
 pub mod loadgen;
 pub mod protocol;
+pub mod replication;
 pub mod server;
 pub mod synth;
 
 pub use client::{Client, ClientConfig};
 pub use codec::NetError;
 pub use loadgen::{scrape_obs, LoadgenConfig, LoadgenReport, ObsScrape, STAGE_FAMILIES};
-pub use protocol::{CampaignSpec, Request, Response, ServerStats, WireError};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use protocol::{CampaignSpec, NodeRole, NodeStatus, Request, Response, ServerStats, WireError};
+pub use replication::{
+    install_snapshot_on, promote, replica_append, ClusterState, ReplObs, ReplicaError,
+    ReplicaSetup, ReplicateError, ReplicationSink,
+};
+pub use server::{ClusterConfig, Server, ServerConfig, ServerHandle};

@@ -13,6 +13,7 @@ use adcast_graph::UserId;
 use adcast_stream::clock::Timestamp;
 use adcast_stream::event::{LocationId, TimeSlot};
 use adcast_text::SparseVector;
+use bytes::Bytes;
 
 /// A client → server RPC.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +75,89 @@ pub enum Request {
     Stats,
     /// Graceful shutdown: drain queued requests, then stop serving.
     Shutdown,
+    /// A partition-routed envelope (wire v5). The router stamps the
+    /// target partition and its view of the partition's epoch; the
+    /// node refuses the inner request with a typed error when either
+    /// disagrees ([`WireError::WrongPartition`] /
+    /// [`WireError::StaleEpoch`]), which is how a fenced stale primary
+    /// or a router with an outdated map finds out. Nesting a `Routed`
+    /// inside a `Routed` is a decode error.
+    Routed {
+        /// Partition the router believes owns this request's user(s).
+        partition: u16,
+        /// Router's view of the partition epoch (bumped on promotion).
+        epoch: u64,
+        /// The request being routed.
+        inner: Box<Request>,
+    },
+    /// Primary → follower: append committed WAL records. Each entry is
+    /// `(lsn, WalRecord encoding)`; LSNs must continue the follower's
+    /// sequence exactly or the follower answers [`WireError::LsnGap`]
+    /// (the primary then falls back to snapshot transfer).
+    ReplAppend {
+        /// Partition these records belong to.
+        partition: u16,
+        /// Sender's epoch; a lower epoch than the follower's is fenced
+        /// with [`WireError::StaleEpoch`].
+        epoch: u64,
+        /// `(lsn, encoded record)` pairs in LSN order.
+        entries: Vec<(u64, Bytes)>,
+    },
+    /// Primary → rejoining/rebalanced node: install a full engine-set
+    /// snapshot ([`adcast_durability::EngineSetSnapshot`] encoding,
+    /// which carries its own `next_lsn`), replacing the target's WAL
+    /// and state wholesale.
+    InstallSnapshot {
+        /// Partition the snapshot belongs to.
+        partition: u16,
+        /// Sender's epoch (same fencing rule as `ReplAppend`).
+        epoch: u64,
+        /// `EngineSetSnapshot::encode()` bytes.
+        snapshot: Bytes,
+    },
+    /// Router → follower: take over the partition under a bumped epoch.
+    /// Idempotent — re-promoting at the same or lower epoch than one
+    /// already held answers [`WireError::StaleEpoch`].
+    Promote {
+        /// Partition being promoted.
+        partition: u16,
+        /// The new (bumped) epoch the node must adopt.
+        epoch: u64,
+    },
+    /// Ask a node for its cluster role/epoch/durable-LSN view (used by
+    /// the router's failure detector and the cluster smoke scripts).
+    ClusterStatus,
+}
+
+/// A node's replication role as reported by [`Request::ClusterStatus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Not participating in a cluster (no partition assigned).
+    Standalone,
+    /// Owns its partition and accepts client writes.
+    Primary,
+    /// Mirrors a primary; refuses client writes with
+    /// [`WireError::NotPrimary`].
+    Follower,
+}
+
+/// A node's cluster identity and replication position, as assembled by
+/// [`crate::Client::cluster_status`] from the
+/// [`Response::ClusterStatusReply`] fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeStatus {
+    /// Current role.
+    pub role: NodeRole,
+    /// Partition the node owns/mirrors (0 for standalone).
+    pub partition: u16,
+    /// Epoch the node holds.
+    pub epoch: u64,
+    /// The node's `next_lsn`: every LSN below it is locally durable.
+    pub durable_lsn: u64,
+    /// A fenced stale primary refuses writes until re-enrolled.
+    pub fenced: bool,
+    /// Primary running without a reachable follower.
+    pub degraded: bool,
 }
 
 /// Campaign ingredients as they travel on the wire ([`AdSubmission`]
@@ -185,6 +269,42 @@ pub enum Response {
     Stats(ServerStats),
     /// Shutdown acknowledged; the server is draining.
     ShutdownAck,
+    /// The replicated records are durable on the follower up to (but not
+    /// including) this LSN.
+    ReplAck {
+        /// The follower's `next_lsn` after logging, fsyncing, and
+        /// applying the batch — every LSN below it is durable there.
+        durable_lsn: u64,
+    },
+    /// The snapshot is installed; the node's WAL restarts here.
+    SnapshotInstalled {
+        /// First LSN the node will assign after the install.
+        next_lsn: u64,
+    },
+    /// The node now serves its partition as primary under this epoch.
+    Promoted {
+        /// Epoch the node adopted.
+        epoch: u64,
+        /// Next LSN the node will assign (== every acked delta it has).
+        next_lsn: u64,
+    },
+    /// The node's cluster view.
+    ClusterStatusReply {
+        /// Current role.
+        role: NodeRole,
+        /// Partition the node owns/mirrors (0 for standalone).
+        partition: u16,
+        /// Epoch the node holds.
+        epoch: u64,
+        /// The node's `next_lsn`: every LSN below it is locally durable
+        /// (0 when the node runs without a data directory).
+        durable_lsn: u64,
+        /// A fenced stale primary refuses writes until re-enrolled.
+        fenced: bool,
+        /// Primary running without a reachable follower (acks are
+        /// local-durable only).
+        degraded: bool,
+    },
     /// The request failed.
     Error(WireError),
 }
@@ -205,6 +325,27 @@ pub enum WireError {
     BadRequest(String),
     /// No such active campaign.
     UnknownCampaign(AdId),
+    /// The frame's epoch does not match the node's. Carries the node's
+    /// current epoch so the sender can reconcile (a router refreshes
+    /// its map; a stale primary fences itself).
+    StaleEpoch {
+        /// Epoch the node currently holds.
+        current: u64,
+    },
+    /// The routed partition is not the one this node owns.
+    WrongPartition {
+        /// Partition the node actually owns.
+        expected: u16,
+    },
+    /// Replicated LSNs do not continue the follower's sequence; the
+    /// sender must fall back to snapshot transfer.
+    LsnGap {
+        /// LSN the follower expected next.
+        expected: u64,
+    },
+    /// A client write reached a follower; only the primary accepts
+    /// writes.
+    NotPrimary,
 }
 
 impl std::fmt::Display for WireError {
@@ -215,6 +356,16 @@ impl std::fmt::Display for WireError {
             WireError::ShuttingDown => write!(f, "server shutting down"),
             WireError::BadRequest(why) => write!(f, "bad request: {why}"),
             WireError::UnknownCampaign(ad) => write!(f, "unknown campaign {}", ad.0),
+            WireError::StaleEpoch { current } => {
+                write!(f, "stale epoch (node is at epoch {current})")
+            }
+            WireError::WrongPartition { expected } => {
+                write!(f, "wrong partition (node owns partition {expected})")
+            }
+            WireError::LsnGap { expected } => {
+                write!(f, "replication lsn gap (follower expects lsn {expected})")
+            }
+            WireError::NotPrimary => write!(f, "node is a follower; writes go to the primary"),
         }
     }
 }

@@ -57,13 +57,18 @@ use std::time::Duration;
 
 use adcast_ads::{AdStore, CampaignState};
 use adcast_core::ShardedDriver;
-use adcast_durability::{apply_record, ApplyEffect, Durability, WalRecord};
+use adcast_durability::{apply_record, ApplyEffect, Durability, EngineSetSnapshot, WalRecord};
 use adcast_metrics::LatencyHistogram;
 use adcast_obs::{flightrec, Counter, EventKind, Gauge, Hist};
 use adcast_stream::clock::now_ns;
+use bytes::Bytes;
 
 use crate::codec::{self, decode_request, encode_response, read_frame, write_frame, NetError};
-use crate::protocol::{Request, Response, ServerStats, WireError};
+use crate::protocol::{NodeRole, Request, Response, ServerStats, WireError};
+use crate::replication::{
+    install_snapshot_on, promote, replica_append, ClusterState, ReplObs, ReplicaSetup,
+    ReplicateError, ReplicationSink,
+};
 
 /// An Ingest whose engine service time exceeds this (in clock
 /// nanoseconds) gets a `SlowDelta` flight-recorder event (hot-path budget
@@ -93,6 +98,21 @@ impl Default for ServerConfig {
             flightrec_path: None,
         }
     }
+}
+
+/// Cluster-mode wiring for a node: its identity plus the replication
+/// plumbing for its role. The default is a standalone node — exactly the
+/// pre-cluster server.
+#[derive(Default)]
+pub struct ClusterConfig {
+    /// The node's role, partition, and epoch.
+    pub state: ClusterState,
+    /// Primary side: transport to this partition's follower. A primary
+    /// without one serves degraded (local-durable acks only).
+    pub sink: Option<Box<dyn ReplicationSink>>,
+    /// Follower side: what [`install_snapshot_on`] needs to rebuild the
+    /// node from a shipped image.
+    pub replica: Option<ReplicaSetup>,
 }
 
 /// One admitted RPC in flight to the engine thread. (The reader keeps
@@ -183,6 +203,11 @@ fn req_kind_code(req: &Request) -> u64 {
         Request::Checkpoint => codec::K_CHECKPOINT,
         Request::ObsDump => codec::K_OBS_DUMP,
         Request::Maintain { .. } => codec::K_MAINTAIN,
+        Request::Routed { .. } => codec::K_ROUTED,
+        Request::ReplAppend { .. } => codec::K_REPL_APPEND,
+        Request::Promote { .. } => codec::K_PROMOTE,
+        Request::InstallSnapshot { .. } => codec::K_INSTALL_SNAPSHOT,
+        Request::ClusterStatus => codec::K_CLUSTER_STATUS,
     })
 }
 
@@ -233,6 +258,34 @@ impl Server {
         driver: ShardedDriver,
         durability: Option<Durability>,
     ) -> Result<Server, NetError> {
+        Server::start_cluster(
+            addr,
+            config,
+            store,
+            driver,
+            durability,
+            ClusterConfig::default(),
+        )
+    }
+
+    /// Like [`Server::start_durable`], but with a cluster identity: the
+    /// node admits `Routed` envelopes for its partition/epoch, a primary
+    /// ships committed WAL records through `cluster.sink` before acking
+    /// (the replication ack ladder — see DESIGN § 14), and a follower
+    /// serves the replication RPCs and refuses client writes with
+    /// [`WireError::NotPrimary`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on bind or thread-spawn failures.
+    pub fn start_cluster(
+        addr: &str,
+        config: ServerConfig,
+        store: AdStore,
+        driver: ShardedDriver,
+        durability: Option<Durability>,
+        cluster: ClusterConfig,
+    ) -> Result<Server, NetError> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared::default());
@@ -244,10 +297,14 @@ impl Server {
                 store,
                 driver,
                 durability,
+                cluster: cluster.state,
+                sink: cluster.sink,
+                replica: cluster.replica,
                 shared: Arc::clone(&shared),
                 queue_depth: config.queue_depth.max(1),
                 flightrec_path: config.flightrec_path.clone(),
                 obs: obs.clone(),
+                repl_obs: ReplObs::resolve(),
                 rpcs: 0,
                 ingest_lat: LatencyHistogram::new(),
                 recommend_lat: LatencyHistogram::new(),
@@ -362,9 +419,16 @@ fn accept_loop(
     // disconnects and it exits (if the Shutdown drain has not already).
 }
 
-/// Should this request be shed when the queue is full?
+/// Should this request be shed when the queue is full? Routed envelopes
+/// inherit their inner request's class; replication traffic is
+/// control-plane (shedding a `ReplAppend` would force a snapshot
+/// transfer for a momentary queue spike).
 fn sheddable(req: &Request) -> bool {
-    matches!(req, Request::Ingest { .. } | Request::Recommend { .. })
+    match req {
+        Request::Ingest { .. } | Request::Recommend { .. } => true,
+        Request::Routed { inner, .. } => sheddable(inner),
+        _ => false,
+    }
 }
 
 fn connection_loop(
@@ -443,10 +507,18 @@ struct Engine {
     store: AdStore,
     driver: ShardedDriver,
     durability: Option<Durability>,
+    /// The node's cluster identity; mutated only here (fencing on a
+    /// stale-epoch refusal, promotion, degraded-mode transitions).
+    cluster: ClusterState,
+    /// Primary side: transport to this partition's follower.
+    sink: Option<Box<dyn ReplicationSink>>,
+    /// Follower side: rebuild recipe for snapshot installs.
+    replica: Option<ReplicaSetup>,
     shared: Arc<Shared>,
     queue_depth: usize,
     flightrec_path: Option<PathBuf>,
     obs: NetObs,
+    repl_obs: ReplObs,
     rpcs: u64,
     ingest_lat: LatencyHistogram,
     recommend_lat: LatencyHistogram,
@@ -458,8 +530,7 @@ impl Engine {
         // gone (host-side `Server::shutdown` + all readers exited).
         let mut draining = false;
         while let Ok(cmd) = cmd_rx.recv() {
-            let is_shutdown = matches!(cmd.req, Request::Shutdown);
-            self.serve_one(cmd);
+            let is_shutdown = self.serve_one(cmd);
             // Periodic snapshots happen between RPCs, where the worker pool
             // is idle — the engine thread sees a consistent cut for free.
             if let Some(d) = self.durability.as_mut() {
@@ -489,19 +560,35 @@ impl Engine {
         // in-flight snapshot finishes.
     }
 
-    /// WAL-log `record` (when durability is on), group-commit it, then
-    /// apply it through the shared [`apply_record`] path. A commit failure
+    /// WAL-log `record` (when durability is on), group-commit it, apply
+    /// it through the shared [`apply_record`] path, then — on a cluster
+    /// primary — ship it to the follower and wait for the durable ack
+    /// (the replication ack ladder; see DESIGN § 14). A commit failure
     /// means the mutation is **not durable**: it is refused without being
     /// applied, so memory and log can never diverge.
     fn log_apply(&mut self, record: WalRecord) -> Result<ApplyEffect, WireError> {
+        if self.cluster.fenced {
+            // A deposed primary must not accept writes the promoted
+            // follower will never see.
+            return Err(WireError::StaleEpoch {
+                current: self.cluster.epoch,
+            });
+        }
+        let mut shipment: Option<(u64, Bytes)> = None;
         if let Some(d) = self.durability.as_mut() {
             let wal_started = now_ns();
-            let committed = d.log(&record).is_ok() && d.commit().is_ok();
+            let logged = d.log(&record);
+            let committed = logged.is_ok() && d.commit().is_ok();
             self.obs
                 .wal_commit_ns
                 .record(now_ns().saturating_sub(wal_started));
             if !committed {
                 return Err(WireError::Unavailable);
+            }
+            if self.sink.is_some() {
+                if let Ok(lsn) = logged {
+                    shipment = Some((lsn, record.encode()));
+                }
             }
         }
         let apply_started = now_ns();
@@ -509,34 +596,160 @@ impl Engine {
         self.obs
             .engine_apply_ns
             .record(now_ns().saturating_sub(apply_started));
-        outcome.map_err(|why| {
+        let effect = outcome.map_err(|why| {
             if self.driver.is_dead() {
                 WireError::Unavailable
             } else {
                 WireError::BadRequest(why)
             }
-        })
+        })?;
+        if let Some((lsn, payload)) = shipment {
+            self.replicate(lsn, payload)?;
+        }
+        Ok(effect)
     }
 
-    fn serve_one(&mut self, cmd: Cmd) {
+    /// Ship one committed record to the follower and block for its
+    /// durable ack. Failure policy: an epoch refusal fences this node
+    /// (it has been deposed), an LSN gap falls back to snapshot-transfer
+    /// catch-up, and an unreachable follower degrades the primary to
+    /// local-durable acks rather than stalling the partition.
+    fn replicate(&mut self, lsn: u64, payload: Bytes) -> Result<(), WireError> {
+        let epoch = self.cluster.epoch;
+        let Some(sink) = self.sink.as_mut() else {
+            return Ok(());
+        };
+        let ship_started = now_ns();
+        let outcome = sink.replicate(epoch, &[(lsn, payload)]);
+        self.repl_obs
+            .ship_ns
+            .record(now_ns().saturating_sub(ship_started));
+        match outcome {
+            Ok(follower_next) => {
+                self.repl_obs.shipped_total.inc();
+                self.cluster.degraded = false;
+                let next = self
+                    .durability
+                    .as_ref()
+                    .map_or(lsn + 1, Durability::next_lsn);
+                let lag = next.saturating_sub(follower_next);
+                self.repl_obs
+                    .lag_records
+                    .set(i64::try_from(lag).unwrap_or(i64::MAX));
+                Ok(())
+            }
+            Err(ReplicateError::Fenced { current }) => {
+                self.cluster.fenced = true;
+                self.repl_obs.fenced_total.inc();
+                Err(WireError::StaleEpoch { current })
+            }
+            Err(ReplicateError::LsnGap { .. }) => self.catch_up_follower(),
+            Err(ReplicateError::Unreachable) => {
+                if !self.cluster.degraded {
+                    self.cluster.degraded = true;
+                    self.repl_obs.degraded_total.inc();
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Snapshot-transfer catch-up: the follower's WAL does not continue
+    /// ours (fresh node, rejoin after divergence), so ship the full
+    /// image. The capture happens post-apply, so it already contains the
+    /// record whose shipment detected the gap — no entry retry needed.
+    fn catch_up_follower(&mut self) -> Result<(), WireError> {
+        let Some(d) = self.durability.as_ref() else {
+            return Ok(());
+        };
+        let image = EngineSetSnapshot::capture(d.next_lsn(), &self.store, &self.driver).encode();
+        self.repl_obs.snapshots_shipped_total.inc();
+        let epoch = self.cluster.epoch;
+        let Some(sink) = self.sink.as_mut() else {
+            return Ok(());
+        };
+        match sink.install(epoch, image) {
+            Ok(_) => {
+                self.cluster.degraded = false;
+                self.repl_obs.lag_records.set(0);
+                Ok(())
+            }
+            Err(ReplicateError::Fenced { current }) => {
+                self.cluster.fenced = true;
+                self.repl_obs.fenced_total.inc();
+                Err(WireError::StaleEpoch { current })
+            }
+            Err(_) => {
+                if !self.cluster.degraded {
+                    self.cluster.degraded = true;
+                    self.repl_obs.degraded_total.inc();
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Serve one admitted command; returns whether it acked a shutdown
+    /// (the signal for [`Engine::run`] to enter the drain phase).
+    fn serve_one(&mut self, cmd: Cmd) -> bool {
+        let Cmd {
+            req,
+            reply,
+            enqueued_ns,
+        } = cmd;
         self.rpcs += 1;
         self.obs.rpcs_total.inc();
-        let queue_wait_ns = now_ns().saturating_sub(cmd.enqueued_ns);
+        let queue_wait_ns = now_ns().saturating_sub(enqueued_ns);
         self.obs.queue_wait_ns.record(queue_wait_ns);
         flightrec().record(
             EventKind::Admission,
-            req_kind_code(&cmd.req),
+            req_kind_code(&req),
             queue_wait_ns / 1_000,
             0,
         );
+        // Unwrap the routing envelope before anything else: partition
+        // and epoch admission happens first, and an admitted inner
+        // request then flows through exactly the standalone pipeline.
+        let req = match req {
+            Request::Routed {
+                partition,
+                epoch,
+                inner,
+            } => {
+                if let Err(err) = self.cluster.admit(partition, epoch) {
+                    let _ = reply.send(Response::Error(err));
+                    return false;
+                }
+                *inner
+            }
+            req => req,
+        };
+        // Followers mirror the primary and serve only replication and
+        // control RPCs; client traffic is refused with a typed error so
+        // the router (or a misdirected client) knows to go to the
+        // primary rather than seeing timeouts or wrong answers.
+        if self.cluster.role == NodeRole::Follower
+            && matches!(
+                req,
+                Request::Ingest { .. }
+                    | Request::Recommend { .. }
+                    | Request::SubmitCampaign(_)
+                    | Request::PauseCampaign { .. }
+                    | Request::Impression { .. }
+                    | Request::Maintain { .. }
+            )
+        {
+            let _ = reply.send(Response::Error(WireError::NotPrimary));
+            return false;
+        }
         // For a SlowDelta event we need the batch's lead user after the
         // deltas have been moved into the WAL record.
-        let ingest_lead_user = match &cmd.req {
+        let ingest_lead_user = match &req {
             Request::Ingest { deltas } => deltas.first().map(|(u, _)| u64::from(u.0)),
             _ => None,
         };
         let started = now_ns();
-        let resp = match cmd.req {
+        let resp = match req {
             Request::Ingest { deltas } => {
                 if self.driver.is_dead() {
                     Response::Error(WireError::Unavailable)
@@ -702,6 +915,88 @@ impl Engine {
                     recovered_truncated_bytes: dur.recovered_truncated_bytes,
                 })
             }
+            Request::ReplAppend {
+                partition,
+                epoch,
+                entries,
+            } => {
+                if let Err(err) = self.cluster.admit(partition, epoch) {
+                    Response::Error(err)
+                } else if self.cluster.role != NodeRole::Follower {
+                    Response::Error(WireError::BadRequest(
+                        "replication append to a non-follower".into(),
+                    ))
+                } else {
+                    match self.durability.as_mut() {
+                        None => Response::Error(WireError::BadRequest(
+                            "follower is running without a data directory".into(),
+                        )),
+                        Some(d) => {
+                            match replica_append(d, &mut self.store, &mut self.driver, &entries) {
+                                Ok(durable_lsn) => Response::ReplAck { durable_lsn },
+                                Err(e) => Response::Error(e.to_wire()),
+                            }
+                        }
+                    }
+                }
+            }
+            Request::InstallSnapshot {
+                partition,
+                epoch,
+                snapshot,
+            } => {
+                if let Err(err) = self.cluster.admit(partition, epoch) {
+                    Response::Error(err)
+                } else if self.cluster.role != NodeRole::Follower {
+                    Response::Error(WireError::BadRequest(
+                        "snapshot install on a non-follower".into(),
+                    ))
+                } else {
+                    match self.replica.as_ref() {
+                        None => Response::Error(WireError::BadRequest(
+                            "follower is running without replica setup".into(),
+                        )),
+                        Some(setup) => match install_snapshot_on(setup, snapshot) {
+                            Ok((store, driver, durability)) => {
+                                let next_lsn = durability.next_lsn();
+                                self.store = store;
+                                self.driver = driver;
+                                self.durability = Some(durability);
+                                Response::SnapshotInstalled { next_lsn }
+                            }
+                            Err(e) => Response::Error(e.to_wire()),
+                        },
+                    }
+                }
+            }
+            Request::Promote { partition, epoch } => {
+                let was_primary = self.cluster.role == NodeRole::Primary;
+                match promote(&mut self.cluster, partition, epoch) {
+                    Ok(()) => {
+                        if !was_primary {
+                            self.repl_obs.promotions_total.inc();
+                        }
+                        Response::Promoted {
+                            epoch: self.cluster.epoch,
+                            next_lsn: self.durability.as_ref().map_or(0, Durability::next_lsn),
+                        }
+                    }
+                    Err(err) => Response::Error(err),
+                }
+            }
+            Request::ClusterStatus => Response::ClusterStatusReply {
+                role: self.cluster.role,
+                partition: self.cluster.partition,
+                epoch: self.cluster.epoch,
+                durable_lsn: self.durability.as_ref().map_or(0, Durability::next_lsn),
+                fenced: self.cluster.fenced,
+                degraded: self.cluster.degraded,
+            },
+            // Unreachable: the envelope was unwrapped above and the
+            // decoder refuses nesting, but the match must stay total.
+            Request::Routed { .. } => {
+                Response::Error(WireError::BadRequest("nested routed envelope".into()))
+            }
             Request::Shutdown => Response::ShutdownAck,
         };
         let elapsed_ns = now_ns().saturating_sub(started);
@@ -729,7 +1024,9 @@ impl Engine {
             }
             _ => {}
         }
+        let acked_shutdown = matches!(resp, Response::ShutdownAck);
         // A reader that hung up mid-RPC cannot receive its reply; fine.
-        let _ = cmd.reply.send(resp);
+        let _ = reply.send(resp);
+        acked_shutdown
     }
 }

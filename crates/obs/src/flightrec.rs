@@ -40,6 +40,7 @@ pub enum EventKind {
     Panic = 6,
     Shutdown = 7,
     Maintenance = 8,
+    Failover = 9,
 }
 
 impl EventKind {
@@ -53,6 +54,7 @@ impl EventKind {
             6 => Some(EventKind::Panic),
             7 => Some(EventKind::Shutdown),
             8 => Some(EventKind::Maintenance),
+            9 => Some(EventKind::Failover),
             _ => None,
         }
     }
@@ -69,6 +71,7 @@ impl EventKind {
             EventKind::Panic => "panic",
             EventKind::Shutdown => "shutdown",
             EventKind::Maintenance => "maintenance",
+            EventKind::Failover => "failover",
         }
     }
 
@@ -83,6 +86,7 @@ impl EventKind {
             EventKind::Panic => [None, None, None],
             EventKind::Shutdown => [Some("drained"), None, None],
             EventKind::Maintenance => [Some("scanned"), Some("decayed"), Some("pruned")],
+            EventKind::Failover => [Some("partition"), Some("epoch"), None],
         }
     }
 }

@@ -1,0 +1,843 @@
+//! Multi-node cluster scenarios: replication, failover, and fencing
+//! under virtual time.
+//!
+//! [`run_cluster`] drives N partitions, each a primary/follower pair of
+//! full engine+durability stacks on their own [`MemBackend`]s, through
+//! the *same* transport-free replication core the live server uses
+//! (`replica_append`, `install_snapshot_on`, `promote`, epoch
+//! admission) — no sockets, no threads, no wall clock. The harness
+//! plays the roles the network plays in production: it routes ingest
+//! sub-batches to the owning partition's primary, runs the primary ack
+//! ladder (log → commit → apply → replicate → ack), and delivers
+//! shipments to followers or drops them when a fault says the link is
+//! down.
+//!
+//! What the scenarios prove, deterministically and in milliseconds:
+//!
+//! * **Kill the primary** ([`ClusterFault::KillPrimary`]): the follower
+//!   promotes under a bumped epoch and every client-acked record is
+//!   already durable *and applied* on it — zero acked loss, and the
+//!   promoted state is byte-identical to a clean replay of the acked
+//!   log (the PR-3 twin check, now surviving machine loss).
+//! * **Isolate the follower** ([`ClusterFault::IsolateFollower`]): the
+//!   primary degrades to local-durable acks; on reconnect the follower
+//!   refuses the gap with a typed `LsnGap` and catches up by snapshot
+//!   transfer, ending byte-identical to the primary.
+//! * **Split-brain promotion** ([`ClusterFault::SplitPromote`]): a
+//!   false-positive failover promotes the follower while the deposed
+//!   primary is still alive; the old primary's next shipment is refused
+//!   with `StaleEpoch`, it fences itself (the write is never acked),
+//!   and it rejoins as a follower via snapshot transfer.
+//!
+//! Same config ⇒ byte-identical transcript and summary, like the
+//! single-node runner.
+
+use std::sync::Arc;
+
+use adcast_ads::AdStore;
+use adcast_core::{EngineConfig, ShardedDriver};
+use adcast_durability::recovery::recover_on;
+use adcast_durability::snapshot::EngineSetSnapshot;
+use adcast_durability::{
+    apply_record, Durability, DurabilityOptions, StorageBackend, WalOptions, WalRecord,
+};
+use adcast_graph::UserId;
+use adcast_net::protocol::WireError;
+use adcast_net::replication::{
+    install_snapshot_on, promote, replica_append, ClusterState, ReplicaError, ReplicaSetup,
+};
+use adcast_net::synth::{self, SynthConfig, SynthWorkload};
+use adcast_stream::clock::{SimClock, Timestamp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::backend::MemBackend;
+
+/// An injectable cluster fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterFault {
+    /// `kill -9` the partition's primary: its backend tears to the
+    /// durability horizon and the node is never touched again. The
+    /// harness promotes the follower under a bumped epoch and
+    /// immediately proves zero acked loss + a byte-identical twin.
+    KillPrimary {
+        /// The partition whose primary dies.
+        partition: u16,
+    },
+    /// The primary⇄follower link drops for this many of the partition's
+    /// ingest batches: shipments are lost, the primary degrades to
+    /// local-durable acks. Reconnection surfaces the gap as a typed
+    /// `LsnGap` refusal and a snapshot-transfer catch-up.
+    IsolateFollower {
+        /// The partition whose follower goes dark.
+        partition: u16,
+        /// Ingest batches the link stays down.
+        batches: u64,
+    },
+    /// A false-positive failover: the follower is promoted while the
+    /// old primary is still alive. The deposed primary attempts one
+    /// more write; epoch fencing refuses it (never acked) and the node
+    /// rejoins as a follower by snapshot transfer.
+    SplitPromote {
+        /// The partition that splits.
+        partition: u16,
+    },
+}
+
+/// A cluster fault pinned to a position in the batch stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterFaultAt {
+    /// Fires just before this ingest batch (0-based).
+    pub at_batch: usize,
+    /// What happens.
+    pub fault: ClusterFault,
+}
+
+/// Everything that shapes one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterSimConfig {
+    /// Workload shape (users, campaigns, messages, batching, seed).
+    pub synth: SynthConfig,
+    /// User partitions; each gets a primary/follower pair.
+    pub partitions: usize,
+    /// Engine shards per node.
+    pub num_shards: usize,
+    /// Engine knobs (must match across nodes, like production).
+    pub engine: EngineConfig,
+    /// WAL knobs for every node.
+    pub wal: WalOptions,
+    /// Background snapshot cadence in WAL records (0 = never).
+    pub snapshot_every: u64,
+    /// Snapshots retained by pruning.
+    pub keep_snapshots: usize,
+    /// Virtual cost of one fsync, nanoseconds.
+    pub fsync_latency_ns: u64,
+    /// Serve a recommendation wave every this many batches (0 = never).
+    pub recommend_every: usize,
+    /// Users served per wave.
+    pub wave_users: usize,
+    /// Impression cost charged (broadcast) for each wave's top pick.
+    pub impression_cost: f64,
+    /// The fault script, in firing order.
+    pub faults: Vec<ClusterFaultAt>,
+}
+
+impl ClusterSimConfig {
+    /// A seconds-scale cluster scenario: the single-node smoke workload
+    /// split over `partitions` primary/follower pairs, no faults (add
+    /// your own).
+    #[must_use]
+    pub fn smoke(seed: u64, partitions: usize) -> ClusterSimConfig {
+        ClusterSimConfig {
+            synth: SynthConfig {
+                num_users: 400,
+                num_ads: 60,
+                messages: 1_200,
+                batch_size: 200,
+                msgs_per_sec: 200.0,
+                seed,
+            },
+            partitions,
+            num_shards: 2,
+            engine: EngineConfig::default(),
+            wal: WalOptions::default(),
+            snapshot_every: 0,
+            keep_snapshots: 2,
+            fsync_latency_ns: 100_000,
+            recommend_every: 2,
+            wave_users: 6,
+            impression_cost: 0.05,
+            faults: Vec::new(),
+        }
+    }
+}
+
+/// Deterministic cluster run counters.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ClusterCounters {
+    /// Partitions in the run.
+    pub partitions: u64,
+    /// Ingest batches routed (whole-cluster batches, pre-split).
+    pub batches: u64,
+    /// Feed deltas acked to the client across all partitions.
+    pub acked_deltas: u64,
+    /// WAL records acked across all partitions (campaigns, ingest,
+    /// impressions).
+    pub acked_records: u64,
+    /// Recommendation requests served.
+    pub recommends: u64,
+    /// Recommendations returned across all requests.
+    pub served: u64,
+    /// Impressions charged (one broadcast = `partitions` records).
+    pub impressions: u64,
+    /// Replicated shipments acked durable by a follower.
+    pub shipments: u64,
+    /// Shipments dropped while a follower link was down.
+    pub dropped_shipments: u64,
+    /// Primaries killed.
+    pub kills: u64,
+    /// Follower promotions (failover + split-brain).
+    pub promotions: u64,
+    /// Writes refused because the node was fenced or deposed.
+    pub fenced_writes: u64,
+    /// Typed `LsnGap` refusals from reconnecting followers.
+    pub lsn_gap_refusals: u64,
+    /// Snapshot-transfer catch-ups (gap recovery + rejoins).
+    pub catch_up_snapshots: u64,
+    /// Byte-identical state checks passed (promotion twins, catch-up
+    /// convergence, end-of-run replica agreement).
+    pub twin_checks: u64,
+}
+
+/// What a cluster run produced.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// One line per event, stamped with virtual event time.
+    /// Byte-identical across runs of the same config.
+    pub transcript: String,
+    /// Fixed-order `key=value` rendering of [`ClusterCounters`].
+    /// Byte-identical across runs of the same config.
+    pub summary: String,
+    /// The counters behind the summary.
+    pub counters: ClusterCounters,
+}
+
+/// One engine+durability stack on its own simulated disk.
+struct SimNode {
+    backend: Arc<MemBackend>,
+    store: AdStore,
+    driver: ShardedDriver,
+    durability: Durability,
+    state: ClusterState,
+    alive: bool,
+}
+
+impl SimNode {
+    fn state_bytes(&self) -> Vec<u8> {
+        EngineSetSnapshot::capture(self.durability.next_lsn(), &self.store, &self.driver)
+            .encode()
+            .to_vec()
+    }
+}
+
+/// One partition's pair plus the harness's router-side view of it.
+struct SimPartition {
+    /// `nodes[0]` starts as primary, `nodes[1]` as follower.
+    nodes: Vec<SimNode>,
+    /// Index of the current primary in `nodes`.
+    serving: usize,
+    /// Index of the current follower, when one is attached.
+    follower: Option<usize>,
+    /// The router's epoch for this partition.
+    epoch: u64,
+    /// Ingest batches the follower link stays down for.
+    isolated: u64,
+    /// Whether this pair's standby state was seeded by a live-primary
+    /// snapshot (catch-up / rejoin). A live snapshot bakes in the
+    /// primary's serve-time engine state (score caches, work counters),
+    /// so log-replay byte checks no longer apply to the pair — LSN
+    /// accounting still does.
+    snapshot_seeded: bool,
+    /// Every record acked to a client, in ack order — the loss oracle.
+    acked_log: Vec<WalRecord>,
+}
+
+struct ClusterRunner {
+    config: ClusterSimConfig,
+    clock: Arc<SimClock>,
+    parts: Vec<SimPartition>,
+    rng: SmallRng,
+    now: Timestamp,
+    transcript: Vec<String>,
+    c: ClusterCounters,
+}
+
+/// Execute one cluster scenario to completion.
+///
+/// # Errors
+///
+/// A description when replication, promotion, or a byte-identity check
+/// fails (a bug in the cluster stack, not the scenario), or when the
+/// fault script references a partition the config doesn't have.
+pub fn run_cluster(config: ClusterSimConfig) -> Result<ClusterOutcome, String> {
+    if config.partitions == 0 {
+        return Err("cluster needs at least one partition".to_string());
+    }
+    if config.partitions > usize::from(u16::MAX) {
+        return Err("partitions exceed the u16 wire header".to_string());
+    }
+    for f in &config.faults {
+        let p = match f.fault {
+            ClusterFault::KillPrimary { partition }
+            | ClusterFault::IsolateFollower { partition, .. }
+            | ClusterFault::SplitPromote { partition } => partition,
+        };
+        if usize::from(p) >= config.partitions {
+            return Err(format!(
+                "fault targets partition {p} of {}",
+                config.partitions
+            ));
+        }
+    }
+    let workload = synth::build(&config.synth);
+    let clock = Arc::new(SimClock::new());
+    let mut parts = Vec::with_capacity(config.partitions);
+    for p in 0..config.partitions {
+        let partition = p as u16;
+        let nodes = vec![
+            fresh_node(
+                &config,
+                &clock,
+                workload.num_users,
+                ClusterState::primary(partition, 0),
+            )?,
+            fresh_node(
+                &config,
+                &clock,
+                workload.num_users,
+                ClusterState::follower(partition, 0),
+            )?,
+        ];
+        parts.push(SimPartition {
+            nodes,
+            serving: 0,
+            follower: Some(1),
+            epoch: 0,
+            isolated: 0,
+            snapshot_seeded: false,
+            acked_log: Vec::new(),
+        });
+    }
+    let seed = config.synth.seed;
+    let runner = ClusterRunner {
+        config,
+        clock,
+        parts,
+        rng: SmallRng::seed_from_u64(seed ^ 0xC1_057E2),
+        now: Timestamp::EPOCH,
+        transcript: Vec::new(),
+        c: ClusterCounters::default(),
+    };
+    runner.execute(workload)
+}
+
+fn fresh_node(
+    config: &ClusterSimConfig,
+    clock: &Arc<SimClock>,
+    num_users: u32,
+    state: ClusterState,
+) -> Result<SimNode, String> {
+    let backend = MemBackend::new(Arc::clone(clock), config.fsync_latency_ns);
+    let recovered = recover_on(
+        Arc::clone(&backend) as Arc<dyn StorageBackend>,
+        num_users,
+        config.num_shards,
+        config.engine.clone(),
+        config.wal,
+    )
+    .map_err(|e| e.to_string())?;
+    let durability = Durability::new_on(
+        Arc::clone(&backend) as Arc<dyn StorageBackend>,
+        recovered.wal,
+        DurabilityOptions {
+            wal: config.wal,
+            snapshot_every: config.snapshot_every,
+            keep_snapshots: config.keep_snapshots,
+        },
+        recovered.report,
+    );
+    Ok(SimNode {
+        backend,
+        store: recovered.store,
+        driver: recovered.driver,
+        durability,
+        state,
+        alive: true,
+    })
+}
+
+impl ClusterRunner {
+    fn execute(mut self, workload: SynthWorkload) -> Result<ClusterOutcome, String> {
+        self.c.partitions = self.parts.len() as u64;
+
+        // Campaigns broadcast to every partition in one global order, so
+        // replayed campaign ids agree across the cluster (DESIGN §14).
+        let total_campaigns = workload.campaigns.len();
+        for spec in workload.campaigns {
+            let sub = spec.try_into_submission()?;
+            for p in 0..self.parts.len() {
+                self.ack_ladder(p, WalRecord::Submit(sub.clone()))?;
+            }
+        }
+        self.line(format!(
+            "submitted campaigns={total_campaigns} partitions={}",
+            self.parts.len()
+        ));
+
+        let num_partitions = self.parts.len();
+        for (i, batch) in workload.batches.into_iter().enumerate() {
+            let due: Vec<ClusterFault> = self
+                .config
+                .faults
+                .iter()
+                .filter(|f| f.at_batch == i)
+                .map(|f| f.fault)
+                .collect();
+            for fault in due {
+                self.fire(fault)?;
+            }
+
+            for (_, delta) in &batch {
+                if let Some(m) = &delta.entered {
+                    if m.ts > self.now {
+                        self.now = m.ts;
+                    }
+                }
+            }
+
+            // The router's split: one sub-batch per owning partition.
+            let mut subs: Vec<Vec<(UserId, adcast_feed::FeedDelta)>> =
+                vec![Vec::new(); num_partitions];
+            for (user, delta) in batch {
+                subs[user.index() % num_partitions].push((user, delta));
+            }
+            let mut routed = 0u64;
+            for (p, sub) in subs.into_iter().enumerate() {
+                if sub.is_empty() {
+                    continue;
+                }
+                let deltas = sub.len() as u64;
+                self.ack_ladder(p, WalRecord::IngestBatch(sub))?;
+                self.c.acked_deltas += deltas;
+                routed += deltas;
+                if self.parts[p].isolated > 0 {
+                    self.parts[p].isolated -= 1;
+                }
+            }
+            self.c.batches += 1;
+            self.line(format!("ingest batch={i} deltas={routed}"));
+
+            if self.config.recommend_every > 0 && (i + 1) % self.config.recommend_every == 0 {
+                self.serve_wave(workload.num_users)?;
+            }
+        }
+
+        // End-of-run agreement: every live follower that isn't mid-gap
+        // must hold the primary's exact bytes (hot standby, not a cold
+        // log copy).
+        for p in 0..self.parts.len() {
+            self.check_replica_agreement(p)?;
+            let part = &self.parts[p];
+            let primary = &part.nodes[part.serving];
+            if part.acked_log.len() as u64 != primary.durability.next_lsn() {
+                return Err(format!(
+                    "partition {p}: {} acked records but primary lsn {}",
+                    part.acked_log.len(),
+                    primary.durability.next_lsn()
+                ));
+            }
+        }
+        self.line(format!(
+            "done batches={} acked_records={} twin_checks={}",
+            self.c.batches, self.c.acked_records, self.c.twin_checks
+        ));
+
+        let summary = self.render_summary();
+        let mut transcript = self.transcript.join("\n");
+        transcript.push('\n');
+        Ok(ClusterOutcome {
+            transcript,
+            summary,
+            counters: self.c,
+        })
+    }
+
+    /// The primary ack ladder for one record on one partition:
+    /// log → commit → apply → replicate → ack. Mirrors the server's
+    /// `log_apply` + `replicate` exactly, with the harness as the wire.
+    fn ack_ladder(&mut self, p: usize, record: WalRecord) -> Result<(), String> {
+        let part = &mut self.parts[p];
+        let primary = &mut part.nodes[part.serving];
+        if primary.state.fenced || !primary.alive {
+            return Err(format!(
+                "partition {p}: routed a write to a dead/fenced node"
+            ));
+        }
+        let lsn = primary.durability.log(&record).map_err(|e| e.to_string())?;
+        primary.durability.commit().map_err(|e| e.to_string())?;
+        let payload = record.encode();
+        apply_record(&mut primary.store, &mut primary.driver, record.clone())?;
+        primary
+            .durability
+            .maybe_snapshot(&primary.store, &primary.driver);
+
+        if let Some(f) = part.follower {
+            if part.isolated > 0 {
+                // Link down: the primary degrades to local-durable acks
+                // (the record is still acked — fsynced locally).
+                self.c.dropped_shipments += 1;
+            } else {
+                let epoch = part.epoch;
+                self.ship(p, f, epoch, lsn, payload)?;
+            }
+        }
+        let part = &mut self.parts[p];
+        part.acked_log.push(record);
+        self.c.acked_records += 1;
+        Ok(())
+    }
+
+    /// Deliver one shipment to the follower; a gap triggers the
+    /// snapshot-transfer catch-up, exactly like the live sink path.
+    fn ship(
+        &mut self,
+        p: usize,
+        f: usize,
+        epoch: u64,
+        lsn: u64,
+        payload: bytes::Bytes,
+    ) -> Result<(), String> {
+        let partition = p as u16;
+        let follower = &mut self.parts[p].nodes[f];
+        follower
+            .state
+            .admit(partition, epoch)
+            .map_err(|e| format!("partition {p}: follower refused shipment: {e}"))?;
+        match replica_append(
+            &mut follower.durability,
+            &mut follower.store,
+            &mut follower.driver,
+            &[(lsn, payload)],
+        ) {
+            Ok(_) => {
+                self.c.shipments += 1;
+                Ok(())
+            }
+            Err(ReplicaError::LsnGap { .. }) => {
+                self.c.lsn_gap_refusals += 1;
+                self.catch_up(p, f)?;
+                Ok(())
+            }
+            Err(e) => Err(format!("partition {p}: replica append failed: {e}")),
+        }
+    }
+
+    /// Snapshot-transfer catch-up: capture the primary's post-apply
+    /// image, rebuild the follower from it, and prove the installed
+    /// state recaptures to the exact shipped bytes.
+    fn catch_up(&mut self, p: usize, f: usize) -> Result<(), String> {
+        let part = &mut self.parts[p];
+        let snapshot = {
+            let primary = &part.nodes[part.serving];
+            EngineSetSnapshot::capture(
+                primary.durability.next_lsn(),
+                &primary.store,
+                &primary.driver,
+            )
+            .encode()
+        };
+        let follower = &mut part.nodes[f];
+        let setup = ReplicaSetup {
+            backend: Arc::clone(&follower.backend) as Arc<dyn StorageBackend>,
+            options: DurabilityOptions {
+                wal: self.config.wal,
+                snapshot_every: self.config.snapshot_every,
+                keep_snapshots: self.config.keep_snapshots,
+            },
+            engine: self.config.engine.clone(),
+        };
+        let (store, driver, durability) = install_snapshot_on(&setup, snapshot.clone())
+            .map_err(|e| format!("partition {p}: snapshot install failed: {e}"))?;
+        follower.store = store;
+        follower.driver = driver;
+        follower.durability = durability;
+        part.snapshot_seeded = true;
+        if follower.state_bytes() != snapshot.to_vec() {
+            return Err(format!(
+                "partition {p}: installed snapshot recaptures differently"
+            ));
+        }
+        self.c.catch_up_snapshots += 1;
+        self.c.twin_checks += 1;
+        self.line(format!(
+            "catch_up partition={p} lsn={}",
+            self.parts[p].nodes[f].durability.next_lsn()
+        ));
+        Ok(())
+    }
+
+    fn fire(&mut self, fault: ClusterFault) -> Result<(), String> {
+        match fault {
+            ClusterFault::KillPrimary { partition } => {
+                let p = usize::from(partition);
+                {
+                    let part = &mut self.parts[p];
+                    let primary = &mut part.nodes[part.serving];
+                    primary.alive = false;
+                    primary.backend.crash();
+                }
+                self.c.kills += 1;
+                self.line(format!("fault kill_primary partition={p}"));
+                self.promote_follower(p)?;
+                // Zero acked loss: every acked record is durable and
+                // applied on the promoted node, byte-for-byte.
+                self.check_promoted_twin(p)
+            }
+            ClusterFault::IsolateFollower { partition, batches } => {
+                let p = usize::from(partition);
+                if self.parts[p].follower.is_none() {
+                    return Err(format!("partition {p} has no follower to isolate"));
+                }
+                self.parts[p].isolated = batches;
+                self.line(format!(
+                    "fault isolate_follower partition={p} batches={batches}"
+                ));
+                Ok(())
+            }
+            ClusterFault::SplitPromote { partition } => {
+                let p = usize::from(partition);
+                let deposed = self.parts[p].serving;
+                self.line(format!("fault split_promote partition={p}"));
+                self.promote_follower(p)?;
+                // The deposed primary is still alive and doesn't know:
+                // it takes one more write and tries to ship it. Fencing
+                // refuses the shipment, the node fences itself, and the
+                // write is never acked.
+                self.stale_write(p, deposed)?;
+                // It then rejoins as a follower of the new primary via
+                // snapshot transfer.
+                self.rejoin(p, deposed)
+            }
+        }
+    }
+
+    /// The router's failover: bump the epoch and promote the follower.
+    fn promote_follower(&mut self, p: usize) -> Result<(), String> {
+        let part = &mut self.parts[p];
+        let Some(f) = part.follower else {
+            return Err(format!("partition {p}: no follower to promote"));
+        };
+        let next_epoch = part.epoch + 1;
+        promote(&mut part.nodes[f].state, p as u16, next_epoch)
+            .map_err(|e| format!("partition {p}: promotion refused: {e}"))?;
+        part.epoch = next_epoch;
+        part.serving = f;
+        part.follower = None;
+        part.isolated = 0;
+        self.c.promotions += 1;
+        self.line(format!(
+            "promoted partition={p} epoch={next_epoch} lsn={}",
+            self.parts[p].nodes[f].durability.next_lsn()
+        ));
+        Ok(())
+    }
+
+    /// A deposed-but-alive primary writes once more; the shipment is
+    /// refused by epoch fencing and the node fences itself.
+    fn stale_write(&mut self, p: usize, deposed: usize) -> Result<(), String> {
+        let stale_epoch = {
+            let part = &mut self.parts[p];
+            let record = WalRecord::Maintenance {
+                now: self.now,
+                idle_for: adcast_stream::clock::Duration::from_secs(1),
+            };
+            let stale = &mut part.nodes[deposed];
+            stale.durability.log(&record).map_err(|e| e.to_string())?;
+            stale.durability.commit().map_err(|e| e.to_string())?;
+            apply_record(&mut stale.store, &mut stale.driver, record)?;
+            stale.state.epoch
+        };
+        // The shipment: the new primary refuses the old epoch.
+        let part = &mut self.parts[p];
+        let refusal = part.nodes[part.serving].state.admit(p as u16, stale_epoch);
+        let Err(WireError::StaleEpoch { current }) = refusal else {
+            return Err(format!(
+                "partition {p}: stale shipment was admitted (epoch {stale_epoch})"
+            ));
+        };
+        part.nodes[deposed].state.fenced = true;
+        self.c.fenced_writes += 1;
+        self.line(format!(
+            "fenced partition={p} stale_epoch={stale_epoch} current={current}"
+        ));
+        Ok(())
+    }
+
+    /// Re-attach a fenced ex-primary as the follower of the current
+    /// primary: adopt the new epoch, rebuild by snapshot transfer.
+    fn rejoin(&mut self, p: usize, node: usize) -> Result<(), String> {
+        {
+            let part = &mut self.parts[p];
+            part.nodes[node].state = ClusterState::follower(p as u16, part.epoch);
+            part.follower = Some(node);
+        }
+        // The rejoining node's WAL diverged (the fenced write); the
+        // first shipment would refuse with a gap anyway — transfer now.
+        self.catch_up(p, node)?;
+        self.line(format!("rejoined partition={p} as follower"));
+        Ok(())
+    }
+
+    /// Follower agreement at end of run: the follower must hold exactly
+    /// a clean replay of the acked log up to its LSN — hot standby, not
+    /// a cold log copy. Serve-time engine state (score caches, work
+    /// counters) lives only on the node that served, so the comparison
+    /// is against a replay twin, not the live primary's bytes; a pair
+    /// whose standby was seeded by a live snapshot is checked by LSN
+    /// accounting alone.
+    fn check_replica_agreement(&mut self, p: usize) -> Result<(), String> {
+        let part = &self.parts[p];
+        let Some(f) = part.follower else {
+            return Ok(());
+        };
+        let primary = &part.nodes[part.serving];
+        let follower = &part.nodes[f];
+        let follower_lsn = follower.durability.next_lsn();
+        if part.isolated == 0 && follower_lsn != primary.durability.next_lsn() {
+            return Err(format!(
+                "partition {p}: follower at lsn {follower_lsn}, primary at {}",
+                primary.durability.next_lsn()
+            ));
+        }
+        if part.snapshot_seeded {
+            return Ok(());
+        }
+        let twin_bytes = self.replay_twin(p, follower_lsn)?;
+        let part = &self.parts[p];
+        if part.nodes[f].state_bytes() != twin_bytes {
+            return Err(format!(
+                "partition {p}: follower diverges from acked-log replay at lsn {follower_lsn}"
+            ));
+        }
+        self.c.twin_checks += 1;
+        Ok(())
+    }
+
+    /// The promoted node must hold exactly the acked log: nothing lost,
+    /// nothing extra — and, unless its state was seeded by a live
+    /// snapshot, byte-identical to a clean replay.
+    fn check_promoted_twin(&mut self, p: usize) -> Result<(), String> {
+        let part = &self.parts[p];
+        let promoted = &part.nodes[part.serving];
+        let next_lsn = promoted.durability.next_lsn();
+        if next_lsn != part.acked_log.len() as u64 {
+            return Err(format!(
+                "partition {p}: acked {} records but promoted node is at lsn {next_lsn}",
+                part.acked_log.len()
+            ));
+        }
+        if !part.snapshot_seeded {
+            let twin_bytes = self.replay_twin(p, next_lsn)?;
+            let part = &self.parts[p];
+            if part.nodes[part.serving].state_bytes() != twin_bytes {
+                return Err(format!(
+                    "partition {p}: promoted state diverges from acked-log replay at lsn {next_lsn}"
+                ));
+            }
+            self.c.twin_checks += 1;
+        }
+        self.line(format!("twin partition={p} lsn={next_lsn} ok"));
+        Ok(())
+    }
+
+    /// Replay the first `upto` acked records into a fresh pair and
+    /// capture the result — the oracle for log-derived state.
+    fn replay_twin(&self, p: usize, upto: u64) -> Result<Vec<u8>, String> {
+        let part = &self.parts[p];
+        let mut twin_store = AdStore::new();
+        let mut twin_driver = ShardedDriver::new(
+            part.nodes[part.serving].driver.num_users(),
+            self.config.num_shards,
+            self.config.engine.clone(),
+        );
+        for record in part.acked_log.iter().take(upto as usize) {
+            apply_record(&mut twin_store, &mut twin_driver, record.clone())?;
+        }
+        Ok(EngineSetSnapshot::capture(upto, &twin_store, &twin_driver)
+            .encode()
+            .to_vec())
+    }
+
+    fn serve_wave(&mut self, num_users: u32) -> Result<(), String> {
+        let num_partitions = self.parts.len();
+        let mut served = 0u64;
+        let mut top = None;
+        for _ in 0..self.config.wave_users {
+            let user = UserId(self.rng.gen_range(0..num_users));
+            let p = user.index() % num_partitions;
+            let part = &mut self.parts[p];
+            let serving = part.serving;
+            let node = &mut part.nodes[serving];
+            let recs = node.driver.recommend(
+                &node.store,
+                user,
+                self.now,
+                adcast_stream::event::LocationId(0),
+                self.config.engine.k,
+            );
+            served += recs.len() as u64;
+            if top.is_none() {
+                top = recs.first().map(|r| r.ad);
+            }
+        }
+        self.c.recommends += self.config.wave_users as u64;
+        self.c.served += served;
+        // Impressions are control-plane: broadcast the charge to every
+        // partition in the same order, like the router does.
+        if let Some(ad) = top {
+            let clicked = self.rng.gen_range(0..10u32) == 0;
+            for p in 0..num_partitions {
+                self.ack_ladder(
+                    p,
+                    WalRecord::Impression {
+                        ad,
+                        cost: self.config.impression_cost,
+                        clicked,
+                        now: self.now,
+                    },
+                )?;
+            }
+            self.c.impressions += 1;
+        }
+        self.line(format!(
+            "wave users={} served={served} impressions={}",
+            self.config.wave_users, self.c.impressions
+        ));
+        Ok(())
+    }
+
+    fn line(&mut self, body: String) {
+        self.transcript.push(format!("t={} {body}", self.now));
+    }
+
+    fn render_summary(&self) -> String {
+        let c = &self.c;
+        let mut s = String::new();
+        for (key, value) in [
+            ("partitions", c.partitions),
+            ("batches", c.batches),
+            ("acked_deltas", c.acked_deltas),
+            ("acked_records", c.acked_records),
+            ("recommends", c.recommends),
+            ("served", c.served),
+            ("impressions", c.impressions),
+            ("shipments", c.shipments),
+            ("dropped_shipments", c.dropped_shipments),
+            ("kills", c.kills),
+            ("promotions", c.promotions),
+            ("fenced_writes", c.fenced_writes),
+            ("lsn_gap_refusals", c.lsn_gap_refusals),
+            ("catch_up_snapshots", c.catch_up_snapshots),
+            ("twin_checks", c.twin_checks),
+        ] {
+            s.push_str(key);
+            s.push('=');
+            s.push_str(&value.to_string());
+            s.push('\n');
+        }
+        // The shared clock only sequences fsyncs; assert it advanced so
+        // a future refactor can't silently bypass the simulated disk.
+        debug_assert!(self.clock.now_ns() > 0 || c.acked_records == 0);
+        s
+    }
+}

@@ -34,9 +34,13 @@
 //! ```
 
 pub mod backend;
+pub mod cluster;
 pub mod runner;
 pub mod scenario;
 
 pub use backend::{CrashReport, MemBackend};
+pub use cluster::{
+    run_cluster, ClusterCounters, ClusterFault, ClusterFaultAt, ClusterOutcome, ClusterSimConfig,
+};
 pub use runner::{run, SimCounters, SimOutcome};
 pub use scenario::{Fault, FaultAt, SimConfig};

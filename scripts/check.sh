@@ -153,4 +153,119 @@ grep -q 'twin=ok' <<<"$e16_out" || {
   exit 1
 }
 
+echo "== cluster smoke (2 partitions + followers, router, kill -9 a primary mid-load) =="
+cluster_dir=$(mktemp -d)
+wait_addr() { # logfile → the "listening on" address, or empty on timeout
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(awk '/^listening on /{print $3; exit}' "$1")
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  echo "$addr"
+}
+# Four nodes — a replicated pair per partition, followers first so the
+# primaries can ship to them from the first ack.
+./target/release/adcast-serve --users 400 --shards 2 --fsync always \
+  --data-dir "$cluster_dir/p0f" --partition 0 --role follower \
+  >"$cluster_dir/p0f.log" 2>&1 &
+p0f_pid=$!
+./target/release/adcast-serve --users 400 --shards 2 --fsync always \
+  --data-dir "$cluster_dir/p1f" --partition 1 --role follower \
+  >"$cluster_dir/p1f.log" 2>&1 &
+p1f_pid=$!
+p0f_addr=$(wait_addr "$cluster_dir/p0f.log")
+p1f_addr=$(wait_addr "$cluster_dir/p1f.log")
+if [ -z "$p0f_addr" ] || [ -z "$p1f_addr" ]; then
+  echo "cluster followers never reported their addresses" >&2
+  cat "$cluster_dir"/p0f.log "$cluster_dir"/p1f.log >&2
+  exit 1
+fi
+./target/release/adcast-serve --users 400 --shards 2 --fsync always \
+  --data-dir "$cluster_dir/p0" --partition 0 --role primary --follower "$p0f_addr" \
+  >"$cluster_dir/p0.log" 2>&1 &
+p0_pid=$!
+./target/release/adcast-serve --users 400 --shards 2 --fsync always \
+  --data-dir "$cluster_dir/p1" --partition 1 --role primary --follower "$p1f_addr" \
+  >"$cluster_dir/p1.log" 2>&1 &
+p1_pid=$!
+p0_addr=$(wait_addr "$cluster_dir/p0.log")
+p1_addr=$(wait_addr "$cluster_dir/p1.log")
+if [ -z "$p0_addr" ] || [ -z "$p1_addr" ]; then
+  echo "cluster primaries never reported their addresses" >&2
+  cat "$cluster_dir"/p0.log "$cluster_dir"/p1.log >&2
+  exit 1
+fi
+./target/release/adcast-router --addr 127.0.0.1:0 \
+  --partition "$p0_addr,$p0f_addr" --partition "$p1_addr,$p1f_addr" \
+  >"$cluster_dir/router.log" 2>&1 &
+router_pid=$!
+router_addr=$(wait_addr "$cluster_dir/router.log")
+if [ -z "$router_addr" ]; then
+  echo "adcast-router never reported its address" >&2
+  cat "$cluster_dir/router.log" >&2
+  exit 1
+fi
+# Phase 1 — consistency: the routed cluster must serve bit-identically
+# to an in-process single-node twin (routing, broadcast order,
+# replication all on the line). Every delta fed here is acked.
+twin_out=$(./target/release/adcast-loadgen --addr "$router_addr" --smoke \
+  --twin-check --no-shutdown 2>&1)
+echo "$twin_out"
+grep -q 'bit-identical' <<<"$twin_out" || {
+  echo "cluster twin check did not pass" >&2
+  exit 1
+}
+twin_deltas=$(sed -n 's/.*twin fed: [0-9]* campaigns, \([0-9]*\) deltas.*/\1/p' <<<"$twin_out")
+# Phase 2 — failover: kill -9 the partition-0 primary under live load.
+# The router must promote the follower and finish the run.
+./target/release/adcast-loadgen --addr "$router_addr" --smoke --messages 6000 \
+  >"$cluster_dir/loadgen2.log" 2>&1 &
+loadgen_pid=$!
+sleep 1.0
+kill -9 "$p0_pid" 2>/dev/null || true
+wait "$p0_pid" 2>/dev/null || true
+if ! wait "$loadgen_pid"; then
+  echo "loadgen did not survive the primary kill" >&2
+  cat "$cluster_dir/loadgen2.log" "$cluster_dir/router.log" >&2
+  exit 1
+fi
+lg2=$(cat "$cluster_dir/loadgen2.log")
+echo "$lg2"
+grep -q 'responses=[1-9]' <<<"$lg2" || {
+  echo "post-kill loadgen returned zero responses" >&2
+  exit 1
+}
+grep -q 'router: promoted partition=0 epoch=1' "$cluster_dir/router.log" || {
+  echo "router never promoted the partition-0 follower" >&2
+  cat "$cluster_dir/router.log" >&2
+  exit 1
+}
+# Zero acked-delta loss: the merged post-failover stats must hold every
+# delta acked across both runs (retries can only inflate the count).
+accepted2=$(sed -n 's/.*accepted=\([0-9]*\).*/\1/p' <<<"$lg2")
+server_deltas=$(sed -n 's/^server: deltas=\([0-9]*\).*/\1/p' <<<"$lg2")
+if [ -z "$twin_deltas" ] || [ -z "$accepted2" ] || [ -z "$server_deltas" ]; then
+  echo "could not parse delta accounting (twin=$twin_deltas accepted=$accepted2 server=$server_deltas)" >&2
+  exit 1
+fi
+if [ "$server_deltas" -lt $((twin_deltas + accepted2)) ]; then
+  echo "acked-delta loss after failover: server holds $server_deltas < $twin_deltas + $accepted2" >&2
+  exit 1
+fi
+# Clean drain: phase 2's Shutdown stops the promoted node, the healthy
+# primary, and the router; the surviving follower is ours to stop.
+wait "$router_pid" "$p0f_pid" "$p1_pid"
+kill "$p1f_pid" 2>/dev/null || true
+wait "$p1f_pid" 2>/dev/null || true
+rm -rf "$cluster_dir"
+
+echo "== E17 cluster-scaling smoke (router fan-out, balanced partition split) =="
+e17_out=$(ADCAST_E17_SMOKE=1 ./target/release/e17_cluster)
+echo "$e17_out"
+grep -q 'smoke run' <<<"$e17_out" || {
+  echo "E17 smoke did not run in smoke mode" >&2
+  exit 1
+}
+
 echo "All checks passed."

@@ -4,7 +4,16 @@
 //! ```text
 //! adcast-loadgen --addr HOST:PORT [--conns N] [--messages N] [--users N]
 //!                [--smoke] [--no-shutdown] [--obs-addr HOST:PORT]
+//!                [--twin-check]
 //! ```
+//!
+//! `--twin-check` is the cluster consistency mode: instead of the
+//! closed-loop load run, it replays the workload through the target
+//! (typically `adcast-router`) **and** through an in-process
+//! single-node twin applying the identical records, then sweeps every
+//! user and asserts the served recommendations are bit-identical —
+//! same ads, same scores, same order. Divergence (a routing bug, a
+//! broadcast-order bug, a replication bug) is a hard error.
 //!
 //! With `--obs-addr` (the server's observability listener), the run ends
 //! with a validating `/metrics` + `/healthz` scrape and prints the
@@ -26,6 +35,10 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use adcast::ads::AdStore;
+use adcast::core::{EngineConfig, ShardedDriver};
+use adcast::durability::{apply_record, ApplyEffect, WalRecord};
+use adcast::graph::UserId;
 use adcast::net::loadgen::{run, LoadgenConfig};
 use adcast::net::synth::{self, SynthConfig};
 use adcast::net::{Client, ClientConfig};
@@ -56,7 +69,7 @@ fn drive(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: adcast-loadgen --addr HOST:PORT [--conns N] [--messages N] [--users N] \
-             [--smoke] [--no-shutdown] [--obs-addr HOST:PORT]"
+             [--smoke] [--no-shutdown] [--obs-addr HOST:PORT] [--twin-check]"
         );
         return Ok(());
     }
@@ -96,6 +109,16 @@ fn drive(args: &[String]) -> Result<(), String> {
         "building workload: {} users, {} ads, {} messages…",
         synth_config.num_users, synth_config.num_ads, synth_config.messages
     );
+    if args.iter().any(|a| a == "--twin-check") {
+        twin_check(&addr, &synth_config)?;
+        if !args.iter().any(|a| a == "--no-shutdown") {
+            let mut client = Client::connect(addr.as_str(), &ClientConfig::default())
+                .map_err(|e| e.to_string())?;
+            client.shutdown().map_err(|e| e.to_string())?;
+            eprintln!("server acknowledged shutdown");
+        }
+        return Ok(());
+    }
     let workload = Arc::new(synth::build(&synth_config));
     let config = LoadgenConfig {
         connections: conns,
@@ -105,8 +128,10 @@ fn drive(args: &[String]) -> Result<(), String> {
     let report = run(&config, &workload).map_err(|e| e.to_string())?;
 
     println!(
-        "responses={} deltas_per_sec={:.0} recommends={} sheds={} shed_rate={:.4} reconnects={}",
+        "responses={} accepted={} deltas_per_sec={:.0} recommends={} sheds={} shed_rate={:.4} \
+         reconnects={}",
         report.responses,
+        report.deltas_accepted,
         report.deltas_per_sec(),
         report.recommends,
         report.sheds,
@@ -179,5 +204,85 @@ fn drive(args: &[String]) -> Result<(), String> {
     if report.responses == 0 {
         return Err("no responses received".into());
     }
+    Ok(())
+}
+
+/// The cluster consistency check: replay the workload through the
+/// target and through an in-process single-node twin (same `apply`
+/// path the server uses), then assert every user's served
+/// recommendations are bit-identical — ads, scores, and order.
+fn twin_check(addr: &str, synth_config: &SynthConfig) -> Result<(), String> {
+    let workload = synth::build(synth_config);
+    let engine_config = EngineConfig::default();
+    let mut client = Client::connect(addr, &ClientConfig::default()).map_err(|e| e.to_string())?;
+    let mut store = AdStore::new();
+    let mut driver = ShardedDriver::new(workload.num_users, 2, engine_config.clone());
+
+    // Campaigns in workload order: through the wire and into the twin.
+    // Id agreement proves the cluster's broadcast kept one global
+    // submission order on every partition.
+    for spec in &workload.campaigns {
+        let remote = client
+            .submit_campaign(spec.clone())
+            .map_err(|e| e.to_string())?;
+        let sub = spec.clone().try_into_submission()?;
+        let effect = apply_record(&mut store, &mut driver, WalRecord::Submit(sub))?;
+        let ApplyEffect::Submitted { ad } = effect else {
+            return Err("twin submit produced a non-submit effect".to_string());
+        };
+        if remote != ad {
+            return Err(format!(
+                "campaign id diverges: server assigned {}, twin {}",
+                remote.0, ad.0
+            ));
+        }
+    }
+
+    let mut deltas = 0u64;
+    for batch in &workload.batches {
+        deltas += batch.len() as u64;
+        let accepted = client.ingest(batch.clone()).map_err(|e| e.to_string())?;
+        if u64::from(accepted) != batch.len() as u64 {
+            return Err(format!(
+                "server accepted {accepted} of {} deltas",
+                batch.len()
+            ));
+        }
+        apply_record(
+            &mut store,
+            &mut driver,
+            WalRecord::IngestBatch(batch.clone()),
+        )?;
+    }
+    eprintln!(
+        "twin fed: {} campaigns, {deltas} deltas; sweeping {} users…",
+        workload.campaigns.len(),
+        workload.num_users
+    );
+
+    let k = u16::try_from(engine_config.k).unwrap_or(u16::MAX);
+    let mut served = 0u64;
+    for u in 0..workload.num_users {
+        let user = UserId(u);
+        let home = workload.homes[user.index()];
+        let remote = client
+            .recommend(user, workload.end_time, home, k)
+            .map_err(|e| e.to_string())?;
+        let local = driver.recommend(&store, user, workload.end_time, home, engine_config.k);
+        if remote != local {
+            return Err(format!(
+                "user {u}: served recommendations diverge from the twin \
+                 (remote {} result(s), local {})",
+                remote.len(),
+                local.len()
+            ));
+        }
+        served += remote.len() as u64;
+    }
+    // Scripts grep this exact shape.
+    println!(
+        "twin check: users={} served={served} bit-identical",
+        workload.num_users
+    );
     Ok(())
 }

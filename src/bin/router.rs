@@ -1,0 +1,127 @@
+//! `adcast-router` — the cluster's routing gateway.
+//!
+//! ```text
+//! adcast-router [--addr HOST:PORT]
+//!               --partition PRIMARY[,FOLLOWER] [--partition ...]
+//!               [--connect-attempts N] [--obs-addr HOST:PORT]
+//! ```
+//!
+//! One `--partition` flag per partition, in partition order; each names
+//! the partition's primary and (optionally) its follower. Binds the
+//! listener (port 0 picks an ephemeral port), prints
+//! `listening on HOST:PORT` on stdout — scripts parse that line — and
+//! routes until a client sends the Shutdown RPC (which also drains the
+//! nodes). When a primary dies, the router promotes its follower under
+//! a bumped epoch and keeps serving; see DESIGN.md §14.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use adcast::cluster::{PartitionMap, Router, RouterConfig};
+use adcast::net::client::ClientConfig;
+use adcast::obs::ObsServer;
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{name} needs a value"))?
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("{name}: {e}")),
+    }
+}
+
+fn str_flag<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(String::as_str)
+            .map(Some)
+            .ok_or_else(|| format!("{name} needs a value")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: adcast-router [--addr HOST:PORT] --partition PRIMARY[,FOLLOWER] \
+             [--partition ...] [--connect-attempts N] [--obs-addr HOST:PORT]"
+        );
+        return Ok(());
+    }
+    let addr = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1))
+        .map_or("127.0.0.1:0", String::as_str);
+    let mut specs = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--partition" {
+            specs.push(
+                args.get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| "--partition needs a value".to_string())?,
+            );
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    let map = PartitionMap::parse(&specs)
+        .map_err(|e| format!("{e} (repeat --partition PRIMARY[,FOLLOWER] per partition)"))?;
+    let connect_attempts = flag(args, "--connect-attempts")?.unwrap_or(3) as u32;
+    let obs_addr = str_flag(args, "--obs-addr")?;
+
+    let config = RouterConfig {
+        client: ClientConfig {
+            connect_attempts,
+            ..ClientConfig::default()
+        },
+        poll_interval: Duration::from_millis(50),
+    };
+    let router = Router::start(addr, &map, config).map_err(|e| format!("bind {addr}: {e}"))?;
+    let obs_server = match obs_addr {
+        None => None,
+        Some(obs_addr) => Some(
+            ObsServer::start(obs_addr, adcast::obs::registry())
+                .map_err(|e| format!("bind obs {obs_addr}: {e}"))?,
+        ),
+    };
+    // Scripts wait for this exact line to learn the ephemeral port.
+    println!("listening on {}", router.addr());
+    if let Some(obs) = &obs_server {
+        println!("obs listening on {}", obs.addr());
+    }
+    for (partition, nodes) in map.iter() {
+        match &nodes.follower {
+            Some(f) => eprintln!(
+                "partition {partition}: primary {} follower {f}",
+                nodes.primary
+            ),
+            None => eprintln!(
+                "partition {partition}: primary {} (no follower: failover unavailable)",
+                nodes.primary
+            ),
+        }
+    }
+    router.join();
+    if let Some(obs) = obs_server {
+        obs.stop();
+    }
+    eprintln!("router shut down cleanly");
+    Ok(())
+}

@@ -4,6 +4,8 @@
 //! adcast-serve [--addr HOST:PORT] [--users N] [--shards N] [--queue-depth N]
 //!              [--data-dir PATH] [--fsync always|off|every=N]
 //!              [--snapshot-every N] [--obs-addr HOST:PORT]
+//!              [--partition N [--epoch N] [--role primary|follower]
+//!               [--follower HOST:PORT]]
 //! ```
 //!
 //! Binds the listener (port 0 picks an ephemeral port), prints
@@ -17,6 +19,14 @@
 //! binds. `--fsync` trades ingest throughput against the post-`kill -9`
 //! loss window; see DESIGN.md §9.
 //!
+//! `--partition` joins the node to a cluster (requires `--data-dir`):
+//! it serves one user partition behind `adcast-router` and only admits
+//! partition-routed RPCs stamped with its partition and epoch. As a
+//! `primary` with `--follower HOST:PORT` it ships every committed WAL
+//! record to that follower and waits for the durability ack before
+//! acking the client; as a `follower` it refuses client writes and
+//! applies replicated records, ready for promotion. See DESIGN.md §14.
+//!
 //! `--obs-addr` additionally binds a plain-HTTP observability listener
 //! serving `GET /metrics` (Prometheus text format) and `GET /healthz`;
 //! the bound address is printed as `obs listening on HOST:PORT`. With
@@ -28,9 +38,13 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use adcast::ads::AdStore;
+use adcast::cluster::TcpSink;
 use adcast::core::{EngineConfig, ShardedDriver};
-use adcast::durability::{recover, Durability, DurabilityOptions, FsyncPolicy, WalOptions};
-use adcast::net::{Server, ServerConfig};
+use adcast::durability::{
+    fs_backend, recover, Durability, DurabilityOptions, FsyncPolicy, WalOptions,
+};
+use adcast::net::client::ClientConfig;
+use adcast::net::{ClusterConfig, ClusterState, ReplicaSetup, Server, ServerConfig};
 use adcast::obs::flightrec::{recovery_step, EventKind};
 use adcast::obs::{flightrec, install_panic_dump, ObsServer};
 
@@ -72,7 +86,8 @@ fn run(args: &[String]) -> Result<(), String> {
         eprintln!(
             "usage: adcast-serve [--addr HOST:PORT] [--users N] [--shards N] \
              [--queue-depth N] [--data-dir PATH] [--fsync always|off|every=N] \
-             [--snapshot-every N] [--obs-addr HOST:PORT]"
+             [--snapshot-every N] [--obs-addr HOST:PORT] [--partition N \
+             [--epoch N] [--role primary|follower] [--follower HOST:PORT]]"
         );
         return Ok(());
     }
@@ -91,6 +106,35 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     let snapshot_every = flag(args, "--snapshot-every")?.unwrap_or(10_000);
     let obs_addr = str_flag(args, "--obs-addr")?;
+    let partition = flag(args, "--partition")?;
+    let epoch = flag(args, "--epoch")?.unwrap_or(0);
+    let role = str_flag(args, "--role")?.unwrap_or("primary");
+    let follower_addr = str_flag(args, "--follower")?;
+    if partition.is_none() && (follower_addr.is_some() || str_flag(args, "--role")?.is_some()) {
+        return Err("--role/--follower need --partition (cluster mode)".into());
+    }
+    if partition.is_some() && data_dir.is_none() {
+        return Err("cluster mode replicates WAL records; --partition needs --data-dir".into());
+    }
+    let partition = match partition {
+        Some(p) => Some(
+            u16::try_from(p).map_err(|_| format!("--partition {p} exceeds the u16 wire header"))?,
+        ),
+        None => None,
+    };
+    let state = match (partition, role) {
+        (None, _) => ClusterState::standalone(),
+        (Some(p), "primary") => ClusterState::primary(p, epoch),
+        (Some(p), "follower") => {
+            if follower_addr.is_some() {
+                return Err("--follower names a primary's replication target; \
+                            a --role follower node has none"
+                    .into());
+            }
+            ClusterState::follower(p, epoch)
+        }
+        (Some(_), other) => return Err(format!("--role {other}: expected primary or follower")),
+    };
 
     // The flight recorder survives a crash only if something dumps it:
     // with a data dir, wire the panic hook (and the server's shutdown /
@@ -117,7 +161,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 fsync,
                 ..WalOptions::default()
             };
-            let recovered = recover(&dir, users, shards, engine_config, wal_options)
+            let recovered = recover(&dir, users, shards, engine_config.clone(), wal_options)
                 .map_err(|e| format!("recover {}: {e}", dir.display()))?;
             let report = recovered.report;
             flightrec().record(
@@ -150,21 +194,54 @@ fn run(args: &[String]) -> Result<(), String> {
                 ),
                 None => eprintln!("cold start: {} is empty", dir.display()),
             }
-            let durability = Durability::new(
-                &dir,
-                recovered.wal,
-                DurabilityOptions {
-                    wal: wal_options,
-                    snapshot_every,
-                    ..DurabilityOptions::default()
-                },
-                report,
-            );
+            let options = DurabilityOptions {
+                wal: wal_options,
+                snapshot_every,
+                ..DurabilityOptions::default()
+            };
+            let durability = Durability::new(&dir, recovered.wal, options, report);
             eprintln!(
                 "durable mode: data dir {}, fsync {fsync}, snapshot every {snapshot_every} record(s)",
                 dir.display()
             );
-            Server::start_durable(addr, config, recovered.store, recovered.driver, Some(durability))
+            match partition {
+                None => Server::start_durable(
+                    addr,
+                    config,
+                    recovered.store,
+                    recovered.driver,
+                    Some(durability),
+                ),
+                Some(p) => {
+                    eprintln!(
+                        "cluster mode: partition {p} epoch {epoch} role {role}{}",
+                        follower_addr
+                            .map(|f| format!(", replicating to {f}"))
+                            .unwrap_or_default()
+                    );
+                    let sink = follower_addr.map(|f| {
+                        Box::new(TcpSink::new(p, f, ClientConfig::default()))
+                            as Box<dyn adcast::net::ReplicationSink>
+                    });
+                    let replica = Some(ReplicaSetup {
+                        backend: fs_backend(&dir),
+                        options,
+                        engine: engine_config,
+                    });
+                    Server::start_cluster(
+                        addr,
+                        config,
+                        recovered.store,
+                        recovered.driver,
+                        Some(durability),
+                        ClusterConfig {
+                            state,
+                            sink,
+                            replica,
+                        },
+                    )
+                }
+            }
         }
     }
     .map_err(|e| {

@@ -44,6 +44,7 @@
 //! `promoted_feed` example walks through it.
 
 pub use adcast_ads as ads;
+pub use adcast_cluster as cluster;
 pub use adcast_core as core;
 pub use adcast_durability as durability;
 pub use adcast_feed as feed;

@@ -62,6 +62,23 @@ impl Bytes {
         Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
     }
 
+    /// Split off and return the first `at` bytes, advancing `self` past
+    /// them (zero-copy; both views share the allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to past end of buffer");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
     fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
