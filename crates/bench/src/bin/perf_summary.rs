@@ -395,6 +395,23 @@ fn main() {
             report.diagnostics.len(),
             report.files_scanned
         );
+        // Acceptance gates: the v2 engine registers at least 12 rules, and
+        // every pragma carries a non-empty reason (a reasonless allow() is
+        // a `suppression` diagnostic, so any such diagnostic fails here).
+        assert!(
+            report.rule_count() >= 12,
+            "lint engine regressed to {} rule(s); expected at least 12",
+            report.rule_count()
+        );
+        let pragma_rot: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == adcast_lint::SUPPRESSION_RULE)
+            .collect();
+        assert!(
+            pragma_rot.is_empty(),
+            "suppression pragmas without a reason (or suppressing nothing): {pragma_rot:?}"
+        );
     }
 
     // --- Deterministic simulation: the smoke scenario (virtual time,

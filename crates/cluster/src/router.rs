@@ -235,6 +235,10 @@ impl Forwarder {
     /// Promote this partition's follower under a bumped epoch. Returns
     /// whether the caller should retry — true when the view changed,
     /// whether we moved it or a racing connection did.
+    // adcast-lint: allow(lock-discipline) -- the promotion RPC runs under
+    // the partition lock on purpose: the partition is down (nothing else
+    // can make progress on it) and racing failovers must serialize on
+    // exactly this lock so only one epoch bump wins.
     fn failover(&mut self, observed_generation: u64) -> bool {
         let mut rt = match self.shared.partitions[usize::from(self.partition)].lock() {
             Ok(rt) => rt,
@@ -275,13 +279,18 @@ impl Forwarder {
 /// One forwarding job for a partition forwarder thread.
 struct Job {
     inner: Request,
-    reply: mpsc::Sender<Response>,
+    /// Depth-1 by construction: the forwarder sends exactly one reply
+    /// per job, so the bounded send can never block.
+    reply: mpsc::SyncSender<Response>,
 }
 
 /// The per-connection fan-out: one forwarder thread per partition, fed
 /// by channels, collected by the connection thread.
 struct Pool {
-    senders: Vec<mpsc::Sender<Job>>,
+    /// Each forwarder queue is bounded at one job: the connection thread
+    /// is the only producer and collects every reply before dispatching
+    /// the next RPC, so at most one job is ever in flight per partition.
+    senders: Vec<mpsc::SyncSender<Job>>,
     joins: Vec<JoinHandle<()>>,
 }
 
@@ -291,7 +300,7 @@ impl Pool {
         let mut senders = Vec::with_capacity(n);
         let mut joins = Vec::with_capacity(n);
         for partition in 0..n {
-            let (tx, rx) = mpsc::channel::<Job>();
+            let (tx, rx) = mpsc::sync_channel::<Job>(1);
             let mut forwarder = Forwarder {
                 // Construction bounds n to u16 (PartitionMap invariant).
                 partition: partition as u16,
@@ -320,7 +329,7 @@ impl Pool {
 
     /// Dispatch `inner` to one partition; returns the reply receiver.
     fn dispatch(&self, partition: u16, inner: Request) -> mpsc::Receiver<Response> {
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = mpsc::sync_channel(1);
         if let Some(sender) = self.senders.get(usize::from(partition)) {
             let _ = sender.send(Job { inner, reply: tx });
         }

@@ -44,7 +44,7 @@ use adcast_feed::FeedDelta;
 use adcast_graph::UserId;
 use adcast_stream::clock::Timestamp;
 use adcast_stream::event::LocationId;
-use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
@@ -112,10 +112,14 @@ enum WorkerMsg {
 }
 
 struct Worker {
-    tx: Sender<WorkerMsg>,
+    /// Bounded at one message: the ack barrier drains every dispatched
+    /// batch before `process_batch` returns, so at most one `Batch` (or,
+    /// after it, one `Shutdown`) is ever queued and sends never block.
+    tx: SyncSender<WorkerMsg>,
     /// Per-worker ack channel: the emptied slab comes back when the batch
     /// is done. A dropped sender (worker panic) turns `recv` into an
-    /// error instead of a deadlock.
+    /// error instead of a deadlock. Bounded at one for the same reason as
+    /// `tx`: one ack per batch, drained before the next dispatch.
     ack_rx: Receiver<Slab>,
     join: Option<JoinHandle<()>>,
 }
@@ -175,8 +179,8 @@ impl ShardedDriver {
                 .enumerate()
                 .map(|(s, engine)| {
                     let engine = Arc::clone(engine);
-                    let (tx, rx) = mpsc::channel::<WorkerMsg>();
-                    let (ack_tx, ack_rx) = mpsc::channel::<Slab>();
+                    let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(1);
+                    let (ack_tx, ack_rx) = mpsc::sync_channel::<Slab>(1);
                     let shards = num_shards as u32;
                     let join = std::thread::Builder::new()
                         .name(format!("adcast-shard-{s}"))
@@ -481,7 +485,7 @@ fn worker_loop(
     engine: &Mutex<IncrementalEngine>,
     num_shards: u32,
     rx: &Receiver<WorkerMsg>,
-    ack_tx: &Sender<Slab>,
+    ack_tx: &SyncSender<Slab>,
 ) {
     while let Ok(msg) = rx.recv() {
         match msg {

@@ -7,6 +7,7 @@
 //! (rustfmt-formatted, no macro-generated items on the checked paths).
 
 use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
+use crate::tree::ItemTree;
 
 /// One function found in a file.
 #[derive(Debug, Clone)]
@@ -60,6 +61,9 @@ pub struct FileAnalysis {
     /// Lines fully occupied by attribute tokens (`#[...]`).
     pub attr_lines: Vec<u32>,
     pub fns: Vec<FnInfo>,
+    /// Structural index: brace-matched blocks, enum/impl/match items and
+    /// the per-file symbol list (see [`crate::tree`]).
+    pub tree: ItemTree,
     pub pragmas: Vec<Pragma>,
     pub bad_pragmas: Vec<BadPragma>,
 }
@@ -70,6 +74,7 @@ impl FileAnalysis {
         let in_test = cfg_test_mask(&tokens);
         let attr_lines = attribute_lines(&tokens);
         let fns = find_fns(&tokens);
+        let tree = ItemTree::build(&tokens);
         let (pragmas, bad_pragmas) = parse_pragmas(&comments);
         FileAnalysis {
             rel_path: rel_path.to_string(),
@@ -78,6 +83,7 @@ impl FileAnalysis {
             in_test,
             attr_lines,
             fns,
+            tree,
             pragmas,
             bad_pragmas,
         }

@@ -71,6 +71,177 @@ pub const NO_WALLCLOCK_PREFIXES: &[&str] = &[
     "crates/net/src/",
 ];
 
+/// Where the wire protocol's `Request`/`Response` enums are declared; the
+/// single source of truth `rpc-exhaustive` diffs every site against.
+pub const PROTOCOL_FILE: &str = "crates/net/src/protocol.rs";
+
+/// One place where every protocol variant must be handled.
+pub struct RpcSite {
+    /// Workspace-relative file holding the site.
+    pub file: &'static str,
+    /// Function whose body must mention every variant (same-named fns in
+    /// one file are merged, so impl methods need no qualification).
+    pub func: &'static str,
+    /// `"Request"` or `"Response"`.
+    pub enum_name: &'static str,
+    /// Short human name used in diagnostics.
+    pub role: &'static str,
+    /// Variants this site never sees **by design**. Each entry is checked
+    /// the other way too: an excepted variant that the site does handle
+    /// is a stale exemption and diagnosed.
+    pub except: &'static [&'static str],
+}
+
+/// Every conformance site for `rpc-exhaustive`. The router's broadcast
+/// merge table legitimately skips the kinds that never cross the router:
+/// cluster RPCs (`ReplAck`, `SnapshotInstalled`, `Promoted`,
+/// `ClusterStatusReply`) are dialed node-direct and refused by
+/// `route_one`; `Ingested` merges in `route_one`'s scatter-gather, not in
+/// the broadcast path; `Recommendations` pass through the router opaquely.
+pub const RPC_SITES: &[RpcSite] = &[
+    RpcSite {
+        file: "crates/net/src/codec.rs",
+        func: "put_request",
+        enum_name: "Request",
+        role: "codec encode",
+        except: &[],
+    },
+    RpcSite {
+        // `decode_request` delegates to `take_request` (the seam that caps
+        // `Routed` nesting at one); the variants are constructed there.
+        file: "crates/net/src/codec.rs",
+        func: "take_request",
+        enum_name: "Request",
+        role: "codec decode",
+        except: &[],
+    },
+    RpcSite {
+        file: "crates/net/src/codec.rs",
+        func: "encode_response",
+        enum_name: "Response",
+        role: "codec encode",
+        except: &[],
+    },
+    RpcSite {
+        file: "crates/net/src/codec.rs",
+        func: "decode_response",
+        enum_name: "Response",
+        role: "codec decode",
+        except: &[],
+    },
+    RpcSite {
+        file: "crates/net/src/server.rs",
+        func: "serve_one",
+        enum_name: "Request",
+        role: "server dispatch",
+        except: &[],
+    },
+    RpcSite {
+        file: "crates/net/src/server.rs",
+        func: "req_kind_code",
+        enum_name: "Request",
+        role: "flight-recorder kind table",
+        except: &[],
+    },
+    RpcSite {
+        file: "crates/cluster/src/router.rs",
+        func: "route_one",
+        enum_name: "Request",
+        role: "router forward table",
+        except: &[],
+    },
+    RpcSite {
+        file: "crates/cluster/src/router.rs",
+        func: "merge_broadcast",
+        enum_name: "Response",
+        role: "router broadcast merge table",
+        except: &[
+            "Ingested",
+            "Recommendations",
+            "ReplAck",
+            "SnapshotInstalled",
+            "Promoted",
+            "ClusterStatusReply",
+        ],
+    },
+];
+
+/// A token-order state machine for `ack-ladder`: within the named fn's
+/// body, the first occurrences of the anchor tokens must appear in `steps`
+/// order, and a later step may not appear without every earlier one.
+pub struct Ladder {
+    pub file: &'static str,
+    pub func: &'static str,
+    pub steps: &'static [&'static str],
+    /// The invariant in words, for diagnostics.
+    pub doc: &'static str,
+}
+
+/// The replication-path ladders. The client-facing ack is structural (the
+/// dispatch arm's reply is sent only after `log_apply` returns), so the
+/// ladders pin everything up to it: primary WAL order, the follower's
+/// durable-commit-before-ack, and the follower apply order.
+pub const ACK_LADDERS: &[Ladder] = &[
+    Ladder {
+        file: "crates/net/src/server.rs",
+        func: "log_apply",
+        steps: &["log", "commit", "apply_record", "replicate"],
+        doc: "primary mutations go WAL log -> commit -> apply -> replicate",
+    },
+    Ladder {
+        file: "crates/net/src/server.rs",
+        func: "serve_one",
+        steps: &["replica_append", "ReplAck"],
+        doc: "a follower acks (`ReplAck`) only after `replica_append` made the batch durable",
+    },
+    Ladder {
+        file: "crates/net/src/replication.rs",
+        func: "replica_append",
+        steps: &["log", "commit", "apply_record"],
+        doc: "the follower logs and commits the whole batch before applying it",
+    },
+];
+
+/// Crates whose code runs on serving threads: `lock-discipline` (no
+/// blocking calls or undeclared nested locks while a guard is live) and
+/// `bounded-channel` (no unbounded `mpsc::channel()`) apply here. The
+/// durability persister and obs/bench machinery are deliberately outside:
+/// the former owns its fsync latency, the latter never serves.
+pub const SERVING_PREFIXES: &[&str] =
+    &["crates/net/src/", "crates/cluster/src/", "crates/core/src/"];
+
+/// Calls that can block the thread; banned while a lock guard is live.
+/// `send` on a `sync_channel` can block too but is deliberately absent:
+/// the bounded-channel conversions size every queue so protocol-bounded
+/// sends never fill it, and banning `send` would outlaw the reply-channel
+/// idiom wholesale.
+pub const BLOCKING_IN_LOCK: &[&str] = &[
+    "read",
+    "write",
+    "read_frame",
+    "write_frame",
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "accept",
+    "connect",
+    "join",
+    "sync_all",
+    "sync_data",
+    "flush",
+    "sleep",
+    "park",
+    "wait",
+    "wait_timeout",
+];
+
+/// Declared lock order: acquiring the second lock while holding a guard
+/// on the first is sanctioned. Seeded with the router's design: the
+/// global broadcast lock is taken first, then the forwarders take
+/// per-partition locks underneath it (deterministic broadcast delivery
+/// order requires exactly this nesting).
+pub const LOCK_ORDER: &[(&str, &str)] = &[("broadcast", "partitions")];
+
 /// Directory names skipped entirely when walking the workspace.
 pub const SKIP_DIRS: &[&str] = &[".git", "target", "vendor", "results", "fixtures"];
 
@@ -96,4 +267,13 @@ pub fn wants_no_lock(rel: &str) -> bool {
 
 pub fn wants_no_wallclock(rel: &str) -> bool {
     NO_WALLCLOCK_PREFIXES.iter().any(|p| rel.starts_with(p))
+}
+
+pub fn is_serving(rel: &str) -> bool {
+    SERVING_PREFIXES.iter().any(|p| rel.starts_with(p))
+}
+
+/// Is holding `held` while acquiring `acquired` a declared order?
+pub fn lock_order_allows(held: &str, acquired: &str) -> bool {
+    LOCK_ORDER.iter().any(|&(h, a)| h == held && a == acquired)
 }

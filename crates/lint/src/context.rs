@@ -1,0 +1,154 @@
+//! Cross-file analysis context.
+//!
+//! Single-file rules are pure functions of one [`FileAnalysis`]; rules
+//! like `rpc-exhaustive` instead relate a declaration in one file (the
+//! protocol enums) to uses in several others (codec, server dispatch,
+//! router merge tables). The engine therefore runs in two passes: pass 1
+//! analyzes every file independently and distills each into a small
+//! [`FileFacts`] record; pass 2 hands the assembled [`Workspace`] to the
+//! cross-file rules. Facts are deliberately shallow — names, lines, and
+//! `Enum::Variant` path pairs — so the context stays cheap to build and
+//! easy to fake in fixtures (a fixture workspace is just a list of
+//! `(path, source)` pairs).
+
+use std::collections::BTreeSet;
+
+use crate::analysis::FileAnalysis;
+use crate::tree::Symbol;
+
+/// An enum declaration, as seen from other files.
+#[derive(Debug, Clone)]
+pub struct EnumFacts {
+    pub name: String,
+    pub variants: Vec<String>,
+    pub line: u32,
+}
+
+/// One function's cross-file-relevant content: the `Enum::Variant` (more
+/// generally `Ident::Ident`) path pairs its non-test body mentions.
+#[derive(Debug, Clone)]
+pub struct FnFacts {
+    pub name: String,
+    pub line: u32,
+    pub paths: BTreeSet<(String, String)>,
+}
+
+/// Everything the cross-file rules may know about one file.
+#[derive(Debug)]
+pub struct FileFacts {
+    pub path: String,
+    pub enums: Vec<EnumFacts>,
+    pub fns: Vec<FnFacts>,
+    pub symbols: Vec<Symbol>,
+}
+
+/// The assembled cross-file context: one [`FileFacts`] per linted file.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub files: Vec<FileFacts>,
+}
+
+impl Workspace {
+    pub fn file(&self, path: &str) -> Option<&FileFacts> {
+        self.files.iter().find(|f| f.path == path)
+    }
+
+    /// The enum `name` declared in `path`, if both exist in the context.
+    pub fn enum_decl(&self, path: &str, name: &str) -> Option<&EnumFacts> {
+        self.file(path)?.enums.iter().find(|e| e.name == name)
+    }
+
+    /// Union of `Enum::Variant` second components over every fn named
+    /// `func` in `path` whose path pairs start with `enum_name`. Merging
+    /// same-named fns (free fns vs methods in different impls) keeps the
+    /// lookup stable without full name resolution.
+    pub fn variants_used(&self, path: &str, func: &str, enum_name: &str) -> BTreeSet<&str> {
+        let mut used = BTreeSet::new();
+        if let Some(file) = self.file(path) {
+            for f in file.fns.iter().filter(|f| f.name == func) {
+                for (e, v) in &f.paths {
+                    if e == enum_name {
+                        used.insert(v.as_str());
+                    }
+                }
+            }
+        }
+        used
+    }
+}
+
+/// Distill one analyzed file into its cross-file facts.
+pub fn extract(fa: &FileAnalysis) -> FileFacts {
+    let enums = fa
+        .tree
+        .enums
+        .iter()
+        .map(|e| EnumFacts {
+            name: e.name.clone(),
+            variants: e.variants.clone(),
+            line: e.line,
+        })
+        .collect();
+    let mut fns = Vec::new();
+    for f in &fa.fns {
+        let (Some(open), Some(close)) = (f.body_open, f.body_close) else {
+            continue;
+        };
+        let mut paths = BTreeSet::new();
+        for i in open + 1..close {
+            if fa.in_test[i] {
+                continue;
+            }
+            let t = &fa.tokens[i];
+            if t.kind != crate::lexer::TokKind::Ident {
+                continue;
+            }
+            let is_path = fa.tokens.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                && fa.tokens.get(i + 2).is_some_and(|b| b.is_punct(':'))
+                && fa
+                    .tokens
+                    .get(i + 3)
+                    .is_some_and(|c| c.kind == crate::lexer::TokKind::Ident);
+            if is_path {
+                paths.insert((t.text.clone(), fa.tokens[i + 3].text.clone()));
+            }
+        }
+        fns.push(FnFacts {
+            name: f.name.clone(),
+            line: f.line,
+            paths,
+        });
+    }
+    FileFacts {
+        path: fa.rel_path.clone(),
+        enums,
+        fns,
+        symbols: fa.tree.symbols.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_enum_and_fn_paths() {
+        let proto = FileAnalysis::new(
+            "crates/net/src/protocol.rs",
+            "pub enum Request { A, B(u32), }",
+        );
+        let site = FileAnalysis::new(
+            "crates/net/src/codec.rs",
+            "fn put_request(r: &Request) { match r { Request::A => {}, Request::B(x) => {} } }",
+        );
+        let ws = Workspace {
+            files: vec![extract(&proto), extract(&site)],
+        };
+        let decl = ws
+            .enum_decl("crates/net/src/protocol.rs", "Request")
+            .unwrap();
+        assert_eq!(decl.variants, ["A", "B"]);
+        let used = ws.variants_used("crates/net/src/codec.rs", "put_request", "Request");
+        assert!(used.contains("A") && used.contains("B"));
+    }
+}

@@ -20,8 +20,10 @@
 
 pub mod analysis;
 pub mod config;
+pub mod context;
 pub mod lexer;
 pub mod rules;
+pub mod tree;
 
 use std::fmt;
 use std::fs;
@@ -29,6 +31,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use analysis::{Directive, FileAnalysis};
+use context::Workspace;
 
 /// Every rule this binary knows, in reporting order. `suppression` is the
 /// meta-rule for malformed/unused pragmas and cannot be suppressed itself.
@@ -40,6 +43,10 @@ pub const RULES: &[&str] = &[
     rules::ERROR_HYGIENE,
     rules::NO_LOCK_IN_RECORD,
     rules::NO_WALLCLOCK,
+    rules::RPC_EXHAUSTIVE,
+    rules::ACK_LADDER,
+    rules::LOCK_DISCIPLINE,
+    rules::BOUNDED_CHANNEL,
 ];
 
 /// The meta-rule name used for pragma-hygiene diagnostics.
@@ -85,38 +92,51 @@ impl LintReport {
     }
 }
 
-/// Lint one file's source under a given workspace-relative path. The path
-/// decides which rules apply, so fixtures can borrow a hot-path identity.
-/// Returns surviving diagnostics plus the number of valid suppressions.
-pub fn lint_source(rel_path: &str, src: &str, only_rule: Option<&str>) -> (Vec<Diagnostic>, usize) {
-    let fa = FileAnalysis::new(rel_path, src);
+/// Run every single-file rule over one analyzed file.
+fn file_rules(fa: &FileAnalysis, only_rule: Option<&str>) -> Vec<Diagnostic> {
     let mut raw: Vec<Diagnostic> = Vec::new();
-
     let run = |name: &str| only_rule.is_none_or(|r| r == name);
     if run(rules::UNSAFE_NEEDS_SAFETY) {
-        raw.extend(rules::unsafe_needs_safety(&fa));
+        raw.extend(rules::unsafe_needs_safety(fa));
     }
     if run(rules::NO_PANIC_HOT_PATH) {
-        raw.extend(rules::no_panic_hot_path(&fa));
+        raw.extend(rules::no_panic_hot_path(fa));
     }
     if run(rules::NO_ALLOC_STEADY_STATE) {
-        raw.extend(rules::no_alloc_steady_state(&fa));
+        raw.extend(rules::no_alloc_steady_state(fa));
     }
     if run(rules::WAL_ORDERING) {
-        raw.extend(rules::wal_ordering(&fa));
+        raw.extend(rules::wal_ordering(fa));
     }
     if run(rules::ERROR_HYGIENE) {
-        raw.extend(rules::error_hygiene(&fa));
+        raw.extend(rules::error_hygiene(fa));
     }
     if run(rules::NO_LOCK_IN_RECORD) {
-        raw.extend(rules::no_lock_in_record(&fa));
+        raw.extend(rules::no_lock_in_record(fa));
     }
     if run(rules::NO_WALLCLOCK) {
-        raw.extend(rules::no_wallclock(&fa));
+        raw.extend(rules::no_wallclock(fa));
     }
+    if run(rules::ACK_LADDER) {
+        raw.extend(rules::ack_ladder(fa));
+    }
+    if run(rules::LOCK_DISCIPLINE) {
+        raw.extend(rules::lock_discipline(fa));
+    }
+    if run(rules::BOUNDED_CHANNEL) {
+        raw.extend(rules::bounded_channel(fa));
+    }
+    raw
+}
 
-    // Apply suppressions: each valid allow() covers matching diagnostics
-    // within the next item's line span only.
+/// Apply one file's suppression pragmas to its diagnostics (single-file
+/// and cross-file alike — a pragma covers whatever lands on its item).
+/// Returns survivors plus the number of valid suppressions seen.
+fn apply_suppressions(
+    fa: &FileAnalysis,
+    raw: Vec<Diagnostic>,
+    only_rule: Option<&str>,
+) -> (Vec<Diagnostic>, usize) {
     let mut suppressions = 0usize;
     let mut survivors = raw;
     for p in &fa.pragmas {
@@ -135,7 +155,7 @@ pub fn lint_source(rel_path: &str, src: &str, only_rule: Option<&str>) -> (Vec<D
         // meaningful when the full rule set ran.
         if !used && only_rule.is_none() {
             survivors.push(Diagnostic {
-                file: rel_path.to_string(),
+                file: fa.rel_path.clone(),
                 line: p.line,
                 rule: SUPPRESSION_RULE,
                 message: format!(
@@ -150,16 +170,65 @@ pub fn lint_source(rel_path: &str, src: &str, only_rule: Option<&str>) -> (Vec<D
     if only_rule.is_none_or(|r| r == SUPPRESSION_RULE) {
         for b in &fa.bad_pragmas {
             survivors.push(Diagnostic {
-                file: rel_path.to_string(),
+                file: fa.rel_path.clone(),
                 line: b.line,
                 rule: SUPPRESSION_RULE,
                 message: b.message.clone(),
             });
         }
     }
-
-    survivors.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     (survivors, suppressions)
+}
+
+/// Lint a set of `(path, source)` pairs as one workspace. This is the
+/// whole engine: pass 1 analyzes each file and runs the single-file
+/// rules; pass 2 distills per-file facts into a [`Workspace`] and runs
+/// the cross-file rules; pass 3 applies each file's suppression pragmas
+/// to every diagnostic anchored in it. Fixture tests use this directly
+/// to fake multi-file workspaces.
+pub fn lint_sources(files: &[(String, String)], only_rule: Option<&str>) -> LintReport {
+    let analyses: Vec<FileAnalysis> = files
+        .iter()
+        .map(|(path, src)| FileAnalysis::new(path, src))
+        .collect();
+    let mut raw: Vec<Vec<Diagnostic>> = analyses
+        .iter()
+        .map(|fa| file_rules(fa, only_rule))
+        .collect();
+
+    let run = |name: &str| only_rule.is_none_or(|r| r == name);
+    if run(rules::RPC_EXHAUSTIVE) {
+        let ws = Workspace {
+            files: analyses.iter().map(context::extract).collect(),
+        };
+        for d in rules::rpc_exhaustive(&ws) {
+            if let Some(i) = analyses.iter().position(|fa| fa.rel_path == d.file) {
+                raw[i].push(d);
+            }
+        }
+    }
+
+    let mut report = LintReport {
+        files_scanned: analyses.len(),
+        ..LintReport::default()
+    };
+    for (fa, diags) in analyses.iter().zip(raw) {
+        let (survivors, sup) = apply_suppressions(fa, diags, only_rule);
+        report.diagnostics.extend(survivors);
+        report.suppressions += sup;
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+/// Lint one file's source under a given workspace-relative path. The path
+/// decides which rules apply, so fixtures can borrow a hot-path identity.
+/// Returns surviving diagnostics plus the number of valid suppressions.
+pub fn lint_source(rel_path: &str, src: &str, only_rule: Option<&str>) -> (Vec<Diagnostic>, usize) {
+    let report = lint_sources(&[(rel_path.to_string(), src.to_string())], only_rule);
+    (report.diagnostics, report.suppressions)
 }
 
 /// Walk the workspace and lint every `.rs` file outside the skip list
@@ -169,20 +238,14 @@ pub fn lint_workspace(root: &Path, only_rule: Option<&str>) -> io::Result<LintRe
     collect_rs_files(root, root, &mut files)?;
     files.sort();
 
-    let mut report = LintReport::default();
+    let mut sources = Vec::with_capacity(files.len());
     for rel in files {
         let abs = root.join(&rel);
         let src = fs::read_to_string(&abs)?;
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        let (diags, sup) = lint_source(&rel_str, &src, only_rule);
-        report.diagnostics.extend(diags);
-        report.suppressions += sup;
-        report.files_scanned += 1;
+        sources.push((rel_str, src));
     }
-    report
-        .diagnostics
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(report)
+    Ok(lint_sources(&sources, only_rule))
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {

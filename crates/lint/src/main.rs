@@ -10,7 +10,17 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use adcast_lint::{json_escape, lint_workspace, RULES, SUPPRESSION_RULE};
+use adcast_lint::{json_escape, lint_workspace, rules, RULES, SUPPRESSION_RULE};
+
+/// One line per rule: `name  doc`. Shared by `--list-rules` and the
+/// unknown-`--rule` error so both always agree with the registry.
+fn rule_listing() -> String {
+    let mut out = String::new();
+    for r in RULES.iter().chain(std::iter::once(&SUPPRESSION_RULE)) {
+        out.push_str(&format!("{r:<22} {}\n", rules::rule_doc(r)));
+    }
+    out
+}
 
 struct Args {
     root: PathBuf,
@@ -36,8 +46,8 @@ fn parse_args() -> Result<Args, String> {
                 let r = it.next().ok_or("--rule needs a rule name")?;
                 if !RULES.contains(&r.as_str()) && r != SUPPRESSION_RULE {
                     return Err(format!(
-                        "unknown rule `{r}`; known rules: {}",
-                        RULES.join(", ")
+                        "unknown rule `{r}`; known rules:\n{}",
+                        rule_listing()
                     ));
                 }
                 args.rule = Some(r);
@@ -67,10 +77,7 @@ fn main() -> ExitCode {
     };
 
     if args.list_rules {
-        for r in RULES {
-            println!("{r}");
-        }
-        println!("{SUPPRESSION_RULE}");
+        print!("{}", rule_listing());
         return ExitCode::SUCCESS;
     }
 

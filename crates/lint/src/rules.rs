@@ -4,6 +4,7 @@
 
 use crate::analysis::{matching_close, Directive, FileAnalysis};
 use crate::config;
+use crate::context::Workspace;
 use crate::lexer::TokKind;
 use crate::Diagnostic;
 
@@ -14,6 +15,72 @@ pub const WAL_ORDERING: &str = "wal-ordering";
 pub const ERROR_HYGIENE: &str = "error-hygiene";
 pub const NO_LOCK_IN_RECORD: &str = "no-lock-in-record";
 pub const NO_WALLCLOCK: &str = "no-wallclock";
+pub const RPC_EXHAUSTIVE: &str = "rpc-exhaustive";
+pub const ACK_LADDER: &str = "ack-ladder";
+pub const LOCK_DISCIPLINE: &str = "lock-discipline";
+pub const BOUNDED_CHANNEL: &str = "bounded-channel";
+
+/// One-line documentation per rule, in [`crate::RULES`] order plus the
+/// suppression meta-rule; `--list-rules` prints this table and the DESIGN
+/// §10 drift test diffs it against the documented rule table.
+pub const RULE_DOCS: &[(&str, &str)] = &[
+    (
+        UNSAFE_NEEDS_SAFETY,
+        "every `unsafe` needs an immediately preceding `// SAFETY:` comment",
+    ),
+    (
+        NO_PANIC_HOT_PATH,
+        "no unwrap/expect/panic!-family (and, in the strict set, no bare indexing) on hot-path files",
+    ),
+    (
+        NO_ALLOC_STEADY_STATE,
+        "fns marked `// adcast-lint: zero-alloc` may not allocate; scratch reuse only",
+    ),
+    (
+        WAL_ORDERING,
+        "mutation handlers WAL-commit before they apply to the store",
+    ),
+    (
+        ERROR_HYGIENE,
+        "public fallible APIs return typed errors and pub error enums are #[non_exhaustive]",
+    ),
+    (
+        NO_LOCK_IN_RECORD,
+        "obs record paths stay lock-free (atomics only)",
+    ),
+    (
+        NO_WALLCLOCK,
+        "simulated crates read time via adcast_stream::clock, never Instant/SystemTime::now()",
+    ),
+    (
+        RPC_EXHAUSTIVE,
+        "every protocol Request/Response variant is handled at each codec/dispatch/router site",
+    ),
+    (
+        ACK_LADDER,
+        "replication-path fns keep their configured token order (commit -> apply -> replicate -> ack)",
+    ),
+    (
+        LOCK_DISCIPLINE,
+        "no blocking calls or undeclared nested locks while a lock guard is live",
+    ),
+    (
+        BOUNDED_CHANNEL,
+        "serving crates use mpsc::sync_channel, never unbounded mpsc::channel()",
+    ),
+    (
+        crate::SUPPRESSION_RULE,
+        "pragma hygiene: allow() needs a known rule, a reason, and must suppress something",
+    ),
+];
+
+/// The one-line doc for `name` (empty for unknown names).
+pub fn rule_doc(name: &str) -> &'static str {
+    RULE_DOCS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map_or("", |(_, d)| d)
+}
 
 fn diag(fa: &FileAnalysis, line: u32, rule: &'static str, message: String) -> Diagnostic {
     Diagnostic {
@@ -504,6 +571,351 @@ pub fn no_wallclock(fa: &FileAnalysis) -> Vec<Diagnostic> {
                      `adcast_stream::clock::now_ns()` so virtual time stays authoritative",
                     t.text
                 ),
+            ));
+        }
+    }
+    out
+}
+
+/// Rule 8 (cross-file): every variant of the protocol's `Request`/
+/// `Response` enums must be mentioned at each conformance site declared in
+/// [`config::RPC_SITES`] — codec encode/decode, server dispatch, the
+/// flight-recorder kind table, and the router's forward/broadcast merge
+/// tables. Adding an RPC kind and forgetting one site is a lint error,
+/// not a runtime `BadRequest`. Sites list by-design exemptions in config;
+/// an exemption the site does handle anyway is itself diagnosed so the
+/// table cannot rot. Inert when the protocol file or a site file is not
+/// in the linted set (single-file fixture runs).
+pub fn rpc_exhaustive(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for site in config::RPC_SITES {
+        let Some(decl) = ws.enum_decl(config::PROTOCOL_FILE, site.enum_name) else {
+            continue;
+        };
+        let Some(file) = ws.file(site.file) else {
+            continue;
+        };
+        let Some(anchor) = file
+            .fns
+            .iter()
+            .find(|f| f.name == site.func)
+            .map(|f| f.line)
+        else {
+            out.push(Diagnostic {
+                file: site.file.to_string(),
+                line: 1,
+                rule: RPC_EXHAUSTIVE,
+                message: format!(
+                    "{} fn `{}` not found; update config::RPC_SITES if the site moved",
+                    site.role, site.func
+                ),
+            });
+            continue;
+        };
+        let used = ws.variants_used(site.file, site.func, site.enum_name);
+        for v in &decl.variants {
+            let handled = used.contains(v.as_str());
+            let excepted = site.except.contains(&v.as_str());
+            if !handled && !excepted {
+                out.push(Diagnostic {
+                    file: site.file.to_string(),
+                    line: anchor,
+                    rule: RPC_EXHAUSTIVE,
+                    message: format!(
+                        "`{}::{v}` (declared in {}:{}) is not handled in the {} (`{}`)",
+                        site.enum_name,
+                        config::PROTOCOL_FILE,
+                        decl.line,
+                        site.role,
+                        site.func
+                    ),
+                });
+            } else if handled && excepted {
+                out.push(Diagnostic {
+                    file: site.file.to_string(),
+                    line: anchor,
+                    rule: RPC_EXHAUSTIVE,
+                    message: format!(
+                        "stale exemption: `{}::{v}` is handled in the {} (`{}`) but still \
+                         listed in config::RPC_SITES.except; remove the exemption",
+                        site.enum_name, site.role, site.func
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Rule 9: the generalized `wal-ordering` — a configurable token-order
+/// state machine over the replication path. For each [`config::Ladder`]
+/// matching this file, every fn with the ladder's name must mention the
+/// anchor tokens so that their first occurrences are in ladder order, and
+/// a later step may not appear without every earlier one.
+pub fn ack_ladder(fa: &FileAnalysis) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for ladder in config::ACK_LADDERS {
+        if ladder.file != fa.rel_path {
+            continue;
+        }
+        for f in fa.fns.iter().filter(|f| f.name == ladder.func) {
+            let (Some(open), Some(close)) = (f.body_open, f.body_close) else {
+                continue;
+            };
+            if fa.in_test[f.fn_idx] {
+                continue;
+            }
+            let first: Vec<Option<usize>> = ladder
+                .steps
+                .iter()
+                .map(|s| (open + 1..close).find(|&i| !fa.in_test[i] && fa.tokens[i].is_ident(s)))
+                .collect();
+            for (j, pj) in first.iter().enumerate() {
+                let Some(pj) = *pj else { continue };
+                // Report the first broken prerequisite only: one swap
+                // should read as one diagnostic, not a cascade.
+                for (i, earlier) in first.iter().enumerate().take(j) {
+                    match *earlier {
+                        Some(pi) if pi < pj => {}
+                        Some(_) => {
+                            out.push(diag(
+                                fa,
+                                fa.tokens[pj].line,
+                                ACK_LADDER,
+                                format!(
+                                    "`{}` before `{}` in `{}`; required order is {} ({})",
+                                    ladder.steps[j],
+                                    ladder.steps[i],
+                                    ladder.func,
+                                    ladder.steps.join(" -> "),
+                                    ladder.doc
+                                ),
+                            ));
+                            break;
+                        }
+                        None => {
+                            out.push(diag(
+                                fa,
+                                fa.tokens[pj].line,
+                                ACK_LADDER,
+                                format!(
+                                    "`{}` without any preceding `{}` in `{}`; required order is {} ({})",
+                                    ladder.steps[j],
+                                    ladder.steps[i],
+                                    ladder.func,
+                                    ladder.steps.join(" -> "),
+                                    ladder.doc
+                                ),
+                            ));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A lock acquisition and the token region its guard is live over.
+struct LiveGuard {
+    /// Token index of the `lock`/`read`/`write` ident.
+    call: usize,
+    /// Token index closing the acquisition's own `(...)` argument list.
+    args_close: usize,
+    /// The lock's name: nearest receiver ident before the call.
+    name: String,
+    /// Exclusive region end: `drop(<binding>)` if present, else the close
+    /// of the smallest enclosing block.
+    region_end: usize,
+    line: u32,
+}
+
+/// Rule 10 (scope-aware): while a lock guard is live — from a `.lock()` /
+/// RwLock `.read()`/`.write()` acquisition to the end of its enclosing
+/// block or an explicit `drop(guard)` — ban calls that can block the
+/// thread (socket read/write, channel `recv`, `join`, fsync, sleeps) and
+/// nested lock acquisition, except for nestings declared in
+/// [`config::LOCK_ORDER`]. Guards returned out of the acquiring fn (the
+/// `lock_engine` idiom) are followed to that fn's end; callers of such
+/// helpers are out of scope by design — the helper's name documents it.
+pub fn lock_discipline(fa: &FileAnalysis) -> Vec<Diagnostic> {
+    if !config::is_serving(&fa.rel_path) {
+        return Vec::new();
+    }
+    // `.read()`/`.write()` are lock acquisitions only where RwLock is in
+    // scope; elsewhere they are I/O calls (handled by the blocking list).
+    let has_rwlock = fa
+        .tokens
+        .iter()
+        .enumerate()
+        .any(|(i, t)| !fa.in_test[i] && t.is_ident("RwLock"));
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    for (i, t) in fa.tokens.iter().enumerate() {
+        if fa.in_test[i] {
+            continue;
+        }
+        let is_acquire =
+            t.is_ident("lock") || (has_rwlock && (t.is_ident("read") || t.is_ident("write")));
+        if !is_acquire
+            || !i.checked_sub(1).is_some_and(|p| fa.tokens[p].is_punct('.'))
+            || !fa.tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            continue;
+        }
+        let args_close = matching_close(&fa.tokens, i + 1).unwrap_or(i + 1);
+        let block_close = fa
+            .tree
+            .enclosing_block(i)
+            .map_or(fa.tokens.len().saturating_sub(1), |b| b.close);
+        let mut region_end = block_close;
+        if let Some(binding) = binding_name(fa, i) {
+            for j in args_close..block_close {
+                if fa.tokens[j].is_ident("drop")
+                    && fa.tokens.get(j + 1).is_some_and(|n| n.is_punct('('))
+                    && fa.tokens.get(j + 2).is_some_and(|n| n.is_ident(&binding))
+                {
+                    region_end = j;
+                    break;
+                }
+            }
+        }
+        guards.push(LiveGuard {
+            call: i,
+            args_close,
+            name: receiver_name(fa, i - 1),
+            region_end,
+            line: t.line,
+        });
+    }
+    let mut out = Vec::new();
+    for g in &guards {
+        for j in g.args_close + 1..g.region_end {
+            if fa.in_test[j] || fa.tokens[j].kind != TokKind::Ident {
+                continue;
+            }
+            if let Some(inner) = guards.iter().find(|h| h.call == j) {
+                if !config::lock_order_allows(&g.name, &inner.name) {
+                    out.push(diag(
+                        fa,
+                        fa.tokens[j].line,
+                        LOCK_DISCIPLINE,
+                        format!(
+                            "nested lock `{}` acquired while the `{}` guard (line {}) is live; \
+                             declare the order in config::LOCK_ORDER or narrow the guard's scope",
+                            inner.name, g.name, g.line
+                        ),
+                    ));
+                }
+                continue;
+            }
+            let t = &fa.tokens[j];
+            if config::BLOCKING_IN_LOCK.contains(&t.text.as_str())
+                && fa.tokens.get(j + 1).is_some_and(|n| n.is_punct('('))
+                && !j
+                    .checked_sub(1)
+                    .is_some_and(|p| fa.tokens[p].is_ident("fn"))
+            {
+                out.push(diag(
+                    fa,
+                    t.line,
+                    LOCK_DISCIPLINE,
+                    format!(
+                        "`{}()` may block while the `{}` lock guard (line {}) is live; \
+                         drop the guard first or move the call out of the critical section",
+                        t.text, g.name, g.line
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The nearest receiver ident left of the `.` at `dot`: walks back over
+/// one trailing index/call group (`partitions[i].lock()`, `cell().lock()`).
+fn receiver_name(fa: &FileAnalysis, dot: usize) -> String {
+    let Some(mut k) = dot.checked_sub(1) else {
+        return "<expr>".to_string();
+    };
+    let closer = fa.tokens[k].text.as_str();
+    if closer == "]" || closer == ")" {
+        let opener = if closer == "]" { "[" } else { "(" };
+        let mut depth = 0i64;
+        loop {
+            if fa.tokens[k].text == closer {
+                depth += 1;
+            } else if fa.tokens[k].text == opener {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            match k.checked_sub(1) {
+                Some(p) => k = p,
+                None => return "<expr>".to_string(),
+            }
+        }
+        match k.checked_sub(1) {
+            Some(p) => k = p,
+            None => return "<expr>".to_string(),
+        }
+    }
+    if fa.tokens[k].kind == TokKind::Ident {
+        fa.tokens[k].text.clone()
+    } else {
+        "<expr>".to_string()
+    }
+}
+
+/// The `let` binding receiving the lock call at `call`, if its statement
+/// reads `let [mut] <name> = ...`: scan back to the statement boundary.
+fn binding_name(fa: &FileAnalysis, call: usize) -> Option<String> {
+    let mut k = call;
+    while k > 0 {
+        let t = &fa.tokens[k - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        k -= 1;
+    }
+    if !fa.tokens.get(k).is_some_and(|t| t.is_ident("let")) {
+        return None;
+    }
+    let mut n = k + 1;
+    if fa.tokens.get(n).is_some_and(|t| t.is_ident("mut")) {
+        n += 1;
+    }
+    fa.tokens
+        .get(n)
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+}
+
+/// Rule 11: serving crates may not create unbounded `mpsc::channel()`s —
+/// every queue between serving threads is a `sync_channel` whose capacity
+/// states the intended backpressure (depth-1 reply slots, protocol-bounded
+/// job queues). Test code is exempt.
+pub fn bounded_channel(fa: &FileAnalysis) -> Vec<Diagnostic> {
+    if !config::is_serving(&fa.rel_path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in fa.tokens.iter().enumerate() {
+        if fa.in_test[i] || !t.is_ident("channel") || i < 3 {
+            continue;
+        }
+        let from_mpsc = fa.tokens[i - 1].is_punct(':')
+            && fa.tokens[i - 2].is_punct(':')
+            && fa.tokens[i - 3].is_ident("mpsc");
+        if from_mpsc {
+            out.push(diag(
+                fa,
+                t.line,
+                BOUNDED_CHANNEL,
+                "unbounded `mpsc::channel()` on a serving path; use `mpsc::sync_channel` \
+                 with an explicit bound so backpressure is a decision, not an accident"
+                    .to_string(),
             ));
         }
     }

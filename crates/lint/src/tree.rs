@@ -1,0 +1,386 @@
+//! The item/block tree: a structural layer over the raw token stream.
+//!
+//! The v1 engine saw files as flat token runs, which is enough for "this
+//! ident may not appear here" rules but not for scope questions ("is a
+//! lock guard live at this call site?") or declaration questions ("which
+//! variants does `enum Request` declare?"). This module answers both with
+//! three cheap passes over the lexed tokens — still no `syn`:
+//!
+//! * **blocks** — every brace-matched `{ ... }` with a parent link, so a
+//!   rule can ask for the smallest block enclosing a token;
+//! * **items** — `enum` declarations with their variant lists, `impl`
+//!   blocks with their target type, and `match` expressions with their arm
+//!   block (functions already come from [`crate::analysis`]);
+//! * **symbols** — a per-file list of declared names (fns, enums, structs,
+//!   traits, mods, impl targets) that the cross-file context exposes to
+//!   rules relating declarations in one file to uses in another.
+//!
+//! Like the rest of the analyzer this is heuristic: exact for the
+//! rustfmt-formatted, macro-free item styles this workspace uses, and
+//! soft-failing (a construct we cannot parse contributes no facts rather
+//! than a false diagnostic).
+
+use crate::analysis::matching_close;
+use crate::lexer::{Tok, TokKind};
+
+/// One brace-matched block. `open`/`close` are token indices of `{`/`}`.
+#[derive(Debug, Clone)]
+pub struct BlockNode {
+    pub open: usize,
+    pub close: usize,
+    /// Index into the block list of the nearest enclosing block.
+    pub parent: Option<usize>,
+}
+
+/// An `enum` declaration with its variant names in declaration order.
+#[derive(Debug, Clone)]
+pub struct EnumDecl {
+    pub name: String,
+    pub variants: Vec<String>,
+    pub line: u32,
+}
+
+/// An `impl` block: `impl Type` or `impl Trait for Type`.
+#[derive(Debug, Clone)]
+pub struct ImplDecl {
+    /// The implementing type's head ident (`Foo` in `impl Foo<T>`).
+    pub type_name: String,
+    pub line: u32,
+}
+
+/// A `match` expression and the block holding its arms.
+#[derive(Debug, Clone)]
+pub struct MatchExpr {
+    /// Token index of the `match` keyword.
+    pub kw: usize,
+    /// Token indices of the arm block's `{`/`}`.
+    pub open: usize,
+    pub close: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymbolKind {
+    Fn,
+    Enum,
+    Struct,
+    Trait,
+    Mod,
+    Impl,
+}
+
+/// One declared name, for the per-file symbol list.
+#[derive(Debug, Clone)]
+pub struct Symbol {
+    pub kind: SymbolKind,
+    pub name: String,
+    pub line: u32,
+}
+
+/// The per-file structural index rules query.
+#[derive(Debug, Default)]
+pub struct ItemTree {
+    pub blocks: Vec<BlockNode>,
+    pub enums: Vec<EnumDecl>,
+    pub impls: Vec<ImplDecl>,
+    pub matches: Vec<MatchExpr>,
+    pub symbols: Vec<Symbol>,
+}
+
+impl ItemTree {
+    pub fn build(tokens: &[Tok]) -> ItemTree {
+        let blocks = build_blocks(tokens);
+        let enums = find_enums(tokens);
+        let impls = find_impls(tokens);
+        let matches = find_matches(tokens);
+        let mut symbols = Vec::new();
+        for (kw, kind) in [
+            ("fn", SymbolKind::Fn),
+            ("enum", SymbolKind::Enum),
+            ("struct", SymbolKind::Struct),
+            ("trait", SymbolKind::Trait),
+            ("mod", SymbolKind::Mod),
+        ] {
+            for (i, t) in tokens.iter().enumerate() {
+                if t.is_ident(kw) {
+                    if let Some(name) = tokens.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        symbols.push(Symbol {
+                            kind,
+                            name: name.text.clone(),
+                            line: t.line,
+                        });
+                    }
+                }
+            }
+        }
+        for im in &impls {
+            symbols.push(Symbol {
+                kind: SymbolKind::Impl,
+                name: im.type_name.clone(),
+                line: im.line,
+            });
+        }
+        symbols.sort_by_key(|s| s.line);
+        ItemTree {
+            blocks,
+            enums,
+            impls,
+            matches,
+            symbols,
+        }
+    }
+
+    /// The smallest block strictly containing token `idx`, if any.
+    pub fn enclosing_block(&self, idx: usize) -> Option<&BlockNode> {
+        self.blocks
+            .iter()
+            .filter(|b| b.open < idx && idx < b.close)
+            .min_by_key(|b| b.close - b.open)
+    }
+
+    /// The enum named `name`, if declared in this file.
+    pub fn enum_named(&self, name: &str) -> Option<&EnumDecl> {
+        self.enums.iter().find(|e| e.name == name)
+    }
+}
+
+/// Pair every `{` with its `}` and link each block to its parent.
+fn build_blocks(tokens: &[Tok]) -> Vec<BlockNode> {
+    let mut blocks: Vec<BlockNode> = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_punct('{') {
+            blocks.push(BlockNode {
+                open: i,
+                close: usize::MAX,
+                parent: stack.last().copied(),
+            });
+            stack.push(blocks.len() - 1);
+        } else if t.is_punct('}') {
+            if let Some(b) = stack.pop() {
+                blocks[b].close = i;
+            }
+        }
+    }
+    // An unbalanced file (mid-edit) still yields a usable tree: close the
+    // stragglers at EOF rather than dropping them.
+    let eof = tokens.len().saturating_sub(1);
+    for b in &mut blocks {
+        if b.close == usize::MAX {
+            b.close = eof;
+        }
+    }
+    blocks
+}
+
+/// `enum Name { Variant, Variant(T), Variant { .. }, }` — collect the
+/// top-level variant names, skipping attribute groups and every nested
+/// payload (parens, brackets, braces, and generic angle brackets, so a
+/// `Vec<(A, B)>` payload's commas do not split a variant).
+fn find_enums(tokens: &[Tok]) -> Vec<EnumDecl> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("enum") {
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+            continue;
+        };
+        // Find the body `{`, skipping generics / where clauses.
+        let mut j = i + 2;
+        let open = loop {
+            match tokens.get(j) {
+                None => break None,
+                Some(t) if t.is_punct('{') => break Some(j),
+                Some(t) if t.is_punct(';') => break None,
+                _ => j += 1,
+            }
+        };
+        let Some(open) = open else { continue };
+        let Some(close) = matching_close(tokens, open) else {
+            continue;
+        };
+        let mut variants = Vec::new();
+        let mut k = open + 1;
+        while k < close {
+            let tk = &tokens[k];
+            // Variant attributes (`#[cfg(...)]` etc.) sit before the name.
+            if tk.is_punct('#') && tokens.get(k + 1).is_some_and(|n| n.is_punct('[')) {
+                match matching_close(tokens, k + 1) {
+                    Some(c) => {
+                        k = c + 1;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            if tk.kind == TokKind::Ident {
+                variants.push(tk.text.clone());
+                k = skip_to_variant_comma(tokens, k + 1, close);
+                continue;
+            }
+            k += 1;
+        }
+        out.push(EnumDecl {
+            name: name.text.clone(),
+            variants,
+            line: t.line,
+        });
+    }
+    out
+}
+
+/// From `start`, advance past one variant's payload to the token after the
+/// separating top-level comma (or to `close`). Tracks paren/bracket/brace
+/// depth and generic angle depth — variant payloads are type positions, so
+/// `<`/`>` only ever nest generics there.
+fn skip_to_variant_comma(tokens: &[Tok], start: usize, close: usize) -> usize {
+    let mut depth = 0i64;
+    let mut angle = 0i64;
+    let mut k = start;
+    while k < close {
+        let t = &tokens[k];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if t.is_punct(',') && depth == 0 && angle <= 0 {
+            return k + 1;
+        }
+        k += 1;
+    }
+    close
+}
+
+/// `impl Type` / `impl<T> Trait for Type` — record the implementing type.
+fn find_impls(tokens: &[Tok]) -> Vec<ImplDecl> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("impl") {
+            continue;
+        }
+        // Scan the header up to the body `{`; the implementing type is the
+        // ident after `for` when present, else the first ident (generic
+        // parameter lists are skipped).
+        let mut j = i + 1;
+        let mut angle = 0i64;
+        let mut first_ident: Option<&Tok> = None;
+        let mut after_for: Option<&Tok> = None;
+        let mut saw_for = false;
+        while let Some(tk) = tokens.get(j) {
+            if tk.is_punct('<') {
+                angle += 1;
+            } else if tk.is_punct('>') {
+                angle -= 1;
+            } else if tk.is_punct('{') && angle <= 0 {
+                break;
+            } else if tk.is_ident("for") && angle <= 0 {
+                saw_for = true;
+            } else if tk.kind == TokKind::Ident && angle <= 0 && !tk.is_ident("where") {
+                if saw_for && after_for.is_none() {
+                    after_for = Some(tk);
+                }
+                if first_ident.is_none() {
+                    first_ident = Some(tk);
+                }
+            }
+            j += 1;
+        }
+        if let Some(name) = after_for.or(first_ident) {
+            out.push(ImplDecl {
+                type_name: name.text.clone(),
+                line: t.line,
+            });
+        }
+    }
+    out
+}
+
+/// `match <scrutinee> { arms }` — the arm block is the first `{` outside
+/// any paren/bracket group after the keyword (the workspace style never
+/// puts a bare struct literal in a scrutinee).
+fn find_matches(tokens: &[Tok]) -> Vec<MatchExpr> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("match") {
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut j = i + 1;
+        while let Some(tk) = tokens.get(j) {
+            if tk.is_punct('(') || tk.is_punct('[') {
+                depth += 1;
+            } else if tk.is_punct(')') || tk.is_punct(']') {
+                depth -= 1;
+            } else if tk.is_punct('{') && depth == 0 {
+                if let Some(close) = matching_close(tokens, j) {
+                    out.push(MatchExpr {
+                        kw: i,
+                        open: j,
+                        close,
+                    });
+                }
+                break;
+            } else if tk.is_punct(';') && depth == 0 {
+                break;
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree_of(src: &str) -> (Vec<Tok>, ItemTree) {
+        let lexed = lex(src);
+        let tree = ItemTree::build(&lexed.tokens);
+        (lexed.tokens, tree)
+    }
+
+    #[test]
+    fn blocks_nest_with_parents() {
+        let (tokens, tree) = tree_of("fn f() { if x { y(); } }");
+        assert_eq!(tree.blocks.len(), 2);
+        let outer = &tree.blocks[0];
+        let inner = &tree.blocks[1];
+        assert_eq!(inner.parent, Some(0));
+        assert!(outer.open < inner.open && inner.close < outer.close);
+        let y = tokens.iter().position(|t| t.is_ident("y")).unwrap();
+        let b = tree.enclosing_block(y).unwrap();
+        assert_eq!(b.open, inner.open);
+    }
+
+    #[test]
+    fn enum_variants_with_payloads() {
+        let (_, tree) = tree_of(
+            "pub enum Request { Ingest { batch: Vec<(UserId, FeedDelta)> }, \
+             Recommend(Query), Routed { partition: u16, inner: Box<Request> }, Shutdown, }",
+        );
+        let e = tree.enum_named("Request").unwrap();
+        assert_eq!(e.variants, ["Ingest", "Recommend", "Routed", "Shutdown"]);
+    }
+
+    #[test]
+    fn impls_and_matches_and_symbols() {
+        let src = "struct S; impl Clone for S { fn clone(&self) -> S { match self { _ => S } } }";
+        let (_, tree) = tree_of(src);
+        assert_eq!(tree.impls.len(), 1);
+        assert_eq!(tree.impls[0].type_name, "S");
+        assert_eq!(tree.matches.len(), 1);
+        assert!(tree
+            .symbols
+            .iter()
+            .any(|s| s.kind == SymbolKind::Struct && s.name == "S"));
+        assert!(tree
+            .symbols
+            .iter()
+            .any(|s| s.kind == SymbolKind::Fn && s.name == "clone"));
+    }
+}

@@ -1,0 +1,6 @@
+//! Same unbounded queue as `bounded_fail.rs`, with a reasoned allow pragma.
+
+// adcast-lint: allow(bounded-channel) -- fixture: the admin tap is drained by a dedicated thread and may buffer freely
+fn admin_tap() -> (Sender<u64>, Receiver<u64>) {
+    mpsc::channel()
+}

@@ -1,0 +1,6 @@
+//! Fixture: an unbounded queue on a serving path — `bounded-channel`
+//! must fire.
+
+fn reply_slot() -> (Sender<u64>, Receiver<u64>) {
+    mpsc::channel()
+}

@@ -1,0 +1,5 @@
+//! Fixture: a bounded depth-1 reply slot passes without any pragma.
+
+fn reply_slot() -> (SyncSender<u64>, Receiver<u64>) {
+    mpsc::sync_channel(1)
+}

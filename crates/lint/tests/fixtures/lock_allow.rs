@@ -1,0 +1,9 @@
+//! Same blocking-under-guard shape as `lock_fail.rs`, with a reasoned
+//! allow pragma.
+
+// adcast-lint: allow(lock-discipline) -- fixture: single-threaded setup path; nothing else can hold this lock yet
+fn drain(q: &Queue, rx: &Receiver) {
+    let guard = q.state.lock();
+    let item = rx.recv();
+    consume(&guard, item);
+}

@@ -1,0 +1,14 @@
+//! Fixture: a blocking `recv()` under a live guard and an undeclared
+//! nested lock — `lock-discipline` must fire twice.
+
+fn drain(q: &Queue, rx: &Receiver) {
+    let guard = q.state.lock();
+    let item = rx.recv();
+    consume(&guard, item);
+}
+
+fn reindex(a: &Shard, b: &Shard) {
+    let left = a.inner.lock();
+    let right = b.other.lock();
+    swap(&left, &right);
+}

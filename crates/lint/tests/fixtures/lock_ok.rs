@@ -1,0 +1,17 @@
+//! Fixture: sanctioned patterns that must pass without pragmas — the
+//! declared broadcast -> partitions nesting from `config::LOCK_ORDER`, and
+//! a guard explicitly dropped before the blocking call.
+
+fn fan_out(shared: &Shared) {
+    let fence = shared.broadcast.lock();
+    let part = shared.partitions[0].lock();
+    deliver(&fence, &part);
+}
+
+fn staged(q: &Queue, rx: &Receiver) {
+    let guard = q.state.lock();
+    let seen = peek(&guard);
+    drop(guard);
+    let item = rx.recv();
+    consume(seen, item);
+}

@@ -1,0 +1,33 @@
+//! Fixture codec: all four conformance sites present, but `put_request`
+//! forgets `Request::Ingest` — exactly one `rpc-exhaustive` diagnostic.
+
+fn put_request(buf: &mut Vec<u8>, req: &Request) {
+    match req {
+        Request::Ping => buf.push(0),
+        Request::Query(q) => encode_str(buf, q),
+    }
+}
+
+fn take_request(buf: &[u8]) -> Option<Request> {
+    match buf.first()? {
+        0 => Some(Request::Ping),
+        1 => Some(Request::Ingest { items: 0 }),
+        _ => Some(Request::Query(String::new())),
+    }
+}
+
+fn encode_response(buf: &mut Vec<u8>, resp: &Response) {
+    match resp {
+        Response::Pong => buf.push(0),
+        Response::Ingested(n) => put_u32(buf, *n),
+        Response::Results { hits } => put_u32(buf, *hits),
+    }
+}
+
+fn decode_response(buf: &[u8]) -> Option<Response> {
+    match buf.first()? {
+        0 => Some(Response::Pong),
+        1 => Some(Response::Ingested(0)),
+        _ => Some(Response::Results { hits: 0 }),
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture protocol: a miniature `Request`/`Response` pair. Linted under
+//! the pretend path `crates/net/src/protocol.rs`, this file becomes the
+//! source of truth that `rpc-exhaustive` diffs every site against.
+
+pub enum Request {
+    Ping,
+    Ingest { items: u32 },
+    Query(String),
+}
+
+pub enum Response {
+    Pong,
+    Ingested(u32),
+    Results { hits: u32 },
+}

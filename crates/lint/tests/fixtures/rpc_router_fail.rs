@@ -1,0 +1,19 @@
+//! Fixture router: `merge_broadcast` misses the non-excepted
+//! `Response::Results` AND handles the excepted `Response::Ingested` — one
+//! unhandled-variant diagnostic plus one stale-exemption diagnostic.
+
+fn route_one(req: &Request) -> u32 {
+    match req {
+        Request::Ping => 0,
+        Request::Ingest { .. } => 1,
+        Request::Query(_) => 2,
+    }
+}
+
+fn merge_broadcast(acc: &mut Vec<Response>, r: Response) {
+    match r {
+        Response::Pong => acc.push(r),
+        Response::Ingested(_) => acc.push(r),
+        _ => {}
+    }
+}

@@ -4,7 +4,7 @@
 //! live under `tests/fixtures/` (never compiled; the lint's own workspace
 //! walk skips that directory too).
 
-use adcast_lint::{lint_source, rules, Diagnostic, SUPPRESSION_RULE};
+use adcast_lint::{lint_source, lint_sources, rules, Diagnostic, SUPPRESSION_RULE};
 
 /// A hot-path identity: `no-panic-hot-path`, `wal-ordering` and the
 /// index-check all apply here.
@@ -16,8 +16,28 @@ const NEUTRAL: &str = "crates/core/src/fixture.rs";
 /// An obs record-path identity: `no-lock-in-record` applies here.
 const RECORD: &str = "crates/obs/src/metrics.rs";
 
+/// The wire-protocol identity: the cross-file `rpc-exhaustive` rule treats
+/// this path as the source of truth for `Request`/`Response`.
+const PROTOCOL: &str = "crates/net/src/protocol.rs";
+/// The replication-path identity: `ack-ladder` has a ladder for
+/// `replica_append` here.
+const REPL: &str = "crates/net/src/replication.rs";
+/// A serving-crate identity off the hot path: `lock-discipline` and
+/// `bounded-channel` apply, `no-panic-hot-path` does not.
+const CLUSTER: &str = "crates/cluster/src/fixture.rs";
+
 fn lint(rel: &str, src: &str) -> (Vec<Diagnostic>, usize) {
     lint_source(rel, src, None)
+}
+
+/// Lint a faked multi-file workspace (for the cross-file rules).
+fn lint_ws(files: &[(&str, &str)]) -> (Vec<Diagnostic>, usize) {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    let report = lint_sources(&owned, None);
+    (report.diagnostics, report.suppressions)
 }
 
 fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
@@ -111,8 +131,14 @@ fn scratch_buffer_pattern_passes_without_pragma() {
 
 #[test]
 fn apply_before_commit_fails() {
+    // The fixture's `log_apply` also matches the generalized `ack-ladder`
+    // for server.rs, so the swap trips both the legacy rule and the ladder.
     let (diags, _) = lint(HOT, include_str!("fixtures/wal_fail.rs"));
-    assert_eq!(rules_of(&diags), vec![rules::WAL_ORDERING], "{diags:?}");
+    assert_eq!(
+        rules_of(&diags),
+        vec![rules::ACK_LADDER, rules::WAL_ORDERING],
+        "{diags:?}"
+    );
 }
 
 #[test]
@@ -269,6 +295,204 @@ fn wallclock_read_in_cluster_crate_fails() {
         vec![rules::NO_WALLCLOCK, rules::NO_WALLCLOCK],
         "{diags:?}"
     );
+}
+
+// ---- rpc-exhaustive (cross-file) ---------------------------------------
+
+#[test]
+fn missing_codec_variant_fails() {
+    let (diags, _) = lint_ws(&[
+        (PROTOCOL, include_str!("fixtures/rpc_protocol.rs")),
+        (
+            "crates/net/src/codec.rs",
+            include_str!("fixtures/rpc_codec_fail.rs"),
+        ),
+    ]);
+    assert_eq!(rules_of(&diags), vec![rules::RPC_EXHAUSTIVE], "{diags:?}");
+    assert!(
+        diags[0].message.contains("Request::Ingest") && diags[0].message.contains("put_request"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn codec_gap_with_pragma_is_allowed() {
+    let (diags, sup) = lint_ws(&[
+        (PROTOCOL, include_str!("fixtures/rpc_protocol.rs")),
+        (
+            "crates/net/src/codec.rs",
+            include_str!("fixtures/rpc_codec_allow.rs"),
+        ),
+    ]);
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 1);
+}
+
+#[test]
+fn merge_table_gap_and_stale_exemption_fail() {
+    let (diags, _) = lint_ws(&[
+        (PROTOCOL, include_str!("fixtures/rpc_protocol.rs")),
+        (
+            "crates/cluster/src/router.rs",
+            include_str!("fixtures/rpc_router_fail.rs"),
+        ),
+    ]);
+    assert_eq!(
+        rules_of(&diags),
+        vec![rules::RPC_EXHAUSTIVE, rules::RPC_EXHAUSTIVE],
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("stale exemption")
+                && d.message.contains("Response::Ingested")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("Response::Results")
+                && d.message.contains("merge_broadcast")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn moved_site_fn_is_diagnosed() {
+    // A codec file where every conformance fn vanished: each missing site
+    // is a diagnostic pointing at config::RPC_SITES.
+    let (diags, _) = lint_ws(&[
+        (PROTOCOL, include_str!("fixtures/rpc_protocol.rs")),
+        ("crates/net/src/codec.rs", "fn unrelated() {}\n"),
+    ]);
+    assert_eq!(diags.len(), 4, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == rules::RPC_EXHAUSTIVE));
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("put_request") && d.message.contains("not found")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn rpc_rule_is_inert_without_the_protocol_file() {
+    // Single-file runs (and fixtures) that lack the protocol declaration
+    // must not fire: there is no truth to diff against.
+    let (diags, _) = lint(
+        "crates/net/src/codec.rs",
+        include_str!("fixtures/rpc_codec_fail.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---- ack-ladder ---------------------------------------------------------
+
+#[test]
+fn apply_before_commit_in_replication_fails() {
+    let (diags, _) = lint(REPL, include_str!("fixtures/ack_ladder_fail.rs"));
+    assert_eq!(rules_of(&diags), vec![rules::ACK_LADDER], "{diags:?}");
+    assert!(
+        diags[0].message.contains("`apply_record` before `commit`"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn ladder_swap_with_pragma_is_allowed() {
+    let (diags, sup) = lint(REPL, include_str!("fixtures/ack_ladder_allow.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 1);
+}
+
+#[test]
+fn correct_ladder_order_passes() {
+    let (diags, sup) = lint(REPL, include_str!("fixtures/ack_ladder_ok.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 0);
+}
+
+#[test]
+fn ladder_fn_outside_its_configured_file_is_not_checked() {
+    let (diags, _) = lint(NEUTRAL, include_str!("fixtures/ack_ladder_fail.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---- lock-discipline ----------------------------------------------------
+
+#[test]
+fn blocking_and_nested_lock_under_guard_fail() {
+    let (diags, _) = lint(CLUSTER, include_str!("fixtures/lock_fail.rs"));
+    assert_eq!(
+        rules_of(&diags),
+        vec![rules::LOCK_DISCIPLINE, rules::LOCK_DISCIPLINE],
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("`recv()`")),
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("nested lock")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn lock_discipline_with_pragma_is_allowed() {
+    let (diags, sup) = lint(CLUSTER, include_str!("fixtures/lock_allow.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 1);
+}
+
+#[test]
+fn declared_order_and_dropped_guard_pass() {
+    let (diags, sup) = lint(CLUSTER, include_str!("fixtures/lock_ok.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 0);
+}
+
+#[test]
+fn lock_discipline_outside_serving_crates_is_not_checked() {
+    let (diags, _) = lint(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/lock_fail.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---- bounded-channel ----------------------------------------------------
+
+#[test]
+fn unbounded_channel_on_serving_path_fails() {
+    let (diags, _) = lint(NET, include_str!("fixtures/bounded_fail.rs"));
+    assert_eq!(rules_of(&diags), vec![rules::BOUNDED_CHANNEL], "{diags:?}");
+}
+
+#[test]
+fn unbounded_channel_with_pragma_is_allowed() {
+    let (diags, sup) = lint(NET, include_str!("fixtures/bounded_allow.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 1);
+}
+
+#[test]
+fn sync_channel_passes() {
+    let (diags, sup) = lint(NET, include_str!("fixtures/bounded_ok.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 0);
+}
+
+#[test]
+fn unbounded_channel_outside_serving_crates_is_not_checked() {
+    let (diags, _) = lint(
+        "crates/durability/src/fixture.rs",
+        include_str!("fixtures/bounded_fail.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
 }
 
 // ---- suppression hygiene ----------------------------------------------

@@ -119,7 +119,9 @@ pub struct ClusterConfig {
 /// the request id; replies are matched by the per-RPC channel.)
 struct Cmd {
     req: Request,
-    reply: mpsc::Sender<Response>,
+    /// Depth-1 by construction: the engine sends exactly one reply per
+    /// command, so the bounded send can never block.
+    reply: mpsc::SyncSender<Response>,
     /// When the reader submitted this command (queue-wait span start), in
     /// [`now_ns`] clock nanoseconds.
     enqueued_ns: u64,
@@ -463,7 +465,7 @@ fn connection_loop(
                 return;
             }
         };
-        let (reply_tx, reply_rx) = mpsc::channel();
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
         let cmd = Cmd {
             req,
             reply: reply_tx,

@@ -1,0 +1,309 @@
+//! Exhaustive wire round-trip: exactly one constructed value per
+//! `Request` and `Response` variant (and per `WireError` variant inside
+//! `Response::Error`), encoded and decoded through the public codec API.
+//!
+//! The total `kind` matches — no wildcard arms — are the compile-time
+//! pressure: adding a protocol variant fails this file until the sample
+//! sets grow with it, which is the dynamic twin of the `rpc-exhaustive`
+//! lint's static site check.
+
+use adcast_ads::AdId;
+use adcast_core::Recommendation;
+use adcast_feed::FeedDelta;
+use adcast_graph::UserId;
+use adcast_net::codec::{decode_request, decode_response, encode_request, encode_response};
+use adcast_net::{CampaignSpec, NodeRole, Request, Response, ServerStats, WireError};
+use adcast_stream::clock::{Duration, Timestamp};
+use adcast_stream::event::{LocationId, Message, MessageId, TimeSlot};
+use adcast_text::dictionary::TermId;
+use adcast_text::SparseVector;
+use bytes::Bytes;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const REQUEST_KINDS: &[&str] = &[
+    "Ingest",
+    "Recommend",
+    "SubmitCampaign",
+    "PauseCampaign",
+    "Impression",
+    "Maintain",
+    "Checkpoint",
+    "ObsDump",
+    "Stats",
+    "Shutdown",
+    "Routed",
+    "ReplAppend",
+    "InstallSnapshot",
+    "Promote",
+    "ClusterStatus",
+];
+
+const RESPONSE_KINDS: &[&str] = &[
+    "Ingested",
+    "Recommendations",
+    "CampaignAccepted",
+    "CampaignPaused",
+    "ImpressionRecorded",
+    "Maintained",
+    "Checkpointed",
+    "ObsDumped",
+    "Stats",
+    "ShutdownAck",
+    "ReplAck",
+    "SnapshotInstalled",
+    "Promoted",
+    "ClusterStatusReply",
+    "Error",
+];
+
+fn request_kind(r: &Request) -> &'static str {
+    match r {
+        Request::Ingest { .. } => "Ingest",
+        Request::Recommend { .. } => "Recommend",
+        Request::SubmitCampaign(_) => "SubmitCampaign",
+        Request::PauseCampaign { .. } => "PauseCampaign",
+        Request::Impression { .. } => "Impression",
+        Request::Maintain { .. } => "Maintain",
+        Request::Checkpoint => "Checkpoint",
+        Request::ObsDump => "ObsDump",
+        Request::Stats => "Stats",
+        Request::Shutdown => "Shutdown",
+        Request::Routed { .. } => "Routed",
+        Request::ReplAppend { .. } => "ReplAppend",
+        Request::InstallSnapshot { .. } => "InstallSnapshot",
+        Request::Promote { .. } => "Promote",
+        Request::ClusterStatus => "ClusterStatus",
+    }
+}
+
+fn response_kind(r: &Response) -> &'static str {
+    match r {
+        Response::Ingested { .. } => "Ingested",
+        Response::Recommendations(_) => "Recommendations",
+        Response::CampaignAccepted { .. } => "CampaignAccepted",
+        Response::CampaignPaused { .. } => "CampaignPaused",
+        Response::ImpressionRecorded { .. } => "ImpressionRecorded",
+        Response::Maintained { .. } => "Maintained",
+        Response::Checkpointed { .. } => "Checkpointed",
+        Response::ObsDumped { .. } => "ObsDumped",
+        Response::Stats(_) => "Stats",
+        Response::ShutdownAck => "ShutdownAck",
+        Response::ReplAck { .. } => "ReplAck",
+        Response::SnapshotInstalled { .. } => "SnapshotInstalled",
+        Response::Promoted { .. } => "Promoted",
+        Response::ClusterStatusReply { .. } => "ClusterStatusReply",
+        Response::Error(_) => "Error",
+    }
+}
+
+fn wire_error_kind(e: &WireError) -> &'static str {
+    match e {
+        WireError::Overloaded => "Overloaded",
+        WireError::Unavailable => "Unavailable",
+        WireError::ShuttingDown => "ShuttingDown",
+        WireError::BadRequest(_) => "BadRequest",
+        WireError::UnknownCampaign(_) => "UnknownCampaign",
+        WireError::StaleEpoch { .. } => "StaleEpoch",
+        WireError::WrongPartition { .. } => "WrongPartition",
+        WireError::LsnGap { .. } => "LsnGap",
+        // Keep this match total: new wire errors must join `all_errors`.
+        _ => "NotPrimary",
+    }
+}
+
+/// Frames carry a 4-byte length prefix; the decoders take what follows.
+fn body_of(frame: &Bytes) -> Bytes {
+    frame.slice(4..)
+}
+
+fn vector(pairs: &[(u32, f32)]) -> SparseVector {
+    SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)))
+}
+
+fn message(i: u64) -> Arc<Message> {
+    Arc::new(Message {
+        id: MessageId(i),
+        author: UserId(3),
+        ts: Timestamp::from_secs(i),
+        location: LocationId(2),
+        vector: vector(&[(1, 0.5), (7, 0.25)]),
+    })
+}
+
+/// Exactly one sample per `Request` variant.
+fn one_request_per_variant() -> Vec<Request> {
+    vec![
+        Request::Ingest {
+            deltas: vec![(
+                UserId(1),
+                FeedDelta {
+                    entered: Some(message(10)),
+                    evicted: vec![message(2)],
+                },
+            )],
+        },
+        Request::Recommend {
+            user: UserId(9),
+            now: Timestamp::from_secs(55),
+            location: LocationId(4),
+            k: 10,
+        },
+        Request::SubmitCampaign(CampaignSpec {
+            vector: vector(&[(0, 1.0), (5, 0.5)]),
+            bid: 2.5,
+            locations: vec![LocationId(1)],
+            slots: vec![TimeSlot::Morning],
+            budget: Some(99.5),
+            topic_hint: Some(3),
+        }),
+        Request::PauseCampaign { ad: AdId(12) },
+        Request::Impression {
+            ad: AdId(4),
+            cost: 0.25,
+            clicked: true,
+            now: Timestamp::from_secs(91),
+        },
+        Request::Maintain {
+            now: Timestamp::from_secs(3600),
+            idle_for: Duration::from_secs(1800),
+        },
+        Request::Checkpoint,
+        Request::ObsDump,
+        Request::Stats,
+        Request::Shutdown,
+        Request::Routed {
+            partition: 3,
+            epoch: 7,
+            inner: Box::new(Request::Stats),
+        },
+        Request::ReplAppend {
+            partition: 1,
+            epoch: 2,
+            entries: vec![(7, Bytes::from_static(&[1, 2, 3, 4]))],
+        },
+        Request::InstallSnapshot {
+            partition: 2,
+            epoch: 4,
+            snapshot: Bytes::from_static(b"ADSSxxxx"),
+        },
+        Request::Promote {
+            partition: 1,
+            epoch: 3,
+        },
+        Request::ClusterStatus,
+    ]
+}
+
+/// One sample per `WireError` variant (each rides in `Response::Error`).
+fn all_errors() -> Vec<WireError> {
+    vec![
+        WireError::Overloaded,
+        WireError::Unavailable,
+        WireError::ShuttingDown,
+        WireError::BadRequest("k out of range".to_string()),
+        WireError::UnknownCampaign(AdId(7)),
+        WireError::StaleEpoch { current: 9 },
+        WireError::WrongPartition { expected: 2 },
+        WireError::LsnGap { expected: 31 },
+        WireError::NotPrimary,
+    ]
+}
+
+/// Exactly one sample per `Response` variant.
+fn one_response_per_variant() -> Vec<Response> {
+    vec![
+        Response::Ingested { accepted: 7 },
+        Response::Recommendations(vec![Recommendation {
+            ad: AdId(4),
+            score: 0.75,
+            relevance: 0.5,
+        }]),
+        Response::CampaignAccepted { ad: AdId(3) },
+        Response::CampaignPaused { ad: AdId(3) },
+        Response::ImpressionRecorded {
+            ad: AdId(5),
+            exhausted: true,
+        },
+        Response::Maintained {
+            scanned: 100,
+            decayed: 4,
+            pruned: 2,
+        },
+        Response::Checkpointed { lsn: 42 },
+        Response::ObsDumped { events: 512 },
+        Response::Stats(ServerStats {
+            deltas: 1,
+            recommends: 2,
+            rpcs: 3,
+            ..Default::default()
+        }),
+        Response::ShutdownAck,
+        Response::ReplAck { durable_lsn: 77 },
+        Response::SnapshotInstalled { next_lsn: 11 },
+        Response::Promoted {
+            epoch: 5,
+            next_lsn: 12,
+        },
+        Response::ClusterStatusReply {
+            role: NodeRole::Follower,
+            partition: 1,
+            epoch: 5,
+            durable_lsn: 40,
+            fenced: false,
+            degraded: true,
+        },
+        Response::Error(WireError::Overloaded),
+    ]
+}
+
+#[test]
+fn every_request_variant_round_trips() {
+    let samples = one_request_per_variant();
+    let kinds: BTreeSet<&str> = samples.iter().map(request_kind).collect();
+    let expected: BTreeSet<&str> = REQUEST_KINDS.iter().copied().collect();
+    assert_eq!(kinds, expected, "sample set must cover every Request kind");
+
+    for (i, req) in samples.into_iter().enumerate() {
+        let id = 1000 + i as u64;
+        let frame = encode_request(id, &req);
+        let (got_id, got) = decode_request(body_of(&frame))
+            .unwrap_or_else(|e| panic!("{}: {e}", request_kind(&req)));
+        assert_eq!(got_id, id, "{}", request_kind(&req));
+        assert_eq!(got, req, "{}", request_kind(&req));
+    }
+}
+
+#[test]
+fn every_response_variant_round_trips() {
+    let samples = one_response_per_variant();
+    let kinds: BTreeSet<&str> = samples.iter().map(response_kind).collect();
+    let expected: BTreeSet<&str> = RESPONSE_KINDS.iter().copied().collect();
+    assert_eq!(kinds, expected, "sample set must cover every Response kind");
+
+    for (i, resp) in samples.into_iter().enumerate() {
+        let id = 2000 + i as u64;
+        let frame = encode_response(id, &resp);
+        let (got_id, got) = decode_response(body_of(&frame))
+            .unwrap_or_else(|e| panic!("{}: {e}", response_kind(&resp)));
+        assert_eq!(got_id, id, "{}", response_kind(&resp));
+        assert_eq!(got, resp, "{}", response_kind(&resp));
+    }
+}
+
+#[test]
+fn every_wire_error_round_trips_inside_response_error() {
+    let errors = all_errors();
+    let kinds: BTreeSet<&str> = errors.iter().map(wire_error_kind).collect();
+    assert_eq!(kinds.len(), errors.len(), "duplicate WireError sample");
+
+    for (i, err) in errors.into_iter().enumerate() {
+        let id = 3000 + i as u64;
+        let resp = Response::Error(err);
+        let frame = encode_response(id, &resp);
+        let (got_id, got) = decode_response(body_of(&frame))
+            .unwrap_or_else(|e| panic!("{}: {e}", response_kind(&resp)));
+        assert_eq!(got_id, id);
+        assert_eq!(got, resp);
+    }
+}

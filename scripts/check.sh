@@ -268,4 +268,5 @@ grep -q 'smoke run' <<<"$e17_out" || {
   exit 1
 }
 
+echo "hint: scripts/sanitize.sh runs Miri/TSan/ASan over the pool, zero-alloc, cluster and replication tests when a nightly toolchain is present (skips cleanly otherwise)"
 echo "All checks passed."

@@ -17,12 +17,23 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # The tests worth the (large) sanitizer slowdown: the sharded pool's
-# equivalence-vs-sequential property and the steady-state allocation gauge
-# (the latter needs debug-stats for the counting global allocator).
+# equivalence-vs-sequential property, the steady-state allocation gauge
+# (needs debug-stats for the counting global allocator), the cluster
+# partition-map unit tests, and the replication apply-path unit tests
+# (`replica_append` ordering, fencing, LSN gaps — the code the
+# `ack-ladder` lint pins statically). Each entry is a full flag group
+# including its package.
 TARGETS=(
-  "--test pool_equivalence"
-  "--features debug-stats --test zero_alloc"
+  "-p adcast-core --test pool_equivalence"
+  "-p adcast-core --features debug-stats --test zero_alloc"
+  "-p adcast-cluster --lib"
+  "-p adcast-net --lib replication"
 )
+
+target_list() {
+  printf '%s\n' "${TARGETS[@]}" | sed 's/.*-p \([a-z-]*\).*/\1/' \
+    | sort -u | paste -sd, -
+}
 
 have_nightly() {
   command -v rustup >/dev/null 2>&1 || return 1
@@ -39,10 +50,13 @@ run_miri() {
     echo "miri: skipped (nightly is present but the miri component is not)"
     return 0
   fi
-  echo "== miri: pool_equivalence, zero_alloc =="
+  echo "== miri: $(target_list) =="
+  # The replication tests write WAL files to a temp dir and spawn shard
+  # workers; Miri needs host file-system access for that.
+  export MIRIFLAGS="${MIRIFLAGS:--Zmiri-disable-isolation}"
   for t in "${TARGETS[@]}"; do
     # shellcheck disable=SC2086  # $t is a flag group, word-splitting intended
-    cargo +nightly miri test -p adcast-core $t
+    cargo +nightly miri test $t
   done
 }
 
@@ -59,11 +73,11 @@ run_sanitizer() {
   fi
   local target
   target=$(rustc -vV | awk '/^host:/{print $2}')
-  echo "== $san: pool_equivalence, zero_alloc =="
+  echo "== $san: $(target_list) =="
   for t in "${TARGETS[@]}"; do
     # shellcheck disable=SC2086  # $t is a flag group, word-splitting intended
     RUSTFLAGS="-Zsanitizer=$flag" cargo +nightly test -Zbuild-std \
-      --target "$target" -p adcast-core $t
+      --target "$target" $t
   done
 }
 
