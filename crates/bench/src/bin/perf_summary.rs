@@ -322,8 +322,18 @@ fn main() {
             nodes.push(server);
         }
         let map = PartitionMap::parse(&specs).expect("partition map");
-        let router =
-            Router::start("127.0.0.1:0", &map, RouterConfig::default()).expect("bind router");
+        // Head sampling on (every 64th client RPC) so the tracing section
+        // below can count real stitched traces out of this run.
+        let router = Router::start(
+            "127.0.0.1:0",
+            &map,
+            RouterConfig {
+                trace_sample: 64,
+                trace_seed: 0xADCA57,
+                ..RouterConfig::default()
+            },
+        )
+        .expect("bind router");
         let synth_cfg = adcast_net::synth::SynthConfig {
             num_users,
             num_ads: scale.pick(300usize, 2_000),
@@ -502,6 +512,44 @@ fn main() {
              {flightrec_ns:.1} ns, {} families, {} exposition bytes",
             reg.len(),
             exposition.len()
+        );
+    }
+
+    // --- Tracing: the span-record hot path against its 100 ns budget,
+    // the ring's resident size, and the sampled traces the cluster run
+    // above (head sampling every 64th RPC) left in the process ring. ---
+    {
+        use adcast_obs::tracestore::{
+            tracestore, SpanKind, TraceContext, TraceStore, TRACE_CAPACITY,
+        };
+
+        let store = TraceStore::new(TRACE_CAPACITY);
+        let ctx = TraceContext {
+            trace_id: 0xBEEF,
+            parent_span_id: 0,
+        };
+        let iters = scale.pick(200_000u64, 1_000_000);
+        let mut salt = 0u64;
+        let span_record_ns = time_per_iter(iters, || {
+            salt = salt.wrapping_add(1);
+            store.record(std::hint::black_box(ctx), SpanKind::QueueWait, salt, 1, 250);
+        }) * 1e9;
+        assert!(
+            span_record_ns <= 100.0,
+            "span record {span_record_ns:.1} ns blows the 100 ns hot-path budget"
+        );
+        let sampled = tracestore().trace_ids().len();
+        assert!(
+            sampled > 0,
+            "the routed run sampled every 64th RPC yet left no traces"
+        );
+        summary.metric("tracing", "span_record_ns", span_record_ns);
+        summary.metric("tracing", "store_bytes", store.store_bytes() as f64);
+        summary.metric("tracing", "sampled_traces", sampled as f64);
+        println!(
+            "tracing: span record {span_record_ns:.1} ns, {} ring bytes, {sampled} sampled \
+             trace(s) from the routed run",
+            store.store_bytes()
         );
     }
 

@@ -37,7 +37,7 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -47,7 +47,8 @@ use adcast_feed::FeedDelta;
 use adcast_graph::UserId;
 use adcast_net::client::{Client, ClientConfig};
 use adcast_net::codec::{decode_request, encode_response, read_frame, write_frame, NetError};
-use adcast_net::protocol::{Request, Response, ServerStats, WireError};
+use adcast_net::protocol::{Request, Response, ServerStats, TraceContext, WireError};
+use adcast_obs::tracestore::{trace_id_for, tracestore, SpanKind};
 use adcast_obs::{flightrec, Counter, EventKind, Gauge, Hist};
 use adcast_stream::clock::now_ns;
 
@@ -62,6 +63,14 @@ pub struct RouterConfig {
     pub client: ClientConfig,
     /// How often blocked threads wake to poll the shutdown flag.
     pub poll_interval: Duration,
+    /// Head-based trace sampling: every `trace_sample`-th forwarded
+    /// client RPC carries a sampled [`TraceContext`] (0 disables
+    /// tracing). Sampling is deterministic in the request ordinal, so a
+    /// rerun with the same seed samples the same requests.
+    pub trace_sample: u64,
+    /// Seed for [`trace_id_for`]: same seed + same ordinal ⇒ same trace
+    /// id, which is what makes sim traces reproducible.
+    pub trace_seed: u64,
 }
 
 impl Default for RouterConfig {
@@ -72,6 +81,8 @@ impl Default for RouterConfig {
                 ..ClientConfig::default()
             },
             poll_interval: Duration::from_millis(50),
+            trace_sample: 0,
+            trace_seed: 0xAD_CA57,
         }
     }
 }
@@ -143,6 +154,28 @@ struct RouterShared {
     broadcast: Mutex<()>,
     config: RouterConfig,
     obs: RouterObs,
+    /// Ordinal of the next routable client RPC, across all connections —
+    /// the head-based sampling counter.
+    trace_ordinal: AtomicU64,
+}
+
+impl RouterShared {
+    /// Sample (or not) the next routable client RPC: a root context whose
+    /// trace id is a pure function of `(trace_seed, ordinal)`.
+    fn sample_trace(&self) -> TraceContext {
+        let every = self.config.trace_sample;
+        if every == 0 {
+            return TraceContext::NONE;
+        }
+        let ordinal = self.trace_ordinal.fetch_add(1, Ordering::Relaxed);
+        if !ordinal.is_multiple_of(every) {
+            return TraceContext::NONE;
+        }
+        TraceContext {
+            trace_id: trace_id_for(self.config.trace_seed, ordinal),
+            parent_span_id: 0,
+        }
+    }
 }
 
 /// One partition's forwarding state, owned by one forwarder thread of
@@ -169,8 +202,12 @@ impl Forwarder {
 
     /// Forward one client RPC to this partition, riding through at most
     /// two view changes (a failover by us or by a racing connection).
-    fn forward(&mut self, inner: &Request) -> Response {
+    /// A sampled `trace` roots the cross-node trace here: the envelope
+    /// carries this forward span's derived id as the downstream parent,
+    /// and the span itself is recorded when the reply lands.
+    fn forward(&mut self, inner: &Request, trace: TraceContext) -> Response {
         let started = now_ns();
+        let salt = u64::from(self.partition);
         for _ in 0..3 {
             let (epoch, primary, generation) = self.view();
             if self.client.is_none() || self.generation != generation {
@@ -198,6 +235,7 @@ impl Forwarder {
                 client.call(&Request::Routed {
                     partition: self.partition,
                     epoch,
+                    trace: trace.child(SpanKind::RouterForward, salt),
                     inner: Box::new(inner.clone()),
                 })
             };
@@ -213,10 +251,9 @@ impl Forwarder {
                 }
                 Ok(resp) => {
                     self.shared.obs.forwarded_total.inc();
-                    self.shared
-                        .obs
-                        .forward_ns
-                        .record(now_ns().saturating_sub(started));
+                    let forward_ns = now_ns().saturating_sub(started);
+                    self.shared.obs.forward_ns.record(forward_ns);
+                    tracestore().record(trace, SpanKind::RouterForward, salt, started, forward_ns);
                     return resp;
                 }
                 Err(NetError::Disconnected) => {
@@ -279,6 +316,10 @@ impl Forwarder {
 /// One forwarding job for a partition forwarder thread.
 struct Job {
     inner: Request,
+    /// The sampled (or `NONE`) root context this RPC traces under; the
+    /// fan-out legs of one broadcast share it and are told apart by the
+    /// partition salt in their span ids.
+    trace: TraceContext,
     /// Depth-1 by construction: the forwarder sends exactly one reply
     /// per job, so the bounded send can never block.
     reply: mpsc::SyncSender<Response>,
@@ -312,7 +353,7 @@ impl Pool {
                 .name(format!("adcast-fwd-{partition}"))
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
-                        let resp = forwarder.forward(&job.inner);
+                        let resp = forwarder.forward(&job.inner, job.trace);
                         // A connection thread that gave up mid-collect
                         // cannot receive; fine.
                         let _ = job.reply.send(resp);
@@ -328,10 +369,19 @@ impl Pool {
     }
 
     /// Dispatch `inner` to one partition; returns the reply receiver.
-    fn dispatch(&self, partition: u16, inner: Request) -> mpsc::Receiver<Response> {
+    fn dispatch(
+        &self,
+        partition: u16,
+        inner: Request,
+        trace: TraceContext,
+    ) -> mpsc::Receiver<Response> {
         let (tx, rx) = mpsc::sync_channel(1);
         if let Some(sender) = self.senders.get(usize::from(partition)) {
-            let _ = sender.send(Job { inner, reply: tx });
+            let _ = sender.send(Job {
+                inner,
+                trace,
+                reply: tx,
+            });
         }
         rx
     }
@@ -339,9 +389,9 @@ impl Pool {
     /// Dispatch `inner` to every partition concurrently and collect the
     /// replies in partition order (missing replies — a dead forwarder —
     /// come back as `Overloaded`).
-    fn broadcast(&self, inner: &Request) -> Vec<Response> {
+    fn broadcast(&self, inner: &Request, trace: TraceContext) -> Vec<Response> {
         let pending: Vec<_> = (0..self.senders.len())
-            .map(|p| self.dispatch(p as u16, inner.clone()))
+            .map(|p| self.dispatch(p as u16, inner.clone(), trace))
             .collect();
         pending
             .into_iter()
@@ -420,6 +470,7 @@ impl Router {
             broadcast: Mutex::new(()),
             config,
             obs,
+            trace_ordinal: AtomicU64::new(0),
         });
         let accept_join = {
             let shared = Arc::clone(&shared);
@@ -538,6 +589,16 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<RouterShared>) {
 /// broadcast/refused kinds.
 fn route_one(shared: &Arc<RouterShared>, pool: &Pool, req: Request) -> Response {
     let num_partitions = shared.partitions.len();
+    // One sampling decision per client RPC, taken before any fan-out, so
+    // every partition leg of this request shares one trace id.
+    let trace = match &req {
+        Request::Routed { .. }
+        | Request::ReplAppend { .. }
+        | Request::InstallSnapshot { .. }
+        | Request::Promote { .. }
+        | Request::ClusterStatus => TraceContext::NONE,
+        _ => shared.sample_trace(),
+    };
     match req {
         Request::Ingest { deltas } => {
             // Split the batch by owning partition and fan out; the reply
@@ -550,7 +611,7 @@ fn route_one(shared: &Arc<RouterShared>, pool: &Pool, req: Request) -> Response 
                 .into_iter()
                 .enumerate()
                 .filter(|(_, sub)| !sub.is_empty())
-                .map(|(p, sub)| pool.dispatch(p as u16, Request::Ingest { deltas: sub }))
+                .map(|(p, sub)| pool.dispatch(p as u16, Request::Ingest { deltas: sub }, trace))
                 .collect();
             let mut accepted = 0u32;
             for rx in pending {
@@ -564,7 +625,7 @@ fn route_one(shared: &Arc<RouterShared>, pool: &Pool, req: Request) -> Response 
         }
         Request::Recommend { user, .. } => {
             let partition = (user.index() % num_partitions) as u16;
-            let rx = pool.dispatch(partition, req);
+            let rx = pool.dispatch(partition, req, trace);
             rx.recv().unwrap_or(Response::Error(WireError::Overloaded))
         }
         Request::SubmitCampaign(_)
@@ -574,7 +635,7 @@ fn route_one(shared: &Arc<RouterShared>, pool: &Pool, req: Request) -> Response 
         | Request::Checkpoint
         | Request::ObsDump
         | Request::Stats
-        | Request::Shutdown => broadcast(shared, pool, &req),
+        | Request::Shutdown => broadcast(shared, pool, &req, trace),
         // The router is a gateway, not a cluster member: partition-
         // addressed envelopes and replication RPCs stop here.
         Request::Routed { .. } => Response::Error(WireError::BadRequest(
@@ -594,10 +655,15 @@ fn route_one(shared: &Arc<RouterShared>, pool: &Pool, req: Request) -> Response 
 /// Broadcast a control RPC to every partition under the global broadcast
 /// lock (identical delivery order on every partition — replayed campaign
 /// ids match), then merge the per-partition replies.
-fn broadcast(shared: &Arc<RouterShared>, pool: &Pool, req: &Request) -> Response {
+fn broadcast(
+    shared: &Arc<RouterShared>,
+    pool: &Pool,
+    req: &Request,
+    trace: TraceContext,
+) -> Response {
     let started = now_ns();
     let guard = shared.broadcast.lock();
-    let replies = pool.broadcast(req);
+    let replies = pool.broadcast(req, trace);
     drop(guard);
     shared.obs.broadcasts_total.inc();
     shared

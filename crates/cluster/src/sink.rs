@@ -6,7 +6,7 @@
 use adcast_net::client::{Client, ClientConfig};
 use adcast_net::codec::NetError;
 use adcast_net::replication::{ReplicateError, ReplicationSink};
-use adcast_net::WireError;
+use adcast_net::{TraceContext, WireError};
 use bytes::Bytes;
 
 /// Replication transport to one follower over TCP.
@@ -88,9 +88,14 @@ impl TcpSink {
 }
 
 impl ReplicationSink for TcpSink {
-    fn replicate(&mut self, epoch: u64, entries: &[(u64, Bytes)]) -> Result<u64, ReplicateError> {
+    fn replicate(
+        &mut self,
+        epoch: u64,
+        trace: TraceContext,
+        entries: &[(u64, Bytes)],
+    ) -> Result<u64, ReplicateError> {
         let partition = self.partition;
-        self.with_retry(|client| client.repl_append(partition, epoch, entries.to_vec()))
+        self.with_retry(|client| client.repl_append(partition, epoch, trace, entries.to_vec()))
     }
 
     fn install(&mut self, epoch: u64, snapshot: Bytes) -> Result<u64, ReplicateError> {

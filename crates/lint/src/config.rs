@@ -28,6 +28,7 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/durability/src/manager.rs",
     "crates/obs/src/metrics.rs",
     "crates/obs/src/flightrec.rs",
+    "crates/obs/src/tracestore.rs",
 ];
 
 /// Subset of the hot set where bare slice indexing (`x[i]`) is also banned
@@ -55,7 +56,11 @@ pub const WAL_ORDERING_FILES: &[&str] = &["crates/net/src/server.rs"];
 /// so `no-lock-in-record` bans lock types and `.lock()` calls here. The
 /// registry (register/expose only — both off the hot path) is deliberately
 /// not in this set.
-pub const NO_LOCK_FILES: &[&str] = &["crates/obs/src/metrics.rs", "crates/obs/src/flightrec.rs"];
+pub const NO_LOCK_FILES: &[&str] = &[
+    "crates/obs/src/metrics.rs",
+    "crates/obs/src/flightrec.rs",
+    "crates/obs/src/tracestore.rs",
+];
 
 /// Crates whose non-test code must read time through
 /// `adcast_stream::clock::now_ns()` rather than `Instant::now()` /
@@ -163,6 +168,58 @@ pub const RPC_SITES: &[RpcSite] = &[
             "Promoted",
             "ClusterStatusReply",
         ],
+    },
+];
+
+/// One trace-context plumbing site for `trace-propagation`: within the
+/// named fn's body, every token in `must_mention` has to appear. The
+/// tokens anchor the plumbing a site is responsible for (encoding the
+/// envelope, deriving a child context, capturing the wire context), so a
+/// refactor that drops the context on the floor — forwarding a request
+/// without its trace, shipping a batch with `TraceContext::NONE` — is a
+/// diagnostic, not a silent hole in every cross-node trace.
+pub struct TraceSite {
+    pub file: &'static str,
+    pub func: &'static str,
+    pub must_mention: &'static [&'static str],
+    /// The invariant in words, for diagnostics.
+    pub doc: &'static str,
+}
+
+/// Every trace-propagation site. The codec entries pin the v6 trace
+/// envelope itself (16 bytes after the epoch in `Routed`/`ReplAppend`);
+/// the router/server/replication entries pin the handoff at each process
+/// boundary of the routed ack ladder (DESIGN §15).
+pub const TRACE_SITES: &[TraceSite] = &[
+    TraceSite {
+        file: "crates/net/src/codec.rs",
+        func: "put_request",
+        must_mention: &["put_trace"],
+        doc: "request encode writes the 16-byte trace envelope after the epoch",
+    },
+    TraceSite {
+        file: "crates/net/src/codec.rs",
+        func: "take_request",
+        must_mention: &["get_trace"],
+        doc: "request decode reads the trace envelope back off the wire",
+    },
+    TraceSite {
+        file: "crates/cluster/src/router.rs",
+        func: "forward",
+        must_mention: &["trace", "child"],
+        doc: "router forwarding derives a child context and puts it in the Routed envelope",
+    },
+    TraceSite {
+        file: "crates/net/src/server.rs",
+        func: "serve_one",
+        must_mention: &["cur_trace"],
+        doc: "server dispatch captures the wire context before handling the request",
+    },
+    TraceSite {
+        file: "crates/net/src/server.rs",
+        func: "replicate",
+        must_mention: &["trace", "child"],
+        doc: "primary->follower shipment carries a child of the request's context",
     },
 ];
 

@@ -45,6 +45,7 @@ pub const RULES: &[&str] = &[
     rules::NO_WALLCLOCK,
     rules::RPC_EXHAUSTIVE,
     rules::ACK_LADDER,
+    rules::TRACE_PROPAGATION,
     rules::LOCK_DISCIPLINE,
     rules::BOUNDED_CHANNEL,
 ];
@@ -119,6 +120,9 @@ fn file_rules(fa: &FileAnalysis, only_rule: Option<&str>) -> Vec<Diagnostic> {
     }
     if run(rules::ACK_LADDER) {
         raw.extend(rules::ack_ladder(fa));
+    }
+    if run(rules::TRACE_PROPAGATION) {
+        raw.extend(rules::trace_propagation(fa));
     }
     if run(rules::LOCK_DISCIPLINE) {
         raw.extend(rules::lock_discipline(fa));

@@ -17,6 +17,7 @@ pub const NO_LOCK_IN_RECORD: &str = "no-lock-in-record";
 pub const NO_WALLCLOCK: &str = "no-wallclock";
 pub const RPC_EXHAUSTIVE: &str = "rpc-exhaustive";
 pub const ACK_LADDER: &str = "ack-ladder";
+pub const TRACE_PROPAGATION: &str = "trace-propagation";
 pub const LOCK_DISCIPLINE: &str = "lock-discipline";
 pub const BOUNDED_CHANNEL: &str = "bounded-channel";
 
@@ -59,6 +60,10 @@ pub const RULE_DOCS: &[(&str, &str)] = &[
     (
         ACK_LADDER,
         "replication-path fns keep their configured token order (commit -> apply -> replicate -> ack)",
+    ),
+    (
+        TRACE_PROPAGATION,
+        "trace-context plumbing sites (codec envelope, router forward, server dispatch, replication) keep the context flowing",
     ),
     (
         LOCK_DISCIPLINE,
@@ -712,6 +717,70 @@ pub fn ack_ladder(fa: &FileAnalysis) -> Vec<Diagnostic> {
                     }
                 }
             }
+        }
+    }
+    out
+}
+
+/// Rule 12: `trace-propagation` — each [`config::TraceSite`] fn must
+/// mention every anchor token of the trace plumbing it owns. Membership,
+/// not order (`ack-ladder` owns ordering); a missing token means the
+/// refactored site dropped the context and every cross-node trace now
+/// stops at that hop. Like `ack-ladder`, test fns are skipped and a
+/// configured fn that no longer exists is itself a diagnostic — a moved
+/// site with a stale config entry silently checks nothing.
+pub fn trace_propagation(fa: &FileAnalysis) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // The rule engages only for files that handle the trace envelope at
+    // all (they name `TraceContext` somewhere outside tests). This keeps
+    // fixtures and pre-tracing snapshots of a site file inert while still
+    // catching the real failure mode: a refactor that keeps the plumbing
+    // imports but drops the handoff at one site.
+    let handles_traces = fa
+        .tokens
+        .iter()
+        .enumerate()
+        .any(|(i, t)| !fa.in_test[i] && t.is_ident("TraceContext"));
+    if !handles_traces {
+        return out;
+    }
+    for site in config::TRACE_SITES {
+        if site.file != fa.rel_path {
+            continue;
+        }
+        let mut found = false;
+        for f in fa.fns.iter().filter(|f| f.name == site.func) {
+            let (Some(open), Some(close)) = (f.body_open, f.body_close) else {
+                continue;
+            };
+            if fa.in_test[f.fn_idx] {
+                continue;
+            }
+            found = true;
+            for token in site.must_mention {
+                let mentioned =
+                    (open + 1..close).any(|i| !fa.in_test[i] && fa.tokens[i].is_ident(token));
+                if !mentioned {
+                    out.push(diag(
+                        fa,
+                        f.line,
+                        TRACE_PROPAGATION,
+                        format!("`{}` never mentions `{token}`; {}", site.func, site.doc),
+                    ));
+                }
+            }
+        }
+        if !found {
+            out.push(diag(
+                fa,
+                1,
+                TRACE_PROPAGATION,
+                format!(
+                    "trace-propagation fn `{}` not found; update config::TRACE_SITES if the \
+                     site moved",
+                    site.func
+                ),
+            ));
         }
     }
     out

@@ -1,0 +1,12 @@
+//! Same dropped context as `trace_fail.rs`, with a reasoned allow pragma.
+
+// adcast-lint: allow(trace-propagation) -- fixture: this forwarder carries cluster-internal control RPCs that are never head-sampled
+fn forward(&mut self, inner: &Request) -> Result<Response, WireError> {
+    let req = Request::Routed {
+        partition: self.partition,
+        epoch: self.epoch,
+        trace: TraceContext::NONE,
+        inner: Box::new(inner.clone()),
+    };
+    self.client.call(req)
+}

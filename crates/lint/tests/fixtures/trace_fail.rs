@@ -1,0 +1,15 @@
+//! Fixture: a router forwarder that drops the caller's trace context on
+//! the floor — it puts `TraceContext::NONE` in the Routed envelope and
+//! never derives a child span, so every cross-node trace would stop at
+//! this hop. `trace-propagation` must fire once on `forward` (the
+//! `child` token is missing).
+
+fn forward(&mut self, inner: &Request) -> Result<Response, WireError> {
+    let req = Request::Routed {
+        partition: self.partition,
+        epoch: self.epoch,
+        trace: TraceContext::NONE,
+        inner: Box::new(inner.clone()),
+    };
+    self.client.call(req)
+}

@@ -1,0 +1,13 @@
+//! Fixture: a forwarder that propagates the trace context correctly —
+//! it derives a child span for the downstream hop and puts it in the
+//! Routed envelope. `trace-propagation` must stay silent.
+
+fn forward(&mut self, inner: &Request, trace: TraceContext) -> Result<Response, WireError> {
+    let req = Request::Routed {
+        partition: self.partition,
+        epoch: self.epoch,
+        trace: trace.child(SpanKind::RouterForward, u64::from(self.partition)),
+        inner: Box::new(inner.clone()),
+    };
+    self.client.call(req)
+}

@@ -421,6 +421,71 @@ fn ladder_fn_outside_its_configured_file_is_not_checked() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+// ---- trace-propagation --------------------------------------------------
+
+/// The router-forwarding identity: `trace-propagation` has a site for
+/// `forward` here.
+const ROUTER: &str = "crates/cluster/src/router.rs";
+
+#[test]
+fn forwarder_dropping_trace_context_fails() {
+    let (diags, _) = lint(ROUTER, include_str!("fixtures/trace_fail.rs"));
+    assert_eq!(
+        rules_of(&diags),
+        vec![rules::TRACE_PROPAGATION],
+        "{diags:?}"
+    );
+    assert!(diags[0].message.contains("`child`"), "{}", diags[0].message);
+}
+
+#[test]
+fn dropped_context_with_pragma_is_allowed() {
+    let (diags, sup) = lint(ROUTER, include_str!("fixtures/trace_allow.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 1);
+}
+
+#[test]
+fn forwarder_deriving_child_context_passes() {
+    let (diags, sup) = lint(ROUTER, include_str!("fixtures/trace_ok.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sup, 0);
+}
+
+#[test]
+fn trace_rule_is_inert_without_trace_context_in_the_file() {
+    // The codec identity has two trace sites, but a file that never names
+    // `TraceContext` (a pre-tracing snapshot, or any non-trace fixture) is
+    // out of the rule's scope entirely.
+    let (diags, _) = lint(
+        "crates/net/src/codec.rs",
+        include_str!("fixtures/rpc_codec_fail.rs"),
+    );
+    assert!(
+        !rules_of(&diags).contains(&rules::TRACE_PROPAGATION),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn moved_trace_site_is_diagnosed() {
+    // The file handles traces (names `TraceContext`) but the configured
+    // `forward` fn is gone — a stale config entry checks nothing, so the
+    // rule says so.
+    let src = "fn route(ctx: TraceContext) -> TraceContext { ctx }\n";
+    let (diags, _) = lint(ROUTER, src);
+    assert_eq!(
+        rules_of(&diags),
+        vec![rules::TRACE_PROPAGATION],
+        "{diags:?}"
+    );
+    assert!(
+        diags[0].message.contains("not found"),
+        "{}",
+        diags[0].message
+    );
+}
+
 // ---- lock-discipline ----------------------------------------------------
 
 #[test]

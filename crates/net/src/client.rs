@@ -28,7 +28,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::codec::{decode_response, encode_request, read_frame, write_frame, NetError};
-use crate::protocol::{CampaignSpec, NodeStatus, Request, Response, ServerStats};
+use crate::protocol::{CampaignSpec, NodeStatus, Request, Response, ServerStats, TraceContext};
 
 /// Connection and retry knobs.
 #[derive(Debug, Clone)]
@@ -359,11 +359,13 @@ impl Client {
         &mut self,
         partition: u16,
         epoch: u64,
+        trace: TraceContext,
         entries: Vec<(u64, Bytes)>,
     ) -> Result<u64, NetError> {
         match self.call(&Request::ReplAppend {
             partition,
             epoch,
+            trace,
             entries,
         })? {
             Response::ReplAck { durable_lsn } => Ok(durable_lsn),

@@ -27,7 +27,9 @@ use adcast_stream::event::LocationId;
 use adcast_stream::trace::{check_stream_header, put_stream_header, TraceError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::protocol::{CampaignSpec, NodeRole, Request, Response, ServerStats, WireError};
+use crate::protocol::{
+    CampaignSpec, NodeRole, Request, Response, ServerStats, TraceContext, WireError,
+};
 
 /// Per-frame magic (the trace stream uses `ADCT`).
 pub const MAGIC: &[u8; 4] = b"ADCN";
@@ -37,8 +39,10 @@ pub const MAGIC: &[u8; 4] = b"ADCN";
 /// cluster surface — the `Routed` partition/epoch envelope, WAL
 /// replication (`ReplAppend`/`InstallSnapshot`), `Promote`,
 /// `ClusterStatus`, and the stale-epoch/wrong-partition/LSN-gap error
-/// codes.
-pub const VERSION: u16 = 5;
+/// codes; v6 added the 16-byte distributed-tracing context
+/// (`trace_id` + `parent_span_id`, all-zero when unsampled) after the
+/// epoch in `Routed` and `ReplAppend`.
+pub const VERSION: u16 = 6;
 /// Upper bound on a frame body; larger declared lengths are rejected
 /// before any allocation, so a malformed peer cannot OOM the server.
 pub const MAX_FRAME: usize = 64 << 20;
@@ -148,6 +152,20 @@ const E_NOT_PRIMARY: u8 = 9;
 /// Fail with `Truncated` instead of letting a `get_*` panic.
 fn need(data: &Bytes, n: usize) -> Result<(), NetError> {
     adcast_durability::codec::need(data, n).map_err(NetError::from)
+}
+
+/// The 16 trace-context bytes (wire v6): trace id, then parent span id.
+fn put_trace(body: &mut BytesMut, trace: &TraceContext) {
+    body.put_u64_le(trace.trace_id);
+    body.put_u64_le(trace.parent_span_id);
+}
+
+fn get_trace(data: &mut Bytes) -> Result<TraceContext, NetError> {
+    need(data, 16)?;
+    Ok(TraceContext {
+        trace_id: data.get_u64_le(),
+        parent_span_id: data.get_u64_le(),
+    })
 }
 
 /// Frame up one request: length prefix, header, kind, id, body.
@@ -261,23 +279,27 @@ fn put_request(body: &mut BytesMut, id: u64, req: &Request) {
         Request::Routed {
             partition,
             epoch,
+            trace,
             inner,
         } => {
             body.put_u8(K_ROUTED);
             body.put_u64_le(id);
             body.put_u16_le(*partition);
             body.put_u64_le(*epoch);
+            put_trace(body, trace);
             put_request(body, id, inner);
         }
         Request::ReplAppend {
             partition,
             epoch,
+            trace,
             entries,
         } => {
             body.put_u8(K_REPL_APPEND);
             body.put_u64_le(id);
             body.put_u16_le(*partition);
             body.put_u64_le(*epoch);
+            put_trace(body, trace);
             // adcast-lint: allow(no-panic-hot-path) -- a batch of 4
             // billion records would blow MAX_FRAME long before the
             // count overflows u32.
@@ -616,6 +638,7 @@ fn take_request(data: &mut Bytes, allow_routed: bool) -> Result<(u64, Request), 
             need(data, 10)?;
             let partition = data.get_u16_le();
             let epoch = data.get_u64_le();
+            let trace = get_trace(data)?;
             let (inner_id, inner) = take_request(data, false)?;
             if inner_id != id {
                 return Err(TraceError::Corrupt("routed inner id mismatch").into());
@@ -623,13 +646,16 @@ fn take_request(data: &mut Bytes, allow_routed: bool) -> Result<(u64, Request), 
             Request::Routed {
                 partition,
                 epoch,
+                trace,
                 inner: Box::new(inner),
             }
         }
         K_REPL_APPEND => {
-            need(data, 14)?;
+            need(data, 10)?;
             let partition = data.get_u16_le();
             let epoch = data.get_u64_le();
+            let trace = get_trace(data)?;
+            need(data, 4)?;
             let n = data.get_u32_le() as usize;
             let mut entries = Vec::with_capacity(n.min(65_536));
             for _ in 0..n {
@@ -642,6 +668,7 @@ fn take_request(data: &mut Bytes, allow_routed: bool) -> Result<(u64, Request), 
             Request::ReplAppend {
                 partition,
                 epoch,
+                trace,
                 entries,
             }
         }
@@ -991,6 +1018,10 @@ mod tests {
             Request::Routed {
                 partition: 3,
                 epoch: 7,
+                trace: TraceContext {
+                    trace_id: 0xDEAD_BEEF_0042,
+                    parent_span_id: 0x1234_5678,
+                },
                 inner: Box::new(Request::Recommend {
                     user: UserId(42),
                     now: Timestamp::from_secs(9),
@@ -1001,6 +1032,7 @@ mod tests {
             Request::Routed {
                 partition: 0,
                 epoch: 1,
+                trace: TraceContext::NONE,
                 inner: Box::new(Request::Ingest {
                     deltas: vec![(
                         UserId(4),
@@ -1014,6 +1046,10 @@ mod tests {
             Request::ReplAppend {
                 partition: 1,
                 epoch: 2,
+                trace: TraceContext {
+                    trace_id: 7,
+                    parent_span_id: 9,
+                },
                 entries: vec![
                     (7, Bytes::from_static(&[1, 2, 3, 4])),
                     (8, Bytes::from_static(&[9])),
@@ -1022,6 +1058,7 @@ mod tests {
             Request::ReplAppend {
                 partition: 0,
                 epoch: 1,
+                trace: TraceContext::NONE,
                 entries: vec![],
             },
             Request::InstallSnapshot {
@@ -1293,11 +1330,13 @@ mod tests {
         let inner = Request::Routed {
             partition: 1,
             epoch: 2,
+            trace: TraceContext::NONE,
             inner: Box::new(Request::Stats),
         };
         let outer = Request::Routed {
             partition: 1,
             epoch: 2,
+            trace: TraceContext::NONE,
             inner: Box::new(inner),
         };
         let err = decode_request(body_of(&encode_request(1, &outer))).unwrap_err();
@@ -1321,6 +1360,7 @@ mod tests {
         body.put_u64_le(1);
         body.put_u16_le(0);
         body.put_u64_le(1);
+        put_trace(&mut body, &TraceContext::NONE);
         put_request(&mut body, 2, &Request::Stats);
         let err = decode_request(body.freeze()).unwrap_err();
         assert!(
@@ -1359,6 +1399,38 @@ mod tests {
             matches!(err, NetError::Decode(TraceError::Corrupt(_))),
             "{err}"
         );
+    }
+
+    #[test]
+    fn trace_context_sits_after_the_epoch() {
+        // Pin the v6 layout: header(8) kind(1) id(8) partition(2)
+        // epoch(8), then trace_id and parent_span_id as LE u64s.
+        let trace = TraceContext {
+            trace_id: 0x0102_0304_0506_0708,
+            parent_span_id: 0x1112_1314_1516_1718,
+        };
+        let frame = encode_request(
+            5,
+            &Request::Routed {
+                partition: 1,
+                epoch: 2,
+                trace,
+                inner: Box::new(Request::Stats),
+            },
+        );
+        let body = body_of(&frame);
+        let at = 8 + 1 + 8 + 2 + 8;
+        assert_eq!(&body[at..at + 8], trace.trace_id.to_le_bytes());
+        assert_eq!(&body[at + 8..at + 16], trace.parent_span_id.to_le_bytes());
+        // All-zero bytes decode as the unsampled context.
+        let mut zeroed = body.to_vec();
+        zeroed[at..at + 16].fill(0);
+        let (_, got) = decode_request(Bytes::from(zeroed)).unwrap();
+        let Request::Routed { trace, .. } = got else {
+            panic!("decoded a different request");
+        };
+        assert_eq!(trace, TraceContext::NONE);
+        assert!(!trace.sampled());
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub mod synth;
 pub use client::{Client, ClientConfig};
 pub use codec::NetError;
 pub use loadgen::{scrape_obs, LoadgenConfig, LoadgenReport, ObsScrape, STAGE_FAMILIES};
-pub use protocol::{CampaignSpec, NodeRole, NodeStatus, Request, Response, ServerStats, WireError};
+pub use protocol::{
+    CampaignSpec, NodeRole, NodeStatus, Request, Response, ServerStats, TraceContext, WireError,
+};
 pub use replication::{
     install_snapshot_on, promote, replica_append, ClusterState, ReplObs, ReplicaError,
     ReplicaSetup, ReplicateError, ReplicationSink,

@@ -51,6 +51,13 @@ pub struct LoadgenConfig {
     /// scrape whose parsed result lands in [`LoadgenReport::obs`]; a
     /// malformed exposition is a hard error.
     pub obs_addr: Option<String>,
+    /// Mirror of the router's `--trace-sample N`. When nonzero the run
+    /// also fetches the sampled traces from [`LoadgenConfig::obs_addr`]
+    /// (`/traces`, then each `/traces/<id>` — stitched cross-node when
+    /// the target is the router's federated obs port) into
+    /// [`LoadgenReport::traces`]; a run that was sampling but yields no
+    /// trace is a hard error.
+    pub trace_sample: u64,
 }
 
 impl LoadgenConfig {
@@ -64,6 +71,7 @@ impl LoadgenConfig {
             k: 10,
             client: ClientConfig::default(),
             obs_addr: None,
+            trace_sample: 0,
         }
     }
 }
@@ -167,6 +175,94 @@ pub fn scrape_obs(addr: &str) -> Result<ObsScrape, NetError> {
     })
 }
 
+/// Per-hop latencies from the end-of-run trace fetch, aggregated across
+/// every sampled trace the obs endpoint still holds.
+#[derive(Debug)]
+pub struct TraceScrape {
+    /// Sampled traces resident on the endpoint.
+    pub traces: usize,
+    /// The deepest trace fetched: `(trace_id, spans, distinct nodes)`.
+    /// Against the router's federated port the span origins come from
+    /// the cross-node stitch, so `nodes` counts processes.
+    pub best: (u64, usize, usize),
+    /// `(hop name, spans, p50 ns, p99 ns)` across all fetched traces,
+    /// in span-kind order (the ack-ladder order).
+    pub hops: Vec<(String, usize, u64, u64)>,
+}
+
+/// Largest number of `/traces/<id>` fetches one scrape performs; the
+/// listing can hold thousands of ids after a long sampled run, and the
+/// per-hop quantiles converge long before that.
+const MAX_TRACE_FETCHES: usize = 64;
+
+/// Fetch the sampled traces from `addr` and aggregate per-hop
+/// latencies. `Ok(None)` means the endpoint holds no traces.
+///
+/// # Errors
+///
+/// Transport failures or a non-200 `/traces` listing.
+pub fn scrape_traces(addr: &str) -> Result<Option<TraceScrape>, NetError> {
+    use adcast_obs::tracestore::{parse_trace_json, parse_trace_list_json, SpanKind};
+    let (status, body) = http_get(addr, "/traces")?;
+    if status != 200 {
+        return Err(NetError::Io(io::Error::other(format!(
+            "GET /traces returned status {status}"
+        ))));
+    }
+    let listing = parse_trace_list_json(&body);
+    if listing.is_empty() {
+        return Ok(None);
+    }
+    let mut by_kind: Vec<(SpanKind, Vec<u64>)> = Vec::new();
+    let mut best = (0u64, 0usize, 0usize);
+    for (id, _) in listing.iter().take(MAX_TRACE_FETCHES) {
+        let Ok((200, trace_body)) = http_get(addr, &format!("/traces/{id}")) else {
+            continue; // a trace can rotate out of the ring between fetches
+        };
+        let spans = parse_trace_json(&trace_body);
+        let nodes = distinct_nodes(&trace_body);
+        if (spans.len(), nodes) > (best.1, best.2) {
+            best = (*id, spans.len(), nodes);
+        }
+        for span in spans {
+            match by_kind.iter_mut().find(|(k, _)| *k == span.kind) {
+                Some((_, durs)) => durs.push(span.dur_ns),
+                None => by_kind.push((span.kind, vec![span.dur_ns])),
+            }
+        }
+    }
+    by_kind.sort_by_key(|(k, _)| *k as u64);
+    let mut hops = Vec::with_capacity(by_kind.len());
+    for (kind, mut durs) in by_kind {
+        durs.sort_unstable();
+        let q = |f: f64| durs[((durs.len() - 1) as f64 * f) as usize];
+        hops.push((kind.name().to_string(), durs.len(), q(0.50), q(0.99)));
+    }
+    Ok(Some(TraceScrape {
+        traces: listing.len(),
+        best,
+        hops,
+    }))
+}
+
+/// Count the distinct `"node":"…"` origins in a trace body (one span
+/// per line; plain bodies without stitch origins count as one node).
+fn distinct_nodes(body: &str) -> usize {
+    let mut nodes: Vec<&str> = Vec::new();
+    for line in body.lines() {
+        let Some(at) = line.find("\"node\":\"") else {
+            continue;
+        };
+        let rest = &line[at + 8..];
+        let Some(end) = rest.find('"') else { continue };
+        let node = &rest[..end];
+        if !nodes.contains(&node) {
+            nodes.push(node);
+        }
+    }
+    nodes.len().max(1)
+}
+
 /// Pull the blocked-index pruning counters out of a parsed exposition;
 /// `None` when any [`INDEX_FAMILIES`] family (or its sample) is absent.
 fn parse_index_prune(families: &[adcast_obs::ParsedFamily]) -> Option<IndexPrune> {
@@ -209,6 +305,9 @@ pub struct LoadgenReport {
     /// End-of-run `/metrics` scrape (when [`LoadgenConfig::obs_addr`]
     /// was set).
     pub obs: Option<ObsScrape>,
+    /// End-of-run trace fetch (when [`LoadgenConfig::trace_sample`] was
+    /// nonzero).
+    pub traces: Option<TraceScrape>,
 }
 
 impl LoadgenReport {
@@ -308,6 +407,25 @@ pub fn run(
         Some(addr) => Some(scrape_obs(addr)?),
         None => None,
     };
+    let traces = if config.trace_sample > 0 {
+        let addr = config
+            .obs_addr
+            .as_deref()
+            .ok_or_else(|| NetError::Io(io::Error::other("trace fetch needs an obs address")))?;
+        match scrape_traces(addr)? {
+            Some(t) => Some(t),
+            // Sampling was on and the run completed RPCs, so an empty
+            // trace store means the trace pipeline is broken — fail
+            // loudly rather than printing a report with a hole in it.
+            None => {
+                return Err(NetError::Io(io::Error::other(
+                    "trace sampling enabled but the obs endpoint holds no sampled trace",
+                )))
+            }
+        }
+    } else {
+        None
+    };
     Ok(LoadgenReport {
         connections: conns,
         deltas_accepted: accepted,
@@ -319,6 +437,7 @@ pub fn run(
         elapsed: meter.elapsed(),
         server,
         obs,
+        traces,
     })
 }
 

@@ -15,6 +15,8 @@ use adcast_stream::event::{LocationId, TimeSlot};
 use adcast_text::SparseVector;
 use bytes::Bytes;
 
+pub use adcast_obs::tracestore::TraceContext;
+
 /// A client → server RPC.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -87,6 +89,11 @@ pub enum Request {
         partition: u16,
         /// Router's view of the partition epoch (bumped on promotion).
         epoch: u64,
+        /// Distributed-tracing context (wire v6): 16 bytes after the
+        /// epoch, all-zero when the request is unsampled. The node
+        /// records its spans under `trace.trace_id`, parented on
+        /// `trace.parent_span_id` (the router's forward span).
+        trace: TraceContext,
         /// The request being routed.
         inner: Box<Request>,
     },
@@ -100,6 +107,9 @@ pub enum Request {
         /// Sender's epoch; a lower epoch than the follower's is fenced
         /// with [`WireError::StaleEpoch`].
         epoch: u64,
+        /// Distributed-tracing context (wire v6), parented on the
+        /// primary's replicate span; all-zero when unsampled.
+        trace: TraceContext,
         /// `(lsn, encoded record)` pairs in LSN order.
         entries: Vec<(u64, Bytes)>,
     },

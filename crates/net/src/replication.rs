@@ -43,7 +43,9 @@ use adcast_durability::{
     apply_record, Durability, DurabilityOptions, EngineSetSnapshot, StorageBackend, WalError,
     WalRecord, WalWriter,
 };
+use adcast_obs::tracestore::{tracestore, SpanKind, TraceContext};
 use adcast_obs::{Counter, Gauge, Hist};
+use adcast_stream::clock::now_ns;
 use adcast_stream::trace::TraceError;
 use bytes::Bytes;
 
@@ -231,6 +233,11 @@ impl ReplicaError {
 /// before the first byte is logged, so a refused batch leaves no partial
 /// state.
 ///
+/// A sampled `trace` (parented on the node-local queue-wait span) records
+/// the follower half of the ack ladder — a `follower_commit` span over the
+/// log + group-commit and a `follower_apply` span over the apply loop —
+/// into the process-wide [`tracestore`].
+///
 /// # Errors
 ///
 /// [`ReplicaError`] — see its variants.
@@ -238,6 +245,7 @@ pub fn replica_append(
     durability: &mut Durability,
     store: &mut AdStore,
     driver: &mut ShardedDriver,
+    trace: TraceContext,
     entries: &[(u64, Bytes)],
 ) -> Result<u64, ReplicaError> {
     let mut records = Vec::with_capacity(entries.len());
@@ -249,13 +257,31 @@ pub fn replica_append(
         }
         records.push(WalRecord::decode(payload.clone()).map_err(ReplicaError::Corrupt)?);
     }
+    let salt = 0;
+    let commit_started = now_ns();
     for record in &records {
         durability.log(record).map_err(ReplicaError::Durability)?;
     }
     durability.commit().map_err(ReplicaError::Durability)?;
+    tracestore().record(
+        trace,
+        SpanKind::FollowerCommit,
+        salt,
+        commit_started,
+        now_ns().saturating_sub(commit_started),
+    );
+    let trace = trace.child(SpanKind::FollowerCommit, salt);
+    let apply_started = now_ns();
     for record in records {
         apply_record(store, driver, record).map_err(ReplicaError::Apply)?;
     }
+    tracestore().record(
+        trace,
+        SpanKind::FollowerApply,
+        salt,
+        apply_started,
+        now_ns().saturating_sub(apply_started),
+    );
     Ok(durability.next_lsn())
 }
 
@@ -365,11 +391,19 @@ impl std::error::Error for ReplicateError {}
 pub trait ReplicationSink: Send {
     /// Ship `(lsn, encoded record)` pairs under `epoch`; block until the
     /// follower acks them durable. Returns the follower's `next_lsn`.
+    /// `trace` is the context the follower records its spans under
+    /// (parented on the primary's `replicate` span); pass
+    /// [`TraceContext::NONE`] when unsampled.
     ///
     /// # Errors
     ///
     /// [`ReplicateError`] — see its variants.
-    fn replicate(&mut self, epoch: u64, entries: &[(u64, Bytes)]) -> Result<u64, ReplicateError>;
+    fn replicate(
+        &mut self,
+        epoch: u64,
+        trace: TraceContext,
+        entries: &[(u64, Bytes)],
+    ) -> Result<u64, ReplicateError>;
 
     /// Ship a full snapshot image for catch-up; block until installed.
     /// Returns the follower's `next_lsn` after the install.
@@ -381,7 +415,9 @@ pub trait ReplicationSink: Send {
 }
 
 /// Handles into the process-wide metrics registry for the replication
-/// layer (primary and follower sides both feed it).
+/// layer (primary and follower sides both feed it). Every family carries
+/// a `partition` label so the router's federated scrape can tell the
+/// partitions of one process-group apart.
 #[derive(Clone)]
 pub struct ReplObs {
     /// Records shipped to the follower (primary side).
@@ -400,41 +436,74 @@ pub struct ReplObs {
     /// Primary-side ship time per mutating RPC (RPC round trip to the
     /// follower's durable ack).
     pub ship_ns: Hist,
+    /// The epoch this node currently holds (health: a lagging epoch means
+    /// a deposed node still serving).
+    pub epoch: Gauge,
+    /// 1 while the partition is degraded (single-node-durable acks), else
+    /// 0 — the gauge twin of the `/readyz` `degraded` bit.
+    pub degraded: Gauge,
+    /// Full ack-ladder time per mutating RPC on the primary: WAL log +
+    /// commit + apply + replicate round trip (DESIGN § 14).
+    pub ack_ladder_ns: Hist,
 }
 
 impl ReplObs {
-    /// Register (or re-resolve) the replication families.
+    /// Register (or re-resolve) the replication families for `partition`.
     #[must_use]
-    pub fn resolve() -> ReplObs {
+    pub fn resolve(partition: u16) -> ReplObs {
         let reg = adcast_obs::registry();
+        let p = partition.to_string();
+        let labels: &[(&str, &str)] = &[("partition", &p)];
         ReplObs {
-            shipped_total: reg.counter(
+            shipped_total: reg.counter_with(
                 "adcast_repl_shipped_total",
                 "WAL records shipped to the follower.",
+                labels,
             ),
-            lag_records: reg.gauge(
+            lag_records: reg.gauge_with(
                 "adcast_repl_lag_records",
                 "Replication lag: primary next_lsn minus follower durable ack.",
+                labels,
             ),
-            degraded_total: reg.counter(
+            degraded_total: reg.counter_with(
                 "adcast_repl_degraded_total",
                 "Transitions into degraded (follower-unreachable) mode.",
+                labels,
             ),
-            fenced_total: reg.counter(
+            fenced_total: reg.counter_with(
                 "adcast_repl_fenced_total",
                 "Times this node fenced itself after a stale-epoch refusal.",
+                labels,
             ),
-            snapshots_shipped_total: reg.counter(
+            snapshots_shipped_total: reg.counter_with(
                 "adcast_repl_snapshots_shipped_total",
                 "Full-snapshot catch-up transfers initiated.",
+                labels,
             ),
-            promotions_total: reg.counter(
+            promotions_total: reg.counter_with(
                 "adcast_repl_promotions_total",
                 "Promotions accepted (follower became primary).",
+                labels,
             ),
-            ship_ns: reg.hist(
+            ship_ns: reg.hist_with(
                 "adcast_repl_ship_ns",
                 "Primary-side replication round trip per mutating RPC.",
+                labels,
+            ),
+            epoch: reg.gauge_with(
+                "adcast_repl_epoch",
+                "Cluster epoch this node currently holds.",
+                labels,
+            ),
+            degraded: reg.gauge_with(
+                "adcast_repl_degraded",
+                "1 while this partition acks single-node-durable only.",
+                labels,
+            ),
+            ack_ladder_ns: reg.hist_with(
+                "adcast_repl_ack_ladder_ns",
+                "Full primary ack ladder per mutating RPC: log, commit, apply, replicate ack.",
+                labels,
             ),
         }
     }
@@ -565,14 +634,28 @@ mod tests {
             .enumerate()
             .map(|(i, r)| (i as u64, r.encode()))
             .collect();
-        let durable = replica_append(&mut durability, &mut store, &mut driver, &entries).unwrap();
+        let durable = replica_append(
+            &mut durability,
+            &mut store,
+            &mut driver,
+            TraceContext::NONE,
+            &entries,
+        )
+        .unwrap();
         assert_eq!(durable, 3);
         // Applied, not just logged: the campaign is live.
         assert!(store.campaign(adcast_ads::AdId(0)).is_some());
 
         // A gap is refused wholesale — nothing logged, nothing applied.
         let gap = vec![(7u64, submit_record(2).encode())];
-        let err = replica_append(&mut durability, &mut store, &mut driver, &gap).unwrap_err();
+        let err = replica_append(
+            &mut durability,
+            &mut store,
+            &mut driver,
+            TraceContext::NONE,
+            &gap,
+        )
+        .unwrap_err();
         assert!(matches!(err, ReplicaError::LsnGap { expected: 3 }), "{err}");
         assert_eq!(durability.next_lsn(), 3);
     }
@@ -587,7 +670,14 @@ mod tests {
             .enumerate()
         {
             let entry = vec![(lsn as u64, record.encode())];
-            replica_append(&mut durability, &mut store, &mut driver, &entry).unwrap();
+            replica_append(
+                &mut durability,
+                &mut store,
+                &mut driver,
+                TraceContext::NONE,
+                &entry,
+            )
+            .unwrap();
         }
         let image = EngineSetSnapshot::capture(durability.next_lsn(), &store, &driver).encode();
 
@@ -595,7 +685,14 @@ mod tests {
         let replica_backend = temp_backend("install-r");
         let (mut rstore, mut rdriver, mut rdur) = fresh_node(&replica_backend);
         let stale = vec![(0u64, submit_record(9).encode())];
-        replica_append(&mut rdur, &mut rstore, &mut rdriver, &stale).unwrap();
+        replica_append(
+            &mut rdur,
+            &mut rstore,
+            &mut rdriver,
+            TraceContext::NONE,
+            &stale,
+        )
+        .unwrap();
         drop(rdur);
 
         let setup = ReplicaSetup {

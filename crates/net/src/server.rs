@@ -59,7 +59,9 @@ use adcast_ads::{AdStore, CampaignState};
 use adcast_core::ShardedDriver;
 use adcast_durability::{apply_record, ApplyEffect, Durability, EngineSetSnapshot, WalRecord};
 use adcast_metrics::LatencyHistogram;
-use adcast_obs::{flightrec, Counter, EventKind, Gauge, Hist};
+use adcast_obs::tracestore::{tracestore, SpanKind, TraceContext};
+use adcast_obs::{flightrec, readiness, Counter, EventKind, Gauge, Hist};
+use adcast_obs::{UNREADY_CATCHING_UP, UNREADY_DEGRADED};
 use adcast_stream::clock::now_ns;
 use bytes::Bytes;
 
@@ -295,6 +297,11 @@ impl Server {
         let (cmd_tx, cmd_rx) = mpsc::sync_channel::<Cmd>(config.queue_depth.max(1));
 
         let engine_join = {
+            let repl_obs = ReplObs::resolve(cluster.state.partition);
+            repl_obs
+                .epoch
+                .set(i64::try_from(cluster.state.epoch).unwrap_or(i64::MAX));
+            repl_obs.degraded.set(i64::from(cluster.state.degraded));
             let mut engine = Engine {
                 store,
                 driver,
@@ -306,8 +313,9 @@ impl Server {
                 queue_depth: config.queue_depth.max(1),
                 flightrec_path: config.flightrec_path.clone(),
                 obs: obs.clone(),
-                repl_obs: ReplObs::resolve(),
+                repl_obs,
                 rpcs: 0,
+                cur_trace: TraceContext::NONE,
                 ingest_lat: LatencyHistogram::new(),
                 recommend_lat: LatencyHistogram::new(),
             };
@@ -522,6 +530,9 @@ struct Engine {
     obs: NetObs,
     repl_obs: ReplObs,
     rpcs: u64,
+    /// Trace context of the command being served (the wire context's
+    /// child after the queue-wait span); `NONE` for unsampled requests.
+    cur_trace: TraceContext,
     ingest_lat: LatencyHistogram,
     recommend_lat: LatencyHistogram,
 }
@@ -576,14 +587,18 @@ impl Engine {
                 current: self.cluster.epoch,
             });
         }
+        let ladder_started = now_ns();
+        let salt = u64::from(self.cluster.partition);
+        let mut trace = self.cur_trace;
         let mut shipment: Option<(u64, Bytes)> = None;
         if let Some(d) = self.durability.as_mut() {
             let wal_started = now_ns();
             let logged = d.log(&record);
             let committed = logged.is_ok() && d.commit().is_ok();
-            self.obs
-                .wal_commit_ns
-                .record(now_ns().saturating_sub(wal_started));
+            let wal_ns = now_ns().saturating_sub(wal_started);
+            self.obs.wal_commit_ns.record(wal_ns);
+            tracestore().record(trace, SpanKind::WalCommit, salt, wal_started, wal_ns);
+            trace = trace.child(SpanKind::WalCommit, salt);
             if !committed {
                 return Err(WireError::Unavailable);
             }
@@ -595,9 +610,10 @@ impl Engine {
         }
         let apply_started = now_ns();
         let outcome = apply_record(&mut self.store, &mut self.driver, record);
-        self.obs
-            .engine_apply_ns
-            .record(now_ns().saturating_sub(apply_started));
+        let apply_ns = now_ns().saturating_sub(apply_started);
+        self.obs.engine_apply_ns.record(apply_ns);
+        tracestore().record(trace, SpanKind::EngineApply, salt, apply_started, apply_ns);
+        trace = trace.child(SpanKind::EngineApply, salt);
         let effect = outcome.map_err(|why| {
             if self.driver.is_dead() {
                 WireError::Unavailable
@@ -606,8 +622,11 @@ impl Engine {
             }
         })?;
         if let Some((lsn, payload)) = shipment {
-            self.replicate(lsn, payload)?;
+            self.replicate(lsn, payload, trace)?;
         }
+        self.repl_obs
+            .ack_ladder_ns
+            .record(now_ns().saturating_sub(ladder_started));
         Ok(effect)
     }
 
@@ -616,20 +635,32 @@ impl Engine {
     /// (it has been deposed), an LSN gap falls back to snapshot-transfer
     /// catch-up, and an unreachable follower degrades the primary to
     /// local-durable acks rather than stalling the partition.
-    fn replicate(&mut self, lsn: u64, payload: Bytes) -> Result<(), WireError> {
+    fn replicate(
+        &mut self,
+        lsn: u64,
+        payload: Bytes,
+        trace: TraceContext,
+    ) -> Result<(), WireError> {
         let epoch = self.cluster.epoch;
+        let salt = u64::from(self.cluster.partition);
         let Some(sink) = self.sink.as_mut() else {
             return Ok(());
         };
         let ship_started = now_ns();
-        let outcome = sink.replicate(epoch, &[(lsn, payload)]);
-        self.repl_obs
-            .ship_ns
-            .record(now_ns().saturating_sub(ship_started));
+        // The follower parents its spans on our replicate span — whose id
+        // is derived, so it can ride the wire before the span is timed.
+        let outcome = sink.replicate(
+            epoch,
+            trace.child(SpanKind::Replicate, salt),
+            &[(lsn, payload)],
+        );
+        let ship_ns = now_ns().saturating_sub(ship_started);
+        self.repl_obs.ship_ns.record(ship_ns);
+        tracestore().record(trace, SpanKind::Replicate, salt, ship_started, ship_ns);
         match outcome {
             Ok(follower_next) => {
                 self.repl_obs.shipped_total.inc();
-                self.cluster.degraded = false;
+                self.set_degraded(false);
                 let next = self
                     .durability
                     .as_ref()
@@ -647,13 +678,22 @@ impl Engine {
             }
             Err(ReplicateError::LsnGap { .. }) => self.catch_up_follower(),
             Err(ReplicateError::Unreachable) => {
-                if !self.cluster.degraded {
-                    self.cluster.degraded = true;
-                    self.repl_obs.degraded_total.inc();
-                }
+                self.set_degraded(true);
                 Ok(())
             }
         }
+    }
+
+    /// Flip the partition's degraded state everywhere it is visible at
+    /// once: the cluster state, the transition counter, the gauge twin,
+    /// and the process `/readyz` bit.
+    fn set_degraded(&mut self, degraded: bool) {
+        if degraded && !self.cluster.degraded {
+            self.repl_obs.degraded_total.inc();
+        }
+        self.cluster.degraded = degraded;
+        self.repl_obs.degraded.set(i64::from(degraded));
+        readiness().set(UNREADY_DEGRADED, degraded);
     }
 
     /// Snapshot-transfer catch-up: the follower's WAL does not continue
@@ -672,7 +712,7 @@ impl Engine {
         };
         match sink.install(epoch, image) {
             Ok(_) => {
-                self.cluster.degraded = false;
+                self.set_degraded(false);
                 self.repl_obs.lag_records.set(0);
                 Ok(())
             }
@@ -682,10 +722,7 @@ impl Engine {
                 Err(WireError::StaleEpoch { current })
             }
             Err(_) => {
-                if !self.cluster.degraded {
-                    self.cluster.degraded = true;
-                    self.repl_obs.degraded_total.inc();
-                }
+                self.set_degraded(true);
                 Ok(())
             }
         }
@@ -709,6 +746,22 @@ impl Engine {
             queue_wait_ns / 1_000,
             0,
         );
+        // A sampled wire context (routed client traffic or a replicated
+        // batch) records the queue-wait span here; everything downstream
+        // in this command parents on it through `cur_trace`.
+        let salt = u64::from(self.cluster.partition);
+        let wire_trace = match &req {
+            Request::Routed { trace, .. } | Request::ReplAppend { trace, .. } => *trace,
+            _ => TraceContext::NONE,
+        };
+        tracestore().record(
+            wire_trace,
+            SpanKind::QueueWait,
+            salt,
+            enqueued_ns,
+            queue_wait_ns,
+        );
+        self.cur_trace = wire_trace.child(SpanKind::QueueWait, salt);
         // Unwrap the routing envelope before anything else: partition
         // and epoch admission happens first, and an admitted inner
         // request then flows through exactly the standalone pipeline.
@@ -716,6 +769,7 @@ impl Engine {
             Request::Routed {
                 partition,
                 epoch,
+                trace: _,
                 inner,
             } => {
                 if let Err(err) = self.cluster.admit(partition, epoch) {
@@ -920,6 +974,7 @@ impl Engine {
             Request::ReplAppend {
                 partition,
                 epoch,
+                trace: _,
                 entries,
             } => {
                 if let Err(err) = self.cluster.admit(partition, epoch) {
@@ -934,7 +989,13 @@ impl Engine {
                             "follower is running without a data directory".into(),
                         )),
                         Some(d) => {
-                            match replica_append(d, &mut self.store, &mut self.driver, &entries) {
+                            match replica_append(
+                                d,
+                                &mut self.store,
+                                &mut self.driver,
+                                self.cur_trace,
+                                &entries,
+                            ) {
                                 Ok(durable_lsn) => Response::ReplAck { durable_lsn },
                                 Err(e) => Response::Error(e.to_wire()),
                             }
@@ -958,16 +1019,23 @@ impl Engine {
                         None => Response::Error(WireError::BadRequest(
                             "follower is running without replica setup".into(),
                         )),
-                        Some(setup) => match install_snapshot_on(setup, snapshot) {
-                            Ok((store, driver, durability)) => {
-                                let next_lsn = durability.next_lsn();
-                                self.store = store;
-                                self.driver = driver;
-                                self.durability = Some(durability);
-                                Response::SnapshotInstalled { next_lsn }
+                        Some(setup) => {
+                            // The node's state lags the primary until the
+                            // install completes: `/readyz` says so.
+                            readiness().set(UNREADY_CATCHING_UP, true);
+                            let outcome = install_snapshot_on(setup, snapshot);
+                            readiness().set(UNREADY_CATCHING_UP, false);
+                            match outcome {
+                                Ok((store, driver, durability)) => {
+                                    let next_lsn = durability.next_lsn();
+                                    self.store = store;
+                                    self.driver = driver;
+                                    self.durability = Some(durability);
+                                    Response::SnapshotInstalled { next_lsn }
+                                }
+                                Err(e) => Response::Error(e.to_wire()),
                             }
-                            Err(e) => Response::Error(e.to_wire()),
-                        },
+                        }
                     }
                 }
             }
@@ -978,6 +1046,13 @@ impl Engine {
                         if !was_primary {
                             self.repl_obs.promotions_total.inc();
                         }
+                        self.repl_obs
+                            .epoch
+                            .set(i64::try_from(self.cluster.epoch).unwrap_or(i64::MAX));
+                        // A fresh primary serves degraded until a follower
+                        // is enrolled; surface that on `/readyz` too.
+                        self.repl_obs.degraded.set(i64::from(self.cluster.degraded));
+                        readiness().set(UNREADY_DEGRADED, self.cluster.degraded);
                         Response::Promoted {
                             epoch: self.cluster.epoch,
                             next_lsn: self.durability.as_ref().map_or(0, Durability::next_lsn),
@@ -1020,6 +1095,13 @@ impl Engine {
                 self.recommend_lat
                     .record_duration(Duration::from_nanos(elapsed_ns));
                 self.obs.recommend_ns.record(elapsed_ns);
+                tracestore().record(
+                    self.cur_trace,
+                    SpanKind::Recommend,
+                    salt,
+                    started,
+                    elapsed_ns,
+                );
             }
             Response::Checkpointed { lsn } => {
                 flightrec().record(EventKind::Checkpoint, *lsn, 0, 0);

@@ -12,7 +12,7 @@ use adcast_core::Recommendation;
 use adcast_feed::FeedDelta;
 use adcast_graph::UserId;
 use adcast_net::codec::{decode_request, decode_response, encode_request, encode_response};
-use adcast_net::{CampaignSpec, NodeRole, Request, Response, ServerStats, WireError};
+use adcast_net::{CampaignSpec, NodeRole, Request, Response, ServerStats, TraceContext, WireError};
 use adcast_stream::clock::{Duration, Timestamp};
 use adcast_stream::event::{LocationId, Message, MessageId, TimeSlot};
 use adcast_text::dictionary::TermId;
@@ -175,11 +175,16 @@ fn one_request_per_variant() -> Vec<Request> {
         Request::Routed {
             partition: 3,
             epoch: 7,
+            trace: TraceContext {
+                trace_id: 0xAB,
+                parent_span_id: 0xCD,
+            },
             inner: Box::new(Request::Stats),
         },
         Request::ReplAppend {
             partition: 1,
             epoch: 2,
+            trace: TraceContext::NONE,
             entries: vec![(7, Bytes::from_static(&[1, 2, 3, 4]))],
         },
         Request::InstallSnapshot {

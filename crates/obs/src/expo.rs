@@ -15,53 +15,111 @@ use adcast_metrics::histogram::{bucket_floor, NUM_BUCKETS};
 
 use crate::registry::{Handle, Registry};
 
-/// Render every family in `reg` as Prometheus text format.
+/// Render every family in `reg` as Prometheus text format. Entries
+/// sharing a name (distinct labelsets) are grouped under one `# HELP` /
+/// `# TYPE` header, in first-registration order.
 #[must_use]
 pub fn write_exposition(reg: &Registry) -> String {
     let mut out = String::new();
     let families = reg.families.lock().unwrap_or_else(|e| e.into_inner());
+    let mut names: Vec<&str> = Vec::new();
     for family in families.iter() {
-        let name = family.name;
-        let _ = writeln!(out, "# HELP {name} {}", escape_help(family.help));
-        let _ = writeln!(out, "# TYPE {name} {}", family.kind().as_str());
-        match &family.handle {
-            Handle::Counter(c) => {
-                let _ = writeln!(out, "{name} {}", c.get());
-            }
-            Handle::Gauge(g) => {
-                let _ = writeln!(out, "{name} {}", g.get());
-            }
-            Handle::Hist(h) => {
-                let buckets = h.snapshot_buckets();
-                let mut cumulative = 0u64;
-                for (b, &count) in buckets.iter().enumerate() {
-                    if count == 0 {
-                        continue;
-                    }
-                    cumulative += count;
-                    // The top bucket has no finite upper edge; it is
-                    // covered by +Inf alone.
-                    if b + 1 < NUM_BUCKETS {
-                        let _ = writeln!(
-                            out,
-                            "{name}_bucket{{le=\"{}\"}} {cumulative}",
-                            bucket_floor(b + 1)
-                        );
-                    }
-                }
-                // `cumulative` (not `h.count()`) keeps the exposition
-                // internally consistent under concurrent recording.
-                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-                let _ = writeln!(out, "{name}_sum {}", h.sum());
-                let _ = writeln!(out, "{name}_count {cumulative}");
-            }
+        if !names.contains(&family.name) {
+            names.push(family.name);
+        }
+    }
+    for name in names {
+        let group: Vec<_> = families.iter().filter(|f| f.name == name).collect();
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(group[0].help));
+        let _ = writeln!(out, "# TYPE {name} {}", group[0].kind().as_str());
+        for family in group {
+            write_family_samples(&mut out, name, &family.labels, &family.handle);
         }
     }
     out
 }
 
+/// The sample lines of one labelset of a family.
+pub(crate) fn write_family_samples(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    handle: &Handle,
+) {
+    let labelset = render_labels(labels);
+    match handle {
+        Handle::Counter(c) => {
+            let _ = writeln!(out, "{name}{labelset} {}", c.get());
+        }
+        Handle::Gauge(g) => {
+            let _ = writeln!(out, "{name}{labelset} {}", g.get());
+        }
+        Handle::Hist(h) => {
+            let buckets = h.snapshot_buckets();
+            let mut cumulative = 0u64;
+            for (b, &count) in buckets.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                cumulative += count;
+                // The top bucket has no finite upper edge; it is
+                // covered by +Inf alone.
+                if b + 1 < NUM_BUCKETS {
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {cumulative}",
+                        render_labels_plus(labels, "le", &bucket_floor(b + 1).to_string())
+                    );
+                }
+            }
+            // `cumulative` (not `h.count()`) keeps the exposition
+            // internally consistent under concurrent recording.
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {cumulative}",
+                render_labels_plus(labels, "le", "+Inf")
+            );
+            let _ = writeln!(out, "{name}_sum{labelset} {}", h.sum());
+            let _ = writeln!(out, "{name}_count{labelset} {cumulative}");
+        }
+    }
+}
+
 fn escape_help(help: &str) -> String {
     help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a label value per the text format: `\` → `\\`, `"` → `\"`,
+/// newline → `\n`. The order matters — backslashes first.
+#[must_use]
+pub fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render a labelset as `{k="v",...}` (empty string for no labels).
+#[must_use]
+pub fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+    out
+}
+
+/// [`render_labels`] with one extra pair appended (the `le` bucket edge).
+fn render_labels_plus(labels: &[(String, String)], key: &str, value: &str) -> String {
+    let mut all: Vec<(String, String)> = labels.to_vec();
+    all.push((key.to_string(), value.to_string()));
+    render_labels(&all)
 }
 
 /// One sample line from a parsed exposition.
@@ -234,32 +292,25 @@ pub fn parse_exposition(text: &str) -> Result<Vec<ParsedFamily>, String> {
 }
 
 fn parse_sample(line: &str) -> Result<Sample, String> {
-    let (name_and_labels, value) = line
-        .rsplit_once(' ')
-        .ok_or_else(|| "sample without value".to_string())?;
+    // A quoted label value may contain spaces and escaped quotes, so the
+    // line cannot be token-split; lex the labelset explicitly instead.
+    let (name, labels, rest) = match line.find('{') {
+        None => {
+            let (name, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| "sample without value".to_string())?;
+            (name.to_string(), Vec::new(), value)
+        }
+        Some(brace) => {
+            let name = line[..brace].to_string();
+            let (labels, after) = parse_labelset(&line[brace..])?;
+            (name, labels, &line[brace + after..])
+        }
+    };
+    let value = rest.trim();
     let value: f64 = value
         .parse()
         .map_err(|_| format!("bad sample value {value:?}"))?;
-    let (name, labels) = match name_and_labels.split_once('{') {
-        None => (name_and_labels.to_string(), Vec::new()),
-        Some((name, rest)) => {
-            let body = rest
-                .strip_suffix('}')
-                .ok_or_else(|| "unterminated label set".to_string())?;
-            let mut labels = Vec::new();
-            for pair in body.split(',').filter(|p| !p.is_empty()) {
-                let (k, v) = pair
-                    .split_once('=')
-                    .ok_or_else(|| format!("bad label {pair:?}"))?;
-                let v = v
-                    .strip_prefix('"')
-                    .and_then(|v| v.strip_suffix('"'))
-                    .ok_or_else(|| format!("unquoted label value {v:?}"))?;
-                labels.push((k.to_string(), v.to_string()));
-            }
-            (name.to_string(), labels)
-        }
-    };
     if name.is_empty()
         || !name
             .chars()
@@ -275,53 +326,186 @@ fn parse_sample(line: &str) -> Result<Sample, String> {
     })
 }
 
+/// Lex a `{k="v",...}` labelset (escape-aware). `input` starts at the
+/// opening brace; returns the pairs (values unescaped) and the byte
+/// length consumed, closing brace included.
+fn parse_labelset(input: &str) -> Result<(Vec<(String, String)>, usize), String> {
+    let bytes = input.as_bytes();
+    debug_assert_eq!(bytes.first(), Some(&b'{'));
+    let mut labels = Vec::new();
+    let mut i = 1;
+    loop {
+        if i >= bytes.len() {
+            return Err("unterminated label set".to_string());
+        }
+        if bytes[i] == b'}' {
+            return Ok((labels, i + 1));
+        }
+        // Key runs up to '='.
+        let key_start = i;
+        while i < bytes.len() && bytes[i] != b'=' && bytes[i] != b'}' {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b'=' {
+            return Err(format!(
+                "bad label {:?}",
+                &input[key_start..i.min(input.len())]
+            ));
+        }
+        let key = input[key_start..i].to_string();
+        if key.is_empty() {
+            return Err("empty label name".to_string());
+        }
+        i += 1; // '='
+        if i >= bytes.len() || bytes[i] != b'"' {
+            return Err(format!("unquoted label value for {key:?}"));
+        }
+        i += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            match bytes.get(i) {
+                None => return Err("unterminated label value".to_string()),
+                Some(b'"') => {
+                    i += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    match bytes.get(i + 1) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        other => {
+                            return Err(format!(
+                                "bad escape \\{} in label {key:?}",
+                                other.map(|&c| c as char).unwrap_or('∅')
+                            ))
+                        }
+                    }
+                    i += 2;
+                }
+                Some(_) => {
+                    // Advance one UTF-8 scalar, not one byte.
+                    let ch = input[i..].chars().next().unwrap();
+                    value.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+        }
+        labels.push((key, value));
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => {}
+            _ => return Err("expected ',' or '}' after label value".to_string()),
+        }
+    }
+}
+
+/// The non-`le` labels of a sample, in emitted order — the grouping key
+/// for federated expositions where one name carries many labelsets.
+fn group_key(sample: &Sample) -> Vec<(String, String)> {
+    sample
+        .labels
+        .iter()
+        .filter(|(k, _)| k != "le")
+        .cloned()
+        .collect()
+}
+
 fn validate_family(family: &ParsedFamily) -> Result<(), String> {
     let name = &family.name;
     match family.kind.as_str() {
         "counter" | "gauge" => {
-            let [sample] = family.samples.as_slice() else {
-                return Err(format!(
-                    "{name}: expected exactly one sample, got {}",
-                    family.samples.len()
-                ));
-            };
-            if sample.name != *name || !sample.labels.is_empty() {
-                return Err(format!("{name}: unexpected sample {:?}", sample.name));
+            if family.samples.is_empty() {
+                return Err(format!("{name}: family without samples"));
             }
-            if family.kind == "counter" && sample.value < 0.0 {
-                return Err(format!("{name}: negative counter value {}", sample.value));
+            let mut seen: Vec<&[(String, String)]> = Vec::new();
+            for sample in &family.samples {
+                if sample.name != *name {
+                    return Err(format!("{name}: unexpected sample {:?}", sample.name));
+                }
+                if seen.contains(&sample.labels.as_slice()) {
+                    return Err(format!(
+                        "{name}: duplicate sample for labels {:?}",
+                        sample.labels
+                    ));
+                }
+                seen.push(&sample.labels);
+                if family.kind == "counter" && sample.value < 0.0 {
+                    return Err(format!("{name}: negative counter value {}", sample.value));
+                }
             }
         }
         "histogram" => {
-            let buckets = family.buckets();
-            if buckets.is_empty() {
-                return Err(format!("{name}: histogram without buckets"));
-            }
-            let Some(&(last_le, inf_count)) = buckets.last() else {
-                return Err(format!("{name}: histogram without buckets"));
-            };
-            if !last_le.is_infinite() {
-                return Err(format!("{name}: missing le=\"+Inf\" bucket"));
-            }
-            for pair in buckets.windows(2) {
-                if pair[1].0 <= pair[0].0 {
-                    return Err(format!("{name}: bucket le values not ascending"));
-                }
-                if pair[1].1 < pair[0].1 {
-                    return Err(format!("{name}: cumulative bucket counts decrease"));
+            // A federated exposition carries one bucket ladder per origin
+            // node under the same name: validate each labelset's ladder
+            // independently.
+            let mut keys: Vec<Vec<(String, String)>> = Vec::new();
+            for sample in &family.samples {
+                let key = group_key(sample);
+                if !keys.contains(&key) {
+                    keys.push(key);
                 }
             }
-            let count = family
-                .sample_value(&format!("{name}_count"))
-                .ok_or_else(|| format!("{name}: missing _count"))?;
-            family
-                .sample_value(&format!("{name}_sum"))
-                .ok_or_else(|| format!("{name}: missing _sum"))?;
-            if (count - inf_count).abs() > f64::EPSILON {
-                return Err(format!("{name}: _count {count} != +Inf bucket {inf_count}"));
+            if keys.is_empty() {
+                return Err(format!("{name}: histogram without buckets"));
+            }
+            for key in keys {
+                validate_hist_group(family, &key)?;
             }
         }
         _ => {}
+    }
+    Ok(())
+}
+
+/// Validate one labelset's bucket ladder of a histogram family.
+fn validate_hist_group(family: &ParsedFamily, key: &[(String, String)]) -> Result<(), String> {
+    let name = &family.name;
+    let in_group = |s: &&Sample| group_key(s) == key;
+    let bucket_name = format!("{name}_bucket");
+    let buckets: Vec<(f64, f64)> = family
+        .samples
+        .iter()
+        .filter(in_group)
+        .filter(|s| s.name == bucket_name)
+        .filter_map(|s| {
+            let le = s.label("le")?;
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().ok()?
+            };
+            Some((le, s.value))
+        })
+        .collect();
+    let Some(&(last_le, inf_count)) = buckets.last() else {
+        return Err(format!("{name}{key:?}: histogram without buckets"));
+    };
+    if !last_le.is_infinite() {
+        return Err(format!("{name}{key:?}: missing le=\"+Inf\" bucket"));
+    }
+    for pair in buckets.windows(2) {
+        if pair[1].0 <= pair[0].0 {
+            return Err(format!("{name}{key:?}: bucket le values not ascending"));
+        }
+        if pair[1].1 < pair[0].1 {
+            return Err(format!("{name}{key:?}: cumulative bucket counts decrease"));
+        }
+    }
+    let scalar = |suffix: &str| {
+        family
+            .samples
+            .iter()
+            .filter(in_group)
+            .find(|s| s.name == format!("{name}{suffix}"))
+            .map(|s| s.value)
+    };
+    let count = scalar("_count").ok_or_else(|| format!("{name}{key:?}: missing _count"))?;
+    scalar("_sum").ok_or_else(|| format!("{name}{key:?}: missing _sum"))?;
+    if (count - inf_count).abs() > f64::EPSILON {
+        return Err(format!(
+            "{name}{key:?}: _count {count} != +Inf bucket {inf_count}"
+        ));
     }
     Ok(())
 }
@@ -436,5 +620,78 @@ mod tests {
         let text = reg.expose();
         assert!(text.contains("line\\nbreak\\\\slash"), "{text}");
         parse_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn label_values_round_trip_through_escaping() {
+        // Property-style: a deterministic LCG draws label values from a
+        // charset biased toward the three escape-relevant characters plus
+        // multi-byte UTF-8, and every one must survive emit → parse.
+        const CHARSET: &[char] = &[
+            '"', '\\', '\n', 'a', 'Z', '0', ':', ' ', ',', '=', '{', '}', 'é', '→',
+        ];
+        let mut state = 0xADCA57u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for case in 0..200 {
+            let len = next() % 12;
+            let value: String = (0..len).map(|_| CHARSET[next() % CHARSET.len()]).collect();
+            let labels = vec![("node".to_string(), value.clone())];
+            let line = format!("adcast_test_rt{} {}\n", render_labels(&labels), case);
+            let text = format!("# TYPE adcast_test_rt gauge\n{line}");
+            let families = parse_exposition(&text)
+                .unwrap_or_else(|e| panic!("case {case} value {value:?}: {e}\n{text}"));
+            let sample = &families[0].samples[0];
+            assert_eq!(
+                sample.label("node"),
+                Some(value.as_str()),
+                "case {case} mangled {value:?} via\n{text}"
+            );
+        }
+        // The canonical tricky trio, explicitly.
+        let labels = vec![("node".to_string(), "a\"b\\c\nd".to_string())];
+        let text = format!(
+            "# TYPE adcast_x gauge\nadcast_x{} 1\n",
+            render_labels(&labels)
+        );
+        let families = parse_exposition(&text).unwrap();
+        assert_eq!(families[0].samples[0].label("node"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn federated_shape_validates_per_labelset() {
+        // Two nodes' ladders under one histogram name, plus labeled
+        // counters — the shape the router's federated /metrics emits.
+        let text = "\
+# TYPE adcast_net_rpcs_total counter
+adcast_net_rpcs_total{node=\"a:1\",partition=\"0\",role=\"primary\"} 5
+adcast_net_rpcs_total{node=\"b:1\",partition=\"1\",role=\"primary\"} 7
+# TYPE adcast_h_ns histogram
+adcast_h_ns_bucket{node=\"a:1\",le=\"10\"} 1
+adcast_h_ns_bucket{node=\"a:1\",le=\"+Inf\"} 2
+adcast_h_ns_sum{node=\"a:1\"} 12
+adcast_h_ns_count{node=\"a:1\"} 2
+adcast_h_ns_bucket{node=\"b:1\",le=\"+Inf\"} 3
+adcast_h_ns_sum{node=\"b:1\"} 30
+adcast_h_ns_count{node=\"b:1\"} 3
+";
+        let families = parse_exposition(text).expect("federated shape must validate");
+        let c = find_family(&families, "adcast_net_rpcs_total").unwrap();
+        assert_eq!(c.samples.len(), 2);
+        assert_eq!(c.samples[1].label("node"), Some("b:1"));
+        // A broken ladder in ONE labelset still fails.
+        let broken = text.replace(
+            "adcast_h_ns_count{node=\"b:1\"} 3",
+            "adcast_h_ns_count{node=\"b:1\"} 4",
+        );
+        assert!(parse_exposition(&broken).is_err());
+        // Duplicate labelsets on a counter fail.
+        let dup =
+            "# TYPE adcast_c_total counter\nadcast_c_total{n=\"x\"} 1\nadcast_c_total{n=\"x\"} 2\n";
+        assert!(parse_exposition(dup).is_err());
     }
 }

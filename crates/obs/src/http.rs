@@ -1,5 +1,6 @@
-//! A minimal hand-rolled HTTP/1.1 listener for `GET /metrics` and
-//! `GET /healthz`, plus the matching one-shot client the loadgen and
+//! A minimal hand-rolled HTTP/1.1 listener for `GET /metrics`,
+//! `GET /healthz`, `GET /readyz`, and the `GET /traces[/<id>]` span-tree
+//! endpoints, plus the matching one-shot client the loadgen and
 //! `check.sh` use in place of `curl`.
 //!
 //! This is deliberately not a web server: request parsing stops at the
@@ -22,6 +23,19 @@ const IO_TIMEOUT: Duration = Duration::from_secs(2);
 /// Largest request head we bother reading before answering.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
 
+/// An HTTP response triple: status code, content type, body.
+pub type HttpResponse = (u16, &'static str, String);
+
+/// A pluggable route override. The router's obs port installs one to
+/// replace `/metrics` with the federated exposition and `/traces` with
+/// cross-node stitching; returning `None` falls through to the built-in
+/// routes (which serve this process's registry, trace store, and
+/// readiness mask).
+pub trait Handler: Send + Sync + 'static {
+    /// Handle `GET path`, or `None` to use the default route.
+    fn handle(&self, path: &str) -> Option<HttpResponse>;
+}
+
 /// A running exposition endpoint. Dropping the handle leaves the thread
 /// running until process exit; call [`ObsServer::stop`] for a clean join.
 pub struct ObsServer {
@@ -33,6 +47,24 @@ pub struct ObsServer {
 impl ObsServer {
     /// Bind `addr` (e.g. `127.0.0.1:0`) and serve `reg` until stopped.
     pub fn start(addr: &str, reg: &'static Registry) -> io::Result<ObsServer> {
+        ObsServer::start_inner(addr, reg, None)
+    }
+
+    /// [`ObsServer::start`] with a route override consulted before the
+    /// built-in routes.
+    pub fn start_with(
+        addr: &str,
+        reg: &'static Registry,
+        handler: Arc<dyn Handler>,
+    ) -> io::Result<ObsServer> {
+        ObsServer::start_inner(addr, reg, Some(handler))
+    }
+
+    fn start_inner(
+        addr: &str,
+        reg: &'static Registry,
+        handler: Option<Arc<dyn Handler>>,
+    ) -> io::Result<ObsServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -40,7 +72,7 @@ impl ObsServer {
         let stop_flag = stop.clone();
         let handle = thread::Builder::new()
             .name("adcast-obs-http".to_string())
-            .spawn(move || accept_loop(&listener, reg, &stop_flag))?;
+            .spawn(move || accept_loop(&listener, reg, handler.as_deref(), &stop_flag))?;
         Ok(ObsServer {
             addr,
             stop,
@@ -63,10 +95,15 @@ impl ObsServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, reg: &'static Registry, stop: &AtomicBool) {
+fn accept_loop(
+    listener: &TcpListener,
+    reg: &'static Registry,
+    handler: Option<&dyn Handler>,
+    stop: &AtomicBool,
+) {
     loop {
         match listener.accept() {
-            Ok((stream, _)) => serve_connection(stream, reg),
+            Ok((stream, _)) => serve_connection(stream, reg, handler),
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 if stop.load(Ordering::Acquire) {
                     return;
@@ -83,7 +120,61 @@ fn accept_loop(listener: &TcpListener, reg: &'static Registry, stop: &AtomicBool
     }
 }
 
-fn serve_connection(mut stream: TcpStream, reg: &Registry) {
+fn status_line(code: u16) -> &'static str {
+    match code {
+        200 => "200 OK",
+        404 => "404 Not Found",
+        405 => "405 Method Not Allowed",
+        502 => "502 Bad Gateway",
+        503 => "503 Service Unavailable",
+        _ => "500 Internal Server Error",
+    }
+}
+
+const TEXT: &str = "text/plain; charset=utf-8";
+const JSON: &str = "application/json; charset=utf-8";
+/// The `/metrics` content type (Prometheus text format 0.0.4).
+pub const EXPOSITION_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// The built-in routes, shared by the listener and any [`Handler`] that
+/// wants to fall back to them for paths it does not override.
+#[must_use]
+pub fn default_route(path: &str, reg: &Registry) -> HttpResponse {
+    let trace_store = crate::tracestore::tracestore();
+    match path {
+        "/metrics" => (200, EXPOSITION_CONTENT_TYPE, reg.expose()),
+        "/healthz" => (200, TEXT, "ok\n".to_string()),
+        "/readyz" => {
+            let ready = crate::ready::readiness();
+            let code = if ready.ready() { 200 } else { 503 };
+            (code, TEXT, ready.report())
+        }
+        "/traces" => (
+            200,
+            JSON,
+            crate::tracestore::render_trace_list_json(&trace_store.trace_ids()),
+        ),
+        _ => {
+            if let Some(id) = path
+                .strip_prefix("/traces/")
+                .and_then(|id| id.parse::<u64>().ok())
+            {
+                let spans = trace_store.trace(id);
+                if spans.is_empty() {
+                    return (404, TEXT, "trace not found\n".to_string());
+                }
+                return (
+                    200,
+                    JSON,
+                    crate::tracestore::render_trace_json(id, &spans, None),
+                );
+            }
+            (404, TEXT, "not found\n".to_string())
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, reg: &Registry, handler: Option<&dyn Handler>) {
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
@@ -93,26 +184,17 @@ fn serve_connection(mut stream: TcpStream, reg: &Registry) {
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
-    let (status, content_type, body) = match (method, path) {
-        ("GET", "/metrics") => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            reg.expose(),
-        ),
-        ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
-        ("GET", _) => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n".to_string(),
-        ),
-        _ => (
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "method not allowed\n".to_string(),
-        ),
+    let (code, content_type, body) = if method != "GET" {
+        (405, TEXT, "method not allowed\n".to_string())
+    } else {
+        match handler.and_then(|h| h.handle(path)) {
+            Some(response) => response,
+            None => default_route(path, reg),
+        }
     };
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        status_line(code),
         body.len()
     );
     let _ = stream.write_all(response.as_bytes());
@@ -188,6 +270,71 @@ mod tests {
         let (status, _) = http_get(&addr, "/nope").expect("404 path");
         assert_eq!(status, 404);
 
+        server.stop();
+    }
+
+    #[test]
+    fn serves_readyz_and_traces() {
+        use crate::ready::{readiness, UNREADY_CATCHING_UP};
+        use crate::tracestore::{parse_trace_json, tracestore, SpanKind, TraceContext};
+
+        let _guard = crate::ready::test_lock();
+        let server = ObsServer::start("127.0.0.1:0", registry()).expect("bind");
+        let addr = server.addr().to_string();
+
+        let (status, body) = http_get(&addr, "/readyz").expect("readyz");
+        assert_eq!((status, body.as_str()), (200, "ready\n"));
+        readiness().set(UNREADY_CATCHING_UP, true);
+        let (status, body) = http_get(&addr, "/readyz").expect("readyz unready");
+        assert_eq!(status, 503);
+        assert!(body.contains("catching_up"), "{body}");
+        readiness().set(UNREADY_CATCHING_UP, false);
+
+        let ctx = TraceContext {
+            trace_id: 0xFEED_F00D,
+            parent_span_id: 0,
+        };
+        tracestore().record(ctx, SpanKind::QueueWait, 0, 10, 5);
+        tracestore().record(
+            ctx.child(SpanKind::QueueWait, 0),
+            SpanKind::WalCommit,
+            0,
+            20,
+            7,
+        );
+        let (status, listing) = http_get(&addr, "/traces").expect("traces listing");
+        assert_eq!(status, 200);
+        assert!(
+            listing.contains(&format!("\"trace_id\":{}", ctx.trace_id)),
+            "{listing}"
+        );
+        let (status, body) =
+            http_get(&addr, &format!("/traces/{}", ctx.trace_id)).expect("trace by id");
+        assert_eq!(status, 200);
+        let spans = parse_trace_json(&body);
+        assert!(spans.len() >= 2, "{body}");
+        let (status, _) = http_get(&addr, "/traces/1").expect("unknown trace");
+        assert_eq!(status, 404);
+
+        server.stop();
+    }
+
+    #[test]
+    fn handler_overrides_and_falls_through() {
+        struct Override;
+        impl Handler for Override {
+            fn handle(&self, path: &str) -> Option<HttpResponse> {
+                (path == "/metrics")
+                    .then(|| (200, EXPOSITION_CONTENT_TYPE, "# federated\n".to_string()))
+            }
+        }
+        let server =
+            ObsServer::start_with("127.0.0.1:0", registry(), Arc::new(Override)).expect("bind");
+        let addr = server.addr().to_string();
+        let (status, body) = http_get(&addr, "/metrics").expect("overridden metrics");
+        assert_eq!((status, body.as_str()), (200, "# federated\n"));
+        let (status, body) = http_get(&addr, "/healthz").expect("fallthrough healthz");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
         server.stop();
     }
 }

@@ -14,20 +14,35 @@
 //! * [`http`] — the hand-rolled `GET /metrics` + `GET /healthz` listener
 //!   behind `adcast-serve --obs-addr`, and the std-only `curl` stand-in,
 //! * [`flightrec`] — a fixed-size lock-free ring of recent structured
-//!   events, dumped as JSON-lines on panic, shutdown, or `ObsDump`.
+//!   events, dumped as JSON-lines on panic, shutdown, or `ObsDump`,
+//! * [`tracestore`] — the distributed-tracing span ring plus the 16-byte
+//!   [`TraceContext`] the v6 wire envelopes carry across hops,
+//! * [`ready`] — the `/readyz` bitmask replication flips while degraded
+//!   or mid-catch-up,
+//! * [`federate`] — the router-side federation of member `/metrics`,
+//!   `/traces` stitching, and `/readyz` aggregation.
 //!
 //! Metric names follow `adcast_<layer>_<name>_<unit>` (counters end in
 //! `_total`, duration histograms in `_ns`); see DESIGN.md §11 for the
 //! full span table and the overhead budget.
 
 pub mod expo;
+pub mod federate;
 pub mod flightrec;
 pub mod http;
 pub mod metrics;
+pub mod ready;
 pub mod registry;
+pub mod tracestore;
 
-pub use expo::{find_family, histogram_quantile, parse_exposition, ParsedFamily, Sample};
+pub use expo::{
+    escape_label_value, find_family, histogram_quantile, parse_exposition, render_labels,
+    ParsedFamily, Sample,
+};
+pub use federate::{Federator, Member};
 pub use flightrec::{flightrec, install_panic_dump, Event, EventKind, FlightRecorder};
-pub use http::{http_get, ObsServer};
+pub use http::{http_get, Handler, HttpResponse, ObsServer};
 pub use metrics::{Counter, Gauge, Hist};
+pub use ready::{readiness, Readiness, UNREADY_CATCHING_UP, UNREADY_DEGRADED};
 pub use registry::{registry, FamilyKind, Registry};
+pub use tracestore::{span_id, trace_id_for, tracestore, Span, SpanKind, TraceContext, TraceStore};

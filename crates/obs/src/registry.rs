@@ -38,10 +38,16 @@ pub(crate) enum Handle {
     Hist(Hist),
 }
 
-/// One registered metric family.
+/// One registered metric family — strictly, one *labelset* of a family:
+/// several entries may share a `name` with distinct `labels` (e.g. the
+/// per-partition replication gauges), and exposition groups them under
+/// one `# HELP`/`# TYPE` header.
 pub(crate) struct Family {
     pub(crate) name: &'static str,
     pub(crate) help: &'static str,
+    /// Label pairs attached to every sample of this entry, in
+    /// registration order. Empty for classic unlabeled families.
+    pub(crate) labels: Vec<(String, String)>,
     pub(crate) handle: Handle,
 }
 
@@ -74,23 +80,55 @@ impl Registry {
     /// registered as a different kind, a detached handle is returned so
     /// the caller keeps working and the registered family stays coherent.
     pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
-        match self.register(name, help, || Handle::Counter(Counter::detached())) {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a gauge family.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a histogram family over nanosecond values.
+    pub fn hist(&self, name: &'static str, help: &'static str) -> Hist {
+        self.hist_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a counter with a fixed labelset. Idempotency is
+    /// keyed on `(name, labels)`: the same name with different labels is a
+    /// distinct series sharing one `# HELP`/`# TYPE` header on exposition.
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Counter {
+        match self.register(name, help, labels, || Handle::Counter(Counter::detached())) {
             Handle::Counter(c) => c,
             _ => Counter::detached(),
         }
     }
 
-    /// Register (or fetch) a gauge family.
-    pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
-        match self.register(name, help, || Handle::Gauge(Gauge::detached())) {
+    /// Register (or fetch) a gauge with a fixed labelset.
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Gauge {
+        match self.register(name, help, labels, || Handle::Gauge(Gauge::detached())) {
             Handle::Gauge(g) => g,
             _ => Gauge::detached(),
         }
     }
 
-    /// Register (or fetch) a histogram family over nanosecond values.
-    pub fn hist(&self, name: &'static str, help: &'static str) -> Hist {
-        match self.register(name, help, || Handle::Hist(Hist::detached())) {
+    /// Register (or fetch) a histogram with a fixed labelset.
+    pub fn hist_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Hist {
+        match self.register(name, help, labels, || Handle::Hist(Hist::detached())) {
             Handle::Hist(h) => h,
             _ => Hist::detached(),
         }
@@ -100,16 +138,28 @@ impl Registry {
         &self,
         name: &'static str,
         help: &'static str,
+        labels: &[(&str, &str)],
         make: impl FnOnce() -> Handle,
     ) -> Handle {
         let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(existing) = families.iter().find(|f| f.name == name) {
+        if let Some(existing) = families.iter().find(|f| {
+            f.name == name
+                && f.labels.len() == labels.len()
+                && f.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        }) {
             return existing.handle.clone();
         }
         let handle = make();
         families.push(Family {
             name,
             help,
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect(),
             handle: handle.clone(),
         });
         handle
@@ -177,6 +227,33 @@ mod tests {
         let b = registry().counter("adcast_test_global_total", "g");
         a.inc();
         assert_eq!(b.get(), a.get());
+    }
+
+    #[test]
+    fn labelsets_are_distinct_series_under_one_name() {
+        let reg = Registry::new();
+        let p0 = reg.gauge_with("adcast_test_lag", "lag", &[("partition", "0")]);
+        let p1 = reg.gauge_with("adcast_test_lag", "lag", &[("partition", "1")]);
+        let p0_again = reg.gauge_with("adcast_test_lag", "lag", &[("partition", "0")]);
+        p0.set(7);
+        p1.set(9);
+        assert_eq!(p0_again.get(), 7, "same labelset shares state");
+        assert_eq!(p1.get(), 9);
+        assert_eq!(reg.len(), 2, "two labelsets, two entries");
+        let text = reg.expose();
+        assert!(
+            text.contains("adcast_test_lag{partition=\"0\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("adcast_test_lag{partition=\"1\"} 9"),
+            "{text}"
+        );
+        assert_eq!(
+            text.matches("# TYPE adcast_test_lag gauge").count(),
+            1,
+            "one TYPE header for the grouped name:\n{text}"
+        );
     }
 
     #[test]

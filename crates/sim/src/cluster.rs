@@ -47,6 +47,8 @@ use adcast_net::replication::{
     install_snapshot_on, promote, replica_append, ClusterState, ReplicaError, ReplicaSetup,
 };
 use adcast_net::synth::{self, SynthConfig, SynthWorkload};
+use adcast_obs::tracestore::{trace_id_for, SpanKind, TraceContext};
+use adcast_obs::{readiness, UNREADY_CATCHING_UP};
 use adcast_stream::clock::{SimClock, Timestamp};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -118,6 +120,12 @@ pub struct ClusterSimConfig {
     pub wave_users: usize,
     /// Impression cost charged (broadcast) for each wave's top pick.
     pub impression_cost: f64,
+    /// Head-based trace sampling: every `trace_sample`-th acked record
+    /// carries a sampled [`TraceContext`] through the real replication
+    /// path (0 = off). Trace ids derive from the synth seed and the
+    /// record ordinal, so the transcript's trace lines are byte-identical
+    /// across runs of the same config.
+    pub trace_sample: u64,
     /// The fault script, in firing order.
     pub faults: Vec<ClusterFaultAt>,
 }
@@ -147,6 +155,7 @@ impl ClusterSimConfig {
             recommend_every: 2,
             wave_users: 6,
             impression_cost: 0.05,
+            trace_sample: 4,
             faults: Vec::new(),
         }
     }
@@ -249,6 +258,10 @@ struct ClusterRunner {
     rng: SmallRng,
     now: Timestamp,
     transcript: Vec<String>,
+    /// Acked-record ordinal for head-based trace sampling — advances on
+    /// every ack-ladder run, sampled or not, so which records are
+    /// sampled is a pure function of the config.
+    trace_ordinal: u64,
     c: ClusterCounters,
 }
 
@@ -316,6 +329,7 @@ pub fn run_cluster(config: ClusterSimConfig) -> Result<ClusterOutcome, String> {
         rng: SmallRng::seed_from_u64(seed ^ 0xC1_057E2),
         now: Timestamp::EPOCH,
         transcript: Vec::new(),
+        trace_ordinal: 0,
         c: ClusterCounters::default(),
     };
     runner.execute(workload)
@@ -452,10 +466,31 @@ impl ClusterRunner {
         })
     }
 
+    /// The head-based sampling decision for the next acked record: the
+    /// trace id is a pure function of `(synth seed, ordinal)`, exactly
+    /// like the live router's, so reruns sample the same records and
+    /// derive the same ids.
+    fn sample_trace(&mut self) -> TraceContext {
+        let every = self.config.trace_sample;
+        if every == 0 {
+            return TraceContext::NONE;
+        }
+        let ordinal = self.trace_ordinal;
+        self.trace_ordinal += 1;
+        if !ordinal.is_multiple_of(every) {
+            return TraceContext::NONE;
+        }
+        TraceContext {
+            trace_id: trace_id_for(self.config.synth.seed, ordinal),
+            parent_span_id: 0,
+        }
+    }
+
     /// The primary ack ladder for one record on one partition:
     /// log → commit → apply → replicate → ack. Mirrors the server's
     /// `log_apply` + `replicate` exactly, with the harness as the wire.
     fn ack_ladder(&mut self, p: usize, record: WalRecord) -> Result<(), String> {
+        let trace = self.sample_trace();
         let part = &mut self.parts[p];
         let primary = &mut part.nodes[part.serving];
         if primary.state.fenced || !primary.alive {
@@ -471,6 +506,7 @@ impl ClusterRunner {
             .durability
             .maybe_snapshot(&primary.store, &primary.driver);
 
+        let mut replicated = false;
         if let Some(f) = part.follower {
             if part.isolated > 0 {
                 // Link down: the primary degrades to local-durable acks
@@ -478,12 +514,28 @@ impl ClusterRunner {
                 self.c.dropped_shipments += 1;
             } else {
                 let epoch = part.epoch;
-                self.ship(p, f, epoch, lsn, payload)?;
+                self.ship(p, f, epoch, lsn, payload, trace)?;
+                replicated = true;
             }
         }
         let part = &mut self.parts[p];
         part.acked_log.push(record);
         self.c.acked_records += 1;
+        if trace.sampled() {
+            // The transcript's trace line is computed purely from the
+            // config (never read back from the shared span ring, which a
+            // double-run in one process would pollute): the id from the
+            // sampling function, the hop list from the ladder just run.
+            let ladder = if replicated {
+                "replicate,follower_commit,follower_apply"
+            } else {
+                "local_durable"
+            };
+            self.line(format!(
+                "trace partition={p} id={:016x} ladder={ladder}",
+                trace.trace_id
+            ));
+        }
         Ok(())
     }
 
@@ -496,6 +548,7 @@ impl ClusterRunner {
         epoch: u64,
         lsn: u64,
         payload: bytes::Bytes,
+        trace: TraceContext,
     ) -> Result<(), String> {
         let partition = p as u16;
         let follower = &mut self.parts[p].nodes[f];
@@ -507,6 +560,7 @@ impl ClusterRunner {
             &mut follower.durability,
             &mut follower.store,
             &mut follower.driver,
+            trace.child(SpanKind::Replicate, partition as u64),
             &[(lsn, payload)],
         ) {
             Ok(_) => {
@@ -536,9 +590,8 @@ impl ClusterRunner {
             )
             .encode()
         };
-        let follower = &mut part.nodes[f];
         let setup = ReplicaSetup {
-            backend: Arc::clone(&follower.backend) as Arc<dyn StorageBackend>,
+            backend: Arc::clone(&part.nodes[f].backend) as Arc<dyn StorageBackend>,
             options: DurabilityOptions {
                 wal: self.config.wal,
                 snapshot_every: self.config.snapshot_every,
@@ -546,8 +599,18 @@ impl ClusterRunner {
             },
             engine: self.config.engine.clone(),
         };
-        let (store, driver, durability) = install_snapshot_on(&setup, snapshot.clone())
-            .map_err(|e| format!("partition {p}: snapshot install failed: {e}"))?;
+        // The follower is unready for the duration of the install, and
+        // the transcript pins both edges of the flip (the live server
+        // drives the same `/readyz` bit around its own install path).
+        self.line(format!("readyz partition={p} state=catching_up"));
+        readiness().set(UNREADY_CATCHING_UP, true);
+        let installed = install_snapshot_on(&setup, snapshot.clone());
+        readiness().set(UNREADY_CATCHING_UP, false);
+        self.line(format!("readyz partition={p} state=ready"));
+        let (store, driver, durability) =
+            installed.map_err(|e| format!("partition {p}: snapshot install failed: {e}"))?;
+        let part = &mut self.parts[p];
+        let follower = &mut part.nodes[f];
         follower.store = store;
         follower.driver = driver;
         follower.durability = durability;

@@ -50,6 +50,26 @@ fn isolated_follower_catches_up_by_snapshot_transfer() {
     // Catch-up and end-of-run agreement both passed byte-identity.
     assert!(outcome.counters.twin_checks >= 2);
     assert!(outcome.transcript.contains("catch_up partition=1"));
+    // The follower's /readyz flipped unready for the duration of the
+    // snapshot install — both edges land in the transcript.
+    assert!(outcome
+        .transcript
+        .contains("readyz partition=1 state=catching_up"));
+    assert!(outcome
+        .transcript
+        .contains("readyz partition=1 state=ready"));
+}
+
+#[test]
+fn sampled_traces_land_in_the_transcript() {
+    // smoke() samples every 4th acked record; the trace lines are pure
+    // functions of the config (id from the synth seed + ordinal, hop
+    // list from the ladder actually run), so they byte-reproduce.
+    let outcome = run_cluster(ClusterSimConfig::smoke(17, 2)).unwrap();
+    assert!(outcome.transcript.contains("trace partition="));
+    assert!(outcome
+        .transcript
+        .contains("ladder=replicate,follower_commit,follower_apply"));
 }
 
 #[test]

@@ -164,59 +164,115 @@ wait_addr() { # logfile → the "listening on" address, or empty on timeout
   done
   echo "$addr"
 }
+wait_obs() { # logfile → the "obs listening on" address, or empty on timeout
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(awk '/^obs listening on /{print $4; exit}' "$1")
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  echo "$addr"
+}
+http_fetch() { # host:port path → status line + headers + body, via /dev/tcp
+  local hp=$1 path=$2
+  exec 3<>"/dev/tcp/${hp%:*}/${hp##*:}"
+  printf 'GET %s HTTP/1.1\r\nHost: adcast\r\nConnection: close\r\n\r\n' "$path" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
 # Four nodes — a replicated pair per partition, followers first so the
-# primaries can ship to them from the first ack.
+# primaries can ship to them from the first ack. Every node gets an obs
+# port so the router can federate them.
 ./target/release/adcast-serve --users 400 --shards 2 --fsync always \
   --data-dir "$cluster_dir/p0f" --partition 0 --role follower \
-  >"$cluster_dir/p0f.log" 2>&1 &
+  --obs-addr 127.0.0.1:0 >"$cluster_dir/p0f.log" 2>&1 &
 p0f_pid=$!
 ./target/release/adcast-serve --users 400 --shards 2 --fsync always \
   --data-dir "$cluster_dir/p1f" --partition 1 --role follower \
-  >"$cluster_dir/p1f.log" 2>&1 &
+  --obs-addr 127.0.0.1:0 >"$cluster_dir/p1f.log" 2>&1 &
 p1f_pid=$!
 p0f_addr=$(wait_addr "$cluster_dir/p0f.log")
 p1f_addr=$(wait_addr "$cluster_dir/p1f.log")
-if [ -z "$p0f_addr" ] || [ -z "$p1f_addr" ]; then
+p0f_obs=$(wait_obs "$cluster_dir/p0f.log")
+p1f_obs=$(wait_obs "$cluster_dir/p1f.log")
+if [ -z "$p0f_addr" ] || [ -z "$p1f_addr" ] || [ -z "$p0f_obs" ] || [ -z "$p1f_obs" ]; then
   echo "cluster followers never reported their addresses" >&2
   cat "$cluster_dir"/p0f.log "$cluster_dir"/p1f.log >&2
   exit 1
 fi
 ./target/release/adcast-serve --users 400 --shards 2 --fsync always \
   --data-dir "$cluster_dir/p0" --partition 0 --role primary --follower "$p0f_addr" \
-  >"$cluster_dir/p0.log" 2>&1 &
+  --obs-addr 127.0.0.1:0 >"$cluster_dir/p0.log" 2>&1 &
 p0_pid=$!
 ./target/release/adcast-serve --users 400 --shards 2 --fsync always \
   --data-dir "$cluster_dir/p1" --partition 1 --role primary --follower "$p1f_addr" \
-  >"$cluster_dir/p1.log" 2>&1 &
+  --obs-addr 127.0.0.1:0 >"$cluster_dir/p1.log" 2>&1 &
 p1_pid=$!
 p0_addr=$(wait_addr "$cluster_dir/p0.log")
 p1_addr=$(wait_addr "$cluster_dir/p1.log")
-if [ -z "$p0_addr" ] || [ -z "$p1_addr" ]; then
+p0_obs=$(wait_obs "$cluster_dir/p0.log")
+p1_obs=$(wait_obs "$cluster_dir/p1.log")
+if [ -z "$p0_addr" ] || [ -z "$p1_addr" ] || [ -z "$p0_obs" ] || [ -z "$p1_obs" ]; then
   echo "cluster primaries never reported their addresses" >&2
   cat "$cluster_dir"/p0.log "$cluster_dir"/p1.log >&2
   exit 1
 fi
-./target/release/adcast-router --addr 127.0.0.1:0 \
-  --partition "$p0_addr,$p0f_addr" --partition "$p1_addr,$p1f_addr" \
-  >"$cluster_dir/router.log" 2>&1 &
+# The router federates every member's obs endpoint and head-samples
+# every 8th client RPC into the distributed trace ring.
+./target/release/adcast-router --addr 127.0.0.1:0 --obs-addr 127.0.0.1:0 \
+  --partition "$p0_addr,$p0f_addr" --partition-obs "$p0_obs,$p0f_obs" \
+  --partition "$p1_addr,$p1f_addr" --partition-obs "$p1_obs,$p1f_obs" \
+  --trace-sample 8 >"$cluster_dir/router.log" 2>&1 &
 router_pid=$!
 router_addr=$(wait_addr "$cluster_dir/router.log")
-if [ -z "$router_addr" ]; then
-  echo "adcast-router never reported its address" >&2
+router_obs=$(wait_obs "$cluster_dir/router.log")
+if [ -z "$router_addr" ] || [ -z "$router_obs" ]; then
+  echo "adcast-router never reported its addresses" >&2
   cat "$cluster_dir/router.log" >&2
   exit 1
 fi
 # Phase 1 — consistency: the routed cluster must serve bit-identically
 # to an in-process single-node twin (routing, broadcast order,
-# replication all on the line). Every delta fed here is acked.
+# replication all on the line). Every delta fed here is acked. The
+# loadgen also scrapes the router's federated obs port and fetches the
+# stitched traces the run sampled — hard-failing if there are none.
 twin_out=$(./target/release/adcast-loadgen --addr "$router_addr" --smoke \
-  --twin-check --no-shutdown 2>&1)
+  --twin-check --no-shutdown --obs-addr "$router_obs" --trace-sample 8 2>&1)
 echo "$twin_out"
 grep -q 'bit-identical' <<<"$twin_out" || {
   echo "cluster twin check did not pass" >&2
   exit 1
 }
 twin_deltas=$(sed -n 's/.*twin fed: [0-9]* campaigns, \([0-9]*\) deltas.*/\1/p' <<<"$twin_out")
+# The best stitched trace must span the whole ladder: at least 6 spans
+# across at least 3 distinct processes (router, primary, follower).
+trace_line=$(grep '^trace: traces=' <<<"$twin_out" || true)
+best_spans=$(sed -n 's/.*best_spans=\([0-9]*\).*/\1/p' <<<"$trace_line")
+best_nodes=$(sed -n 's/.*best_nodes=\([0-9]*\).*/\1/p' <<<"$trace_line")
+if [ -z "$best_spans" ] || [ "$best_spans" -lt 6 ] || [ -z "$best_nodes" ] || [ "$best_nodes" -lt 3 ]; then
+  echo "stitched trace too small (line: ${trace_line:-missing}); want >=6 spans over >=3 nodes" >&2
+  exit 1
+fi
+# The federated exposition must carry every node's families, labeled
+# with node/partition/role, and report all four members up.
+metrics=$(http_fetch "$router_obs" /metrics)
+for want in 'partition="0"' 'partition="1"' "node=\"$p0_obs\"" "node=\"$p0f_obs\"" \
+  "node=\"$p1_obs\"" "node=\"$p1f_obs\"" 'role="primary"' 'role="follower"'; do
+  grep -qF "$want" <<<"$metrics" || {
+    echo "federated /metrics is missing $want" >&2
+    exit 1
+  }
+done
+if grep -q 'adcast_federation_member_up{.*} 0' <<<"$metrics"; then
+  echo "federated /metrics reports a member down while all four are alive" >&2
+  exit 1
+fi
+# Healthy fleet: the router's aggregated readiness says ready.
+readyz=$(http_fetch "$router_obs" /readyz)
+grep -q '200' <<<"$readyz" || {
+  echo "router /readyz not ready on a healthy fleet: $readyz" >&2
+  exit 1
+}
 # Phase 2 — failover: kill -9 the partition-0 primary under live load.
 # The router must promote the follower and finish the run.
 ./target/release/adcast-loadgen --addr "$router_addr" --smoke --messages 6000 \
@@ -225,6 +281,13 @@ loadgen_pid=$!
 sleep 1.0
 kill -9 "$p0_pid" 2>/dev/null || true
 wait "$p0_pid" 2>/dev/null || true
+# With the partition-0 primary dead, its obs endpoint is unreachable —
+# the router's aggregated /readyz must flip unready immediately.
+readyz=$(http_fetch "$router_obs" /readyz)
+grep -q '503' <<<"$readyz" || {
+  echo "router /readyz stayed ready with a dead member: $readyz" >&2
+  exit 1
+}
 if ! wait "$loadgen_pid"; then
   echo "loadgen did not survive the primary kill" >&2
   cat "$cluster_dir/loadgen2.log" "$cluster_dir/router.log" >&2

@@ -4,8 +4,14 @@
 //! ```text
 //! adcast-loadgen --addr HOST:PORT [--conns N] [--messages N] [--users N]
 //!                [--smoke] [--no-shutdown] [--obs-addr HOST:PORT]
-//!                [--twin-check]
+//!                [--twin-check] [--trace-sample N]
 //! ```
+//!
+//! `--trace-sample N` mirrors the router's sampling flag: the run ends
+//! by fetching the sampled traces from `--obs-addr` (the router's
+//! federated obs port stitches them cross-node) and printing per-hop
+//! p50/p99 next to the client RTT report. A sampling run that yields no
+//! trace is a hard error — the trace pipeline, not the workload, broke.
 //!
 //! `--twin-check` is the cluster consistency mode: instead of the
 //! closed-loop load run, it replays the workload through the target
@@ -69,7 +75,7 @@ fn drive(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: adcast-loadgen --addr HOST:PORT [--conns N] [--messages N] [--users N] \
-             [--smoke] [--no-shutdown] [--obs-addr HOST:PORT] [--twin-check]"
+             [--smoke] [--no-shutdown] [--obs-addr HOST:PORT] [--twin-check] [--trace-sample N]"
         );
         return Ok(());
     }
@@ -109,8 +115,21 @@ fn drive(args: &[String]) -> Result<(), String> {
         "building workload: {} users, {} ads, {} messages…",
         synth_config.num_users, synth_config.num_ads, synth_config.messages
     );
+    let trace_sample = flag(args, "--trace-sample")?.unwrap_or(0);
+    if trace_sample > 0 && obs_addr.is_none() {
+        return Err("--trace-sample needs --obs-addr (the trace fetch target)".into());
+    }
     if args.iter().any(|a| a == "--twin-check") {
         twin_check(&addr, &synth_config)?;
+        // The twin run routed every RPC through the target, so with
+        // sampling on the obs endpoint must hold stitched traces.
+        if trace_sample > 0 {
+            let obs = obs_addr.as_deref().expect("checked above");
+            let traces = adcast::net::loadgen::scrape_traces(obs)
+                .map_err(|e| e.to_string())?
+                .ok_or("trace sampling enabled but the obs endpoint holds no sampled trace")?;
+            print_traces(&traces);
+        }
         if !args.iter().any(|a| a == "--no-shutdown") {
             let mut client = Client::connect(addr.as_str(), &ClientConfig::default())
                 .map_err(|e| e.to_string())?;
@@ -123,6 +142,7 @@ fn drive(args: &[String]) -> Result<(), String> {
     let config = LoadgenConfig {
         connections: conns,
         obs_addr,
+        trace_sample,
         ..LoadgenConfig::new(addr.clone())
     };
     let report = run(&config, &workload).map_err(|e| e.to_string())?;
@@ -195,6 +215,10 @@ fn drive(args: &[String]) -> Result<(), String> {
         );
     }
 
+    if let Some(traces) = &report.traces {
+        print_traces(traces);
+    }
+
     if !args.iter().any(|a| a == "--no-shutdown") {
         let mut client =
             Client::connect(addr.as_str(), &ClientConfig::default()).map_err(|e| e.to_string())?;
@@ -205,6 +229,21 @@ fn drive(args: &[String]) -> Result<(), String> {
         return Err("no responses received".into());
     }
     Ok(())
+}
+
+fn print_traces(traces: &adcast::net::loadgen::TraceScrape) {
+    for (hop, spans, p50, p99) in &traces.hops {
+        println!(
+            "trace hop {hop} spans={spans} p50_us={:.1} p99_us={:.1}",
+            *p50 as f64 / 1e3,
+            *p99 as f64 / 1e3
+        );
+    }
+    // Scripts grep this exact shape.
+    println!(
+        "trace: traces={} best_id={:016x} best_spans={} best_nodes={}",
+        traces.traces, traces.best.0, traces.best.1, traces.best.2
+    );
 }
 
 /// The cluster consistency check: replay the workload through the

@@ -3,7 +3,9 @@
 //! ```text
 //! adcast-router [--addr HOST:PORT]
 //!               --partition PRIMARY[,FOLLOWER] [--partition ...]
+//!               [--partition-obs PRIMARY_OBS[,FOLLOWER_OBS] ...]
 //!               [--connect-attempts N] [--obs-addr HOST:PORT]
+//!               [--trace-sample N] [--trace-seed SEED]
 //! ```
 //!
 //! One `--partition` flag per partition, in partition order; each names
@@ -13,13 +15,21 @@
 //! routes until a client sends the Shutdown RPC (which also drains the
 //! nodes). When a primary dies, the router promotes its follower under
 //! a bumped epoch and keeps serving; see DESIGN.md §14.
+//!
+//! With `--partition-obs` flags (one per `--partition`, naming the
+//! members' obs ports), the router's own obs port federates: `/metrics`
+//! merges every member's exposition under `node`/`partition`/`role`
+//! labels, `/traces/<id>` stitches cross-node spans, and `/readyz`
+//! aggregates member readiness. `--trace-sample N` head-samples every
+//! Nth routed client RPC into a distributed trace; see DESIGN.md §15.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use adcast::cluster::{PartitionMap, Router, RouterConfig};
 use adcast::net::client::ClientConfig;
-use adcast::obs::ObsServer;
+use adcast::obs::{Federator, Member, ObsServer};
 
 fn main() -> ExitCode {
     match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
@@ -58,7 +68,9 @@ fn run(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: adcast-router [--addr HOST:PORT] --partition PRIMARY[,FOLLOWER] \
-             [--partition ...] [--connect-attempts N] [--obs-addr HOST:PORT]"
+             [--partition ...] [--partition-obs PRIMARY_OBS[,FOLLOWER_OBS] ...] \
+             [--connect-attempts N] [--obs-addr HOST:PORT] [--trace-sample N] \
+             [--trace-seed SEED]"
         );
         return Ok(());
     }
@@ -68,6 +80,7 @@ fn run(args: &[String]) -> Result<(), String> {
         .and_then(|i| args.get(i + 1))
         .map_or("127.0.0.1:0", String::as_str);
     let mut specs = Vec::new();
+    let mut obs_specs = Vec::new();
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--partition" {
@@ -77,14 +90,30 @@ fn run(args: &[String]) -> Result<(), String> {
                     .ok_or_else(|| "--partition needs a value".to_string())?,
             );
             i += 2;
+        } else if args[i] == "--partition-obs" {
+            obs_specs.push(
+                args.get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| "--partition-obs needs a value".to_string())?,
+            );
+            i += 2;
         } else {
             i += 1;
         }
     }
     let map = PartitionMap::parse(&specs)
         .map_err(|e| format!("{e} (repeat --partition PRIMARY[,FOLLOWER] per partition)"))?;
+    if !obs_specs.is_empty() && obs_specs.len() != specs.len() {
+        return Err(format!(
+            "--partition-obs given {} times but --partition {} times (they pair up in order)",
+            obs_specs.len(),
+            specs.len()
+        ));
+    }
     let connect_attempts = flag(args, "--connect-attempts")?.unwrap_or(3) as u32;
     let obs_addr = str_flag(args, "--obs-addr")?;
+    let trace_sample = flag(args, "--trace-sample")?.unwrap_or(0);
+    let trace_seed = flag(args, "--trace-seed")?.unwrap_or(0xAD_CA57);
 
     let config = RouterConfig {
         client: ClientConfig {
@@ -92,14 +121,45 @@ fn run(args: &[String]) -> Result<(), String> {
             ..ClientConfig::default()
         },
         poll_interval: Duration::from_millis(50),
+        trace_sample,
+        trace_seed,
     };
     let router = Router::start(addr, &map, config).map_err(|e| format!("bind {addr}: {e}"))?;
     let obs_server = match obs_addr {
         None => None,
-        Some(obs_addr) => Some(
-            ObsServer::start(obs_addr, adcast::obs::registry())
-                .map_err(|e| format!("bind obs {obs_addr}: {e}"))?,
-        ),
+        Some(obs_addr) => {
+            let server = if obs_specs.is_empty() {
+                ObsServer::start(obs_addr, adcast::obs::registry())
+            } else {
+                let mut members = Vec::new();
+                for (partition, spec) in obs_specs.iter().enumerate() {
+                    let partition = u16::try_from(partition).map_err(|_| "too many partitions")?;
+                    let mut roles = spec.split(',');
+                    let primary = roles
+                        .next()
+                        .filter(|a| !a.is_empty())
+                        .ok_or_else(|| format!("--partition-obs {spec}: empty primary"))?;
+                    members.push(Member {
+                        obs_addr: primary.to_string(),
+                        partition,
+                        role: "primary",
+                    });
+                    if let Some(follower) = roles.next() {
+                        members.push(Member {
+                            obs_addr: follower.to_string(),
+                            partition,
+                            role: "follower",
+                        });
+                    }
+                }
+                let federator = Arc::new(Federator {
+                    members,
+                    local: (obs_addr.to_string(), adcast::obs::registry()),
+                });
+                ObsServer::start_with(obs_addr, adcast::obs::registry(), federator)
+            };
+            Some(server.map_err(|e| format!("bind obs {obs_addr}: {e}"))?)
+        }
     };
     // Scripts wait for this exact line to learn the ephemeral port.
     println!("listening on {}", router.addr());
